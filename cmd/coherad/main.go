@@ -1,0 +1,102 @@
+// Command coherad runs a content site daemon: it loads a generated
+// supplier catalog into a local engine and publishes it over HTTP for
+// remote federation (see internal/remote). Point coheraql at it with
+// -attach, or federate several coherad processes together.
+//
+//	coherad -addr :8401 -supplier 3 -items 25
+//	coherad -addr :8402 -supplier 7 -token sesame
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cohera/internal/exec"
+	"cohera/internal/remote"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+	"cohera/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8401", "listen address")
+		supplier = flag.Int("supplier", 0, "which generated supplier to serve")
+		items    = flag.Int("items", 20, "catalog size")
+		seed     = flag.Int64("seed", 2026, "workload seed")
+		token    = flag.String("token", "", "optional bearer token")
+		snapshot = flag.String("snapshot", "", "snapshot file: loaded on start when present, written on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	db := exec.NewDatabase()
+	var tbl *storage.Table
+	loaded := false
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			if err := db.LoadSnapshot(f); err != nil {
+				log.Fatalf("loading snapshot: %v", err)
+			}
+			_ = f.Close()
+			t, err := db.Table("catalog")
+			if err != nil {
+				log.Fatalf("snapshot has no catalog table: %v", err)
+			}
+			tbl = t
+			loaded = true
+			fmt.Printf("coherad: restored %d rows from %s\n", tbl.Len(), *snapshot)
+		}
+	}
+	if !loaded {
+		sups := workload.Suppliers(*supplier+1, *items, 0.05, *seed)
+		sup := sups[*supplier]
+		rows, err := workload.GroundTruthRows(sup, value.DefaultCurrencyTable())
+		if err != nil {
+			log.Fatal(err)
+		}
+		def := workload.CatalogDef()
+		t, err := db.CreateTable(def.Clone("catalog"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := t.CreateIndex("sku"); err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			r[0] = value.NewString(sup.Name + "/" + r[0].Str())
+			if _, err := t.Insert(r); err != nil {
+				log.Fatal(err)
+			}
+		}
+		tbl = t
+		fmt.Printf("coherad: generated %s (%d rows)\n", sup.Name, tbl.Len())
+	}
+
+	srv := remote.NewServer()
+	srv.Token = *token
+	srv.PublishTable(tbl, "sku", "supplier")
+	if *snapshot != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			f, err := os.Create(*snapshot)
+			if err == nil {
+				if err := db.SaveSnapshot(f); err == nil {
+					fmt.Printf("coherad: snapshot written to %s\n", *snapshot)
+				}
+				_ = f.Close()
+			}
+			os.Exit(0)
+		}()
+	}
+	fmt.Printf("coherad: listening on %s\n", *addr)
+	fmt.Printf("  discover: GET %s/tables\n", *addr)
+	fmt.Printf("  attach:   coheraql -attach http://localhost%s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,259 @@
+// Command coheraql is an interactive SQL shell over a demo content
+// federation: the MRO catalog (three suppliers, heterogeneous feeds,
+// normalized on ingest) plus the hotel-availability table served live
+// from fifty simulated reservation systems.
+//
+// Usage:
+//
+//	coheraql                      # interactive shell
+//	echo "SELECT ..." | coheraql  # one-shot pipe
+//
+// Try:
+//
+//	SELECT sku, name, price FROM catalog WHERE FUZZY(name, 'drlls crdlss');
+//	SELECT hotel, available FROM hotels WHERE city = 'Atlanta' AND available > 0;
+//	\tables   \help   \quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cohera/internal/core"
+	"cohera/internal/exec"
+	"cohera/internal/federation"
+	"cohera/internal/remote"
+	"cohera/internal/value"
+	"cohera/internal/workload"
+	"cohera/internal/wrapper"
+)
+
+func main() {
+	var (
+		attach = flag.String("attach", "", "comma-separated coherad URLs to federate (e.g. http://localhost:8401)")
+		token  = flag.String("token", "", "bearer token for attached servers")
+	)
+	flag.Parse()
+	in, err := buildDemo()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "setup: %v\n", err)
+		os.Exit(1)
+	}
+	if *attach != "" {
+		if err := attachRemotes(in, strings.Split(*attach, ","), *token); err != nil {
+			fmt.Fprintf(os.Stderr, "attach: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("coheraql — content integration shell (tables: catalog, hotels; \\help for help)")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	ctx := context.Background()
+	for {
+		fmt.Print("cohera> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\help`:
+			fmt.Println(`commands: \tables  \sites  \explain <sql>  \quit
+predicates: CONTAINS(col,'q')  FUZZY(col,'q')  SYNONYM(col,'q')  MATCHES(col,'q')
+examples:
+  SELECT sku, name, price FROM catalog WHERE FUZZY(name, 'drlls crdlss');
+  SELECT supplier, COUNT(*) AS n FROM catalog GROUP BY supplier ORDER BY n DESC;
+  SELECT hotel, corporate_rate, available FROM hotels
+    WHERE city = 'Atlanta' AND miles_to_airport < 10 AND available > 0;`)
+			continue
+		case line == `\tables`:
+			fmt.Println("catalog (integrated supplier catalogs, normalized USD prices)")
+			fmt.Println("hotels  (live availability across 50 reservation systems)")
+			continue
+		case strings.HasPrefix(line, `\explain `):
+			sql := strings.TrimSuffix(strings.TrimPrefix(line, `\explain `), ";")
+			res, trace, err := in.Federation().QueryTraced(ctx, sql)
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			fmt.Printf("rows: %d\n", len(res.Rows))
+			fmt.Printf("fragments pruned: %d, failovers: %d\n", trace.PrunedFragments, trace.Failovers)
+			fmt.Printf("cells shipped: %d (%d without projection pushdown)\n",
+				trace.CellsShipped, trace.CellsWithoutPushdown)
+			for frag, site := range trace.FragmentSites {
+				fmt.Printf("  %-28s served by %s\n", frag, site)
+			}
+			continue
+		case line == `\sites`:
+			fmt.Printf("%-22s %-6s %-8s %s\n", "site", "alive", "served", "busy")
+			for _, s := range in.Federation().Sites() {
+				fmt.Printf("%-22s %-6v %-8d %s\n", s.Name(), s.Alive(), s.Served(), s.BusyTime().Round(time.Microsecond))
+			}
+			continue
+		}
+		sql := strings.TrimSuffix(line, ";")
+		res, dml, err := in.Exec(ctx, sql)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		if dml != nil {
+			fmt.Printf("(%d rows affected", dml.Rows)
+			if len(dml.SkippedReplicas) > 0 {
+				fmt.Printf("; skipped replicas: %v", dml.SkippedReplicas)
+			}
+			fmt.Println(")")
+			continue
+		}
+		printResult(res)
+	}
+}
+
+func printResult(res *exec.Result) {
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			cells[r][i] = v.String()
+			if len(cells[r][i]) > widths[i] {
+				widths[i] = len(cells[r][i])
+			}
+		}
+	}
+	line := func(parts []string) {
+		out := make([]string, len(parts))
+		for i, p := range parts {
+			out[i] = p + strings.Repeat(" ", widths[i]-len(p))
+		}
+		fmt.Println("  " + strings.Join(out, " | "))
+	}
+	line(res.Columns)
+	seps := make([]string, len(res.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range cells {
+		line(row)
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+// attachRemotes federates coherad servers: each remote table becomes an
+// extra fragment of the matching global table (or a new global table).
+func attachRemotes(in *core.Integrator, urls []string, token string) error {
+	ctx := context.Background()
+	fed := in.Federation()
+	for _, raw := range urls {
+		url := strings.TrimSpace(raw)
+		if url == "" {
+			continue
+		}
+		sources, err := remote.Dial(url, token).Tables(ctx)
+		if err != nil {
+			return err
+		}
+		site, err := in.AddSite(url)
+		if err != nil {
+			return err
+		}
+		for _, src := range sources {
+			site.AddSource(src)
+			frag := federation.NewFragment(url, nil, site)
+			if err := fed.AddFragment(src.Schema().Name, frag); err != nil {
+				if _, err := fed.DefineTable(src.Schema().Clone(src.Schema().Name), frag); err != nil {
+					return err
+				}
+			}
+			fmt.Printf("attached %s/%s\n", url, src.Schema().Name)
+		}
+	}
+	return nil
+}
+
+// buildDemo wires the demo federation: integrated catalogs + live hotels.
+func buildDemo() (*core.Integrator, error) {
+	in := core.New(core.Options{})
+	ctx := context.Background()
+
+	// Catalog: three suppliers ingested through normalization.
+	catalogDef := workload.CatalogDef()
+	var specs []core.FragmentSpec
+	sups := workload.Suppliers(3, 15, 0.1, 42)
+	for _, s := range sups {
+		if _, err := in.AddSite(s.Name); err != nil {
+			return nil, err
+		}
+		specs = append(specs, core.FragmentSpec{
+			ID:        s.Name,
+			Predicate: fmt.Sprintf("supplier = '%s'", s.Name),
+			Replicas:  []string{s.Name},
+		})
+	}
+	frags, err := in.DefineTable(catalogDef, specs...)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range sups {
+		rows, err := workload.GroundTruthRows(s, in.Rates())
+		if err != nil {
+			return nil, err
+		}
+		// Qualify SKUs so suppliers never collide.
+		for _, r := range rows {
+			r[0] = value.NewString(s.Name + "/" + r[0].Str())
+		}
+		src, err := wrapper.NewStaticSource(s.Name, catalogDef, rows)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := in.Ingest(ctx, "catalog", frags[i], src, nil); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range workload.MROVocabulary() {
+		in.Synonyms().Declare(append([]string{p.Canonical}, p.Variants...)...)
+	}
+
+	// Hotels: fifty chains served live.
+	hotelsDef := workload.HotelsDef()
+	chains := workload.Hotels(50, 3, 43)
+	var hotelFrags []*federation.Fragment
+	for c, chain := range chains {
+		name := fmt.Sprintf("chain-%02d", c)
+		site, err := in.AddSite(name)
+		if err != nil {
+			return nil, err
+		}
+		tbl, err := site.DB().CreateTable(hotelsDef.Clone("hotels"))
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range chain {
+			if _, err := tbl.Insert(workload.HotelRow(h)); err != nil {
+				return nil, err
+			}
+		}
+		// The stored table doubles as this chain's live reservation
+		// system; queries reach it directly as a stored fragment.
+		hotelFrags = append(hotelFrags, federation.NewFragment(name, nil, site))
+	}
+	if _, err := in.Federation().DefineTable(hotelsDef, hotelFrags...); err != nil {
+		return nil, err
+	}
+	return in, nil
+}

@@ -1,0 +1,17 @@
+// Package cohera is a from-scratch Go reproduction of the content
+// integration system described in Stonebraker & Hellerstein, "Content
+// Integration for E-Business" (SIGMOD 2001): an adaptive, agoric
+// federated query processor in the Mariposa/Cohera tradition, together
+// with the full stack it rests on — web/XML/CSV/ERP wrappers with
+// trainable extraction, a transformation workbench, hierarchical
+// taxonomies with semi-automatic matching, an object-relational SQL
+// dialect with fuzzy and synonym search, materialized views, semantic
+// caching, replication and fragmentation with failover, and custom
+// syndication.
+//
+// The public API lives in internal/core (the Integrator facade); see the
+// runnable programs under examples/ and the experiment harness in
+// internal/bench reproduced by cmd/coherabench. DESIGN.md maps every
+// subsystem to the paper's sections; EXPERIMENTS.md records measured
+// behaviour against each of the paper's claims.
+package cohera

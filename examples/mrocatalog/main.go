@@ -1,0 +1,242 @@
+// MRO catalog integration — the paper's first vignette. A distributor
+// integrates supplier catalogs published as CSV, XML and scraped HTML:
+// wrappers parse each format (the HTML one trained from two labeled
+// examples), a shared pipeline normalizes currencies and delivery
+// promises, products are classified into the MRO taxonomy, and the
+// integrated catalog answers synonym, fuzzy and hierarchical queries.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"cohera/internal/core"
+	"cohera/internal/schema"
+	"cohera/internal/taxonomy"
+	"cohera/internal/transform"
+	"cohera/internal/value"
+	"cohera/internal/workload"
+	"cohera/internal/wrapper"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// rawDef is the shared shape all three wrappers emit.
+func rawDef() *schema.Table {
+	return schema.MustTable("raw_feed", []schema.Column{
+		{Name: "part_no", Kind: value.KindString},
+		{Name: "description", Kind: value.KindString},
+		{Name: "unit_price", Kind: value.KindMoney},
+		{Name: "lead_time", Kind: value.KindDuration},
+		{Name: "on_hand", Kind: value.KindInt},
+	})
+}
+
+func run() error {
+	ctx := context.Background()
+	in := core.New(core.Options{})
+	in.DefineTaxonomy(workload.MROTaxonomy())
+	for _, p := range workload.MROVocabulary() {
+		in.Synonyms().Declare(append([]string{p.Canonical}, p.Variants...)...)
+	}
+
+	catalog := workload.CatalogDef()
+	suppliers := workload.Suppliers(6, 12, 0.05, 2026)
+	var specs []core.FragmentSpec
+	for _, s := range suppliers {
+		if _, err := in.AddSite(s.Name); err != nil {
+			return err
+		}
+		specs = append(specs, core.FragmentSpec{ID: s.Name, Replicas: []string{s.Name}})
+	}
+	frags, err := in.DefineTable(catalog, specs...)
+	if err != nil {
+		return err
+	}
+
+	// Train the HTML wrapper once on the first HTML supplier's page.
+	var htmlTpl wrapper.LRTemplate
+	for _, s := range suppliers {
+		if s.Format != workload.FormatHTML {
+			continue
+		}
+		page := workload.RenderHTML(s)
+		htmlTpl, err = wrapper.Induce(page,
+			[]string{"part_no", "description", "unit_price", "lead_time", "on_hand"},
+			[]wrapper.Example{label(s, 0), label(s, 1)})
+		if err != nil {
+			return fmt.Errorf("training wrapper: %w", err)
+		}
+		fmt.Printf("trained HTML wrapper on %s from 2 labeled records\n", s.Name)
+		break
+	}
+
+	// Ingest every supplier through format wrapper + normalization +
+	// taxonomy classification.
+	totalDisc := 0
+	for i, s := range suppliers {
+		src, err := sourceFor(s, htmlTpl)
+		if err != nil {
+			return err
+		}
+		p, err := pipelineFor(in, s)
+		if err != nil {
+			return err
+		}
+		disc, err := in.Ingest(ctx, "catalog", frags[i], src, p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Name, err)
+		}
+		totalDisc += len(disc)
+	}
+	res, err := in.Query(ctx, "SELECT COUNT(*) FROM catalog")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("integrated %s rows from %d suppliers (3 formats, 4 currencies); %d discrepancies for review\n\n",
+		res.Rows[0][0], len(suppliers), totalDisc)
+
+	// 1. The synonym query from the paper: black ink ≡ India ink.
+	res, err = in.Query(ctx,
+		"SELECT supplier, name, price FROM catalog WHERE SYNONYM(name, 'black ink') ORDER BY supplier LIMIT 5")
+	if err != nil {
+		return err
+	}
+	fmt.Println("vendors supplying black ink (SYNONYM search):")
+	for _, r := range res.Rows {
+		fmt.Printf("  %-12s %-28s %s\n", r[0].Str(), r[1].Str(), r[2])
+	}
+
+	// 2. The fuzzy probe.
+	res, err = in.Query(ctx,
+		"SELECT supplier, name FROM catalog WHERE FUZZY(name, 'drlls crdlss') LIMIT 5")
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n'drlls: crdlss' (FUZZY):")
+	for _, r := range res.Rows {
+		fmt.Printf("  %-12s %s\n", r[0].Str(), r[1].Str())
+	}
+
+	// 3. Hierarchical taxonomy query: "refills" expands to the subtree.
+	codes, err := in.ExpandCategories("mro", "refills")
+	if err != nil {
+		return err
+	}
+	res, err = in.Query(ctx, fmt.Sprintf(
+		"SELECT supplier, name, category FROM catalog WHERE category IN ('%s') ORDER BY category LIMIT 6",
+		strings.Join(codes, "', '")))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n'refills' expands to %v; matching catalog entries:\n", codes)
+	for _, r := range res.Rows {
+		fmt.Printf("  %-12s %-28s %s\n", r[0].Str(), r[1].Str(), r[2].Str())
+	}
+
+	// 4. Comparable delivery promises: normalized calendar durations.
+	res, err = in.Query(ctx,
+		"SELECT supplier, name, delivery FROM catalog WHERE CONTAINS(name, 'drill') ORDER BY delivery LIMIT 4")
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nfastest drill deliveries (normalized across day semantics):")
+	for _, r := range res.Rows {
+		fmt.Printf("  %-12s %-28s %s\n", r[0].Str(), r[1].Str(), r[2])
+	}
+	return nil
+}
+
+// sourceFor builds the format-appropriate wrapper for a supplier.
+func sourceFor(s workload.Supplier, htmlTpl wrapper.LRTemplate) (wrapper.Source, error) {
+	raw := rawDef()
+	switch s.Format {
+	case workload.FormatCSV:
+		return wrapper.NewCSVSource(s.Name, raw,
+			wrapper.StaticFetcher(map[string]string{"u": workload.RenderCSV(s)}), "u",
+			[]wrapper.FieldMapping{
+				{Column: "part_no", From: "Part No"},
+				{Column: "description", From: "Description"},
+				{Column: "unit_price", From: "Unit Price"},
+				{Column: "lead_time", From: "Lead Time"},
+				{Column: "on_hand", From: "On Hand"},
+			}), nil
+	case workload.FormatXML:
+		return wrapper.NewXMLSource(s.Name, raw,
+			wrapper.StaticFetcher(map[string]string{"u": workload.RenderXML(s)}), "u",
+			"/feed/item", []wrapper.FieldMapping{
+				{Column: "part_no", From: "@code"},
+				{Column: "description", From: "desc"},
+				{Column: "unit_price", From: "price"},
+				{Column: "lead_time", From: "lead"},
+				{Column: "on_hand", From: "stock"},
+			}), nil
+	default:
+		return wrapper.NewHTMLSource(s.Name, raw,
+			wrapper.StaticFetcher(map[string]string{"u": workload.RenderHTML(s)}), "u",
+			htmlTpl, nil), nil
+	}
+}
+
+// pipelineFor builds the per-supplier normalization pipeline, including
+// taxonomy classification of the free-text name.
+func pipelineFor(in *core.Integrator, s workload.Supplier) (*transform.Pipeline, error) {
+	p := transform.NewPipeline(rawDef(), workload.CatalogDef())
+	sku, err := transform.NewExpr("sku", fmt.Sprintf("'%s/' + part_no", s.Name))
+	if err != nil {
+		return nil, err
+	}
+	sup, err := transform.NewExpr("supplier", fmt.Sprintf("'%s'", s.Name))
+	if err != nil {
+		return nil, err
+	}
+	tax, err := in.Taxonomy("mro")
+	if err != nil {
+		return nil, err
+	}
+	classifier := taxonomy.NewClassifier(tax)
+	p.MustAdd(
+		sku, sup,
+		transform.Copy{To: "name", From: "description"},
+		transform.Func{To: "category", Fn: func(ctx *transform.RowContext) (value.Value, error) {
+			name, err := ctx.Get("description")
+			if err != nil || name.IsNull() {
+				return value.Null, err
+			}
+			code, _, err := classifier.Classify(name.Str())
+			if err != nil {
+				return value.Null, nil // unclassified is acceptable
+			}
+			return value.NewString(code), nil
+		}},
+		transform.Currency{To: "price", From: "unit_price", Into: "USD", Rates: in.Rates()},
+		transform.Delivery{To: "delivery", From: "lead_time"},
+		transform.Copy{To: "qty", From: "on_hand"},
+	)
+	return p, nil
+}
+
+// label produces an induction example from a rendered record.
+func label(s workload.Supplier, i int) wrapper.Example {
+	it := s.Items[i]
+	price := fmt.Sprintf("%d.%02d %s", it.PriceCents/100, it.PriceCents%100, s.Currency)
+	if s.Currency == "USD" {
+		price = fmt.Sprintf("$%d.%02d", it.PriceCents/100, it.PriceCents%100)
+	}
+	var lead string
+	switch s.DeliverySemantics {
+	case value.BusinessDays:
+		lead = fmt.Sprintf("%d business days", it.Days)
+	case value.NoSundayDays:
+		lead = fmt.Sprintf("%d days (Sunday excluded)", it.Days)
+	default:
+		lead = fmt.Sprintf("%d days", it.Days)
+	}
+	return wrapper.Example{Values: []string{it.SKU, it.Name, price, lead, fmt.Sprintf("%d", it.Qty)}}
+}

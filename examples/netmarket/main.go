@@ -1,0 +1,218 @@
+// Net market — a B2B exchange composed from the library's pieces:
+//
+//  1. supplier enablement: feeds must conform to the market's legislated
+//     XML before the supplier may sell (sender-makes-right);
+//  2. enabled feeds are integrated into the market catalog;
+//  3. buyers browse through the semantic cache (hot ranges served
+//     locally);
+//  4. orders execute as federated DML (availability decremented at the
+//     owning fragment's replicas);
+//  5. per-tier price lists publish via a FLWOR query over the integrated
+//     XML view.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"cohera/internal/core"
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/syndicate"
+	"cohera/internal/value"
+	"cohera/internal/workload"
+	"cohera/internal/wrapper"
+	"cohera/internal/xmlq"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// marketFormat is the exchange's legislated feed shape.
+func marketFormat() syndicate.LegislatedXML {
+	return syndicate.LegislatedXML{
+		Root: "MarketFeed", RowElement: "Offer",
+		FieldNames: [5]string{"PartNo", "Description", "UnitPrice", "Quantity", "InStock"},
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	in := core.New(core.Options{EnableCache: true, CacheEntries: 32})
+
+	// --- 1. Supplier enablement -------------------------------------
+	suppliers := workload.Suppliers(4, 10, 0, 77)
+	format := marketFormat()
+	var enabled []workload.Supplier
+	for i, s := range suppliers {
+		doc := renderMarketFeed(s, i == 3) // the last supplier ships a broken feed
+		problems := syndicate.CheckEnablement(doc, format)
+		if len(problems) > 0 {
+			fmt.Printf("supplier %s REJECTED: %s\n", s.Name, problems[0])
+			continue
+		}
+		fmt.Printf("supplier %s enabled\n", s.Name)
+		enabled = append(enabled, s)
+	}
+
+	// --- 2. Integrate enabled feeds ----------------------------------
+	def := marketCatalogDef()
+	var specs []core.FragmentSpec
+	for _, s := range enabled {
+		if _, err := in.AddSite(s.Name); err != nil {
+			return err
+		}
+		specs = append(specs, core.FragmentSpec{
+			ID: s.Name, Predicate: fmt.Sprintf("supplier = '%s'", s.Name),
+			Replicas: []string{s.Name},
+		})
+	}
+	frags, err := in.DefineTable(def, specs...)
+	if err != nil {
+		return err
+	}
+	for i, s := range enabled {
+		rows, err := marketRows(s, in.Rates())
+		if err != nil {
+			return err
+		}
+		src, err := wrapper.NewStaticSource(s.Name, def, rows)
+		if err != nil {
+			return err
+		}
+		if _, err := in.Ingest(ctx, "market", frags[i], src, nil); err != nil {
+			return err
+		}
+	}
+	res, err := in.Query(ctx, "SELECT COUNT(*) FROM market")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmarket catalog: %s offers from %d enabled suppliers\n", res.Rows[0][0], len(enabled))
+
+	// --- 3. Buyers browse through the semantic cache -----------------
+	for i := 0; i < 6; i++ {
+		lo := 100 + (i%2)*50
+		sql := fmt.Sprintf("SELECT qty FROM market WHERE qty BETWEEN %d AND %d", lo, lo+400)
+		if _, err := in.Query(ctx, sql); err != nil {
+			return err
+		}
+	}
+	hits, misses, partial := in.Cache().Stats()
+	fmt.Printf("browse traffic: %d cache hits, %d partial, %d misses\n", hits, partial, misses)
+
+	// --- 4. An order executes as federated DML -----------------------
+	pick, err := in.Query(ctx, "SELECT sku, qty FROM market WHERE qty > 10 ORDER BY sku LIMIT 1")
+	if err != nil || len(pick.Rows) == 0 {
+		return fmt.Errorf("no stocked offer: %v", err)
+	}
+	sku := pick.Rows[0][0].Str()
+	before := pick.Rows[0][1].Int()
+	_, dml, err := in.Exec(ctx, fmt.Sprintf("UPDATE market SET qty = qty - 10 WHERE sku = '%s'", sku))
+	if err != nil {
+		return err
+	}
+	after, err := in.Query(ctx, fmt.Sprintf("SELECT qty FROM market WHERE sku = '%s'", sku))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("order: 10 units of %s (%d → %s; %d row updated at the owning fragment)\n",
+		sku, before, after.Rows[0][0], dml.Rows)
+
+	// --- 5. Publish a platinum price list via FLWOR ------------------
+	in.Syndicator().AddRule(syndicate.TierDiscount{Tier: "platinum", Pct: 12})
+	xmlOut, err := in.QueryFLWOR(ctx,
+		"SELECT sku, name, price FROM market ORDER BY sku LIMIT 40",
+		`for $r in /result/row where $r/price >= '0' order by $r/sku
+		 return <offer sku="{$r/sku}"><desc>{$r/name}</desc><list>{$r/price}</list></offer>`,
+		"PriceList")
+	if err != nil {
+		return err
+	}
+	doc, err := xmlq.ParseXMLString(xmlOut)
+	if err != nil {
+		return err
+	}
+	offers, err := xmlq.XPath(doc, "/PriceList/offer")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nplatinum price list (FLWOR over the integrated XML view): %d offers, first 3:\n", len(offers))
+	for i, o := range offers {
+		if i == 3 {
+			break
+		}
+		list, _ := xmlq.XPathString(o, "list")
+		lp, err := value.ParseMoney(list)
+		if err != nil {
+			return err
+		}
+		q := in.Syndicator().QuoteOne(
+			syndicate.Buyer{ID: "plat-1", Tier: "platinum"},
+			syndicate.Request{Item: syndicate.Item{
+				SKU: o.Attr("sku"), Name: "offer", Price: lp, Available: 1,
+			}, Qty: 1})
+		fmt.Printf("  %-22s list %-12s platinum %s\n", o.Attr("sku"), list, q.Price)
+	}
+	return nil
+}
+
+// marketCatalogDef is the exchange's catalog schema.
+func marketCatalogDef() *schema.Table {
+	return schema.MustTable("market", []schema.Column{
+		{Name: "sku", Kind: value.KindString, NotNull: true},
+		{Name: "supplier", Kind: value.KindString},
+		{Name: "name", Kind: value.KindString, FullText: true},
+		{Name: "price", Kind: value.KindMoney},
+		{Name: "qty", Kind: value.KindInt},
+	}, "sku")
+}
+
+// renderMarketFeed renders a supplier's catalog in the legislated format;
+// broken=true omits a mandated field (the enablement failure case).
+func renderMarketFeed(s workload.Supplier, broken bool) string {
+	var b strings.Builder
+	b.WriteString("<MarketFeed>")
+	for _, it := range s.Items {
+		b.WriteString("<Offer>")
+		fmt.Fprintf(&b, "<PartNo>%s</PartNo>", it.SKU)
+		fmt.Fprintf(&b, "<Description>%s</Description>", xmlEscape(it.Name))
+		if !broken {
+			fmt.Fprintf(&b, "<UnitPrice>%d.%02d %s</UnitPrice>", it.PriceCents/100, it.PriceCents%100, s.Currency)
+		}
+		fmt.Fprintf(&b, "<Quantity>1</Quantity><InStock>%d</InStock>", it.Qty)
+		b.WriteString("</Offer>")
+	}
+	b.WriteString("</MarketFeed>")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// marketRows converts a supplier's items to market catalog rows with
+// USD-normalized prices and market-qualified SKUs.
+func marketRows(s workload.Supplier, rates *value.CurrencyTable) ([]storage.Row, error) {
+	var out []storage.Row
+	for _, it := range s.Items {
+		price, err := rates.Convert(value.NewMoney(it.PriceCents, s.Currency), "USD")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, storage.Row{
+			value.NewString(s.Name + "/" + it.SKU),
+			value.NewString(s.Name),
+			value.NewString(it.Name),
+			price,
+			value.NewInt(it.Qty),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+// Quickstart: integrate two suppliers — one CSV feed normalized through a
+// transformation pipeline, one live ERP gateway — and query across both
+// with fuzzy text search. This is the smallest end-to-end use of the
+// public API.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"cohera/internal/core"
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/transform"
+	"cohera/internal/value"
+	"cohera/internal/wrapper"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	in := core.New(core.Options{})
+
+	// The integrator's normalized catalog schema.
+	catalog := schema.MustTable("catalog", []schema.Column{
+		{Name: "sku", Kind: value.KindString, NotNull: true},
+		{Name: "name", Kind: value.KindString, FullText: true},
+		{Name: "price", Kind: value.KindMoney},
+		{Name: "qty", Kind: value.KindInt},
+	}, "sku")
+
+	// Two sites, one fragment each.
+	if _, err := in.AddSite("acme"); err != nil {
+		return err
+	}
+	if _, err := in.AddSite("bolt"); err != nil {
+		return err
+	}
+	frags, err := in.DefineTable(catalog,
+		core.FragmentSpec{ID: "acme", Replicas: []string{"acme"}},
+		core.FragmentSpec{ID: "bolt", Replicas: []string{"bolt"}},
+	)
+	if err != nil {
+		return err
+	}
+
+	// Supplier 1: a CSV feed quoting francs, normalized on ingest.
+	feed := "ref,produit,prix,stock\n" +
+		"A1,perceuse sans fil,729.00 FRF,12\n" + // a cordless drill
+		"A2,encre de Chine,25.50 FRF,80\n" // India ink
+	raw := schema.MustTable("acme_feed", []schema.Column{
+		{Name: "ref", Kind: value.KindString},
+		{Name: "produit", Kind: value.KindString},
+		{Name: "prix", Kind: value.KindMoney},
+		{Name: "stock", Kind: value.KindInt},
+	})
+	csvSrc := wrapper.NewCSVSource("acme-feed", raw,
+		wrapper.StaticFetcher(map[string]string{"feed.csv": feed}), "feed.csv", nil)
+	p := transform.NewPipeline(raw, catalog)
+	sku, err := transform.NewExpr("sku", "'ACME-' + ref")
+	if err != nil {
+		return err
+	}
+	p.MustAdd(
+		sku,
+		transform.Lookup{To: "name", From: "produit", Table: map[string]string{
+			"perceuse sans fil": "cordless drill",
+			"encre de chine":    "India ink",
+		}},
+		transform.Currency{To: "price", From: "prix", Into: "USD", Rates: in.Rates()},
+		transform.Copy{To: "qty", From: "stock"},
+	)
+	disc, err := in.Ingest(ctx, "catalog", frags[0], csvSrc, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ingested acme feed (%d discrepancies)\n", len(disc))
+
+	// Supplier 2: a live ERP table, queried on demand.
+	erpTable := storage.NewTable(catalog.Clone("catalog"))
+	for _, row := range []storage.Row{
+		{value.NewString("BOLT-1"), value.NewString("corded drill"), value.NewMoney(4500, "USD"), value.NewInt(4)},
+		{value.NewString("BOLT-2"), value.NewString("black ballpoint pen"), value.NewMoney(120, "USD"), value.NewInt(900)},
+	} {
+		if _, err := erpTable.Insert(row); err != nil {
+			return err
+		}
+	}
+	if err := in.RegisterSource("bolt", wrapper.NewERPSource("bolt-erp", erpTable), nil); err != nil {
+		return err
+	}
+
+	// One query spanning both suppliers, with the paper's typo probe.
+	res, err := in.Query(ctx, "SELECT sku, name, price FROM catalog WHERE FUZZY(name, 'drlls') ORDER BY sku")
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nFUZZY(name, 'drlls') across both suppliers:")
+	for _, r := range res.Rows {
+		fmt.Printf("  %-8s %-22s %s\n", r[0].Str(), r[1].Str(), r[2])
+	}
+
+	// Live data: the owner sells out; the next query sees it instantly.
+	id, row, err := erpTable.GetByKey(value.NewString("BOLT-1"))
+	if err != nil {
+		return err
+	}
+	row[3] = value.NewInt(0)
+	if err := erpTable.Update(id, row); err != nil {
+		return err
+	}
+	res, err = in.Query(ctx, "SELECT sku, qty FROM catalog WHERE sku = 'BOLT-1'")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nafter the owner sells out (fetch on demand): %s qty=%s\n",
+		res.Rows[0][0].Str(), res.Rows[0][1])
+	return nil
+}

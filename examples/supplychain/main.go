@@ -1,0 +1,151 @@
+// Supply chain — the paper's third vignette. A manufacturer wants to
+// raise production; feasibility depends on spare capacity across every
+// tier of its supplier tree, each tier living in different enterprises'
+// systems. The example federates the tiers, walks the chain with
+// recursive feasibility queries, and closes with custom syndication of a
+// surge-price quote in a market's legislated XML format.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"cohera/internal/core"
+	"cohera/internal/federation"
+	"cohera/internal/sqlparse"
+	"cohera/internal/syndicate"
+	"cohera/internal/value"
+	"cohera/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	in := core.New(core.Options{})
+	def := workload.SupplyChainDef()
+	chain := workload.SupplyChain(3, 2, 123) // 1+2+4+8 = 15 enterprises
+
+	// Each tier is a separate enterprise boundary: tier N's suppliers
+	// share a site (their industry exchange) in this demo.
+	tiers := map[int][]workload.ChainSupplier{}
+	maxTier := 0
+	for _, c := range chain {
+		tiers[c.Tier] = append(tiers[c.Tier], c)
+		if c.Tier > maxTier {
+			maxTier = c.Tier
+		}
+	}
+	var frags []*federation.Fragment
+	var specsDesc []string
+	for tier := 0; tier <= maxTier; tier++ {
+		name := fmt.Sprintf("tier-%d-exchange", tier)
+		site, err := in.AddSite(name)
+		if err != nil {
+			return err
+		}
+		tbl, err := site.DB().CreateTable(def.Clone("capacity"))
+		if err != nil {
+			return err
+		}
+		for _, c := range tiers[tier] {
+			if _, err := tbl.Insert(workload.ChainRow(c)); err != nil {
+				return err
+			}
+		}
+		frags = append(frags, federation.NewFragment(name, mustPred(fmt.Sprintf("tier = %d", tier)), site))
+		specsDesc = append(specsDesc, fmt.Sprintf("tier %d: %d suppliers", tier, len(tiers[tier])))
+	}
+	if _, err := in.Federation().DefineTable(def, frags...); err != nil {
+		return err
+	}
+	fmt.Printf("federated supply chain: %v\n\n", specsDesc)
+
+	// Walk the chain: a node can surge by min(own spare, children surge).
+	// Each tier's data is fetched from its own enterprise — one federated
+	// query per tier, with fragment pruning keeping other tiers untouched.
+	surge, err := feasibleSurge(ctx, in, "manufacturer", maxTier)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfeasible production surge for the manufacturer: %d units\n", surge)
+
+	// The bottleneck tier-1 supplier quotes the surge, with buyer-tier
+	// pricing, in the market's legislated XML (sender-makes-right).
+	synd := in.Syndicator()
+	synd.AddRule(
+		syndicate.TierDiscount{Tier: "strategic", Pct: 12},
+		syndicate.VolumeDiscount{MinQty: 50, Pct: 5},
+	)
+	item := syndicate.Item{
+		SKU: "SURGE-LOT", Name: "production surge lot",
+		Price: value.NewMoney(250000, "USD"), Available: surge,
+	}
+	quote := synd.QuoteAll(
+		syndicate.Buyer{ID: "manufacturer", Tier: "strategic"},
+		[]syndicate.Request{{Item: item, Qty: surge}},
+	)
+	market := syndicate.LegislatedXML{
+		Root: "ExchangeQuote", RowElement: "Line",
+		FieldNames: [5]string{"Item", "Desc", "Unit", "Units", "Avail"},
+	}
+	body, err := market.Format(quote)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsurge quote in the exchange's legislated format:\n%s\n", string(body))
+	if problems := syndicate.CheckEnablement(string(body), market); len(problems) > 0 {
+		return fmt.Errorf("supplier enablement failed: %v", problems)
+	}
+	fmt.Println("\nenablement check: quote conforms to the exchange's format")
+	return nil
+}
+
+// feasibleSurge computes how many extra units the named node can deliver:
+// its own spare capacity bounded by every child's feasible surge.
+func feasibleSurge(ctx context.Context, in *core.Integrator, node string, maxTier int) (int64, error) {
+	res, err := in.Query(ctx, fmt.Sprintf(
+		"SELECT spare_units, tier FROM capacity WHERE supplier = '%s'", node))
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, fmt.Errorf("supplier %q not found", node)
+	}
+	own := res.Rows[0][0].Int()
+	tier := res.Rows[0][1].Int()
+	if int(tier) == maxTier {
+		return own, nil // leaves are bounded only by themselves
+	}
+	kids, err := in.Query(ctx, fmt.Sprintf(
+		"SELECT supplier FROM capacity WHERE feeds = '%s'", node))
+	if err != nil {
+		return 0, err
+	}
+	feasible := own
+	for _, k := range kids.Rows {
+		child, err := feasibleSurge(ctx, in, k[0].Str(), maxTier)
+		if err != nil {
+			return 0, err
+		}
+		if child < feasible {
+			feasible = child
+		}
+	}
+	fmt.Printf("  %-22s tier %d: own spare %3d → feasible %3d\n", node, tier, own, feasible)
+	return feasible, nil
+}
+
+// mustPred parses a fragment predicate.
+func mustPred(sql string) sqlparse.Expr {
+	e, err := sqlparse.ParseExpr(sql)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

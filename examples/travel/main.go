@@ -1,0 +1,163 @@
+// Travel — the paper's second vignette. A traveler flying to Atlanta
+// tomorrow needs a room within ten miles of the airport, with a health
+// club, at a corporate rate under $200. Availability lives in fifty
+// separate reservation systems and is volatile, so it must be fetched on
+// demand; addresses and amenities are static and are served from a
+// materialized view (fetch in advance). The example also shows the
+// Platinum availability bump and a site failure being routed around.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"cohera/internal/core"
+	"cohera/internal/federation"
+	"cohera/internal/storage"
+	"cohera/internal/syndicate"
+	"cohera/internal/value"
+	"cohera/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	in := core.New(core.Options{})
+	hotelsDef := workload.HotelsDef()
+	chains := workload.Hotels(50, 3, 7)
+
+	// One site per hotel chain, each holding its own rows — fifty data
+	// systems, per the vignette.
+	var frags []*federation.Fragment
+	var liveTables []*tableRef
+	for c, chain := range chains {
+		name := fmt.Sprintf("chain-%02d", c)
+		site, err := in.AddSite(name)
+		if err != nil {
+			return err
+		}
+		tbl, err := site.DB().CreateTable(hotelsDef.Clone("hotels"))
+		if err != nil {
+			return err
+		}
+		for _, h := range chain {
+			if _, err := tbl.Insert(workload.HotelRow(h)); err != nil {
+				return err
+			}
+		}
+		liveTables = append(liveTables, &tableRef{site: name, insert: tbl})
+		frags = append(frags, federation.NewFragment(name, nil, site))
+	}
+	if _, err := in.Federation().DefineTable(hotelsDef, frags...); err != nil {
+		return err
+	}
+
+	// Static attributes go into a materialized view: fetched in advance
+	// once, instead of touching 50 systems per query.
+	if _, err := in.CreateView(ctx, "hotel_info",
+		"SELECT hotel AS hname, chain, city, miles_to_airport, health_club, corporate_rate FROM hotels", 0); err != nil {
+		return err
+	}
+	fmt.Println("materialized hotel_info (static attributes) from 50 reservation systems")
+
+	// The traveler's query: static predicates against the view, live
+	// availability against the federation — the hybrid plan.
+	travelerSQL := `
+		SELECT i.hname, i.corporate_rate, i.miles_to_airport, h.available
+		FROM hotel_info i JOIN hotels h ON i.hname = h.hotel
+		WHERE i.city = 'Atlanta' AND i.miles_to_airport < 10
+		  AND i.health_club = TRUE AND i.corporate_rate < '$200.00'
+		  AND h.available > 0
+		ORDER BY i.corporate_rate LIMIT 5`
+	res, err := in.Query(ctx, travelerSQL)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nrooms near ATL, health club, corporate rate < $200, available now:")
+	for _, r := range res.Rows {
+		fmt.Printf("  %-22s %-12s %4.1f mi  %s rooms\n", r[0].Str(), r[1], r[2].Float(), r[3])
+	}
+	if len(res.Rows) == 0 {
+		return fmt.Errorf("no hotels matched — workload shape wrong")
+	}
+
+	// The last room sells: fetch-on-demand sees it immediately.
+	top := res.Rows[0][0].Str()
+	if err := sellOut(liveTables, top); err != nil {
+		return err
+	}
+	res2, err := in.Query(ctx, travelerSQL)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nafter %q sells its last room, it drops from the result (%d rows now):\n", top, len(res2.Rows))
+	for _, r := range res2.Rows {
+		fmt.Printf("  %-22s %s rooms\n", r[0].Str(), r[3])
+	}
+
+	// Platinum members see bumped availability via syndication rules.
+	synd := in.Syndicator()
+	synd.AddRule(syndicate.AvailabilityBump{Tier: "platinum", Extra: 1})
+	item := syndicate.Item{SKU: top, Name: "room at " + top, Price: value.NewMoney(19900, "USD"), Available: 0}
+	plat := synd.QuoteOne(syndicate.Buyer{ID: "vip", Tier: "platinum"}, syndicate.Request{Item: item, Qty: 1})
+	std := synd.QuoteOne(syndicate.Buyer{ID: "joe", Tier: "standard"}, syndicate.Request{Item: item, Qty: 1})
+	fmt.Printf("\nsold-out room, per-buyer availability: standard=%d platinum=%d (bumped=%v)\n",
+		std.Available, plat.Available, plat.Bumped)
+
+	// A reservation system goes down; with no replica its fragment is
+	// lost, but the query degrades instead of failing outright when the
+	// fragment can be pruned — here we show failover with a replica.
+	backup, err := in.AddSite("chain-00-standby")
+	if err != nil {
+		return err
+	}
+	tbl, err := backup.DB().CreateTable(hotelsDef.Clone("hotels"))
+	if err != nil {
+		return err
+	}
+	for _, h := range chains[0] {
+		if _, err := tbl.Insert(workload.HotelRow(h)); err != nil {
+			return err
+		}
+	}
+	frags[0].AddReplica(backup)
+	primary, err := in.Federation().Site("chain-00")
+	if err != nil {
+		return err
+	}
+	primary.SetDown(true)
+	_, trace, err := in.Federation().QueryTraced(ctx, "SELECT COUNT(*) FROM hotels")
+	if err != nil {
+		return err
+	}
+	standbyUsed := trace.FragmentSites["hotels/chain-00"]
+	fmt.Printf("\nchain-00 down: query succeeded, fragment served by %q (bidders skip dead sites; %d execution-time failovers)\n",
+		standbyUsed, trace.Failovers)
+	return nil
+}
+
+// tableRef pairs a site name with its live hotel table.
+type tableRef struct {
+	site   string
+	insert *storage.Table
+}
+
+// sellOut sets a hotel's availability to zero in whichever reservation
+// system owns it.
+func sellOut(tables []*tableRef, hotel string) error {
+	for _, tr := range tables {
+		id, row, err := tr.insert.GetByKey(value.NewString(hotel))
+		if err != nil {
+			continue
+		}
+		row[6] = value.NewInt(0)
+		return tr.insert.Update(id, row)
+	}
+	return fmt.Errorf("hotel %q not found in any system", hotel)
+}

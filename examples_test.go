@@ -1,0 +1,86 @@
+package cohera_test
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example end to end as a subprocess —
+// the same commands the README advertises. Skipped under -short.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are integration-level; skipped in -short")
+	}
+	cases := []struct {
+		pkg   string
+		wants []string
+	}{
+		{"./examples/quickstart", []string{"FUZZY", "fetch on demand"}},
+		{"./examples/mrocatalog", []string{"trained HTML wrapper", "black ink", "refills"}},
+		{"./examples/travel", []string{"rooms near ATL", "platinum=1", "chain-00-standby"}},
+		{"./examples/supplychain", []string{"feasible production surge", "enablement check"}},
+		{"./examples/netmarket", []string{"REJECTED", "cache hits", "platinum"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.pkg, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := runGo(t, 2*time.Minute, "run", c.pkg)
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.pkg, err, out)
+			}
+			for _, want := range c.wants {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output missing %q:\n%s", c.pkg, want, out)
+				}
+			}
+		})
+	}
+}
+
+// TestShellOneShot pipes a scripted session through coheraql.
+func TestShellOneShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration-level; skipped in -short")
+	}
+	cmd := exec.Command("go", "run", "./cmd/coheraql")
+	cmd.Stdin = strings.NewReader(
+		"SELECT COUNT(*) FROM catalog;\n" +
+			`\explain SELECT hotel FROM hotels WHERE available > 0` + "\n" +
+			`\quit` + "\n")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("coheraql: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"(1 rows)", "fragments pruned"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shell output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func runGo(t *testing.T, timeout time.Duration, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	done := make(chan error, 1)
+	if err := cmd.Start(); err != nil {
+		return "", err
+	}
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return buf.String(), err
+	case <-time.After(timeout):
+		_ = cmd.Process.Kill()
+		return buf.String(), <-done
+	}
+}

@@ -1,0 +1,3 @@
+module cohera
+
+go 1.22

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment in quick mode and sanity
+// checks the table shapes and the qualitative claims the paper makes.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb, err := e.Run(Quick())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tb.ID != e.ID || len(tb.Headers) == 0 || len(tb.Rows) == 0 {
+				t.Fatalf("%s: empty table %+v", e.ID, tb)
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Headers) {
+					t.Errorf("%s: row width %d != headers %d", e.ID, len(row), len(tb.Headers))
+				}
+			}
+			var sb strings.Builder
+			tb.Print(&sb)
+			if !strings.Contains(sb.String(), e.ID) {
+				t.Errorf("%s: Print lost the id", e.ID)
+			}
+		})
+	}
+}
+
+// TestE1Shape verifies the paper's core claim quantitatively: federated
+// answers are never stale; warehouse answers are stale in proportion to
+// volatility.
+func TestE1Shape(t *testing.T) {
+	staleWH, staleFed, extracted, err := runE1(7, 5, 4, 80, 8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staleFed != 0 {
+		t.Errorf("federated staleness = %f, want 0", staleFed)
+	}
+	if staleWH < 0.2 {
+		t.Errorf("warehouse staleness = %f, want substantial under heavy churn", staleWH)
+	}
+	if extracted == 0 {
+		t.Error("warehouse extracted nothing")
+	}
+	// Zero volatility → warehouse is fine too.
+	staleWH, _, _, err = runE1(7, 5, 4, 40, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staleWH != 0 {
+		t.Errorf("warehouse staleness with no churn = %f", staleWH)
+	}
+}
+
+// TestE3Shape verifies the scaling gap grows with site count.
+func TestE3Shape(t *testing.T) {
+	a16, c16, err := runE3(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a256, c256, err := runE3(1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c256 <= c16 {
+		t.Errorf("centralized cost should grow with sites: %v vs %v", c16, c256)
+	}
+	// The centralized/agoric gap at 256 sites should be large.
+	if float64(c256)/float64(a256) < 4 {
+		t.Errorf("gap at 256 sites = %.1fx, want ≥ 4x (a=%v c=%v)", float64(c256)/float64(a256), a256, c256)
+	}
+	_ = a16
+}
+
+// TestE5Shape verifies the dominance ordering of placements.
+func TestE5Shape(t *testing.T) {
+	tb, err := E5Availability(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail := map[string]string{}
+	for _, row := range tb.Rows {
+		avail[row[0]] = row[1]
+	}
+	if avail["fragmented+replicated"] <= avail["central"] {
+		t.Errorf("frag+repl (%s) should beat central (%s)", avail["fragmented+replicated"], avail["central"])
+	}
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"cohera/internal/federation"
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// E10ScaleOut measures incremental scalability (Characteristic 8): the
+// same offered load against a fragment replicated on 1..R machines.
+// The paper's bar: "a content integration solution must be architected
+// to scale incrementally... a customer can simply scale the solution by
+// adding more hardware". With bid prices reflecting queue depth, added
+// replicas absorb proportional load and throughput grows until
+// coordination costs dominate.
+func E10ScaleOut(cfg Config) (Table, error) {
+	replicaCounts := []int{1, 2, 4, 8, 16}
+	queries := 256
+	if cfg.Quick {
+		replicaCounts = []int{1, 2, 4}
+		queries = 64
+	}
+	t := Table{
+		ID:      "E10",
+		Title:   "throughput vs replica count at fixed offered load",
+		Headers: []string{"replicas", "elapsed", "queries/s", "speedup"},
+		Notes:   "expected shape: near-linear speedup at low replica counts, flattening as coordinator work dominates",
+	}
+	var base float64
+	for _, r := range replicaCounts {
+		elapsed, err := runE10(cfg.Seed, r, queries)
+		if err != nil {
+			return t, err
+		}
+		qps := float64(queries) / elapsed.Seconds()
+		if base == 0 {
+			base = qps
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r),
+			fmtDur(elapsed),
+			fmt.Sprintf("%.0f", qps),
+			fmt.Sprintf("%.1fx", qps/base),
+		})
+	}
+	return t, nil
+}
+
+func runE10(seed int64, replicas, queries int) (time.Duration, error) {
+	def := schema.MustTable("t", []schema.Column{
+		{Name: "id", Kind: value.KindInt, NotNull: true},
+		{Name: "payload", Kind: value.KindString},
+	}, "id")
+	fed := federation.New(federation.NewAgoric())
+	cost := federation.CostModel{
+		Latency: 200 * time.Microsecond, PerRow: 20 * time.Microsecond, LoadPenalty: 1,
+	}
+	var sites []*federation.Site
+	for i := 0; i < replicas; i++ {
+		s := federation.NewSite(fmt.Sprintf("site-%02d", i))
+		s.SetCost(cost)
+		if err := fed.AddSite(s); err != nil {
+			return 0, err
+		}
+		sites = append(sites, s)
+	}
+	frag := federation.NewFragment("f", nil, sites...)
+	if _, err := fed.DefineTable(def, frag); err != nil {
+		return 0, err
+	}
+	var rows []storage.Row
+	for i := int64(0); i < 50; i++ {
+		rows = append(rows, storage.Row{value.NewInt(i), value.NewString("x")})
+	}
+	if err := fed.LoadFragment("t", frag, rows); err != nil {
+		return 0, err
+	}
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, queries)
+	sem := make(chan struct{}, 32) // offered concurrency
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, err := fed.Query(ctx, "SELECT id FROM t WHERE id < 25"); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}

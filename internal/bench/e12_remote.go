@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"cohera/internal/federation"
+	"cohera/internal/remote"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+	"cohera/internal/workload"
+)
+
+// E12Remote quantifies the cost of crossing a real enterprise boundary:
+// the same catalog is queried once as an in-process fragment and once
+// through the HTTP remote-federation path (schema-tagged JSON over a
+// loopback socket). The paper's integration is inherently cross-network;
+// this measures what the wire adds on top of the engine, and how
+// equality pushdown contains it.
+func E12Remote(cfg Config) (Table, error) {
+	rows, queries := 2000, 200
+	if cfg.Quick {
+		rows, queries = 500, 40
+	}
+	t := Table{
+		ID:      "E12",
+		Title:   "in-process vs HTTP federation: per-query latency",
+		Headers: []string{"transport", "query", "mean latency", "rows/query"},
+		Notes:   "expected shape: HTTP adds transport+codec overhead on full scans; pushdown keeps point queries close to local",
+	}
+
+	def := workload.CatalogDef()
+	build := func() *storage.Table {
+		tbl := storage.NewTable(def.Clone("catalog"))
+		if err := tbl.CreateIndex("sku"); err != nil {
+			panic(err)
+		}
+		sup := workload.Suppliers(1, rows, 0, cfg.Seed)[0]
+		grs, err := workload.GroundTruthRows(sup, defaultRates())
+		if err != nil {
+			panic(err)
+		}
+		for i, r := range grs {
+			r[0] = value.NewString(fmt.Sprintf("P%06d", i))
+			if _, err := tbl.Insert(r); err != nil {
+				panic(err)
+			}
+		}
+		return tbl
+	}
+
+	type variant struct {
+		name string
+		fed  *federation.Federation
+	}
+	var variants []variant
+
+	// In-process.
+	localFed := federation.New(federation.NewAgoric())
+	localSite := federation.NewSite("local")
+	if err := localFed.AddSite(localSite); err != nil {
+		return t, err
+	}
+	localTbl := build()
+	localFrag := federation.NewFragment("f", nil, localSite)
+	if _, err := localFed.DefineTable(def.Clone("catalog"), localFrag); err != nil {
+		return t, err
+	}
+	// Register the stored table directly on the site.
+	if err := copyInto(localSite, localTbl); err != nil {
+		return t, err
+	}
+	variants = append(variants, variant{"in-process", localFed})
+
+	// Over HTTP.
+	srv := remote.NewServer()
+	srv.PublishTable(build(), "sku")
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	sources, err := remote.Dial(hs.URL, "").Tables(context.Background())
+	if err != nil {
+		return t, err
+	}
+	httpFed := federation.New(federation.NewAgoric())
+	httpSite := federation.NewSite("http")
+	if err := httpFed.AddSite(httpSite); err != nil {
+		return t, err
+	}
+	httpSite.AddSource(sources[0])
+	if _, err := httpFed.DefineTable(def.Clone("catalog"),
+		federation.NewFragment("f", nil, httpSite)); err != nil {
+		return t, err
+	}
+	variants = append(variants, variant{"http (loopback)", httpFed})
+
+	ctx := context.Background()
+	type q struct {
+		label, sql string
+	}
+	probes := []q{
+		{"point (pushdown)", "SELECT name FROM catalog WHERE sku = 'P000042'"},
+		{"full scan + agg", "SELECT COUNT(*) FROM catalog WHERE qty > 100"},
+	}
+	for _, v := range variants {
+		for _, p := range probes {
+			var total time.Duration
+			var lastRows int
+			for i := 0; i < queries; i++ {
+				start := time.Now()
+				res, err := v.fed.Query(ctx, p.sql)
+				if err != nil {
+					return t, fmt.Errorf("%s %s: %w", v.name, p.label, err)
+				}
+				total += time.Since(start)
+				lastRows = len(res.Rows)
+			}
+			t.Rows = append(t.Rows, []string{
+				v.name, p.label,
+				fmt.Sprintf("%.2fms", float64(total.Microseconds())/float64(queries)/1000),
+				fmt.Sprintf("%d", lastRows),
+			})
+		}
+	}
+	return t, nil
+}
+
+// copyInto loads a built table's rows into the site's local engine.
+func copyInto(site *federation.Site, src *storage.Table) error {
+	dst, err := site.DB().CreateTable(src.Def().Clone(src.Def().Name))
+	if err != nil {
+		return err
+	}
+	if err := dst.CreateIndex("sku"); err != nil {
+		return err
+	}
+	var failed error
+	src.Scan(func(_ int64, r storage.Row) bool {
+		if _, err := dst.Insert(r); err != nil {
+			failed = err
+			return false
+		}
+		return true
+	})
+	return failed
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"cohera/internal/federation"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+	"cohera/internal/warehouse"
+	"cohera/internal/workload"
+	"cohera/internal/wrapper"
+)
+
+// E1Staleness reproduces the paper's central architectural claim
+// (Characteristic 5): warehousing — fetch in advance with periodic
+// refresh — "fundamentally breaks when live information is required",
+// while a federated fetch-on-demand query is always current.
+//
+// Setup: hotel availability across many reservation systems. Between
+// consecutive queries the sources absorb a configurable number of
+// updates (the volatility knob). The warehouse refreshes every R
+// queries. Metric: the fraction of availability answers that disagree
+// with the live ground truth, plus the extraction bandwidth the
+// warehouse pays.
+func E1Staleness(cfg Config) (Table, error) {
+	chains, perChain, queries := 20, 5, 400
+	if cfg.Quick {
+		chains, perChain, queries = 5, 4, 60
+	}
+	updateRates := []int{0, 1, 4, 16}
+	refreshEvery := []int{10, 50}
+	if cfg.Quick {
+		updateRates = []int{1, 8}
+		refreshEvery = []int{10}
+	}
+
+	t := Table{
+		ID:    "E1",
+		Title: "stale-answer fraction: warehouse refresh vs federated fetch on demand",
+		Headers: []string{
+			"updates/query", "warehouse(R)", "stale% warehouse", "stale% federated", "rows extracted",
+		},
+		Notes: "expected shape: warehouse staleness grows with volatility and refresh period; federation stays at 0",
+	}
+	for _, rate := range updateRates {
+		for _, every := range refreshEvery {
+			staleWH, staleFed, extracted, err := runE1(cfg.Seed, chains, perChain, queries, rate, every)
+			if err != nil {
+				return t, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", rate),
+				fmt.Sprintf("every %d", every),
+				fmt.Sprintf("%.1f%%", staleWH*100),
+				fmt.Sprintf("%.1f%%", staleFed*100),
+				fmt.Sprintf("%d", extracted),
+			})
+		}
+	}
+	return t, nil
+}
+
+// runE1 runs one (volatility, refresh) cell and returns the two stale
+// fractions and the warehouse's extraction volume.
+func runE1(seed int64, chains, perChain, queries, updatesPerQuery, refreshEvery int) (staleWH, staleFed float64, extracted int, err error) {
+	def := workload.HotelsDef()
+	hotels := workload.Hotels(chains, perChain, seed)
+
+	// Live source tables, one per chain; both systems read through them.
+	fed := federation.New(federation.NewAgoric())
+	wh := warehouse.New()
+	var tables []*storage.Table
+	var names []string
+	var frags []*federation.Fragment
+	for c, chain := range hotels {
+		tbl := storage.NewTable(def.Clone("hotels"))
+		for _, h := range chain {
+			if _, err := tbl.Insert(workload.HotelRow(h)); err != nil {
+				return 0, 0, 0, err
+			}
+			names = append(names, h.Name)
+		}
+		tables = append(tables, tbl)
+		site := federation.NewSite(fmt.Sprintf("chain-%02d", c))
+		if err := fed.AddSite(site); err != nil {
+			return 0, 0, 0, err
+		}
+		src := wrapper.NewERPSource(fmt.Sprintf("res-%02d", c), tbl)
+		site.AddSource(src)
+		frags = append(frags, federation.NewFragment(fmt.Sprintf("chain-%02d", c), nil, site))
+		if err := wh.Register(src, nil); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	if _, err := fed.DefineTable(def, frags...); err != nil {
+		return 0, 0, 0, err
+	}
+	ctx := context.Background()
+	if err := wh.RefreshAll(ctx); err != nil {
+		return 0, 0, 0, err
+	}
+
+	churn := workload.AvailabilityChurn(tables, seed+1)
+	rng := rand.New(rand.NewSource(seed + 2))
+	truth := func(hotel string) (int64, error) {
+		for _, tbl := range tables {
+			if _, row, err := tbl.GetByKey(value.NewString(hotel)); err == nil {
+				return row[def.ColumnIndex("available")].Int(), nil
+			}
+		}
+		return 0, fmt.Errorf("bench: hotel %q missing", hotel)
+	}
+
+	staleW, staleF := 0, 0
+	for q := 0; q < queries; q++ {
+		for u := 0; u < updatesPerQuery; u++ {
+			if err := churn(); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		if refreshEvery > 0 && q > 0 && q%refreshEvery == 0 {
+			if err := wh.RefreshAll(ctx); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		hotel := names[rng.Intn(len(names))]
+		want, err := truth(hotel)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		sql := fmt.Sprintf("SELECT available FROM hotels WHERE hotel = '%s'", hotel)
+		wres, err := wh.Query(sql)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if len(wres.Rows) != 1 || wres.Rows[0][0].Int() != want {
+			staleW++
+		}
+		fres, err := fed.Query(ctx, sql)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if len(fres.Rows) != 1 || fres.Rows[0][0].Int() != want {
+			staleF++
+		}
+	}
+	return float64(staleW) / float64(queries), float64(staleF) / float64(queries), wh.RowsExtracted(), nil
+}

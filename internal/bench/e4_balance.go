@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"cohera/internal/federation"
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// E4LoadBalance measures adaptive load balancing (Characteristic 8): a
+// fragment replicated across heterogeneous sites under concurrent load,
+// with a new machine joining mid-run. The agoric optimizer's bids
+// reflect each site's *instantaneous* queue, so work spreads and the new
+// machine is used immediately ("the optimizer takes advantage of them as
+// soon as they are added, with no need for downtime"); the centralized
+// baseline routes on its statistics snapshot, piling work on the
+// snapshot-preferred site and ignoring the newcomer until a refresh.
+func E4LoadBalance(cfg Config) (Table, error) {
+	replicas, queriesPhase := 4, 160
+	if cfg.Quick {
+		replicas, queriesPhase = 3, 40
+	}
+	t := Table{
+		ID:      "E4",
+		Title:   "served-subquery balance under concurrency and mid-run scale-out",
+		Headers: []string{"optimizer", "phase", "per-site served", "CoV", "new-site share"},
+		Notes:   "expected shape: agoric spreads load (low CoV) and routes to the new machine immediately; centralized piles on the snapshot favourite",
+	}
+	for _, mode := range []string{"agoric", "centralized"} {
+		rows, err := runE4(cfg.Seed, mode, replicas, queriesPhase)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, rows...)
+	}
+	return t, nil
+}
+
+func runE4(seed int64, mode string, replicas, queriesPhase int) ([][]string, error) {
+	def := schema.MustTable("t", []schema.Column{
+		{Name: "id", Kind: value.KindInt, NotNull: true},
+	}, "id")
+	fed := federation.New(nil)
+	cost := federation.CostModel{
+		Latency: 300 * time.Microsecond, PerRow: 10 * time.Microsecond, LoadPenalty: 1,
+	}
+	var sites []*federation.Site
+	for i := 0; i < replicas; i++ {
+		s := federation.NewSite(fmt.Sprintf("site-%d", i))
+		s.SetCost(cost)
+		if err := fed.AddSite(s); err != nil {
+			return nil, err
+		}
+		sites = append(sites, s)
+	}
+	frag := federation.NewFragment("f", nil, sites...)
+	if _, err := fed.DefineTable(def, frag); err != nil {
+		return nil, err
+	}
+	var rows []storage.Row
+	for i := int64(0); i < 20; i++ {
+		rows = append(rows, storage.Row{value.NewInt(i)})
+	}
+	if err := fed.LoadFragment("t", frag, rows); err != nil {
+		return nil, err
+	}
+	switch mode {
+	case "agoric":
+		fed.SetOptimizer(federation.NewAgoric())
+	default:
+		cen := federation.NewCentralized(fed)
+		cen.ProbeLatency = 0
+		cen.StatsTTL = time.Hour // snapshot never refreshes mid-run
+		cen.RefreshStats()
+		fed.SetOptimizer(cen)
+	}
+	ctx := context.Background()
+	fire := func(n int) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, n)
+		sem := make(chan struct{}, 16)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if _, err := fed.Query(ctx, "SELECT id FROM t WHERE id < 10"); err != nil {
+					errs <- err
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	}
+	// Phase 1: steady state.
+	if err := fire(queriesPhase); err != nil {
+		return nil, err
+	}
+	served := make([]int64, len(sites))
+	for i, s := range sites {
+		served[i] = s.Served()
+		s.ResetCounters()
+	}
+	phase1 := fmt.Sprintf("%v", served)
+	cov1 := coefficientOfVariation(served)
+
+	// Phase 2: a new machine joins with a copy of the fragment.
+	newSite := federation.NewSite("site-new")
+	newSite.SetCost(cost)
+	if err := fed.AddSite(newSite); err != nil {
+		return nil, err
+	}
+	if err := fed.LoadFragment("t", federation.NewFragment("copy", nil, newSite), rows); err != nil {
+		return nil, err
+	}
+	frag.AddReplica(newSite)
+	if err := fire(queriesPhase); err != nil {
+		return nil, err
+	}
+	all := append(append([]*federation.Site{}, sites...), newSite)
+	served2 := make([]int64, len(all))
+	var total int64
+	for i, s := range all {
+		served2[i] = s.Served()
+		total += s.Served()
+	}
+	share := float64(newSite.Served()) / float64(total)
+	out := [][]string{
+		{mode, "steady", phase1, fmt.Sprintf("%.2f", cov1), "-"},
+		{mode, "after join", fmt.Sprintf("%v", served2), fmt.Sprintf("%.2f", coefficientOfVariation(served2)), fmt.Sprintf("%.0f%%", share*100)},
+	}
+	return out, nil
+}
+
+func coefficientOfVariation(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += float64(x)
+	}
+	mean /= float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	varsum := 0.0
+	for _, x := range xs {
+		d := float64(x) - mean
+		varsum += d * d
+	}
+	return math.Sqrt(varsum/float64(len(xs))) / mean
+}

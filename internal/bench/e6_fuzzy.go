@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+
+	"cohera/internal/exec"
+	"cohera/internal/ir"
+	"cohera/internal/workload"
+)
+
+// E6FuzzySearch measures retrieval quality (Characteristic 7): "a query
+// for 'India ink' should return the same answer as one for 'black ink'"
+// (synonyms) and "a query for 'cordless drills' should fetch similar
+// records to one for 'drlls: crdlss'" (fuzzy). We integrate supplier
+// catalogs whose product names are vendor variants, then probe with
+// exact, synonym and typo queries, scoring recall@5 against the
+// canonical ground truth under four search configurations.
+func E6FuzzySearch(cfg Config) (Table, error) {
+	suppliers, items, probes := 12, 18, 150
+	if cfg.Quick {
+		suppliers, items, probes = 4, 10, 45
+	}
+	t := Table{
+		ID:      "E6",
+		Title:   "recall@5 by query kind: plain vs synonym vs fuzzy vs both",
+		Headers: []string{"search mode", "verbatim queries", "canonical queries", "typo queries", "overall"},
+		Notes:   "expected shape: plain search drops on canonical (term-disjoint synonyms) and typo probes; synonym and fuzzy each recover their axis; MATCHES recovers both",
+	}
+
+	// Build the integrated catalog: each row remembers its canonical name.
+	db := exec.NewDatabase()
+	def := workload.CatalogDef()
+	tbl, err := db.CreateTable(def)
+	if err != nil {
+		return t, err
+	}
+	rates := defaultRates()
+	canonicalOf := make(map[string]string) // sku → canonical
+	for _, s := range workload.Suppliers(suppliers, items, 0.1, cfg.Seed) {
+		rows, err := workload.GroundTruthRows(s, rates)
+		if err != nil {
+			return t, err
+		}
+		for i, r := range rows {
+			// SKUs collide across suppliers in the generator; qualify.
+			r[0] = valueString(s.Name + "/" + r[0].Str())
+			if _, err := tbl.Insert(r); err != nil {
+				return t, err
+			}
+			canonicalOf[r[0].Str()] = s.Items[i].Canonical
+		}
+	}
+	// Synonym rings from the vocabulary (the content manager's table).
+	for _, p := range workload.MROVocabulary() {
+		db.Synonyms().Declare(append([]string{p.Canonical}, p.Variants...)...)
+	}
+	queries := workload.SearchQueries(cfg.Seed+1, probes)
+
+	type mode struct {
+		name string
+		opts ir.SearchOptions
+	}
+	modes := []mode{
+		{"plain", ir.SearchOptions{}},
+		{"synonym", ir.SearchOptions{Synonyms: db.Synonyms()}},
+		{"fuzzy", ir.SearchOptions{Fuzzy: true}},
+		{"both (MATCHES)", ir.SearchOptions{Fuzzy: true, Synonyms: db.Synonyms()}},
+	}
+	for _, m := range modes {
+		hitByKind := map[string][2]int{} // kind → (hits, total)
+		for _, q := range queries {
+			opts := m.opts
+			opts.Limit = 5
+			hits, err := tbl.TextSearch("name", q.Query, opts)
+			if err != nil {
+				return t, err
+			}
+			found := false
+			for _, h := range hits {
+				row, err := tbl.Get(h.DocID)
+				if err != nil {
+					continue
+				}
+				if canonicalOf[row[0].Str()] == q.Canonical {
+					found = true
+					break
+				}
+			}
+			hk := hitByKind[q.Kind]
+			hk[1]++
+			if found {
+				hk[0]++
+			}
+			hitByKind[q.Kind] = hk
+		}
+		recall := func(kind string) string {
+			hk := hitByKind[kind]
+			if hk[1] == 0 {
+				return "n/a"
+			}
+			return fmt.Sprintf("%.0f%%", 100*float64(hk[0])/float64(hk[1]))
+		}
+		totHits, tot := 0, 0
+		for _, hk := range hitByKind {
+			totHits += hk[0]
+			tot += hk[1]
+		}
+		t.Rows = append(t.Rows, []string{
+			m.name, recall("verbatim"), recall("canonical"), recall("typo"),
+			fmt.Sprintf("%.0f%%", 100*float64(totHits)/float64(tot)),
+		})
+	}
+	return t, nil
+}

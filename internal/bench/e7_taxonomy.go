@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cohera/internal/taxonomy"
+	"cohera/internal/value"
+	"cohera/internal/workload"
+)
+
+// timeNow/timeSince are indirection points so experiments stay
+// deterministic everywhere except explicit wall-clock measurements.
+var (
+	timeNow   = time.Now
+	timeSince = time.Since
+)
+
+// defaultRates builds the standard currency table for experiments.
+func defaultRates() *value.CurrencyTable { return value.DefaultCurrencyTable() }
+
+// E7TaxonomyMatch measures the semi-automatic taxonomy matcher
+// (Characteristic 3): the paper calls semi-automatic schemes combining
+// system suggestions with user editing "absolutely critical". We derive
+// noisy vendor taxonomies from the integrator's MRO taxonomy, run the
+// matcher, and report suggestion accuracy and how many categories still
+// need human attention, against the fully manual alternative (every
+// category is an edit).
+func E7TaxonomyMatch(cfg Config) (Table, error) {
+	noises := []float64{0.0, 0.1, 0.3, 0.5}
+	if cfg.Quick {
+		noises = []float64{0.1, 0.4}
+	}
+	t := Table{
+		ID:      "E7",
+		Title:   "taxonomy matching accuracy vs label noise",
+		Headers: []string{"label noise", "categories", "accuracy@1", "human edits needed", "manual baseline"},
+		Notes:   "expected shape: high accuracy at realistic noise; edit count a small fraction of full-manual mapping",
+	}
+	src := workload.MROTaxonomy()
+	for _, noise := range noises {
+		vendor, truth := workload.NoisyTaxonomy(src, noise, cfg.Seed)
+		m := taxonomy.NewMatcher(vendor, src)
+		sugs := m.Suggest()
+		correct, attention := 0, 0
+		for _, s := range sugs {
+			if s.Target == truth[s.Source] {
+				correct++
+			}
+			if s.Target == "" || s.Conflict {
+				attention++
+			}
+		}
+		// The effective human cost: review flagged categories plus fix
+		// the silent errors (found during spot checks); full manual cost
+		// is mapping every category by hand.
+		silentErrors := len(sugs) - correct - countFlaggedWrong(sugs, truth)
+		if silentErrors < 0 {
+			silentErrors = 0
+		}
+		edits := attention + silentErrors
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", noise*100),
+			fmt.Sprintf("%d", len(sugs)),
+			fmt.Sprintf("%.0f%%", 100*float64(correct)/float64(len(sugs))),
+			fmt.Sprintf("%d", edits),
+			fmt.Sprintf("%d", len(sugs)),
+		})
+	}
+	// Scale sweep: matcher accuracy and cost at catalog-size taxonomies
+	// (the Home Depot scale question applied to mapping work).
+	shapes := [][2]int{{4, 3}, {6, 3}} // branch, depth → 84, 258 nodes
+	if cfg.Quick {
+		shapes = [][2]int{{3, 3}}
+	}
+	for _, sh := range shapes {
+		big := workload.SyntheticTaxonomy(sh[0], sh[1], cfg.Seed+7)
+		vendor, truth := workload.NoisyTaxonomy(big, 0.2, cfg.Seed+8)
+		start := timeNow()
+		m := taxonomy.NewMatcher(vendor, big)
+		sugs := m.Suggest()
+		elapsed := timeSince(start)
+		correct := 0
+		for _, s := range sugs {
+			if s.Target == truth[s.Source] {
+				correct++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("20%% @ %d nodes", big.Len()),
+			fmt.Sprintf("%d", len(sugs)),
+			fmt.Sprintf("%.0f%%", 100*float64(correct)/float64(len(sugs))),
+			fmt.Sprintf("(in %s)", fmtDur(elapsed)),
+			fmt.Sprintf("%d", len(sugs)),
+		})
+	}
+	return t, nil
+}
+
+// countFlaggedWrong counts wrong suggestions the matcher itself flagged
+// (conflict or no target) — those are caught by review, not silent.
+func countFlaggedWrong(sugs []taxonomy.Suggestion, truth map[string]string) int {
+	n := 0
+	for _, s := range sugs {
+		if s.Target != truth[s.Source] && (s.Conflict || s.Target == "") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cohera/internal/schema"
+	"cohera/internal/transform"
+	"cohera/internal/value"
+	"cohera/internal/workload"
+	"cohera/internal/wrapper"
+)
+
+// E8Pipeline measures the supplier-enablement pipeline at scale
+// (Characteristic 2): the paper's Home Depot example has 60,000
+// suppliers, so the cost per supplier — wrapper setup plus
+// transformation throughput — is the figure of merit. Every supplier
+// publishes in one of three formats; each format gets one *shared*
+// declarative pipeline (rules parameterized by supplier), so the
+// per-supplier configuration is a handful of declarations rather than
+// bespoke code.
+func E8Pipeline(cfg Config) (Table, error) {
+	counts := []int{10, 50, 200}
+	items := 20
+	if cfg.Quick {
+		counts = []int{10, 40}
+		items = 10
+	}
+	t := Table{
+		ID:      "E8",
+		Title:   "supplier feed integration throughput (wrapper + normalize)",
+		Headers: []string{"suppliers", "rows", "elapsed", "rows/s", "discrepancies", "clean%"},
+		Notes:   "expected shape: linear scaling with supplier count; dirty rows surface as discrepancies, not load failures",
+	}
+	for _, n := range counts {
+		rows, elapsed, disc, err := runE8(cfg.Seed, n, items)
+		if err != nil {
+			return t, err
+		}
+		total := n * items
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", total),
+			fmtDur(elapsed),
+			fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()),
+			fmt.Sprintf("%d", disc),
+			fmt.Sprintf("%.1f%%", 100*float64(rows)/float64(total)),
+		})
+	}
+	return t, nil
+}
+
+// e8RawDef is the shared intermediate schema all three wrappers emit.
+func e8RawDef() *schema.Table {
+	return schema.MustTable("raw_feed", []schema.Column{
+		{Name: "part_no", Kind: value.KindString},
+		{Name: "description", Kind: value.KindString},
+		{Name: "unit_price", Kind: value.KindMoney},
+		{Name: "lead_time", Kind: value.KindDuration},
+		{Name: "on_hand", Kind: value.KindInt},
+	})
+}
+
+func runE8(seed int64, suppliers, items int) (clean int, elapsed time.Duration, discrepancies int, err error) {
+	raw := e8RawDef()
+	catalog := workload.CatalogDef()
+	rates := defaultRates()
+	sups := workload.Suppliers(suppliers, items, 0.05, seed)
+
+	// One wrapper per format; induction trains the HTML wrapper once from
+	// two labeled examples on the first HTML supplier's page.
+	var htmlTpl wrapper.LRTemplate
+	for _, s := range sups {
+		if s.Format == workload.FormatHTML && len(s.Items) >= 2 {
+			page := workload.RenderHTML(s)
+			htmlTpl, err = wrapper.Induce(page,
+				[]string{"part_no", "description", "unit_price", "lead_time", "on_hand"},
+				[]wrapper.Example{
+					exampleFor(s, 0), exampleFor(s, 1),
+				})
+			if err != nil {
+				return 0, 0, 0, fmt.Errorf("bench: induction: %w", err)
+			}
+			break
+		}
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	for _, s := range sups {
+		src, err := e8Source(s, raw, htmlTpl)
+		if err != nil {
+			return clean, time.Since(start), discrepancies, err
+		}
+		rows, err := src.Fetch(ctx, nil)
+		if err != nil {
+			return clean, time.Since(start), discrepancies, fmt.Errorf("bench: %s fetch: %w", s.Name, err)
+		}
+		p := transform.NewPipeline(raw, catalog)
+		skuExpr, err := transform.NewExpr("sku", fmt.Sprintf("'%s/' + part_no", s.Name))
+		if err != nil {
+			return clean, time.Since(start), discrepancies, err
+		}
+		supExpr, err := transform.NewExpr("supplier", fmt.Sprintf("'%s'", s.Name))
+		if err != nil {
+			return clean, time.Since(start), discrepancies, err
+		}
+		p.MustAdd(
+			skuExpr, supExpr,
+			transform.Copy{To: "name", From: "description"},
+			transform.Currency{To: "price", From: "unit_price", Into: "USD", Rates: rates},
+			transform.Delivery{To: "delivery", From: "lead_time"},
+			transform.Copy{To: "qty", From: "on_hand"},
+		)
+		out, disc := p.Run(rows)
+		clean += len(out)
+		discrepancies += len(disc)
+	}
+	return clean, time.Since(start), discrepancies, nil
+}
+
+// e8Source builds the right wrapper for a supplier's format.
+func e8Source(s workload.Supplier, raw *schema.Table, htmlTpl wrapper.LRTemplate) (wrapper.Source, error) {
+	switch s.Format {
+	case workload.FormatCSV:
+		doc := workload.RenderCSV(s)
+		return wrapper.NewCSVSource(s.Name, raw,
+			wrapper.StaticFetcher(map[string]string{"u": doc}), "u",
+			[]wrapper.FieldMapping{
+				{Column: "part_no", From: "Part No"},
+				{Column: "description", From: "Description"},
+				{Column: "unit_price", From: "Unit Price"},
+				{Column: "lead_time", From: "Lead Time"},
+				{Column: "on_hand", From: "On Hand"},
+			}), nil
+	case workload.FormatXML:
+		doc := workload.RenderXML(s)
+		return wrapper.NewXMLSource(s.Name, raw,
+			wrapper.StaticFetcher(map[string]string{"u": doc}), "u",
+			"/feed/item", []wrapper.FieldMapping{
+				{Column: "part_no", From: "@code"},
+				{Column: "description", From: "desc"},
+				{Column: "unit_price", From: "price"},
+				{Column: "lead_time", From: "lead"},
+				{Column: "on_hand", From: "stock"},
+			}), nil
+	default:
+		doc := workload.RenderHTML(s)
+		return wrapper.NewHTMLSource(s.Name, raw,
+			wrapper.StaticFetcher(map[string]string{"u": doc}), "u", htmlTpl, nil), nil
+	}
+}
+
+// exampleFor labels one record of a supplier's HTML page for induction.
+func exampleFor(s workload.Supplier, i int) wrapper.Example {
+	it := s.Items[i]
+	return wrapper.Example{Values: []string{
+		it.SKU, htmlEscapeLite(it.Name),
+		priceText(it.PriceCents, s.Currency),
+		deliveryText(it.Days, s.DeliverySemantics),
+		fmt.Sprintf("%d", it.Qty),
+	}}
+}
+
+func htmlEscapeLite(s string) string { return s } // generator names avoid markup
+
+func priceText(cents int64, currency string) string {
+	if currency == "USD" {
+		return fmt.Sprintf("$%d.%02d", cents/100, cents%100)
+	}
+	return fmt.Sprintf("%d.%02d %s", cents/100, cents%100, currency)
+}
+
+func deliveryText(days int, sem value.DurationSemantics) string {
+	switch sem {
+	case value.BusinessDays:
+		return fmt.Sprintf("%d business days", days)
+	case value.NoSundayDays:
+		return fmt.Sprintf("%d days (Sunday excluded)", days)
+	default:
+		return fmt.Sprintf("%d days", days)
+	}
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cohera/internal/syndicate"
+	"cohera/internal/value"
+	"cohera/internal/workload"
+)
+
+// E9Syndication measures custom syndication throughput
+// (Characteristic 4): buyer-dependent pricing and availability via
+// business rules, rendered per recipient in receiver-makes-right (CSV/
+// JSON) and sender-makes-right (legislated XML) formats.
+func E9Syndication(cfg Config) (Table, error) {
+	buyers, itemsPerQuote, quotes := 3, 20, 2000
+	if cfg.Quick {
+		quotes = 300
+	}
+	t := Table{
+		ID:      "E9",
+		Title:   "buyer-specific quoting and formatting throughput",
+		Headers: []string{"output", "rules", "quotes/s", "bytes/quote"},
+		Notes:   "expected shape: rule evaluation is cheap; formatting dominates; all formats within the same order of magnitude",
+	}
+	s := syndicate.New()
+	s.AddRule(
+		syndicate.TierDiscount{Tier: "platinum", Pct: 15},
+		syndicate.TierDiscount{Tier: "gold", Pct: 7},
+		syndicate.VolumeDiscount{MinQty: 100, Pct: 5},
+		syndicate.AvailabilityBump{Tier: "platinum", Extra: 2},
+	)
+	s.AddBundle(syndicate.Bundle{Name: "starter", SKUs: []string{"S0", "S1"}, Pct: 10})
+
+	items := make([]syndicate.Item, itemsPerQuote)
+	for i := range items {
+		p := workload.MROVocabulary()[i%len(workload.MROVocabulary())]
+		items[i] = syndicate.Item{
+			SKU: fmt.Sprintf("S%d", i), Name: p.Canonical,
+			Price: value.NewMoney(p.BasePriceCents, "USD"), Available: int64(i % 7),
+		}
+	}
+	tiers := []string{"platinum", "gold", "standard"}
+	formats := []syndicate.Formatter{
+		syndicate.CSVFormatter{},
+		syndicate.JSONFormatter{},
+		syndicate.LegislatedXML{
+			Root: "MarketFeed", RowElement: "Offer",
+			FieldNames: [5]string{"PartNo", "Description", "UnitPrice", "Quantity", "InStock"},
+		},
+	}
+	for _, f := range formats {
+		start := time.Now()
+		bytes := 0
+		for q := 0; q < quotes; q++ {
+			b := syndicate.Buyer{ID: fmt.Sprintf("b%d", q%buyers), Tier: tiers[q%len(tiers)]}
+			reqs := make([]syndicate.Request, len(items))
+			for i, it := range items {
+				reqs[i] = syndicate.Request{Item: it, Qty: int64(1 + (q+i)%150)}
+			}
+			out := s.QuoteAll(b, reqs)
+			body, err := f.Format(out)
+			if err != nil {
+				return t, err
+			}
+			bytes += len(body)
+		}
+		elapsed := time.Since(start)
+		t.Rows = append(t.Rows, []string{
+			f.ContentType(),
+			"5",
+			fmt.Sprintf("%.0f", float64(quotes)/elapsed.Seconds()),
+			fmt.Sprintf("%d", bytes/quotes),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,8 @@
+package bench
+
+import (
+	"cohera/internal/value"
+)
+
+// valueString wraps value.NewString for brevity in key lookups.
+func valueString(s string) value.Value { return value.NewString(s) }

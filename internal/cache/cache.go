@@ -1,0 +1,411 @@
+// Package cache implements semantic caching of federated query results
+// (paper, Characteristic 5, citing Dar et al. VLDB'96): cached entries
+// are described by the predicate they satisfy, not by key, so a new query
+// whose predicate is *contained* in a cached one is answered locally, and
+// a partially overlapping query fetches only the remainder.
+//
+// The cache handles the single-table, single-column-range query shape
+// that dominates catalog browsing ("price BETWEEN a AND b", "qty > n");
+// anything else passes through to the federation untouched.
+package cache
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"cohera/internal/exec"
+	"cohera/internal/federation"
+	"cohera/internal/plan"
+	"cohera/internal/sqlparse"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// Entry is one cached semantic region: the rows of table satisfying
+// Range, projected to Columns.
+type Entry struct {
+	Table   string
+	Columns []string
+	Range   plan.Range
+	Rows    []storage.Row
+	// rangeIdx is the ordinal of the range column within Columns.
+	rangeIdx int
+	storedAt time.Time
+	lastUsed time.Time
+}
+
+// Cache is a bounded semantic cache. Safe for concurrent use.
+type Cache struct {
+	// MaxEntries bounds the cache (default 64); least-recently-used
+	// regions evict first.
+	MaxEntries int
+	// TTL expires entries (0 = never). Volatile content needs a short
+	// TTL; the staleness experiments sweep it.
+	TTL time.Duration
+
+	mu      sync.Mutex
+	entries []*Entry
+	hits    int
+	misses  int
+	partial int
+}
+
+// New returns a cache with the given capacity (≤0 means 64).
+func New(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 64
+	}
+	return &Cache{MaxEntries: maxEntries}
+}
+
+// Stats reports hit/miss/partial-hit counts.
+func (c *Cache) Stats() (hits, misses, partial int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.partial
+}
+
+// Len reports the number of cached regions.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// lookupLocked finds an entry containing the query region with all
+// requested columns. Expired entries are skipped (and removed lazily).
+func (c *Cache) lookupLocked(table string, cols []string, r plan.Range) *Entry {
+	now := time.Now()
+	kept := c.entries[:0]
+	var found *Entry
+	for _, e := range c.entries {
+		if c.TTL > 0 && now.Sub(e.storedAt) > c.TTL {
+			continue // expired: drop
+		}
+		kept = append(kept, e)
+		if found != nil {
+			continue
+		}
+		if !strings.EqualFold(e.Table, table) {
+			continue
+		}
+		if !columnsSubset(cols, e.Columns) {
+			continue
+		}
+		if e.Range.Contains(r) {
+			found = e
+		}
+	}
+	c.entries = kept
+	return found
+}
+
+func columnsSubset(want, have []string) bool {
+	for _, w := range want {
+		ok := false
+		for _, h := range have {
+			if strings.EqualFold(w, h) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup answers a (table, columns, range) probe from cache. On hit it
+// returns the matching rows projected to cols, in cached order.
+func (c *Cache) Lookup(table string, cols []string, r plan.Range) ([]storage.Row, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.lookupLocked(table, cols, r)
+	if e == nil {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	e.lastUsed = time.Now()
+	idx := make([]int, len(cols))
+	for i, w := range cols {
+		idx[i] = -1
+		for j, h := range e.Columns {
+			if strings.EqualFold(w, h) {
+				idx[i] = j
+				break
+			}
+		}
+	}
+	var out []storage.Row
+	for _, row := range e.Rows {
+		if !r.Satisfies(row[e.rangeIdx]) {
+			continue
+		}
+		pr := make(storage.Row, len(idx))
+		for i, j := range idx {
+			pr[i] = row[j]
+		}
+		out = append(out, pr)
+	}
+	return out, true
+}
+
+// Store caches a region. The range column must be among cols.
+func (c *Cache) Store(table string, cols []string, r plan.Range, rows []storage.Row) error {
+	rangeIdx := -1
+	for i, cn := range cols {
+		if strings.EqualFold(cn, r.Column) {
+			rangeIdx = i
+			break
+		}
+	}
+	if rangeIdx < 0 {
+		return fmt.Errorf("cache: range column %q not in projection %v", r.Column, cols)
+	}
+	e := &Entry{
+		Table: table, Columns: cols, Range: r, Rows: rows,
+		rangeIdx: rangeIdx, storedAt: time.Now(), lastUsed: time.Now(),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Drop regions the new one subsumes.
+	kept := c.entries[:0]
+	for _, old := range c.entries {
+		if strings.EqualFold(old.Table, table) && columnsSubset(old.Columns, cols) && r.Contains(old.Range) {
+			continue
+		}
+		kept = append(kept, old)
+	}
+	c.entries = append(kept, e)
+	for len(c.entries) > c.MaxEntries {
+		// Evict LRU.
+		lru := 0
+		for i, old := range c.entries {
+			if old.lastUsed.Before(c.entries[lru].lastUsed) {
+				lru = i
+			}
+		}
+		c.entries = append(c.entries[:lru], c.entries[lru+1:]...)
+	}
+	return nil
+}
+
+// Remainder returns the sub-ranges of query not covered by cached
+// (0, 1 or 2 ranges): query ∩ complement(cached), clipped to the query.
+// Both ranges must be over the same column; otherwise the whole query is
+// the remainder.
+func Remainder(query, cached plan.Range) []plan.Range {
+	if query.Column != cached.Column {
+		return []plan.Range{query}
+	}
+	if cached.Contains(query) {
+		return nil
+	}
+	var out []plan.Range
+	// Left remainder: everything strictly below the cached region.
+	if !cached.Lo.IsNull() {
+		left := intersect(query, plan.Range{
+			Column: query.Column,
+			Hi:     cached.Lo, HiExclusive: !cached.LoExclusive,
+		})
+		if !rangeEmpty(left) {
+			out = append(out, left)
+		}
+	}
+	// Right remainder: everything strictly above the cached region.
+	if !cached.Hi.IsNull() {
+		right := intersect(query, plan.Range{
+			Column: query.Column,
+			Lo:     cached.Hi, LoExclusive: !cached.HiExclusive,
+		})
+		if !rangeEmpty(right) {
+			out = append(out, right)
+		}
+	}
+	if out == nil {
+		// Not contained yet no remainder survives clipping (e.g. the
+		// cached region is unbounded on both open sides): refetch all.
+		return []plan.Range{query}
+	}
+	return out
+}
+
+// rangeEmpty reports whether a range can match no value (lo above hi, or
+// equal with an exclusive end).
+func rangeEmpty(r plan.Range) bool {
+	if r.Lo.IsNull() || r.Hi.IsNull() {
+		return false
+	}
+	c, err := r.Lo.Compare(r.Hi)
+	if err != nil {
+		return true
+	}
+	return c > 0 || (c == 0 && (r.LoExclusive || r.HiExclusive))
+}
+
+// Querier answers federated queries through the cache. Queries outside
+// the cacheable shape pass through.
+type Querier struct {
+	fed   *federation.Federation
+	cache *Cache
+}
+
+// NewQuerier wraps a federation with a semantic cache.
+func NewQuerier(fed *federation.Federation, c *Cache) *Querier {
+	return &Querier{fed: fed, cache: c}
+}
+
+// Cache exposes the underlying cache for stats.
+func (q *Querier) Cache() *Cache { return q.cache }
+
+// Query answers sql, serving from cache when the query is a single-table
+// projection with one sargable range predicate.
+func (q *Querier) Query(ctx context.Context, sql string) (*exec.Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(sqlparse.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("cache: only SELECT supported")
+	}
+	table, cols, r, cacheable := cacheableShape(sel)
+	if !cacheable {
+		return q.fed.Query(ctx, sql)
+	}
+	// Full containment hit?
+	if rows, ok := q.cache.Lookup(table, cols, r); ok {
+		return &exec.Result{Columns: cols, Rows: rows}, nil
+	}
+	// Partial: find any overlapping entry to subtract.
+	q.mu().Lock()
+	var overlap *Entry
+	for _, e := range q.cache.entries {
+		if strings.EqualFold(e.Table, table) && columnsSubset(cols, e.Columns) && e.Range.Column == r.Column {
+			if len(Remainder(r, e.Range)) < 2 { // at most one side missing
+				overlap = e
+				break
+			}
+		}
+	}
+	q.mu().Unlock()
+
+	if overlap == nil {
+		// Cold miss: execute and cache.
+		res, err := q.fed.Query(ctx, sql)
+		if err != nil {
+			return nil, err
+		}
+		if err := q.cache.Store(table, cols, r, res.Rows); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	// Remainder fetch: query only the missing range(s), merge with the
+	// cached portion.
+	q.cache.mu.Lock()
+	q.cache.partial++
+	q.cache.mu.Unlock()
+	cachedRows, _ := q.cache.Lookup(table, cols, intersect(r, overlap.Range))
+	merged := append([]storage.Row{}, cachedRows...)
+	for _, rem := range Remainder(r, overlap.Range) {
+		remSQL := buildRangeSQL(table, cols, rem)
+		res, err := q.fed.Query(ctx, remSQL)
+		if err != nil {
+			return nil, err
+		}
+		merged = append(merged, res.Rows...)
+	}
+	if err := q.cache.Store(table, cols, r, merged); err != nil {
+		return nil, err
+	}
+	return &exec.Result{Columns: cols, Rows: merged}, nil
+}
+
+func (q *Querier) mu() *sync.Mutex { return &q.cache.mu }
+
+// intersect clips query to the cached region.
+func intersect(query, cached plan.Range) plan.Range {
+	out := query
+	if out.Lo.IsNull() || (!cached.Lo.IsNull() && less(out.Lo, cached.Lo)) {
+		out.Lo, out.LoExclusive = cached.Lo, cached.LoExclusive
+	}
+	if out.Hi.IsNull() || (!cached.Hi.IsNull() && less(cached.Hi, out.Hi)) {
+		out.Hi, out.HiExclusive = cached.Hi, cached.HiExclusive
+	}
+	return out
+}
+
+func less(a, b value.Value) bool {
+	c, err := a.Compare(b)
+	return err == nil && c < 0
+}
+
+// cacheableShape recognizes SELECT col[, col...] FROM t WHERE <one
+// sargable range> with no joins, grouping, ordering, distinct or limit.
+func cacheableShape(sel sqlparse.SelectStmt) (table string, cols []string, r plan.Range, ok bool) {
+	if len(sel.Joins) > 0 || len(sel.GroupBy) > 0 || sel.Having != nil ||
+		len(sel.OrderBy) > 0 || sel.Distinct || sel.Limit >= 0 || sel.Offset > 0 ||
+		sel.From.Alias != "" || sel.Where == nil {
+		return "", nil, plan.Range{}, false
+	}
+	conjuncts := plan.Conjuncts(sel.Where)
+	if len(conjuncts) != 1 {
+		return "", nil, plan.Range{}, false
+	}
+	rr, sarg := plan.Sargable(conjuncts[0])
+	if !sarg {
+		return "", nil, plan.Range{}, false
+	}
+	for _, it := range sel.Items {
+		c, isCol := it.Expr.(sqlparse.ColumnRef)
+		if !isCol || c.Table != "" || it.Alias != "" && !strings.EqualFold(it.Alias, c.Column) {
+			return "", nil, plan.Range{}, false
+		}
+		cols = append(cols, c.Column)
+	}
+	if len(cols) == 0 {
+		return "", nil, plan.Range{}, false
+	}
+	// The range column must be projected for local re-filtering.
+	if !columnsSubset([]string{rr.Column}, cols) {
+		return "", nil, plan.Range{}, false
+	}
+	return sel.From.Name, cols, rr, true
+}
+
+// buildRangeSQL renders SELECT cols FROM table WHERE range.
+func buildRangeSQL(table string, cols []string, r plan.Range) string {
+	var conds []string
+	if !r.Lo.IsNull() {
+		op := ">="
+		if r.LoExclusive {
+			op = ">"
+		}
+		conds = append(conds, fmt.Sprintf("%s %s %s", r.Column, op, renderValue(r.Lo)))
+	}
+	if !r.Hi.IsNull() {
+		op := "<="
+		if r.HiExclusive {
+			op = "<"
+		}
+		conds = append(conds, fmt.Sprintf("%s %s %s", r.Column, op, renderValue(r.Hi)))
+	}
+	where := ""
+	if len(conds) > 0 {
+		where = " WHERE " + strings.Join(conds, " AND ")
+	}
+	return fmt.Sprintf("SELECT %s FROM %s%s", strings.Join(cols, ", "), table, where)
+}
+
+func renderValue(v value.Value) string {
+	if v.Kind() == value.KindString {
+		return "'" + strings.ReplaceAll(v.Str(), "'", "''") + "'"
+	}
+	return v.String()
+}

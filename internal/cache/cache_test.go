@@ -1,0 +1,291 @@
+package cache
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cohera/internal/federation"
+	"cohera/internal/plan"
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+func rng(col string, lo, hi int64) plan.Range {
+	r := plan.Range{Column: col}
+	if lo != -999 {
+		r.Lo = value.NewInt(lo)
+	}
+	if hi != -999 {
+		r.Hi = value.NewInt(hi)
+	}
+	return r
+}
+
+func rows(vals ...int64) []storage.Row {
+	out := make([]storage.Row, len(vals))
+	for i, v := range vals {
+		out[i] = storage.Row{value.NewInt(v), value.NewString("x")}
+	}
+	return out
+}
+
+func TestCacheLookupContainment(t *testing.T) {
+	c := New(8)
+	cols := []string{"qty", "name"}
+	if err := c.Store("parts", cols, rng("qty", 0, 100), rows(5, 50, 99)); err != nil {
+		t.Fatal(err)
+	}
+	// Contained probe hits and re-filters.
+	got, ok := c.Lookup("parts", cols, rng("qty", 40, 60))
+	if !ok || len(got) != 1 || got[0][0].Int() != 50 {
+		t.Errorf("contained lookup = %v, %v", got, ok)
+	}
+	// Projection subset works.
+	got, ok = c.Lookup("parts", []string{"name"}, rng("qty", 0, 100))
+	if !ok || len(got) != 3 || got[0][0].Str() != "x" {
+		t.Errorf("projected lookup = %v, %v", got, ok)
+	}
+	// Non-contained probe misses.
+	if _, ok := c.Lookup("parts", cols, rng("qty", 50, 200)); ok {
+		t.Error("non-contained probe should miss")
+	}
+	// Unknown table and missing column miss.
+	if _, ok := c.Lookup("ghost", cols, rng("qty", 40, 60)); ok {
+		t.Error("unknown table should miss")
+	}
+	if _, ok := c.Lookup("parts", []string{"price"}, rng("qty", 40, 60)); ok {
+		t.Error("missing column should miss")
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 2 || misses != 3 {
+		t.Errorf("stats = %d hits %d misses", hits, misses)
+	}
+}
+
+func TestCacheStoreValidation(t *testing.T) {
+	c := New(2)
+	if err := c.Store("t", []string{"a"}, rng("b", 0, 1), nil); err == nil {
+		t.Error("range column outside projection should fail")
+	}
+}
+
+func TestCacheEvictionLRU(t *testing.T) {
+	c := New(2)
+	cols := []string{"qty"}
+	_ = c.Store("t", cols, rng("qty", 0, 10), rows(1))
+	time.Sleep(time.Millisecond)
+	_ = c.Store("t", cols, rng("qty", 20, 30), rows(25))
+	time.Sleep(time.Millisecond)
+	// Touch the first region so the second becomes LRU.
+	if _, ok := c.Lookup("t", cols, rng("qty", 0, 10)); !ok {
+		t.Fatal("warm lookup missed")
+	}
+	time.Sleep(time.Millisecond)
+	_ = c.Store("t", cols, rng("qty", 40, 50), rows(45))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, ok := c.Lookup("t", cols, rng("qty", 20, 30)); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.Lookup("t", cols, rng("qty", 0, 10)); !ok {
+		t.Error("recently used entry evicted")
+	}
+}
+
+func TestCacheSubsumption(t *testing.T) {
+	c := New(8)
+	cols := []string{"qty"}
+	_ = c.Store("t", cols, rng("qty", 10, 20), rows(15))
+	_ = c.Store("t", cols, rng("qty", 0, 100), rows(15, 50))
+	if c.Len() != 1 {
+		t.Errorf("subsumed entry not dropped: %d", c.Len())
+	}
+}
+
+func TestCacheTTL(t *testing.T) {
+	c := New(8)
+	c.TTL = 10 * time.Millisecond
+	cols := []string{"qty"}
+	_ = c.Store("t", cols, rng("qty", 0, 10), rows(5))
+	if _, ok := c.Lookup("t", cols, rng("qty", 0, 10)); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, ok := c.Lookup("t", cols, rng("qty", 0, 10)); ok {
+		t.Error("expired entry served")
+	}
+}
+
+func TestRemainder(t *testing.T) {
+	// Query [0,100], cached [20,60] → remainders [0,20) and (60,100].
+	rem := Remainder(rng("q", 0, 100), rng("q", 20, 60))
+	if len(rem) != 2 {
+		t.Fatalf("remainders = %v", rem)
+	}
+	if !rem[0].Hi.Equal(value.NewInt(20)) || !rem[0].HiExclusive {
+		t.Errorf("left remainder = %+v", rem[0])
+	}
+	if !rem[1].Lo.Equal(value.NewInt(60)) || !rem[1].LoExclusive {
+		t.Errorf("right remainder = %+v", rem[1])
+	}
+	// Contained → none.
+	if rem := Remainder(rng("q", 30, 40), rng("q", 20, 60)); rem != nil {
+		t.Errorf("contained remainder = %v", rem)
+	}
+	// Right-extension only.
+	rem = Remainder(rng("q", 30, 100), rng("q", 20, 60))
+	if len(rem) != 1 || !rem[0].Lo.Equal(value.NewInt(60)) {
+		t.Errorf("right-only remainder = %v", rem)
+	}
+	// Different columns → full refetch.
+	rem = Remainder(rng("a", 0, 1), rng("b", 0, 1))
+	if len(rem) != 1 || rem[0].Column != "a" {
+		t.Errorf("cross-column remainder = %v", rem)
+	}
+}
+
+// Property-ish check: remainder ∪ (query ∩ cached) covers query exactly.
+func TestRemainderCoverage(t *testing.T) {
+	for lo := int64(0); lo <= 10; lo += 2 {
+		for hi := lo; hi <= 10; hi += 2 {
+			query := rng("q", lo, hi)
+			cached := rng("q", 3, 7)
+			rems := Remainder(query, cached)
+			inter := intersect(query, cached)
+			for v := int64(-1); v <= 12; v++ {
+				val := value.NewInt(v)
+				inQuery := query.Satisfies(val)
+				covered := inter.Satisfies(val) && cached.Satisfies(val)
+				for _, r := range rems {
+					if r.Satisfies(val) {
+						covered = true
+					}
+				}
+				if inQuery != covered {
+					t.Fatalf("query=%+v v=%d inQuery=%v covered=%v rems=%v", query, v, inQuery, covered, rems)
+				}
+			}
+		}
+	}
+}
+
+func setupFed(t *testing.T) *federation.Federation {
+	t.Helper()
+	fed := federation.New(federation.NewAgoric())
+	site := federation.NewSite("s1")
+	if err := fed.AddSite(site); err != nil {
+		t.Fatal(err)
+	}
+	def := schema.MustTable("parts", []schema.Column{
+		{Name: "qty", Kind: value.KindInt, NotNull: true},
+		{Name: "name", Kind: value.KindString},
+	}, "qty")
+	frag := federation.NewFragment("all", nil, site)
+	if _, err := fed.DefineTable(def, frag); err != nil {
+		t.Fatal(err)
+	}
+	var batch []storage.Row
+	for i := int64(0); i < 100; i++ {
+		batch = append(batch, storage.Row{value.NewInt(i), value.NewString("part")})
+	}
+	if err := fed.LoadFragment("parts", frag, batch); err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+func TestQuerierColdWarmPartial(t *testing.T) {
+	fed := setupFed(t)
+	q := NewQuerier(fed, New(8))
+	ctx := context.Background()
+	// Cold miss.
+	res, err := q.Query(ctx, "SELECT qty FROM parts WHERE qty BETWEEN 10 AND 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 31 {
+		t.Fatalf("cold rows = %d", len(res.Rows))
+	}
+	// Warm hit: contained range.
+	res, err = q.Query(ctx, "SELECT qty FROM parts WHERE qty BETWEEN 20 AND 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 11 {
+		t.Fatalf("warm rows = %d", len(res.Rows))
+	}
+	hits, _, _ := q.Cache().Stats()
+	if hits == 0 {
+		t.Error("warm query did not hit cache")
+	}
+	// Partial: extends right; remainder fetched, then fully cached.
+	res, err = q.Query(ctx, "SELECT qty FROM parts WHERE qty BETWEEN 10 AND 60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 51 {
+		t.Fatalf("partial rows = %d", len(res.Rows))
+	}
+	_, _, partial := q.Cache().Stats()
+	if partial != 1 {
+		t.Errorf("partial count = %d", partial)
+	}
+	// And the union is now cached.
+	res, err = q.Query(ctx, "SELECT qty FROM parts WHERE qty BETWEEN 10 AND 60")
+	if err != nil || len(res.Rows) != 51 {
+		t.Fatalf("union hit = %d, %v", len(res.Rows), err)
+	}
+}
+
+func TestQuerierPassthrough(t *testing.T) {
+	fed := setupFed(t)
+	q := NewQuerier(fed, New(8))
+	ctx := context.Background()
+	// Aggregates, joins etc. bypass the cache.
+	res, err := q.Query(ctx, "SELECT COUNT(*) FROM parts")
+	if err != nil || res.Rows[0][0].Int() != 100 {
+		t.Fatalf("passthrough = %v, %v", res, err)
+	}
+	if q.Cache().Len() != 0 {
+		t.Error("non-cacheable query polluted the cache")
+	}
+	if _, err := q.Query(ctx, "garbage"); err == nil {
+		t.Error("parse error should surface")
+	}
+	if _, err := q.Query(ctx, "DELETE FROM parts"); err == nil {
+		t.Error("non-select should fail")
+	}
+}
+
+func TestCacheableShape(t *testing.T) {
+	good := []string{
+		"SELECT qty FROM parts WHERE qty > 5",
+		"SELECT qty, name FROM parts WHERE qty BETWEEN 1 AND 2",
+		"SELECT qty FROM parts WHERE qty = 7",
+	}
+	for _, sql := range good {
+		stmt, _ := sqlparseParse(t, sql)
+		if _, _, _, ok := cacheableShape(stmt); !ok {
+			t.Errorf("%q should be cacheable", sql)
+		}
+	}
+	bad := []string{
+		"SELECT name FROM parts WHERE qty > 5",            // range col not projected
+		"SELECT qty FROM parts",                           // no predicate
+		"SELECT qty FROM parts WHERE qty > 5 AND qty < 9", // two conjuncts
+		"SELECT qty FROM parts WHERE name LIKE 'x%'",      // not sargable
+		"SELECT DISTINCT qty FROM parts WHERE qty > 5",
+		"SELECT qty FROM parts WHERE qty > 5 LIMIT 3",
+		"SELECT COUNT(*) FROM parts WHERE qty > 5",
+		"SELECT qty FROM parts ORDER BY qty",
+	}
+	for _, sql := range bad {
+		stmt, _ := sqlparseParse(t, sql)
+		if _, _, _, ok := cacheableShape(stmt); ok {
+			t.Errorf("%q should not be cacheable", sql)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package cache
+
+import (
+	"testing"
+
+	"cohera/internal/sqlparse"
+)
+
+func sqlparseParse(t *testing.T, sql string) (sqlparse.SelectStmt, error) {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	sel, ok := stmt.(sqlparse.SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T", sql, stmt)
+	}
+	return sel, nil
+}

@@ -1,0 +1,73 @@
+package cache
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cohera/internal/value"
+)
+
+// TestQuerierTTLRefetchesVolatileData wires a TTL'd cache to a live
+// federation: cached answers serve inside the TTL (stale by design),
+// then expire and refetch the current data — the knob that makes
+// semantic caching safe for volatile content.
+func TestQuerierTTLRefetchesVolatileData(t *testing.T) {
+	fed := setupFed(t)
+	c := New(8)
+	c.TTL = 50 * time.Millisecond
+	q := NewQuerier(fed, c)
+	ctx := context.Background()
+	const sql = "SELECT qty, name FROM parts WHERE qty BETWEEN 10 AND 12"
+	res, err := q.Query(ctx, sql)
+	if err != nil || len(res.Rows) != 3 {
+		t.Fatalf("cold = %v, %v", res, err)
+	}
+	// The source changes.
+	gt, err := fed.Table("parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := gt.Fragments[0].Replicas()[0]
+	tbl, err := site.DB().Table("parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, row, err := tbl.GetByKey(value.NewInt(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row[1] = value.NewString("updated")
+	if err := tbl.Update(id, row); err != nil {
+		t.Fatal(err)
+	}
+	// Within the TTL the cached (stale) answer serves.
+	res, err = q.Query(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := false
+	for _, r := range res.Rows {
+		if r[0].Int() == 11 && r[1].Str() != "updated" {
+			stale = true
+		}
+	}
+	if !stale {
+		t.Error("expected the cached answer inside the TTL")
+	}
+	// After expiry the fresh row comes back.
+	time.Sleep(60 * time.Millisecond)
+	res, err = q.Query(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := false
+	for _, r := range res.Rows {
+		if r[0].Int() == 11 && r[1].Str() == "updated" {
+			fresh = true
+		}
+	}
+	if !fresh {
+		t.Error("expired cache did not refetch")
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"cohera/internal/remote"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+	"cohera/internal/workload"
+)
+
+func TestAttachRemote(t *testing.T) {
+	// A remote enterprise serving its catalog over HTTP.
+	def := workload.CatalogDef()
+	tbl := storage.NewTable(def.Clone("catalog"))
+	sup := workload.Suppliers(1, 7, 0, 555)[0]
+	rows, err := workload.GroundTruthRows(sup, value.DefaultCurrencyTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		r[0] = value.NewString("remote/" + r[0].Str())
+		if _, err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := remote.NewServer()
+	srv.Token = "sesame"
+	srv.PublishTable(tbl, "sku")
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	// The integrator already has a local fragment of the same table.
+	in, _ := buildIntegrator(t, Options{})
+	ctx := context.Background()
+	base, err := in.Query(ctx, "SELECT COUNT(*) FROM catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attached, err := in.AttachRemote(ctx, hs.URL, "sesame")
+	if err != nil {
+		t.Fatalf("AttachRemote: %v", err)
+	}
+	if len(attached) != 1 || attached[0] != "catalog" {
+		t.Fatalf("attached = %v", attached)
+	}
+	res, err := in.Query(ctx, "SELECT COUNT(*) FROM catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != base.Rows[0][0].Int()+7 {
+		t.Errorf("count after attach = %v, want +7 over %v", res.Rows[0][0], base.Rows[0][0])
+	}
+	// Live: a remote insert is visible on the next federated query.
+	extra := rows[0].Clone()
+	extra[0] = value.NewString("remote/EXTRA")
+	if _, err := tbl.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = in.Query(ctx, "SELECT COUNT(*) FROM catalog")
+	if res.Rows[0][0].Int() != base.Rows[0][0].Int()+8 {
+		t.Errorf("remote insert invisible: %v", res.Rows[0][0])
+	}
+	// Wrong token fails cleanly.
+	if _, err := in.AttachRemote(ctx, hs.URL, "wrong"); err == nil {
+		t.Error("bad token should fail")
+	}
+	// Unreachable server fails cleanly.
+	if _, err := in.AttachRemote(ctx, "http://127.0.0.1:1", ""); err == nil {
+		t.Error("dead server should fail")
+	}
+}

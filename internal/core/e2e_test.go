@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"cohera/internal/schema"
+	"cohera/internal/transform"
+	"cohera/internal/value"
+	"cohera/internal/workload"
+	"cohera/internal/wrapper"
+)
+
+// TestEndToEndOverHTTP drives the complete integration path over real
+// HTTP: a cookie-gated CSV feed and a scraped HTML page are wrapped,
+// normalized, federated, viewed and syndicated — the full Characteristic
+// 1→8 journey with actual sockets in the loop.
+func TestEndToEndOverHTTP(t *testing.T) {
+	sup := workload.Suppliers(2, 8, 0, 321)
+	csvSup, htmlSup := sup[0], sup[1]
+	csvSup.Currency = "EUR"
+
+	var csvFetches atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/login", func(w http.ResponseWriter, r *http.Request) {
+		if r.FormValue("user") != "integrator" {
+			http.Error(w, "no", http.StatusForbidden)
+			return
+		}
+		http.SetCookie(w, &http.Cookie{Name: "sid", Value: "ok", Path: "/"})
+	})
+	mux.HandleFunc("/feed.csv", func(w http.ResponseWriter, r *http.Request) {
+		if c, err := r.Cookie("sid"); err != nil || c.Value != "ok" {
+			http.Error(w, "login required", http.StatusUnauthorized)
+			return
+		}
+		csvFetches.Add(1)
+		if _, err := w.Write([]byte(workload.RenderCSV(csvSup))); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	mux.HandleFunc("/catalog.html", func(w http.ResponseWriter, r *http.Request) {
+		if _, err := w.Write([]byte(workload.RenderHTML(htmlSup))); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	ctx := context.Background()
+	in := New(Options{})
+	def := workload.CatalogDef()
+	if _, err := in.AddSite("gated"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.AddSite("scraped"); err != nil {
+		t.Fatal(err)
+	}
+	frags, err := in.DefineTable(def,
+		FragmentSpec{ID: "gated", Replicas: []string{"gated"}},
+		FragmentSpec{ID: "scraped", Replicas: []string{"scraped"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw := schema.MustTable("raw_feed", []schema.Column{
+		{Name: "part_no", Kind: value.KindString},
+		{Name: "description", Kind: value.KindString},
+		{Name: "unit_price", Kind: value.KindMoney},
+		{Name: "lead_time", Kind: value.KindDuration},
+		{Name: "on_hand", Kind: value.KindInt},
+	})
+	pipeline := func(name string) *transform.Pipeline {
+		p := transform.NewPipeline(raw, def)
+		sku, err := transform.NewExpr("sku", "'"+name+"/' + part_no")
+		if err != nil {
+			t.Fatal(err)
+		}
+		supplier, err := transform.NewExpr("supplier", "'"+name+"'")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.MustAdd(sku, supplier,
+			transform.Copy{To: "name", From: "description"},
+			transform.Currency{To: "price", From: "unit_price", Into: "USD", Rates: in.Rates()},
+			transform.Delivery{To: "delivery", From: "lead_time"},
+			transform.Copy{To: "qty", From: "on_hand"},
+		)
+		return p
+	}
+
+	// Source 1: cookie-gated CSV over HTTP, registered LIVE (fetch on
+	// demand, through the transforming source).
+	sess, err := wrapper.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Login(ctx, srv.URL+"/login", map[string]string{"user": "integrator"}); err != nil {
+		t.Fatal(err)
+	}
+	csvSrc := wrapper.NewCSVSource("gated-feed", raw, sess, srv.URL+"/feed.csv",
+		[]wrapper.FieldMapping{
+			{Column: "part_no", From: "Part No"},
+			{Column: "description", From: "Description"},
+			{Column: "unit_price", From: "Unit Price"},
+			{Column: "lead_time", From: "Lead Time"},
+			{Column: "on_hand", From: "On Hand"},
+		})
+	if err := in.RegisterSource("gated", csvSrc, pipeline("gated")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Source 2: HTML page scraped with a wrapper induced over HTTP, then
+	// INGESTED (fetch in advance).
+	page, err := sess.Get(ctx, srv.URL+"/catalog.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl, err := wrapper.Induce(page,
+		[]string{"part_no", "description", "unit_price", "lead_time", "on_hand"},
+		[]wrapper.Example{htmlExample(htmlSup, 0), htmlExample(htmlSup, 1)})
+	if err != nil {
+		t.Fatalf("induction over HTTP: %v", err)
+	}
+	htmlSrc := wrapper.NewHTMLSource("scraped-page", raw, sess, srv.URL+"/catalog.html", tpl, nil)
+	disc, err := in.Ingest(ctx, "catalog", frags[1], htmlSrc, pipeline("scraped"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(disc) != 0 {
+		t.Fatalf("discrepancies: %v", disc)
+	}
+
+	// Query both: a live HTTP fetch happens for the gated fragment.
+	res, err := in.Query(ctx, "SELECT supplier, COUNT(*) AS n FROM catalog GROUP BY supplier ORDER BY supplier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1].Int() != 8 || res.Rows[1][1].Int() != 8 {
+		t.Fatalf("integrated counts = %v", res.Rows)
+	}
+	if csvFetches.Load() == 0 {
+		t.Error("gated feed never fetched over HTTP")
+	}
+	// Prices normalized from EUR.
+	res, err = in.Query(ctx, "SELECT price FROM catalog WHERE supplier = 'gated' LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, cur := res.Rows[0][0].Money(); cur != "USD" {
+		t.Errorf("unnormalized currency %s", cur)
+	}
+	// A view over the mixed federation, then syndicated output.
+	if _, err := in.CreateView(ctx, "snapshot", "SELECT sku, qty FROM catalog", 0); err != nil {
+		t.Fatal(err)
+	}
+	xmlDoc, err := in.QueryXML(ctx, "SELECT sku, qty FROM snapshot ORDER BY sku LIMIT 2", "feed", "item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(xmlDoc, "<item>") != 2 {
+		t.Errorf("xml = %q", xmlDoc)
+	}
+	fetchesBefore := csvFetches.Load()
+	if _, err := in.Query(ctx, "SELECT COUNT(*) FROM snapshot"); err != nil {
+		t.Fatal(err)
+	}
+	if csvFetches.Load() != fetchesBefore {
+		t.Error("view query should not touch the remote feed")
+	}
+}
+
+func htmlExample(s workload.Supplier, i int) wrapper.Example {
+	it := s.Items[i]
+	price := "$" + moneyText(it.PriceCents)
+	if s.Currency != "USD" {
+		price = moneyText(it.PriceCents) + " " + s.Currency
+	}
+	lead := deliveryTextFor(it.Days, s.DeliverySemantics)
+	return wrapper.Example{Values: []string{
+		it.SKU, it.Name, price, lead, fmt.Sprintf("%d", it.Qty),
+	}}
+}
+
+func moneyText(cents int64) string {
+	return fmt.Sprintf("%d.%02d", cents/100, cents%100)
+}
+
+func deliveryTextFor(days int, sem value.DurationSemantics) string {
+	switch sem {
+	case value.BusinessDays:
+		return fmt.Sprintf("%d business days", days)
+	case value.NoSundayDays:
+		return fmt.Sprintf("%d days (Sunday excluded)", days)
+	default:
+		return fmt.Sprintf("%d days", days)
+	}
+}

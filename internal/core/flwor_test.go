@@ -1,0 +1,35 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestQueryFLWOR(t *testing.T) {
+	in, _ := buildIntegrator(t, Options{})
+	ctx := context.Background()
+	out, err := in.QueryFLWOR(ctx,
+		"SELECT sku, qty FROM catalog",
+		`for $r in /result/row where $r/qty > 500 order by $r/qty descending
+		 return <stocked sku="{$r/sku}">{$r/qty}</stocked>`,
+		"inventory")
+	if err != nil {
+		t.Fatalf("QueryFLWOR: %v", err)
+	}
+	if !strings.HasPrefix(out, "<inventory>") || !strings.Contains(out, "<stocked sku=") {
+		t.Errorf("flwor output = %q", out)
+	}
+	// Descending order by qty.
+	first := strings.Index(out, "<stocked")
+	if first < 0 {
+		t.Fatal("no results")
+	}
+	// Errors propagate from each stage.
+	if _, err := in.QueryFLWOR(ctx, "bad sql", "for $r in /x return <y/>", "r"); err == nil {
+		t.Error("bad SQL should fail")
+	}
+	if _, err := in.QueryFLWOR(ctx, "SELECT sku FROM catalog", "not flwor", "r"); err == nil {
+		t.Error("bad FLWOR should fail")
+	}
+}

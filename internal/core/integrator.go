@@ -1,0 +1,406 @@
+// Package core exposes the content integration system's public API: the
+// Integrator, a facade over the federated query processor, wrappers,
+// transformation workbench, taxonomies, materialized views, semantic
+// cache and syndication engine — the same composition the paper's §4
+// describes for the Cohera Content Integration System.
+//
+// A typical session:
+//
+//	in := core.New(core.Options{})
+//	site, _ := in.AddSite("acme")
+//	in.RegisterSource("acme", src, pipeline)          // fetch on demand
+//	in.DefineTable(def, core.FragmentSpec{...})       // global schema
+//	in.CreateView(ctx, "static_info", sql, time.Hour) // fetch in advance
+//	res, _ := in.Query(ctx, "SELECT ... WHERE FUZZY(name, 'drlls')")
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"cohera/internal/cache"
+	"cohera/internal/exec"
+	"cohera/internal/federation"
+	"cohera/internal/ir"
+	"cohera/internal/mview"
+	"cohera/internal/remote"
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/syndicate"
+	"cohera/internal/taxonomy"
+	"cohera/internal/transform"
+	"cohera/internal/value"
+	"cohera/internal/wrapper"
+	"cohera/internal/xmlq"
+)
+
+// Options configure a new Integrator.
+type Options struct {
+	// Optimizer overrides the federated optimizer (default: agoric).
+	Optimizer federation.Optimizer
+	// EnableCache turns on the semantic result cache.
+	EnableCache bool
+	// CacheEntries bounds the semantic cache (default 64).
+	CacheEntries int
+	// CacheTTL expires cached regions (0 = never); volatile content
+	// should set this low.
+	CacheTTL time.Duration
+	// Rates overrides the currency table (default: DefaultCurrencyTable).
+	Rates *value.CurrencyTable
+}
+
+// Integrator is the top-level content integration system.
+type Integrator struct {
+	fed   *federation.Federation
+	views *mview.Manager
+	cq    *cache.Querier
+	rates *value.CurrencyTable
+	synd  *syndicate.Syndicator
+
+	mu         sync.RWMutex
+	taxonomies map[string]*taxonomy.Taxonomy
+}
+
+// New assembles an integrator.
+func New(opts Options) *Integrator {
+	opt := opts.Optimizer
+	if opt == nil {
+		opt = federation.NewAgoric()
+	}
+	fed := federation.New(opt)
+	views, err := mview.NewManager(fed, "matview-cache")
+	if err != nil {
+		// Only possible on a site-name collision with an empty federation;
+		// unreachable in practice.
+		panic(err)
+	}
+	rates := opts.Rates
+	if rates == nil {
+		rates = value.DefaultCurrencyTable()
+	}
+	in := &Integrator{
+		fed:        fed,
+		views:      views,
+		rates:      rates,
+		synd:       syndicate.New(),
+		taxonomies: make(map[string]*taxonomy.Taxonomy),
+	}
+	if opts.EnableCache {
+		c := cache.New(opts.CacheEntries)
+		c.TTL = opts.CacheTTL
+		in.cq = cache.NewQuerier(fed, c)
+	}
+	return in
+}
+
+// Federation exposes the underlying federated engine.
+func (in *Integrator) Federation() *federation.Federation { return in.fed }
+
+// Views exposes the materialized view manager.
+func (in *Integrator) Views() *mview.Manager { return in.views }
+
+// Rates exposes the currency table used by normalization rules.
+func (in *Integrator) Rates() *value.CurrencyTable { return in.rates }
+
+// Synonyms exposes the federation-wide synonym table.
+func (in *Integrator) Synonyms() *ir.Synonyms { return in.fed.Synonyms() }
+
+// Syndicator exposes the custom syndication engine.
+func (in *Integrator) Syndicator() *syndicate.Syndicator { return in.synd }
+
+// Cache exposes the semantic cache (nil when disabled).
+func (in *Integrator) Cache() *cache.Cache {
+	if in.cq == nil {
+		return nil
+	}
+	return in.cq.Cache()
+}
+
+// AddSite creates and registers a federation site.
+func (in *Integrator) AddSite(name string) (*federation.Site, error) {
+	s := federation.NewSite(name)
+	if err := in.fed.AddSite(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// FragmentSpec declares one fragment of a global table at definition
+// time: its id, optional predicate SQL, and the replica site names.
+type FragmentSpec struct {
+	ID        string
+	Predicate string // optional, e.g. "region = 'west'"
+	Replicas  []string
+}
+
+// DefineTable registers a global table from fragment specs.
+func (in *Integrator) DefineTable(def *schema.Table, specs ...FragmentSpec) ([]*federation.Fragment, error) {
+	var frags []*federation.Fragment
+	for _, spec := range specs {
+		var sites []*federation.Site
+		for _, name := range spec.Replicas {
+			s, err := in.fed.Site(name)
+			if err != nil {
+				return nil, err
+			}
+			sites = append(sites, s)
+		}
+		frag, err := buildFragment(spec, sites)
+		if err != nil {
+			return nil, err
+		}
+		frags = append(frags, frag)
+	}
+	if _, err := in.fed.DefineTable(def, frags...); err != nil {
+		return nil, err
+	}
+	return frags, nil
+}
+
+// RegisterSource attaches a wrapper source to a site, optionally behind a
+// transformation pipeline (so the federation only ever sees normalized
+// rows). The source then serves fetch-on-demand subqueries.
+func (in *Integrator) RegisterSource(siteName string, src wrapper.Source, p *transform.Pipeline) error {
+	s, err := in.fed.Site(siteName)
+	if err != nil {
+		return err
+	}
+	if p != nil {
+		src = &transformedSource{src: src, pipeline: p}
+	}
+	s.AddSource(src)
+	return nil
+}
+
+// AttachRemote federates another enterprise's coherad-style server: each
+// remote table becomes an additional fragment of the matching global
+// table, or a new single-fragment global table when the name is new. It
+// returns the attached table names.
+func (in *Integrator) AttachRemote(ctx context.Context, url, token string) ([]string, error) {
+	sources, err := remote.Dial(url, token).Tables(ctx)
+	if err != nil {
+		return nil, err
+	}
+	site, err := in.AddSite(url)
+	if err != nil {
+		return nil, err
+	}
+	var attached []string
+	for _, src := range sources {
+		site.AddSource(src)
+		frag := federation.NewFragment(url, nil, site)
+		if err := in.fed.AddFragment(src.Schema().Name, frag); err != nil {
+			if _, err := in.fed.DefineTable(src.Schema().Clone(src.Schema().Name), frag); err != nil {
+				return attached, err
+			}
+		}
+		attached = append(attached, src.Schema().Name)
+	}
+	return attached, nil
+}
+
+// Ingest pulls a source once through a pipeline and loads the clean rows
+// into a fragment — the fetch-in-advance path for slowly changing
+// catalogs. It returns the transformation discrepancies for the content
+// manager to review.
+func (in *Integrator) Ingest(ctx context.Context, table string, frag *federation.Fragment, src wrapper.Source, p *transform.Pipeline) ([]transform.Discrepancy, error) {
+	rows, err := src.Fetch(ctx, nil)
+	if err != nil {
+		return nil, err
+	}
+	var disc []transform.Discrepancy
+	if p != nil {
+		rows, disc = p.Run(rows)
+	}
+	if err := in.fed.LoadFragment(table, frag, rows); err != nil {
+		return disc, err
+	}
+	return disc, nil
+}
+
+// Query executes a federated SQL query, through the semantic cache when
+// enabled.
+func (in *Integrator) Query(ctx context.Context, sql string) (*exec.Result, error) {
+	if in.cq != nil {
+		return in.cq.Query(ctx, sql)
+	}
+	return in.fed.Query(ctx, sql)
+}
+
+// Exec runs any statement: SELECTs federate like Query; INSERT routes to
+// the fragment whose predicate accepts each row (writing every live
+// replica); UPDATE/DELETE broadcast to non-disjoint fragments. The
+// DMLResult (nil for SELECTs) reports affected rows and any down
+// replicas that missed the write.
+func (in *Integrator) Exec(ctx context.Context, sql string) (*exec.Result, *federation.DMLResult, error) {
+	return in.fed.Exec(ctx, sql)
+}
+
+// QueryXML executes a federated query and renders the result as an XML
+// document (Characteristic 6's "multiple output formats").
+func (in *Integrator) QueryXML(ctx context.Context, sql, root, row string) (string, error) {
+	res, err := in.Query(ctx, sql)
+	if err != nil {
+		return "", err
+	}
+	rows := make([][]value.Value, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = r
+	}
+	doc, err := xmlq.ResultToXML(res.Columns, rows, root, row)
+	if err != nil {
+		return "", err
+	}
+	return doc.String(), nil
+}
+
+// QueryXPath executes a federated query, materializes the result as an
+// integrated XML view, and evaluates an XPath over it, returning the
+// matches' text — "XPath queries over integrated XML views of the data".
+func (in *Integrator) QueryXPath(ctx context.Context, sql, path string) ([]string, error) {
+	xmlDoc, err := in.QueryXML(ctx, sql, "result", "row")
+	if err != nil {
+		return nil, err
+	}
+	doc, err := xmlq.ParseXMLString(xmlDoc)
+	if err != nil {
+		return nil, err
+	}
+	nodes, err := xmlq.XPath(doc, path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		if n.IsText() {
+			out[i] = strings.TrimSpace(n.Text)
+		} else {
+			out[i] = n.InnerText()
+		}
+	}
+	return out, nil
+}
+
+// QueryFLWOR executes a federated SQL query, materializes the result as
+// an integrated XML view (<result><row>…</row></result>), and runs a
+// FLWOR query over it — the XQuery-style access the paper anticipates
+// arriving after XPath. root names the output document element.
+func (in *Integrator) QueryFLWOR(ctx context.Context, sql, flwor, root string) (string, error) {
+	q, err := xmlq.ParseFLWOR(flwor)
+	if err != nil {
+		return "", err
+	}
+	xmlDoc, err := in.QueryXML(ctx, sql, "result", "row")
+	if err != nil {
+		return "", err
+	}
+	doc, err := xmlq.ParseXMLString(xmlDoc)
+	if err != nil {
+		return "", err
+	}
+	out, err := q.EvalToDoc(doc, root)
+	if err != nil {
+		return "", err
+	}
+	return out.String(), nil
+}
+
+// CreateView defines a materialized view refreshed every interval
+// (0 = manual).
+func (in *Integrator) CreateView(ctx context.Context, name, sql string, interval time.Duration) (*mview.View, error) {
+	return in.views.Create(ctx, name, sql, interval)
+}
+
+// RefreshView refreshes a view immediately.
+func (in *Integrator) RefreshView(ctx context.Context, name string) error {
+	return in.views.Refresh(ctx, name)
+}
+
+// DefineTaxonomy registers a taxonomy under its name.
+func (in *Integrator) DefineTaxonomy(t *taxonomy.Taxonomy) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.taxonomies[strings.ToLower(t.Name)] = t
+}
+
+// Taxonomy fetches a registered taxonomy.
+func (in *Integrator) Taxonomy(name string) (*taxonomy.Taxonomy, error) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	t, ok := in.taxonomies[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("core: no taxonomy %q", name)
+	}
+	return t, nil
+}
+
+// Classify assigns a product name to a category of the named taxonomy.
+func (in *Integrator) Classify(taxonomyName, productName string) (string, error) {
+	t, err := in.Taxonomy(taxonomyName)
+	if err != nil {
+		return "", err
+	}
+	code, _, err := taxonomy.NewClassifier(t).Classify(productName)
+	return code, err
+}
+
+// ExpandCategories expands a free-text category query to the matching
+// subtree codes of the named taxonomy — used to build IN-lists for
+// hierarchical catalog queries.
+func (in *Integrator) ExpandCategories(taxonomyName, query string) ([]string, error) {
+	t, err := in.Taxonomy(taxonomyName)
+	if err != nil {
+		return nil, err
+	}
+	return t.ExpandCodes(query, 0.5), nil
+}
+
+// transformedSource runs every fetch through a transformation pipeline,
+// so remote heterogeneity is invisible past the wrapper boundary.
+// Discrepant rows are dropped (they surface through Ingest for review).
+type transformedSource struct {
+	src      wrapper.Source
+	pipeline *transform.Pipeline
+}
+
+// Name implements wrapper.Source.
+func (t *transformedSource) Name() string { return t.src.Name() }
+
+// Schema implements wrapper.Source: the pipeline's target schema.
+func (t *transformedSource) Schema() *schema.Table { return t.pipeline.Target() }
+
+// Capabilities implements wrapper.Source. Pushdown capabilities do not
+// survive transformation (the remote filters raw columns, not normalized
+// ones), so only volatility propagates.
+func (t *transformedSource) Capabilities() wrapper.Capabilities {
+	return wrapper.Capabilities{Volatile: t.src.Capabilities().Volatile}
+}
+
+// Fetch implements wrapper.Source.
+func (t *transformedSource) Fetch(ctx context.Context, filters []wrapper.Filter) ([]storage.Row, error) {
+	raw, err := t.src.Fetch(ctx, nil)
+	if err != nil {
+		return nil, err
+	}
+	clean, _ := t.pipeline.Run(raw)
+	return clean, nil
+}
+
+// buildFragment compiles a FragmentSpec.
+func buildFragment(spec FragmentSpec, sites []*federation.Site) (*federation.Fragment, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("core: fragment %q has no replicas", spec.ID)
+	}
+	var pred fragPred
+	if spec.Predicate != "" {
+		e, err := parsePredicate(spec.Predicate)
+		if err != nil {
+			return nil, fmt.Errorf("core: fragment %q predicate: %w", spec.ID, err)
+		}
+		pred = e
+	}
+	return federation.NewFragment(spec.ID, pred, sites...), nil
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"cohera/internal/federation"
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/transform"
+	"cohera/internal/value"
+	"cohera/internal/workload"
+	"cohera/internal/wrapper"
+)
+
+// buildIntegrator wires a small two-supplier integration: one CSV feed
+// ingested (fetch in advance), one ERP source live (fetch on demand).
+func buildIntegrator(t *testing.T, opts Options) (*Integrator, *wrapper.ERPSource) {
+	t.Helper()
+	in := New(opts)
+	ctx := context.Background()
+	if _, err := in.AddSite("acme"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.AddSite("bolt"); err != nil {
+		t.Fatal(err)
+	}
+	def := workload.CatalogDef()
+	frags, err := in.DefineTable(def,
+		FragmentSpec{ID: "acme", Replicas: []string{"acme"}},
+		FragmentSpec{ID: "bolt", Replicas: []string{"bolt"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Supplier 1: CSV feed, FRF prices, business-day delivery; ingested
+	// through a normalization pipeline.
+	sup := workload.Suppliers(1, 6, 0, 11)[0]
+	sup.Currency = "FRF"
+	raw := schema.MustTable("acme_raw", []schema.Column{
+		{Name: "Part No", Kind: value.KindString},
+		{Name: "Description", Kind: value.KindString},
+		{Name: "Unit Price", Kind: value.KindMoney},
+		{Name: "Lead Time", Kind: value.KindDuration},
+		{Name: "On Hand", Kind: value.KindInt},
+	})
+	csvSrc := wrapper.NewCSVSource("acme-feed", raw,
+		wrapper.StaticFetcher(map[string]string{"feed": workload.RenderCSV(sup)}), "feed", nil)
+	p := transform.NewPipeline(raw, def)
+	sku, err := transform.NewExpr("sku", `'ACME-' + "Part No"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supplier, err := transform.NewExpr("supplier", "'acme'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MustAdd(
+		sku,
+		supplier,
+		transform.Copy{To: "name", From: "Description"},
+		transform.Currency{To: "price", From: "Unit Price", Into: "USD", Rates: in.Rates()},
+		transform.Delivery{To: "delivery", From: "Lead Time"},
+		transform.Copy{To: "qty", From: "On Hand"},
+	)
+	if _, err := in.Ingest(ctx, "catalog", frags[0], csvSrc, p); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+
+	// Supplier 2: live ERP gateway already in the normalized schema.
+	erpTable := storage.NewTable(def.Clone("catalog"))
+	rows, err := workload.GroundTruthRows(workload.Suppliers(2, 6, 0, 12)[1], in.Rates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if _, err := erpTable.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	erp := wrapper.NewERPSource("bolt-erp", erpTable)
+	if err := in.RegisterSource("bolt", erp, nil); err != nil {
+		t.Fatal(err)
+	}
+	return in, erp
+}
+
+func TestEndToEndIntegration(t *testing.T) {
+	in, _ := buildIntegrator(t, Options{})
+	ctx := context.Background()
+	res, err := in.Query(ctx, "SELECT COUNT(*) FROM catalog")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Rows[0][0].Int() != 12 {
+		t.Fatalf("integrated rows = %v, want 12", res.Rows[0][0])
+	}
+	// Prices are all normalized USD.
+	res, err = in.Query(ctx, "SELECT price FROM catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if _, cur := r[0].Money(); cur != "USD" {
+			t.Errorf("unnormalized price: %v", r[0])
+		}
+	}
+}
+
+func TestFuzzyAcrossSuppliers(t *testing.T) {
+	in, _ := buildIntegrator(t, Options{})
+	res, err := in.Query(context.Background(),
+		"SELECT sku, name FROM catalog WHERE FUZZY(name, 'drill')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("fuzzy search found nothing across suppliers")
+	}
+}
+
+func TestLiveSourceFreshness(t *testing.T) {
+	in, erp := buildIntegrator(t, Options{})
+	ctx := context.Background()
+	res, err := in.Query(ctx, "SELECT COUNT(*) FROM catalog WHERE supplier = 'supplier-01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := res.Rows[0][0].Int()
+	// The owner adds a product; next query sees it (fetch on demand).
+	if _, err := erp.Table().Insert(storage.Row{
+		value.NewString("NEW-1"), value.NewString("supplier-01"),
+		value.NewString("brand new widget"), value.NewString("27.12.01"),
+		value.NewMoney(100, "USD"), value.Days(1, value.CalendarDays), value.NewInt(5),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = in.Query(ctx, "SELECT COUNT(*) FROM catalog WHERE supplier = 'supplier-01'")
+	if res.Rows[0][0].Int() != before+1 {
+		t.Errorf("live insert invisible: %d → %v", before, res.Rows[0][0])
+	}
+}
+
+func TestViewsThroughFacade(t *testing.T) {
+	in, erp := buildIntegrator(t, Options{})
+	ctx := context.Background()
+	v, err := in.CreateView(ctx, "catalog_snapshot", "SELECT sku, qty FROM catalog", 0)
+	if err != nil {
+		t.Fatalf("CreateView: %v", err)
+	}
+	if v.Rows() != 12 {
+		t.Errorf("view rows = %d", v.Rows())
+	}
+	// Snapshot is stale after a source change until refreshed.
+	if _, err := erp.Table().Insert(storage.Row{
+		value.NewString("NEW-2"), value.NewString("supplier-01"),
+		value.NewString("another widget"), value.NewString("27.12.01"),
+		value.NewMoney(100, "USD"), value.Days(1, value.CalendarDays), value.NewInt(5),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := in.Query(ctx, "SELECT COUNT(*) FROM catalog_snapshot")
+	if res.Rows[0][0].Int() != 12 {
+		t.Errorf("view should be stale: %v", res.Rows[0][0])
+	}
+	if err := in.RefreshView(ctx, "catalog_snapshot"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = in.Query(ctx, "SELECT COUNT(*) FROM catalog_snapshot")
+	if res.Rows[0][0].Int() != 13 {
+		t.Errorf("after refresh: %v", res.Rows[0][0])
+	}
+}
+
+func TestQueryXMLAndXPath(t *testing.T) {
+	in, _ := buildIntegrator(t, Options{})
+	ctx := context.Background()
+	xmlDoc, err := in.QueryXML(ctx, "SELECT sku, qty FROM catalog ORDER BY sku LIMIT 2", "catalog", "part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xmlDoc, "<catalog>") || strings.Count(xmlDoc, "<part>") != 2 {
+		t.Errorf("xml = %q", xmlDoc)
+	}
+	skus, err := in.QueryXPath(ctx, "SELECT sku, qty FROM catalog ORDER BY sku LIMIT 3", "/result/row/sku")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skus) != 3 || skus[0] == "" {
+		t.Errorf("xpath skus = %v", skus)
+	}
+}
+
+func TestTaxonomyIntegration(t *testing.T) {
+	in, _ := buildIntegrator(t, Options{})
+	in.DefineTaxonomy(workload.MROTaxonomy())
+	code, err := in.Classify("mro", "cordless drill 18V")
+	if err != nil || code != "27.11.01" {
+		t.Errorf("Classify = %q, %v", code, err)
+	}
+	codes, err := in.ExpandCategories("mro", "refills")
+	if err != nil || len(codes) < 3 {
+		t.Errorf("ExpandCategories = %v, %v", codes, err)
+	}
+	// Hierarchical catalog query via expansion.
+	inList := "'" + strings.Join(codes, "', '") + "'"
+	res, err := in.Query(context.Background(),
+		"SELECT sku FROM catalog WHERE category IN ("+inList+")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res // may be empty depending on generated items; the shape matters
+	if _, err := in.Taxonomy("ghost"); err == nil {
+		t.Error("missing taxonomy should fail")
+	}
+	if _, err := in.Classify("ghost", "x"); err == nil {
+		t.Error("classify against missing taxonomy should fail")
+	}
+	if _, err := in.ExpandCategories("ghost", "x"); err == nil {
+		t.Error("expand against missing taxonomy should fail")
+	}
+}
+
+func TestSemanticCacheThroughFacade(t *testing.T) {
+	in, _ := buildIntegrator(t, Options{EnableCache: true, CacheEntries: 8})
+	ctx := context.Background()
+	if in.Cache() == nil {
+		t.Fatal("cache not enabled")
+	}
+	if _, err := in.Query(ctx, "SELECT qty FROM catalog WHERE qty BETWEEN 0 AND 1000"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Query(ctx, "SELECT qty FROM catalog WHERE qty BETWEEN 10 AND 50"); err != nil {
+		t.Fatal(err)
+	}
+	hits, _, _ := in.Cache().Stats()
+	if hits == 0 {
+		t.Error("contained query missed the semantic cache")
+	}
+	// Disabled by default.
+	plain := New(Options{})
+	if plain.Cache() != nil {
+		t.Error("cache should default off")
+	}
+}
+
+func TestDefineTableErrors(t *testing.T) {
+	in := New(Options{})
+	def := workload.CatalogDef()
+	if _, err := in.DefineTable(def, FragmentSpec{ID: "f", Replicas: []string{"ghost"}}); err == nil {
+		t.Error("unknown replica site should fail")
+	}
+	if _, err := in.DefineTable(def, FragmentSpec{ID: "f"}); err == nil {
+		t.Error("fragment without replicas should fail")
+	}
+	if _, err := in.AddSite("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.DefineTable(def, FragmentSpec{ID: "f", Predicate: "not (", Replicas: []string{"s1"}}); err == nil {
+		t.Error("bad predicate should fail")
+	}
+	if err := in.RegisterSource("ghost", nil, nil); err == nil {
+		t.Error("register at missing site should fail")
+	}
+}
+
+func TestFragmentPredicateRouting(t *testing.T) {
+	in := New(Options{})
+	ctx := context.Background()
+	if _, err := in.AddSite("east"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.AddSite("west"); err != nil {
+		t.Fatal(err)
+	}
+	def := schema.MustTable("t", []schema.Column{
+		{Name: "id", Kind: value.KindInt, NotNull: true},
+		{Name: "region", Kind: value.KindString},
+	}, "id")
+	frags, err := in.DefineTable(def,
+		FragmentSpec{ID: "east", Predicate: "region = 'east'", Replicas: []string{"east"}},
+		FragmentSpec{ID: "west", Predicate: "region = 'west'", Replicas: []string{"west"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := in.Federation()
+	_ = fed.LoadFragment("t", frags[0], []storage.Row{{value.NewInt(1), value.NewString("east")}})
+	_ = fed.LoadFragment("t", frags[1], []storage.Row{{value.NewInt(2), value.NewString("west")}})
+	_, trace, err := fed.QueryTraced(ctx, "SELECT id FROM t WHERE region = 'east'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.PrunedFragments != 1 {
+		t.Errorf("pruning through facade specs failed: %+v", trace)
+	}
+}
+
+func TestAgoricVsCentralizedSwap(t *testing.T) {
+	in, _ := buildIntegrator(t, Options{})
+	cen := federation.NewCentralized(in.Federation())
+	cen.ProbeLatency = 0
+	in.Federation().SetOptimizer(cen)
+	if _, err := in.Query(context.Background(), "SELECT COUNT(*) FROM catalog"); err != nil {
+		t.Fatalf("query under centralized optimizer: %v", err)
+	}
+	if in.Federation().Optimizer().Name() != "centralized" {
+		t.Error("optimizer swap failed")
+	}
+}
+
+func TestViewAutoRefreshLifecycle(t *testing.T) {
+	in, _ := buildIntegrator(t, Options{})
+	if _, err := in.CreateView(context.Background(), "v_auto", "SELECT sku FROM catalog", 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	in.Views().StartAuto()
+	time.Sleep(30 * time.Millisecond)
+	in.Views().Stop()
+	v, _ := in.Views().View("v_auto")
+	if v.Refreshes() < 2 {
+		t.Errorf("auto refreshes = %d", v.Refreshes())
+	}
+}

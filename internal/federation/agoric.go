@@ -1,0 +1,139 @@
+package federation
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Bid is one site's offer to execute a subquery — the unit of the
+// Mariposa-style microeconomic protocol [Stonebraker et al., VLDB J. 5(1)].
+type Bid struct {
+	// Site is the bidder.
+	Site *Site
+	// Price is the bid in cost units (simulated nanoseconds, scaled by
+	// the site's current load). Lower wins.
+	Price float64
+}
+
+// Agoric is the bid-based optimizer the paper advocates: for each
+// fragment subquery the broker solicits bids from the fragment's
+// replicas in parallel; each live replica prices the work off its
+// *current* load and cost model; the broker ranks by price. Because
+// bidding happens per query and reflects instantaneous load, the
+// optimizer adapts to hot spots, node additions and failures without any
+// central statistics refresh — the properties E3 and E4 measure.
+type Agoric struct {
+	// BidTimeout bounds how long the broker waits for bids (default 50ms;
+	// unreachable sites simply miss the auction).
+	BidTimeout time.Duration
+	// Greed adds price sensitivity to queue depth beyond the cost model's
+	// own load penalty (default 1.0).
+	Greed float64
+	// Budget, when positive, is the broker's per-subquery spending cap in
+	// price units (Mariposa's bid-curve discipline): bids above it are
+	// rejected. If every bid exceeds the budget, the cheapest is taken
+	// anyway (the query must run) and the overrun is counted.
+	Budget float64
+
+	auctions atomic.Int64
+	bids     atomic.Int64
+	rejected atomic.Int64
+	overruns atomic.Int64
+}
+
+// NewAgoric returns an agoric optimizer with default tuning.
+func NewAgoric() *Agoric {
+	return &Agoric{BidTimeout: 50 * time.Millisecond, Greed: 1.0}
+}
+
+// Name implements Optimizer.
+func (a *Agoric) Name() string { return "agoric" }
+
+// Auctions reports how many bid rounds have run.
+func (a *Agoric) Auctions() int64 { return a.auctions.Load() }
+
+// BidsCollected reports the total number of bids received.
+func (a *Agoric) BidsCollected() int64 { return a.bids.Load() }
+
+// BidsRejected reports bids refused for exceeding the budget.
+func (a *Agoric) BidsRejected() int64 { return a.rejected.Load() }
+
+// BudgetOverruns reports auctions where every bid exceeded the budget
+// and the broker had to pay over cap.
+func (a *Agoric) BudgetOverruns() int64 { return a.overruns.Load() }
+
+// Rank implements Optimizer: solicit bids from all replicas in parallel,
+// return live bidders ordered by ascending price.
+func (a *Agoric) Rank(ctx context.Context, frag *Fragment, estRows int) []*Site {
+	replicas := frag.Replicas()
+	a.auctions.Add(1)
+	type offer struct {
+		bid Bid
+		ok  bool
+	}
+	offers := make([]offer, len(replicas))
+	var wg sync.WaitGroup
+	for i, s := range replicas {
+		wg.Add(1)
+		go func(i int, s *Site) {
+			defer wg.Done()
+			if !s.Alive() {
+				return
+			}
+			// A bidder prices the subquery from its own cost model and
+			// instantaneous queue depth; no coordinator statistics needed.
+			base := float64(s.EstimateCost(estRows))
+			price := base * (1 + a.Greed*float64(s.Load()))
+			offers[i] = offer{bid: Bid{Site: s, Price: price}, ok: true}
+		}(i, s)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	timeout := a.BidTimeout
+	if timeout <= 0 {
+		timeout = 50 * time.Millisecond
+	}
+	select {
+	case <-done:
+	case <-time.After(timeout):
+	case <-ctx.Done():
+	}
+	var bids []Bid
+	for _, o := range offers {
+		if o.ok {
+			bids = append(bids, o.bid)
+		}
+	}
+	a.bids.Add(int64(len(bids)))
+	sort.Slice(bids, func(i, j int) bool {
+		if bids[i].Price != bids[j].Price {
+			return bids[i].Price < bids[j].Price
+		}
+		return bids[i].Site.Name() < bids[j].Site.Name()
+	})
+	if a.Budget > 0 && len(bids) > 0 {
+		within := bids[:0]
+		for _, b := range bids {
+			if b.Price <= a.Budget {
+				within = append(within, b)
+			} else {
+				a.rejected.Add(1)
+			}
+		}
+		if len(within) == 0 {
+			// Every bidder priced above budget: pay over cap rather than
+			// fail the query, but record the overrun for tuning.
+			a.overruns.Add(1)
+			within = bids[:1]
+		}
+		bids = within
+	}
+	out := make([]*Site, len(bids))
+	for i, b := range bids {
+		out[i] = b.Site
+	}
+	return out
+}

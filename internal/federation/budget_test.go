@@ -1,0 +1,63 @@
+package federation
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+func TestAgoricBudget(t *testing.T) {
+	def := schema.MustTable("t", []schema.Column{
+		{Name: "id", Kind: value.KindInt, NotNull: true},
+	}, "id")
+	fed := New(nil)
+	cheap := NewSite("cheap")
+	cheap.SetCost(CostModel{Latency: time.Microsecond})
+	dear := NewSite("dear")
+	dear.SetCost(CostModel{Latency: time.Millisecond})
+	_ = fed.AddSite(cheap)
+	_ = fed.AddSite(dear)
+	frag := NewFragment("f", nil, cheap, dear)
+	if _, err := fed.DefineTable(def, frag); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.LoadFragment("t", frag, []storage.Row{{value.NewInt(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	ag := NewAgoric()
+	ag.Budget = float64(10 * time.Microsecond) // only the cheap site fits
+	fed.SetOptimizer(ag)
+	ctx := context.Background()
+	ranked := ag.Rank(ctx, frag, 1)
+	if len(ranked) != 1 || ranked[0].Name() != "cheap" {
+		t.Fatalf("budget ranking = %v", names(ranked))
+	}
+	if ag.BidsRejected() == 0 {
+		t.Error("expensive bid should have been rejected")
+	}
+	// When no bid fits, the cheapest wins anyway and the overrun counts.
+	ag.Budget = float64(time.Nanosecond) / 10
+	ranked = ag.Rank(ctx, frag, 1)
+	if len(ranked) != 1 || ranked[0].Name() != "cheap" {
+		t.Fatalf("overrun ranking = %v", names(ranked))
+	}
+	if ag.BudgetOverruns() == 0 {
+		t.Error("overrun not counted")
+	}
+	// Queries still succeed under budget discipline.
+	if _, err := fed.Query(ctx, "SELECT id FROM t"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func names(sites []*Site) []string {
+	out := make([]string, len(sites))
+	for i, s := range sites {
+		out[i] = s.Name()
+	}
+	return out
+}

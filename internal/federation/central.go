@@ -1,0 +1,135 @@
+package federation
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Centralized is the compile-time, statistics-snapshot, cost-based
+// optimizer the paper argues cannot provide the required scalability or
+// adaptivity (§3.2, Characteristic 8). It models the behaviour of a
+// classical distributed DBMS optimizer:
+//
+//   - it plans from a *statistics snapshot* refreshed by polling every
+//     registered site serially (RefreshStats), so optimization-time cost
+//     grows linearly with federation size and a per-site probe latency;
+//   - between refreshes it prices replicas with the *stale* load figures
+//     in the snapshot, so it keeps routing to a site that has become hot
+//     or slow until the next refresh;
+//   - it does not consult sites at plan time at all — a down site is only
+//     noticed at execution (triggering failover) or at the next refresh.
+//
+// Both deficiencies are intrinsic to the design, not bugs: they are what
+// E3 (optimization-time scaling) and E4 (adaptivity under skew) measure.
+type Centralized struct {
+	fed *Federation
+	// ProbeLatency is the simulated per-site statistics RPC (default
+	// 200µs) charged serially during RefreshStats.
+	ProbeLatency time.Duration
+	// StatsTTL is how long a snapshot is considered fresh (default 10s);
+	// Rank triggers a refresh when the snapshot is older.
+	StatsTTL time.Duration
+
+	mu        sync.Mutex
+	snapshot  map[string]siteStats
+	takenAt   time.Time
+	refreshes int
+}
+
+type siteStats struct {
+	load  int64
+	alive bool
+	cost  CostModel
+}
+
+// NewCentralized returns the baseline optimizer bound to a federation
+// (it needs the registry to enumerate sites, exactly like a catalog-driven
+// optimizer enumerates its node table).
+func NewCentralized(fed *Federation) *Centralized {
+	return &Centralized{
+		fed:          fed,
+		ProbeLatency: 200 * time.Microsecond,
+		StatsTTL:     10 * time.Second,
+	}
+}
+
+// Name implements Optimizer.
+func (c *Centralized) Name() string { return "centralized" }
+
+// Refreshes reports how many full statistics sweeps have run.
+func (c *Centralized) Refreshes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.refreshes
+}
+
+// RefreshStats polls every site serially, charging ProbeLatency per site.
+// This is the cost a compile-time optimizer pays to know about N sites.
+func (c *Centralized) RefreshStats() {
+	sites := c.fed.Sites()
+	snap := make(map[string]siteStats, len(sites))
+	for _, s := range sites {
+		if c.ProbeLatency > 0 {
+			time.Sleep(c.ProbeLatency)
+		}
+		snap[s.Name()] = siteStats{load: s.Load(), alive: s.Alive(), cost: s.Cost()}
+	}
+	c.mu.Lock()
+	c.snapshot = snap
+	c.takenAt = time.Now()
+	c.refreshes++
+	c.mu.Unlock()
+}
+
+// Rank implements Optimizer: price each replica using the snapshot's
+// (possibly stale) load and liveness, refreshing first when the snapshot
+// expired.
+func (c *Centralized) Rank(ctx context.Context, frag *Fragment, estRows int) []*Site {
+	c.mu.Lock()
+	stale := c.snapshot == nil || time.Since(c.takenAt) > c.StatsTTL
+	c.mu.Unlock()
+	if stale {
+		c.RefreshStats()
+	}
+	c.mu.Lock()
+	snap := c.snapshot
+	c.mu.Unlock()
+
+	type scored struct {
+		site  *Site
+		price float64
+	}
+	var cands []scored
+	for _, s := range frag.Replicas() {
+		st, known := snap[s.Name()]
+		if known && !st.alive {
+			continue // snapshot says down (may itself be stale)
+		}
+		var price float64
+		if known {
+			base := float64(st.cost.Latency + time.Duration(estRows)*st.cost.PerRow)
+			if base == 0 {
+				base = float64(time.Microsecond)
+			}
+			price = base * (1 + float64(st.load)) // stale load!
+		} else {
+			// Unknown site (joined after the snapshot): a compile-time
+			// optimizer has no statistics for it, so it ranks last.
+			price = 1 << 40
+		}
+		cands = append(cands, scored{site: s, price: price})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].price != cands[j].price {
+			return cands[i].price < cands[j].price
+		}
+		return cands[i].site.Name() < cands[j].site.Name()
+	})
+	out := make([]*Site, len(cands))
+	for i, sc := range cands {
+		out[i] = sc.site
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// TestConcurrentAttachDuringQueries grows the fragment list while queries
+// are in flight — the "enterprises join the market anytime" path. Run
+// under -race this validates the AddFragment/FragmentsOf synchronization.
+func TestConcurrentAttachDuringQueries(t *testing.T) {
+	fed, _, _ := twoFragFed(t)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := fed.Query(ctx, "SELECT COUNT(*) FROM parts"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("joiner-%02d", i)
+		s := NewSite(name)
+		if err := fed.AddSite(s); err != nil {
+			t.Fatal(err)
+		}
+		frag := NewFragment(name, nil, s)
+		if err := fed.LoadFragment("parts", &Fragment{ID: "seed", replicas: []*Site{s}}, []storage.Row{
+			{value.NewString("J" + name), value.NewString("joined part"),
+				value.NewFloat(1), value.NewString("new")},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := fed.AddFragment("parts", frag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All joiner rows are visible afterwards.
+	res, err := fed.Query(ctx, "SELECT COUNT(*) FROM parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 4+10 {
+		t.Errorf("final count = %v, want 14", res.Rows[0][0])
+	}
+	if err := fed.AddFragment("ghost", NewFragment("x", nil)); err == nil {
+		t.Error("AddFragment to missing table should fail")
+	}
+}

@@ -1,0 +1,220 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cohera/internal/exec"
+	"cohera/internal/plan"
+	"cohera/internal/schema"
+	"cohera/internal/sqlparse"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// This file implements federated DML. The paper's integrator is
+// read-mostly, but operational content changes (orders, availability
+// updates) flow back through the same global schema:
+//
+//   - INSERT routes each row to the fragment whose predicate accepts it
+//     (the first fragment when none match) and writes every replica, so
+//     replicas stay in sync;
+//   - UPDATE and DELETE broadcast to all fragments that are not provably
+//     disjoint with the statement's predicate; every replica executes the
+//     statement so copies converge.
+//
+// Writes are best-effort across replicas: a down replica is skipped and
+// reported in the DMLResult so an operator (or anti-entropy job) can
+// reconcile — the paper's availability stance favours serving content
+// over blocking on a failed copy.
+
+// DMLResult reports a federated write.
+type DMLResult struct {
+	// Rows is the affected-row count (per fragment, not multiplied by
+	// replication factor). When one site hosts several fragments of the
+	// same table, its local count cannot be split per fragment and the
+	// total may over-report; dedicated-site layouts report exactly.
+	Rows int
+	// SkippedReplicas lists "fragment@site" copies that were down and
+	// missed the write.
+	SkippedReplicas []string
+}
+
+// Exec runs a DML or SELECT statement against the federation. SELECTs
+// behave like Query; INSERT/UPDATE/DELETE are routed as described above.
+func (f *Federation) Exec(ctx context.Context, sql string) (*exec.Result, *DMLResult, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch s := stmt.(type) {
+	case sqlparse.SelectStmt, sqlparse.UnionStmt:
+		res, _, err := f.QueryTraced(ctx, sql)
+		return res, nil, err
+	case sqlparse.InsertStmt:
+		dr, err := f.execInsert(ctx, s)
+		return nil, dr, err
+	case sqlparse.UpdateStmt:
+		dr, err := f.execWhereDML(ctx, s.Table, s.Where, s.String())
+		return nil, dr, err
+	case sqlparse.DeleteStmt:
+		dr, err := f.execWhereDML(ctx, s.Table, s.Where, s.String())
+		return nil, dr, err
+	default:
+		return nil, nil, fmt.Errorf("federation: unsupported statement %T", stmt)
+	}
+}
+
+// execInsert routes INSERT rows to fragments by predicate.
+func (f *Federation) execInsert(ctx context.Context, s sqlparse.InsertStmt) (*DMLResult, error) {
+	gt, err := f.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	def := gt.Def
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = def.ColumnNames()
+	}
+	ev := &plan.Evaluator{}
+	emptyEnv := plan.NewRowEnv(nil, nil)
+	dr := &DMLResult{}
+	for _, exprRow := range s.Rows {
+		if err := ctx.Err(); err != nil {
+			return dr, err
+		}
+		if len(exprRow) != len(cols) {
+			return dr, fmt.Errorf("federation: INSERT arity mismatch")
+		}
+		row := make(storage.Row, len(def.Columns))
+		for i := range row {
+			row[i] = value.Null
+		}
+		for i, cn := range cols {
+			ci := def.ColumnIndex(cn)
+			if ci < 0 {
+				return dr, fmt.Errorf("federation: table %q has no column %q", def.Name, cn)
+			}
+			v, err := ev.Eval(exprRow[i], emptyEnv)
+			if err != nil {
+				return dr, err
+			}
+			if !v.IsNull() && v.Kind() != def.Columns[ci].Kind {
+				if cv, err := value.Coerce(v, def.Columns[ci].Kind); err == nil {
+					v = cv
+				}
+			}
+			row[ci] = v
+		}
+		if err := def.Validate(row); err != nil {
+			return dr, err
+		}
+		frag, err := routeRow(f.FragmentsOf(gt), def, row, ev)
+		if err != nil {
+			return dr, err
+		}
+		wrote := false
+		for _, site := range frag.Replicas() {
+			if !site.Alive() {
+				dr.SkippedReplicas = append(dr.SkippedReplicas, frag.ID+"@"+site.Name())
+				continue
+			}
+			tbl, err := siteTable(site, def)
+			if err != nil {
+				return dr, err
+			}
+			if _, err := tbl.Upsert(row); err != nil {
+				return dr, fmt.Errorf("federation: insert at %s: %w", site.Name(), err)
+			}
+			wrote = true
+		}
+		if !wrote {
+			return dr, fmt.Errorf("%w: fragment %s of %s", ErrNoReplica, frag.ID, def.Name)
+		}
+		dr.Rows++
+	}
+	return dr, nil
+}
+
+// routeRow picks the fragment whose predicate accepts the row; the first
+// fragment is the default home for rows no predicate claims.
+func routeRow(fragments []*Fragment, def *schema.Table, row storage.Row, ev *plan.Evaluator) (*Fragment, error) {
+	env := plan.NewRowEnv(def.ColumnNames(), row)
+	for _, frag := range fragments {
+		if frag.Predicate == nil {
+			continue
+		}
+		v, err := ev.Eval(frag.Predicate, env)
+		if err != nil {
+			return nil, fmt.Errorf("federation: fragment %s predicate: %w", frag.ID, err)
+		}
+		if v.Truthy() {
+			return frag, nil
+		}
+	}
+	return fragments[0], nil
+}
+
+// execWhereDML broadcasts an UPDATE/DELETE to every non-disjoint
+// fragment's replicas.
+func (f *Federation) execWhereDML(ctx context.Context, table string, where sqlparse.Expr, sql string) (*DMLResult, error) {
+	gt, err := f.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	push := unqualify(where)
+	dr := &DMLResult{}
+	// A site stores one local table per global name even when it hosts
+	// several fragments of it, so each site executes the statement at
+	// most once — re-running a non-idempotent SET (qty = qty - 1) would
+	// corrupt the shared table.
+	visited := make(map[*Site]int) // site → rows it reported
+	for _, frag := range f.FragmentsOf(gt) {
+		if err := ctx.Err(); err != nil {
+			return dr, err
+		}
+		if frag.Predicate != nil && push != nil && disjoint(frag.Predicate, push) {
+			continue
+		}
+		fragRows := -1
+		for _, site := range frag.Replicas() {
+			if !site.Alive() {
+				dr.SkippedReplicas = append(dr.SkippedReplicas, frag.ID+"@"+site.Name())
+				continue
+			}
+			n, seen := visited[site]
+			if !seen {
+				res, err := site.DB().Exec(sql)
+				if err != nil {
+					if errors.Is(err, schema.ErrNoTable) {
+						continue // replica never materialized this table
+					}
+					return dr, fmt.Errorf("federation: dml at %s: %w", site.Name(), err)
+				}
+				n = int(res.Rows[0][0].Int())
+				visited[site] = n
+			}
+			if fragRows == -1 {
+				fragRows = n
+			} else if fragRows != n {
+				// Replicas disagree — report the divergence loudly.
+				dr.SkippedReplicas = append(dr.SkippedReplicas,
+					fmt.Sprintf("%s@%s(diverged:%d!=%d)", frag.ID, site.Name(), n, fragRows))
+			}
+		}
+		if fragRows > 0 {
+			dr.Rows += fragRows
+		}
+	}
+	return dr, nil
+}
+
+// siteTable fetches (or lazily creates) the site's local table for a
+// global schema.
+func siteTable(site *Site, def *schema.Table) (*storage.Table, error) {
+	if t, err := site.DB().Table(def.Name); err == nil {
+		return t, nil
+	}
+	return site.DB().CreateTable(def.Clone(def.Name))
+}

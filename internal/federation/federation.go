@@ -1,0 +1,792 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cohera/internal/exec"
+	"cohera/internal/ir"
+	"cohera/internal/plan"
+	"cohera/internal/schema"
+	"cohera/internal/sqlparse"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// Fragment is one horizontal fragment of a global table, stored (or
+// sourced) at one or more replica sites under the global table's name.
+type Fragment struct {
+	// ID names the fragment within its table.
+	ID string
+	// Predicate optionally describes which rows the fragment holds (used
+	// by fragment pruning; nil means "may hold anything").
+	Predicate sqlparse.Expr
+
+	mu       sync.RWMutex
+	replicas []*Site
+}
+
+// Replicas returns the current replica sites.
+func (f *Fragment) Replicas() []*Site {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append([]*Site(nil), f.replicas...)
+}
+
+// AddReplica registers an additional replica site — the "add more
+// hardware without a reboot" path: the optimizer sees the new replica on
+// the very next query.
+func (f *Fragment) AddReplica(s *Site) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.replicas = append(f.replicas, s)
+}
+
+// GlobalTable is a table of the federation's global schema. Fragments is
+// the list fixed at definition time; grow it afterwards through
+// Federation.AddFragment (which synchronizes with in-flight queries) and
+// read it concurrently through Federation.FragmentsOf.
+type GlobalTable struct {
+	Def       *schema.Table
+	Fragments []*Fragment
+}
+
+// ErrNoReplica is returned when every replica of a fragment is down.
+var ErrNoReplica = fmt.Errorf("federation: no live replica")
+
+// Optimizer ranks the replicas of a fragment for a subquery expected to
+// produce about estRows rows. The executor tries sites in the returned
+// order, so ranking quality is plan quality.
+type Optimizer interface {
+	// Name identifies the optimizer in experiment output.
+	Name() string
+	// Rank orders candidate sites, best first. Implementations may omit
+	// sites they know to be down.
+	Rank(ctx context.Context, frag *Fragment, estRows int) []*Site
+}
+
+// Federation is the coordinator: global schema, site registry, optimizer
+// and the shared synonym table for federated text search.
+type Federation struct {
+	// DisableProjectionPushdown turns off column pruning of shipped
+	// subquery results — kept as an ablation switch; leave false.
+	DisableProjectionPushdown bool
+
+	mu     sync.RWMutex
+	sites  map[string]*Site
+	tables map[string]*GlobalTable
+	opt    Optimizer
+	syn    *ir.Synonyms
+}
+
+// New creates a federation using the given optimizer (NewAgoric or
+// NewCentralized; agoric is the paper's recommendation).
+func New(opt Optimizer) *Federation {
+	return &Federation{
+		sites:  make(map[string]*Site),
+		tables: make(map[string]*GlobalTable),
+		opt:    opt,
+		syn:    ir.NewSynonyms(),
+	}
+}
+
+// Synonyms returns the federation-wide synonym table.
+func (f *Federation) Synonyms() *ir.Synonyms { return f.syn }
+
+// Optimizer returns the active optimizer.
+func (f *Federation) Optimizer() Optimizer { return f.opt }
+
+// SetOptimizer swaps the optimizer (used by the comparison experiments).
+func (f *Federation) SetOptimizer(opt Optimizer) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.opt = opt
+}
+
+func (f *Federation) optimizer() Optimizer {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.opt
+}
+
+// AddSite registers a site. Sites may join at any time; no downtime.
+func (f *Federation) AddSite(s *Site) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.sites[s.Name()]; dup {
+		return fmt.Errorf("federation: duplicate site %q", s.Name())
+	}
+	f.sites[s.Name()] = s
+	return nil
+}
+
+// Sites returns all registered sites sorted by name.
+func (f *Federation) Sites() []*Site {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]*Site, 0, len(f.sites))
+	for _, s := range f.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Site returns a registered site by name.
+func (f *Federation) Site(name string) (*Site, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s, ok := f.sites[name]
+	if !ok {
+		return nil, fmt.Errorf("federation: no site %q", name)
+	}
+	return s, nil
+}
+
+// DefineTable registers a global table with its fragments. Each
+// fragment's replicas must host a local table (or source) named like the
+// global table with the fragment's rows.
+func (f *Federation) DefineTable(def *schema.Table, fragments ...*Fragment) (*GlobalTable, error) {
+	if len(fragments) == 0 {
+		return nil, fmt.Errorf("federation: table %q needs at least one fragment", def.Name)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := strings.ToLower(def.Name)
+	if _, dup := f.tables[key]; dup {
+		return nil, fmt.Errorf("federation: duplicate global table %q", def.Name)
+	}
+	gt := &GlobalTable{Def: def, Fragments: fragments}
+	f.tables[key] = gt
+	return gt, nil
+}
+
+// Table returns a global table by name.
+func (f *Federation) Table(name string) (*GlobalTable, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	gt, ok := f.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", schema.ErrNoTable, name)
+	}
+	return gt, nil
+}
+
+// AddFragment appends a fragment to a defined global table — the
+// incremental-growth path (a new enterprise joins). Safe to call while
+// queries run; the next query sees the new fragment.
+func (f *Federation) AddFragment(table string, frag *Fragment) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	gt, ok := f.tables[strings.ToLower(table)]
+	if !ok {
+		return fmt.Errorf("%w: %q", schema.ErrNoTable, table)
+	}
+	gt.Fragments = append(gt.Fragments, frag)
+	return nil
+}
+
+// FragmentsOf returns a snapshot of a global table's fragment list.
+func (f *Federation) FragmentsOf(gt *GlobalTable) []*Fragment {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append([]*Fragment(nil), gt.Fragments...)
+}
+
+// NewFragment builds a fragment hosted at the given replicas.
+func NewFragment(id string, predicate sqlparse.Expr, replicas ...*Site) *Fragment {
+	return &Fragment{ID: id, Predicate: predicate, replicas: replicas}
+}
+
+// LoadFragment inserts rows into every replica of a fragment, creating
+// the local table from the global schema when missing. Workload
+// generators use it to place data.
+func (f *Federation) LoadFragment(table string, frag *Fragment, rows []storage.Row) error {
+	gt, err := f.Table(table)
+	if err != nil {
+		return err
+	}
+	for _, site := range frag.Replicas() {
+		t, err := site.DB().Table(gt.Def.Name)
+		if err != nil {
+			if t, err = site.DB().CreateTable(gt.Def.Clone(gt.Def.Name)); err != nil {
+				return err
+			}
+		}
+		for _, r := range rows {
+			if _, err := t.Upsert(r); err != nil {
+				return fmt.Errorf("federation: loading %s at %s: %w", frag.ID, site.Name(), err)
+			}
+		}
+	}
+	return nil
+}
+
+// QueryTrace records the routing decisions of one query, for the
+// load-balancing and failover experiments.
+type QueryTrace struct {
+	// FragmentSites maps "table/fragment" to the site that served it.
+	FragmentSites map[string]string
+	// Failovers counts replicas that were tried and found down.
+	Failovers int
+	// PrunedFragments counts fragments skipped by predicate pruning.
+	PrunedFragments int
+	// CellsShipped counts row×column cells moved from sites to the
+	// coordinator; CellsWithoutPushdown is what a full-width transfer
+	// would have cost (the projection-pushdown ablation metric).
+	CellsShipped         int
+	CellsWithoutPushdown int
+}
+
+// Query parses and executes a federated SELECT against the global schema.
+func (f *Federation) Query(ctx context.Context, sql string) (*exec.Result, error) {
+	res, _, err := f.QueryTraced(ctx, sql)
+	return res, err
+}
+
+// QueryTraced is Query returning the routing trace.
+func (f *Federation) QueryTraced(ctx context.Context, sql string) (*exec.Result, *QueryTrace, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch s := stmt.(type) {
+	case sqlparse.SelectStmt:
+		return f.Select(ctx, s)
+	case sqlparse.UnionStmt:
+		return f.Union(ctx, s)
+	default:
+		return nil, nil, fmt.Errorf("federation: only SELECT is federated, got %T", stmt)
+	}
+}
+
+// Union executes a federated UNION chain: each branch federates
+// independently; plain UNION deduplicates the combined rows.
+func (f *Federation) Union(ctx context.Context, u sqlparse.UnionStmt) (*exec.Result, *QueryTrace, error) {
+	if len(u.Selects) == 0 {
+		return nil, nil, fmt.Errorf("federation: empty UNION")
+	}
+	out := &exec.Result{}
+	total := &QueryTrace{FragmentSites: make(map[string]string)}
+	seen := make(map[string]bool)
+	for i, sel := range u.Selects {
+		r, trace, err := f.Select(ctx, sel)
+		if err != nil {
+			return nil, nil, err
+		}
+		if i == 0 {
+			out.Columns = r.Columns
+		} else if len(r.Columns) != len(out.Columns) {
+			return nil, nil, fmt.Errorf("federation: UNION branch %d has %d columns, first has %d",
+				i+1, len(r.Columns), len(out.Columns))
+		}
+		for k, v := range trace.FragmentSites {
+			total.FragmentSites[k] = v
+		}
+		total.Failovers += trace.Failovers
+		total.PrunedFragments += trace.PrunedFragments
+		total.CellsShipped += trace.CellsShipped
+		total.CellsWithoutPushdown += trace.CellsWithoutPushdown
+		for _, row := range r.Rows {
+			if !u.All {
+				key := rowKey(row)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, total, nil
+}
+
+// rowKey encodes a row for duplicate elimination.
+func rowKey(r storage.Row) string {
+	return string(value.AppendRowKey(make([]byte, 0, 64), r))
+}
+
+// Select executes a parsed federated SELECT: decompose into per-fragment
+// subqueries with predicate pushdown, gather intermediate results at the
+// coordinator, and run the original statement over them.
+func (f *Federation) Select(ctx context.Context, sel sqlparse.SelectStmt) (*exec.Result, *QueryTrace, error) {
+	trace := &QueryTrace{FragmentSites: make(map[string]string)}
+
+	// Collect table references (FROM plus JOINs).
+	type ref struct {
+		alias string
+		gt    *GlobalTable
+		push  sqlparse.Expr
+	}
+	var refs []ref
+	addRef := func(tr sqlparse.TableRef) error {
+		gt, err := f.Table(tr.Name)
+		if err != nil {
+			return err
+		}
+		refs = append(refs, ref{alias: strings.ToLower(tr.EffectiveName()), gt: gt})
+		return nil
+	}
+	if err := addRef(sel.From); err != nil {
+		return nil, nil, err
+	}
+	for _, j := range sel.Joins {
+		if err := addRef(j.Table); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Pushdown: WHERE conjuncts local to a single table, stripped of
+	// their qualifier so sites can evaluate them. Text predicates stay at
+	// the coordinator (sites fronting wrappers have no inverted index).
+	single := len(refs) == 1
+	conjuncts := plan.Conjuncts(sel.Where)
+	for i := range refs {
+		// For LEFT-joined tables, pushing WHERE predicates changes
+		// semantics; only the FROM table and INNER-joined tables get them.
+		if i > 0 && sel.Joins[i-1].Kind == sqlparse.JoinLeft {
+			continue
+		}
+		local, _ := plan.SplitByTable(conjuncts, refs[i].alias, single)
+		local = dropTextPredicates(local)
+		refs[i].push = unqualify(plan.AndExprs(local))
+	}
+
+	// Projection pushdown: ship only the columns the statement touches
+	// (plus primary keys, which the scratch tables dedupe on). A table
+	// referenced under several aliases gets the union of their needs.
+	aliases := make(map[string]aliasInfo, len(refs))
+	for _, r := range refs {
+		aliases[r.alias] = aliasInfo{table: strings.ToLower(r.gt.Def.Name), def: r.gt.Def}
+	}
+	needed := neededColumns(sel, aliases)
+
+	// Gather each referenced table's rows into the coordinator scratch
+	// database; fragments fetch concurrently.
+	scratch := exec.NewDatabase()
+	scratch.SetSynonyms(f.syn)
+	for _, r := range refs {
+		if _, err := scratch.Table(r.gt.Def.Name); err == nil {
+			continue // same table referenced twice
+		}
+		def := r.gt.Def
+		var cols []string
+		if !f.DisableProjectionPushdown {
+			if want, ok := needed[strings.ToLower(def.Name)]; ok {
+				if projected, pc := projectDef(def, want); projected != nil {
+					def, cols = projected, pc
+				}
+			}
+		}
+		// Building an inverted index over gathered rows is only worth it
+		// when the statement actually has a text predicate on this table;
+		// otherwise the scratch table skips FullText maintenance entirely.
+		def = stripUnusedFullText(def, textColumns(sel, strings.ToLower(def.Name), aliases))
+		tbl, err := scratch.CreateTable(def.Clone(def.Name))
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := f.gather(ctx, r.gt, r.push, cols, len(r.gt.Def.Columns), tbl, trace); err != nil {
+			return nil, nil, err
+		}
+	}
+	res, err := scratch.Select(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, trace, nil
+}
+
+// aliasInfo records, for one query alias, the global table it names.
+type aliasInfo struct {
+	table string // lowercase global table name
+	def   *schema.Table
+}
+
+// neededColumns analyzes the whole statement and returns, per lowercase
+// table name, the set of columns the coordinator needs. A table absent
+// from the map needs every column (e.g. a bare * was used).
+func neededColumns(sel sqlparse.SelectStmt, aliases map[string]aliasInfo) map[string]map[string]bool {
+	need := make(map[string]map[string]bool)
+	all := make(map[string]bool) // tables needing every column
+	addCol := func(table, col string) {
+		if need[table] == nil {
+			need[table] = make(map[string]bool)
+		}
+		need[table][strings.ToLower(col)] = true
+	}
+	var handle func(e sqlparse.Expr)
+	handle = func(e sqlparse.Expr) {
+		plan.Walk(e, func(x sqlparse.Expr) bool {
+			switch c := x.(type) {
+			case sqlparse.Call:
+				// COUNT(*) counts rows; its Star needs no columns.
+				if c.Name == "COUNT" {
+					for _, a := range c.Args {
+						if _, isStar := a.(sqlparse.Star); !isStar {
+							handle(a)
+						}
+					}
+					return false
+				}
+			case sqlparse.Star:
+				if c.Table == "" {
+					for _, info := range aliases {
+						all[info.table] = true
+					}
+				} else if info, ok := aliases[strings.ToLower(c.Table)]; ok {
+					all[info.table] = true
+				}
+			case sqlparse.ColumnRef:
+				markColumn(c, aliases, addCol, all)
+			case sqlparse.TextMatch:
+				markColumn(c.Col, aliases, addCol, all)
+			}
+			return true
+		})
+	}
+	for _, it := range sel.Items {
+		handle(it.Expr)
+	}
+	handle(sel.Where)
+	for _, j := range sel.Joins {
+		handle(j.On)
+	}
+	for _, g := range sel.GroupBy {
+		handle(g)
+	}
+	handle(sel.Having)
+	for _, o := range sel.OrderBy {
+		handle(o.Expr)
+	}
+	// ORDER BY / HAVING may reference output aliases; those resolve to
+	// already-collected item expressions, so no extra columns. Tables
+	// referenced but needing no columns (pure COUNT(*)) get an empty set,
+	// which projects down to the primary key alone.
+	out := make(map[string]map[string]bool)
+	for _, info := range aliases {
+		if all[info.table] {
+			continue
+		}
+		cols := need[info.table]
+		if cols == nil {
+			cols = make(map[string]bool)
+		}
+		out[info.table] = cols
+	}
+	return out
+}
+
+// markColumn attributes one column reference to its table(s).
+func markColumn(c sqlparse.ColumnRef, aliases map[string]aliasInfo,
+	addCol func(table, col string), all map[string]bool) {
+	if c.Table != "" {
+		if info, ok := aliases[strings.ToLower(c.Table)]; ok {
+			addCol(info.table, c.Column)
+		}
+		return
+	}
+	// Bare reference: could belong to any table that has the column —
+	// and ORDER BY aliases resolve to no table at all, which is fine.
+	for _, info := range aliases {
+		if info.def.ColumnIndex(c.Column) >= 0 {
+			addCol(info.table, c.Column)
+		}
+	}
+}
+
+// textColumns returns the lowercase columns of the given table that
+// appear in text predicates anywhere in the statement.
+func textColumns(sel sqlparse.SelectStmt, table string, aliases map[string]aliasInfo) map[string]bool {
+	out := make(map[string]bool)
+	collect := func(e sqlparse.Expr) {
+		plan.Walk(e, func(x sqlparse.Expr) bool {
+			tm, ok := x.(sqlparse.TextMatch)
+			if !ok {
+				return true
+			}
+			q := strings.ToLower(tm.Col.Table)
+			if q == "" {
+				// Unqualified: attribute to any table owning the column.
+				for _, info := range aliases {
+					if info.table == table && info.def.ColumnIndex(tm.Col.Column) >= 0 {
+						out[strings.ToLower(tm.Col.Column)] = true
+					}
+				}
+			} else if info, ok := aliases[q]; ok && info.table == table {
+				out[strings.ToLower(tm.Col.Column)] = true
+			}
+			return true
+		})
+	}
+	for _, it := range sel.Items {
+		collect(it.Expr)
+	}
+	collect(sel.Where)
+	for _, j := range sel.Joins {
+		collect(j.On)
+	}
+	collect(sel.Having)
+	for _, g := range sel.GroupBy {
+		collect(g)
+	}
+	for _, o := range sel.OrderBy {
+		collect(o.Expr)
+	}
+	return out
+}
+
+// stripUnusedFullText clears FullText flags on columns not in keep,
+// returning a fresh schema when anything changed.
+func stripUnusedFullText(def *schema.Table, keep map[string]bool) *schema.Table {
+	changed := false
+	for _, c := range def.Columns {
+		if c.FullText && !keep[strings.ToLower(c.Name)] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return def
+	}
+	out := def.Clone(def.Name)
+	for i := range out.Columns {
+		if !keep[strings.ToLower(out.Columns[i].Name)] {
+			out.Columns[i].FullText = false
+		}
+	}
+	return out
+}
+
+// projectDef builds a narrowed schema containing the needed columns plus
+// the primary key, preserving declaration order. It returns (nil, nil)
+// when nothing would be saved.
+func projectDef(def *schema.Table, want map[string]bool) (*schema.Table, []string) {
+	keep := make(map[string]bool, len(want)+len(def.Key))
+	for c := range want {
+		keep[c] = true
+	}
+	for _, k := range def.Key {
+		keep[strings.ToLower(k)] = true
+	}
+	if len(keep) >= len(def.Columns) {
+		return nil, nil
+	}
+	var cols []schema.Column
+	var names []string
+	for _, c := range def.Columns {
+		if keep[strings.ToLower(c.Name)] {
+			cols = append(cols, c)
+			names = append(names, c.Name)
+		}
+	}
+	if len(cols) == 0 || len(cols) == len(def.Columns) {
+		return nil, nil
+	}
+	projected, err := schema.NewTable(def.Name, cols, def.Key...)
+	if err != nil {
+		return nil, nil // key outside projection etc.: fall back to full width
+	}
+	return projected, names
+}
+
+// gather fans out one global table's fragment subqueries and loads the
+// rows into the scratch table. cols, when non-nil, is the projected
+// column list shipped from sites; fullWidth is the table's unprojected
+// column count, for the pushdown-savings accounting.
+func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.Expr, cols []string, fullWidth int, dst *storage.Table, trace *QueryTrace) error {
+	type fragResult struct {
+		frag *Fragment
+		site *Site
+		rows []storage.Row
+		fail int
+		err  error
+	}
+	var pruned int
+	var active []*Fragment
+	for _, frag := range f.FragmentsOf(gt) {
+		if frag.Predicate != nil && push != nil && disjoint(frag.Predicate, push) {
+			pruned++
+			continue
+		}
+		active = append(active, frag)
+	}
+	ch := make(chan fragResult, len(active))
+	for _, frag := range active {
+		go func(frag *Fragment) {
+			out := fragResult{frag: frag}
+			ranked := f.optimizer().Rank(ctx, frag, estimateRows(frag, gt.Def.Name))
+			var lastErr error
+			for _, site := range ranked {
+				res, err := site.SubQuery(ctx, gt.Def.Name, push, cols)
+				if err != nil {
+					if errors.Is(err, ErrSiteDown) {
+						out.fail++
+						lastErr = err
+						continue
+					}
+					out.err = err
+					ch <- out
+					return
+				}
+				out.site = site
+				out.rows = res.Rows
+				ch <- out
+				return
+			}
+			if lastErr == nil {
+				lastErr = ErrNoReplica
+			}
+			out.err = fmt.Errorf("%w: fragment %s of %s", ErrNoReplica, frag.ID, gt.Def.Name)
+			ch <- out
+		}(frag)
+	}
+	var firstErr error
+	for range active {
+		r := <-ch
+		trace.Failovers += r.fail
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		trace.FragmentSites[gt.Def.Name+"/"+r.frag.ID] = r.site.Name()
+		width := fullWidth
+		if cols != nil {
+			width = len(cols)
+		}
+		trace.CellsShipped += len(r.rows) * width
+		trace.CellsWithoutPushdown += len(r.rows) * fullWidth
+		for _, row := range r.rows {
+			if _, err := dst.Upsert(row); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	trace.PrunedFragments += pruned
+	return firstErr
+}
+
+// estimateRows asks the fragment's first live replica for its local
+// cardinality — the estimate bids and cost formulas consume.
+func estimateRows(frag *Fragment, table string) int {
+	for _, s := range frag.Replicas() {
+		if s.Alive() {
+			if n := s.TableRows(table); n > 0 {
+				return n
+			}
+		}
+	}
+	return 100 // default guess for sources
+}
+
+// disjoint reports whether a fragment predicate and a query predicate
+// provably exclude each other — the fragment-pruning test. Only
+// single-column sargable ranges are compared; anything else conservatively
+// reports false (not disjoint).
+func disjoint(fragPred, queryPred sqlparse.Expr) bool {
+	fragRanges := make(map[string]plan.Range)
+	for _, c := range plan.Conjuncts(fragPred) {
+		if r, ok := plan.Sargable(c); ok {
+			fragRanges[r.Column] = r
+		}
+	}
+	for _, c := range plan.Conjuncts(queryPred) {
+		qr, ok := plan.Sargable(c)
+		if !ok {
+			continue
+		}
+		fr, ok := fragRanges[qr.Column]
+		if !ok {
+			continue
+		}
+		if rangesDisjoint(fr, qr) {
+			return true
+		}
+	}
+	return false
+}
+
+func rangesDisjoint(a, b plan.Range) bool {
+	// a entirely below b?
+	if !a.Hi.IsNull() && !b.Lo.IsNull() {
+		if c, err := a.Hi.Compare(b.Lo); err == nil {
+			if c < 0 || (c == 0 && (a.HiExclusive || b.LoExclusive)) {
+				return true
+			}
+		}
+	}
+	// a entirely above b?
+	if !a.Lo.IsNull() && !b.Hi.IsNull() {
+		if c, err := a.Lo.Compare(b.Hi); err == nil {
+			if c > 0 || (c == 0 && (a.LoExclusive || b.HiExclusive)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dropTextPredicates removes text-match conjuncts (evaluated at the
+// coordinator over the scratch tables' inverted indexes).
+func dropTextPredicates(conjuncts []sqlparse.Expr) []sqlparse.Expr {
+	out := conjuncts[:0]
+	for _, c := range conjuncts {
+		hasText := false
+		plan.Walk(c, func(e sqlparse.Expr) bool {
+			if _, ok := e.(sqlparse.TextMatch); ok {
+				hasText = true
+				return false
+			}
+			return true
+		})
+		if !hasText {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// unqualify strips table qualifiers from column references so the
+// predicate evaluates in a site's single-table scope.
+func unqualify(e sqlparse.Expr) sqlparse.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case sqlparse.ColumnRef:
+		return sqlparse.ColumnRef{Column: x.Column}
+	case sqlparse.Binary:
+		return sqlparse.Binary{Op: x.Op, Left: unqualify(x.Left), Right: unqualify(x.Right)}
+	case sqlparse.Not:
+		return sqlparse.Not{Inner: unqualify(x.Inner)}
+	case sqlparse.Neg:
+		return sqlparse.Neg{Inner: unqualify(x.Inner)}
+	case sqlparse.IsNull:
+		return sqlparse.IsNull{Inner: unqualify(x.Inner), Negate: x.Negate}
+	case sqlparse.In:
+		list := make([]sqlparse.Expr, len(x.List))
+		for i, item := range x.List {
+			list[i] = unqualify(item)
+		}
+		return sqlparse.In{Inner: unqualify(x.Inner), List: list, Negate: x.Negate}
+	case sqlparse.Between:
+		return sqlparse.Between{Inner: unqualify(x.Inner), Lo: unqualify(x.Lo), Hi: unqualify(x.Hi), Negate: x.Negate}
+	case sqlparse.Like:
+		return sqlparse.Like{Inner: unqualify(x.Inner), Pattern: unqualify(x.Pattern), Negate: x.Negate}
+	case sqlparse.Call:
+		args := make([]sqlparse.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = unqualify(a)
+		}
+		return sqlparse.Call{Name: x.Name, Args: args}
+	case sqlparse.TextMatch:
+		return sqlparse.TextMatch{Col: sqlparse.ColumnRef{Column: x.Col.Column}, Query: unqualify(x.Query), Mode: x.Mode}
+	default:
+		return e
+	}
+}

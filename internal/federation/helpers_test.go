@@ -1,0 +1,13 @@
+package federation
+
+import (
+	"cohera/internal/sqlparse"
+)
+
+// fragPred aliases the fragment predicate expression type for tests.
+type fragPred = sqlparse.Expr
+
+// parseTestExpr parses a predicate for test fixtures.
+func parseTestExpr(src string) (sqlparse.Expr, error) {
+	return sqlparse.ParseExpr(src)
+}

@@ -1,0 +1,173 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// wideFed builds a federation with a 10-column table on one site.
+func wideFed(t *testing.T) (*Federation, *Fragment) {
+	t.Helper()
+	cols := []schema.Column{{Name: "id", Kind: value.KindInt, NotNull: true}}
+	for i := 0; i < 9; i++ {
+		cols = append(cols, schema.Column{Name: fmt.Sprintf("c%d", i), Kind: value.KindString})
+	}
+	def := schema.MustTable("wide", cols, "id")
+	fed := New(NewAgoric())
+	s := NewSite("s")
+	if err := fed.AddSite(s); err != nil {
+		t.Fatal(err)
+	}
+	frag := NewFragment("f", nil, s)
+	if _, err := fed.DefineTable(def, frag); err != nil {
+		t.Fatal(err)
+	}
+	var rows []storage.Row
+	for i := int64(0); i < 20; i++ {
+		r := storage.Row{value.NewInt(i)}
+		for j := 0; j < 9; j++ {
+			r = append(r, value.NewString(fmt.Sprintf("v%d-%d", j, i)))
+		}
+		rows = append(rows, r)
+	}
+	if err := fed.LoadFragment("wide", frag, rows); err != nil {
+		t.Fatal(err)
+	}
+	return fed, frag
+}
+
+func TestProjectionPushdownShipsFewerCells(t *testing.T) {
+	fed, _ := wideFed(t)
+	ctx := context.Background()
+	res, trace, err := fed.QueryTraced(ctx, "SELECT c1 FROM wide WHERE id < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 || res.Rows[0][0].Str()[:3] != "v1-" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Only id (key) and c1 ship: 2 of 10 columns.
+	if trace.CellsShipped != 10*2 {
+		t.Errorf("cells shipped = %d, want 20", trace.CellsShipped)
+	}
+	if trace.CellsWithoutPushdown != 10*10 {
+		t.Errorf("cells without pushdown = %d, want 100", trace.CellsWithoutPushdown)
+	}
+}
+
+func TestProjectionPushdownDisabled(t *testing.T) {
+	fed, _ := wideFed(t)
+	fed.DisableProjectionPushdown = true
+	_, trace, err := fed.QueryTraced(context.Background(), "SELECT c1 FROM wide WHERE id < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.CellsShipped != 10*10 {
+		t.Errorf("ablation cells = %d, want full width 100", trace.CellsShipped)
+	}
+}
+
+func TestProjectionPushdownStarFetchesAll(t *testing.T) {
+	fed, _ := wideFed(t)
+	res, trace, err := fed.QueryTraced(context.Background(), "SELECT * FROM wide WHERE id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 10 {
+		t.Fatalf("star rows = %v", res.Rows)
+	}
+	if trace.CellsShipped != trace.CellsWithoutPushdown {
+		t.Errorf("star query should ship full width: %d vs %d",
+			trace.CellsShipped, trace.CellsWithoutPushdown)
+	}
+}
+
+func TestProjectionPushdownAggregates(t *testing.T) {
+	fed, _ := wideFed(t)
+	res, trace, err := fed.QueryTraced(context.Background(),
+		"SELECT c2, COUNT(*) FROM wide GROUP BY c2 ORDER BY c2 LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// id (key) + c2.
+	if trace.CellsShipped != 20*2 {
+		t.Errorf("agg cells = %d, want 40", trace.CellsShipped)
+	}
+}
+
+func TestProjectionPushdownJoinCorrectness(t *testing.T) {
+	fed, _ := wideFed(t)
+	// A second table joined on c0: both sides prune independently.
+	def2 := schema.MustTable("labels", []schema.Column{
+		{Name: "ckey", Kind: value.KindString, NotNull: true},
+		{Name: "label", Kind: value.KindString},
+		{Name: "unused", Kind: value.KindString},
+	}, "ckey")
+	s, _ := fed.Site("s")
+	frag2 := NewFragment("l", nil, s)
+	if _, err := fed.DefineTable(def2, frag2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.LoadFragment("labels", frag2, []storage.Row{
+		{value.NewString("v0-3"), value.NewString("three"), value.NewString("x")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, trace, err := fed.QueryTraced(context.Background(), `
+		SELECT w.c1, l.label FROM wide w JOIN labels l ON w.c0 = l.ckey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].Str() != "three" {
+		t.Fatalf("join rows = %v", res.Rows)
+	}
+	// wide ships id,c0,c1 (3 of 10) for 20 rows; labels ships key,label
+	// (2 of 3) for 1 row.
+	want := 20*3 + 1*2
+	if trace.CellsShipped != want {
+		t.Errorf("join cells = %d, want %d", trace.CellsShipped, want)
+	}
+}
+
+func TestProjectionPushdownTextPredicate(t *testing.T) {
+	// A FullText column referenced only inside MATCHES must still ship so
+	// the coordinator's inverted index can serve the predicate.
+	def := schema.MustTable("docs", []schema.Column{
+		{Name: "id", Kind: value.KindInt, NotNull: true},
+		{Name: "body", Kind: value.KindString, FullText: true},
+		{Name: "extra", Kind: value.KindString},
+	}, "id")
+	fed := New(NewAgoric())
+	s := NewSite("s")
+	_ = fed.AddSite(s)
+	frag := NewFragment("f", nil, s)
+	if _, err := fed.DefineTable(def, frag); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.LoadFragment("docs", frag, []storage.Row{
+		{value.NewInt(1), value.NewString("cordless drill"), value.NewString("x")},
+		{value.NewInt(2), value.NewString("ink"), value.NewString("y")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, trace, err := fed.QueryTraced(context.Background(),
+		"SELECT id FROM docs WHERE CONTAINS(body, 'drill')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Fatalf("text rows = %v", res.Rows)
+	}
+	// id + body ship; extra pruned.
+	if trace.CellsShipped != 2*2 {
+		t.Errorf("text cells = %d, want 4", trace.CellsShipped)
+	}
+}

@@ -1,0 +1,284 @@
+// Package federation implements the heart of the content integration
+// system (paper, §3.2 and §4): an adaptive, load-balancing federated
+// query processor in the style of Cohera Integrate and the Mariposa
+// system it derives from.
+//
+// A Federation is a set of Sites, each running a full local engine
+// (internal/exec) or fronting a remote source through a wrapper
+// (internal/wrapper). Global tables are divided into Fragments, each
+// replicated on one or more sites. Queries against the global schema are
+// decomposed into per-fragment local queries; replica and site selection
+// is delegated to an Optimizer — either the agoric (bid-based) optimizer
+// the paper advocates or the centralized compile-time cost-based baseline
+// it criticizes — and intermediate results are combined at the
+// coordinator.
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cohera/internal/exec"
+	"cohera/internal/plan"
+	"cohera/internal/sqlparse"
+	"cohera/internal/storage"
+	"cohera/internal/wrapper"
+)
+
+// ErrSiteDown is returned by operations against a failed site.
+var ErrSiteDown = fmt.Errorf("federation: site down")
+
+// CostModel describes a site's simulated performance: the paper's testbed
+// is a wide-area network of heterogeneous machines, which we reproduce
+// with per-site latency and per-row processing costs. Zero values make a
+// site free and instantaneous (useful in unit tests).
+type CostModel struct {
+	// Latency is the round-trip cost of reaching the site.
+	Latency time.Duration
+	// PerRow is the processing cost per row produced.
+	PerRow time.Duration
+	// LoadPenalty scales cost by (1 + LoadPenalty × concurrent queries):
+	// the knob that makes load balancing matter.
+	LoadPenalty float64
+}
+
+// Site is one federation member: a named local engine plus wrapper-backed
+// virtual tables, a cost model, and liveness state.
+type Site struct {
+	name string
+	db   *exec.Database
+
+	mu      sync.RWMutex
+	sources map[string]wrapper.Source
+	cost    CostModel
+
+	down     atomic.Bool
+	inFlight atomic.Int64
+	served   atomic.Int64
+	busyNS   atomic.Int64
+}
+
+// NewSite creates a site with an empty local database.
+func NewSite(name string) *Site {
+	return &Site{name: name, db: exec.NewDatabase(), sources: make(map[string]wrapper.Source)}
+}
+
+// Name returns the site's identifier.
+func (s *Site) Name() string { return s.name }
+
+// DB exposes the site's local engine so workload generators can load
+// fragments directly.
+func (s *Site) DB() *exec.Database { return s.db }
+
+// SetCost installs the simulated cost model.
+func (s *Site) SetCost(c CostModel) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cost = c
+}
+
+// Cost returns the current cost model.
+func (s *Site) Cost() CostModel {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cost
+}
+
+// AddSource registers a wrapper-backed virtual table under its schema
+// name. Queries against it fetch on demand from the remote owner.
+func (s *Site) AddSource(src wrapper.Source) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sources[lower(src.Schema().Name)] = src
+}
+
+// SetDown injects or clears a failure.
+func (s *Site) SetDown(down bool) { s.down.Store(down) }
+
+// Alive reports liveness.
+func (s *Site) Alive() bool { return !s.down.Load() }
+
+// Served reports how many subqueries the site has executed — the load
+// distribution metric for the balancing experiments.
+func (s *Site) Served() int64 { return s.served.Load() }
+
+// BusyTime reports cumulative simulated execution time.
+func (s *Site) BusyTime() time.Duration { return time.Duration(s.busyNS.Load()) }
+
+// ResetCounters clears the served/busy counters between experiment runs.
+func (s *Site) ResetCounters() {
+	s.served.Store(0)
+	s.busyNS.Store(0)
+}
+
+// Load returns the number of subqueries currently executing at the site.
+func (s *Site) Load() int64 { return s.inFlight.Load() }
+
+// SubQuery executes a single-table selection at the site:
+// SELECT <cols> FROM table WHERE <where>, with where referencing only
+// bare column names. cols nil means all columns. It is the unit of work
+// the federated executor ships to sites.
+func (s *Site) SubQuery(ctx context.Context, table string, where sqlparse.Expr, cols []string) (*exec.Result, error) {
+	if !s.Alive() {
+		return nil, fmt.Errorf("%w: %s", ErrSiteDown, s.name)
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	s.served.Add(1)
+
+	var res *exec.Result
+	var err error
+	if src := s.source(table); src != nil {
+		res, err = s.querySource(ctx, src, where, cols)
+	} else {
+		res, err = s.queryStored(table, where, cols)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := s.simulateCost(ctx, len(res.Rows)); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (s *Site) source(table string) wrapper.Source {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sources[lower(table)]
+}
+
+func (s *Site) queryStored(table string, where sqlparse.Expr, cols []string) (*exec.Result, error) {
+	items := []sqlparse.SelectItem{{Expr: sqlparse.Star{}}}
+	if cols != nil {
+		items = items[:0]
+		for _, c := range cols {
+			items = append(items, sqlparse.SelectItem{Expr: sqlparse.ColumnRef{Column: c}, Alias: c})
+		}
+	}
+	stmt := sqlparse.SelectStmt{
+		Items: items,
+		From:  sqlparse.TableRef{Name: table},
+		Where: where,
+		Limit: -1,
+	}
+	return s.db.Select(stmt)
+}
+
+// querySource serves a subquery from a wrapper source: equality conjuncts
+// the source advertises are pushed to the remote; everything else is
+// post-filtered here at the site.
+func (s *Site) querySource(ctx context.Context, src wrapper.Source, where sqlparse.Expr, cols []string) (*exec.Result, error) {
+	def := src.Schema()
+	caps := src.Capabilities()
+	var filters []wrapper.Filter
+	for _, c := range plan.Conjuncts(where) {
+		r, ok := plan.Sargable(c)
+		if !ok || r.Lo.IsNull() || !r.Lo.Equal(r.Hi) || r.LoExclusive || r.HiExclusive {
+			continue
+		}
+		if caps.CanPush(r.Column) {
+			filters = append(filters, wrapper.Filter{Column: r.Column, Value: r.Lo})
+		}
+	}
+	rows, err := src.Fetch(ctx, filters)
+	if err != nil {
+		return nil, fmt.Errorf("federation: source %s: %w", src.Name(), err)
+	}
+	names := def.ColumnNames()
+	ev := &plan.Evaluator{}
+	outCols := names
+	var colIdx []int
+	if cols != nil {
+		outCols = cols
+		for _, c := range cols {
+			ci := def.ColumnIndex(c)
+			if ci < 0 {
+				return nil, fmt.Errorf("federation: source %s has no column %q", src.Name(), c)
+			}
+			colIdx = append(colIdx, ci)
+		}
+	}
+	res := &exec.Result{Columns: outCols}
+	for _, r := range rows {
+		if where != nil {
+			v, err := ev.Eval(where, plan.NewRowEnv(names, r))
+			if err != nil {
+				return nil, fmt.Errorf("federation: source %s filter: %w", src.Name(), err)
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		if colIdx != nil {
+			pr := make(storage.Row, len(colIdx))
+			for i, ci := range colIdx {
+				pr[i] = r[ci]
+			}
+			res.Rows = append(res.Rows, pr)
+		} else {
+			res.Rows = append(res.Rows, r)
+		}
+	}
+	return res, nil
+}
+
+// simulateCost charges the cost model for a subquery producing n rows.
+func (s *Site) simulateCost(ctx context.Context, n int) error {
+	c := s.Cost()
+	if c.Latency == 0 && c.PerRow == 0 {
+		return nil
+	}
+	d := c.Latency + time.Duration(n)*c.PerRow
+	if c.LoadPenalty > 0 {
+		concurrent := float64(s.inFlight.Load() - 1)
+		if concurrent > 0 {
+			d = time.Duration(float64(d) * (1 + c.LoadPenalty*concurrent))
+		}
+	}
+	s.busyNS.Add(int64(d))
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// EstimateCost predicts the cost of a subquery producing estRows rows at
+// the site's *current* load — the quantity a bidder prices.
+func (s *Site) EstimateCost(estRows int) time.Duration {
+	c := s.Cost()
+	d := c.Latency + time.Duration(estRows)*c.PerRow
+	if d == 0 {
+		d = time.Microsecond // break ties deterministically by site order
+	}
+	if c.LoadPenalty > 0 {
+		if concurrent := float64(s.inFlight.Load()); concurrent > 0 {
+			d = time.Duration(float64(d) * (1 + c.LoadPenalty*concurrent))
+		}
+	}
+	return d
+}
+
+// TableRows reports the local cardinality of a stored table (0 for
+// sources, which do not advertise cardinality).
+func (s *Site) TableRows(table string) int {
+	if t, err := s.db.Table(table); err == nil {
+		return t.Len()
+	}
+	return 0
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

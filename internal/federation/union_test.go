@@ -1,0 +1,42 @@
+package federation
+
+import (
+	"context"
+	"testing"
+)
+
+func TestFederatedUnion(t *testing.T) {
+	fed, _, _ := twoFragFed(t)
+	ctx := context.Background()
+	// UNION ALL keeps the duplicate across branches.
+	res, err := fed.Query(ctx, `SELECT sku FROM parts WHERE region = 'east'
+		UNION ALL SELECT sku FROM parts WHERE region = 'east'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Errorf("UNION ALL rows = %d, want 4", len(res.Rows))
+	}
+	// Plain UNION deduplicates across branches.
+	res, err = fed.Query(ctx, `SELECT sku FROM parts WHERE region = 'east'
+		UNION SELECT sku FROM parts`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 { // E1,E2 dedup + W1,W2
+		t.Errorf("UNION rows = %d, want 4", len(res.Rows))
+	}
+	// Traces accumulate across branches, including pruning.
+	_, trace, err := fed.QueryTraced(ctx, `SELECT sku FROM parts WHERE region = 'east'
+		UNION ALL SELECT sku FROM parts WHERE region = 'west'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.PrunedFragments != 2 { // each branch prunes the other region
+		t.Errorf("pruned = %d, want 2", trace.PrunedFragments)
+	}
+	// Arity mismatch surfaces.
+	if _, err := fed.Query(ctx, "SELECT sku FROM parts UNION ALL SELECT sku, name FROM parts"); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}

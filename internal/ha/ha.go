@@ -1,0 +1,220 @@
+// Package ha simulates the availability of content placement strategies
+// (paper, Characteristic 8). The paper's argument, reproduced by E5:
+//
+//   - a central site delivers all of the content some of the time;
+//   - fragmentation delivers *some of the content all of the time*
+//     (a site failure only loses that fragment);
+//   - a hot standby (full replication) buys availability at double the
+//     hardware;
+//   - fragmentation plus replication delivers *most of the content all
+//     of the time* and is "the design of choice in most high-availability
+//     environments".
+//
+// Sites alternate exponentially distributed up (MTBF) and down (MTTR)
+// periods; the simulator sweeps the exact event timeline and reports
+// time-weighted content availability, the fraction of time everything was
+// reachable, and the equivalent "nines".
+package ha
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Config describes one placement under failure assumptions.
+type Config struct {
+	// Sites is the machine pool size.
+	Sites int
+	// Fragments is the number of content fragments (1 = unfragmented).
+	Fragments int
+	// Replicas is the number of copies of each fragment (1 = none).
+	Replicas int
+	// MTBF is the mean up time of a site.
+	MTBF time.Duration
+	// MTTR is the mean repair time of a site.
+	MTTR time.Duration
+	// Horizon is the simulated duration.
+	Horizon time.Duration
+	// Seed drives the deterministic failure process.
+	Seed int64
+}
+
+// Result reports the availability metrics of a simulation.
+type Result struct {
+	// ContentAvailability is the time-weighted mean fraction of
+	// fragments reachable (≥1 live replica).
+	ContentAvailability float64
+	// FullAvailability is the fraction of time every fragment was
+	// reachable — "all of the content".
+	FullAvailability float64
+	// AnyAvailability is the fraction of time at least one fragment was
+	// reachable — "some of the content".
+	AnyAvailability float64
+	// Nines is -log10(1 - ContentAvailability), the marketing number.
+	Nines float64
+	// HardwareUnits is Fragments × Replicas — the cost side.
+	HardwareUnits int
+}
+
+// Validate checks a config for simulability.
+func (c Config) Validate() error {
+	if c.Sites <= 0 || c.Fragments <= 0 || c.Replicas <= 0 {
+		return fmt.Errorf("ha: sites, fragments and replicas must be positive")
+	}
+	if c.Replicas > c.Sites {
+		return fmt.Errorf("ha: %d replicas need at least that many sites (have %d)", c.Replicas, c.Sites)
+	}
+	if c.MTBF <= 0 || c.MTTR <= 0 || c.Horizon <= 0 {
+		return fmt.Errorf("ha: MTBF, MTTR and Horizon must be positive")
+	}
+	return nil
+}
+
+// Simulate runs the placement through the failure process.
+func Simulate(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	horizon := cfg.Horizon.Seconds()
+	mtbf := cfg.MTBF.Seconds()
+	mttr := cfg.MTTR.Seconds()
+
+	// Generate per-site toggle timelines (site starts up).
+	type toggle struct {
+		t    float64
+		site int
+		up   bool
+	}
+	var events []toggle
+	for s := 0; s < cfg.Sites; s++ {
+		t := 0.0
+		up := true
+		for t < horizon {
+			var dur float64
+			if up {
+				dur = rng.ExpFloat64() * mtbf
+			} else {
+				dur = rng.ExpFloat64() * mttr
+			}
+			t += dur
+			if t >= horizon {
+				break
+			}
+			up = !up
+			events = append(events, toggle{t: t, site: s, up: up})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].t < events[j].t })
+
+	// Chained-declustering placement: fragment f's replicas live on sites
+	// (f+k) mod Sites for k in [0, Replicas), which are distinct whenever
+	// Replicas ≤ Sites.
+	replicaSites := make([][]int, cfg.Fragments)
+	for f := 0; f < cfg.Fragments; f++ {
+		for k := 0; k < cfg.Replicas; k++ {
+			replicaSites[f] = append(replicaSites[f], (f+k)%cfg.Sites)
+		}
+	}
+	// liveReplicas[f] counts live replicas of fragment f.
+	siteUp := make([]bool, cfg.Sites)
+	for i := range siteUp {
+		siteUp[i] = true
+	}
+	liveReplicas := make([]int, cfg.Fragments)
+	fragmentsUp := cfg.Fragments
+	for f := range liveReplicas {
+		liveReplicas[f] = cfg.Replicas
+	}
+	// Which fragments depend on each site.
+	dependents := make([][]int, cfg.Sites)
+	for f, sites := range replicaSites {
+		for _, s := range sites {
+			dependents[s] = append(dependents[s], f)
+		}
+	}
+
+	var contentTime, fullTime, anyTime float64
+	prev := 0.0
+	accumulate := func(until float64) {
+		dt := until - prev
+		if dt <= 0 {
+			return
+		}
+		contentTime += dt * float64(fragmentsUp) / float64(cfg.Fragments)
+		if fragmentsUp == cfg.Fragments {
+			fullTime += dt
+		}
+		if fragmentsUp > 0 {
+			anyTime += dt
+		}
+		prev = until
+	}
+	for _, e := range events {
+		accumulate(e.t)
+		if siteUp[e.site] == e.up {
+			continue
+		}
+		siteUp[e.site] = e.up
+		for _, f := range dependents[e.site] {
+			before := liveReplicas[f] > 0
+			if e.up {
+				liveReplicas[f]++
+			} else {
+				liveReplicas[f]--
+			}
+			after := liveReplicas[f] > 0
+			if before && !after {
+				fragmentsUp--
+			}
+			if !before && after {
+				fragmentsUp++
+			}
+		}
+	}
+	accumulate(horizon)
+
+	res := Result{
+		ContentAvailability: contentTime / horizon,
+		FullAvailability:    fullTime / horizon,
+		AnyAvailability:     anyTime / horizon,
+		HardwareUnits:       cfg.Fragments * cfg.Replicas,
+	}
+	if res.ContentAvailability >= 1 {
+		res.Nines = math.Inf(1)
+	} else {
+		res.Nines = -math.Log10(1 - res.ContentAvailability)
+	}
+	return res, nil
+}
+
+// Strategy names the four placements the paper contrasts.
+type Strategy string
+
+// The placements of E5.
+const (
+	Central    Strategy = "central"
+	Fragmented Strategy = "fragmented"
+	Replicated Strategy = "replicated (hot standby)"
+	FragRepl   Strategy = "fragmented+replicated"
+)
+
+// ConfigFor builds the standard configuration of a named strategy over a
+// pool of sites.
+func ConfigFor(s Strategy, sites int, mtbf, mttr, horizon time.Duration, seed int64) Config {
+	cfg := Config{Sites: sites, MTBF: mtbf, MTTR: mttr, Horizon: horizon, Seed: seed}
+	switch s {
+	case Central:
+		cfg.Fragments, cfg.Replicas = 1, 1
+	case Fragmented:
+		cfg.Fragments, cfg.Replicas = sites, 1
+	case Replicated:
+		cfg.Fragments, cfg.Replicas = 1, 2
+	case FragRepl:
+		cfg.Fragments, cfg.Replicas = sites, 2
+	}
+	return cfg
+}

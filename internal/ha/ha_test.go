@@ -1,0 +1,193 @@
+package ha
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func baseCfg() Config {
+	return Config{
+		Sites: 8, Fragments: 8, Replicas: 2,
+		MTBF: 100 * time.Hour, MTTR: time.Hour,
+		Horizon: 10000 * time.Hour, Seed: 42,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := baseCfg()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.Sites = 0 },
+		func(c *Config) { c.Fragments = 0 },
+		func(c *Config) { c.Replicas = 0 },
+		func(c *Config) { c.Replicas = 99 },
+		func(c *Config) { c.MTBF = 0 },
+		func(c *Config) { c.MTTR = 0 },
+		func(c *Config) { c.Horizon = 0 },
+	}
+	for i, mutate := range bads {
+		c := baseCfg()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+		if _, err := Simulate(c); err == nil {
+			t.Errorf("case %d should fail Simulate", i)
+		}
+	}
+}
+
+func TestCentralMatchesTheory(t *testing.T) {
+	// A single site's availability is MTBF/(MTBF+MTTR) ≈ 0.990099.
+	cfg := ConfigFor(Central, 1, 100*time.Hour, time.Hour, 200000*time.Hour, 7)
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theory := 100.0 / 101.0
+	if math.Abs(res.ContentAvailability-theory) > 0.004 {
+		t.Errorf("central availability = %.5f, theory %.5f", res.ContentAvailability, theory)
+	}
+	// Central: content == full == any.
+	if res.FullAvailability != res.ContentAvailability || res.AnyAvailability != res.ContentAvailability {
+		t.Errorf("central metrics disagree: %+v", res)
+	}
+	if res.HardwareUnits != 1 {
+		t.Errorf("hardware = %d", res.HardwareUnits)
+	}
+}
+
+func TestReplicationBeatsCentral(t *testing.T) {
+	seedSum := func(s Strategy) float64 {
+		total := 0.0
+		for seed := int64(1); seed <= 5; seed++ {
+			cfg := ConfigFor(s, 8, 100*time.Hour, time.Hour, 50000*time.Hour, seed)
+			res, err := Simulate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.ContentAvailability
+		}
+		return total / 5
+	}
+	central := seedSum(Central)
+	replicated := seedSum(Replicated)
+	if replicated <= central {
+		t.Errorf("replication (%f) should beat central (%f)", replicated, central)
+	}
+	// Hot standby should be roughly 1-(1-a)^2.
+	a := 100.0 / 101.0
+	theory := 1 - (1-a)*(1-a)
+	if math.Abs(replicated-theory) > 0.002 {
+		t.Errorf("replicated = %f, theory %f", replicated, theory)
+	}
+}
+
+func TestFragmentationTradeoffs(t *testing.T) {
+	// "Some of the content all of the time": fragmented placement has
+	// high any-availability but lower full-availability than central's
+	// single coin flip would suggest.
+	mtbf, mttr := 100*time.Hour, time.Hour
+	horizon := 50000 * time.Hour
+	frag, err := Simulate(ConfigFor(Fragmented, 8, mtbf, mttr, horizon, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := Simulate(ConfigFor(Central, 8, mtbf, mttr, horizon, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.AnyAvailability <= central.AnyAvailability {
+		t.Errorf("fragmented any (%f) should exceed central (%f)", frag.AnyAvailability, central.AnyAvailability)
+	}
+	if frag.FullAvailability >= central.FullAvailability {
+		t.Errorf("fragmented full (%f) should trail central (%f)", frag.FullAvailability, central.FullAvailability)
+	}
+	// Mean content availability equals single-site availability either way.
+	if math.Abs(frag.ContentAvailability-central.ContentAvailability) > 0.01 {
+		t.Errorf("content availability should match: %f vs %f", frag.ContentAvailability, central.ContentAvailability)
+	}
+}
+
+func TestFragReplDominates(t *testing.T) {
+	// "Most of the content all of the time": frag+repl beats everything
+	// on content availability and dominates fragmented on full.
+	mtbf, mttr := 100*time.Hour, time.Hour
+	horizon := 50000 * time.Hour
+	var fr, f, c Result
+	for seed := int64(1); seed <= 3; seed++ {
+		a, err := Simulate(ConfigFor(FragRepl, 8, mtbf, mttr, horizon, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := Simulate(ConfigFor(Fragmented, 8, mtbf, mttr, horizon, seed))
+		d, _ := Simulate(ConfigFor(Central, 8, mtbf, mttr, horizon, seed))
+		fr.ContentAvailability += a.ContentAvailability / 3
+		fr.FullAvailability += a.FullAvailability / 3
+		f.ContentAvailability += b.ContentAvailability / 3
+		f.FullAvailability += b.FullAvailability / 3
+		c.ContentAvailability += d.ContentAvailability / 3
+	}
+	if fr.ContentAvailability <= f.ContentAvailability || fr.ContentAvailability <= c.ContentAvailability {
+		t.Errorf("frag+repl content = %f should dominate (frag %f, central %f)",
+			fr.ContentAvailability, f.ContentAvailability, c.ContentAvailability)
+	}
+	if fr.FullAvailability <= f.FullAvailability {
+		t.Errorf("frag+repl full = %f should beat fragmented %f", fr.FullAvailability, f.FullAvailability)
+	}
+}
+
+func TestNinesComputation(t *testing.T) {
+	res, err := Simulate(ConfigFor(Replicated, 4, 1000*time.Hour, time.Hour, 100000*time.Hour, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContentAvailability < 1 {
+		want := -math.Log10(1 - res.ContentAvailability)
+		if math.Abs(res.Nines-want) > 1e-9 {
+			t.Errorf("nines = %f, want %f", res.Nines, want)
+		}
+	}
+	// A site that never fails within the horizon yields +Inf nines.
+	perfect := Config{
+		Sites: 1, Fragments: 1, Replicas: 1,
+		MTBF: 1 << 60, MTTR: time.Hour,
+		Horizon: time.Hour, Seed: 1,
+	}
+	res, err = Simulate(perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContentAvailability == 1 && !math.IsInf(res.Nines, 1) {
+		t.Errorf("perfect availability nines = %f", res.Nines)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := baseCfg()
+	a, _ := Simulate(cfg)
+	b, _ := Simulate(cfg)
+	if a != b {
+		t.Error("same seed should reproduce identical results")
+	}
+	cfg.Seed = 43
+	c, _ := Simulate(cfg)
+	if a == c {
+		t.Error("different seed should perturb results")
+	}
+}
+
+func TestConfigFor(t *testing.T) {
+	for _, s := range []Strategy{Central, Fragmented, Replicated, FragRepl} {
+		cfg := ConfigFor(s, 8, time.Hour, time.Minute, time.Hour, 1)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s config invalid: %v", s, err)
+		}
+	}
+	if c := ConfigFor(FragRepl, 8, time.Hour, time.Minute, time.Hour, 1); c.Fragments != 8 || c.Replicas != 2 {
+		t.Errorf("fragrepl = %+v", c)
+	}
+}

@@ -1,0 +1,129 @@
+package ir
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Synonyms maintains synonym rings: sets of terms or phrases declared
+// equivalent ("India ink" ≡ "black ink" ≡ "fountain pen ink, black").
+// Rings are transitive — adding A≡B and B≡C merges all three — which
+// matches how content managers incrementally grow a synonym table.
+//
+// The structure is safe for concurrent use.
+type Synonyms struct {
+	mu   sync.RWMutex
+	ring map[string]int   // normalized phrase → ring id
+	sets map[int][]string // ring id → members (normalized)
+	next int
+}
+
+// NewSynonyms returns an empty synonym table.
+func NewSynonyms() *Synonyms {
+	return &Synonyms{ring: make(map[string]int), sets: make(map[int][]string)}
+}
+
+func normPhrase(s string) string {
+	return strings.Join(Terms(s), " ")
+}
+
+// Declare makes all the given phrases mutually synonymous, merging any
+// rings they already belong to.
+func (s *Synonyms) Declare(phrases ...string) {
+	if len(phrases) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	target := -1
+	var members []string
+	for _, p := range phrases {
+		n := normPhrase(p)
+		if n == "" {
+			continue
+		}
+		if id, ok := s.ring[n]; ok {
+			if target == -1 {
+				target = id
+			} else if id != target {
+				// Merge ring id into target.
+				for _, m := range s.sets[id] {
+					s.ring[m] = target
+					s.sets[target] = append(s.sets[target], m)
+				}
+				delete(s.sets, id)
+			}
+		} else {
+			members = append(members, n)
+		}
+	}
+	if target == -1 {
+		target = s.next
+		s.next++
+	}
+	for _, m := range members {
+		if _, ok := s.ring[m]; ok {
+			continue
+		}
+		s.ring[m] = target
+		s.sets[target] = append(s.sets[target], m)
+	}
+}
+
+// Expand returns the normalized phrase plus all its synonyms, sorted.
+// A phrase with no ring returns just itself (normalized).
+func (s *Synonyms) Expand(phrase string) []string {
+	n := normPhrase(phrase)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.ring[n]
+	if !ok {
+		return []string{n}
+	}
+	out := make([]string, len(s.sets[id]))
+	copy(out, s.sets[id])
+	sort.Strings(out)
+	return out
+}
+
+// ExpandTerms expands a query's terms through the synonym table and
+// returns the union of all expansions' terms, deduplicated. Rings are
+// phrase-keyed ("utility knife" ≡ "box cutter"), so both the full query
+// phrase and each individual term are looked up: the phrase lookup
+// bridges multi-word synonyms whose members share no terms, the per-term
+// lookups catch single-word rings embedded in longer queries.
+func (s *Synonyms) ExpandTerms(terms []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(t string) {
+		if t != "" && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for _, t := range terms {
+		add(t)
+	}
+	expandPhrase := func(phrase string) {
+		for _, member := range s.Expand(phrase) {
+			for _, pt := range strings.Fields(member) {
+				add(pt)
+			}
+		}
+	}
+	if len(terms) > 1 {
+		expandPhrase(strings.Join(terms, " "))
+	}
+	for _, t := range terms {
+		expandPhrase(t)
+	}
+	return out
+}
+
+// Size returns the number of synonym rings.
+func (s *Synonyms) Size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sets)
+}

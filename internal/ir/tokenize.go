@@ -1,0 +1,90 @@
+// Package ir implements the information-retrieval services required by
+// content integration (paper, Characteristic 7): tokenization, an inverted
+// index with TF-IDF ranking, synonym expansion, and fuzzy (approximate)
+// matching so that a query for "drlls: crdlss" finds cordless drills.
+//
+// The engine plays the architectural role AltaVista's text engine plays in
+// Cohera Integrate: it is compiled into the query engine and modeled by
+// the optimizer as an access path for text predicates.
+package ir
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lowercase terms. Letters and digits form
+// tokens; everything else separates. Single-character tokens are kept:
+// part numbers like "a 4" matter in catalogs.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// stopwords are dropped at indexing and query time. The list is small:
+// catalog text is terse and over-aggressive stopping hurts recall.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "the": true, "of": true,
+	"for": true, "with": true, "in": true, "on": true, "to": true,
+}
+
+// IsStopword reports whether the term is on the stopword list.
+func IsStopword(term string) bool { return stopwords[term] }
+
+// Stem applies a light suffix-stripping stemmer (a reduced Porter step 1)
+// suitable for product text: plurals and simple -ing/-ed forms fold
+// together without mangling part numbers.
+func Stem(term string) string {
+	if len(term) <= 3 || hasDigit(term) {
+		return term
+	}
+	switch {
+	case strings.HasSuffix(term, "sses"):
+		return term[:len(term)-2]
+	case strings.HasSuffix(term, "ies"):
+		return term[:len(term)-3] + "y"
+	case strings.HasSuffix(term, "ss"):
+		return term
+	case strings.HasSuffix(term, "s"):
+		return term[:len(term)-1]
+	}
+	return term
+}
+
+func hasDigit(s string) bool {
+	for _, r := range s {
+		if unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Terms tokenizes, removes stopwords and stems — the full analysis chain
+// applied identically at index and query time.
+func Terms(text string) []string {
+	raw := Tokenize(text)
+	out := raw[:0]
+	for _, t := range raw {
+		if IsStopword(t) {
+			continue
+		}
+		out = append(out, Stem(t))
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package mview
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRefreshFailureKeepsOldData injects a total source outage during
+// refresh: the refresh must fail loudly, record the error, and leave the
+// previously materialized rows untouched — a stale answer beats a lost
+// one under the paper's availability posture.
+func TestRefreshFailureKeepsOldData(t *testing.T) {
+	fed, _, mgr := setup(t)
+	ctx := context.Background()
+	v, err := mgr.Create(ctx, "snap", "SELECT name, available FROM hotels", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsBefore := v.Rows()
+	if rowsBefore == 0 {
+		t.Fatal("empty view")
+	}
+	// Kill the only source site.
+	site, err := fed.Site("chain-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	site.SetDown(true)
+	if err := mgr.Refresh(ctx, "snap"); err == nil {
+		t.Fatal("refresh during outage should fail")
+	}
+	if v.LastErr() == nil {
+		t.Error("refresh error not recorded on the view")
+	}
+	if v.Rows() != rowsBefore {
+		t.Errorf("outage refresh mutated the view: %d → %d rows", rowsBefore, v.Rows())
+	}
+	// The stale view still answers queries.
+	res, err := fed.Query(ctx, "SELECT COUNT(*) FROM snap")
+	if err != nil || res.Rows[0][0].Int() != int64(rowsBefore) {
+		t.Errorf("stale view unqueryable: %v, %v", res, err)
+	}
+	// Recovery clears the error on the next successful refresh.
+	site.SetDown(false)
+	if err := mgr.Refresh(ctx, "snap"); err != nil {
+		t.Fatal(err)
+	}
+	if v.LastErr() != nil {
+		t.Errorf("error not cleared after recovery: %v", v.LastErr())
+	}
+}

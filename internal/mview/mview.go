@@ -1,0 +1,267 @@
+// Package mview implements materialized views over the federation
+// (paper, Characteristic 5). A view is a federated SELECT whose result is
+// materialized at a cache site and registered back into the federation's
+// global schema, so queries can mix fetch-in-advance tables (views) with
+// fetch-on-demand tables (live fragments and wrapper sources) — the
+// hybrid strategy the paper prescribes for a single body of content
+// ("the address of the hotel ... fetched in advance, while room
+// availability ... fetched on demand").
+//
+// Views refresh on a per-view interval, on demand, or never (manual), and
+// expose their age so the staleness experiments can quantify the
+// warehouse-vs-federation trade-off.
+package mview
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"cohera/internal/exec"
+	"cohera/internal/federation"
+	"cohera/internal/schema"
+	"cohera/internal/sqlparse"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// View is one materialized view.
+type View struct {
+	// Name is the view's global-table name.
+	Name string
+	// SQL is the defining federated query.
+	SQL string
+	// Interval is the refresh period; 0 means manual refresh only.
+	Interval time.Duration
+
+	stmt  sqlparse.SelectStmt
+	table *storage.Table
+
+	mu          sync.Mutex
+	lastRefresh time.Time
+	refreshes   int
+	lastErr     error
+}
+
+// Age returns the time since the last successful refresh.
+func (v *View) Age() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.lastRefresh.IsZero() {
+		return time.Duration(1<<62 - 1)
+	}
+	return time.Since(v.lastRefresh)
+}
+
+// Refreshes reports the number of successful refreshes.
+func (v *View) Refreshes() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.refreshes
+}
+
+// LastErr returns the most recent refresh error (nil when healthy).
+func (v *View) LastErr() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.lastErr
+}
+
+// Rows reports the materialized cardinality.
+func (v *View) Rows() int { return v.table.Len() }
+
+// Manager creates, refreshes and serves materialized views for one
+// federation. It hosts view data on a dedicated cache site registered
+// with the federation, so federated queries reference views exactly like
+// base tables (data independence: callers cannot tell a view from a
+// table, per the paper's §3.2 argument against ETL).
+type Manager struct {
+	fed  *federation.Federation
+	site *federation.Site
+
+	mu    sync.Mutex
+	views map[string]*View
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewManager creates a manager with a cache site named siteName (e.g.
+// "matview-cache") registered in the federation.
+func NewManager(fed *federation.Federation, siteName string) (*Manager, error) {
+	site := federation.NewSite(siteName)
+	if err := fed.AddSite(site); err != nil {
+		return nil, err
+	}
+	return &Manager{
+		fed:    fed,
+		site:   site,
+		views:  make(map[string]*View),
+		stopCh: make(chan struct{}),
+	}, nil
+}
+
+// Site returns the cache site hosting materialized data.
+func (m *Manager) Site() *federation.Site { return m.site }
+
+// Create defines and immediately populates a materialized view, then
+// registers it as a single-fragment global table at the cache site.
+// interval 0 means the view refreshes only via Refresh.
+func (m *Manager) Create(ctx context.Context, name, sql string, interval time.Duration) (*View, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(sqlparse.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("mview: view %q must be a SELECT", name)
+	}
+	res, err := m.fed.Query(ctx, sql)
+	if err != nil {
+		return nil, fmt.Errorf("mview: populating %q: %w", name, err)
+	}
+	def, err := inferSchema(name, res)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := m.site.DB().CreateTable(def)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.Rows {
+		if _, err := tbl.Insert(normalizeRow(def, r)); err != nil {
+			return nil, fmt.Errorf("mview: loading %q: %w", name, err)
+		}
+	}
+	if _, err := m.fed.DefineTable(def, federation.NewFragment("view", nil, m.site)); err != nil {
+		return nil, err
+	}
+	v := &View{Name: name, SQL: sql, Interval: interval, stmt: sel, table: tbl, lastRefresh: time.Now(), refreshes: 1}
+	m.mu.Lock()
+	m.views[strings.ToLower(name)] = v
+	m.mu.Unlock()
+	return v, nil
+}
+
+// View fetches a view by name.
+func (m *Manager) View(name string) (*View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.views[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("mview: no view %q", name)
+	}
+	return v, nil
+}
+
+// Views lists all views.
+func (m *Manager) Views() []*View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*View, 0, len(m.views))
+	for _, v := range m.views {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Refresh re-executes a view's defining query and replaces its contents.
+func (m *Manager) Refresh(ctx context.Context, name string) error {
+	v, err := m.View(name)
+	if err != nil {
+		return err
+	}
+	res, err := m.fed.Query(ctx, v.SQL)
+	if err != nil {
+		v.mu.Lock()
+		v.lastErr = err
+		v.mu.Unlock()
+		return fmt.Errorf("mview: refreshing %q: %w", name, err)
+	}
+	def := v.table.Def()
+	v.table.Truncate()
+	for _, r := range res.Rows {
+		if _, err := v.table.Insert(normalizeRow(def, r)); err != nil {
+			v.mu.Lock()
+			v.lastErr = err
+			v.mu.Unlock()
+			return fmt.Errorf("mview: reloading %q: %w", name, err)
+		}
+	}
+	v.mu.Lock()
+	v.lastRefresh = time.Now()
+	v.refreshes++
+	v.lastErr = nil
+	v.mu.Unlock()
+	return nil
+}
+
+// StartAuto launches the refresh daemon: each view with a non-zero
+// interval refreshes on its own schedule until Stop.
+func (m *Manager) StartAuto() {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.stopCh:
+				return
+			case <-tick.C:
+				for _, v := range m.Views() {
+					if v.Interval > 0 && v.Age() >= v.Interval {
+						// Best effort; errors recorded on the view.
+						_ = m.Refresh(context.Background(), v.Name)
+					}
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the refresh daemon.
+func (m *Manager) Stop() {
+	m.stopOnce.Do(func() { close(m.stopCh) })
+	m.wg.Wait()
+}
+
+// inferSchema derives a view's schema from a result: column kinds come
+// from the first non-NULL value in each column (TEXT when a column is
+// entirely NULL). Text columns get full-text indexing so IR predicates
+// keep working over views.
+func inferSchema(name string, res *exec.Result) (*schema.Table, error) {
+	if len(res.Columns) == 0 {
+		return nil, fmt.Errorf("mview: view %q has no columns", name)
+	}
+	cols := make([]schema.Column, len(res.Columns))
+	for i, cn := range res.Columns {
+		kind := value.KindString
+		for _, r := range res.Rows {
+			if !r[i].IsNull() {
+				kind = r[i].Kind()
+				break
+			}
+		}
+		cols[i] = schema.Column{Name: cn, Kind: kind, FullText: kind == value.KindString}
+	}
+	return schema.NewTable(name, cols)
+}
+
+// normalizeRow coerces int into float columns (aggregates may produce
+// either across refreshes).
+func normalizeRow(def *schema.Table, r storage.Row) storage.Row {
+	out := r.Clone()
+	for i, c := range def.Columns {
+		if i >= len(out) {
+			break
+		}
+		if c.Kind == value.KindFloat && out[i].Kind() == value.KindInt {
+			out[i] = value.NewFloat(float64(out[i].Int()))
+		}
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package mview
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cohera/internal/federation"
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+func hotelsDef() *schema.Table {
+	return schema.MustTable("hotels", []schema.Column{
+		{Name: "name", Kind: value.KindString, NotNull: true},
+		{Name: "city", Kind: value.KindString},
+		{Name: "miles", Kind: value.KindFloat},
+		{Name: "available", Kind: value.KindInt},
+	}, "name")
+}
+
+func hotelRow(name, city string, miles float64, avail int64) storage.Row {
+	return storage.Row{
+		value.NewString(name), value.NewString(city),
+		value.NewFloat(miles), value.NewInt(avail),
+	}
+}
+
+func setup(t *testing.T) (*federation.Federation, *federation.Fragment, *Manager) {
+	t.Helper()
+	fed := federation.New(federation.NewAgoric())
+	site := federation.NewSite("chain-1")
+	if err := fed.AddSite(site); err != nil {
+		t.Fatal(err)
+	}
+	frag := federation.NewFragment("all", nil, site)
+	if _, err := fed.DefineTable(hotelsDef(), frag); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.LoadFragment("hotels", frag, []storage.Row{
+		hotelRow("Airport Inn", "Atlanta", 2.5, 5),
+		hotelRow("Downtown Suites", "Atlanta", 11.0, 3),
+		hotelRow("Bayview", "Oakland", 1.0, 9),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManager(fed, "matview-cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed, frag, mgr
+}
+
+func TestCreateAndQueryView(t *testing.T) {
+	fed, _, mgr := setup(t)
+	ctx := context.Background()
+	v, err := mgr.Create(ctx, "atlanta_hotels",
+		"SELECT name, miles FROM hotels WHERE city = 'Atlanta'", 0)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if v.Rows() != 2 || v.Refreshes() != 1 {
+		t.Errorf("view rows=%d refreshes=%d", v.Rows(), v.Refreshes())
+	}
+	// The view is queryable through the federation like any table —
+	// data independence.
+	res, err := fed.Query(ctx, "SELECT name FROM atlanta_hotels WHERE miles < 10")
+	if err != nil {
+		t.Fatalf("query view: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "Airport Inn" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestViewStalenessAndRefresh(t *testing.T) {
+	fed, frag, mgr := setup(t)
+	ctx := context.Background()
+	if _, err := mgr.Create(ctx, "avail_snapshot",
+		"SELECT name, available FROM hotels", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Source data changes (a room is sold).
+	if err := fed.LoadFragment("hotels", frag, []storage.Row{
+		hotelRow("Airport Inn", "Atlanta", 2.5, 0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Stale view still shows 5 — the warehouse problem.
+	res, err := fed.Query(ctx, "SELECT available FROM avail_snapshot WHERE name = 'Airport Inn'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		// expected stale value is 5
+		if res.Rows[0][0].Int() != 5 {
+			t.Fatalf("unexpected value %v", res.Rows[0][0])
+		}
+	} else {
+		t.Fatal("view refreshed itself without being asked")
+	}
+	// Live table shows 0.
+	live, _ := fed.Query(ctx, "SELECT available FROM hotels WHERE name = 'Airport Inn'")
+	if live.Rows[0][0].Int() != 0 {
+		t.Errorf("live = %v", live.Rows[0][0])
+	}
+	// Manual refresh catches up.
+	if err := mgr.Refresh(ctx, "avail_snapshot"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = fed.Query(ctx, "SELECT available FROM avail_snapshot WHERE name = 'Airport Inn'")
+	if res.Rows[0][0].Int() != 0 {
+		t.Errorf("after refresh = %v", res.Rows[0][0])
+	}
+	v, _ := mgr.View("avail_snapshot")
+	if v.Refreshes() != 2 || v.LastErr() != nil {
+		t.Errorf("refreshes=%d err=%v", v.Refreshes(), v.LastErr())
+	}
+}
+
+func TestHybridQuery(t *testing.T) {
+	// Static attributes in a view (fetch in advance), availability from
+	// the live table (fetch on demand), joined in one query — the paper's
+	// hotel example.
+	fed, frag, mgr := setup(t)
+	ctx := context.Background()
+	if _, err := mgr.Create(ctx, "hotel_info",
+		"SELECT name AS hname, city, miles FROM hotels", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Availability changes after the view materialized.
+	if err := fed.LoadFragment("hotels", frag, []storage.Row{
+		hotelRow("Airport Inn", "Atlanta", 2.5, 1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.Query(ctx, `
+		SELECT i.hname, h.available FROM hotel_info i
+		JOIN hotels h ON i.hname = h.name
+		WHERE i.city = 'Atlanta' AND i.miles < 10 AND h.available > 0`)
+	if err != nil {
+		t.Fatalf("hybrid query: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "Airport Inn" || res.Rows[0][1].Int() != 1 {
+		t.Errorf("hybrid = %v", res.Rows)
+	}
+}
+
+func TestAutoRefresh(t *testing.T) {
+	fed, frag, mgr := setup(t)
+	ctx := context.Background()
+	v, err := mgr.Create(ctx, "auto_view",
+		"SELECT name, available FROM hotels", 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.StartAuto()
+	defer mgr.Stop()
+	if err := fed.LoadFragment("hotels", frag, []storage.Row{
+		hotelRow("Airport Inn", "Atlanta", 2.5, 0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := fed.Query(ctx, "SELECT available FROM auto_view WHERE name = 'Airport Inn'")
+		if err == nil && len(res.Rows) == 1 && res.Rows[0][0].Int() == 0 {
+			if v.Refreshes() < 2 {
+				t.Errorf("refreshes = %d", v.Refreshes())
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("auto refresh never caught up")
+}
+
+func TestCreateErrors(t *testing.T) {
+	_, _, mgr := setup(t)
+	ctx := context.Background()
+	if _, err := mgr.Create(ctx, "v", "not sql", 0); err == nil {
+		t.Error("bad SQL should fail")
+	}
+	if _, err := mgr.Create(ctx, "v", "SELECT * FROM ghost", 0); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := mgr.Create(ctx, "hotels", "SELECT * FROM hotels", 0); err == nil {
+		t.Error("name clash with global table should fail")
+	}
+	if _, err := mgr.View("ghost"); err == nil {
+		t.Error("missing view should fail")
+	}
+	if err := mgr.Refresh(ctx, "ghost"); err == nil {
+		t.Error("refreshing missing view should fail")
+	}
+}
+
+func TestViewAge(t *testing.T) {
+	_, _, mgr := setup(t)
+	v, err := mgr.Create(context.Background(), "v1", "SELECT name FROM hotels", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Age() > time.Minute {
+		t.Errorf("fresh view age = %v", v.Age())
+	}
+	if len(mgr.Views()) != 1 {
+		t.Errorf("Views = %d", len(mgr.Views()))
+	}
+}

@@ -1,0 +1,199 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cohera/internal/sqlparse"
+	"cohera/internal/value"
+)
+
+func TestConjunctsAndRecombine(t *testing.T) {
+	e, _ := sqlparse.ParseExpr("a = 1 AND b > 2 AND (c = 3 OR d = 4)")
+	cs := Conjuncts(e)
+	if len(cs) != 3 {
+		t.Fatalf("Conjuncts = %d, want 3", len(cs))
+	}
+	back := AndExprs(cs)
+	if len(Conjuncts(back)) != 3 {
+		t.Error("AndExprs did not recombine")
+	}
+	if Conjuncts(nil) != nil || AndExprs(nil) != nil {
+		t.Error("nil handling")
+	}
+}
+
+func TestSargable(t *testing.T) {
+	cases := []struct {
+		sql        string
+		col        string
+		lo, hi     value.Value
+		loEx, hiEx bool
+		ok         bool
+	}{
+		{"qty = 5", "qty", value.NewInt(5), value.NewInt(5), false, false, true},
+		{"qty < 5", "qty", value.Null, value.NewInt(5), false, true, true},
+		{"qty <= 5", "qty", value.Null, value.NewInt(5), false, false, true},
+		{"qty > 5", "qty", value.NewInt(5), value.Null, true, false, true},
+		{"qty >= 5", "qty", value.NewInt(5), value.Null, false, false, true},
+		{"5 < qty", "qty", value.NewInt(5), value.Null, true, false, true},
+		{"5 = qty", "qty", value.NewInt(5), value.NewInt(5), false, false, true},
+		{"qty BETWEEN 2 AND 8", "qty", value.NewInt(2), value.NewInt(8), false, false, true},
+		{"qty <> 5", "", value.Null, value.Null, false, false, false},
+		{"qty + 1 = 5", "", value.Null, value.Null, false, false, false},
+		{"a = b", "", value.Null, value.Null, false, false, false},
+		{"qty NOT BETWEEN 2 AND 8", "", value.Null, value.Null, false, false, false},
+	}
+	for _, c := range cases {
+		e, err := sqlparse.ParseExpr(c.sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.sql, err)
+		}
+		r, ok := Sargable(e)
+		if ok != c.ok {
+			t.Errorf("Sargable(%q) ok = %v, want %v", c.sql, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if r.Column != c.col || !r.Lo.Equal(c.lo) || !r.Hi.Equal(c.hi) ||
+			r.LoExclusive != c.loEx || r.HiExclusive != c.hiEx {
+			t.Errorf("Sargable(%q) = %+v", c.sql, r)
+		}
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	mk := func(lo, hi int64, loEx, hiEx bool) Range {
+		r := Range{Column: "x", LoExclusive: loEx, HiExclusive: hiEx}
+		if lo != -999 {
+			r.Lo = value.NewInt(lo)
+		}
+		if hi != -999 {
+			r.Hi = value.NewInt(hi)
+		}
+		return r
+	}
+	open := mk(-999, -999, false, false)
+	if !open.Contains(mk(1, 5, false, false)) {
+		t.Error("open range should contain everything")
+	}
+	if mk(1, 5, false, false).Contains(open) {
+		t.Error("bounded range cannot contain open range")
+	}
+	if !mk(0, 10, false, false).Contains(mk(2, 8, false, false)) {
+		t.Error("[0,10] should contain [2,8]")
+	}
+	if mk(2, 8, false, false).Contains(mk(0, 10, false, false)) {
+		t.Error("[2,8] should not contain [0,10]")
+	}
+	// Exclusivity at equal bounds.
+	if mk(0, 10, true, false).Contains(mk(0, 10, false, false)) {
+		t.Error("(0,10] should not contain [0,10]")
+	}
+	if !mk(0, 10, false, false).Contains(mk(0, 10, true, false)) {
+		t.Error("[0,10] should contain (0,10]")
+	}
+	// Different columns never contain.
+	other := Range{Column: "y"}
+	if open.Contains(other) {
+		t.Error("different columns")
+	}
+}
+
+// Property: if a.Contains(b), then every value satisfying b satisfies a.
+func TestContainmentSoundnessProperty(t *testing.T) {
+	gen := func(r *rand.Rand) Range {
+		rr := Range{Column: "x"}
+		if r.Intn(4) > 0 {
+			rr.Lo = value.NewInt(int64(r.Intn(20)))
+			rr.LoExclusive = r.Intn(2) == 0
+		}
+		if r.Intn(4) > 0 {
+			rr.Hi = value.NewInt(int64(r.Intn(20)))
+			rr.HiExclusive = r.Intn(2) == 0
+		}
+		return rr
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		if !a.Contains(b) {
+			return true
+		}
+		for v := int64(-2); v < 25; v++ {
+			val := value.NewInt(v)
+			if b.Satisfies(val) && !a.Satisfies(val) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitByTable(t *testing.T) {
+	e, _ := sqlparse.ParseExpr("p.a = 1 AND s.b = 2 AND p.c > 3 AND p.a = s.b")
+	local, rest := SplitByTable(Conjuncts(e), "p", false)
+	if len(local) != 2 || len(rest) != 2 {
+		t.Errorf("split = %d local, %d rest", len(local), len(rest))
+	}
+	// Unqualified references count as local only in single-table scope.
+	e2, _ := sqlparse.ParseExpr("a = 1 AND p.b = 2")
+	local, rest = SplitByTable(Conjuncts(e2), "p", true)
+	if len(local) != 2 || len(rest) != 0 {
+		t.Errorf("single-table split = %d local, %d rest", len(local), len(rest))
+	}
+	local, rest = SplitByTable(Conjuncts(e2), "p", false)
+	if len(local) != 1 || len(rest) != 1 {
+		t.Errorf("multi-table split = %d local, %d rest", len(local), len(rest))
+	}
+}
+
+func TestEquiJoinKeys(t *testing.T) {
+	e, _ := sqlparse.ParseExpr("p.sid = s.id AND p.x > 1 AND s.region = p.region")
+	l, r := EquiJoinKeys(e, "p", "s")
+	if len(l) != 2 || len(r) != 2 {
+		t.Fatalf("keys = %v / %v", l, r)
+	}
+	if l[0].Column != "sid" || r[0].Column != "id" {
+		t.Errorf("first pair = %v = %v", l[0], r[0])
+	}
+	// Reversed orientation normalizes.
+	if l[1].Column != "region" || l[1].Table != "p" {
+		t.Errorf("second pair = %v = %v", l[1], r[1])
+	}
+}
+
+func TestEstimateSelectivity(t *testing.T) {
+	cases := []struct {
+		sql    string
+		lo, hi float64
+	}{
+		{"a = 1", 0.0, 0.2},
+		{"a <> 1", 0.8, 1.0},
+		{"a > 1", 0.2, 0.4},
+		{"a BETWEEN 1 AND 2", 0.2, 0.3},
+		{"a IN (1,2)", 0.1, 0.3},
+		{"a LIKE 'x%'", 0.1, 0.3},
+		{"a IS NULL", 0.0, 0.1},
+		{"a = 1 AND b = 1", 0.0, 0.05},
+		{"a = 1 OR b = 1", 0.1, 0.3},
+	}
+	for _, c := range cases {
+		e, _ := sqlparse.ParseExpr(c.sql)
+		s := EstimateSelectivity(e, 0)
+		if s < c.lo || s > c.hi {
+			t.Errorf("EstimateSelectivity(%q) = %g, want [%g,%g]", c.sql, s, c.lo, c.hi)
+		}
+	}
+	// Equality with known distinct count.
+	e, _ := sqlparse.ParseExpr("a = 1")
+	if s := EstimateSelectivity(e, 100); s != 0.01 {
+		t.Errorf("eq selectivity with distinct = %g", s)
+	}
+}

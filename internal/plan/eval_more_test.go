@@ -1,0 +1,203 @@
+package plan
+
+import (
+	"testing"
+
+	"cohera/internal/sqlparse"
+	"cohera/internal/value"
+)
+
+// evalErr asserts the expression fails to evaluate.
+func evalErr(t *testing.T, expr string, e Env) {
+	t.Helper()
+	x, err := sqlparse.ParseExpr(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	var ev Evaluator
+	if _, err := ev.Eval(x, e); err == nil {
+		t.Errorf("Eval(%q) should fail", expr)
+	}
+}
+
+func TestEvalErrorPaths(t *testing.T) {
+	e := NewRowEnv([]string{"s", "m", "b"}, []value.Value{
+		value.NewString("txt"), value.NewMoney(100, "USD"), value.NewBool(true),
+	})
+	evalErr(t, "-s", e)          // negate a string
+	evalErr(t, "s * 2", e)       // arithmetic on strings
+	evalErr(t, "m + 1", e)       // money + bare number
+	evalErr(t, "m - 'x'", e)     // money - string
+	evalErr(t, "2 / m", e)       // number / money
+	evalErr(t, "m / 0", e)       // money division by zero
+	evalErr(t, "b LIKE 'x%'", e) // LIKE over non-strings
+	evalErr(t, "s BETWEEN 1 AND 2", e)
+	evalErr(t, "ghost + 1", e) // unknown column propagates
+}
+
+func TestEvalNegMoneyAndNull(t *testing.T) {
+	e := NewRowEnv([]string{"m", "n"}, []value.Value{value.NewMoney(250, "EUR"), value.Null})
+	ev := &Evaluator{}
+	x, _ := sqlparse.ParseExpr("-m")
+	v, err := ev.Eval(x, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amt, cur := v.Money(); amt != -250 || cur != "EUR" {
+		t.Errorf("-money = %v", v)
+	}
+	x, _ = sqlparse.ParseExpr("-n")
+	if v, err := ev.Eval(x, e); err != nil || !v.IsNull() {
+		t.Errorf("-NULL = %v, %v", v, err)
+	}
+	// NULL arithmetic is NULL.
+	x, _ = sqlparse.ParseExpr("n + 1")
+	if v, _ := ev.Eval(x, e); !v.IsNull() {
+		t.Errorf("NULL+1 = %v", v)
+	}
+	// money * number on the left.
+	x, _ = sqlparse.ParseExpr("2 * m")
+	v, err = ev.Eval(x, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amt, _ := v.Money(); amt != 500 {
+		t.Errorf("2*money = %v", v)
+	}
+}
+
+func TestBetweenNullAndCoercion(t *testing.T) {
+	e := NewRowEnv([]string{"x", "n", "s"}, []value.Value{
+		value.NewInt(5), value.Null, value.NewString("5"),
+	})
+	ev := &Evaluator{}
+	x, _ := sqlparse.ParseExpr("n BETWEEN 1 AND 9")
+	if v, _ := ev.Eval(x, e); !v.IsNull() {
+		t.Errorf("NULL BETWEEN = %v", v)
+	}
+	x, _ = sqlparse.ParseExpr("x BETWEEN n AND 9")
+	if v, _ := ev.Eval(x, e); !v.IsNull() {
+		t.Errorf("BETWEEN NULL bound = %v", v)
+	}
+	// String coerces to the numeric bounds.
+	x, _ = sqlparse.ParseExpr("s BETWEEN 1 AND 9")
+	if v, err := ev.Eval(x, e); err != nil || !v.Truthy() {
+		t.Errorf("'5' BETWEEN 1 AND 9 = %v, %v", v, err)
+	}
+}
+
+func TestLikeNullOperands(t *testing.T) {
+	e := NewRowEnv([]string{"n", "s"}, []value.Value{value.Null, value.NewString("abc")})
+	ev := &Evaluator{}
+	x, _ := sqlparse.ParseExpr("n LIKE 'a%'")
+	if v, _ := ev.Eval(x, e); !v.IsNull() {
+		t.Errorf("NULL LIKE = %v", v)
+	}
+	x, _ = sqlparse.ParseExpr("s LIKE n")
+	if v, _ := ev.Eval(x, e); !v.IsNull() {
+		t.Errorf("LIKE NULL = %v", v)
+	}
+}
+
+func TestCompareForEvalCrossKinds(t *testing.T) {
+	// number vs string-coercible-to-number.
+	e := NewRowEnv([]string{"s", "t"}, []value.Value{
+		value.NewString("2001-05-21"), value.NewTime(mustTime(t)),
+	})
+	ev := &Evaluator{}
+	x, _ := sqlparse.ParseExpr("s = t")
+	v, err := ev.Eval(x, e)
+	if err != nil {
+		t.Fatalf("string vs time compare: %v", err)
+	}
+	if !v.Truthy() {
+		t.Errorf("'2001-05-21' = timestamp → %v", v)
+	}
+	// Same-kind incomparable stays an error (money cross-currency).
+	e2 := NewRowEnv([]string{"a", "b"}, []value.Value{
+		value.NewMoney(1, "USD"), value.NewMoney(1, "EUR"),
+	})
+	x, _ = sqlparse.ParseExpr("a < b")
+	if _, err := ev.Eval(x, e2); err == nil {
+		t.Error("cross-currency compare should fail")
+	}
+}
+
+func TestFlipOpAllCases(t *testing.T) {
+	// Literal-on-left forms exercise every flip.
+	cases := map[string]struct {
+		lo, hi         int64
+		loEx, hiEx     bool
+		loNull, hiNull bool
+	}{
+		"5 <= qty": {lo: 5},
+		"5 > qty":  {hi: 5, hiEx: true, loNull: true},
+		"5 >= qty": {hi: 5, loNull: true},
+		"5 <> qty": {}, // not sargable
+	}
+	for sql, want := range cases {
+		e, _ := sqlparse.ParseExpr(sql)
+		r, ok := Sargable(e)
+		if sql == "5 <> qty" {
+			if ok {
+				t.Errorf("%q should not be sargable", sql)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("%q should be sargable", sql)
+			continue
+		}
+		if !want.loNull && (r.Lo.IsNull() || r.Lo.Int() != want.lo || r.LoExclusive != want.loEx) {
+			t.Errorf("%q lo = %+v", sql, r)
+		}
+		if want.hi != 0 && (r.Hi.IsNull() || r.Hi.Int() != want.hi || r.HiExclusive != want.hiEx) {
+			t.Errorf("%q hi = %+v", sql, r)
+		}
+	}
+}
+
+func TestEstimateSelectivityMore(t *testing.T) {
+	cases := []string{
+		"FUZZY(name, 'x')", "NOT a = 1", "a + 1", "a IN (1,2,3)",
+	}
+	for _, sql := range cases {
+		e, err := sqlparse.ParseExpr(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := EstimateSelectivity(e, 10)
+		if s < 0 || s > 1 {
+			t.Errorf("EstimateSelectivity(%q) = %g out of range", sql, s)
+		}
+	}
+	// IN with distinct smaller than the list clamps to 1.
+	e, _ := sqlparse.ParseExpr("a IN (1,2,3)")
+	if s := EstimateSelectivity(e, 2); s != 1 {
+		t.Errorf("clamped IN selectivity = %g", s)
+	}
+}
+
+func TestWalkCoversAllNodeTypes(t *testing.T) {
+	exprs := []string{
+		"a BETWEEN 1 AND 2",
+		"a LIKE 'x%'",
+		"NOT a IS NULL",
+		"-a",
+		"FUZZY(name, 'q')",
+		"UPPER(a)",
+		"a IN (1, b)",
+	}
+	for _, sql := range exprs {
+		e, err := sqlparse.ParseExpr(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		Walk(e, func(sqlparse.Expr) bool { count++; return true })
+		if count < 2 {
+			t.Errorf("Walk(%q) visited %d nodes", sql, count)
+		}
+	}
+	Walk(nil, func(sqlparse.Expr) bool { t.Error("nil walk should not visit"); return true })
+}

@@ -1,0 +1,16 @@
+package plan
+
+import (
+	"testing"
+	"time"
+)
+
+// mustTime returns the fixed timestamp used by cross-kind compare tests.
+func mustTime(t *testing.T) time.Time {
+	t.Helper()
+	ts, err := time.Parse("2006-01-02", "2001-05-21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts.UTC()
+}

@@ -1,0 +1,144 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/wrapper"
+)
+
+// Client talks to a remote Server.
+type Client struct {
+	base  string
+	token string
+	http  *http.Client
+}
+
+// Dial creates a client for a server base URL ("http://host:port").
+// token may be empty for unauthenticated servers.
+func Dial(base, token string) *Client {
+	return &Client{
+		base:  base,
+		token: token,
+		http:  &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("remote: request: %w", err)
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("remote: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("remote: reading %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		if json.Unmarshal(out, &er) == nil && er.Error != "" {
+			return nil, fmt.Errorf("remote: %s %s: %s", method, path, er.Error)
+		}
+		return nil, fmt.Errorf("remote: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	return out, nil
+}
+
+// Tables discovers the remote schemas as ready-to-register sources.
+func (c *Client) Tables(ctx context.Context) ([]wrapper.Source, error) {
+	body, err := c.do(ctx, http.MethodGet, "/tables", nil)
+	if err != nil {
+		return nil, err
+	}
+	var schemas []wireSchema
+	if err := json.Unmarshal(body, &schemas); err != nil {
+		return nil, fmt.Errorf("remote: decoding /tables: %w", err)
+	}
+	var out []wrapper.Source
+	for _, ws := range schemas {
+		def, err := decodeSchema(ws)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Source{
+			client: c, def: def,
+			caps: wrapper.Capabilities{PushdownEq: ws.PushdownEq, Volatile: ws.Volatile},
+		})
+	}
+	return out, nil
+}
+
+// Healthy probes /healthz.
+func (c *Client) Healthy(ctx context.Context) bool {
+	_, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	return err == nil
+}
+
+// Source is a remote table presented through the standard connector
+// interface: the federation treats an enterprise across the network
+// exactly like a local wrapper (Characteristic 1's arms-length end, with
+// structure instead of scraping).
+type Source struct {
+	client *Client
+	def    *schema.Table
+	caps   wrapper.Capabilities
+}
+
+// Name implements wrapper.Source.
+func (s *Source) Name() string { return s.client.base + "/" + s.def.Name }
+
+// Schema implements wrapper.Source.
+func (s *Source) Schema() *schema.Table { return s.def }
+
+// Capabilities implements wrapper.Source.
+func (s *Source) Capabilities() wrapper.Capabilities { return s.caps }
+
+// Fetch implements wrapper.Source: pushable filters travel to the
+// server; the caller re-checks everything as usual.
+func (s *Source) Fetch(ctx context.Context, filters []wrapper.Filter) ([]storage.Row, error) {
+	req := fetchRequest{Table: s.def.Name}
+	for _, f := range filters {
+		if s.caps.CanPush(f.Column) {
+			req.Filters = append(req.Filters, wireFilter{Column: f.Column, Value: encodeValue(f.Value)})
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	out, err := s.client.do(ctx, http.MethodPost, "/fetch", body)
+	if err != nil {
+		return nil, err
+	}
+	var resp fetchResponse
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return nil, fmt.Errorf("remote: decoding /fetch: %w", err)
+	}
+	rows, err := decodeRows(resp.Rows)
+	if err != nil {
+		return nil, err
+	}
+	// Re-apply all filters locally: the server only handled pushable ones.
+	return wrapper.ApplyFilters(s.def, rows, filters), nil
+}

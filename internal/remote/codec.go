@@ -1,0 +1,184 @@
+// Package remote puts real sockets under the federation: a Server
+// exposes a site's local tables over HTTP (schema discovery + filtered
+// fetch), and the client side presents each remote table as a
+// wrapper.Source with equality pushdown, so a federation can span
+// processes and machines exactly the way the paper's cross-enterprise
+// setting demands. The wire format is JSON with kind-tagged values so
+// money, durations and timestamps survive the trip.
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// wireValue is the JSON encoding of one value.Value.
+type wireValue struct {
+	Kind string `json:"k"`
+	// I carries ints, money minor units, unix-nano timestamps and
+	// duration nanoseconds.
+	I int64 `json:"i,omitempty"`
+	// F carries floats.
+	F float64 `json:"f,omitempty"`
+	// S carries strings, currency codes and duration semantics.
+	S string `json:"s,omitempty"`
+	// B carries booleans.
+	B bool `json:"b,omitempty"`
+}
+
+func encodeValue(v value.Value) wireValue {
+	switch v.Kind() {
+	case value.KindNull:
+		return wireValue{Kind: "null"}
+	case value.KindBool:
+		return wireValue{Kind: "bool", B: v.Bool()}
+	case value.KindInt:
+		return wireValue{Kind: "int", I: v.Int()}
+	case value.KindFloat:
+		return wireValue{Kind: "float", F: v.Float()}
+	case value.KindString:
+		return wireValue{Kind: "string", S: v.Str()}
+	case value.KindMoney:
+		amt, cur := v.Money()
+		return wireValue{Kind: "money", I: amt, S: cur}
+	case value.KindTime:
+		return wireValue{Kind: "time", I: v.Time().UnixNano()}
+	case value.KindDuration:
+		d, sem := v.Duration()
+		return wireValue{Kind: "duration", I: int64(d), S: string(sem)}
+	default:
+		return wireValue{Kind: "null"}
+	}
+}
+
+func decodeValue(w wireValue) (value.Value, error) {
+	switch w.Kind {
+	case "null":
+		return value.Null, nil
+	case "bool":
+		return value.NewBool(w.B), nil
+	case "int":
+		return value.NewInt(w.I), nil
+	case "float":
+		return value.NewFloat(w.F), nil
+	case "string":
+		return value.NewString(w.S), nil
+	case "money":
+		return value.NewMoney(w.I, w.S), nil
+	case "time":
+		return value.NewTime(time.Unix(0, w.I).UTC()), nil
+	case "duration":
+		return value.NewDuration(time.Duration(w.I), value.DurationSemantics(w.S)), nil
+	default:
+		return value.Null, fmt.Errorf("remote: unknown value kind %q", w.Kind)
+	}
+}
+
+func encodeRows(rows []storage.Row) [][]wireValue {
+	out := make([][]wireValue, len(rows))
+	for i, r := range rows {
+		wr := make([]wireValue, len(r))
+		for j, v := range r {
+			wr[j] = encodeValue(v)
+		}
+		out[i] = wr
+	}
+	return out
+}
+
+func decodeRows(in [][]wireValue) ([]storage.Row, error) {
+	out := make([]storage.Row, len(in))
+	for i, wr := range in {
+		r := make(storage.Row, len(wr))
+		for j, w := range wr {
+			v, err := decodeValue(w)
+			if err != nil {
+				return nil, err
+			}
+			r[j] = v
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// wireColumn mirrors schema.Column.
+type wireColumn struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	NotNull  bool   `json:"not_null,omitempty"`
+	FullText bool   `json:"full_text,omitempty"`
+	Taxonomy string `json:"taxonomy,omitempty"`
+}
+
+// wireSchema mirrors schema.Table.
+type wireSchema struct {
+	Name    string       `json:"name"`
+	Columns []wireColumn `json:"columns"`
+	Key     []string     `json:"key,omitempty"`
+	// PushdownEq advertises the columns the server filters remotely.
+	PushdownEq []string `json:"pushdown_eq,omitempty"`
+	// Volatile marks live tables.
+	Volatile bool `json:"volatile,omitempty"`
+}
+
+func encodeSchema(def *schema.Table, pushdown []string, volatile bool) wireSchema {
+	ws := wireSchema{Name: def.Name, Key: def.Key, PushdownEq: pushdown, Volatile: volatile}
+	for _, c := range def.Columns {
+		ws.Columns = append(ws.Columns, wireColumn{
+			Name: c.Name, Kind: c.Kind.String(), NotNull: c.NotNull,
+			FullText: c.FullText, Taxonomy: c.Taxonomy,
+		})
+	}
+	return ws
+}
+
+func decodeSchema(ws wireSchema) (*schema.Table, error) {
+	cols := make([]schema.Column, 0, len(ws.Columns))
+	for _, wc := range ws.Columns {
+		k, err := value.KindFromName(wc.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("remote: schema %q: %w", ws.Name, err)
+		}
+		cols = append(cols, schema.Column{
+			Name: wc.Name, Kind: k, NotNull: wc.NotNull,
+			FullText: wc.FullText, Taxonomy: wc.Taxonomy,
+		})
+	}
+	return schema.NewTable(ws.Name, cols, ws.Key...)
+}
+
+// fetchRequest is the body of POST /fetch.
+type fetchRequest struct {
+	Table   string       `json:"table"`
+	Filters []wireFilter `json:"filters,omitempty"`
+}
+
+type wireFilter struct {
+	Column string    `json:"column"`
+	Value  wireValue `json:"value"`
+}
+
+// fetchResponse is the body returned by POST /fetch.
+type fetchResponse struct {
+	Rows [][]wireValue `json:"rows"`
+}
+
+// errorResponse carries server-side failures.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w interface{ Write([]byte) (int, error) }, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

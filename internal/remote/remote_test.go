@@ -1,0 +1,252 @@
+package remote
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cohera/internal/federation"
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+	"cohera/internal/wrapper"
+)
+
+func quotesTable(t *testing.T) *storage.Table {
+	t.Helper()
+	def := schema.MustTable("quotes", []schema.Column{
+		{Name: "sku", Kind: value.KindString, NotNull: true},
+		{Name: "price", Kind: value.KindMoney},
+		{Name: "updated", Kind: value.KindTime},
+		{Name: "lead", Kind: value.KindDuration},
+		{Name: "hot", Kind: value.KindBool},
+		{Name: "score", Kind: value.KindFloat},
+		{Name: "note", Kind: value.KindString},
+	}, "sku")
+	tbl := storage.NewTable(def)
+	if err := tbl.CreateIndex("sku"); err != nil {
+		t.Fatal(err)
+	}
+	rows := []storage.Row{
+		{value.NewString("P1"), value.NewMoney(9950, "USD"),
+			value.NewTime(mustParseTime(t, "2001-05-21")), value.Days(2, value.BusinessDays),
+			value.NewBool(true), value.NewFloat(0.75), value.Null},
+		{value.NewString("P2"), value.NewMoney(350, "FRF"),
+			value.NewTime(mustParseTime(t, "2001-05-22")), value.Days(1, value.CalendarDays),
+			value.NewBool(false), value.NewFloat(-1.5), value.NewString("backorder")},
+	}
+	for _, r := range rows {
+		if _, err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func mustParseTime(t *testing.T, s string) time.Time {
+	t.Helper()
+	v, err := value.Parse(value.KindTime, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.Time()
+}
+
+func TestDiscoveryAndFetchRoundTrip(t *testing.T) {
+	srv := NewServer()
+	srv.PublishTable(quotesTable(t), "sku")
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	c := Dial(hs.URL, "")
+	if !c.Healthy(context.Background()) {
+		t.Fatal("healthz failed")
+	}
+	sources, err := c.Tables(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 1 {
+		t.Fatalf("sources = %d", len(sources))
+	}
+	src := sources[0]
+	def := src.Schema()
+	if def.Name != "quotes" || len(def.Columns) != 7 || def.Key[0] != "sku" {
+		t.Fatalf("schema = %v", def)
+	}
+	if !src.Capabilities().CanPush("sku") || !src.Capabilities().Volatile {
+		t.Errorf("capabilities = %+v", src.Capabilities())
+	}
+	rows, err := src.Fetch(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Every kind survives the trip.
+	byKey := map[string]storage.Row{}
+	for _, r := range rows {
+		byKey[r[0].Str()] = r
+	}
+	p1 := byKey["P1"]
+	if m, cur := p1[1].Money(); m != 9950 || cur != "USD" {
+		t.Errorf("money = %d %s", m, cur)
+	}
+	if p1[2].Time().Year() != 2001 {
+		t.Errorf("time = %v", p1[2])
+	}
+	if d, sem := p1[3].Duration(); sem != value.BusinessDays || d.Hours() != 48 {
+		t.Errorf("duration = %v %v", d, sem)
+	}
+	if !p1[4].Bool() || p1[5].Float() != 0.75 || !p1[6].IsNull() {
+		t.Errorf("bool/float/null = %v", p1)
+	}
+	p2 := byKey["P2"]
+	if p2[5].Float() != -1.5 || p2[6].Str() != "backorder" {
+		t.Errorf("p2 = %v", p2)
+	}
+}
+
+func TestRemotePushdown(t *testing.T) {
+	tbl := quotesTable(t)
+	srv := NewServer()
+	erp := wrapper.NewERPSource("quotes", tbl, "sku")
+	srv.Publish(erp)
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	sources, err := Dial(hs.URL, "").Tables(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sources[0].Fetch(context.Background(),
+		[]wrapper.Filter{{Column: "sku", Value: value.NewString("P2")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Str() != "P2" {
+		t.Fatalf("pushed fetch = %v", rows)
+	}
+	// Non-pushable filters still apply client-side.
+	rows, err = sources[0].Fetch(context.Background(),
+		[]wrapper.Filter{{Column: "note", Value: value.NewString("backorder")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Str() != "P2" {
+		t.Fatalf("client-side filter = %v", rows)
+	}
+}
+
+func TestBearerToken(t *testing.T) {
+	srv := NewServer()
+	srv.Token = "sesame"
+	srv.PublishTable(quotesTable(t))
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	if Dial(hs.URL, "").Healthy(context.Background()) {
+		t.Error("unauthenticated health check should fail")
+	}
+	if _, err := Dial(hs.URL, "wrong").Tables(context.Background()); err == nil {
+		t.Error("wrong token should fail")
+	}
+	c := Dial(hs.URL, "sesame")
+	if !c.Healthy(context.Background()) {
+		t.Error("token client should pass")
+	}
+	if _, err := c.Tables(context.Background()); err != nil {
+		t.Errorf("tables with token: %v", err)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	srv := NewServer()
+	srv.PublishTable(quotesTable(t))
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	c := Dial(hs.URL, "")
+	// Unknown table.
+	s := &Source{client: c, def: schema.MustTable("ghost", []schema.Column{
+		{Name: "x", Kind: value.KindInt},
+	})}
+	if _, err := s.Fetch(context.Background(), nil); err == nil {
+		t.Error("fetch of unknown table should fail")
+	}
+	// Unreachable server.
+	dead := Dial("http://127.0.0.1:1", "")
+	if dead.Healthy(context.Background()) {
+		t.Error("dead server healthy")
+	}
+	if _, err := dead.Tables(context.Background()); err == nil {
+		t.Error("dead server tables should fail")
+	}
+}
+
+// TestFederationOverTheWire is the headline: two enterprises publish
+// their tables over HTTP; a third party federates them and runs one
+// query spanning both, with live updates visible on the next query.
+func TestFederationOverTheWire(t *testing.T) {
+	// Enterprise A.
+	tblA := quotesTable(t)
+	srvA := NewServer()
+	srvA.PublishTable(tblA, "sku")
+	hsA := httptest.NewServer(srvA)
+	defer hsA.Close()
+	// Enterprise B, same schema, different rows.
+	defB := tblA.Def().Clone("quotes")
+	tblB := storage.NewTable(defB)
+	if _, err := tblB.Insert(storage.Row{
+		value.NewString("P9"), value.NewMoney(100, "USD"),
+		value.Null, value.Null, value.NewBool(false), value.NewFloat(1), value.Null,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srvB := NewServer()
+	srvB.PublishTable(tblB)
+	hsB := httptest.NewServer(srvB)
+	defer hsB.Close()
+
+	fed := federation.New(federation.NewAgoric())
+	ctx := context.Background()
+	var frags []*federation.Fragment
+	for i, url := range []string{hsA.URL, hsB.URL} {
+		sources, err := Dial(url, "").Tables(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		site := federation.NewSite(url)
+		if err := fed.AddSite(site); err != nil {
+			t.Fatal(err)
+		}
+		site.AddSource(sources[0])
+		frags = append(frags, federation.NewFragment(
+			map[int]string{0: "ent-a", 1: "ent-b"}[i], nil, site))
+	}
+	if _, err := fed.DefineTable(tblA.Def().Clone("quotes"), frags...); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.Query(ctx, "SELECT COUNT(*) FROM quotes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 3 {
+		t.Fatalf("federated count = %v", res.Rows[0][0])
+	}
+	// Enterprise A updates a quote; the next federated query sees it.
+	id, row, err := tblA.GetByKey(value.NewString("P1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row[1] = value.NewMoney(12345, "USD")
+	if err := tblA.Update(id, row); err != nil {
+		t.Fatal(err)
+	}
+	res, err = fed.Query(ctx, "SELECT price FROM quotes WHERE sku = 'P1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := res.Rows[0][0].Money(); m != 12345 {
+		t.Errorf("live update invisible over the wire: %v", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,129 @@
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"cohera/internal/storage"
+	"cohera/internal/wrapper"
+)
+
+// Server exposes a set of tables (anything implementing wrapper.Source —
+// stored tables, wrapped ERPs, even other federations' views) over HTTP:
+//
+//	GET  /tables        → JSON list of wireSchema
+//	POST /fetch         → {table, filters[]} → {rows}
+//	GET  /healthz       → 200 ok
+//
+// An optional bearer token gates every endpoint; cross-enterprise feeds
+// are not anonymous.
+type Server struct {
+	mu      sync.RWMutex
+	sources map[string]wrapper.Source
+	// Token, when non-empty, must arrive as "Authorization: Bearer ..".
+	Token string
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{sources: make(map[string]wrapper.Source)}
+}
+
+// Publish exposes a source under its schema name.
+func (s *Server) Publish(src wrapper.Source) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sources[strings.ToLower(src.Schema().Name)] = src
+}
+
+// PublishTable exposes a stored table directly, with equality pushdown on
+// its indexed columns.
+func (s *Server) PublishTable(t *storage.Table, pushdownEq ...string) {
+	s.Publish(wrapper.NewERPSource(t.Def().Name, t, pushdownEq...))
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.Token != "" {
+		if r.Header.Get("Authorization") != "Bearer "+s.Token {
+			http.Error(w, `{"error":"unauthorized"}`, http.StatusUnauthorized)
+			return
+		}
+	}
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/healthz":
+		fmt.Fprintln(w, "ok")
+	case r.Method == http.MethodGet && r.URL.Path == "/tables":
+		s.handleTables(w)
+	case r.Method == http.MethodPost && r.URL.Path == "/fetch":
+		s.handleFetch(w, r)
+	default:
+		http.Error(w, `{"error":"not found"}`, http.StatusNotFound)
+	}
+}
+
+func (s *Server) handleTables(w http.ResponseWriter) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.sources))
+	for n := range s.sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []wireSchema
+	for _, n := range names {
+		src := s.sources[n]
+		caps := src.Capabilities()
+		out = append(out, encodeSchema(src.Schema(), caps.PushdownEq, caps.Volatile))
+	}
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := writeJSON(w, out); err != nil {
+		http.Error(w, `{"error":"encode failure"}`, http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, `{"error":"bad body"}`, http.StatusBadRequest)
+		return
+	}
+	var req fetchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, `{"error":"bad json"}`, http.StatusBadRequest)
+		return
+	}
+	s.mu.RLock()
+	src, ok := s.sources[strings.ToLower(req.Table)]
+	s.mu.RUnlock()
+	if !ok {
+		w.WriteHeader(http.StatusNotFound)
+		_ = writeJSON(w, errorResponse{Error: fmt.Sprintf("no table %q", req.Table)})
+		return
+	}
+	var filters []wrapper.Filter
+	for _, wf := range req.Filters {
+		v, err := decodeValue(wf.Value)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			_ = writeJSON(w, errorResponse{Error: err.Error()})
+			return
+		}
+		filters = append(filters, wrapper.Filter{Column: wf.Column, Value: v})
+	}
+	rows, err := src.Fetch(r.Context(), filters)
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		_ = writeJSON(w, errorResponse{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := writeJSON(w, fetchResponse{Rows: encodeRows(rows)}); err != nil {
+		http.Error(w, `{"error":"encode failure"}`, http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,264 @@
+// Package schema defines relational schemas for the content integration
+// engine. The paper's Characteristic 3 requires support for a multitude of
+// schemas across vertical markets (airline seats vs. steel beams), so the
+// catalog is dynamic: schemas are created, versioned and looked up at run
+// time rather than compiled in.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cohera/internal/value"
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	// Name is the column identifier, case-insensitive on lookup.
+	Name string
+	// Kind is the column's declared value type.
+	Kind value.Kind
+	// NotNull rejects NULL on insert when set.
+	NotNull bool
+	// Taxonomy optionally names the taxonomy whose codes classify this
+	// column's values (e.g. a part_name column tied to "unspsc").
+	Taxonomy string
+	// FullText marks the column for inverted-index maintenance so it is
+	// searchable with CONTAINS/FUZZY predicates.
+	FullText bool
+}
+
+// Table describes a relation: ordered columns plus an optional primary key.
+type Table struct {
+	// Name is the table identifier, case-insensitive on lookup.
+	Name string
+	// Columns in declaration order.
+	Columns []Column
+	// Key lists the primary key column names (may be empty).
+	Key []string
+
+	byName map[string]int // lazily built lowercase name → ordinal
+	once   sync.Once
+}
+
+// NewTable builds a Table and validates it: at least one column, unique
+// column names, and key columns that exist.
+func NewTable(name string, cols []Column, key ...string) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: empty table name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("schema: table %q has no columns", name)
+	}
+	t := &Table{Name: name, Columns: cols, Key: key}
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if lc == "" {
+			return nil, fmt.Errorf("schema: table %q has an unnamed column", name)
+		}
+		if seen[lc] {
+			return nil, fmt.Errorf("schema: table %q duplicates column %q", name, c.Name)
+		}
+		seen[lc] = true
+	}
+	for _, k := range key {
+		if !seen[strings.ToLower(k)] {
+			return nil, fmt.Errorf("schema: table %q key column %q does not exist", name, k)
+		}
+	}
+	return t, nil
+}
+
+// MustTable is NewTable panicking on error, for statically known schemas in
+// generators and tests.
+func MustTable(name string, cols []Column, key ...string) *Table {
+	t, err := NewTable(name, cols, key...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Table) index() map[string]int {
+	t.once.Do(func() {
+		t.byName = make(map[string]int, len(t.Columns))
+		for i, c := range t.Columns {
+			t.byName[strings.ToLower(c.Name)] = i
+		}
+	})
+	return t.byName
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.index()[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Column returns the named column definition.
+func (t *Table) Column(name string) (Column, bool) {
+	i := t.ColumnIndex(name)
+	if i < 0 {
+		return Column{}, false
+	}
+	return t.Columns[i], true
+}
+
+// ColumnNames returns the column names in declaration order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// KeyIndexes returns the ordinals of the primary key columns.
+func (t *Table) KeyIndexes() []int {
+	out := make([]int, len(t.Key))
+	for i, k := range t.Key {
+		out[i] = t.ColumnIndex(k)
+	}
+	return out
+}
+
+// Validate checks a row against the schema: arity, kinds (NULL always
+// admissible unless NotNull) and key non-nullness.
+func (t *Table) Validate(row []value.Value) error {
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("schema: table %q expects %d columns, row has %d",
+			t.Name, len(t.Columns), len(row))
+	}
+	for i, c := range t.Columns {
+		v := row[i]
+		if v.IsNull() {
+			if c.NotNull {
+				return fmt.Errorf("schema: table %q column %q is NOT NULL", t.Name, c.Name)
+			}
+			continue
+		}
+		if v.Kind() != c.Kind && !(c.Kind == value.KindFloat && v.Kind() == value.KindInt) {
+			return fmt.Errorf("schema: table %q column %q wants %s, got %s",
+				t.Name, c.Name, c.Kind, v.Kind())
+		}
+	}
+	for _, ki := range t.KeyIndexes() {
+		if row[ki].IsNull() {
+			return fmt.Errorf("schema: table %q key column %q is NULL", t.Name, t.Columns[ki].Name)
+		}
+	}
+	return nil
+}
+
+// Project returns a new Table containing only the named columns, in the
+// given order, preserving their definitions. Key information is dropped.
+func (t *Table) Project(names []string) (*Table, error) {
+	cols := make([]Column, 0, len(names))
+	for _, n := range names {
+		c, ok := t.Column(n)
+		if !ok {
+			return nil, fmt.Errorf("schema: table %q has no column %q", t.Name, n)
+		}
+		cols = append(cols, c)
+	}
+	return NewTable(t.Name, cols)
+}
+
+// Clone returns a deep copy of the table definition with a new name.
+func (t *Table) Clone(name string) *Table {
+	cols := make([]Column, len(t.Columns))
+	copy(cols, t.Columns)
+	key := make([]string, len(t.Key))
+	copy(key, t.Key)
+	return &Table{Name: name, Columns: cols, Key: key}
+}
+
+// String renders the schema as a CREATE TABLE statement.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (", t.Name)
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+	}
+	if len(t.Key) > 0 {
+		fmt.Fprintf(&b, ", PRIMARY KEY (%s)", strings.Join(t.Key, ", "))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Catalog is a thread-safe registry of table schemas. Each federation
+// member and the integrator itself hold one.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// ErrDuplicateTable is returned when defining a table whose name exists.
+var ErrDuplicateTable = fmt.Errorf("schema: table already exists")
+
+// ErrNoTable is returned when looking up an undefined table.
+var ErrNoTable = fmt.Errorf("schema: no such table")
+
+// Define registers a table schema.
+func (c *Catalog) Define(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lc := strings.ToLower(t.Name)
+	if _, ok := c.tables[lc]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateTable, t.Name)
+	}
+	c.tables[lc] = t
+	return nil
+}
+
+// Lookup fetches a table schema by name.
+func (c *Catalog) Lookup(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Drop removes a table schema.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lc := strings.ToLower(name)
+	if _, ok := c.tables[lc]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	delete(c.tables, lc)
+	return nil
+}
+
+// Names returns the defined table names in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,186 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"cohera/internal/value"
+)
+
+func partsTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable("parts", []Column{
+		{Name: "sku", Kind: value.KindString, NotNull: true},
+		{Name: "name", Kind: value.KindString, FullText: true, Taxonomy: "unspsc"},
+		{Name: "price", Kind: value.KindMoney},
+		{Name: "qty", Kind: value.KindInt},
+	}, "sku")
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	return tbl
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("", []Column{{Name: "a", Kind: value.KindInt}}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewTable("t", nil); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := NewTable("t", []Column{{Name: "a", Kind: value.KindInt}, {Name: "A", Kind: value.KindInt}}); err == nil {
+		t.Error("duplicate (case-insensitive) columns should fail")
+	}
+	if _, err := NewTable("t", []Column{{Name: "", Kind: value.KindInt}}); err == nil {
+		t.Error("unnamed column should fail")
+	}
+	if _, err := NewTable("t", []Column{{Name: "a", Kind: value.KindInt}}, "missing"); err == nil {
+		t.Error("key over missing column should fail")
+	}
+}
+
+func TestMustTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTable should panic on invalid schema")
+		}
+	}()
+	MustTable("t", nil)
+}
+
+func TestColumnLookup(t *testing.T) {
+	tbl := partsTable(t)
+	if i := tbl.ColumnIndex("PRICE"); i != 2 {
+		t.Errorf("ColumnIndex(PRICE) = %d, want 2", i)
+	}
+	if i := tbl.ColumnIndex("nope"); i != -1 {
+		t.Errorf("ColumnIndex(nope) = %d, want -1", i)
+	}
+	c, ok := tbl.Column("Name")
+	if !ok || !c.FullText || c.Taxonomy != "unspsc" {
+		t.Errorf("Column(Name) = %+v, %v", c, ok)
+	}
+	want := []string{"sku", "name", "price", "qty"}
+	got := tbl.ColumnNames()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ColumnNames = %v, want %v", got, want)
+			break
+		}
+	}
+	if ki := tbl.KeyIndexes(); len(ki) != 1 || ki[0] != 0 {
+		t.Errorf("KeyIndexes = %v", ki)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tbl := partsTable(t)
+	good := []value.Value{
+		value.NewString("SKU-1"), value.NewString("black ink"),
+		value.NewMoney(199, "USD"), value.NewInt(10),
+	}
+	if err := tbl.Validate(good); err != nil {
+		t.Errorf("Validate(good): %v", err)
+	}
+	// NULL in nullable column is fine.
+	nullable := []value.Value{
+		value.NewString("SKU-1"), value.Null, value.Null, value.Null,
+	}
+	if err := tbl.Validate(nullable); err != nil {
+		t.Errorf("Validate(nullable): %v", err)
+	}
+	// Wrong arity.
+	if err := tbl.Validate(good[:2]); err == nil {
+		t.Error("short row should fail")
+	}
+	// Wrong kind.
+	bad := []value.Value{
+		value.NewString("SKU-1"), value.NewInt(5),
+		value.NewMoney(199, "USD"), value.NewInt(10),
+	}
+	if err := tbl.Validate(bad); err == nil {
+		t.Error("wrong kind should fail")
+	}
+	// NOT NULL violation (sku is both NotNull and key).
+	nullKey := []value.Value{
+		value.Null, value.NewString("x"), value.Null, value.Null,
+	}
+	if err := tbl.Validate(nullKey); err == nil {
+		t.Error("NULL key should fail")
+	}
+}
+
+func TestValidateIntWidensToFloat(t *testing.T) {
+	tbl := MustTable("m", []Column{{Name: "x", Kind: value.KindFloat}})
+	if err := tbl.Validate([]value.Value{value.NewInt(3)}); err != nil {
+		t.Errorf("int into float column should validate: %v", err)
+	}
+}
+
+func TestProject(t *testing.T) {
+	tbl := partsTable(t)
+	p, err := tbl.Project([]string{"price", "sku"})
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if len(p.Columns) != 2 || p.Columns[0].Name != "price" || p.Columns[1].Name != "sku" {
+		t.Errorf("Project = %v", p.ColumnNames())
+	}
+	if _, err := tbl.Project([]string{"ghost"}); err == nil {
+		t.Error("projecting missing column should fail")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tbl := partsTable(t)
+	c := tbl.Clone("parts2")
+	c.Columns[0].Name = "mutated"
+	c.Key[0] = "mutated"
+	if tbl.Columns[0].Name != "sku" || tbl.Key[0] != "sku" {
+		t.Error("Clone shares backing arrays with original")
+	}
+	if c.Name != "parts2" {
+		t.Errorf("Clone name = %q", c.Name)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	s := partsTable(t).String()
+	for _, frag := range []string{"CREATE TABLE parts", "sku TEXT NOT NULL", "PRIMARY KEY (sku)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	cat := NewCatalog()
+	tbl := partsTable(t)
+	if err := cat.Define(tbl); err != nil {
+		t.Fatalf("Define: %v", err)
+	}
+	if err := cat.Define(tbl.Clone("PARTS")); err == nil {
+		t.Error("case-insensitive duplicate should fail")
+	}
+	got, err := cat.Lookup("Parts")
+	if err != nil || got != tbl {
+		t.Errorf("Lookup = %v, %v", got, err)
+	}
+	if _, err := cat.Lookup("ghost"); err == nil {
+		t.Error("Lookup(ghost) should fail")
+	}
+	other := MustTable("suppliers", []Column{{Name: "id", Kind: value.KindInt}})
+	if err := cat.Define(other); err != nil {
+		t.Fatal(err)
+	}
+	names := cat.Names()
+	if len(names) != 2 || names[0] != "parts" || names[1] != "suppliers" {
+		t.Errorf("Names = %v", names)
+	}
+	if err := cat.Drop("PARTS"); err != nil {
+		t.Errorf("Drop: %v", err)
+	}
+	if err := cat.Drop("parts"); err == nil {
+		t.Error("double Drop should fail")
+	}
+}

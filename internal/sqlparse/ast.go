@@ -1,0 +1,469 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"cohera/internal/value"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	String() string
+}
+
+// Expr is any scalar expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// Literal is a constant value.
+type Literal struct{ Value value.Value }
+
+// ColumnRef names a column, optionally table-qualified.
+type ColumnRef struct {
+	Table  string // optional qualifier
+	Column string
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators.
+const (
+	OpEq BinaryOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+)
+
+func (o BinaryOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">=", "AND", "OR", "+", "-", "*", "/"}[o]
+}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op          BinaryOp
+	Left, Right Expr
+}
+
+// Not negates a boolean expression.
+type Not struct{ Inner Expr }
+
+// Neg is unary minus.
+type Neg struct{ Inner Expr }
+
+// IsNull tests for NULL (or NOT NULL when Negate).
+type IsNull struct {
+	Inner  Expr
+	Negate bool
+}
+
+// In tests membership in a literal list.
+type In struct {
+	Inner  Expr
+	List   []Expr
+	Negate bool
+}
+
+// Between tests lo <= x <= hi.
+type Between struct {
+	Inner, Lo, Hi Expr
+	Negate        bool
+}
+
+// Like is SQL LIKE with % and _ wildcards.
+type Like struct {
+	Inner   Expr
+	Pattern Expr
+	Negate  bool
+}
+
+// Call is a scalar function call (UPPER, LOWER, LENGTH, COALESCE, ...).
+type Call struct {
+	Name string // uppercased
+	Args []Expr
+}
+
+// TextMatchMode selects the text predicate semantics.
+type TextMatchMode int
+
+// Text predicate modes (paper, Characteristic 7).
+const (
+	// MatchContains requires all query terms to appear (boolean).
+	MatchContains TextMatchMode = iota
+	// MatchFuzzy allows approximate term matches ("drlls" ~ "drills").
+	MatchFuzzy
+	// MatchSynonym expands query terms through the synonym table.
+	MatchSynonym
+	// MatchAll combines fuzzy and synonym expansion.
+	MatchAll
+)
+
+func (m TextMatchMode) String() string {
+	return [...]string{"CONTAINS", "FUZZY", "SYNONYM", "MATCHES"}[m]
+}
+
+// TextMatch is the text-search predicate: CONTAINS(col, 'q'),
+// FUZZY(col, 'q'), SYNONYM(col, 'q') or MATCHES(col, 'q').
+type TextMatch struct {
+	Col   ColumnRef
+	Query Expr
+	Mode  TextMatchMode
+}
+
+// Star is the bare * select item.
+type Star struct{ Table string }
+
+func (Literal) expr()   {}
+func (ColumnRef) expr() {}
+func (Binary) expr()    {}
+func (Not) expr()       {}
+func (Neg) expr()       {}
+func (IsNull) expr()    {}
+func (In) expr()        {}
+func (Between) expr()   {}
+func (Like) expr()      {}
+func (Call) expr()      {}
+func (TextMatch) expr() {}
+func (Star) expr()      {}
+
+func (l Literal) String() string {
+	if l.Value.Kind() == value.KindString {
+		return "'" + strings.ReplaceAll(l.Value.Str(), "'", "''") + "'"
+	}
+	return l.Value.String()
+}
+
+func (c ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+func (b Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.Left, b.Op, b.Right)
+}
+
+func (n Not) String() string { return fmt.Sprintf("(NOT %s)", n.Inner) }
+func (n Neg) String() string { return fmt.Sprintf("(-%s)", n.Inner) }
+
+func (i IsNull) String() string {
+	if i.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", i.Inner)
+	}
+	return fmt.Sprintf("(%s IS NULL)", i.Inner)
+}
+
+func (i In) String() string {
+	items := make([]string, len(i.List))
+	for j, e := range i.List {
+		items[j] = e.String()
+	}
+	neg := ""
+	if i.Negate {
+		neg = "NOT "
+	}
+	return fmt.Sprintf("(%s %sIN (%s))", i.Inner, neg, strings.Join(items, ", "))
+}
+
+func (b Between) String() string {
+	neg := ""
+	if b.Negate {
+		neg = "NOT "
+	}
+	return fmt.Sprintf("(%s %sBETWEEN %s AND %s)", b.Inner, neg, b.Lo, b.Hi)
+}
+
+func (l Like) String() string {
+	neg := ""
+	if l.Negate {
+		neg = "NOT "
+	}
+	return fmt.Sprintf("(%s %sLIKE %s)", l.Inner, neg, l.Pattern)
+}
+
+func (c Call) String() string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(args, ", "))
+}
+
+func (t TextMatch) String() string {
+	return fmt.Sprintf("%s(%s, %s)", t.Mode, t.Col, t.Query)
+}
+
+func (s Star) String() string {
+	if s.Table != "" {
+		return s.Table + ".*"
+	}
+	return "*"
+}
+
+// SelectItem is one projection: an expression with an optional alias, or *.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// TableRef names a base table or view with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// EffectiveName returns the alias if present, else the table name.
+func (t TableRef) EffectiveName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinKind distinguishes join types.
+type JoinKind int
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+)
+
+// Join is one JOIN clause in a SELECT.
+type Join struct {
+	Kind  JoinKind
+	Table TableRef
+	On    Expr
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a parsed SELECT.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []Join
+	Where    Expr // nil when absent
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+	Offset   int // 0 when absent
+}
+
+// InsertStmt is a parsed INSERT.
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty means schema order
+	Rows    [][]Expr
+}
+
+// UpdateStmt is a parsed UPDATE.
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one SET column = expr.
+type Assignment struct {
+	Column string
+	Expr   Expr
+}
+
+// DeleteStmt is a parsed DELETE.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name    string
+	Type    string
+	NotNull bool
+}
+
+// CreateTableStmt is a parsed CREATE TABLE.
+type CreateTableStmt struct {
+	Table   string
+	Columns []ColumnDef
+	Key     []string
+}
+
+// UnionStmt combines two or more SELECTs: UNION deduplicates, UNION ALL
+// keeps duplicates. Each branch carries its own ORDER BY/LIMIT (applied
+// per branch before combination).
+type UnionStmt struct {
+	Selects []SelectStmt
+	All     bool
+}
+
+func (UnionStmt) stmt() {}
+
+func (u UnionStmt) String() string {
+	sep := " UNION "
+	if u.All {
+		sep = " UNION ALL "
+	}
+	parts := make([]string, len(u.Selects))
+	for i, s := range u.Selects {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+func (SelectStmt) stmt()      {}
+func (InsertStmt) stmt()      {}
+func (UpdateStmt) stmt()      {}
+func (DeleteStmt) stmt()      {}
+func (CreateTableStmt) stmt() {}
+
+func (s SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	b.WriteString(" FROM " + s.From.Name)
+	if s.From.Alias != "" {
+		b.WriteString(" " + s.From.Alias)
+	}
+	for _, j := range s.Joins {
+		kw := "JOIN"
+		if j.Kind == JoinLeft {
+			kw = "LEFT JOIN"
+		}
+		fmt.Fprintf(&b, " %s %s", kw, j.Table.Name)
+		if j.Table.Alias != "" {
+			b.WriteString(" " + j.Table.Alias)
+		}
+		fmt.Fprintf(&b, " ON %s", j.On)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	if s.Offset > 0 {
+		fmt.Fprintf(&b, " OFFSET %d", s.Offset)
+	}
+	return b.String()
+}
+
+func (s InsertStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INSERT INTO %s", s.Table)
+	if len(s.Columns) > 0 {
+		fmt.Fprintf(&b, " (%s)", strings.Join(s.Columns, ", "))
+	}
+	b.WriteString(" VALUES ")
+	for i, r := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, e := range r {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func (s UpdateStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "UPDATE %s SET ", s.Table)
+	for i, a := range s.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s = %s", a.Column, a.Expr)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	return b.String()
+}
+
+func (s DeleteStmt) String() string {
+	out := "DELETE FROM " + s.Table
+	if s.Where != nil {
+		out += " WHERE " + s.Where.String()
+	}
+	return out
+}
+
+func (s CreateTableStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (", s.Table)
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+	}
+	if len(s.Key) > 0 {
+		fmt.Fprintf(&b, ", PRIMARY KEY (%s)", strings.Join(s.Key, ", "))
+	}
+	b.WriteString(")")
+	return b.String()
+}

@@ -1,0 +1,157 @@
+// Package sqlparse implements the lexer and parser for the engine's
+// object-relational SQL dialect (paper, Characteristic 6: "any serious
+// content integration solution must support a query language" and it must
+// be the standard one). The dialect is a practical SQL subset extended
+// with the text-search predicates the paper requires: CONTAINS, FUZZY and
+// SYNONYM matching (Characteristic 7).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol // ( ) , . * = <> < <= > >= + - / %
+)
+
+// Token is one lexical token with its source position (1-based).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are uppercased; identifiers keep their case
+	Pos  int
+}
+
+// keywords of the dialect. Membership decides TokKeyword vs TokIdent.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true,
+	"AS": true, "JOIN": true, "INNER": true, "LEFT": true, "OUTER": true,
+	"ON": true, "AND": true, "OR": true, "NOT": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "IN": true, "BETWEEN": true,
+	"LIKE": true, "IS": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true,
+	"CREATE": true, "TABLE": true, "PRIMARY": true, "KEY": true,
+	"CONTAINS": true, "FUZZY": true, "SYNONYM": true, "OF": true,
+	"MATCHES": true, "UNION": true, "ALL": true,
+}
+
+// Lex tokenizes a SQL statement. It returns a descriptive error carrying
+// the byte offset of the offending character.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (isIdentRune(rune(input[i]))) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{TokKeyword, up, start})
+			} else {
+				toks = append(toks, Token{TokIdent, word, start})
+			}
+		case unicode.IsDigit(c):
+			start := i
+			seenDot := false
+			for i < n && (unicode.IsDigit(rune(input[i])) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, Token{TokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", start)
+			}
+			toks = append(toks, Token{TokString, b.String(), start})
+		case c == '"':
+			// Quoted identifier.
+			start := i
+			i++
+			j := strings.IndexByte(input[i:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("sqlparse: unterminated quoted identifier at offset %d", start)
+			}
+			toks = append(toks, Token{TokIdent, input[i : i+j], start})
+			i += j + 1
+		case strings.ContainsRune("(),.*=+-/%", c):
+			toks = append(toks, Token{TokSymbol, string(c), i})
+			i++
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, Token{TokSymbol, input[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokSymbol, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokSymbol, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokSymbol, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokSymbol, "<>", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sqlparse: unexpected %q at offset %d", c, i)
+			}
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,142 @@
+package sqlparse
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cohera/internal/value"
+)
+
+// randExpr generates a random expression tree of bounded depth.
+func randExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Literal{Value: value.NewInt(int64(rng.Intn(100)))}
+		case 1:
+			return Literal{Value: value.NewString(randWord(rng))}
+		case 2:
+			return ColumnRef{Column: "c_" + randWord(rng)}
+		default:
+			return ColumnRef{Table: "t_" + randWord(rng), Column: "c_" + randWord(rng)}
+		}
+	}
+	switch rng.Intn(9) {
+	case 0:
+		ops := []BinaryOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpAnd, OpOr, OpAdd, OpSub, OpMul, OpDiv}
+		return Binary{Op: ops[rng.Intn(len(ops))],
+			Left: randExpr(rng, depth-1), Right: randExpr(rng, depth-1)}
+	case 1:
+		return Not{Inner: randExpr(rng, depth-1)}
+	case 2:
+		return Neg{Inner: randExpr(rng, depth-1)}
+	case 3:
+		return IsNull{Inner: randExpr(rng, depth-1), Negate: rng.Intn(2) == 0}
+	case 4:
+		n := 1 + rng.Intn(3)
+		list := make([]Expr, n)
+		for i := range list {
+			list[i] = randExpr(rng, 0)
+		}
+		return In{Inner: randExpr(rng, depth-1), List: list, Negate: rng.Intn(2) == 0}
+	case 5:
+		return Between{
+			Inner: randExpr(rng, depth-1),
+			Lo:    randExpr(rng, 0), Hi: randExpr(rng, 0),
+			Negate: rng.Intn(2) == 0,
+		}
+	case 6:
+		return Like{Inner: randExpr(rng, depth-1),
+			Pattern: Literal{Value: value.NewString(randWord(rng) + "%")},
+			Negate:  rng.Intn(2) == 0}
+	case 7:
+		n := rng.Intn(3)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = randExpr(rng, depth-1)
+		}
+		return Call{Name: "F_" + strings.ToUpper(randWord(rng)), Args: args}
+	default:
+		modes := []TextMatchMode{MatchContains, MatchFuzzy, MatchSynonym, MatchAll}
+		return TextMatch{
+			Col:   ColumnRef{Column: "c_" + randWord(rng)},
+			Query: Literal{Value: value.NewString(randWord(rng))},
+			Mode:  modes[rng.Intn(len(modes))],
+		}
+	}
+}
+
+func randWord(rng *rand.Rand) string {
+	b := make([]byte, 1+rng.Intn(4))
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+// Property: String() output of a random expression re-parses to an
+// expression with an identical String() — the printer and parser agree.
+func TestExprPrintParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randExpr(rng, 3)
+		printed := e.String()
+		back, err := ParseExpr(printed)
+		if err != nil {
+			t.Logf("seed %d: %q failed to parse: %v", seed, printed, err)
+			return false
+		}
+		if back.String() != printed {
+			t.Logf("seed %d: %q reprinted as %q", seed, printed, back.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random SELECTs built from random expressions round trip.
+func TestSelectPrintParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := SelectStmt{Limit: -1, From: TableRef{Name: "t_" + randWord(rng)}}
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			s.Items = append(s.Items, SelectItem{
+				Expr:  randExpr(rng, 2),
+				Alias: fmt.Sprintf("a%d", i),
+			})
+		}
+		if rng.Intn(2) == 0 {
+			s.Where = randExpr(rng, 2)
+		}
+		if rng.Intn(3) == 0 {
+			s.GroupBy = []Expr{ColumnRef{Column: "g_" + randWord(rng)}}
+		}
+		if rng.Intn(3) == 0 {
+			s.OrderBy = []OrderKey{{Expr: ColumnRef{Column: "o_" + randWord(rng)}, Desc: rng.Intn(2) == 0}}
+		}
+		if rng.Intn(3) == 0 {
+			s.Limit = rng.Intn(50)
+		}
+		printed := s.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Logf("seed %d: %q failed: %v", seed, printed, err)
+			return false
+		}
+		if back.String() != printed {
+			t.Logf("seed %d: %q → %q", seed, printed, back.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,238 @@
+// Package storage implements the single-site data store each federation
+// member runs: heap tables with row ids, B+tree and hash secondary
+// indexes, inverted text indexes kept consistent with updates, and table
+// statistics for the optimizers.
+//
+// The paper's architecture places a full-function local engine at every
+// site ("text indexing as a local site capability", §3.2); the federated
+// layer in internal/federation composes many of these.
+package storage
+
+import (
+	"cohera/internal/value"
+)
+
+// btreeDegree is the maximum number of children of an interior node.
+// 32 keeps nodes cache-friendly while exercising real splits in tests.
+const btreeDegree = 32
+
+// BTree is an in-memory B+tree mapping Value keys to sets of row ids.
+// Duplicate keys are supported (secondary index semantics): each leaf
+// entry carries the row ids sharing that key. Keys must be mutually
+// comparable (same typed column).
+//
+// BTree is not safe for concurrent mutation; Table serializes access.
+type BTree struct {
+	root   *btreeNode
+	height int
+	size   int // number of distinct keys
+}
+
+type btreeNode struct {
+	leaf     bool
+	keys     []value.Value
+	children []*btreeNode // interior only; len = len(keys)+1
+	rows     [][]int64    // leaf only; parallel to keys
+	next     *btreeNode   // leaf chain for range scans
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &btreeNode{leaf: true}, height: 1}
+}
+
+// Len returns the number of distinct keys in the tree.
+func (t *BTree) Len() int { return t.size }
+
+// Insert associates rowID with key. Inserting the same (key,row) pair
+// twice is a no-op.
+func (t *BTree) Insert(key value.Value, rowID int64) {
+	mid, right := t.insert(t.root, key, rowID)
+	if right != nil {
+		newRoot := &btreeNode{
+			keys:     []value.Value{mid},
+			children: []*btreeNode{t.root, right},
+		}
+		t.root = newRoot
+		t.height++
+	}
+}
+
+// insert descends into n; on child split it returns the separator key and
+// new right sibling to install in the parent.
+func (t *BTree) insert(n *btreeNode, key value.Value, rowID int64) (value.Value, *btreeNode) {
+	if n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && n.keys[i].MustCompare(key) == 0 {
+			for _, r := range n.rows[i] {
+				if r == rowID {
+					return value.Null, nil
+				}
+			}
+			n.rows[i] = append(n.rows[i], rowID)
+			return value.Null, nil
+		}
+		n.keys = append(n.keys, value.Null)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.rows = append(n.rows, nil)
+		copy(n.rows[i+1:], n.rows[i:])
+		n.rows[i] = []int64{rowID}
+		t.size++
+		if len(n.keys) < btreeDegree {
+			return value.Null, nil
+		}
+		return t.splitLeaf(n)
+	}
+	i := n.search(key)
+	if i < len(n.keys) && n.keys[i].MustCompare(key) <= 0 {
+		i++
+	}
+	mid, right := t.insert(n.children[i], key, rowID)
+	if right == nil {
+		return value.Null, nil
+	}
+	n.keys = append(n.keys, value.Null)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = mid
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+	if len(n.children) <= btreeDegree {
+		return value.Null, nil
+	}
+	return t.splitInterior(n)
+}
+
+func (t *BTree) splitLeaf(n *btreeNode) (value.Value, *btreeNode) {
+	mid := len(n.keys) / 2
+	right := &btreeNode{
+		leaf: true,
+		keys: append([]value.Value(nil), n.keys[mid:]...),
+		rows: append([][]int64(nil), n.rows[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid]
+	n.rows = n.rows[:mid]
+	n.next = right
+	return right.keys[0], right
+}
+
+func (t *BTree) splitInterior(n *btreeNode) (value.Value, *btreeNode) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &btreeNode{
+		keys:     append([]value.Value(nil), n.keys[mid+1:]...),
+		children: append([]*btreeNode(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return sep, right
+}
+
+// search returns the first index i with keys[i] >= key.
+func (n *btreeNode) search(key value.Value) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		m := (lo + hi) / 2
+		if n.keys[m].MustCompare(key) < 0 {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// Delete removes the association of rowID with key. It returns whether the
+// pair existed. The tree does not rebalance on delete — index workloads in
+// the integrator are insert-heavy and lookups stay correct; a full rebuild
+// (Table.Reindex) compacts when needed.
+func (t *BTree) Delete(key value.Value, rowID int64) bool {
+	leaf, i := t.findLeaf(key)
+	if leaf == nil {
+		return false
+	}
+	rows := leaf.rows[i]
+	for j, r := range rows {
+		if r == rowID {
+			leaf.rows[i] = append(rows[:j], rows[j+1:]...)
+			if len(leaf.rows[i]) == 0 {
+				leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+				leaf.rows = append(leaf.rows[:i], leaf.rows[i+1:]...)
+				t.size--
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// findLeaf locates the leaf and slot holding key, or (nil,0).
+func (t *BTree) findLeaf(key value.Value) (*btreeNode, int) {
+	n := t.root
+	for !n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && n.keys[i].MustCompare(key) <= 0 {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := n.search(key)
+	if i < len(n.keys) && n.keys[i].MustCompare(key) == 0 {
+		return n, i
+	}
+	return nil, 0
+}
+
+// Lookup returns the row ids stored under key.
+func (t *BTree) Lookup(key value.Value) []int64 {
+	leaf, i := t.findLeaf(key)
+	if leaf == nil {
+		return nil
+	}
+	out := make([]int64, len(leaf.rows[i]))
+	copy(out, leaf.rows[i])
+	return out
+}
+
+// Range visits every (key,rows) pair with lo <= key <= hi in key order.
+// A NULL bound is open on that side. The visitor returns false to stop.
+func (t *BTree) Range(lo, hi value.Value, visit func(key value.Value, rows []int64) bool) {
+	n := t.root
+	for !n.leaf {
+		i := 0
+		if !lo.IsNull() {
+			i = n.search(lo)
+			if i < len(n.keys) && n.keys[i].MustCompare(lo) <= 0 {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+	start := 0
+	if !lo.IsNull() {
+		start = n.search(lo)
+	}
+	for ; n != nil; n = n.next {
+		for i := start; i < len(n.keys); i++ {
+			if !hi.IsNull() && n.keys[i].MustCompare(hi) > 0 {
+				return
+			}
+			if !visit(n.keys[i], n.rows[i]) {
+				return
+			}
+		}
+		start = 0
+	}
+}
+
+// Keys returns all keys in order — used by tests and statistics.
+func (t *BTree) Keys() []value.Value {
+	var out []value.Value
+	t.Range(value.Null, value.Null, func(k value.Value, _ []int64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cohera/internal/value"
+)
+
+func TestBTreeInsertLookup(t *testing.T) {
+	bt := NewBTree()
+	for i := int64(0); i < 500; i++ {
+		bt.Insert(value.NewInt(i%100), i)
+	}
+	if bt.Len() != 100 {
+		t.Fatalf("Len = %d, want 100 distinct keys", bt.Len())
+	}
+	rows := bt.Lookup(value.NewInt(7))
+	if len(rows) != 5 {
+		t.Errorf("Lookup(7) = %v, want 5 rows", rows)
+	}
+	if got := bt.Lookup(value.NewInt(999)); got != nil {
+		t.Errorf("Lookup(999) = %v, want nil", got)
+	}
+	// Duplicate (key,row) insert is a no-op.
+	bt.Insert(value.NewInt(7), 7)
+	if rows := bt.Lookup(value.NewInt(7)); len(rows) != 5 {
+		t.Errorf("duplicate insert changed postings: %v", rows)
+	}
+}
+
+func TestBTreeOrderedKeys(t *testing.T) {
+	bt := NewBTree()
+	perm := rand.New(rand.NewSource(1)).Perm(1000)
+	for _, k := range perm {
+		bt.Insert(value.NewInt(int64(k)), int64(k))
+	}
+	keys := bt.Keys()
+	if len(keys) != 1000 {
+		t.Fatalf("Keys len = %d", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1].MustCompare(keys[i]) >= 0 {
+			t.Fatalf("keys out of order at %d: %v %v", i, keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	bt := NewBTree()
+	for i := int64(0); i < 100; i++ {
+		bt.Insert(value.NewInt(i), i)
+	}
+	var got []int64
+	bt.Range(value.NewInt(10), value.NewInt(19), func(k value.Value, rows []int64) bool {
+		got = append(got, rows...)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Errorf("Range[10,19] = %v", got)
+	}
+	// Open bounds.
+	count := 0
+	bt.Range(value.Null, value.Null, func(value.Value, []int64) bool { count++; return true })
+	if count != 100 {
+		t.Errorf("full range visited %d keys", count)
+	}
+	// Lower open.
+	got = nil
+	bt.Range(value.Null, value.NewInt(4), func(_ value.Value, rows []int64) bool {
+		got = append(got, rows...)
+		return true
+	})
+	if len(got) != 5 {
+		t.Errorf("Range[,4] = %v", got)
+	}
+	// Upper open.
+	got = nil
+	bt.Range(value.NewInt(95), value.Null, func(_ value.Value, rows []int64) bool {
+		got = append(got, rows...)
+		return true
+	})
+	if len(got) != 5 {
+		t.Errorf("Range[95,] = %v", got)
+	}
+	// Early stop.
+	count = 0
+	bt.Range(value.Null, value.Null, func(value.Value, []int64) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := NewBTree()
+	bt.Insert(value.NewInt(1), 10)
+	bt.Insert(value.NewInt(1), 11)
+	bt.Insert(value.NewInt(2), 20)
+	if !bt.Delete(value.NewInt(1), 10) {
+		t.Error("Delete existing pair returned false")
+	}
+	if rows := bt.Lookup(value.NewInt(1)); len(rows) != 1 || rows[0] != 11 {
+		t.Errorf("after delete Lookup(1) = %v", rows)
+	}
+	if bt.Delete(value.NewInt(1), 99) {
+		t.Error("Delete missing row returned true")
+	}
+	if bt.Delete(value.NewInt(9), 1) {
+		t.Error("Delete missing key returned true")
+	}
+	if !bt.Delete(value.NewInt(1), 11) {
+		t.Error("Delete last row under key failed")
+	}
+	if bt.Len() != 1 {
+		t.Errorf("Len = %d, want 1", bt.Len())
+	}
+}
+
+func TestBTreeStrings(t *testing.T) {
+	bt := NewBTree()
+	words := []string{"ink", "drill", "forklift", "pencil", "bulb", "anvil"}
+	for i, w := range words {
+		bt.Insert(value.NewString(w), int64(i))
+	}
+	sorted := append([]string(nil), words...)
+	sort.Strings(sorted)
+	keys := bt.Keys()
+	for i, k := range keys {
+		if k.Str() != sorted[i] {
+			t.Errorf("key %d = %q, want %q", i, k.Str(), sorted[i])
+		}
+	}
+}
+
+// Property: a B+tree over a random multiset agrees with a reference map
+// for lookups and produces sorted ranges, through interleaved deletes.
+func TestBTreeAgainstReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bt := NewBTree()
+		ref := make(map[int64]map[int64]bool)
+		for i := 0; i < 400; i++ {
+			k := int64(r.Intn(40))
+			row := int64(r.Intn(20))
+			if r.Intn(4) == 0 {
+				bt.Delete(value.NewInt(k), row)
+				if ref[k] != nil {
+					delete(ref[k], row)
+					if len(ref[k]) == 0 {
+						delete(ref, k)
+					}
+				}
+			} else {
+				bt.Insert(value.NewInt(k), row)
+				if ref[k] == nil {
+					ref[k] = make(map[int64]bool)
+				}
+				ref[k][row] = true
+			}
+		}
+		if bt.Len() != len(ref) {
+			return false
+		}
+		for k, rows := range ref {
+			got := bt.Lookup(value.NewInt(k))
+			if len(got) != len(rows) {
+				return false
+			}
+			for _, g := range got {
+				if !rows[g] {
+					return false
+				}
+			}
+		}
+		keys := bt.Keys()
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1].MustCompare(keys[i]) >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

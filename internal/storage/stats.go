@@ -1,0 +1,79 @@
+package storage
+
+import (
+	"cohera/internal/value"
+)
+
+// ColumnStats summarizes one column for the optimizers.
+type ColumnStats struct {
+	// Distinct is the number of distinct non-NULL values.
+	Distinct int
+	// Nulls is the number of NULL cells.
+	Nulls int
+	// Min and Max bound the non-NULL values (NULL when empty or
+	// incomparable).
+	Min, Max value.Value
+}
+
+// TableStats summarizes a table for the optimizers. Both the centralized
+// cost-based optimizer and the agoric bidders consume these.
+type TableStats struct {
+	// Rows is the cardinality.
+	Rows int
+	// Columns maps column name to its statistics.
+	Columns map[string]ColumnStats
+}
+
+// Stats computes fresh statistics with a full pass over the table. Sites
+// recompute periodically and advertise the result to the federation.
+func (t *Table) Stats() TableStats {
+	st := TableStats{Columns: make(map[string]ColumnStats, len(t.def.Columns))}
+	distinct := make([]map[string]bool, len(t.def.Columns))
+	mins := make([]value.Value, len(t.def.Columns))
+	maxs := make([]value.Value, len(t.def.Columns))
+	nulls := make([]int, len(t.def.Columns))
+	for i := range distinct {
+		distinct[i] = make(map[string]bool)
+	}
+	t.Scan(func(_ int64, row Row) bool {
+		st.Rows++
+		for i, v := range row {
+			if v.IsNull() {
+				nulls[i]++
+				continue
+			}
+			distinct[i][encodeValue(v)] = true
+			if mins[i].IsNull() {
+				mins[i], maxs[i] = v, v
+				continue
+			}
+			if c, err := v.Compare(mins[i]); err == nil && c < 0 {
+				mins[i] = v
+			}
+			if c, err := v.Compare(maxs[i]); err == nil && c > 0 {
+				maxs[i] = v
+			}
+		}
+		return true
+	})
+	for i, c := range t.def.Columns {
+		st.Columns[c.Name] = ColumnStats{
+			Distinct: len(distinct[i]),
+			Nulls:    nulls[i],
+			Min:      mins[i],
+			Max:      maxs[i],
+		}
+	}
+	return st
+}
+
+// Selectivity estimates the fraction of rows an equality predicate on the
+// column retains, using the uniform-distinct assumption. Unknown columns
+// estimate 0.1.
+func (s TableStats) Selectivity(column string) float64 {
+	cs, ok := s.Columns[column]
+	if !ok || cs.Distinct == 0 {
+		return 0.1
+	}
+	return 1 / float64(cs.Distinct)
+}

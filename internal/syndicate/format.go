@@ -1,0 +1,148 @@
+package syndicate
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"cohera/internal/xmlq"
+)
+
+// Formatter renders quotes for one recipient. "Receiver-makes-right"
+// markets accept the integrator's default format; "sender-makes-right"
+// markets legislate their own, expressed as a LegislatedXML formatter.
+type Formatter interface {
+	// Format renders the quotes as a document body.
+	Format(quotes []Quote) ([]byte, error)
+	// ContentType names the rendered format.
+	ContentType() string
+}
+
+// CSVFormatter renders quotes as comma-separated values (the integrator
+// default for spreadsheet-bound recipients).
+type CSVFormatter struct{}
+
+// ContentType implements Formatter.
+func (CSVFormatter) ContentType() string { return "text/csv" }
+
+// Format implements Formatter.
+func (CSVFormatter) Format(quotes []Quote) ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write([]string{"sku", "name", "unit_price", "qty", "available"}); err != nil {
+		return nil, err
+	}
+	for _, q := range quotes {
+		rec := []string{
+			q.SKU, q.Name, q.Price.String(),
+			fmt.Sprintf("%d", q.Qty), fmt.Sprintf("%d", q.Available),
+		}
+		if err := w.Write(rec); err != nil {
+			return nil, err
+		}
+	}
+	w.Flush()
+	return buf.Bytes(), w.Error()
+}
+
+// JSONFormatter renders quotes as a JSON array.
+type JSONFormatter struct{}
+
+// ContentType implements Formatter.
+func (JSONFormatter) ContentType() string { return "application/json" }
+
+// jsonQuote is the wire shape of a quote.
+type jsonQuote struct {
+	SKU       string   `json:"sku"`
+	Name      string   `json:"name"`
+	UnitPrice string   `json:"unit_price"`
+	Qty       int64    `json:"qty"`
+	Available int64    `json:"available"`
+	Rules     []string `json:"rules,omitempty"`
+}
+
+// Format implements Formatter.
+func (JSONFormatter) Format(quotes []Quote) ([]byte, error) {
+	out := make([]jsonQuote, len(quotes))
+	for i, q := range quotes {
+		out[i] = jsonQuote{
+			SKU: q.SKU, Name: q.Name, UnitPrice: q.Price.String(),
+			Qty: q.Qty, Available: q.Available, Rules: q.Applied,
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// LegislatedXML renders quotes in a market's mandated XML shape — the
+// sender-makes-right case. Field names are fixed by the market, not the
+// integrator.
+type LegislatedXML struct {
+	// Root and RowElement are the mandated element names.
+	Root, RowElement string
+	// FieldNames maps the mandated element names for
+	// sku/name/price/qty/available in that order.
+	FieldNames [5]string
+}
+
+// ContentType implements Formatter.
+func (LegislatedXML) ContentType() string { return "application/xml" }
+
+// Format implements Formatter.
+func (f LegislatedXML) Format(quotes []Quote) ([]byte, error) {
+	if f.Root == "" || f.RowElement == "" {
+		return nil, fmt.Errorf("syndicate: legislated format needs Root and RowElement")
+	}
+	for _, n := range f.FieldNames {
+		if n == "" {
+			return nil, fmt.Errorf("syndicate: legislated format has unnamed fields")
+		}
+	}
+	doc := &xmlq.Node{}
+	root := doc.AppendChild(f.Root)
+	for _, q := range quotes {
+		el := root.AppendChild(f.RowElement)
+		vals := [5]string{
+			q.SKU, q.Name, q.Price.String(),
+			fmt.Sprintf("%d", q.Qty), fmt.Sprintf("%d", q.Available),
+		}
+		for i, name := range f.FieldNames {
+			c := el.AppendChild(name)
+			c.AppendText(vals[i])
+		}
+	}
+	return []byte(doc.String()), nil
+}
+
+// CheckEnablement verifies a supplier's XML document against a market's
+// legislated format, returning the problems found (empty = enabled).
+// This is the "supplier enablement" check: before a supplier can sell in
+// a market, their feed must conform.
+func CheckEnablement(doc string, f LegislatedXML) []string {
+	var problems []string
+	n, err := xmlq.ParseXMLString(doc)
+	if err != nil {
+		return []string{fmt.Sprintf("unparseable XML: %v", err)}
+	}
+	roots := n.Elements()
+	if len(roots) != 1 || roots[0].Name != f.Root {
+		problems = append(problems, fmt.Sprintf("document element must be <%s>", f.Root))
+		return problems
+	}
+	rows, err := xmlq.XPath(n, "/"+f.Root+"/"+f.RowElement)
+	if err != nil || len(rows) == 0 {
+		problems = append(problems, fmt.Sprintf("no <%s> rows under <%s>", f.RowElement, f.Root))
+		return problems
+	}
+	for i, row := range rows {
+		for _, field := range f.FieldNames {
+			text, err := xmlq.XPathString(row, field)
+			if err != nil || strings.TrimSpace(text) == "" {
+				problems = append(problems,
+					fmt.Sprintf("row %d: missing or empty <%s>", i+1, field))
+			}
+		}
+	}
+	return problems
+}

@@ -1,0 +1,200 @@
+// Package syndicate implements custom syndication (paper,
+// Characteristic 4): the same content published differently per
+// recipient. Business rules make pricing and availability
+// buyer-dependent — tier discounts, volume breaks, bundles spanning
+// suppliers, and the airline trick of "making seats available" to
+// top-tier customers when none are left. Formatters then render quotes
+// in each recipient's legislated format (sender-makes-right) or the
+// integrator's default (receiver-makes-right), and an enablement checker
+// verifies a supplier document against a market's legislated format.
+package syndicate
+
+import (
+	"fmt"
+	"strings"
+
+	"cohera/internal/value"
+)
+
+// Item is one catalog entry being syndicated.
+type Item struct {
+	SKU  string
+	Name string
+	// Price is the list price (a money Value).
+	Price value.Value
+	// Available is the publicly available quantity.
+	Available int64
+}
+
+// Buyer identifies a recipient and their commercial relationship.
+type Buyer struct {
+	ID   string
+	Tier string // e.g. "platinum", "gold", "standard"
+}
+
+// Request asks for a quote of a quantity of one item.
+type Request struct {
+	Item Item
+	Qty  int64
+}
+
+// Quote is the buyer-specific offer for one item.
+type Quote struct {
+	SKU       string
+	Name      string
+	ListPrice value.Value
+	// Price is the buyer-specific unit price after rules.
+	Price value.Value
+	Qty   int64
+	// Available is the buyer-specific availability (rules may raise it).
+	Available int64
+	// Bumped marks availability granted beyond the public figure.
+	Bumped bool
+	// Applied lists the rules that fired, in order.
+	Applied []string
+}
+
+// Rule adjusts a quote for a buyer. Rules run in registration order; each
+// sees the effects of its predecessors.
+type Rule interface {
+	// Name labels the rule in Quote.Applied.
+	Name() string
+	// Apply mutates the quote when the rule fires for this buyer.
+	Apply(b Buyer, q *Quote)
+}
+
+// TierDiscount gives a percentage off to one tier.
+type TierDiscount struct {
+	Tier string
+	Pct  float64 // 10 = 10% off
+}
+
+// Name implements Rule.
+func (r TierDiscount) Name() string { return fmt.Sprintf("tier-%s-%.0f%%", r.Tier, r.Pct) }
+
+// Apply implements Rule.
+func (r TierDiscount) Apply(b Buyer, q *Quote) {
+	if !strings.EqualFold(b.Tier, r.Tier) || q.Price.Kind() != value.KindMoney {
+		return
+	}
+	amt, cur := q.Price.Money()
+	discounted := int64(float64(amt)*(1-r.Pct/100) + 0.5)
+	q.Price = value.NewMoney(discounted, cur)
+	q.Applied = append(q.Applied, r.Name())
+}
+
+// VolumeDiscount gives a percentage off at or above a quantity.
+type VolumeDiscount struct {
+	MinQty int64
+	Pct    float64
+}
+
+// Name implements Rule.
+func (r VolumeDiscount) Name() string { return fmt.Sprintf("volume-%d-%.0f%%", r.MinQty, r.Pct) }
+
+// Apply implements Rule.
+func (r VolumeDiscount) Apply(b Buyer, q *Quote) {
+	if q.Qty < r.MinQty || q.Price.Kind() != value.KindMoney {
+		return
+	}
+	amt, cur := q.Price.Money()
+	q.Price = value.NewMoney(int64(float64(amt)*(1-r.Pct/100)+0.5), cur)
+	q.Applied = append(q.Applied, r.Name())
+}
+
+// AvailabilityBump grants a tier extra availability beyond the public
+// figure — the paper's "seats are made available to top-tier customers
+// even when there are no seats left".
+type AvailabilityBump struct {
+	Tier  string
+	Extra int64
+}
+
+// Name implements Rule.
+func (r AvailabilityBump) Name() string { return fmt.Sprintf("bump-%s+%d", r.Tier, r.Extra) }
+
+// Apply implements Rule.
+func (r AvailabilityBump) Apply(b Buyer, q *Quote) {
+	if !strings.EqualFold(b.Tier, r.Tier) {
+		return
+	}
+	q.Available += r.Extra
+	q.Bumped = true
+	q.Applied = append(q.Applied, r.Name())
+}
+
+// Syndicator quotes items for buyers under a rule set and renders the
+// result per recipient format.
+type Syndicator struct {
+	rules   []Rule
+	bundles []Bundle
+}
+
+// New returns an empty syndicator.
+func New() *Syndicator {
+	return &Syndicator{}
+}
+
+// AddRule appends rules (evaluation order = registration order).
+func (s *Syndicator) AddRule(rules ...Rule) {
+	s.rules = append(s.rules, rules...)
+}
+
+// Bundle prices a set of SKUs jointly — "package prices for bundles of
+// purchases that may span multiple suppliers".
+type Bundle struct {
+	Name string
+	SKUs []string
+	Pct  float64 // discount applied to every member when all present
+}
+
+// AddBundle registers a bundle.
+func (s *Syndicator) AddBundle(b Bundle) {
+	s.bundles = append(s.bundles, b)
+}
+
+// QuoteOne prices a single request for a buyer.
+func (s *Syndicator) QuoteOne(b Buyer, req Request) Quote {
+	q := Quote{
+		SKU: req.Item.SKU, Name: req.Item.Name,
+		ListPrice: req.Item.Price, Price: req.Item.Price,
+		Qty: req.Qty, Available: req.Item.Available,
+	}
+	for _, r := range s.rules {
+		r.Apply(b, &q)
+	}
+	return q
+}
+
+// QuoteAll prices a set of requests, applying per-item rules then bundle
+// discounts for complete bundles.
+func (s *Syndicator) QuoteAll(b Buyer, reqs []Request) []Quote {
+	quotes := make([]Quote, len(reqs))
+	have := make(map[string]int, len(reqs))
+	for i, req := range reqs {
+		quotes[i] = s.QuoteOne(b, req)
+		have[strings.ToUpper(req.Item.SKU)] = i
+	}
+	for _, bundle := range s.bundles {
+		complete := true
+		for _, sku := range bundle.SKUs {
+			if _, ok := have[strings.ToUpper(sku)]; !ok {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		for _, sku := range bundle.SKUs {
+			q := &quotes[have[strings.ToUpper(sku)]]
+			if q.Price.Kind() != value.KindMoney {
+				continue
+			}
+			amt, cur := q.Price.Money()
+			q.Price = value.NewMoney(int64(float64(amt)*(1-bundle.Pct/100)+0.5), cur)
+			q.Applied = append(q.Applied, "bundle-"+bundle.Name)
+		}
+	}
+	return quotes
+}

@@ -1,0 +1,180 @@
+package syndicate
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cohera/internal/value"
+)
+
+func seat() Item {
+	return Item{SKU: "ATL-101", Name: "ATL seat", Price: value.NewMoney(20000, "USD"), Available: 0}
+}
+
+func ink() Item {
+	return Item{SKU: "INK-1", Name: "India ink", Price: value.NewMoney(350, "USD"), Available: 100}
+}
+
+func TestTierDiscount(t *testing.T) {
+	s := New()
+	s.AddRule(TierDiscount{Tier: "platinum", Pct: 20})
+	plat := s.QuoteOne(Buyer{ID: "b1", Tier: "platinum"}, Request{Item: ink(), Qty: 1})
+	std := s.QuoteOne(Buyer{ID: "b2", Tier: "standard"}, Request{Item: ink(), Qty: 1})
+	if m, _ := plat.Price.Money(); m != 280 {
+		t.Errorf("platinum price = %d", m)
+	}
+	if m, _ := std.Price.Money(); m != 350 {
+		t.Errorf("standard price = %d", m)
+	}
+	if len(plat.Applied) != 1 || len(std.Applied) != 0 {
+		t.Errorf("applied = %v / %v", plat.Applied, std.Applied)
+	}
+	// List price retained for audit.
+	if m, _ := plat.ListPrice.Money(); m != 350 {
+		t.Errorf("list price mutated: %d", m)
+	}
+}
+
+func TestVolumeDiscountStacksAfterTier(t *testing.T) {
+	s := New()
+	s.AddRule(TierDiscount{Tier: "gold", Pct: 10}, VolumeDiscount{MinQty: 50, Pct: 10})
+	q := s.QuoteOne(Buyer{Tier: "gold"}, Request{Item: ink(), Qty: 50})
+	// 350 → 315 → 283.5 → 284 (rounded)
+	if m, _ := q.Price.Money(); m != 284 {
+		t.Errorf("stacked price = %d", m)
+	}
+	if len(q.Applied) != 2 {
+		t.Errorf("applied = %v", q.Applied)
+	}
+	// Below the volume break only the tier discount applies.
+	q = s.QuoteOne(Buyer{Tier: "gold"}, Request{Item: ink(), Qty: 10})
+	if m, _ := q.Price.Money(); m != 315 {
+		t.Errorf("tier-only price = %d", m)
+	}
+}
+
+func TestAvailabilityBump(t *testing.T) {
+	// The paper's example: no seats left — unless you are Platinum.
+	s := New()
+	s.AddRule(AvailabilityBump{Tier: "platinum", Extra: 2})
+	plat := s.QuoteOne(Buyer{Tier: "platinum"}, Request{Item: seat(), Qty: 1})
+	std := s.QuoteOne(Buyer{Tier: "standard"}, Request{Item: seat(), Qty: 1})
+	if plat.Available != 2 || !plat.Bumped {
+		t.Errorf("platinum avail = %d bumped=%v", plat.Available, plat.Bumped)
+	}
+	if std.Available != 0 || std.Bumped {
+		t.Errorf("standard avail = %d bumped=%v", std.Available, std.Bumped)
+	}
+}
+
+func TestBundles(t *testing.T) {
+	s := New()
+	s.AddBundle(Bundle{Name: "office-kit", SKUs: []string{"INK-1", "PEN-1"}, Pct: 15})
+	pen := Item{SKU: "PEN-1", Name: "pen", Price: value.NewMoney(100, "USD"), Available: 10}
+	// Complete bundle: both discounted.
+	quotes := s.QuoteAll(Buyer{Tier: "standard"}, []Request{
+		{Item: ink(), Qty: 1}, {Item: pen, Qty: 1},
+	})
+	if m, _ := quotes[0].Price.Money(); m != 298 { // 350*0.85 = 297.5 → 298
+		t.Errorf("bundled ink = %d", m)
+	}
+	if m, _ := quotes[1].Price.Money(); m != 85 {
+		t.Errorf("bundled pen = %d", m)
+	}
+	// Incomplete bundle: no discount.
+	quotes = s.QuoteAll(Buyer{Tier: "standard"}, []Request{{Item: ink(), Qty: 1}})
+	if m, _ := quotes[0].Price.Money(); m != 350 {
+		t.Errorf("unbundled ink = %d", m)
+	}
+}
+
+func TestCSVAndJSONFormatters(t *testing.T) {
+	s := New()
+	quotes := s.QuoteAll(Buyer{}, []Request{{Item: ink(), Qty: 3}})
+	body, err := (CSVFormatter{}).Format(quotes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "sku,name,unit_price,qty,available") ||
+		!strings.Contains(text, "INK-1,India ink,3.50 USD,3,100") {
+		t.Errorf("csv = %q", text)
+	}
+	if (CSVFormatter{}).ContentType() != "text/csv" {
+		t.Error("csv content type")
+	}
+	body, err = (JSONFormatter{}).Format(quotes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(body, &parsed); err != nil {
+		t.Fatalf("json round trip: %v", err)
+	}
+	if parsed[0]["sku"] != "INK-1" || parsed[0]["qty"].(float64) != 3 {
+		t.Errorf("json = %v", parsed)
+	}
+}
+
+func marketFormat() LegislatedXML {
+	return LegislatedXML{
+		Root: "MarketFeed", RowElement: "Offer",
+		FieldNames: [5]string{"PartNo", "Description", "UnitPrice", "Quantity", "InStock"},
+	}
+}
+
+func TestLegislatedXML(t *testing.T) {
+	s := New()
+	quotes := s.QuoteAll(Buyer{}, []Request{{Item: ink(), Qty: 1}})
+	body, err := marketFormat().Format(quotes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, frag := range []string{"<MarketFeed>", "<Offer>", "<PartNo>INK-1</PartNo>", "<UnitPrice>3.50 USD</UnitPrice>"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("legislated xml %q missing %q", text, frag)
+		}
+	}
+	// Validation of the format spec itself.
+	if _, err := (LegislatedXML{}).Format(quotes); err == nil {
+		t.Error("unnamed format should fail")
+	}
+	bad := marketFormat()
+	bad.FieldNames[2] = ""
+	if _, err := bad.Format(quotes); err == nil {
+		t.Error("missing field name should fail")
+	}
+}
+
+func TestCheckEnablement(t *testing.T) {
+	f := marketFormat()
+	good := `<MarketFeed><Offer><PartNo>X</PartNo><Description>d</Description>
+		<UnitPrice>1.00 USD</UnitPrice><Quantity>1</Quantity><InStock>5</InStock></Offer></MarketFeed>`
+	if problems := CheckEnablement(good, f); len(problems) != 0 {
+		t.Errorf("good doc problems = %v", problems)
+	}
+	// A supplier's quote rendered through the legislated formatter is, by
+	// construction, enabled.
+	s := New()
+	body, _ := f.Format(s.QuoteAll(Buyer{}, []Request{{Item: ink(), Qty: 1}}))
+	if problems := CheckEnablement(string(body), f); len(problems) != 0 {
+		t.Errorf("round-trip enablement = %v", problems)
+	}
+	// Problems are reported specifically.
+	missing := `<MarketFeed><Offer><PartNo>X</PartNo></Offer></MarketFeed>`
+	problems := CheckEnablement(missing, f)
+	if len(problems) != 4 {
+		t.Errorf("missing-field problems = %v", problems)
+	}
+	if ps := CheckEnablement(`<Wrong><Offer/></Wrong>`, f); len(ps) != 1 || !strings.Contains(ps[0], "MarketFeed") {
+		t.Errorf("wrong root = %v", ps)
+	}
+	if ps := CheckEnablement(`<MarketFeed></MarketFeed>`, f); len(ps) != 1 {
+		t.Errorf("no rows = %v", ps)
+	}
+	if ps := CheckEnablement(`garbage <<<`, f); len(ps) == 0 {
+		t.Error("unparseable doc should report")
+	}
+}

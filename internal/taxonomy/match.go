@@ -1,0 +1,212 @@
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+
+	"cohera/internal/ir"
+)
+
+// Suggestion is one proposed correspondence between a source and a target
+// category, produced by the semi-automatic matcher.
+type Suggestion struct {
+	// Source is the source taxonomy code.
+	Source string
+	// Target is the proposed target code ("" when no candidate cleared
+	// the threshold — a conflict for the content manager).
+	Target string
+	// Score is the matcher's confidence in [0,1].
+	Score float64
+	// Conflict marks ambiguous suggestions: a second candidate scored
+	// within 10% of the best, so a human must decide.
+	Conflict bool
+}
+
+// Matcher aligns a source taxonomy to a target taxonomy. The paper calls
+// semi-automatic schemes that combine system suggestions with user
+// editing "absolutely critical"; Matcher produces ranked suggestions and
+// records the manager's accept/override decisions as the final mapping.
+type Matcher struct {
+	src, dst *Taxonomy
+	// MinScore is the suggestion threshold (default 0.45).
+	MinScore float64
+	// decisions overrides suggestions: source code → target code.
+	decisions map[string]string
+}
+
+// NewMatcher creates a matcher between two taxonomies.
+func NewMatcher(src, dst *Taxonomy) *Matcher {
+	return &Matcher{src: src, dst: dst, MinScore: 0.45, decisions: make(map[string]string)}
+}
+
+// Suggest proposes a target for every source category. Name similarity
+// dominates; agreement between the parents' suggestions adds a structural
+// bonus, which is what lets "Ink refills" under "Office supplies" beat
+// "Ink refills" under "Printer parts".
+func (m *Matcher) Suggest() []Suggestion {
+	srcCodes := m.src.Codes()
+	dstCodes := m.dst.Codes()
+	// First pass: flat name similarity.
+	type scored struct {
+		code  string
+		score float64
+	}
+	best := make(map[string][]scored, len(srcCodes))
+	for _, sc := range srcCodes {
+		srcCat, err := m.src.Get(sc)
+		if err != nil {
+			continue
+		}
+		sTerms := labelTerms(srcCat)
+		var cands []scored
+		for _, dc := range dstCodes {
+			dstCat, err := m.dst.Get(dc)
+			if err != nil {
+				continue
+			}
+			s := nameSimilarity(sTerms, labelTerms(dstCat))
+			if s > 0 {
+				cands = append(cands, scored{dc, s})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].score != cands[j].score {
+				return cands[i].score > cands[j].score
+			}
+			return cands[i].code < cands[j].code
+		})
+		if len(cands) > 5 {
+			cands = cands[:5]
+		}
+		best[sc] = cands
+	}
+	// Second pass: structural bonus when the source parent's best
+	// candidate is an ancestor of (or equals) the candidate's parent.
+	var out []Suggestion
+	for _, sc := range srcCodes {
+		cands := best[sc]
+		srcCat, _ := m.src.Get(sc)
+		rescored := make([]scored, len(cands))
+		for i, c := range cands {
+			bonus := 0.0
+			if srcCat.Parent != "" {
+				if pc := best[srcCat.Parent]; len(pc) > 0 {
+					dstCat, err := m.dst.Get(c.code)
+					if err == nil && dstCat.Parent == pc[0].code {
+						bonus = 0.15
+					}
+				}
+			}
+			rescored[i] = scored{c.code, c.score + bonus}
+		}
+		sort.Slice(rescored, func(i, j int) bool {
+			if rescored[i].score != rescored[j].score {
+				return rescored[i].score > rescored[j].score
+			}
+			return rescored[i].code < rescored[j].code
+		})
+		sug := Suggestion{Source: sc}
+		if len(rescored) > 0 && rescored[0].score >= m.MinScore {
+			sug.Target = rescored[0].code
+			sug.Score = rescored[0].score
+			if len(rescored) > 1 && rescored[1].score >= rescored[0].score*0.9 {
+				sug.Conflict = true
+			}
+		}
+		out = append(out, sug)
+	}
+	return out
+}
+
+// nameSimilarity blends symmetric term overlap with whole-string trigram
+// similarity.
+func nameSimilarity(a, b []string) float64 {
+	ov := (termOverlap(a, b) + termOverlap(b, a)) / 2
+	ja := ir.JaccardNGrams(joinTerms(a), joinTerms(b), 3)
+	return 0.7*ov + 0.3*ja
+}
+
+func joinTerms(ts []string) string {
+	out := ""
+	for i, t := range ts {
+		if i > 0 {
+			out += " "
+		}
+		out += t
+	}
+	return out
+}
+
+// Accept records the manager accepting a suggestion (or overriding it
+// with a different target). Passing target "" marks the source category
+// as deliberately unmapped.
+func (m *Matcher) Accept(source, target string) error {
+	if _, err := m.src.Get(source); err != nil {
+		return err
+	}
+	if target != "" {
+		if _, err := m.dst.Get(target); err != nil {
+			return err
+		}
+	}
+	m.decisions[source] = target
+	return nil
+}
+
+// Mapping returns the final source→target map: manager decisions where
+// present, matcher suggestions elsewhere. EditCount reports how many
+// entries still need (or received) human attention: conflicts, unmatched
+// sources, and overridden suggestions.
+func (m *Matcher) Mapping() (map[string]string, int) {
+	out := make(map[string]string)
+	edits := 0
+	for _, sug := range m.Suggest() {
+		if decided, ok := m.decisions[sug.Source]; ok {
+			if decided != "" {
+				out[sug.Source] = decided
+			}
+			edits++ // every explicit decision is human attention
+			continue
+		}
+		if sug.Target == "" || sug.Conflict {
+			edits++
+		}
+		if sug.Target != "" {
+			out[sug.Source] = sug.Target
+		}
+	}
+	return out, edits
+}
+
+// Classifier assigns free-text product names to taxonomy categories — the
+// "automatic classification capabilities" of Cohera's solution.
+type Classifier struct {
+	tax *Taxonomy
+	// MinScore rejects weak classifications (default 0.3).
+	MinScore float64
+}
+
+// NewClassifier builds a classifier over a taxonomy.
+func NewClassifier(t *Taxonomy) *Classifier {
+	return &Classifier{tax: t, MinScore: 0.3}
+}
+
+// Classify returns the best category code for a product name. Leaf
+// categories win ties over interior ones (deeper is more informative).
+func (c *Classifier) Classify(productName string) (string, float64, error) {
+	hits := c.tax.Search(productName, 0)
+	if len(hits) == 0 || hits[0].Score < c.MinScore {
+		return "", 0, fmt.Errorf("taxonomy: cannot classify %q", productName)
+	}
+	best := hits[0]
+	bestDepth, _ := c.tax.Depth(best.Code)
+	for _, h := range hits[1:] {
+		if h.Score < best.Score {
+			break
+		}
+		if d, err := c.tax.Depth(h.Code); err == nil && d > bestDepth {
+			best, bestDepth = h, d
+		}
+	}
+	return best.Code, best.Score, nil
+}

@@ -1,0 +1,255 @@
+// Package taxonomy implements hierarchical product taxonomies (paper,
+// Characteristic 3): UN/SPSC-style semantic hierarchies, subtree query
+// expansion (a search for "refills" returns ink and lead refills),
+// classification of free-text product names into categories, and a
+// semi-automatic matcher that suggests correspondences between two
+// taxonomies for a content manager to accept or edit.
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+
+	"cohera/internal/ir"
+)
+
+// Category is one node of a taxonomy.
+type Category struct {
+	// Code is the stable identifier (e.g. a UN/SPSC segment code).
+	Code string
+	// Name is the human label ("Ink and lead refills").
+	Name string
+	// Parent is the parent code ("" for roots).
+	Parent string
+	// Synonyms are alternative labels content managers attach.
+	Synonyms []string
+
+	children []string
+}
+
+// Taxonomy is a forest of categories indexed by code. Not safe for
+// concurrent mutation; build then share read-only.
+type Taxonomy struct {
+	// Name identifies the taxonomy (e.g. "unspsc").
+	Name string
+
+	nodes map[string]*Category
+	roots []string
+}
+
+// New returns an empty taxonomy.
+func New(name string) *Taxonomy {
+	return &Taxonomy{Name: name, nodes: make(map[string]*Category)}
+}
+
+// ErrNoCategory is returned when a code is not defined.
+var ErrNoCategory = fmt.Errorf("taxonomy: no such category")
+
+// Add inserts a category. The parent must already exist (or be "").
+func (t *Taxonomy) Add(code, name, parent string, synonyms ...string) error {
+	if code == "" {
+		return fmt.Errorf("taxonomy: empty code")
+	}
+	if _, dup := t.nodes[code]; dup {
+		return fmt.Errorf("taxonomy: duplicate code %q", code)
+	}
+	if parent != "" {
+		p, ok := t.nodes[parent]
+		if !ok {
+			return fmt.Errorf("%w: parent %q of %q", ErrNoCategory, parent, code)
+		}
+		p.children = append(p.children, code)
+	} else {
+		t.roots = append(t.roots, code)
+	}
+	t.nodes[code] = &Category{Code: code, Name: name, Parent: parent, Synonyms: synonyms}
+	return nil
+}
+
+// MustAdd is Add panicking on error, for fixture construction.
+func (t *Taxonomy) MustAdd(code, name, parent string, synonyms ...string) {
+	if err := t.Add(code, name, parent, synonyms...); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns a category by code.
+func (t *Taxonomy) Get(code string) (*Category, error) {
+	c, ok := t.nodes[code]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoCategory, code)
+	}
+	return c, nil
+}
+
+// Len returns the number of categories.
+func (t *Taxonomy) Len() int { return len(t.nodes) }
+
+// Roots returns the root codes in insertion order.
+func (t *Taxonomy) Roots() []string {
+	return append([]string(nil), t.roots...)
+}
+
+// Children returns the child codes of a category.
+func (t *Taxonomy) Children(code string) ([]string, error) {
+	c, err := t.Get(code)
+	if err != nil {
+		return nil, err
+	}
+	return append([]string(nil), c.children...), nil
+}
+
+// Path returns the codes from a root down to the category, inclusive.
+func (t *Taxonomy) Path(code string) ([]string, error) {
+	var rev []string
+	for code != "" {
+		c, err := t.Get(code)
+		if err != nil {
+			return nil, err
+		}
+		rev = append(rev, code)
+		code = c.Parent
+	}
+	out := make([]string, len(rev))
+	for i, c := range rev {
+		out[len(rev)-1-i] = c
+	}
+	return out, nil
+}
+
+// Subtree returns the category and every descendant, pre-order.
+// This is the paper's hierarchical query semantics: "a query to a
+// hierarchical taxonomy of part names should return all parts at the
+// matching levels as well as those below them".
+func (t *Taxonomy) Subtree(code string) ([]string, error) {
+	if _, err := t.Get(code); err != nil {
+		return nil, err
+	}
+	var out []string
+	var walk func(string)
+	walk = func(c string) {
+		out = append(out, c)
+		for _, ch := range t.nodes[c].children {
+			walk(ch)
+		}
+	}
+	walk(code)
+	return out, nil
+}
+
+// Depth returns the depth of the category (roots are depth 0).
+func (t *Taxonomy) Depth(code string) (int, error) {
+	p, err := t.Path(code)
+	if err != nil {
+		return 0, err
+	}
+	return len(p) - 1, nil
+}
+
+// Codes returns all codes sorted.
+func (t *Taxonomy) Codes() []string {
+	out := make([]string, 0, len(t.nodes))
+	for c := range t.nodes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// labelTerms returns the analyzed terms of a category's name + synonyms.
+func labelTerms(c *Category) []string {
+	text := c.Name
+	for _, s := range c.Synonyms {
+		text += " " + s
+	}
+	return ir.Terms(text)
+}
+
+// Search finds categories whose labels match the query, best first. It is
+// "browseable and searchable in the same manner as the data itself": the
+// same analysis chain and fuzzy matching the IR engine uses.
+func (t *Taxonomy) Search(query string, limit int) []SearchHit {
+	qTerms := ir.Terms(query)
+	if len(qTerms) == 0 {
+		return nil
+	}
+	var hits []SearchHit
+	for _, c := range t.nodes {
+		terms := labelTerms(c)
+		score := termOverlap(qTerms, terms)
+		if score > 0 {
+			hits = append(hits, SearchHit{Code: c.Code, Name: c.Name, Score: score})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Code < hits[j].Code
+	})
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}
+
+// SearchHit is one taxonomy search result.
+type SearchHit struct {
+	Code  string
+	Name  string
+	Score float64
+}
+
+// termOverlap scores two term lists: exact term matches count 1, fuzzy
+// matches (edit similarity ≥ 0.8) count their similarity, normalized by
+// the query length.
+func termOverlap(query, label []string) float64 {
+	if len(query) == 0 || len(label) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, q := range query {
+		best := 0.0
+		for _, l := range label {
+			var s float64
+			if q == l {
+				s = 1
+			} else {
+				s = ir.EditSimilarity(q, l)
+				if s < 0.8 {
+					s = 0
+				}
+			}
+			if s > best {
+				best = s
+			}
+		}
+		total += best
+	}
+	return total / float64(len(query))
+}
+
+// ExpandCodes returns the subtree codes of every category matching the
+// query above the threshold — the set a federated query's taxonomy
+// predicate expands to.
+func (t *Taxonomy) ExpandCodes(query string, minScore float64) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, h := range t.Search(query, 0) {
+		if h.Score < minScore {
+			continue
+		}
+		sub, err := t.Subtree(h.Code)
+		if err != nil {
+			continue
+		}
+		for _, c := range sub {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

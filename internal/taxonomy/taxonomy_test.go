@@ -1,0 +1,208 @@
+package taxonomy
+
+import (
+	"errors"
+	"testing"
+)
+
+// unspscFixture builds the paper's running example: India ink under
+// "Ink and lead refills" under "Office supplies".
+func unspscFixture(t *testing.T) *Taxonomy {
+	t.Helper()
+	tax := New("unspsc")
+	tax.MustAdd("44", "Office supplies", "")
+	tax.MustAdd("44.10", "Ink and lead refills", "44", "refills")
+	tax.MustAdd("44.10.01", "India ink", "44.10", "black ink")
+	tax.MustAdd("44.10.02", "Lead refills", "44.10")
+	tax.MustAdd("44.20", "Writing instruments", "44")
+	tax.MustAdd("44.20.01", "Ballpoint pens", "44.20")
+	tax.MustAdd("27", "Tools", "")
+	tax.MustAdd("27.11", "Power tools", "27")
+	tax.MustAdd("27.11.01", "Cordless drills", "27.11", "drills cordless")
+	return tax
+}
+
+func TestAddAndLookup(t *testing.T) {
+	tax := unspscFixture(t)
+	if tax.Len() != 9 {
+		t.Fatalf("Len = %d", tax.Len())
+	}
+	c, err := tax.Get("44.10.01")
+	if err != nil || c.Name != "India ink" || c.Parent != "44.10" {
+		t.Errorf("Get = %+v, %v", c, err)
+	}
+	if _, err := tax.Get("nope"); !errors.Is(err, ErrNoCategory) {
+		t.Errorf("missing code err = %v", err)
+	}
+	roots := tax.Roots()
+	if len(roots) != 2 || roots[0] != "44" {
+		t.Errorf("roots = %v", roots)
+	}
+	kids, _ := tax.Children("44")
+	if len(kids) != 2 {
+		t.Errorf("children = %v", kids)
+	}
+	// Error cases.
+	if err := tax.Add("", "x", ""); err == nil {
+		t.Error("empty code should fail")
+	}
+	if err := tax.Add("44", "dup", ""); err == nil {
+		t.Error("duplicate should fail")
+	}
+	if err := tax.Add("99", "x", "ghost"); err == nil {
+		t.Error("missing parent should fail")
+	}
+}
+
+func TestPathDepthSubtree(t *testing.T) {
+	tax := unspscFixture(t)
+	p, err := tax.Path("44.10.01")
+	if err != nil || len(p) != 3 || p[0] != "44" || p[2] != "44.10.01" {
+		t.Errorf("Path = %v, %v", p, err)
+	}
+	d, _ := tax.Depth("44.10.01")
+	if d != 2 {
+		t.Errorf("Depth = %d", d)
+	}
+	sub, err := tax.Subtree("44.10")
+	if err != nil || len(sub) != 3 {
+		t.Errorf("Subtree = %v, %v", sub, err)
+	}
+	// Pre-order: parent first.
+	if sub[0] != "44.10" {
+		t.Errorf("Subtree order = %v", sub)
+	}
+	if _, err := tax.Subtree("ghost"); err == nil {
+		t.Error("Subtree of missing code should fail")
+	}
+}
+
+func TestSearch(t *testing.T) {
+	tax := unspscFixture(t)
+	hits := tax.Search("india ink", 3)
+	if len(hits) == 0 || hits[0].Code != "44.10.01" {
+		t.Fatalf("Search = %v", hits)
+	}
+	// Synonym label matches.
+	hits = tax.Search("black ink", 3)
+	if len(hits) == 0 || hits[0].Code != "44.10.01" {
+		t.Errorf("synonym search = %v", hits)
+	}
+	// Fuzzy: "drlls" → cordless drills.
+	hits = tax.Search("drlls", 3)
+	if len(hits) == 0 || hits[0].Code != "27.11.01" {
+		t.Errorf("fuzzy search = %v", hits)
+	}
+	if tax.Search("", 3) != nil {
+		t.Error("empty query should return nil")
+	}
+}
+
+func TestExpandCodes(t *testing.T) {
+	tax := unspscFixture(t)
+	// The paper's example: a user requesting "refills" gets both ink and
+	// lead refills (the subtree below the matching category).
+	codes := tax.ExpandCodes("refills", 0.5)
+	want := map[string]bool{"44.10": true, "44.10.01": true, "44.10.02": true}
+	for _, c := range codes {
+		if !want[c] {
+			t.Errorf("unexpected expansion %q in %v", c, codes)
+		}
+		delete(want, c)
+	}
+	if len(want) != 0 {
+		t.Errorf("expansion missing %v (got %v)", want, codes)
+	}
+}
+
+func TestClassifier(t *testing.T) {
+	tax := unspscFixture(t)
+	cl := NewClassifier(tax)
+	code, score, err := cl.Classify("cordless drill 18V heavy duty")
+	if err != nil || code != "27.11.01" {
+		t.Errorf("Classify = %q (%g), %v", code, score, err)
+	}
+	code, _, err = cl.Classify("india ink 50ml")
+	if err != nil || code != "44.10.01" {
+		t.Errorf("Classify ink = %q, %v", code, err)
+	}
+	if _, _, err := cl.Classify("quantum flux capacitor"); err == nil {
+		t.Error("unclassifiable should fail")
+	}
+}
+
+func TestMatcherSuggestAndMapping(t *testing.T) {
+	src := New("vendor")
+	src.MustAdd("A", "Office Supplies", "")
+	src.MustAdd("A1", "Ink refills", "A")
+	src.MustAdd("A2", "Pens ballpoint", "A")
+	src.MustAdd("B", "Toolz", "") // misspelled
+	src.MustAdd("B1", "Cordless drils", "B")
+	src.MustAdd("C", "Gadgets of mystery", "") // no counterpart
+
+	dst := unspscFixture(t)
+	m := NewMatcher(src, dst)
+	sugs := m.Suggest()
+	byCode := make(map[string]Suggestion, len(sugs))
+	for _, s := range sugs {
+		byCode[s.Source] = s
+	}
+	if byCode["A"].Target != "44" {
+		t.Errorf("A → %+v, want 44", byCode["A"])
+	}
+	if byCode["A1"].Target != "44.10" {
+		t.Errorf("A1 → %+v, want 44.10", byCode["A1"])
+	}
+	if byCode["A2"].Target != "44.20.01" {
+		t.Errorf("A2 → %+v, want 44.20.01", byCode["A2"])
+	}
+	if byCode["B1"].Target != "27.11.01" {
+		t.Errorf("B1 (typo) → %+v, want 27.11.01", byCode["B1"])
+	}
+	if byCode["C"].Target != "" {
+		t.Errorf("C should be unmatched, got %+v", byCode["C"])
+	}
+	// Manager overrides B manually and confirms C is unmappable.
+	if err := m.Accept("B", "27"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Accept("C", ""); err != nil {
+		t.Fatal(err)
+	}
+	mapping, edits := m.Mapping()
+	if mapping["B"] != "27" {
+		t.Errorf("decision not honored: %v", mapping)
+	}
+	if _, ok := mapping["C"]; ok {
+		t.Error("unmapped decision leaked into mapping")
+	}
+	if edits == 0 {
+		t.Error("edit count should reflect human attention")
+	}
+	// Accept validation.
+	if err := m.Accept("ghost", "27"); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if err := m.Accept("B", "ghost"); err == nil {
+		t.Error("unknown target should fail")
+	}
+}
+
+func TestMatcherStructuralBonus(t *testing.T) {
+	// Two target categories share the name "Refills"; the structural
+	// bonus must pick the one under the matching parent.
+	src := New("s")
+	src.MustAdd("S", "Office supplies", "")
+	src.MustAdd("S1", "Refills", "S")
+	dst := New("d")
+	dst.MustAdd("D-OFF", "Office supplies", "")
+	dst.MustAdd("D-PRN", "Printer parts", "")
+	dst.MustAdd("D-OFF-R", "Refills", "D-OFF")
+	dst.MustAdd("D-PRN-R", "Refills", "D-PRN")
+	m := NewMatcher(src, dst)
+	for _, s := range m.Suggest() {
+		if s.Source == "S1" && s.Target != "D-OFF-R" {
+			t.Errorf("S1 → %+v, want D-OFF-R via structural bonus", s)
+		}
+	}
+}

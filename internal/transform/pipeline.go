@@ -1,0 +1,229 @@
+package transform
+
+import (
+	"fmt"
+	"strings"
+
+	"cohera/internal/plan"
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// Discrepancy records one row a pipeline could not transform, with enough
+// context for a content manager to repair it.
+type Discrepancy struct {
+	// RowIndex is the position of the offending row in the input batch.
+	RowIndex int
+	// Column is the target column whose step failed.
+	Column string
+	// Value is the offending source value rendered as text.
+	Value string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (d Discrepancy) String() string {
+	return fmt.Sprintf("row %d, column %q, value %q: %v", d.RowIndex, d.Column, d.Value, d.Err)
+}
+
+// Pipeline transforms rows from a source schema to a target schema.
+type Pipeline struct {
+	src, dst *schema.Table
+	steps    []Step
+	// fixes holds fix-by-example repairs: target column → bad text →
+	// replacement value.
+	fixes map[string]map[string]value.Value
+}
+
+// NewPipeline creates an empty pipeline between two schemas.
+func NewPipeline(src, dst *schema.Table) *Pipeline {
+	return &Pipeline{src: src, dst: dst, fixes: make(map[string]map[string]value.Value)}
+}
+
+// Source returns the input schema.
+func (p *Pipeline) Source() *schema.Table { return p.src }
+
+// Target returns the output schema.
+func (p *Pipeline) Target() *schema.Table { return p.dst }
+
+// Add appends a step, validating its target column exists. Later steps
+// for the same target override earlier ones (content managers iterate).
+func (p *Pipeline) Add(steps ...Step) error {
+	for _, s := range steps {
+		if p.dst.ColumnIndex(s.Target()) < 0 {
+			return fmt.Errorf("transform: target schema %q has no column %q", p.dst.Name, s.Target())
+		}
+		p.steps = append(p.steps, s)
+	}
+	return nil
+}
+
+// MustAdd is Add panicking on error, for statically known pipelines.
+func (p *Pipeline) MustAdd(steps ...Step) {
+	if err := p.Add(steps...); err != nil {
+		panic(err)
+	}
+}
+
+// AutoMap adds Copy steps for every target column that has an identically
+// named source column of the same kind — the drag-and-drop default.
+func (p *Pipeline) AutoMap() {
+	for _, dc := range p.dst.Columns {
+		if sc, ok := p.src.Column(dc.Name); ok && sc.Kind == dc.Kind {
+			p.steps = append(p.steps, Copy{To: dc.Name, From: sc.Name})
+		}
+	}
+}
+
+// FixByExample installs a repair: whenever the step for column would
+// produce an error and the offending source text equals badText, use
+// replacement instead. This is the programmatic form of the Workbench's
+// guided fixing.
+func (p *Pipeline) FixByExample(column, badText string, replacement value.Value) {
+	col := strings.ToLower(column)
+	if p.fixes[col] == nil {
+		p.fixes[col] = make(map[string]value.Value)
+	}
+	p.fixes[col][badText] = replacement
+}
+
+// StepCount returns the number of installed steps.
+func (p *Pipeline) StepCount() int { return len(p.steps) }
+
+// Run transforms a batch. Rows whose steps all succeed and that validate
+// against the target schema are returned; failures become discrepancies.
+func (p *Pipeline) Run(rows []storage.Row) ([]storage.Row, []Discrepancy) {
+	var out []storage.Row
+	var disc []Discrepancy
+	// Resolve the effective step per target column (last wins), keeping
+	// target-column order stable.
+	effective := make(map[string]Step, len(p.steps))
+	for _, s := range p.steps {
+		effective[strings.ToLower(s.Target())] = s
+	}
+	srcNames := p.src.ColumnNames()
+	for ri, row := range rows {
+		if len(row) != len(p.src.Columns) {
+			disc = append(disc, Discrepancy{RowIndex: ri, Err: fmt.Errorf("transform: row width %d != source width %d", len(row), len(p.src.Columns))})
+			continue
+		}
+		ctx := &RowContext{Def: p.src, Row: row, Env: plan.NewRowEnv(srcNames, row)}
+		outRow := make(storage.Row, len(p.dst.Columns))
+		for i := range outRow {
+			outRow[i] = value.Null
+		}
+		failed := false
+		for di, dc := range p.dst.Columns {
+			step, ok := effective[strings.ToLower(dc.Name)]
+			if !ok {
+				continue
+			}
+			v, err := step.Apply(ctx)
+			if err == nil && !v.IsNull() && v.Kind() != dc.Kind && !(dc.Kind == value.KindFloat && v.Kind() == value.KindInt) {
+				// Try the conventional coercion before declaring failure.
+				if cv, cerr := value.Coerce(v, dc.Kind); cerr == nil {
+					v = cv
+				} else {
+					err = fmt.Errorf("transform: column %q wants %s, got %s", dc.Name, dc.Kind, v.Kind())
+				}
+			}
+			if err != nil {
+				// Fix-by-example repair?
+				if fix, ok := p.lookupFix(dc.Name, ctx, step); ok {
+					outRow[di] = fix
+					continue
+				}
+				disc = append(disc, Discrepancy{
+					RowIndex: ri, Column: dc.Name,
+					Value: sourceText(ctx, step), Err: err,
+				})
+				failed = true
+				break
+			}
+			outRow[di] = v
+		}
+		if failed {
+			continue
+		}
+		if err := p.dst.Validate(outRow); err != nil {
+			disc = append(disc, Discrepancy{RowIndex: ri, Err: err})
+			continue
+		}
+		out = append(out, outRow)
+	}
+	return out, disc
+}
+
+func (p *Pipeline) lookupFix(column string, ctx *RowContext, step Step) (value.Value, bool) {
+	fixes := p.fixes[strings.ToLower(column)]
+	if fixes == nil {
+		return value.Null, false
+	}
+	v, ok := fixes[sourceText(ctx, step)]
+	return v, ok
+}
+
+// sourceText renders the source value a step consumed, for discrepancy
+// reports and fix matching. Steps with a single From column report that
+// column; others report the whole row.
+func sourceText(ctx *RowContext, step Step) string {
+	from := ""
+	switch s := step.(type) {
+	case Copy:
+		from = s.From
+	case Currency:
+		from = s.From
+	case Delivery:
+		from = s.From
+	case Lookup:
+		from = s.From
+	case Canonicalize:
+		from = s.From
+	}
+	if from != "" {
+		if v, err := ctx.Get(from); err == nil {
+			return v.String()
+		}
+	}
+	parts := make([]string, len(ctx.Row))
+	for i, v := range ctx.Row {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+// Compose runs q after p: p's target schema must equal q's source schema.
+// The result is itself a Pipeline-shaped workflow (multi-step
+// transformation workflows, per the paper).
+type Workflow struct {
+	stages []*Pipeline
+}
+
+// Compose chains pipelines into a workflow, validating stage boundaries.
+func Compose(stages ...*Pipeline) (*Workflow, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("transform: empty workflow")
+	}
+	for i := 1; i < len(stages); i++ {
+		prev, cur := stages[i-1].dst, stages[i].src
+		if prev != cur && prev.Name != cur.Name {
+			return nil, fmt.Errorf("transform: stage %d source %q != stage %d target %q",
+				i, cur.Name, i-1, prev.Name)
+		}
+	}
+	return &Workflow{stages: stages}, nil
+}
+
+// Run pushes a batch through every stage, accumulating discrepancies.
+// Discrepancy row indexes refer to each stage's input batch.
+func (w *Workflow) Run(rows []storage.Row) ([]storage.Row, []Discrepancy) {
+	var all []Discrepancy
+	cur := rows
+	for _, stage := range w.stages {
+		var disc []Discrepancy
+		cur, disc = stage.Run(cur)
+		all = append(all, disc...)
+	}
+	return cur, all
+}

@@ -1,0 +1,215 @@
+// Package transform implements the content workbench (paper,
+// Characteristic 2 and §3.1.1): the declarative machinery a content
+// manager uses to homogenize supplier feeds into the integrator's model.
+//
+// A Pipeline maps rows from a source schema to a target schema through a
+// sequence of steps. Steps span the paper's whole spectrum:
+//
+//   - simple drag-and-drop-style column mappings (Copy),
+//   - expression rules written in the engine's SQL expression language
+//     (Expr) — the "scripting language" tier,
+//   - data-driven mappings via lookup tables and synonym canonicalization
+//     (Lookup, Canonicalize),
+//   - semantic normalizers for currencies and delivery promises
+//     (Currency, Delivery),
+//   - arbitrary Go functions (Func) — the "conventional programming
+//     language" tier, and
+//   - multi-step workflows by composing pipelines (Compose).
+//
+// Rows that fail a step become Discrepancies rather than aborting the
+// batch; FixByExample installs a data-driven repair for a bad value, the
+// programmatic equivalent of the interactive fix-by-example GUI.
+package transform
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cohera/internal/ir"
+	"cohera/internal/plan"
+	"cohera/internal/schema"
+	"cohera/internal/sqlparse"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// Step computes one target column for one source row. ctx carries the
+// evaluation environment of the source row.
+type Step interface {
+	// Target names the output column the step fills.
+	Target() string
+	// Apply computes the target value from the source row.
+	Apply(ctx *RowContext) (value.Value, error)
+}
+
+// RowContext exposes one source row to steps.
+type RowContext struct {
+	// Def is the source schema.
+	Def *schema.Table
+	// Row is the source row.
+	Row storage.Row
+	// Env resolves column references (bare names).
+	Env *plan.RowEnv
+}
+
+// Get fetches a source column's value.
+func (c *RowContext) Get(column string) (value.Value, error) {
+	ci := c.Def.ColumnIndex(column)
+	if ci < 0 {
+		return value.Null, fmt.Errorf("transform: source has no column %q", column)
+	}
+	return c.Row[ci], nil
+}
+
+// Copy maps a source column to the target unchanged.
+type Copy struct {
+	To, From string
+}
+
+// Target implements Step.
+func (s Copy) Target() string { return s.To }
+
+// Apply implements Step.
+func (s Copy) Apply(ctx *RowContext) (value.Value, error) { return ctx.Get(s.From) }
+
+// Expr computes the target from a SQL expression over the source row
+// (e.g. "price * 1.1", "UPPER(name)", "COALESCE(nick, name)").
+type Expr struct {
+	To   string
+	expr sqlparse.Expr
+	ev   *plan.Evaluator
+	src  string
+}
+
+// NewExpr parses the expression eagerly so errors surface at definition
+// time, while the content manager is looking at the rule.
+func NewExpr(to, expression string) (*Expr, error) {
+	e, err := sqlparse.ParseExpr(expression)
+	if err != nil {
+		return nil, fmt.Errorf("transform: rule for %q: %w", to, err)
+	}
+	return &Expr{To: to, expr: e, ev: &plan.Evaluator{}, src: expression}, nil
+}
+
+// Target implements Step.
+func (s *Expr) Target() string { return s.To }
+
+// Apply implements Step.
+func (s *Expr) Apply(ctx *RowContext) (value.Value, error) {
+	return s.ev.Eval(s.expr, ctx.Env)
+}
+
+// Currency re-denominates a money column.
+type Currency struct {
+	To, From string
+	Into     string // target currency code
+	Rates    *value.CurrencyTable
+}
+
+// Target implements Step.
+func (s Currency) Target() string { return s.To }
+
+// Apply implements Step.
+func (s Currency) Apply(ctx *RowContext) (value.Value, error) {
+	v, err := ctx.Get(s.From)
+	if err != nil || v.IsNull() {
+		return value.Null, err
+	}
+	return s.Rates.Convert(v, s.Into)
+}
+
+// Delivery normalizes a delivery-promise column to calendar semantics
+// ("two business days" → comparable calendar duration).
+type Delivery struct {
+	To, From string
+	// AsOf anchors business-day arithmetic; zero means a fixed Monday so
+	// results are deterministic across runs.
+	AsOf time.Time
+}
+
+// Target implements Step.
+func (s Delivery) Target() string { return s.To }
+
+// Apply implements Step.
+func (s Delivery) Apply(ctx *RowContext) (value.Value, error) {
+	v, err := ctx.Get(s.From)
+	if err != nil || v.IsNull() {
+		return value.Null, err
+	}
+	asOf := s.AsOf
+	if asOf.IsZero() {
+		asOf = time.Date(2001, 5, 21, 0, 0, 0, 0, time.UTC) // a Monday
+	}
+	return value.NormalizeDelivery(v, asOf)
+}
+
+// Lookup maps string values through a table — the data-driven mapping
+// tier (vendor codes, country names, ad-hoc repairs). Missing keys pass
+// through unchanged unless Strict.
+type Lookup struct {
+	To, From string
+	Table    map[string]string
+	Strict   bool
+}
+
+// Target implements Step.
+func (s Lookup) Target() string { return s.To }
+
+// Apply implements Step.
+func (s Lookup) Apply(ctx *RowContext) (value.Value, error) {
+	v, err := ctx.Get(s.From)
+	if err != nil || v.IsNull() {
+		return value.Null, err
+	}
+	if v.Kind() != value.KindString {
+		return v, nil
+	}
+	if mapped, ok := s.Table[strings.ToLower(strings.TrimSpace(v.Str()))]; ok {
+		return value.NewString(mapped), nil
+	}
+	if s.Strict {
+		return value.Null, fmt.Errorf("transform: no mapping for %q", v.Str())
+	}
+	return v, nil
+}
+
+// Canonicalize rewrites a string column to the canonical member of its
+// synonym ring, so "India ink" and "black ink" store identically.
+type Canonicalize struct {
+	To, From string
+	Synonyms *ir.Synonyms
+}
+
+// Target implements Step.
+func (s Canonicalize) Target() string { return s.To }
+
+// Apply implements Step.
+func (s Canonicalize) Apply(ctx *RowContext) (value.Value, error) {
+	v, err := ctx.Get(s.From)
+	if err != nil || v.IsNull() {
+		return value.Null, err
+	}
+	if v.Kind() != value.KindString {
+		return v, nil
+	}
+	ring := s.Synonyms.Expand(v.Str())
+	if len(ring) == 0 {
+		return v, nil
+	}
+	// The lexicographically least member is the canonical representative.
+	return value.NewString(ring[0]), nil
+}
+
+// Func computes the target with an arbitrary Go function — the escape
+// hatch for transformations no declarative rule covers.
+type Func struct {
+	To string
+	Fn func(ctx *RowContext) (value.Value, error)
+}
+
+// Target implements Step.
+func (s Func) Target() string { return s.To }
+
+// Apply implements Step.
+func (s Func) Apply(ctx *RowContext) (value.Value, error) { return s.Fn(ctx) }

@@ -1,0 +1,275 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cohera/internal/ir"
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+func srcDef() *schema.Table {
+	return schema.MustTable("acme_feed", []schema.Column{
+		{Name: "code", Kind: value.KindString},
+		{Name: "title", Kind: value.KindString},
+		{Name: "prix", Kind: value.KindMoney},
+		{Name: "ship", Kind: value.KindDuration},
+		{Name: "stock", Kind: value.KindInt},
+	})
+}
+
+func dstDef() *schema.Table {
+	return schema.MustTable("catalog", []schema.Column{
+		{Name: "sku", Kind: value.KindString, NotNull: true},
+		{Name: "name", Kind: value.KindString},
+		{Name: "price", Kind: value.KindMoney},
+		{Name: "delivery", Kind: value.KindDuration},
+		{Name: "qty", Kind: value.KindInt},
+	}, "sku")
+}
+
+func feedRow(code, title string, prixMinor int64, cur string, shipDays int, sem value.DurationSemantics, stock int64) storage.Row {
+	return storage.Row{
+		value.NewString(code), value.NewString(title),
+		value.NewMoney(prixMinor, cur), value.Days(shipDays, sem), value.NewInt(stock),
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	rates := value.DefaultCurrencyTable()
+	p := NewPipeline(srcDef(), dstDef())
+	expr, err := NewExpr("sku", "'ACME-' + code")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(
+		expr,
+		Copy{To: "name", From: "title"},
+		Currency{To: "price", From: "prix", Into: "USD", Rates: rates},
+		Delivery{To: "delivery", From: "ship"},
+		Copy{To: "qty", From: "stock"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	rows := []storage.Row{
+		feedRow("P1", "cordless drill", 9950, "USD", 2, value.CalendarDays, 10),
+		feedRow("P2", "India ink", 12050, "FRF", 2, value.BusinessDays, 200),
+	}
+	out, disc := p.Run(rows)
+	if len(disc) != 0 {
+		t.Fatalf("discrepancies: %v", disc)
+	}
+	if len(out) != 2 {
+		t.Fatalf("out = %d rows", len(out))
+	}
+	if out[0][0].Str() != "ACME-P1" {
+		t.Errorf("sku = %v", out[0][0])
+	}
+	// FRF converted to USD.
+	m, c := out[1][2].Money()
+	if c != "USD" || m != 1639 {
+		t.Errorf("converted price = %d %s", m, c)
+	}
+	// Business days normalized to calendar from Monday 2001-05-21:
+	// 2 business days → Wednesday = 48h calendar.
+	d, sem := out[1][3].Duration()
+	if sem != value.CalendarDays || d != 48*time.Hour {
+		t.Errorf("delivery = %v %v", d, sem)
+	}
+}
+
+func TestPipelineDiscrepanciesAndFixByExample(t *testing.T) {
+	p := NewPipeline(srcDef(), dstDef())
+	p.MustAdd(
+		Copy{To: "sku", From: "code"},
+		Lookup{To: "name", From: "title", Strict: true, Table: map[string]string{
+			"cordless drill": "drill, cordless",
+		}},
+	)
+	rows := []storage.Row{
+		feedRow("P1", "cordless drill", 1, "USD", 1, value.CalendarDays, 1),
+		feedRow("P2", "mystery widget", 1, "USD", 1, value.CalendarDays, 1),
+	}
+	out, disc := p.Run(rows)
+	if len(out) != 1 || len(disc) != 1 {
+		t.Fatalf("out=%d disc=%v", len(out), disc)
+	}
+	if disc[0].Column != "name" || disc[0].RowIndex != 1 || disc[0].Value != "mystery widget" {
+		t.Errorf("discrepancy = %+v", disc[0])
+	}
+	if !strings.Contains(disc[0].String(), "mystery widget") {
+		t.Errorf("String() = %q", disc[0].String())
+	}
+	// The content manager repairs the bad value by example; rerun clean.
+	p.FixByExample("name", "mystery widget", value.NewString("widget, mystery"))
+	out, disc = p.Run(rows)
+	if len(out) != 2 || len(disc) != 0 {
+		t.Fatalf("after fix: out=%d disc=%v", len(out), disc)
+	}
+	if out[1][1].Str() != "widget, mystery" {
+		t.Errorf("fixed value = %v", out[1][1])
+	}
+}
+
+func TestAutoMap(t *testing.T) {
+	// Source with some columns identical to target.
+	src := schema.MustTable("s", []schema.Column{
+		{Name: "sku", Kind: value.KindString},
+		{Name: "name", Kind: value.KindString},
+		{Name: "qty", Kind: value.KindString}, // kind mismatch → not mapped
+	})
+	p := NewPipeline(src, dstDef())
+	p.AutoMap()
+	if p.StepCount() != 2 {
+		t.Fatalf("AutoMap steps = %d, want 2", p.StepCount())
+	}
+	out, disc := p.Run([]storage.Row{{
+		value.NewString("P1"), value.NewString("ink"), value.NewString("7"),
+	}})
+	if len(disc) != 0 || len(out) != 1 {
+		t.Fatalf("out=%v disc=%v", out, disc)
+	}
+	if out[0][0].Str() != "P1" || out[0][1].Str() != "ink" || !out[0][4].IsNull() {
+		t.Errorf("row = %v", out[0])
+	}
+}
+
+func TestStepOverride(t *testing.T) {
+	p := NewPipeline(srcDef(), dstDef())
+	p.MustAdd(Copy{To: "sku", From: "code"})
+	e, _ := NewExpr("sku", "'X-' + code")
+	p.MustAdd(e) // later step wins
+	out, _ := p.Run([]storage.Row{feedRow("P9", "x", 1, "USD", 1, value.CalendarDays, 1)})
+	if out[0][0].Str() != "X-P9" {
+		t.Errorf("override = %v", out[0][0])
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	syn := ir.NewSynonyms()
+	syn.Declare("India ink", "black ink", "fountain pen ink, black")
+	p := NewPipeline(srcDef(), dstDef())
+	p.MustAdd(
+		Copy{To: "sku", From: "code"},
+		Canonicalize{To: "name", From: "title", Synonyms: syn},
+	)
+	rows := []storage.Row{
+		feedRow("P1", "India ink", 1, "USD", 1, value.CalendarDays, 1),
+		feedRow("P2", "black ink", 1, "USD", 1, value.CalendarDays, 1),
+	}
+	out, disc := p.Run(rows)
+	if len(disc) != 0 {
+		t.Fatal(disc)
+	}
+	if out[0][1].Str() != out[1][1].Str() {
+		t.Errorf("canonical forms differ: %v vs %v", out[0][1], out[1][1])
+	}
+}
+
+func TestValidationAndCoercion(t *testing.T) {
+	p := NewPipeline(srcDef(), dstDef())
+	// sku is NOT NULL in the target; leaving it unmapped must discrepancy.
+	p.MustAdd(Copy{To: "name", From: "title"})
+	_, disc := p.Run([]storage.Row{feedRow("P1", "x", 1, "USD", 1, value.CalendarDays, 1)})
+	if len(disc) != 1 {
+		t.Fatalf("disc = %v", disc)
+	}
+	// A string that parses as the target kind coerces automatically.
+	p2 := NewPipeline(srcDef(), dstDef())
+	e, _ := NewExpr("price", "'$4.50'")
+	p2.MustAdd(Copy{To: "sku", From: "code"}, e)
+	out, disc := p2.Run([]storage.Row{feedRow("P1", "x", 1, "USD", 1, value.CalendarDays, 1)})
+	if len(disc) != 0 {
+		t.Fatalf("disc = %v", disc)
+	}
+	if m, _ := out[0][2].Money(); m != 450 {
+		t.Errorf("coerced price = %v", out[0][2])
+	}
+	// Wrong-width row.
+	_, disc = p2.Run([]storage.Row{{value.NewInt(1)}})
+	if len(disc) != 1 {
+		t.Errorf("short row disc = %v", disc)
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	p := NewPipeline(srcDef(), dstDef())
+	if err := p.Add(Copy{To: "ghost", From: "code"}); err == nil {
+		t.Error("unknown target should fail")
+	}
+	if _, err := NewExpr("sku", "1 +"); err == nil {
+		t.Error("bad expression should fail at definition time")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd should panic")
+		}
+	}()
+	p.MustAdd(Copy{To: "ghost", From: "code"})
+}
+
+func TestFuncStep(t *testing.T) {
+	p := NewPipeline(srcDef(), dstDef())
+	p.MustAdd(
+		Copy{To: "sku", From: "code"},
+		Func{To: "qty", Fn: func(ctx *RowContext) (value.Value, error) {
+			v, err := ctx.Get("stock")
+			if err != nil {
+				return value.Null, err
+			}
+			if v.Int() < 0 {
+				return value.NewInt(0), nil
+			}
+			return v, nil
+		}},
+	)
+	out, disc := p.Run([]storage.Row{feedRow("P1", "x", 1, "USD", 1, value.CalendarDays, -5)})
+	if len(disc) != 0 || out[0][4].Int() != 0 {
+		t.Errorf("func step = %v, %v", out, disc)
+	}
+}
+
+func TestWorkflowCompose(t *testing.T) {
+	mid := schema.MustTable("mid", []schema.Column{
+		{Name: "sku", Kind: value.KindString},
+		{Name: "name", Kind: value.KindString},
+	})
+	p1 := NewPipeline(srcDef(), mid)
+	p1.MustAdd(Copy{To: "sku", From: "code"}, Copy{To: "name", From: "title"})
+	p2 := NewPipeline(mid, dstDef())
+	e, _ := NewExpr("name", "UPPER(name)")
+	p2.MustAdd(Copy{To: "sku", From: "sku"}, e)
+	w, err := Compose(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, disc := w.Run([]storage.Row{feedRow("P1", "ink", 1, "USD", 1, value.CalendarDays, 1)})
+	if len(disc) != 0 || len(out) != 1 {
+		t.Fatalf("workflow = %v, %v", out, disc)
+	}
+	if out[0][1].Str() != "INK" {
+		t.Errorf("two-stage result = %v", out[0])
+	}
+	// Boundary mismatch.
+	if _, err := Compose(p2, p1); err == nil {
+		t.Error("mismatched stages should fail")
+	}
+	if _, err := Compose(); err == nil {
+		t.Error("empty workflow should fail")
+	}
+}
+
+func TestLookupNonStrictPassthrough(t *testing.T) {
+	p := NewPipeline(srcDef(), dstDef())
+	p.MustAdd(
+		Copy{To: "sku", From: "code"},
+		Lookup{To: "name", From: "title", Table: map[string]string{"a": "b"}},
+	)
+	out, disc := p.Run([]storage.Row{feedRow("P1", "unmapped title", 1, "USD", 1, value.CalendarDays, 1)})
+	if len(disc) != 0 || out[0][1].Str() != "unmapped title" {
+		t.Errorf("passthrough = %v %v", out, disc)
+	}
+}

@@ -1,0 +1,78 @@
+package value
+
+import (
+	"fmt"
+	"time"
+)
+
+// DurationSemantics records what a content owner means by a "day" in a
+// delivery promise. The paper's Characteristic 2 observes that "two day
+// delivery" is two calendar days for some companies, two business days for
+// others, and two calendar days excluding Sunday for yet others (FedEx).
+type DurationSemantics string
+
+// The delivery-day interpretations seen in supplier feeds.
+const (
+	// CalendarDays counts every day.
+	CalendarDays DurationSemantics = "calendar"
+	// BusinessDays counts Monday through Friday only.
+	BusinessDays DurationSemantics = "business"
+	// NoSundayDays counts every day except Sunday.
+	NoSundayDays DurationSemantics = "no-sunday"
+)
+
+// ValidSemantics reports whether s is a recognized DurationSemantics tag.
+func ValidSemantics(s DurationSemantics) bool {
+	switch s {
+	case CalendarDays, BusinessDays, NoSundayDays, "":
+		return true
+	}
+	return false
+}
+
+const day = 24 * time.Hour
+
+// NormalizeDelivery converts a delivery promise expressed in source
+// semantics into an equivalent number of calendar days starting from a
+// given order date, returning a calendar-semantics duration Value. This is
+// the canonical form the integrator stores so promises from different
+// vendors become comparable.
+func NormalizeDelivery(v Value, from time.Time) (Value, error) {
+	if v.Kind() != KindDuration {
+		return Null, fmt.Errorf("value: NormalizeDelivery on %s", v.Kind())
+	}
+	d, sem := v.Duration()
+	if !ValidSemantics(sem) {
+		return Null, fmt.Errorf("value: unknown duration semantics %q", sem)
+	}
+	if sem == "" || sem == CalendarDays {
+		return NewDuration(d, CalendarDays), nil
+	}
+	days := int(d / day)
+	rem := d % day
+	arrival := from
+	for counted := 0; counted < days; {
+		arrival = arrival.Add(day)
+		if countsAsDay(arrival.Weekday(), sem) {
+			counted++
+		}
+	}
+	elapsed := arrival.Sub(from) + rem
+	return NewDuration(elapsed, CalendarDays), nil
+}
+
+func countsAsDay(w time.Weekday, sem DurationSemantics) bool {
+	switch sem {
+	case BusinessDays:
+		return w != time.Saturday && w != time.Sunday
+	case NoSundayDays:
+		return w != time.Sunday
+	default:
+		return true
+	}
+}
+
+// Days builds a duration Value of n days under the given semantics.
+func Days(n int, sem DurationSemantics) Value {
+	return NewDuration(time.Duration(n)*day, sem)
+}

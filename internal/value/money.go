@@ -1,0 +1,118 @@
+package value
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CurrencyTable converts money values between currencies. Rates are stored
+// against a base currency; conversion between two non-base currencies goes
+// through the base. The table is safe for concurrent use: content owners
+// update rates while federated queries read them.
+//
+// The paper's Characteristic 2 example — "a US supplier quotes product
+// prices in dollars, while a French supplier quotes prices in francs" — is
+// resolved by a transformation rule backed by this table.
+type CurrencyTable struct {
+	mu    sync.RWMutex
+	base  string
+	rates map[string]float64 // units of base per one unit of currency
+}
+
+// NewCurrencyTable returns a table with the given base currency. The base
+// currency always has rate 1.
+func NewCurrencyTable(base string) *CurrencyTable {
+	base = strings.ToUpper(base)
+	return &CurrencyTable{
+		base:  base,
+		rates: map[string]float64{base: 1},
+	}
+}
+
+// Base returns the table's base currency code.
+func (t *CurrencyTable) Base() string { return t.base }
+
+// SetRate records that one unit of currency is worth rate units of the
+// base currency. A non-positive rate is rejected.
+func (t *CurrencyTable) SetRate(currency string, rate float64) error {
+	if rate <= 0 {
+		return fmt.Errorf("value: non-positive rate %g for %s", rate, currency)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rates[strings.ToUpper(currency)] = rate
+	return nil
+}
+
+// Rate returns units of base per one unit of currency.
+func (t *CurrencyTable) Rate(currency string) (float64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.rates[strings.ToUpper(currency)]
+	return r, ok
+}
+
+// Currencies returns the known currency codes in sorted order.
+func (t *CurrencyTable) Currencies() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.rates))
+	for c := range t.rates {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Convert re-denominates a money Value into the target currency, rounding
+// to the nearest minor unit. Non-money values and unknown currencies are
+// errors.
+func (t *CurrencyTable) Convert(v Value, target string) (Value, error) {
+	if v.Kind() != KindMoney {
+		return Null, fmt.Errorf("value: cannot convert %s to money", v.Kind())
+	}
+	amount, from := v.Money()
+	target = strings.ToUpper(target)
+	if from == target {
+		return v, nil
+	}
+	fromRate, ok := t.Rate(from)
+	if !ok {
+		return Null, fmt.Errorf("value: unknown currency %q", from)
+	}
+	toRate, ok := t.Rate(target)
+	if !ok {
+		return Null, fmt.Errorf("value: unknown currency %q", target)
+	}
+	// amount is in minor units of `from`; move through base.
+	inBase := float64(amount) * fromRate
+	out := inBase / toRate
+	rounded := int64(out)
+	if frac := out - float64(rounded); frac >= 0.5 {
+		rounded++
+	} else if frac <= -0.5 {
+		rounded--
+	}
+	return NewMoney(rounded, target), nil
+}
+
+// DefaultCurrencyTable returns a table seeded with the era-appropriate
+// currencies used by the demo workloads (USD base).
+func DefaultCurrencyTable() *CurrencyTable {
+	t := NewCurrencyTable("USD")
+	// Approximate early-2001 rates: units of USD per one unit of currency.
+	seed := map[string]float64{
+		"EUR": 0.89,
+		"FRF": 0.136, // French franc, per the paper's example
+		"GBP": 1.44,
+		"JPY": 0.0082,
+		"CAD": 0.65,
+		"DEM": 0.455,
+	}
+	for c, r := range seed {
+		_ = t.SetRate(c, r) // rates are positive constants; cannot fail
+	}
+	return t
+}

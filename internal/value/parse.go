@@ -1,0 +1,178 @@
+package value
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse converts raw source text into a Value of the requested kind. It is
+// deliberately liberal: supplier feeds contain "$1,299.99", "2 business
+// days", "TRUE", "1999-12-31" and worse, and the wrapper layer funnels all
+// of them through here.
+func Parse(kind Kind, raw string) (Value, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" || strings.EqualFold(raw, "null") || raw == "-" || strings.EqualFold(raw, "n/a") {
+		return Null, nil
+	}
+	switch kind {
+	case KindBool:
+		return parseBool(raw)
+	case KindInt:
+		return parseInt(raw)
+	case KindFloat:
+		return parseFloat(raw)
+	case KindString:
+		return NewString(raw), nil
+	case KindMoney:
+		return ParseMoney(raw)
+	case KindTime:
+		return parseTime(raw)
+	case KindDuration:
+		return ParseDelivery(raw)
+	default:
+		return Null, fmt.Errorf("value: cannot parse into %s", kind)
+	}
+}
+
+func parseBool(raw string) (Value, error) {
+	switch strings.ToLower(raw) {
+	case "true", "t", "yes", "y", "1":
+		return NewBool(true), nil
+	case "false", "f", "no", "n", "0":
+		return NewBool(false), nil
+	}
+	return Null, fmt.Errorf("value: bad boolean %q", raw)
+}
+
+func parseInt(raw string) (Value, error) {
+	clean := strings.ReplaceAll(raw, ",", "")
+	i, err := strconv.ParseInt(clean, 10, 64)
+	if err != nil {
+		return Null, fmt.Errorf("value: bad integer %q: %w", raw, err)
+	}
+	return NewInt(i), nil
+}
+
+func parseFloat(raw string) (Value, error) {
+	clean := strings.ReplaceAll(raw, ",", "")
+	f, err := strconv.ParseFloat(clean, 64)
+	if err != nil {
+		return Null, fmt.Errorf("value: bad float %q: %w", raw, err)
+	}
+	return NewFloat(f), nil
+}
+
+// currencySymbols maps the symbols seen in scraped pages to ISO-style codes.
+var currencySymbols = map[string]string{
+	"$": "USD", "€": "EUR", "£": "GBP", "¥": "JPY", "F": "FRF",
+}
+
+var moneyRe = regexp.MustCompile(`^([$€£¥F]?)\s*(-?[\d,]+(?:\.\d+)?)\s*([A-Za-z]{3})?$`)
+
+// ParseMoney parses monetary text such as "$1,299.99", "1299.99 USD",
+// "€45", "F 120.50" into a money Value. A bare number with no symbol or
+// code defaults to USD; the transformation layer can re-tag it.
+func ParseMoney(raw string) (Value, error) {
+	m := moneyRe.FindStringSubmatch(strings.TrimSpace(raw))
+	if m == nil {
+		return Null, fmt.Errorf("value: bad money %q", raw)
+	}
+	currency := "USD"
+	if m[3] != "" {
+		currency = strings.ToUpper(m[3])
+	} else if m[1] != "" {
+		if c, ok := currencySymbols[m[1]]; ok {
+			currency = c
+		}
+	}
+	amt, err := strconv.ParseFloat(strings.ReplaceAll(m[2], ",", ""), 64)
+	if err != nil {
+		return Null, fmt.Errorf("value: bad money amount %q: %w", raw, err)
+	}
+	minor := int64(amt * 100)
+	// Round to nearest minor unit to absorb float representation error.
+	if d := amt*100 - float64(minor); d >= 0.5 {
+		minor++
+	} else if d <= -0.5 {
+		minor--
+	}
+	return NewMoney(minor, currency), nil
+}
+
+var timeLayouts = []string{
+	time.RFC3339,
+	"2006-01-02 15:04:05",
+	"2006-01-02",
+	"01/02/2006",
+	"Jan 2, 2006",
+	"2 Jan 2006",
+}
+
+func parseTime(raw string) (Value, error) {
+	for _, layout := range timeLayouts {
+		if t, err := time.Parse(layout, raw); err == nil {
+			return NewTime(t.UTC()), nil
+		}
+	}
+	return Null, fmt.Errorf("value: bad timestamp %q", raw)
+}
+
+var deliveryRe = regexp.MustCompile(`(?i)^(\d+)(?:\s*[- ]\s*)?(business|biz|working|calendar)?\s*days?(?:\s*\((no\s+sunday|sunday\s+excluded)\))?`)
+
+// ParseDelivery parses delivery-promise text like "2 days",
+// "2 business days", "5-day", "2 days (Sunday excluded)" into a duration
+// Value tagged with the source's semantics (Characteristic 2).
+func ParseDelivery(raw string) (Value, error) {
+	m := deliveryRe.FindStringSubmatch(strings.TrimSpace(raw))
+	if m == nil {
+		// Fall back to Go duration syntax ("48h").
+		if d, err := time.ParseDuration(raw); err == nil {
+			return NewDuration(d, CalendarDays), nil
+		}
+		return Null, fmt.Errorf("value: bad delivery promise %q", raw)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		return Null, fmt.Errorf("value: bad delivery count %q: %w", raw, err)
+	}
+	sem := CalendarDays
+	switch strings.ToLower(m[2]) {
+	case "business", "biz", "working":
+		sem = BusinessDays
+	}
+	if m[3] != "" {
+		sem = NoSundayDays
+	}
+	return Days(n, sem), nil
+}
+
+// Coerce converts v to the target kind where a lossless or conventional
+// conversion exists (int→float, numeric→string, string→anything parseable).
+// It is used by the expression evaluator for mixed-type predicates.
+func Coerce(v Value, target Kind) (Value, error) {
+	if v.Kind() == target || v.IsNull() {
+		return v, nil
+	}
+	switch target {
+	case KindFloat:
+		if v.Kind() == KindInt {
+			return NewFloat(float64(v.Int())), nil
+		}
+	case KindInt:
+		if v.Kind() == KindFloat {
+			f := v.Float()
+			if f == float64(int64(f)) {
+				return NewInt(int64(f)), nil
+			}
+		}
+	case KindString:
+		return NewString(v.String()), nil
+	}
+	if v.Kind() == KindString {
+		return Parse(target, v.Str())
+	}
+	return Null, fmt.Errorf("value: cannot coerce %s to %s", v.Kind(), target)
+}

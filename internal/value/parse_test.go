@@ -1,0 +1,220 @@
+package value
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseMoney(t *testing.T) {
+	cases := []struct {
+		raw      string
+		minor    int64
+		currency string
+	}{
+		{"$1,299.99", 129999, "USD"},
+		{"1299.99 USD", 129999, "USD"},
+		{"€45", 4500, "EUR"},
+		{"£10.50", 1050, "GBP"},
+		{"F 120.50", 12050, "FRF"},
+		{"120.50 frf", 12050, "FRF"},
+		{"0.01", 1, "USD"},
+		{"-3.25 CAD", -325, "CAD"},
+	}
+	for _, c := range cases {
+		v, err := ParseMoney(c.raw)
+		if err != nil {
+			t.Errorf("ParseMoney(%q): %v", c.raw, err)
+			continue
+		}
+		minor, cur := v.Money()
+		if minor != c.minor || cur != c.currency {
+			t.Errorf("ParseMoney(%q) = %d %s, want %d %s", c.raw, minor, cur, c.minor, c.currency)
+		}
+	}
+	for _, bad := range []string{"abc", "$$5", "12..5"} {
+		if _, err := ParseMoney(bad); err == nil {
+			t.Errorf("ParseMoney(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseDelivery(t *testing.T) {
+	cases := []struct {
+		raw  string
+		days int
+		sem  DurationSemantics
+	}{
+		{"2 days", 2, CalendarDays},
+		{"2 business days", 2, BusinessDays},
+		{"5-day", 5, CalendarDays},
+		{"3 working days", 3, BusinessDays},
+		{"2 days (Sunday excluded)", 2, NoSundayDays},
+		{"2 days (no sunday)", 2, NoSundayDays},
+		{"1 day", 1, CalendarDays},
+	}
+	for _, c := range cases {
+		v, err := ParseDelivery(c.raw)
+		if err != nil {
+			t.Errorf("ParseDelivery(%q): %v", c.raw, err)
+			continue
+		}
+		d, sem := v.Duration()
+		if d != time.Duration(c.days)*24*time.Hour || sem != c.sem {
+			t.Errorf("ParseDelivery(%q) = %v %v, want %d days %v", c.raw, d, sem, c.days, c.sem)
+		}
+	}
+	if v, err := ParseDelivery("48h"); err != nil {
+		t.Errorf("ParseDelivery(48h): %v", err)
+	} else if d, _ := v.Duration(); d != 48*time.Hour {
+		t.Errorf("ParseDelivery(48h) = %v", d)
+	}
+	if _, err := ParseDelivery("soon"); err == nil {
+		t.Error("ParseDelivery(soon) should fail")
+	}
+}
+
+func TestParseGeneric(t *testing.T) {
+	if v, err := Parse(KindInt, " 1,234 "); err != nil || v.Int() != 1234 {
+		t.Errorf("Parse int: %v %v", v, err)
+	}
+	if v, err := Parse(KindFloat, "3.14"); err != nil || v.Float() != 3.14 {
+		t.Errorf("Parse float: %v %v", v, err)
+	}
+	if v, err := Parse(KindBool, "YES"); err != nil || !v.Bool() {
+		t.Errorf("Parse bool: %v %v", v, err)
+	}
+	if v, err := Parse(KindString, "hello"); err != nil || v.Str() != "hello" {
+		t.Errorf("Parse string: %v %v", v, err)
+	}
+	for _, nullish := range []string{"", "NULL", "-", "N/A"} {
+		if v, err := Parse(KindInt, nullish); err != nil || !v.IsNull() {
+			t.Errorf("Parse(%q) = %v, %v; want NULL", nullish, v, err)
+		}
+	}
+	if _, err := Parse(KindInt, "twelve"); err == nil {
+		t.Error("Parse(twelve) should fail")
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	for _, raw := range []string{
+		"2001-05-21T09:00:00Z", "2001-05-21 09:00:00", "2001-05-21",
+		"05/21/2001", "May 21, 2001", "21 May 2001",
+	} {
+		v, err := Parse(KindTime, raw)
+		if err != nil {
+			t.Errorf("Parse time %q: %v", raw, err)
+			continue
+		}
+		got := v.Time()
+		if got.Year() != 2001 || got.Month() != time.May || got.Day() != 21 {
+			t.Errorf("Parse time %q = %v", raw, got)
+		}
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	if v, err := Coerce(NewInt(3), KindFloat); err != nil || v.Float() != 3 {
+		t.Errorf("Coerce int→float: %v %v", v, err)
+	}
+	if v, err := Coerce(NewFloat(4), KindInt); err != nil || v.Int() != 4 {
+		t.Errorf("Coerce float→int: %v %v", v, err)
+	}
+	if _, err := Coerce(NewFloat(4.5), KindInt); err == nil {
+		t.Error("lossy float→int coercion should fail")
+	}
+	if v, err := Coerce(NewInt(7), KindString); err != nil || v.Str() != "7" {
+		t.Errorf("Coerce int→string: %v %v", v, err)
+	}
+	if v, err := Coerce(NewString("$5.00"), KindMoney); err != nil {
+		t.Errorf("Coerce string→money: %v", err)
+	} else if minor, cur := v.Money(); minor != 500 || cur != "USD" {
+		t.Errorf("Coerce string→money = %d %s", minor, cur)
+	}
+	if v, err := Coerce(Null, KindInt); err != nil || !v.IsNull() {
+		t.Error("Coerce(NULL) should be NULL")
+	}
+}
+
+func TestCurrencyTable(t *testing.T) {
+	ct := DefaultCurrencyTable()
+	if ct.Base() != "USD" {
+		t.Fatalf("base = %s", ct.Base())
+	}
+	// FRF→USD: 120.50 FRF * 0.136 = 16.388 USD → 16.39 rounded.
+	v, err := ct.Convert(NewMoney(12050, "FRF"), "USD")
+	if err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	minor, cur := v.Money()
+	if cur != "USD" || minor != 1639 {
+		t.Errorf("FRF→USD = %d %s, want 1639 USD", minor, cur)
+	}
+	// Identity conversion.
+	same, err := ct.Convert(NewMoney(500, "USD"), "usd")
+	if err != nil || !same.Equal(NewMoney(500, "USD")) {
+		t.Errorf("identity convert = %v, %v", same, err)
+	}
+	// Cross through base: EUR→GBP.
+	if _, err := ct.Convert(NewMoney(1000, "EUR"), "GBP"); err != nil {
+		t.Errorf("EUR→GBP: %v", err)
+	}
+	// Errors.
+	if _, err := ct.Convert(NewInt(5), "USD"); err == nil {
+		t.Error("converting non-money should fail")
+	}
+	if _, err := ct.Convert(NewMoney(1, "XXX"), "USD"); err == nil {
+		t.Error("unknown source currency should fail")
+	}
+	if _, err := ct.Convert(NewMoney(1, "USD"), "XXX"); err == nil {
+		t.Error("unknown target currency should fail")
+	}
+	if err := ct.SetRate("BAD", -1); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if got := ct.Currencies(); len(got) < 6 {
+		t.Errorf("Currencies() = %v", got)
+	}
+}
+
+func TestNormalizeDelivery(t *testing.T) {
+	// Friday 2001-05-18. Two business days land on Tuesday 2001-05-22:
+	// 4 calendar days.
+	friday := time.Date(2001, 5, 18, 12, 0, 0, 0, time.UTC)
+	v, err := NormalizeDelivery(Days(2, BusinessDays), friday)
+	if err != nil {
+		t.Fatalf("NormalizeDelivery: %v", err)
+	}
+	d, sem := v.Duration()
+	if sem != CalendarDays || d != 4*24*time.Hour {
+		t.Errorf("business from Friday = %v %v, want 96h calendar", d, sem)
+	}
+
+	// Saturday + 2 no-sunday days: Sun skipped → Mon, Tue = 3 calendar days.
+	saturday := time.Date(2001, 5, 19, 12, 0, 0, 0, time.UTC)
+	v, err = NormalizeDelivery(Days(2, NoSundayDays), saturday)
+	if err != nil {
+		t.Fatalf("NormalizeDelivery: %v", err)
+	}
+	d, _ = v.Duration()
+	if d != 3*24*time.Hour {
+		t.Errorf("no-sunday from Saturday = %v, want 72h", d)
+	}
+
+	// Calendar days pass through.
+	v, err = NormalizeDelivery(Days(2, CalendarDays), friday)
+	if err != nil {
+		t.Fatalf("NormalizeDelivery: %v", err)
+	}
+	d, _ = v.Duration()
+	if d != 2*24*time.Hour {
+		t.Errorf("calendar passthrough = %v", d)
+	}
+
+	if _, err := NormalizeDelivery(NewInt(2), friday); err == nil {
+		t.Error("non-duration should fail")
+	}
+	if _, err := NormalizeDelivery(NewDuration(time.Hour, "lunar"), friday); err == nil {
+		t.Error("unknown semantics should fail")
+	}
+}

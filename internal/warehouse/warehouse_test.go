@@ -1,0 +1,177 @@
+package warehouse
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/transform"
+	"cohera/internal/value"
+	"cohera/internal/wrapper"
+)
+
+func quoteDef() *schema.Table {
+	return schema.MustTable("quotes", []schema.Column{
+		{Name: "sku", Kind: value.KindString, NotNull: true},
+		{Name: "price", Kind: value.KindInt},
+	}, "sku")
+}
+
+// mutableSource is a volatile source whose rows change under the
+// warehouse's feet.
+type mutableSource struct {
+	mu   sync.Mutex
+	def  *schema.Table
+	rows []storage.Row
+}
+
+func (m *mutableSource) Name() string          { return "mut" }
+func (m *mutableSource) Schema() *schema.Table { return m.def }
+func (m *mutableSource) Capabilities() wrapper.Capabilities {
+	return wrapper.Capabilities{Volatile: true}
+}
+func (m *mutableSource) Fetch(ctx context.Context, f []wrapper.Filter) ([]storage.Row, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]storage.Row, len(m.rows))
+	for i, r := range m.rows {
+		out[i] = r.Clone()
+	}
+	return out, nil
+}
+func (m *mutableSource) set(sku string, price int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, r := range m.rows {
+		if r[0].Str() == sku {
+			m.rows[i][1] = value.NewInt(price)
+			return
+		}
+	}
+	m.rows = append(m.rows, storage.Row{value.NewString(sku), value.NewInt(price)})
+}
+
+func TestRegisterRefreshQuery(t *testing.T) {
+	w := New()
+	src := &mutableSource{def: quoteDef()}
+	src.set("P1", 100)
+	src.set("P2", 200)
+	if err := w.Register(src, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RefreshAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Query("SELECT price FROM quotes WHERE sku = 'P1'")
+	if err != nil || res.Rows[0][0].Int() != 100 {
+		t.Fatalf("query = %v, %v", res, err)
+	}
+	// Source changes; warehouse stays stale until the next refresh.
+	src.set("P1", 999)
+	res, _ = w.Query("SELECT price FROM quotes WHERE sku = 'P1'")
+	if res.Rows[0][0].Int() != 100 {
+		t.Errorf("warehouse should be stale, got %v", res.Rows[0][0])
+	}
+	if err := w.RefreshAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = w.Query("SELECT price FROM quotes WHERE sku = 'P1'")
+	if res.Rows[0][0].Int() != 999 {
+		t.Errorf("after refresh = %v", res.Rows[0][0])
+	}
+	if w.Refreshes() != 2 || w.RowsExtracted() != 4 {
+		t.Errorf("refreshes=%d extracted=%d", w.Refreshes(), w.RowsExtracted())
+	}
+	if w.Age() > time.Minute {
+		t.Errorf("age = %v", w.Age())
+	}
+}
+
+func TestRefreshReplacesDeletedRows(t *testing.T) {
+	w := New()
+	src := &mutableSource{def: quoteDef()}
+	src.set("P1", 1)
+	src.set("P2", 2)
+	_ = w.Register(src, nil)
+	_ = w.RefreshAll(context.Background())
+	// Row disappears at the source.
+	src.mu.Lock()
+	src.rows = src.rows[:1]
+	src.mu.Unlock()
+	_ = w.RefreshAll(context.Background())
+	res, _ := w.Query("SELECT COUNT(*) FROM quotes")
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("deleted row survived refresh: %v", res.Rows)
+	}
+}
+
+func TestWarehouseWithPipeline(t *testing.T) {
+	// ETL's T stage: map raw feed columns into the warehouse schema.
+	raw := schema.MustTable("raw_feed", []schema.Column{
+		{Name: "code", Kind: value.KindString},
+		{Name: "cents", Kind: value.KindInt},
+	})
+	p := transform.NewPipeline(raw, quoteDef())
+	p.MustAdd(
+		transform.Copy{To: "sku", From: "code"},
+		transform.Copy{To: "price", From: "cents"},
+	)
+	src, err := wrapper.NewStaticSource("feed", raw, []storage.Row{
+		{value.NewString("A"), value.NewInt(42)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New()
+	if err := w.Register(src, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RefreshAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := w.Query("SELECT sku, price FROM quotes")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "A" || res.Rows[0][1].Int() != 42 {
+		t.Errorf("pipeline load = %v", res.Rows)
+	}
+}
+
+func TestAutoRefresh(t *testing.T) {
+	w := New()
+	src := &mutableSource{def: quoteDef()}
+	src.set("P1", 1)
+	_ = w.Register(src, nil)
+	_ = w.RefreshAll(context.Background())
+	w.StartAuto(10 * time.Millisecond)
+	defer w.Stop()
+	src.set("P1", 77)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := w.Query("SELECT price FROM quotes WHERE sku = 'P1'")
+		if err == nil && len(res.Rows) == 1 && res.Rows[0][0].Int() == 77 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("auto refresh never converged")
+}
+
+func TestMultipleSourcesOneTable(t *testing.T) {
+	// Two suppliers feed the same warehouse table (catalog integration).
+	a := &mutableSource{def: quoteDef()}
+	a.set("A1", 1)
+	b := &mutableSource{def: quoteDef()}
+	b.set("B1", 2)
+	w := New()
+	_ = w.Register(a, nil)
+	_ = w.Register(b, nil)
+	if err := w.RefreshAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := w.Query("SELECT COUNT(*) FROM quotes")
+	if res.Rows[0][0].Int() != 2 {
+		t.Errorf("combined load = %v", res.Rows)
+	}
+}

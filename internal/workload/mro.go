@@ -1,0 +1,267 @@
+// Package workload generates the deterministic synthetic workloads the
+// experiments and examples run on, standing in for the proprietary data
+// the paper's vignettes assume (§1.2): MRO supplier catalogs in
+// heterogeneous formats with dirty data, hotel reservation systems with
+// volatile availability, multi-tier supply chains, and noisy taxonomy
+// pairs. All generators are seeded and reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// Product is one MRO item in the ground-truth vocabulary.
+type Product struct {
+	// Canonical is the integrator's normalized name.
+	Canonical string
+	// Variants are vendor-specific names for the same item.
+	Variants []string
+	// Category is the taxonomy code (see MROTaxonomy).
+	Category string
+	// BasePriceCents anchors price generation.
+	BasePriceCents int64
+}
+
+// MROVocabulary returns the ground-truth product list — lightbulbs to
+// forklifts, per the paper's MRO example — with the naming variants that
+// make integration hard ("India ink" vs "fountain pen ink, black").
+func MROVocabulary() []Product {
+	return []Product{
+		{"black ink", []string{"India ink", "fountain pen ink, black", "ink, black"}, "44.10.01", 350},
+		{"lead refills", []string{"pencil lead refill", "refill, lead 0.5mm"}, "44.10.02", 120},
+		{"ballpoint pen", []string{"pen, ballpoint blue", "biro pen"}, "44.20.01", 99},
+		{"legal pad", []string{"writing pad, legal", "yellow pad"}, "44.30.01", 250},
+		{"stapler", []string{"desk stapler", "stapling machine"}, "44.30.02", 899},
+		{"cordless drill", []string{"drill, cordless 18V", "18v cordless drill kit"}, "27.11.01", 9950},
+		{"corded drill", []string{"drill, electric corded", "power drill 550W"}, "27.11.02", 4500},
+		{"circular saw", []string{"saw, circular 7in", "skill saw"}, "27.11.03", 12900},
+		{"claw hammer", []string{"hammer, claw 16oz", "carpenter hammer"}, "27.12.01", 1599},
+		{"socket wrench set", []string{"wrench set, socket", "ratchet set 40pc"}, "27.12.02", 4999},
+		{"lightbulb 60w", []string{"bulb, incandescent 60W", "60 watt light bulb"}, "39.10.01", 99},
+		{"fluorescent tube", []string{"tube, fluorescent T8", "strip light tube"}, "39.10.02", 450},
+		{"extension cord", []string{"cord, extension 25ft", "power extension lead"}, "39.20.01", 1250},
+		{"forklift", []string{"lift truck, fork", "warehouse forklift 2t"}, "24.10.01", 1200000},
+		{"hand truck", []string{"dolly, hand truck", "sack barrow"}, "24.10.02", 6999},
+		{"safety goggles", []string{"goggles, safety clear", "protective eyewear"}, "46.18.01", 799},
+		{"work gloves", []string{"gloves, leather work", "rigger gloves"}, "46.18.02", 1299},
+		{"hard hat", []string{"helmet, safety", "construction hard hat"}, "46.18.03", 1899},
+		{"packing tape", []string{"tape, packing 2in", "parcel tape roll"}, "31.20.01", 349},
+		{"shipping boxes", []string{"box, corrugated 18in", "cardboard carton"}, "31.20.02", 210},
+		// Term-disjoint synonym pairs: the canonical name shares no token
+		// with the vendor name, so only synonym-ring expansion can bridge
+		// them — the paper's "India ink" vs "black ink" situation in its
+		// sharpest form.
+		{"utility knife", []string{"box cutter"}, "27.12.03", 650},
+		{"flashlight", []string{"electric torch"}, "39.10.03", 1450},
+		{"hex key set", []string{"allen wrench kit"}, "27.12.04", 899},
+		{"cable ties", []string{"zip fasteners"}, "39.20.02", 450},
+	}
+}
+
+// CatalogDef is the integrator's normalized catalog schema.
+func CatalogDef() *schema.Table {
+	return schema.MustTable("catalog", []schema.Column{
+		{Name: "sku", Kind: value.KindString, NotNull: true},
+		{Name: "supplier", Kind: value.KindString},
+		{Name: "name", Kind: value.KindString, FullText: true, Taxonomy: "mro"},
+		{Name: "category", Kind: value.KindString},
+		{Name: "price", Kind: value.KindMoney},
+		{Name: "delivery", Kind: value.KindDuration},
+		{Name: "qty", Kind: value.KindInt},
+	}, "sku")
+}
+
+// SupplierFormat is the feed format a supplier publishes.
+type SupplierFormat int
+
+// The feed formats seen across a supply chain.
+const (
+	FormatCSV SupplierFormat = iota
+	FormatXML
+	FormatHTML
+)
+
+// Supplier is one generated content owner.
+type Supplier struct {
+	// Name identifies the supplier ("supplier-07").
+	Name string
+	// Format is how the supplier publishes.
+	Format SupplierFormat
+	// Currency is the supplier's quoting currency.
+	Currency string
+	// DeliverySemantics is what the supplier means by "day".
+	DeliverySemantics value.DurationSemantics
+	// Items are the supplier's ground-truth catalog entries.
+	Items []SupplierItem
+}
+
+// SupplierItem is one ground-truth catalog line before rendering.
+type SupplierItem struct {
+	SKU        string
+	Name       string // vendor-specific variant
+	Canonical  string // ground truth for evaluation
+	Category   string
+	PriceCents int64 // in the supplier's currency
+	Days       int
+	Qty        int64
+}
+
+// Suppliers generates n suppliers with itemsEach products drawn from the
+// vocabulary, rotating formats, currencies and delivery semantics, with
+// dirtyRate of rows carrying a typo in the product name.
+func Suppliers(n, itemsEach int, dirtyRate float64, seed int64) []Supplier {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := MROVocabulary()
+	currencies := []string{"USD", "EUR", "FRF", "GBP"}
+	semantics := []value.DurationSemantics{value.CalendarDays, value.BusinessDays, value.NoSundayDays}
+	out := make([]Supplier, n)
+	for i := range out {
+		s := Supplier{
+			Name:              fmt.Sprintf("supplier-%02d", i),
+			Format:            SupplierFormat(i % 3),
+			Currency:          currencies[i%len(currencies)],
+			DeliverySemantics: semantics[i%len(semantics)],
+		}
+		perm := rng.Perm(len(vocab))
+		for j := 0; j < itemsEach; j++ {
+			p := vocab[perm[j%len(vocab)]]
+			name := p.Variants[rng.Intn(len(p.Variants))]
+			if rng.Float64() < dirtyRate {
+				name = Typo(name, rng)
+			}
+			// Price jitter ±20%, converted notionally to supplier currency
+			// by a crude factor (normalization undoes it via real rates).
+			jitter := 0.8 + 0.4*rng.Float64()
+			s.Items = append(s.Items, SupplierItem{
+				SKU:        fmt.Sprintf("%s-%03d", strings.ToUpper(s.Name[len(s.Name)-2:]), j),
+				Name:       name,
+				Canonical:  p.Canonical,
+				Category:   p.Category,
+				PriceCents: int64(float64(p.BasePriceCents) * jitter),
+				Days:       1 + rng.Intn(7),
+				Qty:        int64(rng.Intn(1000)),
+			})
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Typo corrupts a string the way hurried humans do: drop a vowel, swap
+// two adjacent letters, or double a letter.
+func Typo(s string, rng *rand.Rand) string {
+	r := []rune(s)
+	if len(r) < 4 {
+		return s
+	}
+	switch rng.Intn(3) {
+	case 0: // drop a vowel
+		for attempt := 0; attempt < 10; attempt++ {
+			i := rng.Intn(len(r))
+			if strings.ContainsRune("aeiou", r[i]) {
+				return string(append(append([]rune{}, r[:i]...), r[i+1:]...))
+			}
+		}
+		return s
+	case 1: // swap adjacent
+		i := 1 + rng.Intn(len(r)-2)
+		r[i], r[i+1] = r[i+1], r[i]
+		return string(r)
+	default: // double a letter
+		i := rng.Intn(len(r))
+		return string(append(append(append([]rune{}, r[:i+1]...), r[i]), r[i+1:]...))
+	}
+}
+
+// RenderCSV renders a supplier's feed as CSV with vendor-flavored
+// headers and formats ("$12.50" vs "12.50 EUR", "2 business days").
+func RenderCSV(s Supplier) string {
+	var b strings.Builder
+	b.WriteString("Part No,Description,Unit Price,Lead Time,On Hand\n")
+	for _, it := range s.Items {
+		fmt.Fprintf(&b, "%s,%q,%s,%s,%d\n",
+			it.SKU, it.Name, renderPrice(it.PriceCents, s.Currency),
+			renderDelivery(it.Days, s.DeliverySemantics), it.Qty)
+	}
+	return b.String()
+}
+
+// RenderXML renders a supplier's feed as XML.
+func RenderXML(s Supplier) string {
+	var b strings.Builder
+	b.WriteString("<feed>\n")
+	for _, it := range s.Items {
+		fmt.Fprintf(&b, "  <item code=%q><desc>%s</desc><price>%s</price><lead>%s</lead><stock>%d</stock></item>\n",
+			it.SKU, xmlEscape(it.Name), renderPrice(it.PriceCents, s.Currency),
+			renderDelivery(it.Days, s.DeliverySemantics), it.Qty)
+	}
+	b.WriteString("</feed>\n")
+	return b.String()
+}
+
+// RenderHTML renders a supplier's feed as a product-table web page — the
+// scraping case.
+func RenderHTML(s Supplier) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><body><h1>%s Catalog</h1><table>\n", s.Name)
+	for _, it := range s.Items {
+		fmt.Fprintf(&b, `<tr><td class="pn">%s</td><td class="ds">%s</td><td class="pr">%s</td><td class="lt">%s</td><td class="oh">%d</td></tr>`+"\n",
+			it.SKU, xmlEscape(it.Name), renderPrice(it.PriceCents, s.Currency),
+			renderDelivery(it.Days, s.DeliverySemantics), it.Qty)
+	}
+	b.WriteString("</table></body></html>\n")
+	return b.String()
+}
+
+func renderPrice(cents int64, currency string) string {
+	whole, frac := cents/100, cents%100
+	if currency == "USD" {
+		return fmt.Sprintf("$%d.%02d", whole, frac)
+	}
+	return fmt.Sprintf("%d.%02d %s", whole, frac, currency)
+}
+
+func renderDelivery(days int, sem value.DurationSemantics) string {
+	switch sem {
+	case value.BusinessDays:
+		return fmt.Sprintf("%d business days", days)
+	case value.NoSundayDays:
+		return fmt.Sprintf("%d days (Sunday excluded)", days)
+	default:
+		return fmt.Sprintf("%d days", days)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// GroundTruthRows converts a supplier's items to normalized catalog rows
+// (USD prices via rates, calendar delivery) — what a perfect pipeline
+// should produce; integration experiments compare against it.
+func GroundTruthRows(s Supplier, rates *value.CurrencyTable) ([]storage.Row, error) {
+	var out []storage.Row
+	for _, it := range s.Items {
+		price, err := rates.Convert(value.NewMoney(it.PriceCents, s.Currency), "USD")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, storage.Row{
+			value.NewString(it.SKU),
+			value.NewString(s.Name),
+			value.NewString(it.Name),
+			value.NewString(it.Category),
+			price,
+			value.Days(it.Days, s.DeliverySemantics),
+			value.NewInt(it.Qty),
+		})
+	}
+	return out, nil
+}

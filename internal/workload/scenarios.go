@@ -1,0 +1,335 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/taxonomy"
+	"cohera/internal/value"
+)
+
+// HotelsDef is the global schema of the travel vignette: fifty-odd
+// reservation systems, each owning its chain's rows.
+func HotelsDef() *schema.Table {
+	return schema.MustTable("hotels", []schema.Column{
+		{Name: "hotel", Kind: value.KindString, NotNull: true},
+		{Name: "chain", Kind: value.KindString},
+		{Name: "city", Kind: value.KindString},
+		{Name: "miles_to_airport", Kind: value.KindFloat},
+		{Name: "health_club", Kind: value.KindBool},
+		{Name: "corporate_rate", Kind: value.KindMoney},
+		{Name: "available", Kind: value.KindInt},
+	}, "hotel")
+}
+
+// Hotel is one generated property.
+type Hotel struct {
+	Name      string
+	Chain     string
+	City      string
+	Miles     float64
+	Club      bool
+	RateCents int64
+	Available int64
+}
+
+// Hotels generates chains × perChain properties across a city list, a
+// third of them near the airport with health clubs and corporate rates
+// spanning the $120–$320 band (so the paper's "<$200, <10 miles, health
+// club" query selects a meaningful subset).
+func Hotels(chains, perChain int, seed int64) [][]Hotel {
+	rng := rand.New(rand.NewSource(seed))
+	cities := []string{"Atlanta", "Chicago", "Denver", "Boston"}
+	out := make([][]Hotel, chains)
+	for c := 0; c < chains; c++ {
+		chain := fmt.Sprintf("chain-%02d", c)
+		for h := 0; h < perChain; h++ {
+			out[c] = append(out[c], Hotel{
+				Name:      fmt.Sprintf("%s-hotel-%02d", chain, h),
+				Chain:     chain,
+				City:      cities[rng.Intn(len(cities))],
+				Miles:     0.5 + rng.Float64()*24.5,
+				Club:      rng.Intn(3) != 0,
+				RateCents: 12000 + int64(rng.Intn(20000)),
+				Available: int64(rng.Intn(20)),
+			})
+		}
+	}
+	return out
+}
+
+// HotelRow converts a hotel to its schema row.
+func HotelRow(h Hotel) storage.Row {
+	return storage.Row{
+		value.NewString(h.Name), value.NewString(h.Chain), value.NewString(h.City),
+		value.NewFloat(h.Miles), value.NewBool(h.Club),
+		value.NewMoney(h.RateCents, "USD"), value.NewInt(h.Available),
+	}
+}
+
+// AvailabilityChurn deterministically mutates availability on live hotel
+// tables: each step picks a random hotel and books or releases rooms.
+// It returns a step function; calling it applies one update and reports
+// which table changed.
+func AvailabilityChurn(tables []*storage.Table, seed int64) func() error {
+	rng := rand.New(rand.NewSource(seed))
+	return func() error {
+		if len(tables) == 0 {
+			return fmt.Errorf("workload: no tables to churn")
+		}
+		t := tables[rng.Intn(len(tables))]
+		n := t.Len()
+		if n == 0 {
+			return nil
+		}
+		// Pick a random row by scanning to a random offset (tables are
+		// small per chain).
+		target := rng.Intn(n)
+		var id int64 = -1
+		var row storage.Row
+		i := 0
+		t.Scan(func(rid int64, r storage.Row) bool {
+			if i == target {
+				id = rid
+				row = r
+				return false
+			}
+			i++
+			return true
+		})
+		if id < 0 {
+			return nil
+		}
+		availIdx := t.Def().ColumnIndex("available")
+		cur := row[availIdx].Int()
+		delta := int64(rng.Intn(3) + 1)
+		if rng.Intn(2) == 0 {
+			cur -= delta
+			if cur < 0 {
+				cur = 0
+			}
+		} else {
+			cur += delta
+		}
+		row[availIdx] = value.NewInt(cur)
+		return t.Update(id, row)
+	}
+}
+
+// SupplyChainDef is the schema of the supply-chain vignette: each tier's
+// suppliers advertise spare capacity for the parts they make.
+func SupplyChainDef() *schema.Table {
+	return schema.MustTable("capacity", []schema.Column{
+		{Name: "supplier", Kind: value.KindString, NotNull: true},
+		{Name: "tier", Kind: value.KindInt},
+		{Name: "part", Kind: value.KindString},
+		{Name: "spare_units", Kind: value.KindInt},
+		{Name: "feeds", Kind: value.KindString}, // upstream supplier this one feeds
+	}, "supplier")
+}
+
+// ChainSupplier is one node of the generated supply chain.
+type ChainSupplier struct {
+	Name  string
+	Tier  int
+	Part  string
+	Spare int64
+	Feeds string
+}
+
+// SupplyChain generates a tree of tiers: tier 0 is the manufacturer,
+// each tier-i supplier feeds one tier-(i-1) node. Spare capacity shrinks
+// with depth so feasibility questions have non-trivial answers.
+func SupplyChain(tiers, fanout int, seed int64) []ChainSupplier {
+	rng := rand.New(rand.NewSource(seed))
+	parts := []string{"chassis", "motor", "gearbox", "bearing", "casting", "bolt"}
+	var out []ChainSupplier
+	out = append(out, ChainSupplier{Name: "manufacturer", Tier: 0, Part: "product", Spare: 100})
+	prev := []string{"manufacturer"}
+	for tier := 1; tier <= tiers; tier++ {
+		var cur []string
+		for _, parent := range prev {
+			for f := 0; f < fanout; f++ {
+				name := fmt.Sprintf("t%d-%s-%d", tier, parent, f)
+				out = append(out, ChainSupplier{
+					Name: name, Tier: tier,
+					Part:  parts[rng.Intn(len(parts))],
+					Spare: int64(rng.Intn(50)),
+					Feeds: parent,
+				})
+				cur = append(cur, name)
+			}
+		}
+		prev = cur
+	}
+	return out
+}
+
+// ChainRow converts a supplier node to its schema row.
+func ChainRow(c ChainSupplier) storage.Row {
+	return storage.Row{
+		value.NewString(c.Name), value.NewInt(int64(c.Tier)),
+		value.NewString(c.Part), value.NewInt(c.Spare), value.NewString(c.Feeds),
+	}
+}
+
+// MROTaxonomy builds the integrator's taxonomy matching MROVocabulary's
+// category codes.
+func MROTaxonomy() *taxonomy.Taxonomy {
+	t := taxonomy.New("mro")
+	add := func(code, name, parent string, syn ...string) { t.MustAdd(code, name, parent, syn...) }
+	add("44", "Office supplies", "")
+	add("44.10", "Ink and lead refills", "44", "refills")
+	add("44.10.01", "India ink", "44.10", "black ink")
+	add("44.10.02", "Lead refills", "44.10")
+	add("44.20", "Writing instruments", "44")
+	add("44.20.01", "Ballpoint pens", "44.20")
+	add("44.30", "Desk supplies", "44")
+	add("44.30.01", "Writing pads", "44.30", "legal pad")
+	add("44.30.02", "Staplers", "44.30")
+	add("27", "Tools and machinery", "")
+	add("27.11", "Power tools", "27")
+	add("27.11.01", "Cordless drills", "27.11", "drills cordless")
+	add("27.11.02", "Corded drills", "27.11")
+	add("27.11.03", "Circular saws", "27.11")
+	add("27.12", "Hand tools", "27")
+	add("27.12.01", "Hammers", "27.12", "claw hammer")
+	add("27.12.02", "Wrench sets", "27.12", "socket wrench")
+	add("39", "Electrical and lighting", "")
+	add("39.10", "Lamps and bulbs", "39")
+	add("39.10.01", "Incandescent bulbs", "39.10", "lightbulb")
+	add("39.10.02", "Fluorescent tubes", "39.10")
+	add("39.20", "Wiring accessories", "39")
+	add("39.20.01", "Extension cords", "39.20")
+	add("24", "Material handling", "")
+	add("24.10", "Industrial trucks", "24")
+	add("24.10.01", "Forklifts", "24.10", "lift truck")
+	add("24.10.02", "Hand trucks", "24.10", "dolly")
+	add("46", "Safety equipment", "")
+	add("46.18", "Personal protection", "46")
+	add("46.18.01", "Safety goggles", "46.18", "protective eyewear")
+	add("46.18.02", "Work gloves", "46.18")
+	add("46.18.03", "Hard hats", "46.18", "safety helmet")
+	add("31", "Packaging", "")
+	add("31.20", "Shipping supplies", "31")
+	add("31.20.01", "Packing tape", "31.20", "parcel tape")
+	add("31.20.02", "Corrugated boxes", "31.20", "cardboard carton")
+	add("27.12.03", "Utility knives", "27.12", "box cutter")
+	add("27.12.04", "Hex keys", "27.12", "allen wrench")
+	add("39.10.03", "Flashlights", "39.10", "electric torch")
+	add("39.20.02", "Cable ties", "39.20", "zip fasteners")
+	return t
+}
+
+// SyntheticTaxonomy generates a UN/SPSC-shaped taxonomy: `branch`
+// children per node to `depth` levels, with labels composed from a
+// product-word vocabulary so sibling labels are related but distinct.
+// Used to measure taxonomy tooling at catalog scale (E7's size sweep).
+func SyntheticTaxonomy(branch, depth int, seed int64) *taxonomy.Taxonomy {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{
+		"industrial", "office", "electrical", "safety", "packaging",
+		"fastener", "abrasive", "hydraulic", "pneumatic", "lighting",
+		"cutting", "measuring", "welding", "plumbing", "janitorial",
+		"adhesive", "bearing", "filter", "gasket", "valve",
+	}
+	t := taxonomy.New(fmt.Sprintf("synthetic-%d", seed))
+	var build func(parent string, prefix string, level int)
+	build = func(parent, prefix string, level int) {
+		if level > depth {
+			return
+		}
+		for i := 0; i < branch; i++ {
+			code := fmt.Sprintf("%s%02d", prefix, i)
+			label := words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))] +
+				fmt.Sprintf(" %02d", i)
+			t.MustAdd(code, label, parent)
+			build(code, code+".", level+1)
+		}
+	}
+	build("", "", 1)
+	return t
+}
+
+// NoisyTaxonomy derives a vendor taxonomy from a source taxonomy: codes
+// are renamed, labels perturbed with probability noise, and synonyms
+// dropped — with the ground-truth mapping returned for scoring a matcher
+// (E7).
+func NoisyTaxonomy(src *taxonomy.Taxonomy, noise float64, seed int64) (*taxonomy.Taxonomy, map[string]string) {
+	rng := rand.New(rand.NewSource(seed))
+	dst := taxonomy.New(src.Name + "-vendor")
+	truth := make(map[string]string)
+	var walk func(code, parent string)
+	walk = func(code, parent string) {
+		cat, err := src.Get(code)
+		if err != nil {
+			return
+		}
+		vendorCode := "V-" + code
+		label := cat.Name
+		if rng.Float64() < noise {
+			label = Typo(label, rng)
+		}
+		dst.MustAdd(vendorCode, label, parent)
+		truth[vendorCode] = code
+		kids, _ := src.Children(code)
+		for _, k := range kids {
+			walk(k, vendorCode)
+		}
+	}
+	for _, r := range src.Roots() {
+		walk(r, "")
+	}
+	return dst, truth
+}
+
+// SearchQueries returns (query, relevant-canonical-name) pairs exercising
+// retrieval against an integrated catalog (E6). Catalog rows carry
+// vendor *variant* names, so the three probe kinds stress different
+// machinery:
+//
+//   - "verbatim": the query is a variant that appears in the data —
+//     plain term search suffices;
+//   - "canonical": the query is the integrator's canonical name, which
+//     for term-disjoint pairs ("flashlight" vs "electric torch") only
+//     synonym expansion can bridge;
+//   - "typo": a corrupted canonical name — the paper's "drlls: crdlss" —
+//     needing fuzzy matching (and synonyms, when also term-disjoint).
+func SearchQueries(seed int64, n int) []SearchQuery {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := MROVocabulary()
+	out := make([]SearchQuery, 0, n)
+	for i := 0; i < n; i++ {
+		p := vocab[rng.Intn(len(vocab))]
+		q := SearchQuery{Canonical: p.Canonical}
+		switch i % 3 {
+		case 0:
+			q.Query = p.Canonical
+			q.Kind = "canonical"
+		case 1:
+			q.Query = p.Variants[rng.Intn(len(p.Variants))]
+			q.Kind = "verbatim"
+		default: // possibly severe — the paper's "drlls: crdlss"
+			q.Query = Typo(Typo(p.Canonical, rng), rng)
+			q.Kind = "typo"
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// SearchQuery is one retrieval probe with its ground truth.
+type SearchQuery struct {
+	Query     string
+	Canonical string
+	Kind      string // verbatim | canonical | typo
+}
+
+// Zipf returns a deterministic Zipf sampler over [0, n) with skew s>1.
+func Zipf(n int, s float64, seed int64) func() int {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	return func() int { return int(z.Uint64()) }
+}

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+func TestSuppliersDeterministic(t *testing.T) {
+	a := Suppliers(5, 10, 0.2, 7)
+	b := Suppliers(5, 10, 0.2, 7)
+	if len(a) != 5 || len(a[0].Items) != 10 {
+		t.Fatalf("shape = %d suppliers × %d items", len(a), len(a[0].Items))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Items) != len(b[i].Items) {
+			t.Fatal("generation not deterministic")
+		}
+		for j := range a[i].Items {
+			if a[i].Items[j] != b[i].Items[j] {
+				t.Fatal("items not deterministic")
+			}
+		}
+	}
+	// Formats rotate.
+	if a[0].Format == a[1].Format && a[1].Format == a[2].Format {
+		t.Error("formats do not vary")
+	}
+	// Different seed differs.
+	c := Suppliers(5, 10, 0.2, 8)
+	same := true
+	for j := range a[0].Items {
+		if a[0].Items[j] != c[0].Items[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical items")
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	s := Suppliers(1, 5, 0, 1)[0]
+	csvDoc := RenderCSV(s)
+	if !strings.HasPrefix(csvDoc, "Part No,Description,Unit Price,Lead Time,On Hand\n") {
+		t.Errorf("csv header: %q", csvDoc[:40])
+	}
+	if strings.Count(csvDoc, "\n") != 6 {
+		t.Errorf("csv lines = %d", strings.Count(csvDoc, "\n"))
+	}
+	xmlDoc := RenderXML(s)
+	if !strings.Contains(xmlDoc, "<feed>") || strings.Count(xmlDoc, "<item") != 5 {
+		t.Errorf("xml = %q", xmlDoc)
+	}
+	htmlDoc := RenderHTML(s)
+	if !strings.Contains(htmlDoc, "<table>") || strings.Count(htmlDoc, "<tr>") != 5 {
+		t.Errorf("html rows = %d", strings.Count(htmlDoc, "<tr>"))
+	}
+}
+
+func TestGroundTruthRowsValidate(t *testing.T) {
+	rates := value.DefaultCurrencyTable()
+	def := CatalogDef()
+	for _, s := range Suppliers(4, 8, 0.3, 2) {
+		rows, err := GroundTruthRows(s, rates)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		for _, r := range rows {
+			if err := def.Validate(r); err != nil {
+				t.Fatalf("%s row invalid: %v", s.Name, err)
+			}
+			// All ground-truth prices are normalized to USD.
+			if _, cur := r[4].Money(); cur != "USD" {
+				t.Fatalf("price not normalized: %s", cur)
+			}
+		}
+	}
+}
+
+func TestTypo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	changed := 0
+	for i := 0; i < 50; i++ {
+		s := "cordless drill"
+		out := Typo(s, rng)
+		if out != s {
+			changed++
+		}
+		if len(out) < len(s)-1 || len(out) > len(s)+1 {
+			t.Errorf("typo changed length too much: %q", out)
+		}
+	}
+	if changed < 40 {
+		t.Errorf("typo rarely fired: %d/50", changed)
+	}
+	if Typo("ab", rng) != "ab" {
+		t.Error("short strings should pass through")
+	}
+}
+
+func TestHotels(t *testing.T) {
+	chains := Hotels(50, 4, 9)
+	if len(chains) != 50 || len(chains[0]) != 4 {
+		t.Fatalf("shape = %d × %d", len(chains), len(chains[0]))
+	}
+	def := HotelsDef()
+	nearAirportClubUnder200 := 0
+	for _, chain := range chains {
+		for _, h := range chain {
+			if err := def.Validate(HotelRow(h)); err != nil {
+				t.Fatal(err)
+			}
+			if h.City == "Atlanta" && h.Miles < 10 && h.Club && h.RateCents < 20000 {
+				nearAirportClubUnder200++
+			}
+		}
+	}
+	// The paper's query must select a non-trivial, non-total subset.
+	if nearAirportClubUnder200 == 0 || nearAirportClubUnder200 == 200 {
+		t.Errorf("traveler query selects %d hotels", nearAirportClubUnder200)
+	}
+}
+
+func TestAvailabilityChurn(t *testing.T) {
+	def := HotelsDef()
+	tbl := storage.NewTable(def)
+	for _, h := range Hotels(1, 5, 3)[0] {
+		if _, err := tbl.Insert(HotelRow(h)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v0 := tbl.Version()
+	step := AvailabilityChurn([]*storage.Table{tbl}, 4)
+	for i := 0; i < 20; i++ {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Version() == v0 {
+		t.Error("churn did not mutate the table")
+	}
+	// Availability never goes negative.
+	tbl.Scan(func(_ int64, r storage.Row) bool {
+		if r[6].Int() < 0 {
+			t.Errorf("negative availability: %v", r)
+		}
+		return true
+	})
+	if err := AvailabilityChurn(nil, 1)(); err == nil {
+		t.Error("churn over no tables should fail")
+	}
+}
+
+func TestSupplyChain(t *testing.T) {
+	chain := SupplyChain(3, 2, 5)
+	// 1 + 2 + 4 + 8 = 15 nodes.
+	if len(chain) != 15 {
+		t.Fatalf("nodes = %d", len(chain))
+	}
+	def := SupplyChainDef()
+	tiers := map[int]int{}
+	for _, c := range chain {
+		if err := def.Validate(ChainRow(c)); err != nil {
+			t.Fatal(err)
+		}
+		tiers[c.Tier]++
+		if c.Tier > 0 && c.Feeds == "" {
+			t.Errorf("node %s has no parent", c.Name)
+		}
+	}
+	if tiers[0] != 1 || tiers[1] != 2 || tiers[3] != 8 {
+		t.Errorf("tier sizes = %v", tiers)
+	}
+}
+
+func TestMROTaxonomyCoversVocabulary(t *testing.T) {
+	tax := MROTaxonomy()
+	for _, p := range MROVocabulary() {
+		if _, err := tax.Get(p.Category); err != nil {
+			t.Errorf("vocabulary category %q missing from taxonomy", p.Category)
+		}
+	}
+}
+
+func TestNoisyTaxonomy(t *testing.T) {
+	src := MROTaxonomy()
+	dst, truth := NoisyTaxonomy(src, 0.3, 6)
+	if dst.Len() != src.Len() {
+		t.Fatalf("sizes differ: %d vs %d", dst.Len(), src.Len())
+	}
+	if len(truth) != src.Len() {
+		t.Fatalf("truth size = %d", len(truth))
+	}
+	// Structure is preserved: parents map consistently.
+	for vcode, scode := range truth {
+		vc, err := dst.Get(vcode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, _ := src.Get(scode)
+		if vc.Parent == "" != (sc.Parent == "") {
+			t.Errorf("root status mismatch for %s", vcode)
+		}
+		if vc.Parent != "" && truth[vc.Parent] != sc.Parent {
+			t.Errorf("parent mapping inconsistent for %s", vcode)
+		}
+	}
+}
+
+func TestSearchQueries(t *testing.T) {
+	qs := SearchQueries(3, 30)
+	if len(qs) != 30 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	kinds := map[string]int{}
+	for _, q := range qs {
+		kinds[q.Kind]++
+		if q.Query == "" || q.Canonical == "" {
+			t.Errorf("empty query: %+v", q)
+		}
+	}
+	if kinds["canonical"] == 0 || kinds["verbatim"] == 0 || kinds["typo"] == 0 {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestZipf(t *testing.T) {
+	sample := Zipf(100, 1.5, 1)
+	counts := make([]int, 100)
+	for i := 0; i < 10000; i++ {
+		counts[sample()]++
+	}
+	if counts[0] < counts[50] {
+		t.Error("Zipf not skewed toward low ranks")
+	}
+}

@@ -1,0 +1,140 @@
+package wrapper
+
+import (
+	"context"
+	"testing"
+
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// TestSourceAccessors exercises the trivial-but-contractual Source
+// surface on every connector: names, schemas, volatility flags.
+func TestSourceAccessors(t *testing.T) {
+	def := partsDef()
+	csvSrc := NewCSVSource("csv", def, StaticFetcher(map[string]string{"u": "sku\nP1\n"}), "u", nil)
+	if csvSrc.Name() != "csv" || csvSrc.Schema() != def {
+		t.Error("csv accessors")
+	}
+	csvSrc.SetVolatile(true)
+	if !csvSrc.Capabilities().Volatile {
+		t.Error("csv volatility flag lost")
+	}
+
+	xmlSrc := NewXMLSource("xml", def, StaticFetcher(nil), "u", "/r/i", nil)
+	if xmlSrc.Name() != "xml" || xmlSrc.Schema() != def {
+		t.Error("xml accessors")
+	}
+	xmlSrc.SetVolatile(true)
+	if !xmlSrc.Capabilities().Volatile {
+		t.Error("xml volatility flag lost")
+	}
+
+	htmlSrc := NewHTMLSource("html", def, StaticFetcher(nil), "u", LRTemplate{}, nil)
+	if htmlSrc.Name() != "html" || htmlSrc.Schema() != def {
+		t.Error("html accessors")
+	}
+	htmlSrc.SetVolatile(true)
+	if !htmlSrc.Capabilities().Volatile {
+		t.Error("html volatility flag lost")
+	}
+
+	tbl := storage.NewTable(def)
+	erp := NewERPSource("erp", tbl)
+	if erp.Name() != "erp" || erp.Schema() != def.Clone(def.Name) && erp.Schema().Name != def.Name {
+		t.Error("erp accessors")
+	}
+	if erp.Table() != tbl {
+		t.Error("erp table accessor")
+	}
+
+	static, err := NewStaticSource("static", def, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Name() != "static" || static.Schema() != def || static.Capabilities().Volatile {
+		t.Error("static accessors")
+	}
+
+	fn := NewFuncSource("fn", def, Capabilities{PushdownEq: []string{"sku"}},
+		func(context.Context, []Filter) ([]storage.Row, error) { return nil, nil })
+	if fn.Name() != "fn" || fn.Schema() != def || !fn.Capabilities().CanPush("sku") {
+		t.Error("func accessors")
+	}
+}
+
+// TestCSVSemicolonDelimiter exercises SetComma for European feeds.
+func TestCSVSemicolonDelimiter(t *testing.T) {
+	doc := "sku;name;price;qty\nP1;ink;1,00 EUR;5\n"
+	src := NewCSVSource("eu", partsDef(), StaticFetcher(map[string]string{"u": doc}), "u", nil)
+	src.SetComma(';')
+	rows, err := src.Fetch(context.Background(), nil)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("semicolon fetch = %v, %v", rows, err)
+	}
+	// "1,00 EUR" — comma thousands-stripping makes it 100 minor units.
+	if m, cur := rows[0][2].Money(); cur != "EUR" || m != 10000 {
+		t.Errorf("eu price = %d %s", m, cur)
+	}
+	if rows[0][3].Int() != 5 {
+		t.Errorf("qty = %v", rows[0][3])
+	}
+}
+
+// TestERPFallbackScanWithoutIndex covers the unindexed pushdown path.
+func TestERPFallbackScanWithoutIndex(t *testing.T) {
+	tbl := storage.NewTable(partsDef())
+	if _, err := tbl.Insert(storage.Row{
+		value.NewString("P1"), value.NewString("ink"),
+		value.NewMoney(1, "USD"), value.NewInt(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Pushdown advertised on sku but no index built: falls back to scan.
+	erp := NewERPSource("erp", tbl, "sku")
+	rows, err := erp.Fetch(context.Background(), []Filter{{Column: "sku", Value: value.NewString("P1")}})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("fallback scan = %v, %v", rows, err)
+	}
+	rows, err = erp.Fetch(context.Background(), []Filter{{Column: "sku", Value: value.NewString("P9")}})
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("fallback scan miss = %v, %v", rows, err)
+	}
+}
+
+// TestShortestValidDelimiterFallback covers the degenerate case where
+// every prefix occurs inside a value.
+func TestShortestValidDelimiterFallback(t *testing.T) {
+	// full = "ab"; values contain both "a" and "ab" → fallback to full.
+	if got := shortestValidDelimiter("ab", []string{"xaby"}); got != "ab" {
+		t.Errorf("fallback = %q", got)
+	}
+	if got := shortestValidDelimiter("ab", []string{"xy"}); got != "a" {
+		t.Errorf("shortest = %q", got)
+	}
+	if got := shortestValidDelimiter("", nil); got != "" {
+		t.Errorf("empty = %q", got)
+	}
+}
+
+// TestHTMLSourceFetchErrors covers fetch and mapping error paths.
+func TestHTMLSourceFetchErrors(t *testing.T) {
+	def := partsDef()
+	tpl := LRTemplate{Fields: []LRField{{Name: "sku", Left: ">", Right: "<"}}}
+	// Missing document.
+	src := NewHTMLSource("h", def, StaticFetcher(nil), "missing", tpl, nil)
+	if _, err := src.Fetch(context.Background(), nil); err == nil {
+		t.Error("missing doc should fail")
+	}
+	// Unknown mapped column.
+	src = NewHTMLSource("h", def, StaticFetcher(map[string]string{"u": "<i>P1</i>"}), "u",
+		tpl, []FieldMapping{{Column: "ghost", From: "sku"}})
+	if _, err := src.Fetch(context.Background(), nil); err == nil {
+		t.Error("unknown column should fail")
+	}
+	// Empty template errors at extraction.
+	src = NewHTMLSource("h", def, StaticFetcher(map[string]string{"u": "x"}), "u", LRTemplate{}, nil)
+	if _, err := src.Fetch(context.Background(), nil); err == nil {
+		t.Error("empty template should fail")
+	}
+}

@@ -1,0 +1,116 @@
+package wrapper
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Session is the web browser agent: an HTTP client with a cookie jar,
+// optional form-based login, and basic-auth support. It handles the
+// "intricacies of navigating ... cookies, passwords" the paper lists as
+// part of commercial screen scraping.
+type Session struct {
+	client *http.Client
+	// BasicUser and BasicPass, when set, are sent on every request.
+	BasicUser, BasicPass string
+	// MaxBody caps response bodies (default 8 MiB) against runaway pages.
+	MaxBody int64
+}
+
+// NewSession returns a session with a fresh cookie jar.
+func NewSession() (*Session, error) {
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return nil, fmt.Errorf("wrapper: cookie jar: %w", err)
+	}
+	return &Session{
+		client: &http.Client{Jar: jar, Timeout: 30 * time.Second},
+	}, nil
+}
+
+// Login POSTs the credentials as form fields, retaining any session
+// cookies the site sets. fields maps form field names to values.
+func (s *Session) Login(ctx context.Context, loginURL string, fields map[string]string) error {
+	form := url.Values{}
+	for k, v := range fields {
+		form.Set(k, v)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, loginURL,
+		strings.NewReader(form.Encode()))
+	if err != nil {
+		return fmt.Errorf("wrapper: login request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("wrapper: login: %w", err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)); err != nil {
+		return fmt.Errorf("wrapper: draining login response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("wrapper: login failed with status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Get fetches a URL and returns the body text.
+func (s *Session) Get(ctx context.Context, rawURL string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+	if err != nil {
+		return "", fmt.Errorf("wrapper: request: %w", err)
+	}
+	if s.BasicUser != "" {
+		req.SetBasicAuth(s.BasicUser, s.BasicPass)
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("wrapper: fetch %s: %w", rawURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return "", fmt.Errorf("wrapper: fetch %s: status %d", rawURL, resp.StatusCode)
+	}
+	limit := s.MaxBody
+	if limit <= 0 {
+		limit = 8 << 20
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	if err != nil {
+		return "", fmt.Errorf("wrapper: reading %s: %w", rawURL, err)
+	}
+	return string(body), nil
+}
+
+// Fetcher retrieves a document body for a URL. Session implements it; a
+// func adapter lets tests and file-based sources plug in.
+type Fetcher interface {
+	Get(ctx context.Context, url string) (string, error)
+}
+
+// FetcherFunc adapts a function to the Fetcher interface.
+type FetcherFunc func(ctx context.Context, url string) (string, error)
+
+// Get implements Fetcher.
+func (f FetcherFunc) Get(ctx context.Context, url string) (string, error) {
+	return f(ctx, url)
+}
+
+// StaticFetcher serves fixed documents by URL — used for file-backed
+// sources and tests.
+func StaticFetcher(docs map[string]string) Fetcher {
+	return FetcherFunc(func(_ context.Context, url string) (string, error) {
+		doc, ok := docs[url]
+		if !ok {
+			return "", fmt.Errorf("wrapper: no document for %q", url)
+		}
+		return doc, nil
+	})
+}

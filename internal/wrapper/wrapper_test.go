@@ -1,0 +1,379 @@
+package wrapper
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+func partsDef() *schema.Table {
+	return schema.MustTable("parts", []schema.Column{
+		{Name: "sku", Kind: value.KindString, NotNull: true},
+		{Name: "name", Kind: value.KindString},
+		{Name: "price", Kind: value.KindMoney},
+		{Name: "qty", Kind: value.KindInt},
+	}, "sku")
+}
+
+func TestCSVSource(t *testing.T) {
+	csvDoc := "SKU, Product Name, Unit Price, Stock\n" +
+		"P1, cordless drill, $99.50, 10\n" +
+		"P2, India ink, 3.50 USD, \"1,200\"\n"
+	fetch := StaticFetcher(map[string]string{"feed.csv": csvDoc})
+	src := NewCSVSource("acme", partsDef(), fetch, "feed.csv", []FieldMapping{
+		{Column: "sku", From: "SKU"},
+		{Column: "name", From: "Product Name"},
+		{Column: "price", From: "Unit Price"},
+		{Column: "qty", From: "Stock"},
+	})
+	rows, err := src.Fetch(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if m, c := rows[0][2].Money(); m != 9950 || c != "USD" {
+		t.Errorf("price = %d %s", m, c)
+	}
+	if rows[1][3].Int() != 1200 {
+		t.Errorf("qty with thousands separator = %v", rows[1][3])
+	}
+	// Filters apply locally.
+	rows, _ = src.Fetch(context.Background(), []Filter{{Column: "sku", Value: value.NewString("P2")}})
+	if len(rows) != 1 || rows[0][0].Str() != "P2" {
+		t.Errorf("filtered = %v", rows)
+	}
+	if src.Capabilities().CanPush("sku") {
+		t.Error("CSV source should not advertise pushdown")
+	}
+}
+
+func TestCSVSourceHeaderAutoMatch(t *testing.T) {
+	csvDoc := "sku,name,price,qty\nP1,ink,$1.00,5\n"
+	src := NewCSVSource("s", partsDef(), StaticFetcher(map[string]string{"u": csvDoc}), "u", nil)
+	rows, err := src.Fetch(context.Background(), nil)
+	if err != nil || len(rows) != 1 || rows[0][1].Str() != "ink" {
+		t.Fatalf("auto-match = %v, %v", rows, err)
+	}
+}
+
+func TestCSVSourceErrors(t *testing.T) {
+	def := partsDef()
+	// Unknown mapped column.
+	src := NewCSVSource("s", def, StaticFetcher(map[string]string{"u": "H\nx\n"}), "u",
+		[]FieldMapping{{Column: "ghost", From: "H"}})
+	if _, err := src.Fetch(context.Background(), nil); err == nil {
+		t.Error("unknown column should fail")
+	}
+	// Unparseable cell.
+	src = NewCSVSource("s", def, StaticFetcher(map[string]string{"u": "qty\nnotanumber\n"}), "u", nil)
+	if _, err := src.Fetch(context.Background(), nil); err == nil {
+		t.Error("bad cell should fail")
+	}
+	// Missing document.
+	src = NewCSVSource("s", def, StaticFetcher(nil), "missing", nil)
+	if _, err := src.Fetch(context.Background(), nil); err == nil {
+		t.Error("missing doc should fail")
+	}
+	// Empty document yields no rows.
+	src = NewCSVSource("s", def, StaticFetcher(map[string]string{"u": ""}), "u", nil)
+	if rows, err := src.Fetch(context.Background(), nil); err != nil || rows != nil {
+		t.Errorf("empty doc = %v, %v", rows, err)
+	}
+}
+
+const supplierXML = `<feed>
+  <item code="P1"><title>cordless drill</title><cost cur="USD">99.50</cost><avail>10</avail></item>
+  <item code="P2"><title>India ink</title><cost cur="USD">3.50</cost><avail>200</avail></item>
+</feed>`
+
+func TestXMLSource(t *testing.T) {
+	src := NewXMLSource("bolt", partsDef(),
+		StaticFetcher(map[string]string{"feed.xml": supplierXML}), "feed.xml",
+		"/feed/item", []FieldMapping{
+			{Column: "sku", From: "@code"},
+			{Column: "name", From: "title"},
+			{Column: "price", From: "cost"},
+			{Column: "qty", From: "avail"},
+		})
+	rows, err := src.Fetch(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if len(rows) != 2 || rows[0][0].Str() != "P1" || rows[1][3].Int() != 200 {
+		t.Errorf("rows = %v", rows)
+	}
+	// Bad row path.
+	bad := NewXMLSource("b", partsDef(), StaticFetcher(map[string]string{"u": supplierXML}), "u", "//[", nil)
+	if _, err := bad.Fetch(context.Background(), nil); err == nil {
+		t.Error("bad row path should fail")
+	}
+	// Unknown mapped column.
+	bad = NewXMLSource("b", partsDef(), StaticFetcher(map[string]string{"u": supplierXML}), "u",
+		"/feed/item", []FieldMapping{{Column: "ghost", From: "title"}})
+	if _, err := bad.Fetch(context.Background(), nil); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+const trainingPage = `<html><body><h1>Acme Catalog</h1><table>
+<tr><td class="sku">P1</td><td class="nm">cordless drill</td><td class="pr">$99.50</td></tr>
+<tr><td class="sku">P2</td><td class="nm">India ink</td><td class="pr">$3.50</td></tr>
+<tr><td class="sku">P3</td><td class="nm">forklift</td><td class="pr">$12,000.00</td></tr>
+</table></body></html>`
+
+func TestInduceAndExtract(t *testing.T) {
+	tpl, err := Induce(trainingPage, []string{"sku", "name", "price"}, []Example{
+		{Values: []string{"P1", "cordless drill", "$99.50"}},
+		{Values: []string{"P2", "India ink", "$3.50"}},
+	})
+	if err != nil {
+		t.Fatalf("Induce: %v", err)
+	}
+	recs, err := tpl.Extract(trainingPage)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	// The induced wrapper generalizes to the unlabeled third record.
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	if recs[2]["sku"] != "P3" || recs[2]["name"] != "forklift" || recs[2]["price"] != "$12,000.00" {
+		t.Errorf("generalized record = %v", recs[2])
+	}
+}
+
+func TestInduceErrors(t *testing.T) {
+	fields := []string{"a"}
+	if _, err := Induce("page", fields, []Example{{Values: []string{"x"}}}); err == nil {
+		t.Error("single example should fail")
+	}
+	if _, err := Induce("page", fields, []Example{
+		{Values: []string{"x", "y"}}, {Values: []string{"z"}},
+	}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := Induce("nothing here", fields, []Example{
+		{Values: []string{"missing1"}}, {Values: []string{"missing2"}},
+	}); err == nil {
+		t.Error("values absent from page should fail")
+	}
+}
+
+func TestHTMLSourceWithInducedTemplate(t *testing.T) {
+	tpl, err := Induce(trainingPage, []string{"sku", "name", "price"}, []Example{
+		{Values: []string{"P1", "cordless drill", "$99.50"}},
+		{Values: []string{"P2", "India ink", "$3.50"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := partsDef()
+	src := NewHTMLSource("acme-web", def,
+		StaticFetcher(map[string]string{"page": trainingPage}), "page", tpl, nil)
+	rows, err := src.Fetch(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if m, _ := rows[2][2].Money(); m != 1200000 {
+		t.Errorf("forklift price = %v", rows[2][2])
+	}
+	// qty column unmapped → NULL.
+	if !rows[0][3].IsNull() {
+		t.Errorf("unmapped qty = %v", rows[0][3])
+	}
+}
+
+func TestRegexHTMLSource(t *testing.T) {
+	re := regexp.MustCompile(`<td class="sku">([^<]+)</td><td class="nm">([^<]+)</td><td class="pr">([^<]+)</td>`)
+	src, err := NewRegexHTMLSource("rx", partsDef(),
+		StaticFetcher(map[string]string{"p": trainingPage}), "p",
+		re, []string{"sku", "name", "price"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := src.Fetch(context.Background(), nil)
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("rows = %v, %v", rows, err)
+	}
+	// Group count mismatch.
+	if _, err := NewRegexHTMLSource("rx", partsDef(), nil, "p", re, []string{"one"}, nil); err == nil {
+		t.Error("group mismatch should fail")
+	}
+}
+
+func TestERPSource(t *testing.T) {
+	tbl := storage.NewTable(partsDef())
+	if err := tbl.CreateIndex("sku"); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []storage.Row{
+		{value.NewString("P1"), value.NewString("drill"), value.NewMoney(9950, "USD"), value.NewInt(10)},
+		{value.NewString("P2"), value.NewString("ink"), value.NewMoney(350, "USD"), value.NewInt(200)},
+	} {
+		if _, err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := NewERPSource("sap", tbl, "sku")
+	if !src.Capabilities().Volatile || !src.Capabilities().CanPush("sku") {
+		t.Error("capabilities wrong")
+	}
+	rows, err := src.Fetch(context.Background(), []Filter{{Column: "sku", Value: value.NewString("P2")}})
+	if err != nil || len(rows) != 1 || rows[0][1].Str() != "ink" {
+		t.Fatalf("pushed fetch = %v, %v", rows, err)
+	}
+	// Live mutation is visible on the next fetch (fetch on demand).
+	id, _, err := tbl.GetByKey(value.NewString("P2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Update(id, storage.Row{
+		value.NewString("P2"), value.NewString("ink"), value.NewMoney(350, "USD"), value.NewInt(0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = src.Fetch(context.Background(), []Filter{{Column: "sku", Value: value.NewString("P2")}})
+	if rows[0][3].Int() != 0 {
+		t.Error("stale data from live gateway")
+	}
+	if src.Fetches() != 2 {
+		t.Errorf("fetches = %d", src.Fetches())
+	}
+	// Latency honors context cancellation.
+	src.SetLatency(time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := src.Fetch(ctx, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("latency cancel err = %v", err)
+	}
+}
+
+func TestStaticAndFuncSources(t *testing.T) {
+	def := partsDef()
+	good := []storage.Row{{value.NewString("P1"), value.Null, value.Null, value.Null}}
+	s, err := NewStaticSource("ref", def, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.Fetch(context.Background(), nil)
+	if err != nil || len(rows) != 1 {
+		t.Fatal(err)
+	}
+	rows[0][0] = value.NewString("mutated")
+	rows2, _ := s.Fetch(context.Background(), nil)
+	if rows2[0][0].Str() != "P1" {
+		t.Error("static source shares row storage with callers")
+	}
+	if _, err := NewStaticSource("bad", def, []storage.Row{{value.NewInt(1)}}); err == nil {
+		t.Error("invalid static rows should fail")
+	}
+	// FuncSource validates generated rows and is always volatile.
+	calls := 0
+	f := NewFuncSource("gen", def, Capabilities{}, func(context.Context, []Filter) ([]storage.Row, error) {
+		calls++
+		return good, nil
+	})
+	if !f.Capabilities().Volatile {
+		t.Error("func source must be volatile")
+	}
+	if _, err := f.Fetch(context.Background(), nil); err != nil || calls != 1 {
+		t.Errorf("func fetch: %v calls=%d", err, calls)
+	}
+	bad := NewFuncSource("gen2", def, Capabilities{}, func(context.Context, []Filter) ([]storage.Row, error) {
+		return []storage.Row{{value.NewInt(1)}}, nil
+	})
+	if _, err := bad.Fetch(context.Background(), nil); err == nil {
+		t.Error("invalid generated rows should fail")
+	}
+}
+
+func TestSessionCookieLoginFlow(t *testing.T) {
+	// A site requiring form login before serving the catalog, tracking the
+	// session with a cookie — the paper's "cookies and passwords" case.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/login", func(w http.ResponseWriter, r *http.Request) {
+		if r.FormValue("user") == "buyer" && r.FormValue("pass") == "secret" {
+			http.SetCookie(w, &http.Cookie{Name: "sid", Value: "tok123", Path: "/"})
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		http.Error(w, "bad credentials", http.StatusForbidden)
+	})
+	mux.HandleFunc("/catalog", func(w http.ResponseWriter, r *http.Request) {
+		c, err := r.Cookie("sid")
+		if err != nil || c.Value != "tok123" {
+			http.Error(w, "login required", http.StatusUnauthorized)
+			return
+		}
+		if _, err := w.Write([]byte("sku,name,price,qty\nP1,drill,$5.00,3\n")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	sess, err := NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Unauthenticated access fails.
+	if _, err := sess.Get(ctx, srv.URL+"/catalog"); err == nil {
+		t.Fatal("unauthenticated fetch should fail")
+	}
+	// Wrong credentials fail.
+	if err := sess.Login(ctx, srv.URL+"/login", map[string]string{"user": "x", "pass": "y"}); err == nil {
+		t.Fatal("bad login should fail")
+	}
+	// Correct login then fetch through the cookie.
+	if err := sess.Login(ctx, srv.URL+"/login", map[string]string{"user": "buyer", "pass": "secret"}); err != nil {
+		t.Fatalf("login: %v", err)
+	}
+	body, err := sess.Get(ctx, srv.URL+"/catalog")
+	if err != nil || !strings.Contains(body, "drill") {
+		t.Fatalf("catalog fetch = %q, %v", body, err)
+	}
+	// And the whole thing drives a CSVSource end to end.
+	src := NewCSVSource("gated", partsDef(), sess, srv.URL+"/catalog", nil)
+	rows, err := src.Fetch(ctx, nil)
+	if err != nil || len(rows) != 1 || rows[0][0].Str() != "P1" {
+		t.Fatalf("gated CSV = %v, %v", rows, err)
+	}
+}
+
+func TestSessionBasicAuth(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		u, p, ok := r.BasicAuth()
+		if !ok || u != "api" || p != "key" {
+			http.Error(w, "auth", http.StatusUnauthorized)
+			return
+		}
+		if _, err := w.Write([]byte("ok")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}))
+	defer srv.Close()
+	sess, _ := NewSession()
+	if _, err := sess.Get(context.Background(), srv.URL); err == nil {
+		t.Error("missing basic auth should fail")
+	}
+	sess.BasicUser, sess.BasicPass = "api", "key"
+	body, err := sess.Get(context.Background(), srv.URL)
+	if err != nil || body != "ok" {
+		t.Errorf("basic auth = %q, %v", body, err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package xmlq implements the XML side of the query surface (paper,
+// Characteristic 6): a small DOM, an XPath subset sufficient for wrapper
+// navigation and integrated XML views, a template transformer playing the
+// role XSLT plays in Cohera Connect, and XML serialization of relational
+// results.
+package xmlq
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Node is a DOM element, text node or document root.
+type Node struct {
+	// Name is the element name; empty for text nodes and the document.
+	Name string
+	// Text is the text payload of text nodes.
+	Text string
+	// Attrs holds attributes for element nodes.
+	Attrs map[string]string
+	// Children in document order.
+	Children []*Node
+	// Parent is nil for the document node.
+	Parent *Node
+}
+
+// IsText reports whether the node is a text node.
+func (n *Node) IsText() bool { return n.Name == "" && n.Parent != nil }
+
+// ParseXML builds a DOM from XML input.
+func ParseXML(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	dec.Strict = false
+	root := &Node{}
+	cur := root
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlq: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := &Node{Name: t.Name.Local, Parent: cur, Attrs: map[string]string{}}
+			for _, a := range t.Attr {
+				el.Attrs[a.Name.Local] = a.Value
+			}
+			cur.Children = append(cur.Children, el)
+			cur = el
+		case xml.EndElement:
+			if cur.Parent != nil {
+				cur = cur.Parent
+			}
+		case xml.CharData:
+			text := string(t)
+			if strings.TrimSpace(text) != "" {
+				cur.Children = append(cur.Children, &Node{Text: text, Parent: cur})
+			}
+		}
+	}
+	return root, nil
+}
+
+// ParseXMLString is ParseXML over a string.
+func ParseXMLString(s string) (*Node, error) {
+	return ParseXML(strings.NewReader(s))
+}
+
+// InnerText concatenates all descendant text.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	var walk func(*Node)
+	walk = func(x *Node) {
+		if x.IsText() {
+			b.WriteString(x.Text)
+			return
+		}
+		for _, c := range x.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return strings.TrimSpace(b.String())
+}
+
+// Attr returns an attribute value ("" when absent).
+func (n *Node) Attr(name string) string {
+	if n.Attrs == nil {
+		return ""
+	}
+	return n.Attrs[name]
+}
+
+// Elements returns the element (non-text) children.
+func (n *Node) Elements() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if !c.IsText() && c.Name != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// AppendChild adds a child element and returns it.
+func (n *Node) AppendChild(name string) *Node {
+	c := &Node{Name: name, Parent: n, Attrs: map[string]string{}}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// AppendText adds a text child.
+func (n *Node) AppendText(text string) {
+	n.Children = append(n.Children, &Node{Text: text, Parent: n})
+}
+
+// SetAttr sets an attribute on an element node.
+func (n *Node) SetAttr(k, v string) {
+	if n.Attrs == nil {
+		n.Attrs = map[string]string{}
+	}
+	n.Attrs[k] = v
+}
+
+// WriteXML serializes the subtree. Attributes are emitted in sorted order
+// for deterministic output.
+func (n *Node) WriteXML(w io.Writer) error {
+	if n.Name == "" && n.Parent == nil {
+		for _, c := range n.Children {
+			if err := c.WriteXML(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if n.IsText() {
+		if err := xml.EscapeText(w, []byte(n.Text)); err != nil {
+			return err
+		}
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "<%s", n.Name); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var esc strings.Builder
+		if err := xml.EscapeText(&esc, []byte(n.Attrs[k])); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, " %s=%q", k, esc.String()); err != nil {
+			return err
+		}
+	}
+	if len(n.Children) == 0 {
+		_, err := io.WriteString(w, "/>")
+		return err
+	}
+	if _, err := io.WriteString(w, ">"); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := c.WriteXML(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "</%s>", n.Name)
+	return err
+}
+
+// String serializes the subtree to a string.
+func (n *Node) String() string {
+	var b strings.Builder
+	if err := n.WriteXML(&b); err != nil {
+		return fmt.Sprintf("<!-- serialization error: %v -->", err)
+	}
+	return b.String()
+}

@@ -1,0 +1,561 @@
+package xmlq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// This file implements a small FLWOR query language over the DOM — the
+// XQuery direction the paper anticipates ("SQL and XPath today, SQL and
+// XQuery tomorrow", Characteristic 6). The supported subset:
+//
+//	for $v in <xpath>
+//	[where <cond> [and <cond>]...]
+//	[order by $v/<relpath> [descending]]
+//	return <element-constructor>
+//
+// with conditions of the form `$v/<relpath> <op> <literal>` (ops
+// = != < <= > >=; numeric comparison when both sides parse as numbers)
+// and element constructors containing nested constructors, literal text,
+// and `{$v/<relpath>}` interpolations.
+//
+// Example:
+//
+//	for $p in /catalog/product
+//	where $p/price > 50 and $p/@sku != 'P9'
+//	order by $p/price descending
+//	return <offer sku="{$p/@sku}"><nm>{$p/name}</nm></offer>
+
+// FLWOR is a compiled query.
+type FLWOR struct {
+	varName string
+	in      string
+	conds   []flworCond
+	orderBy string
+	desc    bool
+	ret     *constructor
+}
+
+type flworCond struct {
+	path string
+	op   string
+	lit  string
+}
+
+// constructor is a parsed element template.
+type constructor struct {
+	name     string
+	attrs    []attrTemplate
+	children []contentPiece
+}
+
+type attrTemplate struct {
+	name string
+	// parts alternate literal text and {path} holes.
+	parts []contentPiece
+}
+
+// contentPiece is literal text, an interpolation path, or a nested
+// constructor.
+type contentPiece struct {
+	text  string
+	path  string
+	child *constructor
+}
+
+// ParseFLWOR compiles a FLWOR query.
+func ParseFLWOR(src string) (*FLWOR, error) {
+	p := &flworParser{src: src}
+	p.skipSpace()
+	if !p.word("for") {
+		return nil, p.errf("expected 'for'")
+	}
+	v, err := p.variable()
+	if err != nil {
+		return nil, err
+	}
+	if !p.word("in") {
+		return nil, p.errf("expected 'in'")
+	}
+	p.skipSpace()
+	// Paths in the supported XPath subset contain no whitespace, so the
+	// in-clause is the next whitespace-delimited token.
+	inPath := p.until(unicode.IsSpace)
+	if inPath == "" {
+		return nil, p.errf("expected a path after 'in'")
+	}
+	q := &FLWOR{varName: v, in: inPath}
+	p.skipSpace()
+	if p.word("where") {
+		for {
+			c, err := p.condition(v)
+			if err != nil {
+				return nil, err
+			}
+			q.conds = append(q.conds, c)
+			p.skipSpace()
+			if !p.word("and") {
+				break
+			}
+		}
+	}
+	p.skipSpace()
+	if p.word("order") {
+		if !p.word("by") {
+			return nil, p.errf("expected 'by'")
+		}
+		path, err := p.varPath(v)
+		if err != nil {
+			return nil, err
+		}
+		q.orderBy = path
+		p.skipSpace()
+		if p.word("descending") {
+			q.desc = true
+		} else {
+			p.word("ascending")
+		}
+	}
+	p.skipSpace()
+	if !p.word("return") {
+		return nil, p.errf("expected 'return'")
+	}
+	p.skipSpace()
+	ctor, err := p.constructor(v)
+	if err != nil {
+		return nil, err
+	}
+	q.ret = ctor
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, p.errf("trailing input")
+	}
+	return q, nil
+}
+
+// Eval runs the query against a document and returns the constructed
+// nodes in order.
+func (q *FLWOR) Eval(doc *Node) ([]*Node, error) {
+	matches, err := XPath(doc, q.in)
+	if err != nil {
+		return nil, fmt.Errorf("xmlq: flwor in-clause: %w", err)
+	}
+	var kept []*Node
+	for _, m := range matches {
+		ok := true
+		for _, c := range q.conds {
+			pass, err := c.eval(m)
+			if err != nil {
+				return nil, err
+			}
+			if !pass {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, m)
+		}
+	}
+	if q.orderBy != "" {
+		keys := make([]string, len(kept))
+		for i, m := range kept {
+			keys[i], err = XPathString(m, q.orderBy)
+			if err != nil {
+				return nil, err
+			}
+		}
+		sortByKeys(kept, keys, q.desc)
+	}
+	out := make([]*Node, 0, len(kept))
+	for _, m := range kept {
+		n, err := q.ret.build(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// EvalToDoc wraps Eval results under a new root element.
+func (q *FLWOR) EvalToDoc(doc *Node, root string) (*Node, error) {
+	nodes, err := q.Eval(doc)
+	if err != nil {
+		return nil, err
+	}
+	out := &Node{}
+	r := out.AppendChild(root)
+	for _, n := range nodes {
+		n.Parent = r
+		r.Children = append(r.Children, n)
+	}
+	return out, nil
+}
+
+func (c flworCond) eval(ctx *Node) (bool, error) {
+	got, err := XPathString(ctx, c.path)
+	if err != nil {
+		return false, fmt.Errorf("xmlq: flwor condition %q: %w", c.path, err)
+	}
+	// Numeric comparison when both sides are numbers.
+	gn, gerr := strconv.ParseFloat(strings.TrimSpace(got), 64)
+	ln, lerr := strconv.ParseFloat(strings.TrimSpace(c.lit), 64)
+	var cmp int
+	if gerr == nil && lerr == nil {
+		switch {
+		case gn < ln:
+			cmp = -1
+		case gn > ln:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(got, c.lit)
+	}
+	switch c.op {
+	case "=":
+		return cmp == 0, nil
+	case "!=":
+		return cmp != 0, nil
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	default:
+		return false, fmt.Errorf("xmlq: flwor op %q", c.op)
+	}
+}
+
+func (ct *constructor) build(ctx *Node) (*Node, error) {
+	n := &Node{Name: ct.name, Attrs: map[string]string{}}
+	for _, a := range ct.attrs {
+		var b strings.Builder
+		for _, piece := range a.parts {
+			if piece.path != "" {
+				s, err := XPathString(ctx, piece.path)
+				if err != nil {
+					return nil, err
+				}
+				b.WriteString(s)
+			} else {
+				b.WriteString(piece.text)
+			}
+		}
+		n.Attrs[a.name] = b.String()
+	}
+	for _, piece := range ct.children {
+		switch {
+		case piece.child != nil:
+			c, err := piece.child.build(ctx)
+			if err != nil {
+				return nil, err
+			}
+			c.Parent = n
+			n.Children = append(n.Children, c)
+		case piece.path != "":
+			s, err := XPathString(ctx, piece.path)
+			if err != nil {
+				return nil, err
+			}
+			if s != "" {
+				n.AppendText(s)
+			}
+		case strings.TrimSpace(piece.text) != "":
+			n.AppendText(piece.text)
+		}
+	}
+	return n, nil
+}
+
+// sortByKeys stable-sorts nodes by parallel string keys (numeric when
+// both keys parse).
+func sortByKeys(nodes []*Node, keys []string, desc bool) {
+	type pair struct {
+		n *Node
+		k string
+	}
+	ps := make([]pair, len(nodes))
+	for i := range nodes {
+		ps[i] = pair{nodes[i], keys[i]}
+	}
+	less := func(a, b string) bool {
+		an, ae := strconv.ParseFloat(strings.TrimSpace(a), 64)
+		bn, be := strconv.ParseFloat(strings.TrimSpace(b), 64)
+		if ae == nil && be == nil {
+			return an < bn
+		}
+		return a < b
+	}
+	// Insertion sort keeps this dependency-free and stable.
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ps[j-1], ps[j]
+			swap := less(b.k, a.k)
+			if desc {
+				swap = less(a.k, b.k)
+			}
+			if !swap {
+				break
+			}
+			ps[j-1], ps[j] = ps[j], ps[j-1]
+		}
+	}
+	for i := range ps {
+		nodes[i] = ps[i].n
+	}
+}
+
+// --- parsing machinery ---
+
+type flworParser struct {
+	src string
+	pos int
+}
+
+func (p *flworParser) errf(format string, args ...any) error {
+	return fmt.Errorf("xmlq: flwor offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *flworParser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+// word consumes a keyword (case-insensitive) followed by a boundary.
+func (p *flworParser) word(w string) bool {
+	p.skipSpace()
+	end := p.pos + len(w)
+	if end > len(p.src) {
+		return false
+	}
+	if !strings.EqualFold(p.src[p.pos:end], w) {
+		return false
+	}
+	if end < len(p.src) {
+		r := rune(p.src[end])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return false
+		}
+	}
+	p.pos = end
+	return true
+}
+
+func (p *flworParser) until(stop func(rune) bool) string {
+	start := p.pos
+	for p.pos < len(p.src) && !stop(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *flworParser) variable() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '$' {
+		return "", p.errf("expected a $variable")
+	}
+	p.pos++
+	name := p.until(func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_'
+	})
+	if name == "" {
+		return "", p.errf("empty variable name")
+	}
+	return name, nil
+}
+
+// varPath parses $v or $v/relative/path, returning the relative path
+// ("." for the bare variable).
+func (p *flworParser) varPath(expect string) (string, error) {
+	name, err := p.variable()
+	if err != nil {
+		return "", err
+	}
+	if name != expect {
+		return "", p.errf("unknown variable $%s (bound: $%s)", name, expect)
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '/' {
+		p.pos++
+		path := p.until(func(r rune) bool {
+			return unicode.IsSpace(r) || r == '}' || r == '"' ||
+				r == '=' || r == '!' || r == '<' || r == '>'
+		})
+		if path == "" {
+			return "", p.errf("empty path after $%s/", name)
+		}
+		return path, nil
+	}
+	return ".", nil
+}
+
+func (p *flworParser) condition(v string) (flworCond, error) {
+	path, err := p.varPath(v)
+	if err != nil {
+		return flworCond{}, err
+	}
+	p.skipSpace()
+	var op string
+	for _, cand := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if strings.HasPrefix(p.src[p.pos:], cand) {
+			op = cand
+			p.pos += len(cand)
+			break
+		}
+	}
+	if op == "" {
+		return flworCond{}, p.errf("expected a comparison operator")
+	}
+	p.skipSpace()
+	lit, err := p.literal()
+	if err != nil {
+		return flworCond{}, err
+	}
+	return flworCond{path: path, op: op, lit: lit}, nil
+}
+
+func (p *flworParser) literal() (string, error) {
+	if p.pos < len(p.src) && (p.src[p.pos] == '\'' || p.src[p.pos] == '"') {
+		quote := p.src[p.pos]
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != quote {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return "", p.errf("unterminated string literal")
+		}
+		lit := p.src[start:p.pos]
+		p.pos++
+		return lit, nil
+	}
+	lit := p.until(func(r rune) bool { return unicode.IsSpace(r) })
+	if lit == "" {
+		return "", p.errf("expected a literal")
+	}
+	return lit, nil
+}
+
+// constructor parses <name attr="...{...}...">children</name>.
+func (p *flworParser) constructor(v string) (*constructor, error) {
+	if p.pos >= len(p.src) || p.src[p.pos] != '<' {
+		return nil, p.errf("expected an element constructor")
+	}
+	p.pos++
+	name := p.until(func(r rune) bool {
+		return unicode.IsSpace(r) || r == '>' || r == '/'
+	})
+	if name == "" {
+		return nil, p.errf("empty element name")
+	}
+	ct := &constructor{name: name}
+	// Attributes.
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated constructor <%s", name)
+		}
+		if p.src[p.pos] == '>' {
+			p.pos++
+			break
+		}
+		if strings.HasPrefix(p.src[p.pos:], "/>") {
+			p.pos += 2
+			return ct, nil
+		}
+		an := p.until(func(r rune) bool { return r == '=' || unicode.IsSpace(r) })
+		if an == "" {
+			return nil, p.errf("bad attribute in <%s>", name)
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != '=' {
+			return nil, p.errf("attribute %s needs a value", an)
+		}
+		p.pos++
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != '"' {
+			return nil, p.errf("attribute %s value must be double-quoted", an)
+		}
+		p.pos++
+		parts, err := p.templateParts(v, '"')
+		if err != nil {
+			return nil, err
+		}
+		p.pos++ // closing quote
+		ct.attrs = append(ct.attrs, attrTemplate{name: an, parts: parts})
+	}
+	// Children until </name>.
+	closing := "</" + name + ">"
+	for {
+		if p.pos >= len(p.src) {
+			return nil, p.errf("missing %s", closing)
+		}
+		if strings.HasPrefix(p.src[p.pos:], closing) {
+			p.pos += len(closing)
+			return ct, nil
+		}
+		switch p.src[p.pos] {
+		case '<':
+			child, err := p.constructor(v)
+			if err != nil {
+				return nil, err
+			}
+			ct.children = append(ct.children, contentPiece{child: child})
+		case '{':
+			p.pos++
+			p.skipSpace()
+			path, err := p.varPath(v)
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if p.pos >= len(p.src) || p.src[p.pos] != '}' {
+				return nil, p.errf("missing } in interpolation")
+			}
+			p.pos++
+			ct.children = append(ct.children, contentPiece{path: path})
+		default:
+			text := p.until(func(r rune) bool { return r == '<' || r == '{' })
+			ct.children = append(ct.children, contentPiece{text: text})
+		}
+	}
+}
+
+// templateParts parses mixed text/{path} content until the terminator.
+func (p *flworParser) templateParts(v string, term byte) ([]contentPiece, error) {
+	var parts []contentPiece
+	for {
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated template")
+		}
+		if p.src[p.pos] == term {
+			return parts, nil
+		}
+		if p.src[p.pos] == '{' {
+			p.pos++
+			p.skipSpace()
+			path, err := p.varPath(v)
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if p.pos >= len(p.src) || p.src[p.pos] != '}' {
+				return nil, p.errf("missing } in template")
+			}
+			p.pos++
+			parts = append(parts, contentPiece{path: path})
+			continue
+		}
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != term && p.src[p.pos] != '{' {
+			p.pos++
+		}
+		parts = append(parts, contentPiece{text: p.src[start:p.pos]})
+	}
+}

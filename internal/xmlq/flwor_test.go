@@ -1,0 +1,180 @@
+package xmlq
+
+import (
+	"strings"
+	"testing"
+)
+
+func flworDoc(t *testing.T) *Node {
+	t.Helper()
+	doc, err := ParseXMLString(`<catalog>
+		<product sku="P1"><name>cordless drill</name><price>99.50</price></product>
+		<product sku="P2"><name>India ink</name><price>3.50</price></product>
+		<product sku="P3"><name>forklift</name><price>12000</price></product>
+	</catalog>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestFLWORBasic(t *testing.T) {
+	q, err := ParseFLWOR(`for $p in //product return <offer><id>{$p/@sku}</id></offer>`)
+	if err != nil {
+		t.Fatalf("ParseFLWOR: %v", err)
+	}
+	nodes, err := q.Eval(flworDoc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	if got := nodes[0].String(); got != "<offer><id>P1</id></offer>" {
+		t.Errorf("first = %q", got)
+	}
+}
+
+func TestFLWORWhereNumericAndString(t *testing.T) {
+	q, err := ParseFLWOR(`for $p in //product
+		where $p/price > 50 and $p/@sku != 'P3'
+		return <hit>{$p/name}</hit>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := q.Eval(flworDoc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].InnerText() != "cordless drill" {
+		t.Errorf("nodes = %v", nodes)
+	}
+	// All six operators parse and evaluate.
+	for _, op := range []string{"=", "!=", "<", "<=", ">", ">="} {
+		q, err := ParseFLWOR(`for $p in //product where $p/price ` + op + ` 99.50 return <x/>`)
+		if err != nil {
+			t.Fatalf("op %s: %v", op, err)
+		}
+		if _, err := q.Eval(flworDoc(t)); err != nil {
+			t.Fatalf("eval op %s: %v", op, err)
+		}
+	}
+}
+
+func TestFLWOROrderBy(t *testing.T) {
+	q, err := ParseFLWOR(`for $p in //product
+		order by $p/price descending
+		return <r>{$p/@sku}</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := q.Eval(flworDoc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	for _, n := range nodes {
+		order = append(order, n.InnerText())
+	}
+	if strings.Join(order, ",") != "P3,P1,P2" {
+		t.Errorf("order = %v", order)
+	}
+	// Ascending (default).
+	q, _ = ParseFLWOR(`for $p in //product order by $p/price return <r>{$p/@sku}</r>`)
+	nodes, _ = q.Eval(flworDoc(t))
+	if nodes[0].InnerText() != "P2" {
+		t.Errorf("ascending first = %q", nodes[0].InnerText())
+	}
+	// String ordering.
+	q, _ = ParseFLWOR(`for $p in //product order by $p/name return <r>{$p/@sku}</r>`)
+	nodes, _ = q.Eval(flworDoc(t))
+	if nodes[0].InnerText() != "P2" { // "India ink" sorts before others
+		t.Errorf("string order first = %q", nodes[0].InnerText())
+	}
+}
+
+func TestFLWORConstructorFeatures(t *testing.T) {
+	// Attributes with interpolation, nesting, literal text, self-closing.
+	q, err := ParseFLWOR(`for $p in //product
+		where $p/@sku = 'P1'
+		return <offer id="x-{$p/@sku}" v="1"><info>price is {$p/price} USD</info><flag/></offer>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := q.Eval(flworDoc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nodes[0].String()
+	for _, frag := range []string{`id="x-P1"`, `v="1"`, "<info>price is 99.50 USD</info>", "<flag/>"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("constructed %q missing %q", got, frag)
+		}
+	}
+}
+
+func TestFLWOREvalToDoc(t *testing.T) {
+	q, err := ParseFLWOR(`for $p in //product where $p/price < 100 return <r>{$p/@sku}</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := q.EvalToDoc(flworDoc(t), "results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := doc.String()
+	if !strings.HasPrefix(s, "<results>") || strings.Count(s, "<r>") != 2 {
+		t.Errorf("doc = %q", s)
+	}
+}
+
+func TestFLWORBareVariable(t *testing.T) {
+	q, err := ParseFLWOR(`for $p in //name return <n>{$p}</n>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := q.Eval(flworDoc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 || nodes[0].InnerText() != "cordless drill" {
+		t.Errorf("bare variable = %v", nodes)
+	}
+}
+
+func TestFLWORParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"for p in //x return <r/>",
+		"for $p //x return <r/>",
+		"for $p in",
+		"for $p in //x where return <r/>",
+		"for $p in //x where $p/a ~ 1 return <r/>",
+		"for $p in //x where $q/a = 1 return <r/>",
+		"for $p in //x where $p/a = 'unterminated return <r/>",
+		"for $p in //x order $p return <r/>",
+		"for $p in //x return",
+		"for $p in //x return <r>",
+		"for $p in //x return <r>{$p/</r>",
+		"for $p in //x return <r a=1/>",
+		"for $p in //x return <r>{$q}</r>",
+		"for $p in //x return <r/> trailing",
+	}
+	for _, src := range bad {
+		if _, err := ParseFLWOR(src); err == nil {
+			t.Errorf("ParseFLWOR(%q) should fail", src)
+		}
+	}
+}
+
+func TestFLWOREvalErrors(t *testing.T) {
+	// Bad in-path surfaces at eval.
+	q, err := ParseFLWOR(`for $p in //x[bad return <r/>`)
+	if err == nil {
+		// The in-path is token-delimited; "[bad" stays in the path and
+		// fails at evaluation time.
+		if _, err := q.Eval(flworDoc(t)); err == nil {
+			t.Error("bad in-path should fail at eval")
+		}
+	}
+}

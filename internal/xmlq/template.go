@@ -1,0 +1,115 @@
+package xmlq
+
+import (
+	"fmt"
+
+	"cohera/internal/value"
+)
+
+// Template is a declarative XML→XML transform — the engine's stand-in for
+// the XSLT customization hooks in Cohera Connect. It selects input nodes
+// with an XPath, emits one output element per match, and fills child
+// fields from relative XPaths.
+type Template struct {
+	// Root names the output document element.
+	Root string
+	// ForEach selects the input nodes to transform.
+	ForEach string
+	// Element names the per-match output element.
+	Element string
+	// Fields are emitted as children of each output element.
+	Fields []TemplateField
+}
+
+// TemplateField maps a relative XPath to an output child element.
+type TemplateField struct {
+	// Name is the output element name.
+	Name string
+	// Path is evaluated relative to each matched node.
+	Path string
+	// Attr, when set, emits the value as an attribute instead of a child.
+	Attr bool
+}
+
+// Apply runs the template over an input DOM.
+func (t Template) Apply(in *Node) (*Node, error) {
+	if t.Root == "" || t.Element == "" || t.ForEach == "" {
+		return nil, fmt.Errorf("xmlq: template requires Root, Element and ForEach")
+	}
+	doc := &Node{}
+	root := doc.AppendChild(t.Root)
+	matches, err := XPath(in, t.ForEach)
+	if err != nil {
+		return nil, fmt.Errorf("xmlq: template ForEach: %w", err)
+	}
+	for _, m := range matches {
+		el := root.AppendChild(t.Element)
+		for _, f := range t.Fields {
+			text, err := XPathString(m, f.Path)
+			if err != nil {
+				return nil, fmt.Errorf("xmlq: template field %q: %w", f.Name, err)
+			}
+			if f.Attr {
+				el.SetAttr(f.Name, text)
+				continue
+			}
+			child := el.AppendChild(f.Name)
+			if text != "" {
+				child.AppendText(text)
+			}
+		}
+	}
+	return doc, nil
+}
+
+// ResultToXML serializes a relational result as an XML document:
+// <rootName><rowName><col>val</col>...</rowName>...</rootName>.
+// This is the "directly generate complex XML at its output" capability of
+// Cohera Connect.
+func ResultToXML(columns []string, rows [][]value.Value, rootName, rowName string) (*Node, error) {
+	if rootName == "" {
+		rootName = "result"
+	}
+	if rowName == "" {
+		rowName = "row"
+	}
+	doc := &Node{}
+	root := doc.AppendChild(rootName)
+	for _, r := range rows {
+		if len(r) != len(columns) {
+			return nil, fmt.Errorf("xmlq: row width %d != %d columns", len(r), len(columns))
+		}
+		rowEl := root.AppendChild(rowName)
+		for i, col := range columns {
+			el := rowEl.AppendChild(sanitizeName(col))
+			if r[i].IsNull() {
+				el.SetAttr("null", "true")
+				continue
+			}
+			el.AppendText(r[i].String())
+		}
+	}
+	return doc, nil
+}
+
+// sanitizeName makes a column label usable as an XML element name.
+func sanitizeName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		ok := r == '_' || r == '-' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if ok {
+			out = append(out, r)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "col"
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		out = append([]rune{'c'}, out...)
+	}
+	return string(out)
+}

@@ -1,0 +1,220 @@
+package xmlq
+
+import (
+	"strings"
+	"testing"
+
+	"cohera/internal/value"
+)
+
+const catalogXML = `<?xml version="1.0"?>
+<catalog vendor="Acme">
+  <product sku="P1" featured="yes">
+    <name>Cordless Drill</name>
+    <price currency="USD">99.50</price>
+    <stock>10</stock>
+  </product>
+  <product sku="P2">
+    <name>India Ink</name>
+    <price currency="FRF">24.00</price>
+    <stock>200</stock>
+  </product>
+  <notes>Ships <b>fast</b></notes>
+</catalog>`
+
+func parse(t *testing.T) *Node {
+	t.Helper()
+	doc, err := ParseXMLString(catalogXML)
+	if err != nil {
+		t.Fatalf("ParseXMLString: %v", err)
+	}
+	return doc
+}
+
+func TestParseAndInnerText(t *testing.T) {
+	doc := parse(t)
+	els := doc.Elements()
+	if len(els) != 1 || els[0].Name != "catalog" {
+		t.Fatalf("root = %+v", els)
+	}
+	cat := els[0]
+	if cat.Attr("vendor") != "Acme" {
+		t.Errorf("vendor = %q", cat.Attr("vendor"))
+	}
+	if got := len(cat.Elements()); got != 3 {
+		t.Errorf("children = %d", got)
+	}
+	notes, _ := XPathOne(doc, "/catalog/notes")
+	if notes.InnerText() != "Ships fast" {
+		t.Errorf("mixed content InnerText = %q", notes.InnerText())
+	}
+}
+
+func TestXPathSteps(t *testing.T) {
+	doc := parse(t)
+	cases := []struct {
+		path string
+		n    int
+	}{
+		{"/catalog/product", 2},
+		{"//product", 2},
+		{"//name", 2},
+		{"/catalog/*", 3},
+		{"/catalog/product[1]", 1},
+		{"/catalog/product[@sku='P2']", 1},
+		{"/catalog/product[@featured]", 1},
+		{"/catalog/product[name='India Ink']", 1},
+		{"/catalog/product/price", 2},
+		{"/catalog/ghost", 0},
+		{"/catalog/product[5]", 0},
+		{"/catalog/product[@sku='ZZ']", 0},
+	}
+	for _, c := range cases {
+		ms, err := XPath(doc, c.path)
+		if err != nil {
+			t.Errorf("XPath(%q): %v", c.path, err)
+			continue
+		}
+		if len(ms) != c.n {
+			t.Errorf("XPath(%q) = %d matches, want %d", c.path, len(ms), c.n)
+		}
+	}
+}
+
+func TestXPathRelativeAndAttr(t *testing.T) {
+	doc := parse(t)
+	p2, err := XPathOne(doc, "/catalog/product[@sku='P2']")
+	if err != nil || p2 == nil {
+		t.Fatalf("p2 = %v, %v", p2, err)
+	}
+	if s, _ := XPathString(p2, "name"); s != "India Ink" {
+		t.Errorf("relative name = %q", s)
+	}
+	if s, _ := XPathString(p2, "price/@currency"); s != "FRF" {
+		t.Errorf("@currency = %q", s)
+	}
+	if s, _ := XPathString(p2, "name/text()"); s != "India Ink" {
+		t.Errorf("text() = %q", s)
+	}
+	// Parent and self steps.
+	if up, _ := XPathOne(p2, ".."); up == nil || up.Name != "catalog" {
+		t.Error(".. failed")
+	}
+	if self, _ := XPathOne(p2, "."); self != p2 {
+		t.Error(". failed")
+	}
+	// From a child, absolute path still resolves from document root.
+	if ms, _ := XPath(p2, "/catalog/product"); len(ms) != 2 {
+		t.Error("absolute path from inner node failed")
+	}
+}
+
+func TestXPathErrors(t *testing.T) {
+	doc := parse(t)
+	for _, bad := range []string{
+		"", "/catalog/product[", "/catalog/product[0]",
+		"/catalog/product[@]", "/catalog/product[name=unquoted]",
+		"/catalog/product[foo<3]", "/@", "//product[xyz]",
+	} {
+		if _, err := XPath(doc, bad); err == nil {
+			t.Errorf("XPath(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	doc := parse(t)
+	s := doc.String()
+	for _, frag := range []string{`vendor="Acme"`, "<name>Cordless Drill</name>", `sku="P1"`} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("serialized %q missing %q", s, frag)
+		}
+	}
+	// Re-parse what we serialized.
+	doc2, err := ParseXMLString(s)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if doc2.String() != s {
+		t.Error("serialization not stable")
+	}
+	// Escaping.
+	d := &Node{}
+	el := d.AppendChild("x")
+	el.AppendText("a<b&c")
+	el.SetAttr("k", `v"1`)
+	out := d.String()
+	if !strings.Contains(out, "a&lt;b&amp;c") {
+		t.Errorf("text escaping: %q", out)
+	}
+	// Empty element self-closes.
+	d2 := &Node{}
+	d2.AppendChild("empty")
+	if d2.String() != "<empty/>" {
+		t.Errorf("empty element = %q", d2.String())
+	}
+}
+
+func TestTemplateApply(t *testing.T) {
+	doc := parse(t)
+	tpl := Template{
+		Root:    "offers",
+		ForEach: "//product",
+		Element: "offer",
+		Fields: []TemplateField{
+			{Name: "id", Path: "@sku", Attr: true},
+			{Name: "title", Path: "name"},
+			{Name: "amount", Path: "price"},
+			{Name: "ccy", Path: "price/@currency"},
+		},
+	}
+	out, err := tpl.Apply(doc)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"<offers>", `<offer id="P1">`, "<title>Cordless Drill</title>",
+		"<ccy>FRF</ccy>", "<amount>24.00</amount>",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("template output %q missing %q", s, frag)
+		}
+	}
+	// Validation.
+	if _, err := (Template{}).Apply(doc); err == nil {
+		t.Error("empty template should fail")
+	}
+	if _, err := (Template{Root: "r", Element: "e", ForEach: "//["}).Apply(doc); err == nil {
+		t.Error("bad ForEach should fail")
+	}
+}
+
+func TestResultToXML(t *testing.T) {
+	cols := []string{"sku", "unit price", "qty"}
+	rows := [][]value.Value{
+		{value.NewString("P1"), value.NewMoney(9950, "USD"), value.NewInt(10)},
+		{value.NewString("P2"), value.Null, value.NewInt(0)},
+	}
+	doc, err := ResultToXML(cols, rows, "parts", "part")
+	if err != nil {
+		t.Fatalf("ResultToXML: %v", err)
+	}
+	s := doc.String()
+	for _, frag := range []string{
+		"<parts>", "<part>", "<sku>P1</sku>", "<unit_price>99.50 USD</unit_price>",
+		`<unit_price null="true"/>`, "<qty>0</qty>",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("xml %q missing %q", s, frag)
+		}
+	}
+	// Defaults and width checking.
+	if _, err := ResultToXML([]string{"a"}, [][]value.Value{{value.NewInt(1), value.NewInt(2)}}, "", ""); err == nil {
+		t.Error("width mismatch should fail")
+	}
+	doc, _ = ResultToXML([]string{"9col"}, [][]value.Value{{value.NewInt(1)}}, "", "")
+	if !strings.Contains(doc.String(), "<c9col>") {
+		t.Errorf("sanitized name: %s", doc.String())
+	}
+}

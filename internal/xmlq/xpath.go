@@ -1,0 +1,305 @@
+package xmlq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// XPath evaluates a path expression against a node and returns the
+// matching nodes in document order. The supported subset covers what
+// wrapper navigation and integrated XML views need:
+//
+//	/a/b          child steps from the root
+//	a/b           child steps from the context node
+//	//a           descendant-or-self step
+//	*             any element
+//	.             context node
+//	..            parent
+//	@attr         attribute access (terminal step; yields text nodes)
+//	text()        text children
+//	a[3]          positional predicate (1-based)
+//	a[@k='v']     attribute equality predicate
+//	a[b='v']      child-text equality predicate
+//	a[@k]         attribute existence predicate
+func XPath(n *Node, path string) ([]*Node, error) {
+	steps, fromRoot, err := parsePath(path)
+	if err != nil {
+		return nil, err
+	}
+	ctx := []*Node{n}
+	if fromRoot {
+		root := n
+		for root.Parent != nil {
+			root = root.Parent
+		}
+		ctx = []*Node{root}
+	}
+	for _, st := range steps {
+		next, err := applyStep(ctx, st)
+		if err != nil {
+			return nil, err
+		}
+		ctx = next
+	}
+	return ctx, nil
+}
+
+// XPathOne returns the first match or nil.
+func XPathOne(n *Node, path string) (*Node, error) {
+	ms, err := XPath(n, path)
+	if err != nil {
+		return nil, err
+	}
+	if len(ms) == 0 {
+		return nil, nil
+	}
+	return ms[0], nil
+}
+
+// XPathString returns the inner text of the first match ("" when none).
+func XPathString(n *Node, path string) (string, error) {
+	m, err := XPathOne(n, path)
+	if err != nil || m == nil {
+		return "", err
+	}
+	if m.IsText() {
+		return strings.TrimSpace(m.Text), nil
+	}
+	return m.InnerText(), nil
+}
+
+type step struct {
+	descendant bool // // prefix
+	name       string
+	attr       string // @attr terminal
+	textFn     bool   // text()
+	self       bool   // .
+	parent     bool   // ..
+	pred       *predicate
+}
+
+type predicate struct {
+	position int    // 1-based; 0 when unused
+	attr     string // attribute name (or "" for child test)
+	child    string // child element name
+	val      string // comparison value; equality only
+	exists   bool   // existence-only test
+}
+
+func parsePath(path string) ([]step, bool, error) {
+	path = strings.TrimSpace(path)
+	if path == "" {
+		return nil, false, fmt.Errorf("xmlq: empty path")
+	}
+	fromRoot := false
+	if strings.HasPrefix(path, "/") {
+		fromRoot = true
+	}
+	var steps []step
+	i := 0
+	for i < len(path) {
+		desc := false
+		for i < len(path) && path[i] == '/' {
+			i++
+			if i < len(path) && path[i] == '/' {
+				desc = true
+			}
+		}
+		if i >= len(path) {
+			break
+		}
+		j := i
+		depth := 0
+		for j < len(path) && (path[j] != '/' || depth > 0) {
+			switch path[j] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			}
+			j++
+		}
+		raw := path[i:j]
+		i = j
+		st, err := parseStep(raw)
+		if err != nil {
+			return nil, false, err
+		}
+		st.descendant = desc
+		steps = append(steps, st)
+	}
+	if len(steps) == 0 {
+		return nil, false, fmt.Errorf("xmlq: path %q has no steps", path)
+	}
+	return steps, fromRoot, nil
+}
+
+func parseStep(raw string) (step, error) {
+	var st step
+	// Predicate?
+	if k := strings.IndexByte(raw, '['); k >= 0 {
+		if !strings.HasSuffix(raw, "]") {
+			return st, fmt.Errorf("xmlq: malformed predicate in %q", raw)
+		}
+		inner := raw[k+1 : len(raw)-1]
+		raw = raw[:k]
+		p, err := parsePredicate(inner)
+		if err != nil {
+			return st, err
+		}
+		st.pred = &p
+	}
+	switch {
+	case raw == ".":
+		st.self = true
+	case raw == "..":
+		st.parent = true
+	case raw == "text()":
+		st.textFn = true
+	case strings.HasPrefix(raw, "@"):
+		st.attr = raw[1:]
+		if st.attr == "" {
+			return st, fmt.Errorf("xmlq: empty attribute step")
+		}
+	default:
+		if raw == "" {
+			return st, fmt.Errorf("xmlq: empty step")
+		}
+		st.name = raw
+	}
+	return st, nil
+}
+
+func parsePredicate(inner string) (predicate, error) {
+	inner = strings.TrimSpace(inner)
+	if inner == "" {
+		return predicate{}, fmt.Errorf("xmlq: empty predicate")
+	}
+	if n, err := strconv.Atoi(inner); err == nil {
+		if n < 1 {
+			return predicate{}, fmt.Errorf("xmlq: positions are 1-based, got %d", n)
+		}
+		return predicate{position: n}, nil
+	}
+	var p predicate
+	expr := inner
+	if strings.HasPrefix(expr, "@") {
+		expr = expr[1:]
+		if eq := strings.IndexByte(expr, '='); eq >= 0 {
+			p.attr = strings.TrimSpace(expr[:eq])
+			v, err := unquote(strings.TrimSpace(expr[eq+1:]))
+			if err != nil {
+				return p, err
+			}
+			p.val = v
+		} else {
+			p.attr = strings.TrimSpace(expr)
+			p.exists = true
+		}
+		if p.attr == "" {
+			return p, fmt.Errorf("xmlq: empty attribute in predicate %q", inner)
+		}
+		return p, nil
+	}
+	eq := strings.IndexByte(expr, '=')
+	if eq < 0 {
+		return p, fmt.Errorf("xmlq: unsupported predicate %q", inner)
+	}
+	p.child = strings.TrimSpace(expr[:eq])
+	v, err := unquote(strings.TrimSpace(expr[eq+1:]))
+	if err != nil {
+		return p, err
+	}
+	p.val = v
+	return p, nil
+}
+
+func unquote(s string) (string, error) {
+	if len(s) >= 2 && (s[0] == '\'' && s[len(s)-1] == '\'' || s[0] == '"' && s[len(s)-1] == '"') {
+		return s[1 : len(s)-1], nil
+	}
+	return "", fmt.Errorf("xmlq: expected quoted value, got %q", s)
+}
+
+func applyStep(ctx []*Node, st step) ([]*Node, error) {
+	var out []*Node
+	push := func(n *Node) { out = append(out, n) }
+	for _, n := range ctx {
+		switch {
+		case st.self:
+			push(n)
+		case st.parent:
+			if n.Parent != nil {
+				push(n.Parent)
+			}
+		case st.textFn:
+			for _, c := range n.Children {
+				if c.IsText() {
+					push(c)
+				}
+			}
+		case st.attr != "":
+			if v, ok := n.Attrs[st.attr]; ok {
+				push(&Node{Text: v, Parent: n})
+			}
+		default:
+			if st.descendant {
+				var walk func(*Node)
+				walk = func(x *Node) {
+					for _, c := range x.Children {
+						if !c.IsText() && (st.name == "*" || c.Name == st.name) {
+							push(c)
+						}
+						walk(c)
+					}
+				}
+				walk(n)
+			} else {
+				for _, c := range n.Children {
+					if !c.IsText() && (st.name == "*" || c.Name == st.name) {
+						push(c)
+					}
+				}
+			}
+		}
+	}
+	if st.pred != nil {
+		filtered, err := applyPredicate(out, *st.pred)
+		if err != nil {
+			return nil, err
+		}
+		out = filtered
+	}
+	return out, nil
+}
+
+func applyPredicate(nodes []*Node, p predicate) ([]*Node, error) {
+	if p.position > 0 {
+		if p.position > len(nodes) {
+			return nil, nil
+		}
+		return nodes[p.position-1 : p.position], nil
+	}
+	var out []*Node
+	for _, n := range nodes {
+		switch {
+		case p.attr != "" && p.exists:
+			if _, ok := n.Attrs[p.attr]; ok {
+				out = append(out, n)
+			}
+		case p.attr != "":
+			if n.Attrs[p.attr] == p.val {
+				out = append(out, n)
+			}
+		case p.child != "":
+			for _, c := range n.Elements() {
+				if c.Name == p.child && c.InnerText() == p.val {
+					out = append(out, n)
+					break
+				}
+			}
+		}
+	}
+	return out, nil
+}
