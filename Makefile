@@ -1,0 +1,22 @@
+# Developer entry points. `make check` is the full gate CI should run;
+# `make test` is the quick tier-1 loop.
+
+GO ?= go
+
+.PHONY: build test lint race check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/coheralint ./...
+
+race:
+	$(GO) test -race ./...
+
+check:
+	sh scripts/check.sh

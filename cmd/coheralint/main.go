@@ -1,0 +1,116 @@
+// Command coheralint runs the project's static-analysis suite
+// (internal/analysis) over module packages and reports findings keyed by
+// file:line:col. It exits 1 when any finding survives //lint:ignore
+// filtering, so scripts/check.sh can use it as a gate.
+//
+// Usage:
+//
+//	coheralint [flags] [packages]
+//
+// Packages are directory patterns relative to the module root
+// ("./...", "./internal/federation", "./internal/..."); the default is
+// "./...". Flags:
+//
+//	-list       print the analyzers and exit
+//	-only a,b   run only the named analyzers
+//	-v          print a per-package progress line
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cohera/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	verbose := flag.Bool("v", false, "print a per-package progress line")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		for _, p := range pkgs {
+			fmt.Fprintf(os.Stderr, "coheralint: loaded %s (%d files)\n", p.Path, len(p.Files))
+		}
+	}
+
+	suite := analysis.DefaultSuite()
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var filtered []analysis.Configured
+		for _, c := range suite {
+			if keep[c.Analyzer.Name] {
+				filtered = append(filtered, c)
+				delete(keep, c.Analyzer.Name)
+			}
+		}
+		for n := range keep {
+			fatal(fmt.Errorf("coheralint: unknown analyzer %q", n))
+		}
+		suite = filtered
+	}
+
+	diags := analysis.Run(pkgs, suite)
+	for _, d := range diags {
+		// Report paths relative to the module root for stable output.
+		pos := d.Pos
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "coheralint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("coheralint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single type-checked
+// package and reports findings through the pass.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-line description shown by coheralint -list.
+	Doc string
+	// Run performs the analysis.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package plus the report sink.
+type Pass struct {
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExprString renders an expression compactly for use in messages.
+func (p *Pass) ExprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, p.Pkg.Fset, e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}
+
+// Diagnostic is one finding, keyed by resolved file:line:col.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the canonical "file:line:col: [analyzer] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Configured pairs an analyzer with the package scope it applies to.
+type Configured struct {
+	Analyzer *Analyzer
+	// Scopes restricts the analyzer to packages whose import path
+	// contains one of the listed fragments (empty = every package).
+	Scopes []string
+}
+
+// applies reports whether the analyzer runs on the given package path.
+func (c Configured) applies(pkgPath string) bool {
+	if len(c.Scopes) == 0 {
+		return true
+	}
+	for _, s := range c.Scopes {
+		if strings.Contains(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every configured analyzer over every package, applies
+// //lint:ignore directives, and returns the surviving diagnostics sorted
+// by position. Malformed directives (no reason) are reported under the
+// reserved analyzer name "lintdir".
+func Run(pkgs []*Package, suite []Configured) []Diagnostic {
+	var diags []Diagnostic
+	var ignores []ignoreDirective
+	for _, pkg := range pkgs {
+		dirs, bad := collectIgnores(pkg)
+		ignores = append(ignores, dirs...)
+		diags = append(diags, bad...)
+		for _, cfg := range suite {
+			if !cfg.applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Pkg: pkg, analyzer: cfg.Analyzer, diags: &diags}
+			cfg.Analyzer.Run(pass)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d, ignores) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// ignoreDirective is one parsed //lint:ignore comment. It suppresses
+// diagnostics of the named analyzer ("*" = all) on the directive's own
+// line and the line directly below it.
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectIgnores parses every //lint:ignore directive in the package.
+// Directives without a reason are returned as diagnostics.
+func collectIgnores(pkg *Package) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lintdir",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore directive: need \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				dirs = append(dirs, ignoreDirective{file: pos.Filename, line: pos.Line, analyzer: fields[0]})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// suppressed reports whether a directive covers the diagnostic.
+func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+	if d.Analyzer == "lintdir" {
+		return false
+	}
+	for _, dir := range dirs {
+		if dir.file != d.Pos.Filename {
+			continue
+		}
+		if dir.analyzer != "*" && dir.analyzer != d.Analyzer {
+			continue
+		}
+		if d.Pos.Line == dir.line || d.Pos.Line == dir.line+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultSuite is the project's analyzer configuration: the hazards each
+// analyzer hunts are concentrated in specific layers, so scopes keep the
+// signal high (see doc.go for the rationale per analyzer).
+func DefaultSuite() []Configured {
+	return []Configured{
+		{Analyzer: LockSafe},
+		{Analyzer: ErrDrop, Scopes: []string{"internal/"}},
+		{Analyzer: CtxLeak, Scopes: []string{
+			"internal/federation", "internal/remote", "internal/wrapper",
+			"internal/mview", "internal/warehouse", "internal/cache",
+		}},
+		{Analyzer: SleepSync},
+		{Analyzer: BodyClose, Scopes: []string{"internal/wrapper", "internal/remote"}},
+	}
+}
+
+// Analyzers returns the full suite without scoping, for -list and tests.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{LockSafe, ErrDrop, CtxLeak, SleepSync, BodyClose}
+}

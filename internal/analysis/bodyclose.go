@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BodyClose flags *http.Response values whose Body is never closed in
+// the function that obtained them. An unclosed body pins the underlying
+// connection, so a scraping wrapper that forgets one leaks a socket per
+// page. A response that is returned to the caller escapes the check —
+// closing becomes the caller's contract.
+var BodyClose = &Analyzer{
+	Name: "bodyclose",
+	Doc:  "http response bodies without a Close on all paths",
+	Run:  runBodyClose,
+}
+
+func runBodyClose(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBodyClose(p, fn.Body)
+		}
+	}
+}
+
+func checkBodyClose(p *Pass, body *ast.BlockStmt) {
+	type respVar struct {
+		ident *ast.Ident
+		obj   types.Object
+	}
+	var resps []respVar
+	closed := make(map[types.Object]bool)
+	escaped := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := p.Pkg.Info.Defs[id]
+				if obj == nil {
+					obj = p.Pkg.Info.Uses[id]
+				}
+				if obj == nil || !isHTTPResponse(obj.Type()) {
+					continue
+				}
+				resps = append(resps, respVar{ident: id, obj: obj})
+			}
+		case *ast.CallExpr:
+			// resp.Body.Close(): unwrap the two-level selector chain.
+			sel, ok := st.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Close" {
+				return true
+			}
+			inner, ok := sel.X.(*ast.SelectorExpr)
+			if !ok || inner.Sel.Name != "Body" {
+				return true
+			}
+			if id, ok := inner.X.(*ast.Ident); ok {
+				if obj := p.Pkg.Info.Uses[id]; obj != nil {
+					closed[obj] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if obj := p.Pkg.Info.Uses[id]; obj != nil && isHTTPResponse(obj.Type()) {
+							escaped[obj] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	seen := make(map[types.Object]bool)
+	for _, rv := range resps {
+		if seen[rv.obj] || closed[rv.obj] || escaped[rv.obj] {
+			continue
+		}
+		seen[rv.obj] = true
+		p.Reportf(rv.ident.Pos(), "response body %s.Body is never closed", rv.ident.Name)
+	}
+}
+
+// isHTTPResponse reports whether t is *net/http.Response.
+func isHTTPResponse(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isNamedIn(ptr.Elem(), "net/http", "Response")
+}

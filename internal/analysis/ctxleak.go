@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLeak flags context.Background() and context.TODO() created inside
+// library code. Federation, wrapper and remote call paths all receive a
+// caller context; minting a fresh root silently detaches the work from
+// the caller's deadline and cancellation — the bug class that turns one
+// slow site into a leaked goroutine. Long-lived daemons should accept a
+// context at start instead of fabricating one per iteration.
+var CtxLeak = &Analyzer{
+	Name: "ctxleak",
+	Doc:  "context.Background/TODO created inside library call paths",
+	Run:  runCtxLeak,
+}
+
+func runCtxLeak(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "Background" && sel.Sel.Name != "TODO" {
+				return true
+			}
+			if !isPackageIdent(p, sel.X, "context") {
+				return true
+			}
+			p.Reportf(call.Pos(), "context.%s() created in library code; thread the caller's context instead", sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// isPackageIdent reports whether e is an identifier naming the import of
+// the given package path.
+func isPackageIdent(p *Pass, e ast.Expr, pkgPath string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}

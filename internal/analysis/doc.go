@@ -1,0 +1,38 @@
+// Package analysis is the project's static-analysis engine: a
+// zero-dependency (stdlib go/ast + go/parser + go/types) driver that
+// loads every package in the module, type-checks it, and runs a suite of
+// project-specific analyzers tuned to the real concurrency and
+// error-handling hazards of the federation engine.
+//
+// The analyzers:
+//
+//   - locksafe:  a method on a struct with a sync.Mutex/RWMutex field
+//     reads or writes a mutex-guarded sibling field without acquiring
+//     the mutex on any path. Fields declared after the mutex are
+//     guarded (the repo's layout convention); fields that are
+//     themselves synchronization primitives (sync.Once, WaitGroup,
+//     atomics, channels) are exempt, as are methods whose name ends in
+//     "Locked" (documented as requiring the caller to hold the lock).
+//   - errdrop:   an error result is discarded — assigned to _ or
+//     dropped by a bare call statement. Deliberate drops must carry a
+//     //lint:ignore errdrop <reason> directive.
+//   - ctxleak:   context.Background()/context.TODO() is created inside
+//     library call paths instead of threading the caller's context.
+//   - sleepsync: time.Sleep in non-test code — sleeping is timing, not
+//     synchronization; use a select on ctx.Done()/time.After or a real
+//     synchronization primitive.
+//   - bodyclose: an *http.Response obtained in internal/wrapper or
+//     internal/remote whose Body is never closed.
+//
+// Diagnostics are keyed file:line:col and can be suppressed with a
+// directive comment on the same line or the line directly above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+// The analyzer name "*" suppresses every analyzer for that line.
+//
+// cmd/coheralint is the command-line driver; scripts/check.sh wires it
+// into the repo's verification gate together with go vet and the race
+// detector.
+package analysis

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags discarded error results: an error assigned to the blank
+// identifier, or a bare call statement whose results include an error.
+// Deferred and go-routine calls are exempt (idiomatic defer Close), as
+// is reassigning one error variable to another. Writers documented never
+// to fail (strings.Builder, bytes.Buffer) and the fmt print family are
+// exempt too — flagging them buries real drops in noise. Deliberate
+// drops must be annotated //lint:ignore errdrop <reason>.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "error results discarded with _ or by a bare call statement",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(p, st)
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					checkBareCall(p, call)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkAssign reports blank-assigned error results in one assignment.
+func checkAssign(p *Pass, st *ast.AssignStmt) {
+	// Tuple form: a, _ := f() — one call, many results.
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := p.Pkg.Info.TypeOf(call).(*types.Tuple)
+		if !ok || tuple.Len() != len(st.Lhs) {
+			return
+		}
+		if neverFails(p, call) {
+			return
+		}
+		for i, lhs := range st.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				p.Reportf(lhs.Pos(), "error result of %s discarded with _", p.ExprString(call.Fun))
+			}
+		}
+		return
+	}
+	// Parallel form: _ = f(), possibly mixed with other assignments.
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		rhs := st.Rhs[i]
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue // discarding a variable, not a fresh result
+		}
+		if neverFails(p, call) {
+			continue
+		}
+		if t := p.Pkg.Info.TypeOf(call); t != nil && isErrorType(t) {
+			p.Reportf(lhs.Pos(), "error result of %s discarded with _", p.ExprString(call.Fun))
+		}
+	}
+}
+
+// checkBareCall reports a statement-level call that drops error results.
+func checkBareCall(p *Pass, call *ast.CallExpr) {
+	if neverFails(p, call) {
+		return
+	}
+	t := p.Pkg.Info.TypeOf(call)
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				p.Reportf(call.Pos(), "error result of %s dropped by bare call", p.ExprString(call.Fun))
+				return
+			}
+		}
+	default:
+		if rt != nil && isErrorType(rt) {
+			p.Reportf(call.Pos(), "error result of %s dropped by bare call", p.ExprString(call.Fun))
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+// fmtPrinters are the fmt functions whose error results are dropped by
+// idiom everywhere.
+var fmtPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// neverFails reports whether a call's error result is exempt: a method
+// on strings.Builder or bytes.Buffer (documented never to fail), or one
+// of the fmt print functions.
+func neverFails(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if fmtPrinters[sel.Sel.Name] && isPackageIdent(p, sel.X, "fmt") {
+		return true
+	}
+	t := p.Pkg.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return isNamedIn(t, "strings", "Builder") || isNamedIn(t, "bytes", "Buffer")
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// moduleRoot is the repository root relative to this package's
+// directory, where go test sets the working directory.
+const moduleRoot = "../.."
+
+// fixturePkg loads testdata/src/<name> through a fresh loader, the same
+// code path cmd/coheralint uses on the real tree.
+func fixturePkg(t *testing.T, name string) *Package {
+	t.Helper()
+	l, err := NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// wantRE extracts the backquoted messages of a "// want" comment.
+// Backquotes delimit because the diagnostics themselves contain double
+// quotes (%q-rendered field names).
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// wantsOf parses the fixture's `// want` comments into the same
+// "file:line: message" strings diagnostics render to. A want comment
+// sits on the line the diagnostic is expected at.
+func wantsOf(t *testing.T, pkg *Package) []string {
+	t.Helper()
+	var out []string
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: want comment without a backquoted message",
+						filepath.Base(pos.Filename), pos.Line)
+				}
+				for _, m := range ms {
+					out = append(out, fmt.Sprintf("%s:%d: %s",
+						filepath.Base(pos.Filename), pos.Line, m[1]))
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// diagStrings renders diagnostics to the comparable "file:line: message"
+// form (column dropped: want comments anchor to lines).
+func diagStrings(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%s:%d: %s",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func diffStrings(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) == len(want) {
+		same := true
+		for i := range got {
+			if got[i] != want[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	t.Errorf("diagnostics mismatch:\n  got:\n    %s\n  want:\n    %s",
+		strings.Join(got, "\n    "), strings.Join(want, "\n    "))
+}
+
+// TestFixtures runs each analyzer over its golden fixture package and
+// asserts the exact file:line: message set — positives must fire,
+// negatives must stay silent, and //lint:ignore directives inside the
+// fixtures must suppress exactly their own analyzer.
+func TestFixtures(t *testing.T) {
+	for _, a := range Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			pkg := fixturePkg(t, a.Name)
+			got := diagStrings(Run([]*Package{pkg}, []Configured{{Analyzer: a}}))
+			want := wantsOf(t, pkg)
+			if len(want) < 2 {
+				t.Fatalf("fixture declares %d positive cases; every analyzer needs at least 2", len(want))
+			}
+			diffStrings(t, got, want)
+		})
+	}
+}
+
+// TestMalformedIgnoreDirective asserts a reason-less //lint:ignore is
+// reported under the reserved "lintdir" name and suppresses nothing.
+func TestMalformedIgnoreDirective(t *testing.T) {
+	pkg := fixturePkg(t, "lintdir")
+	got := diagStrings(Run([]*Package{pkg}, []Configured{{Analyzer: ErrDrop}}))
+	want := []string{
+		`lintdir.go:8: malformed //lint:ignore directive: need "//lint:ignore <analyzer> <reason>"`,
+		`lintdir.go:9: error result of covered discarded with _`,
+	}
+	diffStrings(t, got, want)
+}
+
+// TestConfiguredScopes pins the scope-matching contract DefaultSuite
+// relies on: substring of the import path, empty means everywhere.
+func TestConfiguredScopes(t *testing.T) {
+	c := Configured{Analyzer: ErrDrop, Scopes: []string{"internal/wrapper", "internal/remote"}}
+	for path, want := range map[string]bool{
+		"cohera/internal/wrapper": true,
+		"cohera/internal/remote":  true,
+		"cohera/internal/plan":    false,
+		"cohera/cmd/coheraql":     false,
+	} {
+		if got := c.applies(path); got != want {
+			t.Errorf("applies(%q) = %v, want %v", path, got, want)
+		}
+	}
+	all := Configured{Analyzer: ErrDrop}
+	if !all.applies("anything/at/all") {
+		t.Error("empty scopes must apply everywhere")
+	}
+}

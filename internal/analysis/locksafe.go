@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockSafe flags methods that touch mutex-guarded struct fields without
+// acquiring the mutex. The guard convention is positional, matching this
+// repo's layout: fields declared after a sync.Mutex/sync.RWMutex field
+// are guarded by it; fields declared before it are constructor-set and
+// immutable (or independently synchronized). Fields that are themselves
+// synchronization primitives (sync.Once, sync.WaitGroup, atomics,
+// channels, nested mutexes) are exempt, and so are methods whose name
+// ends in "Locked" — the suffix documents that the caller holds the
+// lock. The check is flow-insensitive: one Lock/RLock call anywhere in
+// the method (including deferred and inside closures) counts as holding
+// the lock.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "guarded struct fields accessed without holding the sibling mutex",
+	Run:  runLockSafe,
+}
+
+// guardedStruct describes one struct type with a mutex field.
+type guardedStruct struct {
+	mutexField string
+	guarded    map[string]bool
+}
+
+func runLockSafe(p *Pass) {
+	structs := findGuardedStructs(p)
+	if len(structs) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			checkMethod(p, structs, fn)
+		}
+	}
+}
+
+// findGuardedStructs maps each named struct type with a mutex field to
+// its guarded sibling fields, preserving AST declaration order.
+func findGuardedStructs(p *Pass) map[string]*guardedStruct {
+	out := make(map[string]*guardedStruct)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			var gs *guardedStruct
+			for _, fld := range st.Fields.List {
+				t := p.Pkg.Info.TypeOf(fld.Type)
+				if gs == nil {
+					if t != nil && isMutex(t) && len(fld.Names) == 1 {
+						gs = &guardedStruct{mutexField: fld.Names[0].Name, guarded: make(map[string]bool)}
+					}
+					continue
+				}
+				if t != nil && isSyncExempt(t) {
+					continue
+				}
+				for _, name := range fld.Names {
+					gs.guarded[name.Name] = true
+				}
+			}
+			if gs != nil && len(gs.guarded) > 0 {
+				out[ts.Name.Name] = gs
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkMethod reports guarded-field accesses in one method that locks
+// nothing.
+func checkMethod(p *Pass, structs map[string]*guardedStruct, fn *ast.FuncDecl) {
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		return
+	}
+	recvName, typeName := receiverOf(fn)
+	if recvName == "" {
+		return
+	}
+	gs, ok := structs[typeName]
+	if !ok {
+		return
+	}
+	locked := false
+	type access struct {
+		node  *ast.SelectorExpr
+		field string
+	}
+	var accesses []access
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// recv.mu.Lock() / recv.mu.RLock(): the selector chain is
+		// (recv.mu).Lock, so look one level down for the mutex field.
+		if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+			if inner, ok := sel.X.(*ast.SelectorExpr); ok &&
+				inner.Sel.Name == gs.mutexField && isIdent(inner.X, recvName) {
+				locked = true
+				return true
+			}
+		}
+		if isIdent(sel.X, recvName) && gs.guarded[sel.Sel.Name] {
+			accesses = append(accesses, access{node: sel, field: sel.Sel.Name})
+		}
+		return true
+	})
+	if locked {
+		return
+	}
+	for _, a := range accesses {
+		p.Reportf(a.node.Pos(), "%s accesses %q guarded by %q without holding the lock",
+			methodName(typeName, fn), a.field, gs.mutexField)
+	}
+}
+
+// receiverOf returns the receiver variable name and the bare struct type
+// name of a method ("" when the receiver is unnamed or unresolvable).
+func receiverOf(fn *ast.FuncDecl) (recvName, typeName string) {
+	if len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return "", ""
+	}
+	recvName = fn.Recv.List[0].Names[0].Name
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return recvName, id.Name
+	}
+	// Generic receivers (IndexExpr) are out of scope for this codebase.
+	return "", ""
+}
+
+func methodName(typeName string, fn *ast.FuncDecl) string {
+	return typeName + "." + fn.Name.Name
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isMutex(t types.Type) bool {
+	return isNamedIn(t, "sync", "Mutex") || isNamedIn(t, "sync", "RWMutex")
+}
+
+// isSyncExempt reports whether a field of type t synchronizes itself and
+// therefore needs no mutex guard.
+func isSyncExempt(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync", "sync/atomic":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isNamedIn reports whether t is the named type pkg.name.
+func isNamedIn(t types.Type, pkg, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkg
+}

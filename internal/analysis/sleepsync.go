@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SleepSync flags time.Sleep in non-test code. A sleep neither observes
+// cancellation nor establishes a happens-before edge: code that "waits a
+// bit" for another goroutine is racing with it, and code that charges a
+// simulated latency with Sleep ignores the caller's context. Use a
+// select on ctx.Done()/time.After, or a real synchronization primitive.
+var SleepSync = &Analyzer{
+	Name: "sleepsync",
+	Doc:  "time.Sleep used as synchronization in non-test code",
+	Run:  runSleepSync,
+}
+
+func runSleepSync(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sleep" {
+				return true
+			}
+			if !isPackageIdent(p, sel.X, "time") {
+				return true
+			}
+			p.Reportf(call.Pos(), "time.Sleep is not synchronization; select on ctx.Done()/time.After or use a sync primitive")
+			return true
+		})
+	}
+}

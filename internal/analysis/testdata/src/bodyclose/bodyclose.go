@@ -1,0 +1,41 @@
+// Package bodyclose is a coheralint fixture for the bodyclose analyzer:
+// http response bodies that leak versus closed or escaping responses.
+package bodyclose
+
+import "net/http"
+
+var lastStatus string
+
+func leakGet(url string) {
+	resp, err := http.Get(url) // want `response body resp.Body is never closed`
+	if err != nil {
+		return
+	}
+	lastStatus = resp.Status
+}
+
+func leakDo(c *http.Client, req *http.Request) {
+	resp, err := c.Do(req) // want `response body resp.Body is never closed`
+	if err != nil {
+		return
+	}
+	lastStatus = resp.Status
+}
+
+func closed(url string) error {
+	resp, err := http.Get(url) // negative: closed on the deferred path
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	lastStatus = resp.Status
+	return nil
+}
+
+func escapes(url string) (*http.Response, error) {
+	resp, err := http.Get(url) // negative: returned, so closing is the caller's contract
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

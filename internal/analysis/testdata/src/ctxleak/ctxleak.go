@@ -1,0 +1,24 @@
+// Package ctxleak is a coheralint fixture for the ctxleak analyzer:
+// fresh root contexts minted inside library code versus contexts
+// threaded from the caller.
+package ctxleak
+
+import (
+	"context"
+	"time"
+)
+
+func leakBackground() context.Context {
+	return context.Background() // want `context.Background() created in library code; thread the caller's context instead`
+}
+
+func leakTODO() {
+	ctx := context.TODO() // want `context.TODO() created in library code; thread the caller's context instead`
+	use(ctx)
+}
+
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second) // negative: derives from the caller's context
+}
+
+func use(context.Context) {}

@@ -1,0 +1,62 @@
+// Package errdrop is a coheralint fixture for the errdrop analyzer:
+// blank-discarded and bare-call-dropped errors, the never-fails
+// exemptions, and the //lint:ignore suppression path.
+package errdrop
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fails() error { return nil }
+
+func failsWith() (int, error) { return 0, nil }
+
+func dropBlank() {
+	_ = fails() // want `error result of fails discarded with _`
+}
+
+func dropTuple() {
+	n, _ := failsWith() // want `error result of failsWith discarded with _`
+	use(n)
+}
+
+func dropBare() {
+	fails() // want `error result of fails dropped by bare call`
+}
+
+func kept() error {
+	if err := fails(); err != nil { // negative: error is checked
+		return err
+	}
+	return nil
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // negative: deferred calls are exempt by idiom
+}
+
+func neverFailing() string {
+	var b strings.Builder
+	b.WriteString("never fails") // negative: strings.Builder never fails
+	fmt.Println(b.String())      // negative: fmt print family is exempt
+	return b.String()
+}
+
+func suppressed() {
+	//lint:ignore errdrop fixture exercises suppression of a deliberate drop
+	_ = fails() // negative: the directive above covers this line
+}
+
+func wildcard() {
+	//lint:ignore * a wildcard directive suppresses every analyzer
+	fails() // negative: wildcard suppression
+}
+
+func wrongName() {
+	//lint:ignore sleepsync the analyzer name must match for suppression
+	_ = fails() // want `error result of fails discarded with _`
+}
+
+func use(int) {}

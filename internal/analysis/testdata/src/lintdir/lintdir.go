@@ -1,0 +1,10 @@
+// Package lintdir is a coheralint fixture: a //lint:ignore directive
+// without a reason is itself a finding and suppresses nothing.
+package lintdir
+
+func covered() error { return nil }
+
+func malformed() {
+	//lint:ignore errdrop
+	_ = covered()
+}

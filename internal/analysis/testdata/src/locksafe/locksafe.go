@@ -1,0 +1,60 @@
+// Package locksafe is a coheralint fixture for the locksafe analyzer.
+// The guard convention is positional: fields declared after a
+// sync.Mutex/RWMutex field are guarded by it, fields before it are
+// constructor-set, and sync primitives guard themselves.
+package locksafe
+
+import "sync"
+
+type counter struct {
+	name string // declared before mu: constructor-set, unguarded
+
+	mu   sync.Mutex
+	n    int
+	last string
+
+	done chan struct{} // exempt: channels synchronize themselves
+	once sync.Once     // exempt: sync primitive
+}
+
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) BadRead() int {
+	return c.n // want `counter.BadRead accesses "n" guarded by "mu" without holding the lock`
+}
+
+func (c *counter) BadWrite(s string) {
+	c.last = s // want `counter.BadWrite accesses "last" guarded by "mu" without holding the lock`
+}
+
+func (c *counter) Name() string {
+	return c.name // negative: declared before the mutex
+}
+
+func (c *counter) bumpLocked() {
+	c.n++ // negative: the Locked suffix documents the caller holds the lock
+}
+
+func (c *counter) Signal() {
+	close(c.done) // negative: sync-exempt fields need no mutex
+	c.once.Do(func() {})
+}
+
+type stats struct {
+	mu   sync.RWMutex
+	hits int
+}
+
+func (s *stats) Hits() int {
+	s.mu.RLock() // negative: RLock counts as holding an RWMutex
+	defer s.mu.RUnlock()
+	return s.hits
+}
+
+func (s *stats) Reset() {
+	s.hits = 0 // want `stats.Reset accesses "hits" guarded by "mu" without holding the lock`
+}

@@ -1,0 +1,40 @@
+// Package sleepsync is a coheralint fixture for the sleepsync analyzer:
+// time.Sleep used as pseudo-synchronization versus ctx-aware waits.
+package sleepsync
+
+import (
+	"context"
+	"time"
+)
+
+func waitABit() {
+	time.Sleep(10 * time.Millisecond) // want `time.Sleep is not synchronization; select on ctx.Done()/time.After or use a sync primitive`
+}
+
+func pollLoop(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		time.Sleep(time.Millisecond) // want `time.Sleep is not synchronization; select on ctx.Done()/time.After or use a sync primitive`
+	}
+}
+
+func charge(ctx context.Context, d time.Duration) error {
+	select {
+	case <-time.After(d): // negative: the wait observes cancellation
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+type clock struct{}
+
+func (clock) Sleep(time.Duration) {}
+
+func fakeClock(c clock, d time.Duration) {
+	c.Sleep(d) // negative: not the time package's Sleep
+}

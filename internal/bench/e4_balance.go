@@ -77,7 +77,7 @@ func runE4(seed int64, mode string, replicas, queriesPhase int) ([][]string, err
 		cen := federation.NewCentralized(fed)
 		cen.ProbeLatency = 0
 		cen.StatsTTL = time.Hour // snapshot never refreshes mid-run
-		cen.RefreshStats()
+		cen.RefreshStats(context.Background())
 		fed.SetOptimizer(cen)
 	}
 	ctx := context.Background()

@@ -317,7 +317,7 @@ func TestViewAutoRefreshLifecycle(t *testing.T) {
 	if _, err := in.CreateView(context.Background(), "v_auto", "SELECT sku FROM catalog", 10*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	in.Views().StartAuto()
+	in.Views().StartAuto(context.Background())
 	time.Sleep(30 * time.Millisecond)
 	in.Views().Stop()
 	v, _ := in.Views().View("v_auto")

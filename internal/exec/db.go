@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"cohera/internal/ir"
 	"cohera/internal/plan"
@@ -21,11 +22,16 @@ import (
 )
 
 // Database is one site's collection of tables plus the site-local synonym
-// table used by SYNONYM/MATCHES predicates.
+// table used by SYNONYM/MATCHES predicates. Table creation is safe
+// against concurrent queries: the federation advertises that fragments
+// can be attached and loaded while queries run, and LoadFragment creates
+// missing local tables on live sites.
 type Database struct {
 	catalog  *schema.Catalog
-	tables   map[string]*storage.Table
 	synonyms *ir.Synonyms
+
+	mu     sync.RWMutex
+	tables map[string]*storage.Table
 }
 
 // NewDatabase returns an empty database.
@@ -52,6 +58,12 @@ func (db *Database) SetSynonyms(s *ir.Synonyms) {
 
 // CreateTable defines a table from a schema.
 func (db *Database) CreateTable(def *schema.Table) (*storage.Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.createTableLocked(def)
+}
+
+func (db *Database) createTableLocked(def *schema.Table) (*storage.Table, error) {
 	if err := db.catalog.Define(def); err != nil {
 		return nil, err
 	}
@@ -60,8 +72,22 @@ func (db *Database) CreateTable(def *schema.Table) (*storage.Table, error) {
 	return t, nil
 }
 
+// EnsureTable returns the named table, creating it from def when absent.
+// Unlike a Table-then-CreateTable sequence it is atomic, so concurrent
+// fragment loads against a new table cannot race on the definition.
+func (db *Database) EnsureTable(def *schema.Table) (*storage.Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t, ok := db.tables[strings.ToLower(def.Name)]; ok {
+		return t, nil
+	}
+	return db.createTableLocked(def)
+}
+
 // Table returns the named table.
 func (db *Database) Table(name string) (*storage.Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[strings.ToLower(name)]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", schema.ErrNoTable, name)

@@ -70,15 +70,18 @@ func (a *Agoric) BudgetOverruns() int64 { return a.overruns.Load() }
 func (a *Agoric) Rank(ctx context.Context, frag *Fragment, estRows int) []*Site {
 	replicas := frag.Replicas()
 	a.auctions.Add(1)
-	type offer struct {
-		bid Bid
-		ok  bool
+	// The bid sheet is shared with bidder goroutines that may still be
+	// running when the auction closes (timeout or cancellation), so every
+	// access goes through the sheet's own lock and the broker works from
+	// a snapshot; late bids land harmlessly after the copy.
+	var sheet struct {
+		sync.Mutex
+		bids []Bid
 	}
-	offers := make([]offer, len(replicas))
 	var wg sync.WaitGroup
-	for i, s := range replicas {
+	for _, s := range replicas {
 		wg.Add(1)
-		go func(i int, s *Site) {
+		go func(s *Site) {
 			defer wg.Done()
 			if !s.Alive() {
 				return
@@ -87,8 +90,10 @@ func (a *Agoric) Rank(ctx context.Context, frag *Fragment, estRows int) []*Site 
 			// instantaneous queue depth; no coordinator statistics needed.
 			base := float64(s.EstimateCost(estRows))
 			price := base * (1 + a.Greed*float64(s.Load()))
-			offers[i] = offer{bid: Bid{Site: s, Price: price}, ok: true}
-		}(i, s)
+			sheet.Lock()
+			sheet.bids = append(sheet.bids, Bid{Site: s, Price: price})
+			sheet.Unlock()
+		}(s)
 	}
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
@@ -96,17 +101,16 @@ func (a *Agoric) Rank(ctx context.Context, frag *Fragment, estRows int) []*Site 
 	if timeout <= 0 {
 		timeout = 50 * time.Millisecond
 	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
 	select {
 	case <-done:
-	case <-time.After(timeout):
+	case <-deadline.C:
 	case <-ctx.Done():
 	}
-	var bids []Bid
-	for _, o := range offers {
-		if o.ok {
-			bids = append(bids, o.bid)
-		}
-	}
+	sheet.Lock()
+	bids := append([]Bid(nil), sheet.bids...)
+	sheet.Unlock()
 	a.bids.Add(int64(len(bids)))
 	sort.Slice(bids, func(i, j int) bool {
 		if bids[i].Price != bids[j].Price {

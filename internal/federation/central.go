@@ -67,12 +67,19 @@ func (c *Centralized) Refreshes() int {
 
 // RefreshStats polls every site serially, charging ProbeLatency per site.
 // This is the cost a compile-time optimizer pays to know about N sites.
-func (c *Centralized) RefreshStats() {
+// A cancelled context abandons the sweep, keeping the previous snapshot.
+func (c *Centralized) RefreshStats(ctx context.Context) {
 	sites := c.fed.Sites()
 	snap := make(map[string]siteStats, len(sites))
 	for _, s := range sites {
 		if c.ProbeLatency > 0 {
-			time.Sleep(c.ProbeLatency)
+			probe := time.NewTimer(c.ProbeLatency)
+			select {
+			case <-probe.C:
+			case <-ctx.Done():
+				probe.Stop()
+				return
+			}
 		}
 		snap[s.Name()] = siteStats{load: s.Load(), alive: s.Alive(), cost: s.Cost()}
 	}
@@ -91,7 +98,7 @@ func (c *Centralized) Rank(ctx context.Context, frag *Fragment, estRows int) []*
 	stale := c.snapshot == nil || time.Since(c.takenAt) > c.StatsTTL
 	c.mu.Unlock()
 	if stale {
-		c.RefreshStats()
+		c.RefreshStats(ctx)
 	}
 	c.mu.Lock()
 	snap := c.snapshot

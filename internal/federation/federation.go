@@ -76,11 +76,14 @@ type Federation struct {
 	// subquery results — kept as an ablation switch; leave false.
 	DisableProjectionPushdown bool
 
+	// syn is set once in New and immutable afterwards (the Synonyms
+	// structure synchronizes itself).
+	syn *ir.Synonyms
+
 	mu     sync.RWMutex
 	sites  map[string]*Site
 	tables map[string]*GlobalTable
 	opt    Optimizer
-	syn    *ir.Synonyms
 }
 
 // New creates a federation using the given optimizer (NewAgoric or
@@ -98,7 +101,7 @@ func New(opt Optimizer) *Federation {
 func (f *Federation) Synonyms() *ir.Synonyms { return f.syn }
 
 // Optimizer returns the active optimizer.
-func (f *Federation) Optimizer() Optimizer { return f.opt }
+func (f *Federation) Optimizer() Optimizer { return f.optimizer() }
 
 // SetOptimizer swaps the optimizer (used by the comparison experiments).
 func (f *Federation) SetOptimizer(opt Optimizer) {
@@ -211,11 +214,9 @@ func (f *Federation) LoadFragment(table string, frag *Fragment, rows []storage.R
 		return err
 	}
 	for _, site := range frag.Replicas() {
-		t, err := site.DB().Table(gt.Def.Name)
+		t, err := site.DB().EnsureTable(gt.Def.Clone(gt.Def.Name))
 		if err != nil {
-			if t, err = site.DB().CreateTable(gt.Def.Clone(gt.Def.Name)); err != nil {
-				return err
-			}
+			return err
 		}
 		for _, r := range rows {
 			if _, err := t.Upsert(r); err != nil {
@@ -620,6 +621,12 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 		go func(frag *Fragment) {
 			out := fragResult{frag: frag}
 			ranked := f.optimizer().Rank(ctx, frag, estimateRows(frag, gt.Def.Name))
+			if len(ranked) == 0 {
+				// An auction can close empty (bid timeout shorter than the
+				// slowest bidder, or a stale snapshot). The query must
+				// still run: fall back to trying every replica in order.
+				ranked = frag.Replicas()
+			}
 			var lastErr error
 			for _, site := range ranked {
 				res, err := site.SubQuery(ctx, gt.Def.Name, push, cols)

@@ -254,7 +254,7 @@ func TestCentralizedUsesStaleLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = fed.LoadFragment("parts", frag, []storage.Row{row("P1", "ink", 1, "x")})
-	cen.RefreshStats()
+	cen.RefreshStats(context.Background())
 	// Site a goes down *after* the snapshot; the centralized optimizer
 	// still ranks it first, so execution pays a failover.
 	a.SetDown(true)
@@ -269,7 +269,7 @@ func TestCentralizedUsesStaleLoad(t *testing.T) {
 		t.Errorf("served by %q", trace.FragmentSites["parts/f"])
 	}
 	// After a refresh it routes around the failure at plan time.
-	cen.RefreshStats()
+	cen.RefreshStats(context.Background())
 	_, trace, _ = fed.QueryTraced(context.Background(), "SELECT sku FROM parts")
 	if trace.Failovers != 0 {
 		t.Errorf("failovers after refresh = %d", trace.Failovers)

@@ -1,0 +1,163 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cohera/internal/storage"
+)
+
+// TestRaceStress hammers the federation's whole concurrent surface at
+// once: parallel queries (each running a bid round per fragment),
+// fragment attach with data load, replica addition, optimizer swaps
+// mid-flight, and replica failure/recovery. Its job is to give the race
+// detector something to chew on — every subtest is t.Parallel(), so they
+// all interleave within one shared federation. The agoric optimizer runs
+// with a 1µs bid timeout to force the auction-closed-while-bidders-run
+// path on most rounds.
+func TestRaceStress(t *testing.T) {
+	ag := NewAgoric()
+	ag.BidTimeout = time.Microsecond // close auctions under running bidders
+	fed := New(ag)
+
+	anchor := NewSite("anchor") // never goes down: queries must always succeed
+	flaky := NewSite("flaky")   // toggled by the failover subtest
+	for _, s := range []*Site{anchor, flaky} {
+		if err := fed.AddSite(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frag := NewFragment("f0", nil, anchor, flaky)
+	if _, err := fed.DefineTable(partsDef(), frag); err != nil {
+		t.Fatal(err)
+	}
+	seed := []storage.Row{
+		row("P1", "India ink", 3.5, "east"),
+		row("P2", "cordless drill", 99.5, "west"),
+	}
+	if err := fed.LoadFragment("parts", frag, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		queriers   = 4
+		iterations = 60
+		joiners    = 12
+	)
+	ctx := context.Background()
+
+	// The subtests below run in parallel with each other (Go runs
+	// parallel subtests of the same parent concurrently, then the parent
+	// completes after all of them).
+	t.Run("query", func(t *testing.T) {
+		t.Parallel()
+		var wg sync.WaitGroup
+		for w := 0; w < queriers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < iterations; i++ {
+					sql := "SELECT sku, price FROM parts WHERE price > 0"
+					if w%2 == 0 {
+						sql = "SELECT COUNT(*) FROM parts"
+					}
+					if _, err := fed.Query(ctx, sql); err != nil {
+						t.Errorf("querier %d: %v", w, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+
+	t.Run("attach", func(t *testing.T) {
+		t.Parallel()
+		for i := 0; i < joiners; i++ {
+			name := fmt.Sprintf("joiner-%02d", i)
+			s := NewSite(name)
+			if err := fed.AddSite(s); err != nil {
+				t.Fatal(err)
+			}
+			nf := NewFragment(name, nil, s)
+			if err := fed.LoadFragment("parts", nf, []storage.Row{
+				row("J"+name, "joined part", 1, "new"),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := fed.AddFragment("parts", nf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+
+	t.Run("replicate", func(t *testing.T) {
+		t.Parallel()
+		for i := 0; i < joiners; i++ {
+			name := fmt.Sprintf("replica-%02d", i)
+			s := NewSite(name)
+			if err := fed.AddSite(s); err != nil {
+				t.Fatal(err)
+			}
+			// Load before publishing so the replica can serve as soon as
+			// the optimizer sees it.
+			if err := fed.LoadFragment("parts", NewFragment("seed", nil, s), seed); err != nil {
+				t.Fatal(err)
+			}
+			frag.AddReplica(s)
+		}
+	})
+
+	t.Run("swap-optimizer", func(t *testing.T) {
+		t.Parallel()
+		for i := 0; i < iterations; i++ {
+			if i%2 == 0 {
+				cen := NewCentralized(fed)
+				cen.ProbeLatency = 0
+				cen.RefreshStats(ctx)
+				fed.SetOptimizer(cen)
+			} else {
+				swap := NewAgoric()
+				swap.BidTimeout = time.Microsecond
+				fed.SetOptimizer(swap)
+			}
+			if fed.Optimizer() == nil {
+				t.Fatal("optimizer vanished")
+			}
+		}
+	})
+
+	t.Run("failover", func(t *testing.T) {
+		t.Parallel()
+		for i := 0; i < iterations; i++ {
+			flaky.SetDown(i%2 == 0)
+		}
+	})
+
+	t.Run("erp-latency", func(t *testing.T) {
+		t.Parallel()
+		// Reshape the anchor's simulated cost while bids price against it.
+		for i := 0; i < iterations; i++ {
+			anchor.SetCost(CostModel{PerRow: time.Duration(i%3) * time.Nanosecond})
+			_ = anchor.Cost()
+			_ = anchor.EstimateCost(10)
+		}
+	})
+}
+
+// TestRaceStressQueryAfter verifies a fresh federation still answers
+// coherently after the stress test ran in the same process — a canary
+// for state leaking between federations through shared globals.
+func TestRaceStressQueryAfter(t *testing.T) {
+	fed, _, _ := twoFragFed(t)
+	res, err := fed.Query(context.Background(), "SELECT COUNT(*) FROM parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 4 {
+		t.Fatalf("count = %v, want 4", res.Rows[0][0])
+	}
+}

@@ -200,8 +200,10 @@ func (m *Manager) Refresh(ctx context.Context, name string) error {
 }
 
 // StartAuto launches the refresh daemon: each view with a non-zero
-// interval refreshes on its own schedule until Stop.
-func (m *Manager) StartAuto() {
+// interval refreshes on its own schedule until Stop or until ctx is
+// cancelled. The context bounds every refresh query the daemon issues,
+// so a shutdown does not strand federated subqueries.
+func (m *Manager) StartAuto(ctx context.Context) {
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
@@ -211,11 +213,13 @@ func (m *Manager) StartAuto() {
 			select {
 			case <-m.stopCh:
 				return
+			case <-ctx.Done():
+				return
 			case <-tick.C:
 				for _, v := range m.Views() {
 					if v.Interval > 0 && v.Age() >= v.Interval {
-						// Best effort; errors recorded on the view.
-						_ = m.Refresh(context.Background(), v.Name)
+						//lint:ignore errdrop refresh failures are recorded on the view and surfaced by LastErr
+						_ = m.Refresh(ctx, v.Name)
 					}
 				}
 			}

@@ -155,7 +155,7 @@ func TestAutoRefresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mgr.StartAuto()
+	mgr.StartAuto(context.Background())
 	defer mgr.Stop()
 	if err := fed.LoadFragment("hotels", frag, []storage.Row{
 		hotelRow("Airport Inn", "Atlanta", 2.5, 0),

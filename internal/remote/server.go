@@ -23,10 +23,13 @@ import (
 // An optional bearer token gates every endpoint; cross-enterprise feeds
 // are not anonymous.
 type Server struct {
+	// Token, when non-empty, must arrive as "Authorization: Bearer ..".
+	// It must be set before the server starts serving; handlers read it
+	// without synchronization.
+	Token string
+
 	mu      sync.RWMutex
 	sources map[string]wrapper.Source
-	// Token, when non-empty, must arrive as "Authorization: Bearer ..".
-	Token string
 }
 
 // NewServer returns an empty server.
@@ -103,6 +106,7 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	if !ok {
 		w.WriteHeader(http.StatusNotFound)
+		//lint:ignore errdrop the status line is already committed; nothing useful can be done with an encode failure
 		_ = writeJSON(w, errorResponse{Error: fmt.Sprintf("no table %q", req.Table)})
 		return
 	}
@@ -111,6 +115,7 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 		v, err := decodeValue(wf.Value)
 		if err != nil {
 			w.WriteHeader(http.StatusBadRequest)
+			//lint:ignore errdrop the status line is already committed; nothing useful can be done with an encode failure
 			_ = writeJSON(w, errorResponse{Error: err.Error()})
 			return
 		}
@@ -119,6 +124,7 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	rows, err := src.Fetch(r.Context(), filters)
 	if err != nil {
 		w.WriteHeader(http.StatusInternalServerError)
+		//lint:ignore errdrop the status line is already committed; nothing useful can be done with an encode failure
 		_ = writeJSON(w, errorResponse{Error: err.Error()})
 		return
 	}

@@ -170,7 +170,7 @@ func (t *Table) Insert(row Row) (int64, error) {
 	id := t.nextID
 	t.nextID++
 	t.rows[id] = stored
-	t.indexRow(id, stored)
+	t.indexRowLocked(id, stored)
 	t.version++
 	return id, nil
 }
@@ -188,9 +188,9 @@ func (t *Table) Upsert(row Row) (int64, error) {
 		k := t.encodeKey(stored)
 		if id, exists := t.pk[k]; exists {
 			old := t.rows[id]
-			t.unindexRow(id, old)
+			t.unindexRowLocked(id, old)
 			t.rows[id] = stored
-			t.indexRow(id, stored)
+			t.indexRowLocked(id, stored)
 			t.version++
 			return id, nil
 		}
@@ -199,12 +199,14 @@ func (t *Table) Upsert(row Row) (int64, error) {
 	id := t.nextID
 	t.nextID++
 	t.rows[id] = stored
-	t.indexRow(id, stored)
+	t.indexRowLocked(id, stored)
 	t.version++
 	return id, nil
 }
 
-func (t *Table) indexRow(id int64, row Row) {
+// indexRowLocked maintains the secondary indexes for a stored row; the
+// caller holds t.mu.
+func (t *Table) indexRowLocked(id int64, row Row) {
 	for ci, bt := range t.btrees {
 		if !row[ci].IsNull() {
 			bt.Insert(row[ci], id)
@@ -223,7 +225,9 @@ func (t *Table) indexRow(id int64, row Row) {
 	}
 }
 
-func (t *Table) unindexRow(id int64, row Row) {
+// unindexRowLocked removes a row from the secondary indexes; the caller
+// holds t.mu.
+func (t *Table) unindexRowLocked(id int64, row Row) {
 	for ci, bt := range t.btrees {
 		if !row[ci].IsNull() {
 			bt.Delete(row[ci], id)
@@ -305,9 +309,9 @@ func (t *Table) Update(id int64, row Row) error {
 			t.pk[newK] = id
 		}
 	}
-	t.unindexRow(id, old)
+	t.unindexRowLocked(id, old)
 	t.rows[id] = stored
-	t.indexRow(id, stored)
+	t.indexRowLocked(id, stored)
 	t.version++
 	return nil
 }
@@ -323,7 +327,7 @@ func (t *Table) Delete(id int64) error {
 	if t.pk != nil {
 		delete(t.pk, t.encodeKey(row))
 	}
-	t.unindexRow(id, row)
+	t.unindexRowLocked(id, row)
 	delete(t.rows, id)
 	t.version++
 	return nil

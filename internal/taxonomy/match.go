@@ -85,7 +85,10 @@ func (m *Matcher) Suggest() []Suggestion {
 	var out []Suggestion
 	for _, sc := range srcCodes {
 		cands := best[sc]
-		srcCat, _ := m.src.Get(sc)
+		srcCat, err := m.src.Get(sc)
+		if err != nil {
+			continue // code vanished between passes; nothing to rescore
+		}
 		rescored := make([]scored, len(cands))
 		for i, c := range cands {
 			bonus := 0.0
@@ -199,6 +202,7 @@ func (c *Classifier) Classify(productName string) (string, float64, error) {
 		return "", 0, fmt.Errorf("taxonomy: cannot classify %q", productName)
 	}
 	best := hits[0]
+	//lint:ignore errdrop Search returned the code from this same taxonomy, so Depth cannot fail; a zero depth only demotes the tie-break
 	bestDepth, _ := c.tax.Depth(best.Code)
 	for _, h := range hits[1:] {
 		if h.Score < best.Score {

@@ -16,8 +16,10 @@ import (
 // prices in dollars, while a French supplier quotes prices in francs" — is
 // resolved by a transformation rule backed by this table.
 type CurrencyTable struct {
+	// base is fixed at construction and immutable afterwards.
+	base string
+
 	mu    sync.RWMutex
-	base  string
 	rates map[string]float64 // units of base per one unit of currency
 }
 
@@ -112,7 +114,8 @@ func DefaultCurrencyTable() *CurrencyTable {
 		"DEM": 0.455,
 	}
 	for c, r := range seed {
-		_ = t.SetRate(c, r) // rates are positive constants; cannot fail
+		//lint:ignore errdrop the seeded rates are positive constants, so SetRate cannot fail
+		_ = t.SetRate(c, r)
 	}
 	return t
 }

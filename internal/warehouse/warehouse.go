@@ -32,7 +32,8 @@ type Warehouse struct {
 	sources     []registration
 	lastRefresh time.Time
 	refreshes   int
-	extracted   int // cumulative rows pulled from sources
+	extracted   int   // cumulative rows pulled from sources
+	lastErr     error // most recent auto-refresh failure (nil = healthy)
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -159,8 +160,19 @@ func (w *Warehouse) RowsExtracted() int {
 	return w.extracted
 }
 
-// StartAuto refreshes every interval until Stop.
-func (w *Warehouse) StartAuto(interval time.Duration) {
+// LastErr returns the most recent auto-refresh failure (nil when the
+// last cycle succeeded).
+func (w *Warehouse) LastErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastErr
+}
+
+// StartAuto refreshes every interval until Stop or until ctx is
+// cancelled. The context bounds each extract, so shutting down does not
+// strand slow sources. A failed extract leaves the previous load in
+// place and records the error for LastErr.
+func (w *Warehouse) StartAuto(ctx context.Context, interval time.Duration) {
 	w.wg.Add(1)
 	go func() {
 		defer w.wg.Done()
@@ -170,9 +182,13 @@ func (w *Warehouse) StartAuto(interval time.Duration) {
 			select {
 			case <-w.stopCh:
 				return
+			case <-ctx.Done():
+				return
 			case <-tick.C:
-				// Best effort: a failed extract leaves the previous load.
-				_ = w.RefreshAll(context.Background())
+				err := w.RefreshAll(ctx)
+				w.mu.Lock()
+				w.lastErr = err
+				w.mu.Unlock()
 			}
 		}
 	}()

@@ -144,7 +144,7 @@ func TestAutoRefresh(t *testing.T) {
 	src.set("P1", 1)
 	_ = w.Register(src, nil)
 	_ = w.RefreshAll(context.Background())
-	w.StartAuto(10 * time.Millisecond)
+	w.StartAuto(context.Background(), 10*time.Millisecond)
 	defer w.Stop()
 	src.set("P1", 77)
 	deadline := time.Now().Add(2 * time.Second)

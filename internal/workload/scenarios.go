@@ -274,6 +274,7 @@ func NoisyTaxonomy(src *taxonomy.Taxonomy, noise float64, seed int64) (*taxonomy
 		}
 		dst.MustAdd(vendorCode, label, parent)
 		truth[vendorCode] = code
+		//lint:ignore errdrop the walk only visits codes reachable from src's roots, so Children cannot fail
 		kids, _ := src.Children(code)
 		for _, k := range kids {
 			walk(k, vendorCode)

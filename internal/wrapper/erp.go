@@ -20,12 +20,12 @@ import (
 // it concurrently with integrator fetches, which is exactly the coupling
 // the fetch-on-demand architecture is built for.
 type ERPSource struct {
-	name    string
-	table   *storage.Table
-	latency time.Duration
-	pushEq  []string
+	name   string
+	table  *storage.Table
+	pushEq []string
 
 	mu      sync.Mutex
+	latency time.Duration
 	fetches int
 }
 
@@ -35,8 +35,13 @@ func NewERPSource(name string, table *storage.Table, pushEq ...string) *ERPSourc
 	return &ERPSource{name: name, table: table, pushEq: pushEq}
 }
 
-// SetLatency configures the simulated per-call round trip.
-func (s *ERPSource) SetLatency(d time.Duration) { s.latency = d }
+// SetLatency configures the simulated per-call round trip. Safe to call
+// while fetches are in flight — benchmarks reshape latency mid-run.
+func (s *ERPSource) SetLatency(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latency = d
+}
 
 // Table exposes the backing table so the owning enterprise can mutate it.
 func (s *ERPSource) Table() *storage.Table { return s.table }
@@ -65,10 +70,11 @@ func (s *ERPSource) Capabilities() Capabilities {
 func (s *ERPSource) Fetch(ctx context.Context, filters []Filter) ([]storage.Row, error) {
 	s.mu.Lock()
 	s.fetches++
+	latency := s.latency
 	s.mu.Unlock()
-	if s.latency > 0 {
+	if latency > 0 {
 		select {
-		case <-time.After(s.latency):
+		case <-time.After(latency):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# check.sh — the full verification gate, a superset of the tier-1
+# build+test check. Run from anywhere inside the repo; fails fast on
+# the first broken stage.
+#
+#   1. go build ./...            every package compiles
+#   2. go vet ./...              stock vet suite
+#   3. go run ./cmd/coheralint   project-specific analyzers (see
+#      ./...                     internal/analysis/doc.go)
+#   4. go test -race ./...       full tests under the race detector
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> coheralint ./..."
+go run ./cmd/coheralint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "check: all gates passed"
