@@ -17,6 +17,7 @@ import (
 	"syscall"
 
 	"cohera/internal/exec"
+	"cohera/internal/obs"
 	"cohera/internal/remote"
 	"cohera/internal/storage"
 	"cohera/internal/value"
@@ -95,8 +96,14 @@ func main() {
 			os.Exit(0)
 		}()
 	}
+	// Mount the observability endpoints in front of the content API:
+	// /metrics, /healthz and /debug/trace/{id} stay outside the bearer
+	// gate; everything else falls through to the remote server.
+	h := obs.NewHandler(srv)
+	h.Slow = obs.NewSlowLog(0)
 	fmt.Printf("coherad: listening on %s\n", *addr)
 	fmt.Printf("  discover: GET %s/tables\n", *addr)
+	fmt.Printf("  metrics:  GET %s/metrics  health: GET %s/healthz\n", *addr, *addr)
 	fmt.Printf("  attach:   coheraql -attach http://localhost%s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	log.Fatal(http.ListenAndServe(*addr, h))
 }

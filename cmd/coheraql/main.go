@@ -27,6 +27,7 @@ import (
 	"cohera/internal/core"
 	"cohera/internal/exec"
 	"cohera/internal/federation"
+	"cohera/internal/obs"
 	"cohera/internal/remote"
 	"cohera/internal/value"
 	"cohera/internal/workload"
@@ -54,6 +55,8 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	ctx := context.Background()
+	// Threshold 0 records every statement, so \stats doubles as history.
+	slow := obs.NewSlowLog(64)
 	for {
 		fmt.Print("cohera> ")
 		if !sc.Scan() {
@@ -67,7 +70,7 @@ func main() {
 		case line == `\quit` || line == `\q`:
 			return
 		case line == `\help`:
-			fmt.Println(`commands: \tables  \sites  \explain <sql>  \quit
+			fmt.Println(`commands: \tables  \sites  \stats  \explain <sql>  \quit
 predicates: CONTAINS(col,'q')  FUZZY(col,'q')  SYNONYM(col,'q')  MATCHES(col,'q')
 examples:
   SELECT sku, name, price FROM catalog WHERE FUZZY(name, 'drlls crdlss');
@@ -87,6 +90,7 @@ examples:
 				continue
 			}
 			fmt.Printf("rows: %d\n", len(res.Rows))
+			fmt.Printf("trace: %s\n", trace.TraceID)
 			fmt.Printf("fragments pruned: %d, failovers: %d\n", trace.PrunedFragments, trace.Failovers)
 			fmt.Printf("cells shipped: %d (%d without projection pushdown)\n",
 				trace.CellsShipped, trace.CellsWithoutPushdown)
@@ -100,13 +104,29 @@ examples:
 				fmt.Printf("%-22s %-6v %-8d %s\n", s.Name(), s.Alive(), s.Served(), s.BusyTime().Round(time.Microsecond))
 			}
 			continue
+		case line == `\stats`:
+			//lint:ignore errdrop a stdout write failure in an interactive shell has no recovery
+			_ = obs.Default().WritePrometheus(os.Stdout)
+			if n := slow.Total(); n > 0 {
+				fmt.Printf("\nrecent statements (%d total, newest first):\n", n)
+				for _, sq := range slow.Last(10) {
+					fmt.Printf("  %10s  trace=%s  %s\n", sq.Duration.Round(time.Microsecond), sq.TraceID, sq.SQL)
+				}
+			}
+			continue
 		}
 		sql := strings.TrimSuffix(line, ";")
-		res, dml, err := in.Exec(ctx, sql)
+		start := time.Now()
+		res, dml, qtrace, err := in.ExecTraced(ctx, sql)
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
 			continue
 		}
+		traceID := ""
+		if qtrace != nil {
+			traceID = qtrace.TraceID
+		}
+		slow.Record(sql, time.Since(start), traceID)
 		if dml != nil {
 			fmt.Printf("(%d rows affected", dml.Rows)
 			if len(dml.SkippedReplicas) > 0 {

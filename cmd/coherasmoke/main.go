@@ -1,0 +1,178 @@
+// Command coherasmoke is the CI smoke probe for the observability
+// endpoints: it assembles the same handler stack coherad serves —
+// obs.Handler in front of a remote.Server publishing one table — runs a
+// fetch through it to move the metrics, then asserts that /healthz
+// answers 200 and that /metrics emits non-empty, well-formed Prometheus
+// text. Exit status 0 means the daemon surface is healthy; any defect
+// prints a diagnostic and exits 1. scripts/check.sh runs it as a gate.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"cohera/internal/obs"
+	"cohera/internal/remote"
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "coherasmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("coherasmoke: /healthz ok, /metrics well-formed")
+}
+
+func run() error {
+	srv := remote.NewServer()
+	tbl, err := demoTable()
+	if err != nil {
+		return err
+	}
+	srv.PublishTable(tbl, "sku")
+	h := obs.NewHandler(srv)
+	h.Slow = obs.NewSlowLog(0)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// Exercise the content path first so the registry has real series.
+	ctx := context.Background()
+	cl := remote.Dial(ts.URL, "")
+	sources, err := cl.Tables(ctx)
+	if err != nil {
+		return fmt.Errorf("/tables: %w", err)
+	}
+	if len(sources) != 1 {
+		return fmt.Errorf("/tables: want 1 source, got %d", len(sources))
+	}
+	rows, err := sources[0].Fetch(ctx, nil)
+	if err != nil {
+		return fmt.Errorf("/fetch: %w", err)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("/fetch: no rows")
+	}
+
+	if err := checkHealth(ts.URL); err != nil {
+		return err
+	}
+	return checkMetrics(ts.URL)
+}
+
+func checkHealth(base string) error {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("/healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/healthz: status %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("/healthz: reading body: %w", err)
+	}
+	if strings.TrimSpace(string(body)) != "ok" {
+		return fmt.Errorf("/healthz: body %q, want \"ok\"", body)
+	}
+	return nil
+}
+
+// checkMetrics asserts the exposition is non-empty and well-formed:
+// every non-comment line is `name{labels} value` or `name value`, every
+// series is preceded by # HELP and # TYPE for its family, and the
+// series the smoke traffic must have produced are present.
+func checkMetrics(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("/metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics: status %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("/metrics: reading body: %w", err)
+	}
+	text := string(body)
+	if strings.TrimSpace(text) == "" {
+		return fmt.Errorf("/metrics: empty exposition")
+	}
+	typed := map[string]bool{}
+	series := 0
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) < 4 {
+				return fmt.Errorf("/metrics line %d: malformed comment %q", ln+1, line)
+			}
+			if parts[1] == "TYPE" {
+				typed[parts[2]] = true
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fmt.Errorf("/metrics line %d: unknown comment %q", ln+1, line)
+		}
+		name := line
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			if !strings.Contains(line, "} ") {
+				return fmt.Errorf("/metrics line %d: unterminated labels %q", ln+1, line)
+			}
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			name = line[:i]
+		} else {
+			return fmt.Errorf("/metrics line %d: no value %q", ln+1, line)
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !typed[name] && !typed[family] {
+			return fmt.Errorf("/metrics line %d: series %q has no # TYPE", ln+1, name)
+		}
+		series++
+	}
+	if series == 0 {
+		return fmt.Errorf("/metrics: no series emitted")
+	}
+	for _, want := range []string{
+		"cohera_remote_server_requests_total",
+		"cohera_remote_client_requests_total",
+		"cohera_wrapper_fetches_total",
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("/metrics: missing expected series %s", want)
+		}
+	}
+	return nil
+}
+
+func demoTable() (*storage.Table, error) {
+	def, err := schema.NewTable("catalog", []schema.Column{
+		{Name: "sku", Kind: value.KindString},
+		{Name: "price", Kind: value.KindFloat},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl := storage.NewTable(def)
+	for i, sku := range []string{"drill-01", "saw-02", "vise-03"} {
+		if _, err := tbl.Insert(storage.Row{
+			value.NewString(sku), value.NewFloat(float64(10 * (i + 1))),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}

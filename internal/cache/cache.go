@@ -14,14 +14,27 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cohera/internal/exec"
 	"cohera/internal/federation"
+	"cohera/internal/obs"
 	"cohera/internal/plan"
 	"cohera/internal/sqlparse"
 	"cohera/internal/storage"
 	"cohera/internal/value"
+)
+
+// Process-wide cache counters in the shared registry; per-Cache counts
+// stay on the struct so individual caches still report their own Stats.
+var (
+	metHits = obs.Default().Counter("cohera_cache_hits_total",
+		"Semantic cache lookups answered fully from cache.", nil)
+	metMisses = obs.Default().Counter("cohera_cache_misses_total",
+		"Semantic cache lookups with no containing region.", nil)
+	metPartials = obs.Default().Counter("cohera_cache_partials_total",
+		"Semantic cache partial hits (remainder fetched from the federation).", nil)
 )
 
 // Entry is one cached semantic region: the rows of table satisfying
@@ -46,11 +59,14 @@ type Cache struct {
 	// TTL; the staleness experiments sweep it.
 	TTL time.Duration
 
+	// The counters are atomic so hot read paths (and external pollers
+	// calling Stats) never contend on the entry lock.
+	hits    atomic.Int64
+	misses  atomic.Int64
+	partial atomic.Int64
+
 	mu      sync.Mutex
 	entries []*Entry
-	hits    int
-	misses  int
-	partial int
 }
 
 // New returns a cache with the given capacity (≤0 means 64).
@@ -63,9 +79,13 @@ func New(maxEntries int) *Cache {
 
 // Stats reports hit/miss/partial-hit counts.
 func (c *Cache) Stats() (hits, misses, partial int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.partial
+	return int(c.hits.Load()), int(c.misses.Load()), int(c.partial.Load())
+}
+
+// notePartial records a partial hit (remainder fetch).
+func (c *Cache) notePartial() {
+	c.partial.Add(1)
+	metPartials.Inc()
 }
 
 // Len reports the number of cached regions.
@@ -126,10 +146,12 @@ func (c *Cache) Lookup(table string, cols []string, r plan.Range) ([]storage.Row
 	defer c.mu.Unlock()
 	e := c.lookupLocked(table, cols, r)
 	if e == nil {
-		c.misses++
+		c.misses.Add(1)
+		metMisses.Inc()
 		return nil, false
 	}
-	c.hits++
+	c.hits.Add(1)
+	metHits.Inc()
 	e.lastUsed = time.Now()
 	idx := make([]int, len(cols))
 	for i, w := range cols {
@@ -308,9 +330,7 @@ func (q *Querier) Query(ctx context.Context, sql string) (*exec.Result, error) {
 	}
 	// Remainder fetch: query only the missing range(s), merge with the
 	// cached portion.
-	q.cache.mu.Lock()
-	q.cache.partial++
-	q.cache.mu.Unlock()
+	q.cache.notePartial()
 	cachedRows, _ := q.cache.Lookup(table, cols, intersect(r, overlap.Range))
 	merged := append([]storage.Row{}, cachedRows...)
 	for _, rem := range Remainder(r, overlap.Range) {

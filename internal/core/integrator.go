@@ -239,6 +239,13 @@ func (in *Integrator) Exec(ctx context.Context, sql string) (*exec.Result, *fede
 	return in.fed.Exec(ctx, sql)
 }
 
+// ExecTraced is Exec returning the routing trace (DML included), so
+// shells and dashboards can show where a write landed and under which
+// trace ID its spans were recorded.
+func (in *Integrator) ExecTraced(ctx context.Context, sql string) (*exec.Result, *federation.DMLResult, *federation.QueryTrace, error) {
+	return in.fed.ExecTraced(ctx, sql)
+}
+
 // QueryXML executes a federated query and renders the result as an XML
 // document (Characteristic 6's "multiple output formats").
 func (in *Integrator) QueryXML(ctx context.Context, sql, root, row string) (string, error) {

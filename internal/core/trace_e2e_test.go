@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cohera/internal/obs"
+	"cohera/internal/remote"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+	"cohera/internal/workload"
+)
+
+// newCoheradLike assembles the handler stack coherad serves — the
+// observability endpoints mounted in front of a remote server
+// publishing one supplier catalog — and returns it as a test server.
+func newCoheradLike(t *testing.T, supplier int, skuPrefix string) *httptest.Server {
+	t.Helper()
+	def := workload.CatalogDef()
+	tbl := storage.NewTable(def.Clone("catalog"))
+	sup := workload.Suppliers(supplier+1, 5, 0, 777)[supplier]
+	rows, err := workload.GroundTruthRows(sup, value.DefaultCurrencyTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		r[0] = value.NewString(skuPrefix + "/" + r[0].Str())
+		if _, err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := remote.NewServer()
+	srv.PublishTable(tbl, "sku")
+	ts := httptest.NewServer(obs.NewHandler(srv))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestFederatedQueryYieldsOneTraceTree is the acceptance path for span
+// propagation: one federated SELECT over two coherad-backed sites must
+// produce a single trace tree whose remote spans carry the
+// coordinator's trace ID, and /debug/trace/{id} must serve that tree.
+func TestFederatedQueryYieldsOneTraceTree(t *testing.T) {
+	site1 := newCoheradLike(t, 0, "s1")
+	site2 := newCoheradLike(t, 1, "s2")
+
+	in, _ := buildIntegrator(t, Options{})
+	ctx := context.Background()
+	for _, ts := range []*httptest.Server{site1, site2} {
+		if _, err := in.AttachRemote(ctx, ts.URL, ""); err != nil {
+			t.Fatalf("AttachRemote(%s): %v", ts.URL, err)
+		}
+	}
+
+	res, trace, err := in.Federation().QueryTraced(ctx, "SELECT sku FROM catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("federated query returned no rows")
+	}
+	if trace.TraceID == "" {
+		t.Fatal("query trace has no trace id")
+	}
+
+	spans := obs.DefaultTracer().Spans(trace.TraceID)
+	fetches := map[string]bool{} // span id → is a remote.fetch span
+	var serves []obs.Span
+	for _, sp := range spans {
+		if sp.TraceID != trace.TraceID {
+			t.Errorf("span %s/%s strayed into trace %s", sp.Name, sp.SpanID, sp.TraceID)
+		}
+		switch sp.Name {
+		case "remote.fetch":
+			fetches[sp.SpanID] = true
+		case "remote.serve":
+			serves = append(serves, sp)
+		}
+	}
+	// Both attached sites must have served a fetch inside this trace,
+	// each parented under the coordinator's remote.fetch span — the
+	// cross-process propagation the X-Cohera-* headers exist for.
+	if len(serves) < 2 {
+		t.Fatalf("remote.serve spans in trace = %d, want ≥ 2 (one per site)", len(serves))
+	}
+	for _, sp := range serves {
+		if !fetches[sp.ParentID] {
+			t.Errorf("remote.serve span %s parent %q is not a remote.fetch span", sp.SpanID, sp.ParentID)
+		}
+	}
+
+	// The tree is visible through the daemon's introspection endpoint,
+	// and hangs together as ONE tree under the federation.select root.
+	resp, err := http.Get(site1.URL + "/debug/trace/" + trace.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace status = %d", resp.StatusCode)
+	}
+	var tree struct {
+		TraceID   string          `json:"trace_id"`
+		SpanCount int             `json:"span_count"`
+		Roots     []*obs.SpanNode `json:"roots"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tree); err != nil {
+		t.Fatal(err)
+	}
+	if tree.TraceID != trace.TraceID || tree.SpanCount != len(spans) {
+		t.Errorf("endpoint tree = (%s, %d), want (%s, %d)", tree.TraceID, tree.SpanCount, trace.TraceID, len(spans))
+	}
+	if len(tree.Roots) != 1 || tree.Roots[0].Name != "federation.select" {
+		t.Fatalf("want one federation.select root, got %d roots (first %q)",
+			len(tree.Roots), tree.Roots[0].Name)
+	}
+	if countNodes(tree.Roots[0]) != tree.SpanCount {
+		t.Errorf("tree holds %d spans of %d — broken parent links", countNodes(tree.Roots[0]), tree.SpanCount)
+	}
+
+	// An unknown trace 404s.
+	resp2, err := http.Get(site1.URL + "/debug/trace/" + obs.NewTraceID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace status = %d, want 404", resp2.StatusCode)
+	}
+}
+
+func countNodes(n *obs.SpanNode) int {
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}
+
+// TestDaemonMetricsAfterFederatedQuery: after real traffic, the daemon's
+// /metrics endpoint exports the per-site subquery histograms the agoric
+// optimizer feeds on.
+func TestDaemonMetricsAfterFederatedQuery(t *testing.T) {
+	site := newCoheradLike(t, 0, "m1")
+	in, _ := buildIntegrator(t, Options{})
+	ctx := context.Background()
+	if _, err := in.AttachRemote(ctx, site.URL, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Query(ctx, "SELECT sku FROM catalog"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(site.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		fmt.Sprintf(`cohera_site_subquery_seconds_bucket{site=%q`, site.URL),
+		"cohera_remote_server_requests_total",
+		"cohera_federation_queries_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

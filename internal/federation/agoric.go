@@ -37,16 +37,26 @@ type Agoric struct {
 	// rejected. If every bid exceeds the budget, the cheapest is taken
 	// anyway (the query must run) and the overrun is counted.
 	Budget float64
+	// PriorWeight blends each bidder's *observed* p50 subquery latency
+	// (Site.ObservedLatency, fed by the obs histograms) into its bid
+	// base: base = (1-w)·model + w·p50. Cost models promise; observed
+	// latency reports. 0 disables the prior; NewAgoric sets 0.5.
+	PriorWeight float64
+	// PriorMinSamples gates the prior until a site has produced that
+	// many observations (≤0 means 8), so cold sites bid purely on
+	// their model instead of on noise.
+	PriorMinSamples int
 
 	auctions atomic.Int64
 	bids     atomic.Int64
 	rejected atomic.Int64
 	overruns atomic.Int64
+	priored  atomic.Int64
 }
 
 // NewAgoric returns an agoric optimizer with default tuning.
 func NewAgoric() *Agoric {
-	return &Agoric{BidTimeout: 50 * time.Millisecond, Greed: 1.0}
+	return &Agoric{BidTimeout: 50 * time.Millisecond, Greed: 1.0, PriorWeight: 0.5, PriorMinSamples: 8}
 }
 
 // Name implements Optimizer.
@@ -64,6 +74,10 @@ func (a *Agoric) BidsRejected() int64 { return a.rejected.Load() }
 // BudgetOverruns reports auctions where every bid exceeded the budget
 // and the broker had to pay over cap.
 func (a *Agoric) BudgetOverruns() int64 { return a.overruns.Load() }
+
+// PrioredBids reports bids whose price blended in an observed-latency
+// prior — the measure of how often the feedback loop is live.
+func (a *Agoric) PrioredBids() int64 { return a.priored.Load() }
 
 // Rank implements Optimizer: solicit bids from all replicas in parallel,
 // return live bidders ordered by ascending price.
@@ -89,6 +103,16 @@ func (a *Agoric) Rank(ctx context.Context, frag *Fragment, estRows int) []*Site 
 			// A bidder prices the subquery from its own cost model and
 			// instantaneous queue depth; no coordinator statistics needed.
 			base := float64(s.EstimateCost(estRows))
+			if a.PriorWeight > 0 {
+				min := int64(a.PriorMinSamples)
+				if min <= 0 {
+					min = 8
+				}
+				if p50, n := s.ObservedLatency(); n >= min && p50 > 0 {
+					base = (1-a.PriorWeight)*base + a.PriorWeight*float64(p50)
+					a.priored.Add(1)
+				}
+			}
 			price := base * (1 + a.Greed*float64(s.Load()))
 			sheet.Lock()
 			sheet.bids = append(sheet.bids, Bid{Site: s, Price: price})

@@ -4,14 +4,25 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"cohera/internal/exec"
+	"cohera/internal/obs"
 	"cohera/internal/plan"
 	"cohera/internal/schema"
 	"cohera/internal/sqlparse"
 	"cohera/internal/storage"
 	"cohera/internal/value"
 )
+
+// metDML returns the per-kind DML statement counter.
+func metDML(kind string) *obs.Counter {
+	return obs.Default().Counter("cohera_federation_dml_total",
+		"Federated DML statements executed, by kind.", obs.Labels{"kind": kind})
+}
+
+var metDMLRows = obs.Default().Counter("cohera_federation_dml_rows_total",
+	"Rows affected by federated DML (per fragment, not per replica).", nil)
 
 // This file implements federated DML. The paper's integrator is
 // read-mostly, but operational content changes (orders, availability
@@ -44,30 +55,80 @@ type DMLResult struct {
 // Exec runs a DML or SELECT statement against the federation. SELECTs
 // behave like Query; INSERT/UPDATE/DELETE are routed as described above.
 func (f *Federation) Exec(ctx context.Context, sql string) (*exec.Result, *DMLResult, error) {
+	res, dr, _, err := f.ExecTraced(ctx, sql)
+	return res, dr, err
+}
+
+// ExecTraced is Exec returning the routing trace. For DML the trace
+// records, per fragment, the comma-joined replicas actually written
+// (FragmentSites), down replicas encountered (Failovers) and fragments
+// skipped as provably disjoint from the statement predicate
+// (PrunedFragments) — the same visibility QueryTraced gives selects.
+func (f *Federation) ExecTraced(ctx context.Context, sql string) (*exec.Result, *DMLResult, *QueryTrace, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	switch s := stmt.(type) {
 	case sqlparse.SelectStmt, sqlparse.UnionStmt:
-		res, _, err := f.QueryTraced(ctx, sql)
-		return res, nil, err
+		res, trace, err := f.QueryTraced(ctx, sql)
+		return res, nil, trace, err
 	case sqlparse.InsertStmt:
-		dr, err := f.execInsert(ctx, s)
-		return nil, dr, err
+		dr, trace, err := f.tracedDML(ctx, "insert", s.Table, func(ctx context.Context, trace *QueryTrace) (*DMLResult, error) {
+			return f.execInsert(ctx, s, trace)
+		})
+		return nil, dr, trace, err
 	case sqlparse.UpdateStmt:
-		dr, err := f.execWhereDML(ctx, s.Table, s.Where, s.String())
-		return nil, dr, err
+		dr, trace, err := f.tracedDML(ctx, "update", s.Table, func(ctx context.Context, trace *QueryTrace) (*DMLResult, error) {
+			return f.execWhereDML(ctx, s.Table, s.Where, s.String(), trace)
+		})
+		return nil, dr, trace, err
 	case sqlparse.DeleteStmt:
-		dr, err := f.execWhereDML(ctx, s.Table, s.Where, s.String())
-		return nil, dr, err
+		dr, trace, err := f.tracedDML(ctx, "delete", s.Table, func(ctx context.Context, trace *QueryTrace) (*DMLResult, error) {
+			return f.execWhereDML(ctx, s.Table, s.Where, s.String(), trace)
+		})
+		return nil, dr, trace, err
 	default:
-		return nil, nil, fmt.Errorf("federation: unsupported statement %T", stmt)
+		return nil, nil, nil, fmt.Errorf("federation: unsupported statement %T", stmt)
+	}
+}
+
+// tracedDML wraps one DML execution in a span and a fresh trace.
+func (f *Federation) tracedDML(ctx context.Context, kind, table string,
+	run func(context.Context, *QueryTrace) (*DMLResult, error)) (*DMLResult, *QueryTrace, error) {
+	ctx, sp := obs.StartSpan(ctx, "federation."+kind)
+	sp.Set("table", table)
+	defer sp.End()
+	trace := &QueryTrace{TraceID: sp.TraceID, FragmentSites: make(map[string]string)}
+	dr, err := run(ctx, trace)
+	metDML(kind).Inc()
+	if dr != nil {
+		metDMLRows.Add(int64(dr.Rows))
+	}
+	sp.SetErr(err)
+	return dr, trace, err
+}
+
+// noteDMLSite appends a written replica to the fragment's site list.
+func noteDMLSite(trace *QueryTrace, key, site string) {
+	if trace == nil {
+		return
+	}
+	cur := trace.FragmentSites[key]
+	for _, s := range strings.Split(cur, ",") {
+		if s == site {
+			return
+		}
+	}
+	if cur == "" {
+		trace.FragmentSites[key] = site
+	} else {
+		trace.FragmentSites[key] = cur + "," + site
 	}
 }
 
 // execInsert routes INSERT rows to fragments by predicate.
-func (f *Federation) execInsert(ctx context.Context, s sqlparse.InsertStmt) (*DMLResult, error) {
+func (f *Federation) execInsert(ctx context.Context, s sqlparse.InsertStmt, trace *QueryTrace) (*DMLResult, error) {
 	gt, err := f.Table(s.Table)
 	if err != nil {
 		return nil, err
@@ -118,6 +179,9 @@ func (f *Federation) execInsert(ctx context.Context, s sqlparse.InsertStmt) (*DM
 		for _, site := range frag.Replicas() {
 			if !site.Alive() {
 				dr.SkippedReplicas = append(dr.SkippedReplicas, frag.ID+"@"+site.Name())
+				if trace != nil {
+					trace.Failovers++
+				}
 				continue
 			}
 			tbl, err := siteTable(site, def)
@@ -127,6 +191,7 @@ func (f *Federation) execInsert(ctx context.Context, s sqlparse.InsertStmt) (*DM
 			if _, err := tbl.Upsert(row); err != nil {
 				return dr, fmt.Errorf("federation: insert at %s: %w", site.Name(), err)
 			}
+			noteDMLSite(trace, def.Name+"/"+frag.ID, site.Name())
 			wrote = true
 		}
 		if !wrote {
@@ -158,7 +223,7 @@ func routeRow(fragments []*Fragment, def *schema.Table, row storage.Row, ev *pla
 
 // execWhereDML broadcasts an UPDATE/DELETE to every non-disjoint
 // fragment's replicas.
-func (f *Federation) execWhereDML(ctx context.Context, table string, where sqlparse.Expr, sql string) (*DMLResult, error) {
+func (f *Federation) execWhereDML(ctx context.Context, table string, where sqlparse.Expr, sql string, trace *QueryTrace) (*DMLResult, error) {
 	gt, err := f.Table(table)
 	if err != nil {
 		return nil, err
@@ -175,12 +240,18 @@ func (f *Federation) execWhereDML(ctx context.Context, table string, where sqlpa
 			return dr, err
 		}
 		if frag.Predicate != nil && push != nil && disjoint(frag.Predicate, push) {
+			if trace != nil {
+				trace.PrunedFragments++
+			}
 			continue
 		}
 		fragRows := -1
 		for _, site := range frag.Replicas() {
 			if !site.Alive() {
 				dr.SkippedReplicas = append(dr.SkippedReplicas, frag.ID+"@"+site.Name())
+				if trace != nil {
+					trace.Failovers++
+				}
 				continue
 			}
 			n, seen := visited[site]
@@ -195,6 +266,7 @@ func (f *Federation) execWhereDML(ctx context.Context, table string, where sqlpa
 				n = int(res.Rows[0][0].Int())
 				visited[site] = n
 			}
+			noteDMLSite(trace, gt.Def.Name+"/"+frag.ID, site.Name())
 			if fragRows == -1 {
 				fragRows = n
 			} else if fragRows != n {

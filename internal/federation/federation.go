@@ -5,17 +5,45 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"cohera/internal/exec"
 	"cohera/internal/ir"
+	"cohera/internal/obs"
 	"cohera/internal/plan"
 	"cohera/internal/schema"
 	"cohera/internal/sqlparse"
 	"cohera/internal/storage"
 	"cohera/internal/value"
 )
+
+// Shared-registry series for the federated hot path. Families are
+// created once at init; per-site series are looked up as sites appear.
+var (
+	metQueries = obs.Default().Counter("cohera_federation_queries_total",
+		"Federated SELECT executions (UNION branches count individually).", nil)
+	metQueryErrs = obs.Default().Counter("cohera_federation_query_errors_total",
+		"Federated SELECT/UNION statements that failed.", nil)
+	metQuerySeconds = obs.Default().Histogram("cohera_federation_query_seconds",
+		"End-to-end federated query latency at the coordinator.", nil)
+	metFailovers = obs.Default().Counter("cohera_federation_failovers_total",
+		"Replicas tried and found down during gather.", nil)
+	metPruned = obs.Default().Counter("cohera_federation_pruned_fragments_total",
+		"Fragments skipped by predicate pruning.", nil)
+	metCellsShipped = obs.Default().Counter("cohera_federation_cells_shipped_total",
+		"Row-column cells moved from sites to the coordinator.", nil)
+	metCellsSaved = obs.Default().Counter("cohera_federation_pushdown_cells_saved_total",
+		"Cells projection pushdown avoided shipping.", nil)
+)
+
+// metSiteRows returns the per-site rows-fetched counter.
+func metSiteRows(site string) *obs.Counter {
+	return obs.Default().Counter("cohera_federation_rows_fetched_total",
+		"Rows fetched from each site during gather.", obs.Labels{"site": site})
+}
 
 // Fragment is one horizontal fragment of a global table, stored (or
 // sourced) at one or more replica sites under the global table's name.
@@ -230,7 +258,12 @@ func (f *Federation) LoadFragment(table string, frag *Fragment, rows []storage.R
 // QueryTrace records the routing decisions of one query, for the
 // load-balancing and failover experiments.
 type QueryTrace struct {
+	// TraceID identifies the query's span tree in the obs tracer —
+	// the handle /debug/trace/{id} and \explain surface.
+	TraceID string
 	// FragmentSites maps "table/fragment" to the site that served it.
+	// DML writes fan out to every live replica, so there the value is
+	// the comma-joined list of replicas written.
 	FragmentSites map[string]string
 	// Failovers counts replicas that were tried and found down.
 	Failovers int
@@ -271,12 +304,16 @@ func (f *Federation) Union(ctx context.Context, u sqlparse.UnionStmt) (*exec.Res
 	if len(u.Selects) == 0 {
 		return nil, nil, fmt.Errorf("federation: empty UNION")
 	}
+	ctx, sp := obs.StartSpan(ctx, "federation.union")
+	sp.Set("branches", strconv.Itoa(len(u.Selects)))
+	defer sp.End()
 	out := &exec.Result{}
 	total := &QueryTrace{FragmentSites: make(map[string]string)}
 	seen := make(map[string]bool)
 	for i, sel := range u.Selects {
 		r, trace, err := f.Select(ctx, sel)
 		if err != nil {
+			sp.SetErr(err)
 			return nil, nil, err
 		}
 		if i == 0 {
@@ -303,6 +340,7 @@ func (f *Federation) Union(ctx context.Context, u sqlparse.UnionStmt) (*exec.Res
 			out.Rows = append(out.Rows, row)
 		}
 	}
+	total.TraceID = sp.TraceID
 	return out, total, nil
 }
 
@@ -313,8 +351,29 @@ func rowKey(r storage.Row) string {
 
 // Select executes a parsed federated SELECT: decompose into per-fragment
 // subqueries with predicate pushdown, gather intermediate results at the
-// coordinator, and run the original statement over them.
+// coordinator, and run the original statement over them. The execution
+// is wrapped in a span (QueryTrace.TraceID names the resulting tree)
+// and feeds the coordinator-side metrics.
 func (f *Federation) Select(ctx context.Context, sel sqlparse.SelectStmt) (*exec.Result, *QueryTrace, error) {
+	ctx, sp := obs.StartSpan(ctx, "federation.select")
+	sp.Set("table", sel.From.Name)
+	start := time.Now()
+	res, trace, err := f.doSelect(ctx, sel)
+	metQueries.Inc()
+	metQuerySeconds.Observe(time.Since(start))
+	if err != nil {
+		metQueryErrs.Inc()
+		sp.SetErr(err)
+	} else {
+		sp.Set("rows", strconv.Itoa(len(res.Rows)))
+		trace.TraceID = sp.TraceID
+	}
+	sp.End()
+	return res, trace, err
+}
+
+// doSelect is Select without the observability wrapper.
+func (f *Federation) doSelect(ctx context.Context, sel sqlparse.SelectStmt) (*exec.Result, *QueryTrace, error) {
 	trace := &QueryTrace{FragmentSites: make(map[string]string)}
 
 	// Collect table references (FROM plus JOINs).
@@ -619,8 +678,12 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 	ch := make(chan fragResult, len(active))
 	for _, frag := range active {
 		go func(frag *Fragment) {
+			gctx, gsp := obs.StartSpan(ctx, "federation.gather")
+			gsp.Set("table", gt.Def.Name)
+			gsp.Set("fragment", frag.ID)
+			defer gsp.End()
 			out := fragResult{frag: frag}
-			ranked := f.optimizer().Rank(ctx, frag, estimateRows(frag, gt.Def.Name))
+			ranked := f.optimizer().Rank(gctx, frag, estimateRows(frag, gt.Def.Name))
 			if len(ranked) == 0 {
 				// An auction can close empty (bid timeout shorter than the
 				// slowest bidder, or a stale snapshot). The query must
@@ -629,7 +692,7 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 			}
 			var lastErr error
 			for _, site := range ranked {
-				res, err := site.SubQuery(ctx, gt.Def.Name, push, cols)
+				res, err := site.SubQuery(gctx, gt.Def.Name, push, cols)
 				if err != nil {
 					if errors.Is(err, ErrSiteDown) {
 						out.fail++
@@ -637,11 +700,15 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 						continue
 					}
 					out.err = err
+					gsp.SetErr(err)
 					ch <- out
 					return
 				}
 				out.site = site
 				out.rows = res.Rows
+				gsp.Set("site", site.Name())
+				gsp.Set("rows", strconv.Itoa(len(res.Rows)))
+				gsp.Set("failovers", strconv.Itoa(out.fail))
 				ch <- out
 				return
 			}
@@ -649,6 +716,7 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 				lastErr = ErrNoReplica
 			}
 			out.err = fmt.Errorf("%w: fragment %s of %s", ErrNoReplica, frag.ID, gt.Def.Name)
+			gsp.SetErr(out.err)
 			ch <- out
 		}(frag)
 	}
@@ -656,6 +724,7 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 	for range active {
 		r := <-ch
 		trace.Failovers += r.fail
+		metFailovers.Add(int64(r.fail))
 		if r.err != nil {
 			if firstErr == nil {
 				firstErr = r.err
@@ -663,12 +732,15 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 			continue
 		}
 		trace.FragmentSites[gt.Def.Name+"/"+r.frag.ID] = r.site.Name()
+		metSiteRows(r.site.Name()).Add(int64(len(r.rows)))
 		width := fullWidth
 		if cols != nil {
 			width = len(cols)
 		}
 		trace.CellsShipped += len(r.rows) * width
 		trace.CellsWithoutPushdown += len(r.rows) * fullWidth
+		metCellsShipped.Add(int64(len(r.rows) * width))
+		metCellsSaved.Add(int64(len(r.rows) * (fullWidth - width)))
 		for _, row := range r.rows {
 			if _, err := dst.Upsert(row); err != nil && firstErr == nil {
 				firstErr = err
@@ -676,6 +748,7 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 		}
 	}
 	trace.PrunedFragments += pruned
+	metPruned.Add(int64(pruned))
 	return firstErr
 }
 

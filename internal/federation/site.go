@@ -17,11 +17,13 @@ package federation
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"cohera/internal/exec"
+	"cohera/internal/obs"
 	"cohera/internal/plan"
 	"cohera/internal/sqlparse"
 	"cohera/internal/storage"
@@ -51,6 +53,13 @@ type Site struct {
 	name string
 	db   *exec.Database
 
+	// latShared is the site's series in the shared registry (what
+	// /metrics exports); latLocal is a private copy backing the agoric
+	// bid prior, isolated so unrelated federations reusing a site name
+	// in the same process cannot contaminate each other's rankings.
+	latShared *obs.Histogram
+	latLocal  *obs.Histogram
+
 	mu      sync.RWMutex
 	sources map[string]wrapper.Source
 	cost    CostModel
@@ -63,7 +72,15 @@ type Site struct {
 
 // NewSite creates a site with an empty local database.
 func NewSite(name string) *Site {
-	return &Site{name: name, db: exec.NewDatabase(), sources: make(map[string]wrapper.Source)}
+	return &Site{
+		name: name,
+		db:   exec.NewDatabase(),
+		latShared: obs.Default().Histogram("cohera_site_subquery_seconds",
+			"Observed wall-clock latency of subqueries served per site.",
+			obs.Labels{"site": name}),
+		latLocal: obs.NewHistogram(nil),
+		sources:  make(map[string]wrapper.Source),
+	}
 }
 
 // Name returns the site's identifier.
@@ -88,11 +105,13 @@ func (s *Site) Cost() CostModel {
 }
 
 // AddSource registers a wrapper-backed virtual table under its schema
-// name. Queries against it fetch on demand from the remote owner.
+// name. Queries against it fetch on demand from the remote owner. The
+// source is wrapped with wrapper.Instrument so fetches show up in the
+// shared metrics registry and span traces.
 func (s *Site) AddSource(src wrapper.Source) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.sources[lower(src.Schema().Name)] = src
+	s.sources[lower(src.Schema().Name)] = wrapper.Instrument(src)
 }
 
 // SetDown injects or clears a failure.
@@ -129,6 +148,11 @@ func (s *Site) SubQuery(ctx context.Context, table string, where sqlparse.Expr, 
 	defer s.inFlight.Add(-1)
 	s.served.Add(1)
 
+	ctx, sp := obs.StartSpan(ctx, "site.subquery")
+	sp.Set("site", s.name)
+	sp.Set("table", table)
+	start := time.Now()
+
 	var res *exec.Result
 	var err error
 	if src := s.source(table); src != nil {
@@ -136,13 +160,34 @@ func (s *Site) SubQuery(ctx context.Context, table string, where sqlparse.Expr, 
 	} else {
 		res, err = s.queryStored(table, where, cols)
 	}
+	if err == nil {
+		err = s.simulateCost(ctx, len(res.Rows))
+	}
+	s.ObserveLatency(time.Since(start))
 	if err != nil {
+		sp.SetErr(err)
+		sp.End()
 		return nil, err
 	}
-	if err := s.simulateCost(ctx, len(res.Rows)); err != nil {
-		return nil, err
-	}
+	sp.Set("rows", strconv.Itoa(len(res.Rows)))
+	sp.End()
 	return res, nil
+}
+
+// ObserveLatency records one observed subquery latency for the site —
+// called after every SubQuery, and exported so external monitors can
+// feed replayed or synthetic measurements into the same histograms the
+// agoric bid prior consumes.
+func (s *Site) ObserveLatency(d time.Duration) {
+	s.latShared.Observe(d)
+	s.latLocal.Observe(d)
+}
+
+// ObservedLatency returns the site's observed p50 subquery latency and
+// the number of samples behind it. The agoric optimizer uses it as a
+// bid-latency prior once enough samples accumulate.
+func (s *Site) ObservedLatency() (p50 time.Duration, samples int64) {
+	return s.latLocal.Quantile(0.5), s.latLocal.Count()
 }
 
 func (s *Site) source(table string) wrapper.Source {

@@ -21,11 +21,21 @@ import (
 
 	"cohera/internal/exec"
 	"cohera/internal/federation"
+	"cohera/internal/obs"
 	"cohera/internal/schema"
 	"cohera/internal/sqlparse"
 	"cohera/internal/storage"
 	"cohera/internal/value"
 )
+
+// metRefreshes counts view refreshes by outcome ("ok" / "error").
+func metRefreshes(outcome string) *obs.Counter {
+	return obs.Default().Counter("cohera_mview_refreshes_total",
+		"Materialized view refreshes by outcome.", obs.Labels{"outcome": outcome})
+}
+
+var metRefreshSeconds = obs.Default().Histogram("cohera_mview_refresh_seconds",
+	"Materialized view refresh latency (federated re-query plus reload).", nil)
 
 // View is one materialized view.
 type View struct {
@@ -169,7 +179,20 @@ func (m *Manager) Views() []*View {
 }
 
 // Refresh re-executes a view's defining query and replaces its contents.
-func (m *Manager) Refresh(ctx context.Context, name string) error {
+func (m *Manager) Refresh(ctx context.Context, name string) (err error) {
+	ctx, sp := obs.StartSpan(ctx, "mview.refresh")
+	sp.Set("view", name)
+	start := time.Now()
+	defer func() {
+		metRefreshSeconds.Observe(time.Since(start))
+		if err != nil {
+			metRefreshes("error").Inc()
+		} else {
+			metRefreshes("ok").Inc()
+		}
+		sp.SetErr(err)
+		sp.End()
+	}()
 	v, err := m.View(name)
 	if err != nil {
 		return err

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Handler serves the runtime introspection endpoints:
+//
+//	GET /metrics            Prometheus text (?format=json for JSON)
+//	GET /healthz            200 "ok" (503 when Health reports an error)
+//	GET /debug/trace/{id}   one trace as a span tree
+//	GET /debug/traces       retained trace IDs, oldest first
+//	GET /debug/slow         the slow-query log, newest first
+//
+// Unmatched paths fall through to Next, so a daemon mounts Handler in
+// front of its existing handler; nil Next turns unmatched paths into
+// 404s. These endpoints are deliberately outside any bearer-token gate:
+// they expose operational state, not content.
+type Handler struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Slow     *SlowLog     // optional; nil serves an empty log
+	Health   func() error // optional readiness probe; nil means always healthy
+	Next     http.Handler // fallback for unmatched paths
+}
+
+// NewHandler wires the default registry and tracer in front of next.
+func NewHandler(next http.Handler) *Handler {
+	return &Handler{Registry: Default(), Tracer: DefaultTracer(), Next: next}
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz":
+		h.serveHealth(w)
+	case r.URL.Path == "/metrics":
+		h.serveMetrics(w, r)
+	case strings.HasPrefix(r.URL.Path, "/debug/trace/"):
+		h.serveTrace(w, strings.TrimPrefix(r.URL.Path, "/debug/trace/"))
+	case r.URL.Path == "/debug/traces":
+		writeJSONBody(w, http.StatusOK, h.Tracer.TraceIDs())
+	case r.URL.Path == "/debug/slow":
+		h.serveSlow(w)
+	default:
+		if h.Next != nil {
+			h.Next.ServeHTTP(w, r)
+			return
+		}
+		http.NotFound(w, r)
+	}
+}
+
+func (h *Handler) serveHealth(w http.ResponseWriter) {
+	if h.Health != nil {
+		if err := h.Health(); err != nil {
+			writeJSONBody(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		writeJSONBody(w, http.StatusOK, h.Registry.Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	//lint:ignore errdrop the status line is already committed; a broken client connection has no recovery here
+	_ = h.Registry.WritePrometheus(w)
+}
+
+// traceResponse is the payload of /debug/trace/{id}.
+type traceResponse struct {
+	TraceID   string      `json:"trace_id"`
+	SpanCount int         `json:"span_count"`
+	Roots     []*SpanNode `json:"roots"`
+}
+
+func (h *Handler) serveTrace(w http.ResponseWriter, id string) {
+	roots := h.Tracer.Tree(id)
+	if len(roots) == 0 {
+		writeJSONBody(w, http.StatusNotFound, map[string]string{"error": "no trace " + id})
+		return
+	}
+	writeJSONBody(w, http.StatusOK, traceResponse{
+		TraceID: id, SpanCount: len(h.Tracer.Spans(id)), Roots: roots,
+	})
+}
+
+func (h *Handler) serveSlow(w http.ResponseWriter) {
+	var recs []SlowQuery
+	if h.Slow != nil {
+		recs = h.Slow.Last(0)
+	}
+	if recs == nil {
+		recs = []SlowQuery{}
+	}
+	writeJSONBody(w, http.StatusOK, recs)
+}
+
+func writeJSONBody(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encode failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	//lint:ignore errdrop the status line is already committed; nothing useful can be done with a write failure
+	_, _ = w.Write(b)
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestHandler() *Handler {
+	return &Handler{Registry: NewRegistry(), Tracer: NewTracer(8), Slow: NewSlowLog(8)}
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	h := newTestHandler()
+	rec := get(t, h, "/healthz")
+	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "ok" {
+		t.Errorf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+	h.Health = func() error { return errors.New("degraded") }
+	rec = get(t, h, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("unhealthy status = %d, want 503", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] != "degraded" {
+		t.Errorf("unhealthy body = %q", rec.Body.String())
+	}
+}
+
+func TestMetricsEndpointTextAndJSON(t *testing.T) {
+	h := newTestHandler()
+	h.Registry.Counter("probe_total", "Probes.", nil).Add(2)
+	h.Registry.Histogram("probe_seconds", "Latency.", nil).Observe(time.Millisecond)
+
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE probe_total counter", "probe_total 2",
+		"# TYPE probe_seconds histogram", `probe_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	rec = get(t, h, "/metrics?format=json")
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("json decode: %v", err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 2 || len(snap.Histograms) != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	h := newTestHandler()
+	rec := get(t, h, "/debug/trace/nope")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown trace status = %d, want 404", rec.Code)
+	}
+	h.Tracer.record(Span{TraceID: "t1", SpanID: "a", Name: "root", Start: time.Unix(1, 0)})
+	h.Tracer.record(Span{TraceID: "t1", SpanID: "b", ParentID: "a", Name: "kid", Start: time.Unix(2, 0)})
+	rec = get(t, h, "/debug/trace/t1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp struct {
+		TraceID   string      `json:"trace_id"`
+		SpanCount int         `json:"span_count"`
+		Roots     []*SpanNode `json:"roots"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != "t1" || resp.SpanCount != 2 || len(resp.Roots) != 1 || len(resp.Roots[0].Children) != 1 {
+		t.Errorf("trace response = %+v", resp)
+	}
+
+	rec = get(t, h, "/debug/traces")
+	var ids []string
+	if err := json.Unmarshal(rec.Body.Bytes(), &ids); err != nil || len(ids) != 1 || ids[0] != "t1" {
+		t.Errorf("traces = %v (%v)", ids, err)
+	}
+}
+
+func TestDebugSlowEndpoint(t *testing.T) {
+	h := newTestHandler()
+	rec := get(t, h, "/debug/slow")
+	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Errorf("empty slow log = %d %q", rec.Code, rec.Body.String())
+	}
+	h.Slow.Record("SELECT 1", time.Second, "tid")
+	rec = get(t, h, "/debug/slow")
+	var recs []SlowQuery
+	if err := json.Unmarshal(rec.Body.Bytes(), &recs); err != nil || len(recs) != 1 || recs[0].SQL != "SELECT 1" {
+		t.Errorf("slow = %v (%v)", recs, err)
+	}
+}
+
+func TestFallthroughToNext(t *testing.T) {
+	h := newTestHandler()
+	rec := get(t, h, "/something")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("nil Next should 404, got %d", rec.Code)
+	}
+	h.Next = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	rec = get(t, h, "/something")
+	if rec.Code != http.StatusTeapot {
+		t.Errorf("fallthrough status = %d, want 418", rec.Code)
+	}
+	// Observability paths are still intercepted.
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("healthz with Next = %d", rec.Code)
+	}
+}

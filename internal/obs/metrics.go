@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Labels attaches dimensions to a metric ({"site": "west-1"}). A
+// (name, labels) pair identifies one time series; label keys should be
+// few and label values low-cardinality (site names, status classes),
+// never per-row data.
+type Labels map[string]string
+
+// label is one resolved label pair; meta keeps them sorted by key.
+type label struct{ k, v string }
+
+// meta is the identity shared by every metric kind.
+type meta struct {
+	name   string
+	help   string
+	labels []label
+}
+
+func newMeta(name, help string, ls Labels) meta {
+	m := meta{name: name, help: help}
+	for k, v := range ls {
+		m.labels = append(m.labels, label{k: k, v: v})
+	}
+	sort.Slice(m.labels, func(i, j int) bool { return m.labels[i].k < m.labels[j].k })
+	return m
+}
+
+// Name returns the metric family name.
+func (m meta) Name() string { return m.name }
+
+// labelString renders {k="v",...} with Prometheus escaping, or "".
+func (m meta) labelString(extra ...label) string {
+	all := m.labels
+	if len(extra) > 0 {
+		all = append(append([]label(nil), m.labels...), extra...)
+	}
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// labelMap rebuilds the Labels map for JSON snapshots.
+func (m meta) labelMap() Labels {
+	if len(m.labels) == 0 {
+		return nil
+	}
+	out := make(Labels, len(m.labels))
+	for _, l := range m.labels {
+		out[l.k] = l.v
+	}
+	return out
+}
+
+// Counter is a monotonically increasing counter. All methods are
+// atomic and safe for concurrent use.
+type Counter struct {
+	meta
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways.
+type Gauge struct {
+	meta
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultBuckets are the latency bucket upper bounds used when a
+// histogram is created without explicit bounds: 100µs up to 5s, the
+// span between an in-memory subquery and a badly overloaded remote.
+var DefaultBuckets = []time.Duration{
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations and
+// reads are atomic per cell; a concurrent render sees a consistent
+// enough view for monitoring (cells may lag each other by an
+// observation, never corrupt).
+type Histogram struct {
+	meta
+	bounds []time.Duration // ascending upper bounds
+	counts []atomic.Int64  // len(bounds)+1; last cell is +Inf
+	sum    atomic.Int64    // nanoseconds
+	n      atomic.Int64
+}
+
+// NewHistogram builds an unregistered histogram (used for per-instance
+// measurements like a Site's bid prior). nil bounds mean
+// DefaultBuckets.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	sorted := append([]time.Duration(nil), bounds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return &Histogram{bounds: sorted, counts: make([]atomic.Int64, len(sorted)+1)}
+}
+
+// Observe records one duration (negative durations clamp to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear
+// interpolation within the bucket containing the target rank. With no
+// observations it returns 0; ranks landing in the +Inf bucket return
+// the highest finite bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	var lower time.Duration
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		if c > 0 && float64(cum+c) >= target {
+			frac := (target - float64(cum)) / float64(c)
+			return lower + time.Duration(frac*float64(b-lower))
+		}
+		cum += c
+		lower = b
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Registry is a lock-free metric store: the write path (Inc, Add,
+// Observe) touches only atomics, and get-or-create registration rides
+// on a sync.Map so concurrent registrations of the same series
+// converge on one instance without a global lock.
+type Registry struct {
+	metrics sync.Map // seriesKey → *Counter | *Gauge | *Histogram
+}
+
+// NewRegistry returns an empty registry. Most callers want Default().
+func NewRegistry() *Registry { return &Registry{} }
+
+func seriesKey(name string, ls Labels) string {
+	if len(ls) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(ls[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. Registering the same series under a different kind panics — a
+// programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string, ls Labels) *Counter {
+	key := seriesKey(name, ls)
+	if m, ok := r.metrics.Load(key); ok {
+		return mustCounter(key, m)
+	}
+	actual, _ := r.metrics.LoadOrStore(key, &Counter{meta: newMeta(name, help, ls)})
+	return mustCounter(key, actual)
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, ls Labels) *Gauge {
+	key := seriesKey(name, ls)
+	if m, ok := r.metrics.Load(key); ok {
+		return mustGauge(key, m)
+	}
+	actual, _ := r.metrics.LoadOrStore(key, &Gauge{meta: newMeta(name, help, ls)})
+	return mustGauge(key, actual)
+}
+
+// Histogram returns the histogram for (name, labels) with
+// DefaultBuckets, creating it on first use.
+func (r *Registry) Histogram(name, help string, ls Labels) *Histogram {
+	return r.HistogramBuckets(name, help, nil, ls)
+}
+
+// HistogramBuckets is Histogram with explicit bucket bounds. Bounds are
+// fixed at first registration; later calls reuse the existing series.
+func (r *Registry) HistogramBuckets(name, help string, bounds []time.Duration, ls Labels) *Histogram {
+	key := seriesKey(name, ls)
+	if m, ok := r.metrics.Load(key); ok {
+		return mustHistogram(key, m)
+	}
+	h := NewHistogram(bounds)
+	h.meta = newMeta(name, help, ls)
+	actual, _ := r.metrics.LoadOrStore(key, h)
+	return mustHistogram(key, actual)
+}
+
+func mustCounter(key string, m any) *Counter {
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: series %s already registered as %T, not a counter", key, m))
+	}
+	return c
+}
+
+func mustGauge(key string, m any) *Gauge {
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: series %s already registered as %T, not a gauge", key, m))
+	}
+	return g
+}
+
+func mustHistogram(key string, m any) *Histogram {
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: series %s already registered as %T, not a histogram", key, m))
+	}
+	return h
+}
+
+// entry pairs a series key with its metric for deterministic renders.
+type entry struct {
+	key  string
+	name string
+	m    any
+}
+
+func metaOf(m any) meta {
+	switch x := m.(type) {
+	case *Counter:
+		return x.meta
+	case *Gauge:
+		return x.meta
+	case *Histogram:
+		return x.meta
+	default:
+		return meta{}
+	}
+}
+
+// sortedEntries snapshots the registry ordered by family name then
+// series key, keeping each family contiguous for HELP/TYPE emission.
+func (r *Registry) sortedEntries() []entry {
+	var out []entry
+	r.metrics.Range(func(k, v any) bool {
+		out = append(out, entry{key: k.(string), name: metaOf(v).name, m: v})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].key < out[j].key
+	})
+	return out
+}

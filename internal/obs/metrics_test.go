@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "help", nil)
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+}
+
+func TestRegistryGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "h", Labels{"site": "x"})
+	b := r.Counter("same_total", "h", Labels{"site": "x"})
+	if a != b {
+		t.Error("same (name, labels) must return the same counter")
+	}
+	other := r.Counter("same_total", "h", Labels{"site": "y"})
+	if a == other {
+		t.Error("different labels must be a different series")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kind_clash", "h", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge over a counter should panic")
+		}
+	}()
+	r.Gauge("kind_clash", "h", nil)
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := 0; i < 50; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 50; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	wantSum := 50*time.Millisecond + 50*100*time.Millisecond
+	if h.Sum() != wantSum {
+		t.Errorf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	// p50 must land in the 1ms bucket's range, p99 near 100ms.
+	if p := h.Quantile(0.5); p <= 0 || p > time.Millisecond {
+		t.Errorf("p50 = %v, want in (0, 1ms]", p)
+	}
+	if p := h.Quantile(0.99); p < 50*time.Millisecond || p > 100*time.Millisecond {
+		t.Errorf("p99 = %v, want in [50ms, 100ms]", p)
+	}
+}
+
+func TestHistogramNegativeClampsAndOverflowBucket(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond})
+	h.Observe(-time.Second) // clamps to 0 → first bucket
+	h.Observe(time.Hour)    // +Inf bucket
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Rank in the +Inf bucket reports the highest finite bound.
+	if p := h.Quantile(0.99); p != time.Millisecond {
+		t.Errorf("overflow quantile = %v, want 1ms", p)
+	}
+}
+
+func TestPrometheusRenderGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_requests_total", "Total requests.", Labels{"code": "200"})
+	c.Add(3)
+	r.Counter("app_requests_total", "Total requests.", Labels{"code": "500"}).Inc()
+	r.Gauge("app_queue_depth", "Queue depth.", nil).Set(7)
+	h := r.HistogramBuckets("app_latency_seconds", "Latency.",
+		[]time.Duration{time.Millisecond, 10 * time.Millisecond}, nil)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.001"} 1
+app_latency_seconds_bucket{le="0.01"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 0.0255
+app_latency_seconds_count 3
+# HELP app_queue_depth Queue depth.
+# TYPE app_queue_depth gauge
+app_queue_depth 7
+# HELP app_requests_total Total requests.
+# TYPE app_requests_total counter
+app_requests_total{code="200"} 3
+app_requests_total{code="500"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("render mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", Labels{"path": "a\"b\\c\nd"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped render = %q, want to contain %q", b.String(), want)
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snap_total", "h", Labels{"k": "v"}).Add(2)
+	h := r.Histogram("snap_seconds", "h", nil)
+	h.Observe(time.Millisecond)
+	s := r.Snapshot()
+	if len(s.Counters) != 1 || s.Counters[0].Value != 2 || s.Counters[0].Labels["k"] != "v" {
+		t.Errorf("counters = %+v", s.Counters)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].Count != 1 {
+		t.Errorf("histograms = %+v", s.Histograms)
+	}
+	if s.Histograms[0].P50Seconds <= 0 {
+		t.Errorf("p50 = %v, want > 0", s.Histograms[0].P50Seconds)
+	}
+}
+
+// TestRegistryConcurrencyHammer drives parallel registration, increments,
+// observations and renders through one registry; run under -race it is
+// the lock-freedom proof for the whole metrics path.
+func TestRegistryConcurrencyHammer(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ls := Labels{"w": strconv.Itoa(w % 4)}
+			for i := 0; i < iters; i++ {
+				r.Counter("hammer_total", "h", ls).Inc()
+				r.Gauge("hammer_gauge", "h", nil).Set(int64(i))
+				r.Histogram("hammer_seconds", "h", ls).Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(w)
+	}
+	// Concurrent readers: render and snapshot while writers are hot.
+	for rd := 0; rd < 2; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("render: %v", err)
+					return
+				}
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for w := 0; w < 4; w++ {
+		total += r.Counter("hammer_total", "h", Labels{"w": strconv.Itoa(w)}).Value()
+	}
+	if want := int64(workers * iters); total != want {
+		t.Errorf("counter total = %d, want %d (lost updates)", total, want)
+	}
+	var observed int64
+	for w := 0; w < 4; w++ {
+		observed += r.Histogram("hammer_seconds", "h", Labels{"w": strconv.Itoa(w)}).Count()
+	}
+	if want := int64(workers * iters); observed != want {
+		t.Errorf("histogram observations = %d, want %d", observed, want)
+	}
+}

@@ -1,0 +1,62 @@
+// Package obs is the observability substrate of the content
+// integration system: a lock-free metrics registry (atomic counters,
+// gauges and fixed-bucket latency histograms rendered in Prometheus
+// text format and as JSON), span-based tracing whose identifiers
+// propagate across process boundaries through the X-Cohera-Trace-Id /
+// X-Cohera-Span-Id HTTP headers, a bounded in-memory slow-query log,
+// and the introspection endpoints (/metrics, /healthz,
+// /debug/trace/{id}, /debug/slow) that expose all three.
+//
+// The package is a leaf: it depends only on the standard library, so
+// every layer of the system — wrappers, the federated executor, the
+// remote transport, caches and refresh daemons — can record into the
+// shared default registry and tracer without import cycles. Metric
+// write paths (Inc, Add, Observe) are purely atomic; registration uses
+// a sync.Map so get-or-create lookups never serialize writers.
+//
+// Observed per-site latency histograms double as an optimizer input:
+// federation/agoric.go blends each bidder's observed p50 into its bid
+// price, closing the feedback loop the paper's market design implies
+// (bids should reflect what a site actually delivers, not only what its
+// cost model promises).
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// defaultRegistry and defaultTracer back the package-level accessors.
+var (
+	defaultRegistry = NewRegistry()
+	defaultTracer   = NewTracer(512)
+)
+
+// Default returns the process-wide metrics registry every instrumented
+// component records into.
+func Default() *Registry { return defaultRegistry }
+
+// DefaultTracer returns the process-wide span store.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// idSeq seeds fallback IDs when the system entropy source fails.
+var idSeq atomic.Uint64
+
+// newID returns n random bytes hex-encoded (2n characters).
+func newID(n int) string {
+	b := make([]byte, n)
+	if _, err := crand.Read(b); err != nil {
+		// Entropy exhaustion is effectively unreachable, but IDs must
+		// still be unique within the process: fall back to a counter.
+		binary.BigEndian.PutUint64(b[:8:8], idSeq.Add(1))
+	}
+	return hex.EncodeToString(b)
+}
+
+// NewTraceID mints a 32-character trace identifier.
+func NewTraceID() string { return newID(16) }
+
+// NewSpanID mints a 16-character span identifier.
+func NewSpanID() string { return newID(8) }

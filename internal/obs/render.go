@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// formatSeconds renders a duration as Prometheus seconds.
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Second), 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format, families sorted by name, series by label set.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var lastFamily string
+	for _, e := range r.sortedEntries() {
+		m := metaOf(e.m)
+		if m.name != lastFamily {
+			lastFamily = m.name
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typeName(e.m)); err != nil {
+				return err
+			}
+		}
+		if err := writeSeries(w, e.m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func typeName(m any) string {
+	switch m.(type) {
+	case *Counter:
+		return "counter"
+	case *Gauge:
+		return "gauge"
+	case *Histogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+func writeSeries(w io.Writer, m any) error {
+	switch x := m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", x.name, x.labelString(), x.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", x.name, x.labelString(), x.Value())
+		return err
+	case *Histogram:
+		var cum int64
+		for i, b := range x.bounds {
+			cum += x.counts[i].Load()
+			ls := x.labelString(label{k: "le", v: formatSeconds(b)})
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", x.name, ls, cum); err != nil {
+				return err
+			}
+		}
+		total := x.Count()
+		ls := x.labelString(label{k: "le", v: "+Inf"})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", x.name, ls, total); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", x.name, x.labelString(), formatSeconds(x.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", x.name, x.labelString(), total)
+		return err
+	default:
+		return nil
+	}
+}
+
+// CounterSnapshot is one counter series in a JSON snapshot.
+type CounterSnapshot struct {
+	Name   string `json:"name"`
+	Labels Labels `json:"labels,omitempty"`
+	Value  int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge series in a JSON snapshot.
+type GaugeSnapshot struct {
+	Name   string `json:"name"`
+	Labels Labels `json:"labels,omitempty"`
+	Value  int64  `json:"value"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LESeconds float64 `json:"le_seconds"`
+	Count     int64   `json:"count"`
+}
+
+// HistogramSnapshot is one histogram series in a JSON snapshot.
+type HistogramSnapshot struct {
+	Name       string           `json:"name"`
+	Labels     Labels           `json:"labels,omitempty"`
+	Count      int64            `json:"count"`
+	SumSeconds float64          `json:"sum_seconds"`
+	P50Seconds float64          `json:"p50_seconds"`
+	P99Seconds float64          `json:"p99_seconds"`
+	Buckets    []BucketSnapshot `json:"buckets"`
+}
+
+// Snapshot is the JSON form of a registry, the payload of
+// GET /metrics?format=json.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every series, sorted like the Prometheus render.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	for _, e := range r.sortedEntries() {
+		switch x := e.m.(type) {
+		case *Counter:
+			s.Counters = append(s.Counters, CounterSnapshot{Name: x.name, Labels: x.labelMap(), Value: x.Value()})
+		case *Gauge:
+			s.Gauges = append(s.Gauges, GaugeSnapshot{Name: x.name, Labels: x.labelMap(), Value: x.Value()})
+		case *Histogram:
+			hs := HistogramSnapshot{
+				Name:       x.name,
+				Labels:     x.labelMap(),
+				Count:      x.Count(),
+				SumSeconds: float64(x.Sum()) / float64(time.Second),
+				P50Seconds: float64(x.Quantile(0.5)) / float64(time.Second),
+				P99Seconds: float64(x.Quantile(0.99)) / float64(time.Second),
+			}
+			var cum int64
+			for i, b := range x.bounds {
+				cum += x.counts[i].Load()
+				hs.Buckets = append(hs.Buckets, BucketSnapshot{
+					LESeconds: float64(b) / float64(time.Second), Count: cum,
+				})
+			}
+			s.Histograms = append(s.Histograms, hs)
+		}
+	}
+	return s
+}

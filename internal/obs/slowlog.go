@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowQuery is one retained slow-query record.
+type SlowQuery struct {
+	SQL      string        `json:"sql"`
+	Duration time.Duration `json:"duration_ns"`
+	TraceID  string        `json:"trace_id,omitempty"`
+	At       time.Time     `json:"at"`
+}
+
+// SlowLog is a bounded ring of the most recent queries at or above a
+// latency threshold. Safe for concurrent use.
+type SlowLog struct {
+	// Threshold gates recording; 0 records every query (useful in the
+	// shell, where the log doubles as query history). Set before the
+	// log is shared; Record reads it without synchronization.
+	Threshold time.Duration
+
+	capacity int
+
+	mu    sync.Mutex
+	ring  []SlowQuery
+	next  int
+	total int64
+}
+
+// NewSlowLog returns a log retaining the last capacity records
+// (≤0 means 64).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &SlowLog{capacity: capacity}
+}
+
+// Record notes a finished query; it reports whether the query cleared
+// the threshold and was retained.
+func (l *SlowLog) Record(sql string, d time.Duration, traceID string) bool {
+	if d < l.Threshold {
+		return false
+	}
+	rec := SlowQuery{SQL: sql, Duration: d, TraceID: traceID, At: time.Now()}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ring) < l.capacity {
+		l.ring = append(l.ring, rec)
+	} else {
+		l.ring[l.next] = rec
+	}
+	l.next = (l.next + 1) % l.capacity
+	l.total++
+	return true
+}
+
+// Total reports how many queries have been recorded since start
+// (including ones the ring has since overwritten).
+func (l *SlowLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Last returns up to n retained records, newest first (n ≤ 0 means
+// all retained).
+func (l *SlowLog) Last(n int) []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	size := len(l.ring)
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]SlowQuery, 0, n)
+	for i := 1; i <= n; i++ {
+		// next-1 is the newest slot; walk backwards through the ring.
+		out = append(out, l.ring[((l.next-i)%size+size)%size])
+	}
+	return out
+}

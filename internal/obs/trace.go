@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HTTP headers carrying span identity across process boundaries: a
+// coordinator's remote fetch arrives at the serving coherad with its
+// trace intact, so one federated query yields one tree spanning every
+// process it touched.
+const (
+	// TraceHeader carries the 32-hex-character trace identifier.
+	TraceHeader = "X-Cohera-Trace-Id"
+	// SpanHeader carries the caller's span identifier, which becomes
+	// the parent of the first span the callee opens.
+	SpanHeader = "X-Cohera-Span-Id"
+)
+
+// SpanContext is the portable identity of a span: enough to parent
+// children locally or across a process boundary.
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+type spanCtxKey struct{}
+
+// ContextWith returns ctx carrying sc as the current span identity.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// FromContext extracts the current span identity.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc, ok
+}
+
+// InjectHeaders copies the current span identity from ctx into HTTP
+// headers (no-op when ctx carries no span).
+func InjectHeaders(ctx context.Context, h http.Header) {
+	if sc, ok := FromContext(ctx); ok {
+		h.Set(TraceHeader, sc.TraceID)
+		h.Set(SpanHeader, sc.SpanID)
+	}
+}
+
+// SpanContextFromHeaders reads propagated span identity from HTTP
+// headers.
+func SpanContextFromHeaders(h http.Header) (SpanContext, bool) {
+	tid := h.Get(TraceHeader)
+	if tid == "" {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: tid, SpanID: h.Get(SpanHeader)}, true
+}
+
+// Attr is one span attribute; a small sorted slice beats a map at the
+// sizes spans carry (a handful of pairs).
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed operation within a trace. A span is owned by the
+// goroutine that started it until End, which records an immutable copy
+// into the tracer; the struct itself is not safe for concurrent use.
+type Span struct {
+	TraceID  string        `json:"trace_id"`
+	SpanID   string        `json:"span_id"`
+	ParentID string        `json:"parent_id,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Err      string        `json:"error,omitempty"`
+
+	tracer *Tracer
+	ended  bool
+}
+
+// Set attaches (or replaces) an attribute.
+func (s *Span) Set(key, value string) {
+	for i := range s.Attrs {
+		if s.Attrs[i].Key == key {
+			s.Attrs[i].Value = value
+			return
+		}
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetErr records a failure on the span (nil clears nothing and is safe
+// to pass unconditionally).
+func (s *Span) SetErr(err error) {
+	if err != nil {
+		s.Err = err.Error()
+	}
+}
+
+// End stamps the duration and records the span. Safe to call once;
+// later calls are ignored.
+func (s *Span) End() {
+	if s.ended || s.tracer == nil {
+		return
+	}
+	s.ended = true
+	s.Duration = time.Since(s.Start)
+	s.tracer.record(*s)
+}
+
+// StartSpan opens a span named name as a child of the span identity in
+// ctx (or as a new root when ctx carries none) and returns ctx updated
+// so nested operations parent under it. Spans record into the default
+// tracer on End.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sp := &Span{Name: name, SpanID: NewSpanID(), Start: time.Now(), tracer: defaultTracer}
+	if parent, ok := FromContext(ctx); ok {
+		sp.TraceID, sp.ParentID = parent.TraceID, parent.SpanID
+	} else {
+		sp.TraceID = NewTraceID()
+	}
+	return ContextWith(ctx, SpanContext{TraceID: sp.TraceID, SpanID: sp.SpanID}), sp
+}
+
+// maxSpansPerTrace bounds one trace's memory; pathological fan-out
+// drops the overflow rather than the process.
+const maxSpansPerTrace = 1024
+
+// Tracer is a bounded in-memory store of finished spans, grouped by
+// trace. When more than max traces are live, the oldest trace evicts
+// whole — partial trees are worse than absent ones.
+type Tracer struct {
+	max int
+
+	mu     sync.Mutex
+	traces map[string][]Span
+	order  []string // insertion order, for FIFO eviction
+}
+
+// NewTracer returns a tracer retaining at most maxTraces traces
+// (≤0 means 512).
+func NewTracer(maxTraces int) *Tracer {
+	if maxTraces <= 0 {
+		maxTraces = 512
+	}
+	return &Tracer{max: maxTraces, traces: make(map[string][]Span)}
+}
+
+func (t *Tracer) record(sp Span) {
+	sp.tracer = nil
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans, live := t.traces[sp.TraceID]
+	if !live {
+		t.order = append(t.order, sp.TraceID)
+		for len(t.order) > t.max {
+			delete(t.traces, t.order[0])
+			t.order = t.order[1:]
+		}
+	}
+	if len(spans) < maxSpansPerTrace {
+		t.traces[sp.TraceID] = append(spans, sp)
+	}
+}
+
+// Spans returns the finished spans of a trace, oldest start first
+// (nil when the trace is unknown or evicted).
+func (t *Tracer) Spans(traceID string) []Span {
+	t.mu.Lock()
+	out := append([]Span(nil), t.traces[traceID]...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// TraceIDs lists retained traces, oldest first.
+func (t *Tracer) TraceIDs() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.order...)
+}
+
+// Len reports how many traces are retained.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces)
+}
+
+// SpanNode is a span with its children, the tree form served by
+// /debug/trace/{id}.
+type SpanNode struct {
+	Span
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree assembles a trace's spans into root trees. Spans whose parent
+// was dropped (overflow, cross-process parent not recorded here)
+// surface as roots so nothing disappears.
+func (t *Tracer) Tree(traceID string) []*SpanNode {
+	spans := t.Spans(traceID)
+	if len(spans) == 0 {
+		return nil
+	}
+	nodes := make(map[string]*SpanNode, len(spans))
+	for i := range spans {
+		nodes[spans[i].SpanID] = &SpanNode{Span: spans[i]}
+	}
+	var roots []*SpanNode
+	for _, sp := range spans {
+		n := nodes[sp.SpanID]
+		if parent, ok := nodes[sp.ParentID]; ok && sp.ParentID != sp.SpanID {
+			parent.Children = append(parent.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestStartSpanRootAndChild(t *testing.T) {
+	ctx, root := StartSpan(context.Background(), "root")
+	if root.TraceID == "" || root.SpanID == "" || root.ParentID != "" {
+		t.Fatalf("root span = %+v", root)
+	}
+	if len(root.TraceID) != 32 || len(root.SpanID) != 16 {
+		t.Errorf("id lengths = %d/%d, want 32/16", len(root.TraceID), len(root.SpanID))
+	}
+	_, child := StartSpan(ctx, "child")
+	if child.TraceID != root.TraceID {
+		t.Errorf("child trace %s != root trace %s", child.TraceID, root.TraceID)
+	}
+	if child.ParentID != root.SpanID {
+		t.Errorf("child parent %s != root span %s", child.ParentID, root.SpanID)
+	}
+	child.Set("k", "v1")
+	child.Set("k", "v2") // replace, not append
+	if len(child.Attrs) != 1 || child.Attrs[0].Value != "v2" {
+		t.Errorf("attrs = %+v", child.Attrs)
+	}
+	child.SetErr(nil) // nil-safe
+	child.SetErr(errors.New("boom"))
+	child.End()
+	child.End() // idempotent
+	root.End()
+	spans := DefaultTracer().Spans(root.TraceID)
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Name == "child" && sp.Err != "boom" {
+			t.Errorf("child err = %q", sp.Err)
+		}
+	}
+}
+
+func TestHeaderPropagationJoinsTrace(t *testing.T) {
+	// Client side: open a span and inject its identity into headers.
+	ctx, client := StartSpan(context.Background(), "client.call")
+	h := make(http.Header)
+	InjectHeaders(ctx, h)
+	if h.Get(TraceHeader) != client.TraceID || h.Get(SpanHeader) != client.SpanID {
+		t.Fatalf("headers = %v", h)
+	}
+	// Server side (another process in production): adopt and continue.
+	sc, ok := SpanContextFromHeaders(h)
+	if !ok {
+		t.Fatal("headers not recognized")
+	}
+	serverCtx := ContextWith(context.Background(), sc)
+	_, served := StartSpan(serverCtx, "server.handle")
+	if served.TraceID != client.TraceID {
+		t.Errorf("server trace %s, want %s", served.TraceID, client.TraceID)
+	}
+	if served.ParentID != client.SpanID {
+		t.Errorf("server parent %s, want %s", served.ParentID, client.SpanID)
+	}
+	served.End()
+	client.End()
+
+	// Empty headers propagate nothing.
+	if _, ok := SpanContextFromHeaders(make(http.Header)); ok {
+		t.Error("empty headers should carry no span context")
+	}
+	InjectHeaders(context.Background(), h) // no-op without a span
+}
+
+func TestTracerFIFOEviction(t *testing.T) {
+	tr := NewTracer(2)
+	for i, id := range []string{"t-old", "t-mid", "t-new"} {
+		tr.record(Span{TraceID: id, SpanID: "s", Start: time.Unix(int64(i), 0)})
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tr.Len())
+	}
+	if got := tr.Spans("t-old"); got != nil {
+		t.Errorf("oldest trace should be evicted, got %v", got)
+	}
+	ids := tr.TraceIDs()
+	if len(ids) != 2 || ids[0] != "t-mid" || ids[1] != "t-new" {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestTracerSpanCapPerTrace(t *testing.T) {
+	tr := NewTracer(1)
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		tr.record(Span{TraceID: "big", SpanID: "s", Start: time.Now()})
+	}
+	if n := len(tr.Spans("big")); n != maxSpansPerTrace {
+		t.Errorf("spans = %d, want cap %d", n, maxSpansPerTrace)
+	}
+}
+
+func TestTreeAssembly(t *testing.T) {
+	tr := NewTracer(4)
+	base := time.Unix(100, 0)
+	tr.record(Span{TraceID: "t", SpanID: "root", Name: "root", Start: base})
+	tr.record(Span{TraceID: "t", SpanID: "c1", ParentID: "root", Name: "c1", Start: base.Add(time.Millisecond)})
+	tr.record(Span{TraceID: "t", SpanID: "c2", ParentID: "root", Name: "c2", Start: base.Add(2 * time.Millisecond)})
+	tr.record(Span{TraceID: "t", SpanID: "g1", ParentID: "c1", Name: "g1", Start: base.Add(3 * time.Millisecond)})
+	// Orphan: parent never recorded here (e.g. lives in another process).
+	tr.record(Span{TraceID: "t", SpanID: "o1", ParentID: "elsewhere", Name: "o1", Start: base.Add(4 * time.Millisecond)})
+
+	roots := tr.Tree("t")
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2 (root + orphan)", len(roots))
+	}
+	if roots[0].Name != "root" || len(roots[0].Children) != 2 {
+		t.Fatalf("root node = %+v", roots[0])
+	}
+	if roots[0].Children[0].Name != "c1" || len(roots[0].Children[0].Children) != 1 {
+		t.Errorf("c1 subtree wrong: %+v", roots[0].Children[0])
+	}
+	if roots[1].Name != "o1" {
+		t.Errorf("orphan should surface as root, got %+v", roots[1])
+	}
+	if tr.Tree("unknown") != nil {
+		t.Error("unknown trace should yield nil tree")
+	}
+}
+
+func TestSlowLogThresholdAndRing(t *testing.T) {
+	l := NewSlowLog(3)
+	l.Threshold = 10 * time.Millisecond
+	if l.Record("fast", time.Millisecond, "") {
+		t.Error("below-threshold query should not be retained")
+	}
+	for i, sql := range []string{"q1", "q2", "q3", "q4"} {
+		if !l.Record(sql, time.Duration(20+i)*time.Millisecond, "tid") {
+			t.Errorf("%s should be retained", sql)
+		}
+	}
+	if l.Total() != 4 {
+		t.Errorf("total = %d, want 4", l.Total())
+	}
+	last := l.Last(0)
+	if len(last) != 3 {
+		t.Fatalf("retained = %d, want capacity 3", len(last))
+	}
+	// Newest first; q1 was overwritten by the ring.
+	if last[0].SQL != "q4" || last[1].SQL != "q3" || last[2].SQL != "q2" {
+		t.Errorf("order = %s,%s,%s", last[0].SQL, last[1].SQL, last[2].SQL)
+	}
+	if got := l.Last(1); len(got) != 1 || got[0].SQL != "q4" {
+		t.Errorf("Last(1) = %+v", got)
+	}
+}
+
+func TestNewIDsAreUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 256; i++ {
+		id := NewTraceID()
+		if seen[id] {
+			t.Fatalf("duplicate trace id %s", id)
+		}
+		seen[id] = true
+	}
+}

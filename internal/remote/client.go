@@ -7,11 +7,31 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
+	"cohera/internal/obs"
 	"cohera/internal/schema"
 	"cohera/internal/storage"
 	"cohera/internal/wrapper"
+)
+
+// DefaultTimeout bounds each client call unless WithTimeout overrides it.
+const DefaultTimeout = 30 * time.Second
+
+// metClientReqs counts client calls by outcome class ("2xx", "4xx",
+// "5xx", ... or "error" for transport failures that never got a status).
+func metClientReqs(class string) *obs.Counter {
+	return obs.Default().Counter("cohera_remote_client_requests_total",
+		"Remote client calls by status class (error = transport failure).",
+		obs.Labels{"class": class})
+}
+
+var (
+	metClientBytes = obs.Default().Counter("cohera_remote_client_bytes_read_total",
+		"Response bytes read by the remote client.", nil)
+	metClientSeconds = obs.Default().Histogram("cohera_remote_client_seconds",
+		"Remote client call latency.", nil)
 )
 
 // Client talks to a remote Server.
@@ -21,23 +41,44 @@ type Client struct {
 	http  *http.Client
 }
 
-// Dial creates a client for a server base URL ("http://host:port").
-// token may be empty for unauthenticated servers.
-func Dial(base, token string) *Client {
-	return &Client{
-		base:  base,
-		token: token,
-		http:  &http.Client{Timeout: 30 * time.Second},
+// DialOption customizes a Client.
+type DialOption func(*Client)
+
+// WithTimeout overrides the whole-call timeout (DefaultTimeout). d ≤ 0
+// disables the timeout entirely, leaving cancellation to the context.
+func WithTimeout(d time.Duration) DialOption {
+	return func(c *Client) {
+		if d < 0 {
+			d = 0
+		}
+		c.http.Timeout = d
 	}
 }
 
+// Dial creates a client for a server base URL ("http://host:port").
+// token may be empty for unauthenticated servers.
+func Dial(base, token string, opts ...DialOption) *Client {
+	c := &Client{
+		base:  base,
+		token: token,
+		http:  &http.Client{Timeout: DefaultTimeout},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	start := time.Now()
+	defer func() { metClientSeconds.Observe(time.Since(start)) }()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
+		metClientReqs("error").Inc()
 		return nil, fmt.Errorf("remote: request: %w", err)
 	}
 	if c.token != "" {
@@ -46,15 +87,20 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the caller's trace so the server's spans join our tree.
+	obs.InjectHeaders(ctx, req.Header)
 	resp, err := c.http.Do(req)
 	if err != nil {
+		metClientReqs("error").Inc()
 		return nil, fmt.Errorf("remote: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
+	metClientReqs(statusClass(resp.StatusCode)).Inc()
 	out, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return nil, fmt.Errorf("remote: reading %s: %w", path, err)
 	}
+	metClientBytes.Add(int64(len(out)))
 	if resp.StatusCode != http.StatusOK {
 		var er errorResponse
 		if json.Unmarshal(out, &er) == nil && er.Error != "" {
@@ -63,6 +109,14 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 		return nil, fmt.Errorf("remote: %s %s: status %d", method, path, resp.StatusCode)
 	}
 	return out, nil
+}
+
+// statusClass folds an HTTP status into its hundreds class ("2xx"…).
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code/100) + "xx"
 }
 
 // Tables discovers the remote schemas as ready-to-register sources.
@@ -117,6 +171,9 @@ func (s *Source) Capabilities() wrapper.Capabilities { return s.caps }
 // Fetch implements wrapper.Source: pushable filters travel to the
 // server; the caller re-checks everything as usual.
 func (s *Source) Fetch(ctx context.Context, filters []wrapper.Filter) ([]storage.Row, error) {
+	ctx, sp := obs.StartSpan(ctx, "remote.fetch")
+	sp.Set("table", s.def.Name)
+	defer sp.End()
 	req := fetchRequest{Table: s.def.Name}
 	for _, f := range filters {
 		if s.caps.CanPush(f.Column) {
@@ -129,16 +186,20 @@ func (s *Source) Fetch(ctx context.Context, filters []wrapper.Filter) ([]storage
 	}
 	out, err := s.client.do(ctx, http.MethodPost, "/fetch", body)
 	if err != nil {
+		sp.SetErr(err)
 		return nil, err
 	}
 	var resp fetchResponse
 	if err := json.Unmarshal(out, &resp); err != nil {
+		sp.SetErr(err)
 		return nil, fmt.Errorf("remote: decoding /fetch: %w", err)
 	}
 	rows, err := decodeRows(resp.Rows)
 	if err != nil {
+		sp.SetErr(err)
 		return nil, err
 	}
+	sp.Set("rows", strconv.Itoa(len(rows)))
 	// Re-apply all filters locally: the server only handled pushable ones.
 	return wrapper.ApplyFilters(s.def, rows, filters), nil
 }

@@ -1,0 +1,79 @@
+package remote
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cohera/internal/obs"
+)
+
+func TestDialTimeoutOption(t *testing.T) {
+	if c := Dial("http://x", ""); c.http.Timeout != DefaultTimeout {
+		t.Errorf("default timeout = %v, want %v", c.http.Timeout, DefaultTimeout)
+	}
+	if c := Dial("http://x", "", WithTimeout(3*time.Second)); c.http.Timeout != 3*time.Second {
+		t.Errorf("timeout = %v, want 3s", c.http.Timeout)
+	}
+	// Negative means disabled, not a panic inside net/http.
+	if c := Dial("http://x", "", WithTimeout(-1)); c.http.Timeout != 0 {
+		t.Errorf("negative timeout = %v, want 0 (disabled)", c.http.Timeout)
+	}
+}
+
+func TestDialTimeoutEnforced(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-r.Context().Done():
+		}
+	}))
+	defer slow.Close()
+	c := Dial(slow.URL, "", WithTimeout(50*time.Millisecond))
+	start := time.Now()
+	if _, err := c.do(context.Background(), http.MethodGet, "/healthz", nil); err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("call took %v despite 50ms timeout", d)
+	}
+}
+
+func TestStatusClass(t *testing.T) {
+	cases := map[int]string{200: "2xx", 204: "2xx", 404: "4xx", 500: "5xx", 99: "other", 600: "other"}
+	for code, want := range cases {
+		if got := statusClass(code); got != want {
+			t.Errorf("statusClass(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+func TestClientStatusClassCounters(t *testing.T) {
+	okBefore := obs.Default().Counter("cohera_remote_client_requests_total",
+		"Remote client calls by status class (error = transport failure).",
+		obs.Labels{"class": "2xx"}).Value()
+	errBefore := obs.Default().Counter("cohera_remote_client_requests_total",
+		"Remote client calls by status class (error = transport failure).",
+		obs.Labels{"class": "error"}).Value()
+
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	if !Dial(ts.URL, "").Healthy(ctx) {
+		t.Fatal("server should be healthy")
+	}
+	// A dead endpoint records a transport error, not a status class.
+	if Dial("http://127.0.0.1:1", "", WithTimeout(time.Second)).Healthy(ctx) {
+		t.Fatal("dead server reported healthy")
+	}
+
+	if got := metClientReqs("2xx").Value(); got <= okBefore {
+		t.Errorf("2xx counter did not move: %d -> %d", okBefore, got)
+	}
+	if got := metClientReqs("error").Value(); got <= errBefore {
+		t.Errorf("error counter did not move: %d -> %d", errBefore, got)
+	}
+}

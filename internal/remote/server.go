@@ -8,10 +8,29 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"cohera/internal/obs"
 	"cohera/internal/storage"
 	"cohera/internal/wrapper"
 )
+
+// metServerReqs counts served requests per endpoint and status class.
+// Unknown paths collapse to "other" so clients probing random URLs
+// cannot grow the label space without bound.
+func metServerReqs(path, class string) *obs.Counter {
+	switch path {
+	case "/healthz", "/tables", "/fetch":
+	default:
+		path = "other"
+	}
+	return obs.Default().Counter("cohera_remote_server_requests_total",
+		"Remote server requests by endpoint and status class.",
+		obs.Labels{"path": path, "class": class})
+}
+
+var metServerSeconds = obs.Default().Histogram("cohera_remote_server_seconds",
+	"Remote server request handling latency.", nil)
 
 // Server exposes a set of tables (anything implementing wrapper.Source —
 // stored tables, wrapped ERPs, even other federations' views) over HTTP:
@@ -37,11 +56,12 @@ func NewServer() *Server {
 	return &Server{sources: make(map[string]wrapper.Source)}
 }
 
-// Publish exposes a source under its schema name.
+// Publish exposes a source under its schema name, instrumented so
+// server-side fetches appear in the shared metrics and traces.
 func (s *Server) Publish(src wrapper.Source) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.sources[strings.ToLower(src.Schema().Name)] = src
+	s.sources[strings.ToLower(src.Schema().Name)] = wrapper.Instrument(src)
 }
 
 // PublishTable exposes a stored table directly, with equality pushdown on
@@ -52,22 +72,50 @@ func (s *Server) PublishTable(t *storage.Table, pushdownEq ...string) {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Adopt the caller's trace (X-Cohera-Trace-Id / X-Cohera-Span-Id) so
+	// spans recorded while serving join the federated query's tree.
+	if sc, ok := obs.SpanContextFromHeaders(r.Header); ok {
+		r = r.WithContext(obs.ContextWith(r.Context(), sc))
+	}
+	ctx, sp := obs.StartSpan(r.Context(), "remote.serve")
+	sp.Set("path", r.URL.Path)
+	r = r.WithContext(ctx)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	defer func() {
+		metServerSeconds.Observe(time.Since(start))
+		metServerReqs(r.URL.Path, statusClass(sw.status)).Inc()
+		sp.Set("status", statusClass(sw.status))
+		sp.End()
+	}()
+
 	if s.Token != "" {
 		if r.Header.Get("Authorization") != "Bearer "+s.Token {
-			http.Error(w, `{"error":"unauthorized"}`, http.StatusUnauthorized)
+			http.Error(sw, `{"error":"unauthorized"}`, http.StatusUnauthorized)
 			return
 		}
 	}
 	switch {
 	case r.Method == http.MethodGet && r.URL.Path == "/healthz":
-		fmt.Fprintln(w, "ok")
+		fmt.Fprintln(sw, "ok")
 	case r.Method == http.MethodGet && r.URL.Path == "/tables":
-		s.handleTables(w)
+		s.handleTables(sw)
 	case r.Method == http.MethodPost && r.URL.Path == "/fetch":
-		s.handleFetch(w, r)
+		s.handleFetch(sw, r)
 	default:
-		http.Error(w, `{"error":"not found"}`, http.StatusNotFound)
+		http.Error(sw, `{"error":"not found"}`, http.StatusNotFound)
 	}
+}
+
+// statusWriter remembers the status code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 func (s *Server) handleTables(w http.ResponseWriter) {

@@ -20,8 +20,22 @@ import (
 	"time"
 
 	"cohera/internal/exec"
+	"cohera/internal/obs"
 	"cohera/internal/transform"
 	"cohera/internal/wrapper"
+)
+
+// metWHRefreshes counts ETL refresh cycles by outcome ("ok" / "error").
+func metWHRefreshes(outcome string) *obs.Counter {
+	return obs.Default().Counter("cohera_warehouse_refreshes_total",
+		"Warehouse ETL refresh cycles by outcome.", obs.Labels{"outcome": outcome})
+}
+
+var (
+	metWHRows = obs.Default().Counter("cohera_warehouse_rows_extracted_total",
+		"Rows extracted from sources across warehouse refreshes.", nil)
+	metWHSeconds = obs.Default().Histogram("cohera_warehouse_refresh_seconds",
+		"Warehouse full-refresh latency (extract + transform + load).", nil)
 )
 
 // Warehouse is a batch-refresh store over wrapper sources.
@@ -78,7 +92,19 @@ func (w *Warehouse) Register(src wrapper.Source, pipeline *transform.Pipeline) e
 // RefreshAll re-extracts every source and rebuilds the affected tables.
 // The whole batch is re-pulled — ETL tools are engineered around batch
 // processes, not incremental feeds.
-func (w *Warehouse) RefreshAll(ctx context.Context) error {
+func (w *Warehouse) RefreshAll(ctx context.Context) (err error) {
+	ctx, sp := obs.StartSpan(ctx, "warehouse.refresh")
+	start := time.Now()
+	defer func() {
+		metWHSeconds.Observe(time.Since(start))
+		if err != nil {
+			metWHRefreshes("error").Inc()
+		} else {
+			metWHRefreshes("ok").Inc()
+		}
+		sp.SetErr(err)
+		sp.End()
+	}()
 	w.mu.Lock()
 	regs := append([]registration(nil), w.sources...)
 	w.mu.Unlock()
@@ -121,6 +147,7 @@ func (w *Warehouse) RefreshAll(ctx context.Context) error {
 			}
 		}
 	}
+	metWHRows.Add(int64(total))
 	w.mu.Lock()
 	w.lastRefresh = time.Now()
 	w.refreshes++

@@ -7,7 +7,9 @@
 #   2. go vet ./...              stock vet suite
 #   3. go run ./cmd/coheralint   project-specific analyzers (see
 #      ./...                     internal/analysis/doc.go)
-#   4. go test -race ./...       full tests under the race detector
+#   4. go run ./cmd/coherasmoke  daemon smoke: in-process coherad
+#                                handler, /healthz 200, /metrics parses
+#   5. go test -race ./...       full tests under the race detector
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,6 +22,9 @@ go vet ./...
 
 echo "==> coheralint ./..."
 go run ./cmd/coheralint ./...
+
+echo "==> coherasmoke"
+go run ./cmd/coherasmoke
 
 echo "==> go test -race ./..."
 go test -race ./...
