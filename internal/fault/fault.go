@@ -1,0 +1,286 @@
+// Package fault is the deterministic fault-injection layer of the
+// federation: a seeded, composable injector producing error rates,
+// added latency, hangs, truncated responses and MTBF/MTTR flap
+// schedules (the same failure process internal/ha sweeps analytically,
+// here made executable against the live engine).
+//
+// An Injector plugs in at three levels of the stack:
+//
+//   - as an http.RoundTripper (see RoundTripper) inside remote.Client
+//     or wrapper.Session, faulting the transport itself;
+//   - as a hook on federation.Site (Injector.Inject matches the
+//     federation.FaultHook signature), faulting a site before it serves
+//     a subquery or accepts a write;
+//   - directly, by calling Next/Inject from any harness.
+//
+// All randomness flows from one seeded source per injector, so a
+// single-threaded workload observes an identical fault sequence on
+// every run. Time never comes from the wall clock unless asked: flap
+// schedules are evaluated against an elapsed-time function that
+// defaults to real time but is usually a ManualClock in tests and the
+// chaos harness. Every injected fault is counted in the shared obs
+// registry under cohera_fault_injected_total.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cohera/internal/obs"
+)
+
+// ErrInjected marks every failure this package fabricates; harness
+// invariants use errors.Is(err, fault.ErrInjected) to separate
+// manufactured faults from genuine bugs.
+var ErrInjected = errors.New("fault: injected failure")
+
+// metInjected counts injected faults by injector name and kind.
+func metInjected(name, kind string) *obs.Counter {
+	return obs.Default().Counter("cohera_fault_injected_total",
+		"Faults injected, by injector and kind.",
+		obs.Labels{"injector": name, "kind": kind})
+}
+
+// Config describes one injector's fault mix. All rates are
+// probabilities in [0, 1] drawn independently per operation.
+type Config struct {
+	// ErrorRate is the probability an operation fails outright.
+	ErrorRate float64
+	// FailFirst deterministically fails the first N operations before
+	// any probabilistic draw — the building block for "transient outage
+	// recovered by retry" scenarios.
+	FailFirst int
+	// Latency is added to an operation when the latency draw fires;
+	// LatencyJitter adds a uniform extra in [0, LatencyJitter).
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// LatencyRate is the probability of injecting latency. Zero with a
+	// non-zero Latency/LatencyJitter means "always".
+	LatencyRate float64
+	// HangRate is the probability an operation blocks until its context
+	// is cancelled — the pathological slow source.
+	HangRate float64
+	// TruncateRate is the probability a response body is cut short
+	// (RoundTripper only; ignored elsewhere).
+	TruncateRate float64
+	// Seed drives the deterministic draw sequence.
+	Seed int64
+}
+
+// Outcome is one operation's injected fate.
+type Outcome struct {
+	// Err reports an injected outright failure.
+	Err bool
+	// Down reports the flap schedule had the target down.
+	Down bool
+	// Hang reports the operation should block until cancellation.
+	Hang bool
+	// Truncate reports the response body should be cut short.
+	Truncate bool
+	// Delay is injected latency to serve before the operation.
+	Delay time.Duration
+}
+
+// Faulty reports whether the outcome perturbs the operation at all.
+func (o Outcome) Faulty() bool {
+	return o.Err || o.Down || o.Hang || o.Truncate || o.Delay > 0
+}
+
+// Injector produces fault outcomes from a seeded stream. Safe for
+// concurrent use; with concurrent callers the per-call interleaving
+// (not the stream itself) is scheduling-dependent.
+type Injector struct {
+	name string
+
+	mu        sync.Mutex
+	cfg       Config
+	rng       *rand.Rand
+	failFirst int
+	sched     *Schedule
+	elapsed   func() time.Duration
+	start     time.Time
+	enabled   bool
+}
+
+// New creates an enabled injector. name labels its metrics series.
+func New(name string, cfg Config) *Injector {
+	return &Injector{
+		name:      name,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		failFirst: cfg.FailFirst,
+		start:     time.Now(),
+		enabled:   true,
+	}
+}
+
+// Name returns the injector's metrics label.
+func (i *Injector) Name() string { return i.name }
+
+// SetEnabled turns injection on or off; a disabled injector passes
+// every operation untouched without consuming random draws.
+func (i *Injector) SetEnabled(on bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.enabled = on
+}
+
+// Enabled reports whether the injector is active.
+func (i *Injector) Enabled() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.enabled
+}
+
+// SetSchedule installs a flap schedule; nil clears it.
+func (i *Injector) SetSchedule(s *Schedule) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.sched = s
+}
+
+// SetElapsed installs the elapsed-time source the flap schedule is
+// evaluated against (e.g. (*ManualClock).Elapsed). nil restores the
+// default, wall time since New.
+func (i *Injector) SetElapsed(fn func() time.Duration) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.elapsed = fn
+}
+
+// Down reports whether the flap schedule currently has the target down.
+func (i *Injector) Down() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.downLocked()
+}
+
+func (i *Injector) downLocked() bool {
+	if !i.enabled || i.sched == nil {
+		return false
+	}
+	return i.sched.DownAt(i.elapsedLocked())
+}
+
+func (i *Injector) elapsedLocked() time.Duration {
+	if i.elapsed != nil {
+		return i.elapsed()
+	}
+	return time.Since(i.start)
+}
+
+// Next draws one operation's outcome and counts what it injected. The
+// draw order is fixed (error, latency, hang, truncate) and every draw
+// is consumed regardless of which faults fire, so the stream stays
+// aligned across config changes.
+func (i *Injector) Next() Outcome {
+	i.mu.Lock()
+	var o Outcome
+	if !i.enabled {
+		i.mu.Unlock()
+		return o
+	}
+	o.Down = i.downLocked()
+	errDraw := i.rng.Float64()
+	latDraw := i.rng.Float64()
+	hangDraw := i.rng.Float64()
+	truncDraw := i.rng.Float64()
+	var jitter time.Duration
+	if i.cfg.LatencyJitter > 0 {
+		jitter = time.Duration(i.rng.Int63n(int64(i.cfg.LatencyJitter)))
+	}
+	if i.failFirst > 0 {
+		i.failFirst--
+		o.Err = true
+	} else if errDraw < i.cfg.ErrorRate {
+		o.Err = true
+	}
+	latRate := i.cfg.LatencyRate
+	if latRate == 0 && (i.cfg.Latency > 0 || i.cfg.LatencyJitter > 0) {
+		latRate = 1
+	}
+	if latDraw < latRate {
+		o.Delay = i.cfg.Latency + jitter
+	}
+	o.Hang = hangDraw < i.cfg.HangRate
+	o.Truncate = truncDraw < i.cfg.TruncateRate
+	i.mu.Unlock()
+
+	if o.Down {
+		metInjected(i.name, "outage").Inc()
+	}
+	if o.Err {
+		metInjected(i.name, "error").Inc()
+	}
+	if o.Delay > 0 {
+		metInjected(i.name, "latency").Inc()
+	}
+	if o.Hang {
+		metInjected(i.name, "hang").Inc()
+	}
+	if o.Truncate {
+		metInjected(i.name, "truncate").Inc()
+	}
+	return o
+}
+
+// Inject draws an outcome and applies it inline: scheduled outages and
+// injected errors return an ErrInjected wrap, hangs block until ctx
+// ends, latency waits (respecting ctx). It matches the site fault-hook
+// signature, making an Injector pluggable into federation.Site.
+func (i *Injector) Inject(ctx context.Context) error {
+	o := i.Next()
+	if o.Down {
+		return fmt.Errorf("%w: %s: scheduled outage", ErrInjected, i.name)
+	}
+	if o.Hang {
+		<-ctx.Done()
+		return fmt.Errorf("%w: %s: hang aborted: %v", ErrInjected, i.name, ctx.Err())
+	}
+	if o.Delay > 0 {
+		t := time.NewTimer(o.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if o.Err {
+		return fmt.Errorf("%w: %s", ErrInjected, i.name)
+	}
+	return nil
+}
+
+// ManualClock is a hand-advanced elapsed-time source shared by an
+// injector's flap schedule and a breaker's Clock, letting a harness
+// step through outage windows deterministically.
+type ManualClock struct {
+	mu      sync.Mutex
+	elapsed time.Duration
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.elapsed += d
+}
+
+// Elapsed returns the accumulated duration (matches the injector's
+// SetElapsed signature).
+func (c *ManualClock) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elapsed
+}
+
+// Now maps the elapsed duration onto an absolute instant (epoch +
+// elapsed), matching the resilience.Breaker Clock signature.
+func (c *ManualClock) Now() time.Time {
+	return time.Unix(0, 0).Add(c.Elapsed())
+}

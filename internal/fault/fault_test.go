@@ -1,0 +1,257 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cohera/internal/ha"
+)
+
+func TestInjectorDeterministicStream(t *testing.T) {
+	outcomes := func() []Outcome {
+		inj := New("det", Config{ErrorRate: 0.3, HangRate: 0.1, TruncateRate: 0.2, Seed: 42})
+		var out []Outcome
+		for i := 0; i < 50; i++ {
+			out = append(out, inj.Next())
+		}
+		return out
+	}
+	a, b := outcomes(), outcomes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed perturbs the stream.
+	inj := New("det2", Config{ErrorRate: 0.3, HangRate: 0.1, TruncateRate: 0.2, Seed: 43})
+	same := true
+	for i := 0; i < 50; i++ {
+		if inj.Next() != a[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seed should produce a different stream")
+	}
+}
+
+func TestInjectorFailFirst(t *testing.T) {
+	inj := New("ff", Config{FailFirst: 3, Seed: 1})
+	for i := 0; i < 3; i++ {
+		if err := inj.Inject(context.Background()); !errors.Is(err, ErrInjected) {
+			t.Fatalf("op %d: want injected error, got %v", i, err)
+		}
+	}
+	if err := inj.Inject(context.Background()); err != nil {
+		t.Fatalf("after FailFirst drains, ops should pass: %v", err)
+	}
+}
+
+func TestInjectorDisabled(t *testing.T) {
+	inj := New("off", Config{ErrorRate: 1, Seed: 1})
+	inj.SetEnabled(false)
+	if inj.Enabled() {
+		t.Fatal("should be disabled")
+	}
+	for i := 0; i < 10; i++ {
+		if err := inj.Inject(context.Background()); err != nil {
+			t.Fatalf("disabled injector must pass everything: %v", err)
+		}
+	}
+}
+
+func TestInjectorLatencyAndHang(t *testing.T) {
+	inj := New("lat", Config{Latency: time.Millisecond, Seed: 1})
+	start := time.Now()
+	if err := inj.Inject(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("latency injection should delay")
+	}
+	// A hang blocks until the context ends and reports injection.
+	hang := New("hang", Config{HangRate: 1, Seed: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := hang.Inject(ctx)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("hang should report ErrInjected after cancellation, got %v", err)
+	}
+}
+
+func TestScheduleWindows(t *testing.T) {
+	s, err := NewSchedule(Window{Start: time.Second, End: 2 * time.Second},
+		Window{Start: 3 * time.Second, End: 4 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at   time.Duration
+		down bool
+	}{
+		{0, false}, {time.Second, true}, {1500 * time.Millisecond, true},
+		{2 * time.Second, false}, {3500 * time.Millisecond, true}, {5 * time.Second, false},
+	}
+	for _, c := range cases {
+		if got := s.DownAt(c.at); got != c.down {
+			t.Errorf("DownAt(%v) = %v, want %v", c.at, got, c.down)
+		}
+	}
+	if s.End() != 4*time.Second {
+		t.Errorf("End = %v", s.End())
+	}
+	// Malformed windows are rejected.
+	if _, err := NewSchedule(Window{Start: time.Second, End: time.Second}); err == nil {
+		t.Error("empty window should be rejected")
+	}
+	if _, err := NewSchedule(Window{Start: 2 * time.Second, End: 3 * time.Second},
+		Window{Start: time.Second, End: 4 * time.Second}); err == nil {
+		t.Error("out-of-order windows should be rejected")
+	}
+}
+
+func TestFlapDeterministicAndBounded(t *testing.T) {
+	a, err := Flap(time.Hour, 10*time.Minute, 24*time.Hour, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Flap(time.Hour, 10*time.Minute, 24*time.Hour, 5)
+	aw, bw := a.Windows(), b.Windows()
+	if len(aw) == 0 {
+		t.Fatal("a day at MTBF=1h should flap at least once")
+	}
+	if len(aw) != len(bw) {
+		t.Fatalf("same seed, different window count: %d vs %d", len(aw), len(bw))
+	}
+	for i := range aw {
+		if aw[i] != bw[i] {
+			t.Fatalf("window %d differs", i)
+		}
+	}
+	prev := time.Duration(0)
+	for i, w := range aw {
+		if w.Start >= w.End || w.Start < prev || w.End > 24*time.Hour {
+			t.Fatalf("window %d malformed: %+v", i, w)
+		}
+		prev = w.End
+	}
+	// Invalid parameters are rejected.
+	if _, err := Flap(0, time.Minute, time.Hour, 1); err == nil {
+		t.Error("MTBF 0 should be rejected")
+	}
+	if _, err := Flap(time.Hour, time.Minute, 0, 1); err == nil {
+		t.Error("horizon 0 should be rejected")
+	}
+	// MTTR 0 means instant repair: a valid, windowless schedule.
+	z, err := Flap(time.Hour, 0, 24*time.Hour, 1)
+	if err != nil {
+		t.Fatalf("MTTR 0: %v", err)
+	}
+	if len(z.Windows()) != 0 {
+		t.Errorf("instant repair should produce no outage windows, got %d", len(z.Windows()))
+	}
+}
+
+func TestFlapFromHA(t *testing.T) {
+	cfg := ha.Config{Sites: 1, Fragments: 1, Replicas: 1,
+		MTBF: time.Hour, MTTR: 10 * time.Minute, Horizon: 48 * time.Hour, Seed: 9}
+	s, err := FlapFromHA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Windows()) == 0 {
+		t.Fatal("48h horizon should flap")
+	}
+}
+
+func TestScheduledOutageThroughInjector(t *testing.T) {
+	sched, err := NewSchedule(Window{Start: 0, End: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &ManualClock{}
+	inj := New("flap", Config{Seed: 1})
+	inj.SetSchedule(sched)
+	inj.SetElapsed(clock.Elapsed)
+	if !inj.Down() {
+		t.Fatal("schedule starts down")
+	}
+	if err := inj.Inject(context.Background()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("outage should inject, got %v", err)
+	}
+	clock.Advance(time.Second)
+	if inj.Down() {
+		t.Fatal("schedule should have cleared")
+	}
+	if err := inj.Inject(context.Background()); err != nil {
+		t.Fatalf("after the window clears, ops pass: %v", err)
+	}
+}
+
+func TestRoundTripperFaults(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"rows":[["a"],["b"],["c"],["d"]]}`)
+	}))
+	defer ts.Close()
+
+	// Errors surface as transport failures wrapping ErrInjected.
+	errClient := &http.Client{Transport: &RoundTripper{Injector: New("rt-err", Config{ErrorRate: 1, Seed: 1})}}
+	_, err := errClient.Get(ts.URL)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected through url.Error, got %v", err)
+	}
+
+	// Truncation halves the body.
+	truncClient := &http.Client{Transport: &RoundTripper{Injector: New("rt-trunc", Config{TruncateRate: 1, Seed: 1})}}
+	resp, err := truncClient.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := len(`{"rows":[["a"],["b"],["c"],["d"]]}`)
+	if len(body) != full/2 {
+		t.Fatalf("truncated body = %d bytes, want %d", len(body), full/2)
+	}
+
+	// A hang respects the request context.
+	hangClient := &http.Client{Transport: &RoundTripper{Injector: New("rt-hang", Config{HangRate: 1, Seed: 1})}}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := hangClient.Do(req); err == nil {
+		t.Fatal("hang should fail once the context ends")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("hang should abort at the context deadline, not block")
+	}
+
+	// A clean injector passes requests through untouched.
+	clean := &http.Client{Transport: &RoundTripper{Injector: New("rt-clean", Config{Seed: 1})}}
+	resp, err = clean.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil || len(body) != full {
+		t.Fatalf("clean pass-through: %d bytes, err %v", len(body), err)
+	}
+}

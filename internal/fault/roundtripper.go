@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// RoundTripper wraps an http.RoundTripper with fault injection,
+// turning any HTTP client — remote.Client via remote.WithTransport,
+// wrapper.Session via wrapper.WithTransport — into a flaky one.
+// Outright errors and scheduled outages surface as transport errors
+// (wrapping ErrInjected), hangs block until the request context ends,
+// latency delays the request, and truncation cuts the response body
+// short so decoders see corrupt payloads.
+type RoundTripper struct {
+	// Base performs the real request; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Injector supplies the fault stream; nil passes everything through.
+	Injector *Injector
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if t.Injector == nil {
+		return base.RoundTrip(req)
+	}
+	o := t.Injector.Next()
+	if o.Down {
+		return nil, fmt.Errorf("%w: %s: scheduled outage", ErrInjected, t.Injector.Name())
+	}
+	if o.Err {
+		return nil, fmt.Errorf("%w: %s: transport error", ErrInjected, t.Injector.Name())
+	}
+	if o.Hang {
+		<-req.Context().Done()
+		return nil, fmt.Errorf("%w: %s: hang aborted: %v", ErrInjected, t.Injector.Name(), req.Context().Err())
+	}
+	if o.Delay > 0 {
+		timer := time.NewTimer(o.Delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || !o.Truncate {
+		return resp, err
+	}
+	return truncateResponse(resp)
+}
+
+// truncateResponse replaces the response body with its first half,
+// simulating a connection dropped mid-transfer.
+func truncateResponse(resp *http.Response) (*http.Response, error) {
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	closeErr := resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("fault: draining body for truncation: %w", err)
+	}
+	if closeErr != nil {
+		return nil, fmt.Errorf("fault: closing body for truncation: %w", closeErr)
+	}
+	cut := body[:len(body)/2]
+	resp.Body = io.NopCloser(bytes.NewReader(cut))
+	resp.ContentLength = int64(len(cut))
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}

@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cohera/internal/ha"
+)
+
+// Window is one contiguous outage: the target is down for elapsed
+// times in [Start, End).
+type Window struct {
+	Start, End time.Duration
+}
+
+// Schedule is an immutable timeline of outage windows. Beyond the last
+// window the target is up forever (faults clear), which is what lets a
+// chaos run assert recovery.
+type Schedule struct {
+	windows []Window
+}
+
+// NewSchedule builds a schedule from explicit windows, which must be
+// well-formed (Start < End) and sorted ascending without overlap.
+func NewSchedule(windows ...Window) (*Schedule, error) {
+	var prev time.Duration
+	for i, w := range windows {
+		if w.Start >= w.End {
+			return nil, fmt.Errorf("fault: window %d: start %v not before end %v", i, w.Start, w.End)
+		}
+		if w.Start < prev {
+			return nil, fmt.Errorf("fault: window %d overlaps or is out of order", i)
+		}
+		prev = w.End
+	}
+	return &Schedule{windows: append([]Window(nil), windows...)}, nil
+}
+
+// Flap generates an MTBF/MTTR outage schedule with the same
+// exponential up/down process internal/ha sweeps analytically: up
+// periods are Exp(MTBF), down periods Exp(MTTR), truncated at horizon.
+// The target starts up. mttr may be zero (repairs are instantaneous,
+// producing no windows).
+func Flap(mtbf, mttr, horizon time.Duration, seed int64) (*Schedule, error) {
+	if mtbf <= 0 || mttr < 0 || horizon <= 0 {
+		return nil, fmt.Errorf("fault: flap needs MTBF > 0, MTTR >= 0, horizon > 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var windows []Window
+	t := time.Duration(0)
+	for t < horizon {
+		up := time.Duration(rng.ExpFloat64() * float64(mtbf))
+		t += up
+		if t >= horizon {
+			break
+		}
+		down := time.Duration(rng.ExpFloat64() * float64(mttr))
+		if down > 0 {
+			end := t + down
+			if end > horizon {
+				end = horizon
+			}
+			windows = append(windows, Window{Start: t, End: end})
+		}
+		t += down
+	}
+	return &Schedule{windows: windows}, nil
+}
+
+// FlapFromHA derives a single-site flap schedule from an E5
+// availability-simulation config, tying the executable fault schedule
+// to the same MTBF/MTTR semantics the simulator reports on.
+func FlapFromHA(cfg ha.Config) (*Schedule, error) {
+	return Flap(cfg.MTBF, cfg.MTTR, cfg.Horizon, cfg.Seed)
+}
+
+// DownAt reports whether the target is down at the given elapsed time.
+func (s *Schedule) DownAt(elapsed time.Duration) bool {
+	if s == nil {
+		return false
+	}
+	// Windows are few (flap schedules over harness horizons); linear
+	// scan with early exit beats maintaining a search structure.
+	for _, w := range s.windows {
+		if elapsed < w.Start {
+			return false
+		}
+		if elapsed < w.End {
+			return true
+		}
+	}
+	return false
+}
+
+// Windows returns a copy of the outage windows (for harness reporting).
+func (s *Schedule) Windows() []Window {
+	if s == nil {
+		return nil
+	}
+	return append([]Window(nil), s.windows...)
+}
+
+// End returns the end of the last outage window — the instant after
+// which the schedule is clear forever (0 for an empty schedule).
+func (s *Schedule) End() time.Duration {
+	if s == nil || len(s.windows) == 0 {
+		return 0
+	}
+	return s.windows[len(s.windows)-1].End
+}

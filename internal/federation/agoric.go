@@ -97,7 +97,11 @@ func (a *Agoric) Rank(ctx context.Context, frag *Fragment, estRows int) []*Site 
 		wg.Add(1)
 		go func(s *Site) {
 			defer wg.Done()
-			if !s.Alive() {
+			// Down or breaker-open sites sit the auction out; a half-open
+			// site still bids (it needs probe traffic to close) but at a
+			// health-marked-up price so it only wins when alternatives are
+			// worse.
+			if !s.Available() {
 				return
 			}
 			// A bidder prices the subquery from its own cost model and
@@ -114,6 +118,9 @@ func (a *Agoric) Rank(ctx context.Context, frag *Fragment, estRows int) []*Site 
 				}
 			}
 			price := base * (1 + a.Greed*float64(s.Load()))
+			if h := s.HealthScore(); h > 0 && h < 1 {
+				price /= h
+			}
 			sheet.Lock()
 			sheet.bids = append(sheet.bids, Bid{Site: s, Price: price})
 			sheet.Unlock()

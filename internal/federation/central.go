@@ -39,9 +39,10 @@ type Centralized struct {
 }
 
 type siteStats struct {
-	load  int64
-	alive bool
-	cost  CostModel
+	load   int64
+	alive  bool
+	health float64
+	cost   CostModel
 }
 
 // NewCentralized returns the baseline optimizer bound to a federation
@@ -81,7 +82,10 @@ func (c *Centralized) RefreshStats(ctx context.Context) {
 				return
 			}
 		}
-		snap[s.Name()] = siteStats{load: s.Load(), alive: s.Alive(), cost: s.Cost()}
+		// "alive" in the snapshot is the scoreboard's view: down or
+		// breaker-open sites are excluded until the next refresh — which
+		// is exactly the staleness E4 measures.
+		snap[s.Name()] = siteStats{load: s.Load(), alive: s.Available(), health: s.HealthScore(), cost: s.Cost()}
 	}
 	c.mu.Lock()
 	c.snapshot = snap
@@ -121,6 +125,9 @@ func (c *Centralized) Rank(ctx context.Context, frag *Fragment, estRows int) []*
 				base = float64(time.Microsecond)
 			}
 			price = base * (1 + float64(st.load)) // stale load!
+			if st.health > 0 && st.health < 1 {
+				price /= st.health // half-open at snapshot time: rank last-ish
+			}
 		} else {
 			// Unknown site (joined after the snapshot): a compile-time
 			// optimizer has no statistics for it, so it ranks last.

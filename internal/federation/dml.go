@@ -176,8 +176,13 @@ func (f *Federation) execInsert(ctx context.Context, s sqlparse.InsertStmt, trac
 			return dr, err
 		}
 		wrote := false
+		var lastUnavail error
 		for _, site := range frag.Replicas() {
-			if !site.Alive() {
+			if aerr := site.CheckAvailable(ctx); aerr != nil {
+				if ctx.Err() != nil {
+					return dr, ctx.Err()
+				}
+				lastUnavail = aerr
 				dr.SkippedReplicas = append(dr.SkippedReplicas, frag.ID+"@"+site.Name())
 				if trace != nil {
 					trace.Failovers++
@@ -191,10 +196,14 @@ func (f *Federation) execInsert(ctx context.Context, s sqlparse.InsertStmt, trac
 			if _, err := tbl.Upsert(row); err != nil {
 				return dr, fmt.Errorf("federation: insert at %s: %w", site.Name(), err)
 			}
+			site.Breaker().RecordSuccess()
 			noteDMLSite(trace, def.Name+"/"+frag.ID, site.Name())
 			wrote = true
 		}
 		if !wrote {
+			if lastUnavail != nil {
+				return dr, fmt.Errorf("%w: fragment %s of %s: %w", ErrNoReplica, frag.ID, def.Name, lastUnavail)
+			}
 			return dr, fmt.Errorf("%w: fragment %s of %s", ErrNoReplica, frag.ID, def.Name)
 		}
 		dr.Rows++
@@ -246,8 +255,14 @@ func (f *Federation) execWhereDML(ctx context.Context, table string, where sqlpa
 			continue
 		}
 		fragRows := -1
+		applied := 0
+		var lastUnavail error
 		for _, site := range frag.Replicas() {
-			if !site.Alive() {
+			if aerr := site.CheckAvailable(ctx); aerr != nil {
+				if ctx.Err() != nil {
+					return dr, ctx.Err()
+				}
+				lastUnavail = aerr
 				dr.SkippedReplicas = append(dr.SkippedReplicas, frag.ID+"@"+site.Name())
 				if trace != nil {
 					trace.Failovers++
@@ -259,13 +274,19 @@ func (f *Federation) execWhereDML(ctx context.Context, table string, where sqlpa
 				res, err := site.DB().Exec(sql)
 				if err != nil {
 					if errors.Is(err, schema.ErrNoTable) {
-						continue // replica never materialized this table
+						// The replica never materialized this table: a live
+						// no-op, which still counts as an applied write (the
+						// fragment's rows cannot exist there).
+						applied++
+						continue
 					}
 					return dr, fmt.Errorf("federation: dml at %s: %w", site.Name(), err)
 				}
 				n = int(res.Rows[0][0].Int())
 				visited[site] = n
+				site.Breaker().RecordSuccess()
 			}
+			applied++
 			noteDMLSite(trace, gt.Def.Name+"/"+frag.ID, site.Name())
 			if fragRows == -1 {
 				fragRows = n
@@ -274,6 +295,16 @@ func (f *Federation) execWhereDML(ctx context.Context, table string, where sqlpa
 				dr.SkippedReplicas = append(dr.SkippedReplicas,
 					fmt.Sprintf("%s@%s(diverged:%d!=%d)", frag.ID, site.Name(), n, fragRows))
 			}
+		}
+		// A targeted fragment whose every replica was unavailable means
+		// the write was lost, not merely degraded: say so with a typed
+		// error instead of silently succeeding (the old behaviour).
+		if applied == 0 && len(frag.Replicas()) > 0 {
+			if lastUnavail != nil {
+				return dr, fmt.Errorf("%w: fragment %s of %s: write not applied: %w",
+					ErrNoReplica, frag.ID, gt.Def.Name, lastUnavail)
+			}
+			return dr, fmt.Errorf("%w: fragment %s of %s: write not applied", ErrNoReplica, frag.ID, gt.Def.Name)
 		}
 		if fragRows > 0 {
 			dr.Rows += fragRows

@@ -14,6 +14,7 @@ import (
 	"cohera/internal/ir"
 	"cohera/internal/obs"
 	"cohera/internal/plan"
+	"cohera/internal/resilience"
 	"cohera/internal/schema"
 	"cohera/internal/sqlparse"
 	"cohera/internal/storage"
@@ -37,6 +38,10 @@ var (
 		"Row-column cells moved from sites to the coordinator.", nil)
 	metCellsSaved = obs.Default().Counter("cohera_federation_pushdown_cells_saved_total",
 		"Cells projection pushdown avoided shipping.", nil)
+	metDegraded = obs.Default().Counter("cohera_federation_degraded_queries_total",
+		"Federated SELECTs that returned partial results under PartialResults mode.", nil)
+	metDegradedFragments = obs.Default().Counter("cohera_federation_degraded_fragments_total",
+		"Fragments dropped from partial results because no replica could serve them.", nil)
 )
 
 // metSiteRows returns the per-site rows-fetched counter.
@@ -83,8 +88,20 @@ type GlobalTable struct {
 	Fragments []*Fragment
 }
 
-// ErrNoReplica is returned when every replica of a fragment is down.
-var ErrNoReplica = fmt.Errorf("federation: no live replica")
+// ErrNoReplica is returned when every replica of a fragment is
+// unavailable (down, breaker-open, or failing). Errors carrying it wrap
+// the fragment ID and the last replica error, so callers can both
+// classify with errors.Is and report which fragment was lost.
+var ErrNoReplica = errors.New("federation: no live replica")
+
+// isAvailabilityErr reports whether err is an availability-class
+// failure — the kind partial-results mode may degrade around, as
+// opposed to semantic errors (unknown column, bad filter) which must
+// fail the query.
+func isAvailabilityErr(err error) bool {
+	return errors.Is(err, ErrSiteDown) || errors.Is(err, ErrBreakerOpen) ||
+		errors.Is(err, ErrSiteFailure) || errors.Is(err, ErrNoReplica)
+}
 
 // Optimizer ranks the replicas of a fragment for a subquery expected to
 // produce about estRows rows. The executor tries sites in the returned
@@ -103,6 +120,15 @@ type Federation struct {
 	// DisableProjectionPushdown turns off column pruning of shipped
 	// subquery results — kept as an ablation switch; leave false.
 	DisableProjectionPushdown bool
+
+	// PartialResults opts federated SELECTs into graceful degradation:
+	// when every replica of a fragment is unavailable, the query returns
+	// the live fragments' rows instead of failing, marking the trace
+	// Degraded and recording the lost fragment's typed error in
+	// FragmentErrors. Semantic errors still fail the query. Set it
+	// before serving queries, alongside the other construction-time
+	// switches.
+	PartialResults bool
 
 	// syn is set once in New and immutable afterwards (the Synonyms
 	// structure synchronizes itself).
@@ -164,6 +190,38 @@ func (f *Federation) Sites() []*Site {
 		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// SiteHealth is one row of the federation's health scoreboard: the
+// graded availability view that replaces the old binary down flag.
+type SiteHealth struct {
+	// Site is the site name.
+	Site string
+	// Alive is the operator-level liveness flag (SetDown).
+	Alive bool
+	// Breaker is the circuit breaker's current position.
+	Breaker resilience.State
+	// ConsecutiveFailures is the breaker's failure streak.
+	ConsecutiveFailures int
+	// Score is the site's HealthScore in [0, 1].
+	Score float64
+}
+
+// Scoreboard snapshots every site's health, sorted by name — what the
+// chaos harness and introspection endpoints report on.
+func (f *Federation) Scoreboard() []SiteHealth {
+	sites := f.Sites()
+	out := make([]SiteHealth, 0, len(sites))
+	for _, s := range sites {
+		out = append(out, SiteHealth{
+			Site:                s.Name(),
+			Alive:               s.Alive(),
+			Breaker:             s.Breaker().State(),
+			ConsecutiveFailures: s.Breaker().ConsecutiveFailures(),
+			Score:               s.HealthScore(),
+		})
+	}
 	return out
 }
 
@@ -274,6 +332,22 @@ type QueryTrace struct {
 	// would have cost (the projection-pushdown ablation metric).
 	CellsShipped         int
 	CellsWithoutPushdown int
+	// Degraded reports the result is partial: under PartialResults mode
+	// at least one fragment had no available replica and was dropped.
+	Degraded bool
+	// FragmentErrors maps "table/fragment" to the typed error that made
+	// the fragment unavailable (always wrapping ErrNoReplica). Only
+	// populated for degraded queries.
+	FragmentErrors map[string]error
+}
+
+// noteFragmentError records one dropped fragment on a degraded trace.
+func (t *QueryTrace) noteFragmentError(key string, err error) {
+	if t.FragmentErrors == nil {
+		t.FragmentErrors = make(map[string]error)
+	}
+	t.FragmentErrors[key] = err
+	t.Degraded = true
 }
 
 // Query parses and executes a federated SELECT against the global schema.
@@ -329,6 +403,9 @@ func (f *Federation) Union(ctx context.Context, u sqlparse.UnionStmt) (*exec.Res
 		total.PrunedFragments += trace.PrunedFragments
 		total.CellsShipped += trace.CellsShipped
 		total.CellsWithoutPushdown += trace.CellsWithoutPushdown
+		for k, fe := range trace.FragmentErrors {
+			total.noteFragmentError(k, fe)
+		}
 		for _, row := range r.Rows {
 			if !u.All {
 				key := rowKey(row)
@@ -366,6 +443,11 @@ func (f *Federation) Select(ctx context.Context, sel sqlparse.SelectStmt) (*exec
 		sp.SetErr(err)
 	} else {
 		sp.Set("rows", strconv.Itoa(len(res.Rows)))
+		if trace.Degraded {
+			sp.Set("degraded", strconv.Itoa(len(trace.FragmentErrors)))
+			metDegraded.Inc()
+			metDegradedFragments.Add(int64(len(trace.FragmentErrors)))
+		}
 		trace.TraceID = sp.TraceID
 	}
 	sp.End()
@@ -694,7 +776,10 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 			for _, site := range ranked {
 				res, err := site.SubQuery(gctx, gt.Def.Name, push, cols)
 				if err != nil {
-					if errors.Is(err, ErrSiteDown) {
+					// Availability failures — declared outages, an open
+					// breaker, transient faults — fail over to the next
+					// replica; anything else (semantic) aborts the fragment.
+					if isAvailabilityErr(err) && gctx.Err() == nil {
 						out.fail++
 						lastErr = err
 						continue
@@ -712,10 +797,11 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 				ch <- out
 				return
 			}
-			if lastErr == nil {
-				lastErr = ErrNoReplica
+			if lastErr != nil {
+				out.err = fmt.Errorf("%w: fragment %s of %s: %w", ErrNoReplica, frag.ID, gt.Def.Name, lastErr)
+			} else {
+				out.err = fmt.Errorf("%w: fragment %s of %s", ErrNoReplica, frag.ID, gt.Def.Name)
 			}
-			out.err = fmt.Errorf("%w: fragment %s of %s", ErrNoReplica, frag.ID, gt.Def.Name)
 			gsp.SetErr(out.err)
 			ch <- out
 		}(frag)
@@ -726,6 +812,13 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 		trace.Failovers += r.fail
 		metFailovers.Add(int64(r.fail))
 		if r.err != nil {
+			// Under PartialResults a fragment lost to unavailability is
+			// degraded around: its typed error lands on the trace and the
+			// live fragments still answer. Semantic errors always fail.
+			if f.PartialResults && isAvailabilityErr(r.err) && ctx.Err() == nil {
+				trace.noteFragmentError(gt.Def.Name+"/"+r.frag.ID, r.err)
+				continue
+			}
 			if firstErr == nil {
 				firstErr = r.err
 			}
@@ -752,11 +845,11 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 	return firstErr
 }
 
-// estimateRows asks the fragment's first live replica for its local
-// cardinality — the estimate bids and cost formulas consume.
+// estimateRows asks the fragment's first available replica for its
+// local cardinality — the estimate bids and cost formulas consume.
 func estimateRows(frag *Fragment, table string) int {
 	for _, s := range frag.Replicas() {
-		if s.Alive() {
+		if s.Available() {
 			if n := s.TableRows(table); n > 0 {
 				return n
 			}

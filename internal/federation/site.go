@@ -16,6 +16,7 @@ package federation
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -25,13 +26,48 @@ import (
 	"cohera/internal/exec"
 	"cohera/internal/obs"
 	"cohera/internal/plan"
+	"cohera/internal/resilience"
 	"cohera/internal/sqlparse"
 	"cohera/internal/storage"
 	"cohera/internal/wrapper"
 )
 
-// ErrSiteDown is returned by operations against a failed site.
-var ErrSiteDown = fmt.Errorf("federation: site down")
+// Sentinel errors of the site availability machinery. They are
+// errors.New sentinels so failover and degradation logic can classify
+// failures with errors.Is through arbitrarily deep wrap chains.
+var (
+	// ErrSiteDown is returned by operations against a site whose
+	// liveness flag is off (an operator- or harness-declared outage).
+	ErrSiteDown = errors.New("federation: site down")
+	// ErrBreakerOpen is returned when a site's circuit breaker is
+	// rejecting traffic after persistent failures.
+	ErrBreakerOpen = errors.New("federation: circuit breaker open")
+	// ErrSiteFailure marks a transient failure at a site — an injected
+	// fault or a failed fetch from the source it fronts. The gather
+	// loop fails over to the next replica on it.
+	ErrSiteFailure = errors.New("federation: transient site failure")
+)
+
+// FaultHook is a site-level fault injection point (see internal/fault:
+// Injector.Inject matches this signature). A non-nil error makes the
+// site refuse the operation as a transient failure; the hook may also
+// delay or block to simulate slowness, honoring ctx.
+type FaultHook func(ctx context.Context) error
+
+// metBreakerState is the per-site breaker position gauge
+// (0 closed, 1 open, 2 half-open — resilience.State values).
+func metBreakerState(site string) *obs.Gauge {
+	return obs.Default().Gauge("cohera_breaker_state",
+		"Circuit breaker position per site (0 closed, 1 open, 2 half-open).",
+		obs.Labels{"site": site})
+}
+
+// metBreakerTransitions counts breaker state changes per site.
+func metBreakerTransitions(site, to string) *obs.Counter {
+	return obs.Default().Counter("cohera_breaker_transitions_total",
+		"Circuit breaker transitions per site, by target state.",
+		obs.Labels{"site": site, "to": to})
+}
 
 // CostModel describes a site's simulated performance: the paper's testbed
 // is a wide-area network of heterogeneous machines, which we reproduce
@@ -60,9 +96,17 @@ type Site struct {
 	latShared *obs.Histogram
 	latLocal  *obs.Histogram
 
+	// breaker is the site's circuit breaker, set in NewSite and
+	// immutable afterwards (the breaker synchronizes itself). It feeds
+	// the health scoreboard that replaces the binary down flag in site
+	// selection: persistent failures open it, stopping traffic; a
+	// half-open probe discovers recovery.
+	breaker *resilience.Breaker
+
 	mu      sync.RWMutex
 	sources map[string]wrapper.Source
 	cost    CostModel
+	hook    FaultHook
 
 	down     atomic.Bool
 	inFlight atomic.Int64
@@ -72,6 +116,11 @@ type Site struct {
 
 // NewSite creates a site with an empty local database.
 func NewSite(name string) *Site {
+	br := &resilience.Breaker{}
+	br.OnTransition = func(_, to resilience.State) {
+		metBreakerState(name).Set(int64(to))
+		metBreakerTransitions(name, to.String()).Inc()
+	}
 	return &Site{
 		name: name,
 		db:   exec.NewDatabase(),
@@ -79,6 +128,7 @@ func NewSite(name string) *Site {
 			"Observed wall-clock latency of subqueries served per site.",
 			obs.Labels{"site": name}),
 		latLocal: obs.NewHistogram(nil),
+		breaker:  br,
 		sources:  make(map[string]wrapper.Source),
 	}
 }
@@ -120,6 +170,72 @@ func (s *Site) SetDown(down bool) { s.down.Store(down) }
 // Alive reports liveness.
 func (s *Site) Alive() bool { return !s.down.Load() }
 
+// Breaker exposes the site's circuit breaker so harnesses can tune
+// thresholds and install deterministic clocks.
+func (s *Site) Breaker() *resilience.Breaker { return s.breaker }
+
+// SetFaultHook installs a fault-injection hook consulted before the
+// site serves any operation; nil clears it.
+func (s *Site) SetFaultHook(h FaultHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}
+
+func (s *Site) faultHook() FaultHook {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hook
+}
+
+// Available reports whether the site would currently accept work: it is
+// alive and its breaker is not open. Unlike CheckAvailable it does not
+// admit a half-open probe or run the fault hook, so optimizers can poll
+// it without consuming probe slots.
+func (s *Site) Available() bool {
+	return s.Alive() && s.breaker.State() != resilience.Open
+}
+
+// HealthScore collapses liveness and breaker position into a [0, 1]
+// score for rankers: 0 when down or open, 0.5 while half-open (probe
+// traffic only), 1 when closed.
+func (s *Site) HealthScore() float64 {
+	if !s.Alive() {
+		return 0
+	}
+	switch s.breaker.State() {
+	case resilience.Open:
+		return 0
+	case resilience.HalfOpen:
+		return 0.5
+	default:
+		return 1
+	}
+}
+
+// CheckAvailable is the admission gate every site operation passes
+// through: the liveness flag, then the circuit breaker (consuming a
+// half-open probe slot when one is due), then the fault hook. Hook
+// failures count against the breaker unless the caller's context was
+// already cancelled — caller aborts must not trip breakers.
+func (s *Site) CheckAvailable(ctx context.Context) error {
+	if !s.Alive() {
+		return fmt.Errorf("%w: %s", ErrSiteDown, s.name)
+	}
+	if !s.breaker.Allow() {
+		return fmt.Errorf("%w: %s", ErrBreakerOpen, s.name)
+	}
+	if h := s.faultHook(); h != nil {
+		if err := h(ctx); err != nil {
+			if ctx.Err() == nil {
+				s.breaker.RecordFailure()
+			}
+			return fmt.Errorf("%w: %s: %w", ErrSiteFailure, s.name, err)
+		}
+	}
+	return nil
+}
+
 // Served reports how many subqueries the site has executed — the load
 // distribution metric for the balancing experiments.
 func (s *Site) Served() int64 { return s.served.Load() }
@@ -141,8 +257,8 @@ func (s *Site) Load() int64 { return s.inFlight.Load() }
 // bare column names. cols nil means all columns. It is the unit of work
 // the federated executor ships to sites.
 func (s *Site) SubQuery(ctx context.Context, table string, where sqlparse.Expr, cols []string) (*exec.Result, error) {
-	if !s.Alive() {
-		return nil, fmt.Errorf("%w: %s", ErrSiteDown, s.name)
+	if err := s.CheckAvailable(ctx); err != nil {
+		return nil, err
 	}
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
@@ -165,10 +281,16 @@ func (s *Site) SubQuery(ctx context.Context, table string, where sqlparse.Expr, 
 	}
 	s.ObserveLatency(time.Since(start))
 	if err != nil {
+		// Only transient site failures move the breaker; semantic errors
+		// (unknown table, bad filter) and caller cancellations do not.
+		if errors.Is(err, ErrSiteFailure) && ctx.Err() == nil {
+			s.breaker.RecordFailure()
+		}
 		sp.SetErr(err)
 		sp.End()
 		return nil, err
 	}
+	s.breaker.RecordSuccess()
 	sp.Set("rows", strconv.Itoa(len(res.Rows)))
 	sp.End()
 	return res, nil
@@ -231,7 +353,7 @@ func (s *Site) querySource(ctx context.Context, src wrapper.Source, where sqlpar
 	}
 	rows, err := src.Fetch(ctx, filters)
 	if err != nil {
-		return nil, fmt.Errorf("federation: source %s: %w", src.Name(), err)
+		return nil, fmt.Errorf("%w: source %s: %w", ErrSiteFailure, src.Name(), err)
 	}
 	names := def.ColumnNames()
 	ev := &plan.Evaluator{}

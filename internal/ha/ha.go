@@ -67,8 +67,11 @@ func (c Config) Validate() error {
 	if c.Replicas > c.Sites {
 		return fmt.Errorf("ha: %d replicas need at least that many sites (have %d)", c.Replicas, c.Sites)
 	}
-	if c.MTBF <= 0 || c.MTTR <= 0 || c.Horizon <= 0 {
-		return fmt.Errorf("ha: MTBF, MTTR and Horizon must be positive")
+	if c.MTBF <= 0 || c.Horizon <= 0 {
+		return fmt.Errorf("ha: MTBF and Horizon must be positive")
+	}
+	if c.MTTR < 0 {
+		return fmt.Errorf("ha: MTTR must be non-negative (0 means instantaneous repair)")
 	}
 	return nil
 }
@@ -108,7 +111,10 @@ func Simulate(cfg Config) (Result, error) {
 			events = append(events, toggle{t: t, site: s, up: up})
 		}
 	}
-	sort.Slice(events, func(i, j int) bool { return events[i].t < events[j].t })
+	// MTTR 0 produces down/up event pairs at identical times; a stable
+	// sort keeps each site's pair in generation order so the site never
+	// looks wrongly down past the instant repair.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].t < events[j].t })
 
 	// Chained-declustering placement: fragment f's replicas live on sites
 	// (f+k) mod Sites for k in [0, Replicas), which are distinct whenever
@@ -178,9 +184,9 @@ func Simulate(cfg Config) (Result, error) {
 	accumulate(horizon)
 
 	res := Result{
-		ContentAvailability: contentTime / horizon,
-		FullAvailability:    fullTime / horizon,
-		AnyAvailability:     anyTime / horizon,
+		ContentAvailability: clamp01(contentTime / horizon),
+		FullAvailability:    clamp01(fullTime / horizon),
+		AnyAvailability:     clamp01(anyTime / horizon),
 		HardwareUnits:       cfg.Fragments * cfg.Replicas,
 	}
 	if res.ContentAvailability >= 1 {
@@ -189,6 +195,18 @@ func Simulate(cfg Config) (Result, error) {
 		res.Nines = -math.Log10(1 - res.ContentAvailability)
 	}
 	return res, nil
+}
+
+// clamp01 guards the availability ratios against float accumulation
+// drifting a hair past 1 over long event timelines.
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
 }
 
 // Strategy names the four placements the paper contrasts.

@@ -25,7 +25,7 @@ func TestValidate(t *testing.T) {
 		func(c *Config) { c.Replicas = 0 },
 		func(c *Config) { c.Replicas = 99 },
 		func(c *Config) { c.MTBF = 0 },
-		func(c *Config) { c.MTTR = 0 },
+		func(c *Config) { c.MTTR = -time.Hour },
 		func(c *Config) { c.Horizon = 0 },
 	}
 	for i, mutate := range bads {
@@ -36,6 +36,65 @@ func TestValidate(t *testing.T) {
 		}
 		if _, err := Simulate(c); err == nil {
 			t.Errorf("case %d should fail Simulate", i)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	// More replicas than sites cannot be placed distinctly: a config
+	// error, not a panic.
+	over := baseCfg()
+	over.Replicas = over.Sites + 1
+	if _, err := Simulate(over); err == nil {
+		t.Error("Replicas > Sites should be rejected")
+	}
+
+	// Zero horizon would divide by zero: rejected up front.
+	zh := baseCfg()
+	zh.Horizon = 0
+	if _, err := Simulate(zh); err == nil {
+		t.Error("zero Horizon should be rejected")
+	}
+
+	// MTTR 0 models instantaneous repair: valid, deterministic, and the
+	// system is (measure-one) always up.
+	inst := baseCfg()
+	inst.MTTR = 0
+	res, err := Simulate(inst)
+	if err != nil {
+		t.Fatalf("MTTR 0 should simulate: %v", err)
+	}
+	for name, v := range map[string]float64{
+		"content": res.ContentAvailability,
+		"full":    res.FullAvailability,
+		"any":     res.AnyAvailability,
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s availability %f outside [0,1]", name, v)
+		}
+	}
+	if res.ContentAvailability != 1 {
+		t.Errorf("instant repair availability = %f, want 1", res.ContentAvailability)
+	}
+	again, err := Simulate(inst)
+	if err != nil || res != again {
+		t.Errorf("MTTR 0 should be deterministic: %+v vs %+v (err %v)", res, again, err)
+	}
+
+	// Availabilities stay within [0,1] across a parameter sweep,
+	// including pathological repair-dominated regimes.
+	for _, mttr := range []time.Duration{0, time.Nanosecond, time.Hour, 1000 * time.Hour} {
+		c := baseCfg()
+		c.MTTR = mttr
+		c.Horizon = 1000 * time.Hour
+		r, err := Simulate(c)
+		if err != nil {
+			t.Fatalf("MTTR %v: %v", mttr, err)
+		}
+		if r.ContentAvailability < 0 || r.ContentAvailability > 1 ||
+			r.FullAvailability < 0 || r.FullAvailability > 1 ||
+			r.AnyAvailability < 0 || r.AnyAvailability > 1 {
+			t.Errorf("MTTR %v: availability outside [0,1]: %+v", mttr, r)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"cohera/internal/obs"
+	"cohera/internal/resilience"
 	"cohera/internal/schema"
 	"cohera/internal/storage"
 	"cohera/internal/wrapper"
@@ -32,6 +34,8 @@ var (
 		"Response bytes read by the remote client.", nil)
 	metClientSeconds = obs.Default().Histogram("cohera_remote_client_seconds",
 		"Remote client call latency.", nil)
+	metClientRetries = obs.Default().Counter("cohera_remote_client_retries_total",
+		"Retries of idempotent remote reads (attempts beyond the first).", nil)
 )
 
 // Client talks to a remote Server.
@@ -39,6 +43,7 @@ type Client struct {
 	base  string
 	token string
 	http  *http.Client
+	retry *resilience.Retry
 }
 
 // DialOption customizes a Client.
@@ -55,6 +60,21 @@ func WithTimeout(d time.Duration) DialOption {
 	}
 }
 
+// WithTransport overrides the client's HTTP transport — the seam a
+// fault.RoundTripper plugs into. nil restores the default transport.
+func WithTransport(rt http.RoundTripper) DialOption {
+	return func(c *Client) { c.http.Transport = rt }
+}
+
+// WithRetry installs a retry policy for idempotent reads (Tables,
+// Fetch, Healthy). Transport failures and 5xx responses are retried
+// with capped exponential backoff and full jitter; 4xx responses are
+// the caller's fault and fail immediately. Writes are never retried:
+// a blindly replayed non-idempotent statement could apply twice.
+func WithRetry(r resilience.Retry) DialOption {
+	return func(c *Client) { c.retry = &r }
+}
+
 // Dial creates a client for a server base URL ("http://host:port").
 // token may be empty for unauthenticated servers.
 func Dial(base, token string, opts ...DialOption) *Client {
@@ -69,7 +89,63 @@ func Dial(base, token string, opts ...DialOption) *Client {
 	return c
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+// statusError carries a non-200 response through the error chain so the
+// retry policy can distinguish server faults (5xx) from caller errors.
+type statusError struct {
+	method, path string
+	code         int
+	msg          string
+}
+
+func (e *statusError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("remote: %s %s: %s", e.method, e.path, e.msg)
+	}
+	return fmt.Sprintf("remote: %s %s: status %d", e.method, e.path, e.code)
+}
+
+// retryableError classifies one failed attempt: 5xx and transport-level
+// failures are transient, 4xx and context expiry are permanent.
+func retryableError(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// do performs one client call. idempotent calls run under the client's
+// retry policy (when one is installed); non-idempotent calls get
+// exactly one attempt regardless.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, idempotent bool) ([]byte, error) {
+	if c.retry == nil || !idempotent {
+		return c.doOnce(ctx, method, path, body)
+	}
+	r := *c.retry
+	prev := r.OnRetry
+	r.OnRetry = func(attempt int, err error, delay time.Duration) {
+		metClientRetries.Inc()
+		if prev != nil {
+			prev(attempt, err, delay)
+		}
+	}
+	var out []byte
+	err := r.Run(ctx, func(ctx context.Context) error {
+		var opErr error
+		out, opErr = c.doOnce(ctx, method, path, body)
+		return opErr
+	}, retryableError)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// doOnce is a single client call attempt.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte) ([]byte, error) {
 	start := time.Now()
 	defer func() { metClientSeconds.Observe(time.Since(start)) }()
 	var rd io.Reader
@@ -102,11 +178,12 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 	}
 	metClientBytes.Add(int64(len(out)))
 	if resp.StatusCode != http.StatusOK {
+		se := &statusError{method: method, path: path, code: resp.StatusCode}
 		var er errorResponse
 		if json.Unmarshal(out, &er) == nil && er.Error != "" {
-			return nil, fmt.Errorf("remote: %s %s: %s", method, path, er.Error)
+			se.msg = er.Error
 		}
-		return nil, fmt.Errorf("remote: %s %s: status %d", method, path, resp.StatusCode)
+		return nil, se
 	}
 	return out, nil
 }
@@ -121,7 +198,7 @@ func statusClass(code int) string {
 
 // Tables discovers the remote schemas as ready-to-register sources.
 func (c *Client) Tables(ctx context.Context) ([]wrapper.Source, error) {
-	body, err := c.do(ctx, http.MethodGet, "/tables", nil)
+	body, err := c.do(ctx, http.MethodGet, "/tables", nil, true)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +222,7 @@ func (c *Client) Tables(ctx context.Context) ([]wrapper.Source, error) {
 
 // Healthy probes /healthz.
 func (c *Client) Healthy(ctx context.Context) bool {
-	_, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	_, err := c.do(ctx, http.MethodGet, "/healthz", nil, true)
 	return err == nil
 }
 
@@ -184,7 +261,7 @@ func (s *Source) Fetch(ctx context.Context, filters []wrapper.Filter) ([]storage
 	if err != nil {
 		return nil, err
 	}
-	out, err := s.client.do(ctx, http.MethodPost, "/fetch", body)
+	out, err := s.client.do(ctx, http.MethodPost, "/fetch", body, true)
 	if err != nil {
 		sp.SetErr(err)
 		return nil, err

@@ -33,7 +33,7 @@ func TestDialTimeoutEnforced(t *testing.T) {
 	defer slow.Close()
 	c := Dial(slow.URL, "", WithTimeout(50*time.Millisecond))
 	start := time.Now()
-	if _, err := c.do(context.Background(), http.MethodGet, "/healthz", nil); err == nil {
+	if _, err := c.do(context.Background(), http.MethodGet, "/healthz", nil, false); err == nil {
 		t.Fatal("expected timeout error")
 	}
 	if d := time.Since(start); d > 2*time.Second {

@@ -1,0 +1,205 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int32
+
+// The three breaker states. Closed passes traffic and counts
+// consecutive failures; Open rejects traffic until OpenTimeout has
+// elapsed; HalfOpen passes probe traffic and closes again after enough
+// consecutive successes.
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+// String renders the state for logs and metric labels.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a per-target circuit breaker. The zero value is usable:
+// unset knobs fall back to the defaults documented on each field.
+// Configuration fields must be set before the breaker sees traffic;
+// they are read without synchronization.
+type Breaker struct {
+	// FailureThreshold is the number of consecutive failures that trips
+	// a closed breaker (default 5).
+	FailureThreshold int
+	// OpenTimeout is how long an open breaker rejects traffic before
+	// letting a probe through (default 5s).
+	OpenTimeout time.Duration
+	// HalfOpenSuccesses is the number of consecutive successful probes
+	// that close a half-open breaker (default 2).
+	HalfOpenSuccesses int
+	// Clock supplies the current time; nil means time.Now. Injected by
+	// the chaos harness so open→half-open timing is deterministic.
+	Clock func() time.Time
+	// OnTransition, when set, observes every state change. It is called
+	// outside the breaker's lock, so it may safely call back into the
+	// breaker; ordering of concurrent transitions is not guaranteed.
+	OnTransition func(from, to State)
+
+	mu        sync.Mutex
+	state     State
+	failures  int
+	successes int
+	openedAt  time.Time
+}
+
+func (b *Breaker) threshold() int {
+	if b.FailureThreshold > 0 {
+		return b.FailureThreshold
+	}
+	return 5
+}
+
+func (b *Breaker) openTimeout() time.Duration {
+	if b.OpenTimeout > 0 {
+		return b.OpenTimeout
+	}
+	return 5 * time.Second
+}
+
+func (b *Breaker) probes() int {
+	if b.HalfOpenSuccesses > 0 {
+		return b.HalfOpenSuccesses
+	}
+	return 2
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Clock != nil {
+		return b.Clock()
+	}
+	return time.Now()
+}
+
+// transitionLocked moves the breaker to a new state and returns the
+// notification to fire once the lock is released (zero when unchanged).
+func (b *Breaker) transitionLocked(to State) (from, end State, fire bool) {
+	if b.state == to {
+		return 0, 0, false
+	}
+	from = b.state
+	b.state = to
+	b.failures = 0
+	b.successes = 0
+	if to == Open {
+		b.openedAt = b.now()
+	}
+	return from, to, true
+}
+
+// Allow reports whether a call may proceed. An open breaker whose
+// OpenTimeout has elapsed transitions to half-open and admits the call
+// as a probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	var from, to State
+	fire := false
+	allowed := true
+	switch b.state {
+	case Closed, HalfOpen:
+		// pass
+	case Open:
+		if b.now().Sub(b.openedAt) >= b.openTimeout() {
+			from, to, fire = b.transitionLocked(HalfOpen)
+		} else {
+			allowed = false
+		}
+	}
+	b.mu.Unlock()
+	if fire && b.OnTransition != nil {
+		b.OnTransition(from, to)
+	}
+	return allowed
+}
+
+// RecordSuccess feeds one successful call into the breaker.
+func (b *Breaker) RecordSuccess() {
+	b.mu.Lock()
+	var from, to State
+	fire := false
+	switch b.state {
+	case Closed:
+		b.failures = 0
+	case HalfOpen:
+		b.successes++
+		if b.successes >= b.probes() {
+			from, to, fire = b.transitionLocked(Closed)
+		}
+	case Open:
+		// A straggler from before the trip; ignore.
+	}
+	b.mu.Unlock()
+	if fire && b.OnTransition != nil {
+		b.OnTransition(from, to)
+	}
+}
+
+// RecordFailure feeds one failed call into the breaker.
+func (b *Breaker) RecordFailure() {
+	b.mu.Lock()
+	var from, to State
+	fire := false
+	switch b.state {
+	case Closed:
+		b.failures++
+		if b.failures >= b.threshold() {
+			from, to, fire = b.transitionLocked(Open)
+		}
+	case HalfOpen:
+		// The probe failed: reopen immediately.
+		from, to, fire = b.transitionLocked(Open)
+	case Open:
+		// Already open; nothing to count.
+	}
+	b.mu.Unlock()
+	if fire && b.OnTransition != nil {
+		b.OnTransition(from, to)
+	}
+}
+
+// State returns the breaker's current position without consuming a
+// probe slot (an expired open breaker still reports Open until Allow
+// observes the timeout).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// ConsecutiveFailures reports the current closed-state failure streak.
+func (b *Breaker) ConsecutiveFailures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures
+}
+
+// Reset forces the breaker closed and clears its counters — an
+// operator override, not part of the normal lifecycle.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	from, to, fire := b.transitionLocked(Closed)
+	b.failures = 0
+	b.successes = 0
+	b.mu.Unlock()
+	if fire && b.OnTransition != nil {
+		b.OnTransition(from, to)
+	}
+}

@@ -1,0 +1,167 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock is a settable time source for deterministic breaker tests.
+type manualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clock := &manualClock{t: time.Unix(0, 0)}
+	var transitions []string
+	b := &Breaker{
+		FailureThreshold:  3,
+		OpenTimeout:       time.Second,
+		HalfOpenSuccesses: 2,
+		Clock:             clock.Now,
+		OnTransition: func(from, to State) {
+			transitions = append(transitions, from.String()+"->"+to.String())
+		},
+	}
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("new breaker should be closed and allowing")
+	}
+	// Two failures: still closed.
+	b.RecordFailure()
+	b.RecordFailure()
+	if b.State() != Closed || b.ConsecutiveFailures() != 2 {
+		t.Fatalf("state = %v failures = %d", b.State(), b.ConsecutiveFailures())
+	}
+	// A success resets the streak.
+	b.RecordSuccess()
+	if b.ConsecutiveFailures() != 0 {
+		t.Fatal("success should reset the failure streak")
+	}
+	// Three consecutive failures trip it.
+	b.RecordFailure()
+	b.RecordFailure()
+	b.RecordFailure()
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker should reject")
+	}
+	// Before the timeout it stays open.
+	clock.Advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("open breaker should reject before OpenTimeout")
+	}
+	// After the timeout the next Allow half-opens.
+	clock.Advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("expired open breaker should admit a probe")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// One success is not enough to close.
+	b.RecordSuccess()
+	if b.State() != HalfOpen {
+		t.Fatal("one probe success should not close yet")
+	}
+	b.RecordSuccess()
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed after 2 probe successes", b.State())
+	}
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Errorf("transition %d = %s, want %s", i, transitions[i], want[i])
+		}
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clock := &manualClock{t: time.Unix(0, 0)}
+	b := &Breaker{FailureThreshold: 1, OpenTimeout: time.Second, Clock: clock.Now}
+	b.RecordFailure()
+	if b.State() != Open {
+		t.Fatal("threshold 1 should open on first failure")
+	}
+	clock.Advance(time.Second)
+	if !b.Allow() || b.State() != HalfOpen {
+		t.Fatal("should half-open after timeout")
+	}
+	b.RecordFailure()
+	if b.State() != Open {
+		t.Fatal("probe failure should reopen")
+	}
+	// The open window restarts from the probe failure.
+	if b.Allow() {
+		t.Fatal("freshly reopened breaker should reject")
+	}
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("should admit another probe after a full timeout")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := &Breaker{}
+	for i := 0; i < 4; i++ {
+		b.RecordFailure()
+	}
+	if b.State() != Closed {
+		t.Fatal("default threshold is 5; 4 failures should not trip")
+	}
+	b.RecordFailure()
+	if b.State() != Open {
+		t.Fatal("5th failure should trip the default breaker")
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	b := &Breaker{FailureThreshold: 1}
+	b.RecordFailure()
+	if b.State() != Open {
+		t.Fatal("should be open")
+	}
+	b.Reset()
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("reset should force closed")
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	b := &Breaker{FailureThreshold: 2, OpenTimeout: time.Nanosecond}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				if b.Allow() {
+					if (n+j)%3 == 0 {
+						b.RecordFailure()
+					} else {
+						b.RecordSuccess()
+					}
+				}
+				_ = b.State()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

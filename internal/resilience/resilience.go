@@ -1,0 +1,19 @@
+// Package resilience provides the fault-tolerance building blocks the
+// federation wires through its remote and site layers: a retry policy
+// with capped exponential backoff and full jitter, and a three-state
+// circuit breaker (closed → open → half-open).
+//
+// The paper's Characteristic 8 promises "most of the content all of the
+// time"; real remote sources are flaky and slow, not merely up or down,
+// so availability in the live engine needs machinery between "try once"
+// and "mark the site dead": bounded retries absorb transient faults,
+// breakers stop hammering a source that is failing persistently, and
+// the half-open probe discovers recovery without operator intervention.
+//
+// The package is a stdlib-only leaf with no clock of its own: both the
+// breaker and the retry jitter accept injected time sources so chaos
+// harnesses and tests run deterministically. Metric export is the
+// caller's job (the breaker exposes an OnTransition hook precisely so
+// the federation layer can feed the obs registry without this package
+// importing it).
+package resilience

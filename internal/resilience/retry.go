@@ -1,0 +1,136 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// retrySeq perturbs the jitter stream of concurrent unseeded Runs.
+var retrySeq atomic.Int64
+
+// Retry is a capped-exponential-backoff policy with full jitter
+// [AWS architecture blog: "Exponential Backoff And Jitter"]: before
+// attempt n the caller sleeps a uniform random duration in
+// [0, min(MaxDelay, BaseDelay·2ⁿ)]. Full jitter decorrelates the herd
+// of clients a recovering site would otherwise see stampede back in
+// lockstep. The zero value is usable; unset knobs use the defaults
+// documented per field.
+//
+// Retry is a value type: configure it once and copy it freely. Run is
+// safe for concurrent use.
+type Retry struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 3). Values below 1 mean the default.
+	MaxAttempts int
+	// BaseDelay is the backoff unit before the first retry (default 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 1s).
+	MaxDelay time.Duration
+	// PerAttempt, when positive, bounds each individual attempt with a
+	// context deadline — a hung attempt is abandoned and retried rather
+	// than consuming the caller's whole budget.
+	PerAttempt time.Duration
+	// Seed, when non-zero, makes the jitter stream deterministic for a
+	// given Run invocation order (chaos harness and tests).
+	Seed int64
+	// OnRetry, when set, observes each retry decision: the attempt that
+	// just failed (1-based), its error, and the backoff chosen.
+	OnRetry func(attempt int, err error, delay time.Duration)
+}
+
+func (r Retry) attempts() int {
+	if r.MaxAttempts > 0 {
+		return r.MaxAttempts
+	}
+	return 3
+}
+
+func (r Retry) baseDelay() time.Duration {
+	if r.BaseDelay > 0 {
+		return r.BaseDelay
+	}
+	return 10 * time.Millisecond
+}
+
+func (r Retry) maxDelay() time.Duration {
+	if r.MaxDelay > 0 {
+		return r.MaxDelay
+	}
+	return time.Second
+}
+
+// backoff returns the full-jitter delay before retry number n (0-based).
+func (r Retry) backoff(rng *rand.Rand, n int) time.Duration {
+	ceiling := r.maxDelay()
+	base := r.baseDelay()
+	// base << n with overflow protection.
+	if shifted := base << uint(min(n, 40)); shifted > 0 && shifted < ceiling {
+		ceiling = shifted
+	}
+	if ceiling <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Int63n(int64(ceiling) + 1))
+}
+
+// Run invokes op until it succeeds, the policy's attempts are
+// exhausted, the caller's context ends, or retryable reports an error
+// as permanent. A nil retryable treats every error as retryable.
+// PerAttempt, when set, wraps each attempt in its own deadline; the
+// attempt's context error is what retryable sees. The returned error
+// wraps the last attempt's error, so errors.Is/As see through it.
+func (r Retry) Run(ctx context.Context, op func(ctx context.Context) error, retryable func(error) bool) error {
+	seed := r.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano() ^ (retrySeq.Add(1) * 0x5851F42D4C957F2D)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attempts := r.attempts()
+	tried := 0
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		tried++
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if r.PerAttempt > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, r.PerAttempt)
+		}
+		err := op(attemptCtx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The caller's context ended: the error is not transient
+			// from our point of view, and sleeping would be pointless.
+			break
+		}
+		if retryable != nil && !retryable(err) {
+			return err
+		}
+		if i == attempts-1 {
+			break
+		}
+		delay := r.backoff(rng, i)
+		if r.OnRetry != nil {
+			r.OnRetry(i+1, err, delay)
+		}
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("resilience: retry interrupted: %w", errors.Join(ctx.Err(), lastErr))
+			}
+		}
+	}
+	if ctx.Err() != nil && !errors.Is(lastErr, ctx.Err()) {
+		return fmt.Errorf("resilience: retry interrupted: %w", errors.Join(ctx.Err(), lastErr))
+	}
+	return fmt.Errorf("resilience: %d attempts failed: %w", tried, lastErr)
+}

@@ -11,6 +11,11 @@ import (
 	"time"
 )
 
+// DefaultTimeout bounds each session call unless WithTimeout overrides
+// it. Per-call contexts always apply on top: a fetch ends at whichever
+// of the timeout and the context deadline comes first.
+const DefaultTimeout = 30 * time.Second
+
 // Session is the web browser agent: an HTTP client with a cookie jar,
 // optional form-based login, and basic-auth support. It handles the
 // "intricacies of navigating ... cookies, passwords" the paper lists as
@@ -23,15 +28,45 @@ type Session struct {
 	MaxBody int64
 }
 
+// SessionOption customizes a Session, mirroring remote.Dial's options.
+type SessionOption func(*Session)
+
+// WithTimeout overrides the whole-call timeout (DefaultTimeout). d ≤ 0
+// disables the timeout entirely, leaving cancellation to the per-call
+// context — a hung source then blocks only as long as its caller allows.
+func WithTimeout(d time.Duration) SessionOption {
+	return func(s *Session) {
+		if d < 0 {
+			d = 0
+		}
+		s.client.Timeout = d
+	}
+}
+
+// WithMaxBody overrides the response-body cap (default 8 MiB).
+func WithMaxBody(n int64) SessionOption {
+	return func(s *Session) { s.MaxBody = n }
+}
+
+// WithTransport overrides the session's HTTP transport — the seam a
+// fault.RoundTripper plugs into to make a scraped source flaky.
+func WithTransport(rt http.RoundTripper) SessionOption {
+	return func(s *Session) { s.client.Transport = rt }
+}
+
 // NewSession returns a session with a fresh cookie jar.
-func NewSession() (*Session, error) {
+func NewSession(opts ...SessionOption) (*Session, error) {
 	jar, err := cookiejar.New(nil)
 	if err != nil {
 		return nil, fmt.Errorf("wrapper: cookie jar: %w", err)
 	}
-	return &Session{
-		client: &http.Client{Jar: jar, Timeout: 30 * time.Second},
-	}, nil
+	s := &Session{
+		client: &http.Client{Jar: jar, Timeout: DefaultTimeout},
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
 }
 
 // Login POSTs the credentials as form fields, retaining any session

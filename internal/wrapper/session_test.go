@@ -1,0 +1,100 @@
+package wrapper
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cohera/internal/fault"
+)
+
+// hungServer blocks every request until the client goes away.
+func hungServer() *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+}
+
+func TestSessionHungSourceRespectsContext(t *testing.T) {
+	ts := hungServer()
+	defer ts.Close()
+
+	// No session timeout: the per-call context is the only bound.
+	s, err := NewSession(WithTimeout(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := s.Get(ctx, ts.URL); err == nil {
+		t.Fatal("hung source should fail at the context deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("context deadline ignored: took %v", elapsed)
+	}
+}
+
+func TestSessionPerCallTimeout(t *testing.T) {
+	ts := hungServer()
+	defer ts.Close()
+
+	s, err := NewSession(WithTimeout(50 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := s.Get(context.Background(), ts.URL); err == nil {
+		t.Fatal("hung source should fail at the session timeout")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("session timeout ignored: took %v", elapsed)
+	}
+}
+
+func TestSessionMaxBodyOption(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := w.Write([]byte(strings.Repeat("x", 1024))); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer ts.Close()
+
+	s, err := NewSession(WithMaxBody(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := s.Get(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 16 {
+		t.Fatalf("body = %d bytes, want the 16-byte cap", len(body))
+	}
+}
+
+func TestSessionFaultyTransport(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := w.Write([]byte("<html>ok</html>")); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer ts.Close()
+
+	inj := fault.New("session", fault.Config{FailFirst: 1, Seed: 1})
+	s, err := NewSession(WithTransport(&fault.RoundTripper{Injector: inj}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(context.Background(), ts.URL); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("want fault.ErrInjected through the session transport, got %v", err)
+	}
+	body, err := s.Get(context.Background(), ts.URL)
+	if err != nil || body != "<html>ok</html>" {
+		t.Fatalf("after the fault drains: body %q err %v", body, err)
+	}
+}

@@ -9,7 +9,9 @@
 #      ./...                     internal/analysis/doc.go)
 #   4. go run ./cmd/coherasmoke  daemon smoke: in-process coherad
 #                                handler, /healthz 200, /metrics parses
-#   5. go test -race ./...       full tests under the race detector
+#   5. go run ./cmd/coherachaos  seeded fault-injection harness: the
+#      -smoke                    resilience invariants hold end to end
+#   6. go test -race ./...       full tests under the race detector
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,6 +27,9 @@ go run ./cmd/coheralint ./...
 
 echo "==> coherasmoke"
 go run ./cmd/coherasmoke
+
+echo "==> coherachaos -smoke"
+go run ./cmd/coherachaos -smoke
 
 echo "==> go test -race ./..."
 go test -race ./...
