@@ -26,12 +26,13 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8401", "listen address")
-		supplier = flag.Int("supplier", 0, "which generated supplier to serve")
-		items    = flag.Int("items", 20, "catalog size")
-		seed     = flag.Int64("seed", 2026, "workload seed")
-		token    = flag.String("token", "", "optional bearer token")
-		snapshot = flag.String("snapshot", "", "snapshot file: loaded on start when present, written on SIGINT/SIGTERM")
+		addr        = flag.String("addr", ":8401", "listen address")
+		supplier    = flag.Int("supplier", 0, "which generated supplier to serve")
+		items       = flag.Int("items", 20, "catalog size")
+		seed        = flag.Int64("seed", 2026, "workload seed")
+		token       = flag.String("token", "", "optional bearer token")
+		snapshot    = flag.String("snapshot", "", "snapshot file: loaded on start when present, written on SIGINT/SIGTERM")
+		streamBatch = flag.Int("stream-batch", 0, "rows per /fetchstream chunk (0 = server default)")
 	)
 	flag.Parse()
 
@@ -80,6 +81,7 @@ func main() {
 
 	srv := remote.NewServer()
 	srv.Token = *token
+	srv.StreamBatchRows = *streamBatch
 	srv.PublishTable(tbl, "sku", "supplier")
 	if *snapshot != "" {
 		sig := make(chan os.Signal, 1)

@@ -193,10 +193,14 @@ func DefaultSuite() []Configured {
 		}},
 		{Analyzer: SleepSync},
 		{Analyzer: BodyClose, Scopes: []string{"internal/wrapper", "internal/remote"}},
+		{Analyzer: StreamClose, Scopes: []string{
+			"internal/storage", "internal/exec", "internal/wrapper",
+			"internal/remote", "internal/federation", "internal/bench",
+		}},
 	}
 }
 
 // Analyzers returns the full suite without scoping, for -list and tests.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockSafe, ErrDrop, CtxLeak, SleepSync, BodyClose}
+	return []*Analyzer{LockSafe, ErrDrop, CtxLeak, SleepSync, BodyClose, StreamClose}
 }

@@ -23,6 +23,10 @@
 //     synchronization primitive.
 //   - bodyclose: an *http.Response obtained in internal/wrapper or
 //     internal/remote whose Body is never closed.
+//   - streamclose: a storage.RowStream obtained in the streaming query
+//     layers (storage, exec, wrapper, remote, federation, bench) that
+//     is never Closed and does not escape — leaked streams pin pooled
+//     batches, producer goroutines and remote response bodies.
 //
 // Diagnostics are keyed file:line:col and can be suppressed with a
 // directive comment on the same line or the line directly above:

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StreamClose flags storage.RowStream values that are never Closed in
+// the function that obtained them — the streaming analogue of
+// bodyclose. An unclosed row stream pins its producer goroutines,
+// pooled batches and (for remote streams) the HTTP response body. A
+// stream that escapes — returned, passed to another function, stored
+// in a composite literal or a field — becomes the recipient's
+// contract and is not reported.
+var StreamClose = &Analyzer{
+	Name: "streamclose",
+	Doc:  "row streams without a Close on all paths",
+	Run:  runStreamClose,
+}
+
+func runStreamClose(p *Pass) {
+	iface := rowStreamIface(p.Pkg.Types)
+	isStream := func(t types.Type) bool {
+		if isNamedIn(t, rowStreamPkg, rowStreamName) {
+			return true
+		}
+		// Concrete implementations (e.g. *storage.SliceStream, a
+		// package-private stream struct) leak just as hard as the
+		// interface — anything satisfying RowStream counts.
+		return iface != nil && types.Implements(t, iface)
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkStreamClose(p, fn.Body, isStream)
+		}
+	}
+}
+
+const (
+	rowStreamPkg  = "cohera/internal/storage"
+	rowStreamName = "RowStream"
+)
+
+// rowStreamIface resolves the storage.RowStream interface type through
+// the package's import graph; nil when storage is not reachable (then
+// no stream value can appear either).
+func rowStreamIface(pkg *types.Package) *types.Interface {
+	if pkg == nil {
+		return nil
+	}
+	seen := make(map[*types.Package]bool)
+	var find func(p *types.Package) *types.Interface
+	find = func(p *types.Package) *types.Interface {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == rowStreamPkg {
+			obj := p.Scope().Lookup(rowStreamName)
+			if obj == nil {
+				return nil
+			}
+			if i, ok := obj.Type().Underlying().(*types.Interface); ok {
+				return i
+			}
+			return nil
+		}
+		for _, imp := range p.Imports() {
+			if i := find(imp); i != nil {
+				return i
+			}
+		}
+		return nil
+	}
+	return find(pkg)
+}
+
+func checkStreamClose(p *Pass, body *ast.BlockStmt, isStream func(types.Type) bool) {
+	type streamVar struct {
+		ident *ast.Ident
+		obj   types.Object
+	}
+	var streams []streamVar
+	closed := make(map[types.Object]bool)
+	escaped := make(map[types.Object]bool)
+	use := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := p.Pkg.Info.Uses[id]
+		if obj == nil || !isStream(obj.Type()) {
+			return nil
+		}
+		return obj
+	}
+	markEscapes := func(e ast.Expr) {
+		ast.Inspect(e, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := p.Pkg.Info.Uses[id]; obj != nil && isStream(obj.Type()) {
+					escaped[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := p.Pkg.Info.Defs[id]
+				if obj == nil {
+					obj = p.Pkg.Info.Uses[id]
+				}
+				if obj == nil || !isStream(obj.Type()) {
+					continue
+				}
+				streams = append(streams, streamVar{ident: id, obj: obj})
+			}
+			// A stream on the right of a field or index store escapes:
+			// s.inner = st hands ownership to the struct.
+			for _, lhs := range st.Lhs {
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					for _, rhs := range st.Rhs {
+						markEscapes(rhs)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := st.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				if obj := use(sel.X); obj != nil {
+					closed[obj] = true
+				}
+			}
+			// Passing a stream to any call transfers responsibility
+			// (CollectRows, a helper that closes it, ...).
+			for _, arg := range st.Args {
+				if obj := use(arg); obj != nil {
+					escaped[obj] = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range st.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if obj := use(el); obj != nil {
+					escaped[obj] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				markEscapes(res)
+			}
+		}
+		return true
+	})
+	seen := make(map[types.Object]bool)
+	for _, sv := range streams {
+		if seen[sv.obj] || closed[sv.obj] || escaped[sv.obj] {
+			continue
+		}
+		seen[sv.obj] = true
+		p.Reportf(sv.ident.Pos(), "row stream %s is never closed", sv.ident.Name)
+	}
+}

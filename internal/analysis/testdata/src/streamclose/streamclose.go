@@ -1,0 +1,68 @@
+// Package streamclose is a coheralint fixture for the streamclose
+// analyzer: row streams that leak versus closed or escaping streams.
+package streamclose
+
+import "cohera/internal/storage"
+
+func open() storage.RowStream {
+	return storage.NewSliceStream([]string{"k"}, nil)
+}
+
+var lastCols []string
+
+func leakDrain() {
+	st := open() // want `row stream st is never closed`
+	lastCols = st.Columns()
+	for {
+		if _, err := st.Next(); err != nil {
+			return
+		}
+	}
+}
+
+func leakEarlyReturn(limit int) int {
+	st := open() // want `row stream st is never closed`
+	n := 0
+	for n < limit {
+		if _, err := st.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func leakConcrete() {
+	st := storage.NewSliceStream([]string{"k"}, nil) // want `row stream st is never closed`
+	lastCols = st.Columns()
+}
+
+func closedDefer() error {
+	st := open() // negative: closed on the deferred path
+	defer st.Close()
+	_, err := st.Next()
+	return err
+}
+
+func escapesReturn() storage.RowStream {
+	st := open() // negative: returned, closing is the caller's contract
+	lastCols = st.Columns()
+	return st
+}
+
+func escapesCollect() ([]storage.Row, error) {
+	st := open() // negative: CollectRows takes ownership and closes it
+	return storage.CollectRows(st)
+}
+
+type holder struct{ st storage.RowStream }
+
+func escapesField(h *holder) {
+	st := open() // negative: stored in a field, owner closes later
+	h.st = st
+}
+
+func escapesComposite() *holder {
+	st := open() // negative: handed to the composite literal
+	return &holder{st: st}
+}

@@ -109,5 +109,6 @@ func All() []Experiment {
 		{"E10", E10ScaleOut, "throughput vs replica count at fixed offered load"},
 		{"E11", E11Pushdown, "ablation: projection pushdown on wide catalog rows"},
 		{"E12", E12Remote, "in-process vs HTTP federation overhead"},
+		{"E13", E13Streaming, "streaming vs materialized scatter-gather memory and latency"},
 	}
 }

@@ -189,8 +189,16 @@ func (c *Cache) Store(table string, cols []string, r plan.Range, rows []storage.
 	if rangeIdx < 0 {
 		return fmt.Errorf("cache: range column %q not in projection %v", r.Column, cols)
 	}
+	// Copy the rows: callers routinely reuse or mutate the slice they
+	// materialized (value cells are immutable, so copying the row
+	// headers is enough), and a cached region must not change under
+	// them.
+	owned := make([]storage.Row, len(rows))
+	for i, row := range rows {
+		owned[i] = append(storage.Row(nil), row...)
+	}
 	e := &Entry{
-		Table: table, Columns: cols, Range: r, Rows: rows,
+		Table: table, Columns: cols, Range: r, Rows: owned,
 		rangeIdx: rangeIdx, storedAt: time.Now(), lastUsed: time.Now(),
 	}
 	c.mu.Lock()

@@ -1,0 +1,124 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cohera/internal/value"
+)
+
+// TestEvictionUnderConcurrentTraffic hammers a tiny cache with
+// concurrent writers (every Store forces an LRU eviction), readers,
+// and stats pollers. Run under -race this is the eviction race gate;
+// in any mode it checks the structural invariants: the entry count
+// never exceeds capacity, and a hit only ever returns rows from the
+// requested region.
+func TestEvictionUnderConcurrentTraffic(t *testing.T) {
+	c := New(4)
+	const (
+		writers = 4
+		readers = 4
+		iters   = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Distinct region per iteration so stores never merely
+				// subsume each other: the cache must evict.
+				lo := int64((w*iters + i) * 10)
+				if err := c.Store("t", []string{"k", "v"}, rng("k", lo, lo+9), rows(lo, lo+1)); err != nil {
+					t.Errorf("store: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				lo := int64((r*iters + i) * 10)
+				got, ok := c.Lookup("t", []string{"k"}, rng("k", lo, lo+9))
+				if !ok {
+					continue // evicted or not yet stored — fine
+				}
+				for _, row := range got {
+					k := row[0].Int()
+					if k < lo || k > lo+9 {
+						t.Errorf("hit for [%d,%d] returned key %d", lo, lo+9, k)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if n := c.Len(); n > 4 {
+				t.Errorf("cache grew to %d entries, capacity 4", n)
+				return
+			}
+			c.Stats()
+		}
+	}()
+	wg.Wait()
+	if n := c.Len(); n > 4 {
+		t.Fatalf("final entry count %d exceeds capacity 4", n)
+	}
+}
+
+// TestEvictionKeepsNewestStore: the entry just stored must never be
+// the one evicted, even when every resident entry carries an older
+// lastUsed stamp — the regression guard for LRU picking the wrong
+// victim on a full cache.
+func TestEvictionKeepsNewestStore(t *testing.T) {
+	c := New(2)
+	for i := int64(0); i < 10; i++ {
+		lo := i * 10
+		if err := c.Store("t", []string{"k", "v"}, rng("k", lo, lo+9), rows(lo)); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Lookup("t", []string{"k"}, rng("k", lo, lo+9)); !ok {
+			t.Fatalf("entry stored at step %d was evicted immediately", i)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+// TestStoreDoesNotAliasCallerRows: Store must be safe against the
+// caller reusing its row slice — the cached region's first value stays
+// what it was at store time.
+func TestStoreDoesNotAliasCallerRows(t *testing.T) {
+	in := rows(5)
+	if err := New(4).Store("t", []string{"k", "v"}, rng("k", 0, 9), in); err != nil {
+		t.Fatal(err)
+	}
+	c := New(4)
+	if err := c.Store("t", []string{"k", "v"}, rng("k", 0, 9), in); err != nil {
+		t.Fatal(err)
+	}
+	in[0][0] = value.NewInt(999) // caller scribbles over its slice
+	got, ok := c.Lookup("t", []string{"k"}, rng("k", 5, 5))
+	if !ok {
+		t.Fatal("stored region missing")
+	}
+	if len(got) != 1 || got[0][0].Int() != 5 {
+		t.Fatalf("cached rows alias the caller's slice: got %v", got)
+	}
+}
+
+func init() {
+	// Guard against the helpers drifting: rows() builds (k, v) pairs.
+	if r := rows(1); len(r[0]) != 2 {
+		panic(fmt.Sprintf("rows helper shape changed: %v", r))
+	}
+}

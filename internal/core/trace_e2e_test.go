@@ -77,7 +77,7 @@ func TestFederatedQueryYieldsOneTraceTree(t *testing.T) {
 			t.Errorf("span %s/%s strayed into trace %s", sp.Name, sp.SpanID, sp.TraceID)
 		}
 		switch sp.Name {
-		case "remote.fetch":
+		case "remote.fetch", "remote.fetchstream":
 			fetches[sp.SpanID] = true
 		case "remote.serve":
 			serves = append(serves, sp)

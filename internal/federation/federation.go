@@ -130,6 +130,11 @@ type Federation struct {
 	// switches.
 	PartialResults bool
 
+	// StreamBatchRows sets the rows-per-batch of the streaming
+	// scatter-gather (coordinator memory is O(batch × fragments));
+	// 0 means storage.DefaultBatchRows. Set before serving queries.
+	StreamBatchRows int
+
 	// syn is set once in New and immutable afterwards (the Synonyms
 	// structure synchronizes itself).
 	syn *ir.Synonyms
@@ -339,6 +344,11 @@ type QueryTrace struct {
 	// the fragment unavailable (always wrapping ErrNoReplica). Only
 	// populated for degraded queries.
 	FragmentErrors map[string]error
+	// PeakBufferedRows is the high-water mark of rows resident in the
+	// scatter-gather fan-in (batches in the channel or parked in a
+	// blocked send) — the bound the streaming benchmark records. The
+	// field settles when the gather (or stream) finishes.
+	PeakBufferedRows int
 }
 
 // noteFragmentError records one dropped fragment on a degraded trace.
@@ -737,111 +747,62 @@ func projectDef(def *schema.Table, want map[string]bool) (*schema.Table, []strin
 }
 
 // gather fans out one global table's fragment subqueries and loads the
-// rows into the scratch table. cols, when non-nil, is the projected
-// column list shipped from sites; fullWidth is the table's unprojected
-// column count, for the pushdown-savings accounting.
+// rows into the scratch table, pulling each site's stream
+// incrementally: rows arrive in pooled batches over the scatter
+// fan-in, so the coordinator never holds a fragment's whole result
+// slice — in-flight memory is O(batch × fragments) even on the
+// materialized path. cols, when non-nil, is the projected column list
+// shipped from sites; fullWidth is the table's unprojected column
+// count, for the pushdown-savings accounting.
 func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.Expr, cols []string, fullWidth int, dst *storage.Table, trace *QueryTrace) error {
-	type fragResult struct {
-		frag *Fragment
-		site *Site
-		rows []storage.Row
-		fail int
-		err  error
+	width := fullWidth
+	if cols != nil {
+		width = len(cols)
 	}
-	var pruned int
-	var active []*Fragment
-	for _, frag := range f.FragmentsOf(gt) {
-		if frag.Predicate != nil && push != nil && disjoint(frag.Predicate, push) {
-			pruned++
+	// Upsert dedupes by primary key, which absorbs the replayed prefix
+	// of a mid-stream replica failover; keyless tables must not replay.
+	canReplay := len(dst.Def().Key) > 0
+	counters := &streamCounters{}
+	ch, _, pruned := f.scatter(ctx, gt, push, cols, clampFedBatch(f.StreamBatchRows), canReplay, counters)
+	var firstErr error
+	for msg := range ch {
+		if !msg.done {
+			counters.add(-int64(len(msg.batch.Rows)))
+			for _, row := range msg.batch.Rows {
+				if _, err := dst.Upsert(row); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			storage.PutBatch(msg.batch)
 			continue
 		}
-		active = append(active, frag)
-	}
-	ch := make(chan fragResult, len(active))
-	for _, frag := range active {
-		go func(frag *Fragment) {
-			gctx, gsp := obs.StartSpan(ctx, "federation.gather")
-			gsp.Set("table", gt.Def.Name)
-			gsp.Set("fragment", frag.ID)
-			defer gsp.End()
-			out := fragResult{frag: frag}
-			ranked := f.optimizer().Rank(gctx, frag, estimateRows(frag, gt.Def.Name))
-			if len(ranked) == 0 {
-				// An auction can close empty (bid timeout shorter than the
-				// slowest bidder, or a stale snapshot). The query must
-				// still run: fall back to trying every replica in order.
-				ranked = frag.Replicas()
-			}
-			var lastErr error
-			for _, site := range ranked {
-				res, err := site.SubQuery(gctx, gt.Def.Name, push, cols)
-				if err != nil {
-					// Availability failures — declared outages, an open
-					// breaker, transient faults — fail over to the next
-					// replica; anything else (semantic) aborts the fragment.
-					if isAvailabilityErr(err) && gctx.Err() == nil {
-						out.fail++
-						lastErr = err
-						continue
-					}
-					out.err = err
-					gsp.SetErr(err)
-					ch <- out
-					return
-				}
-				out.site = site
-				out.rows = res.Rows
-				gsp.Set("site", site.Name())
-				gsp.Set("rows", strconv.Itoa(len(res.Rows)))
-				gsp.Set("failovers", strconv.Itoa(out.fail))
-				ch <- out
-				return
-			}
-			if lastErr != nil {
-				out.err = fmt.Errorf("%w: fragment %s of %s: %w", ErrNoReplica, frag.ID, gt.Def.Name, lastErr)
-			} else {
-				out.err = fmt.Errorf("%w: fragment %s of %s", ErrNoReplica, frag.ID, gt.Def.Name)
-			}
-			gsp.SetErr(out.err)
-			ch <- out
-		}(frag)
-	}
-	var firstErr error
-	for range active {
-		r := <-ch
-		trace.Failovers += r.fail
-		metFailovers.Add(int64(r.fail))
-		if r.err != nil {
+		trace.Failovers += msg.fail
+		metFailovers.Add(int64(msg.fail))
+		if msg.err != nil {
 			// Under PartialResults a fragment lost to unavailability is
 			// degraded around: its typed error lands on the trace and the
 			// live fragments still answer. Semantic errors always fail.
-			if f.PartialResults && isAvailabilityErr(r.err) && ctx.Err() == nil {
-				trace.noteFragmentError(gt.Def.Name+"/"+r.frag.ID, r.err)
+			if f.PartialResults && isAvailabilityErr(msg.err) && ctx.Err() == nil {
+				trace.noteFragmentError(gt.Def.Name+"/"+msg.frag.ID, msg.err)
 				continue
 			}
 			if firstErr == nil {
-				firstErr = r.err
+				firstErr = msg.err
 			}
 			continue
 		}
-		trace.FragmentSites[gt.Def.Name+"/"+r.frag.ID] = r.site.Name()
-		metSiteRows(r.site.Name()).Add(int64(len(r.rows)))
-		width := fullWidth
-		if cols != nil {
-			width = len(cols)
-		}
-		trace.CellsShipped += len(r.rows) * width
-		trace.CellsWithoutPushdown += len(r.rows) * fullWidth
-		metCellsShipped.Add(int64(len(r.rows) * width))
-		metCellsSaved.Add(int64(len(r.rows) * (fullWidth - width)))
-		for _, row := range r.rows {
-			if _, err := dst.Upsert(row); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
+		trace.FragmentSites[gt.Def.Name+"/"+msg.frag.ID] = msg.site.Name()
+		metSiteRows(msg.site.Name()).Add(int64(msg.rows))
+		trace.CellsShipped += msg.rows * width
+		trace.CellsWithoutPushdown += msg.rows * fullWidth
+		metCellsShipped.Add(int64(msg.rows * width))
+		metCellsSaved.Add(int64(msg.rows * (fullWidth - width)))
 	}
 	trace.PrunedFragments += pruned
 	metPruned.Add(int64(pruned))
+	if peak := int(counters.peak.Load()); peak > trace.PeakBufferedRows {
+		trace.PeakBufferedRows = peak
+	}
 	return firstErr
 }
 

@@ -13,7 +13,7 @@ import (
 // whose cost model promises speed but whose *measured* latency is bad
 // loses the auction once enough observations accumulate.
 func TestAgoricObservedLatencyPrior(t *testing.T) {
-	liar := NewSite("prior-liar")    // cheap model, slow in practice
+	liar := NewSite("prior-liar") // cheap model, slow in practice
 	honest := NewSite("prior-honest")
 	liar.SetCost(CostModel{Latency: time.Millisecond})
 	honest.SetCost(CostModel{Latency: 2 * time.Millisecond})
@@ -109,9 +109,9 @@ func TestQueryTracedCarriesTraceID(t *testing.T) {
 		switch sp.Name {
 		case "federation.select":
 			sawSelect = true
-		case "federation.gather":
+		case "federation.gather", "federation.gatherstream":
 			sawGather = true
-		case "site.subquery":
+		case "site.subquery", "site.subquerystream":
 			sawSub = true
 		}
 	}

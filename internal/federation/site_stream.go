@@ -1,0 +1,207 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"cohera/internal/obs"
+	"cohera/internal/plan"
+	"cohera/internal/sqlparse"
+	"cohera/internal/storage"
+	"cohera/internal/wrapper"
+)
+
+// SubQueryStream is SubQuery's streaming face: the same single-table
+// selection, but rows arrive through a pull-based stream instead of a
+// materialized result. Stored tables run the local engine's streaming
+// executor; wrapper-fronted tables stream from the source (over the
+// wire, when the source is remote) with site-side filtering and
+// projection applied row by row. The admission gate, breaker
+// accounting and cost model's round-trip latency are charged at open;
+// the site's latency histogram observes open→Close wall clock.
+func (s *Site) SubQueryStream(ctx context.Context, table string, where sqlparse.Expr, cols []string) (storage.RowStream, error) {
+	if err := s.CheckAvailable(ctx); err != nil {
+		return nil, err
+	}
+	s.inFlight.Add(1)
+	s.served.Add(1)
+	ctx, sp := obs.StartSpan(ctx, "site.subquerystream")
+	sp.Set("site", s.name)
+	sp.Set("table", table)
+	start := time.Now()
+
+	var st storage.RowStream
+	var err error
+	if src := s.source(table); src != nil {
+		st, err = s.streamSource(ctx, src, where, cols)
+	} else {
+		st, err = s.streamStored(ctx, table, where, cols)
+	}
+	if err == nil {
+		// Charge the round-trip latency up front; per-row simulated cost
+		// stays with the materialized path, where row counts are known.
+		err = s.simulateCost(ctx, 0)
+	}
+	if err != nil {
+		if st != nil {
+			//lint:ignore errdrop the open already failed; close is best-effort cleanup
+			_ = st.Close()
+		}
+		s.inFlight.Add(-1)
+		s.ObserveLatency(time.Since(start))
+		if errors.Is(err, ErrSiteFailure) && ctx.Err() == nil {
+			s.breaker.RecordFailure()
+		}
+		sp.SetErr(err)
+		sp.End()
+		return nil, err
+	}
+	s.breaker.RecordSuccess()
+	return &siteStream{inner: st, site: s, sp: sp, start: start}, nil
+}
+
+// streamStored answers a subquery from the site's local engine.
+func (s *Site) streamStored(ctx context.Context, table string, where sqlparse.Expr, cols []string) (storage.RowStream, error) {
+	items := []sqlparse.SelectItem{{Expr: sqlparse.Star{}}}
+	if cols != nil {
+		items = items[:0]
+		for _, c := range cols {
+			items = append(items, sqlparse.SelectItem{Expr: sqlparse.ColumnRef{Column: c}, Alias: c})
+		}
+	}
+	stmt := sqlparse.SelectStmt{
+		Items: items,
+		From:  sqlparse.TableRef{Name: table},
+		Where: where,
+		Limit: -1,
+	}
+	return s.db.SelectStream(ctx, stmt)
+}
+
+// streamSource answers a subquery from a wrapper source: pushable
+// equality conjuncts travel with the fetch, everything else filters
+// here, one row at a time.
+func (s *Site) streamSource(ctx context.Context, src wrapper.Source, where sqlparse.Expr, cols []string) (storage.RowStream, error) {
+	def := src.Schema()
+	caps := src.Capabilities()
+	var filters []wrapper.Filter
+	for _, c := range plan.Conjuncts(where) {
+		r, ok := plan.Sargable(c)
+		if !ok || r.Lo.IsNull() || !r.Lo.Equal(r.Hi) || r.LoExclusive || r.HiExclusive {
+			continue
+		}
+		if caps.CanPush(r.Column) {
+			filters = append(filters, wrapper.Filter{Column: r.Column, Value: r.Lo})
+		}
+	}
+	st, err := wrapper.OpenStream(ctx, src, filters)
+	if err != nil {
+		return nil, fmt.Errorf("%w: source %s: %w", ErrSiteFailure, src.Name(), err)
+	}
+	names := def.ColumnNames()
+	outCols := names
+	var colIdx []int
+	if cols != nil {
+		outCols = cols
+		for _, c := range cols {
+			ci := def.ColumnIndex(c)
+			if ci < 0 {
+				//lint:ignore errdrop the open is failing; close is best-effort cleanup
+				_ = st.Close()
+				return nil, fmt.Errorf("federation: source %s has no column %q", src.Name(), c)
+			}
+			colIdx = append(colIdx, ci)
+		}
+	}
+	return &sourceFilterStream{
+		inner: st, src: src.Name(), where: where,
+		env: plan.NewRowEnvRaw(names, nil), cols: outCols, colIdx: colIdx,
+	}, nil
+}
+
+// sourceFilterStream post-filters and projects a source's stream.
+type sourceFilterStream struct {
+	inner  storage.RowStream
+	src    string
+	where  sqlparse.Expr
+	ev     plan.Evaluator
+	env    *plan.RowEnv
+	cols   []string
+	colIdx []int
+	closed bool
+}
+
+// Columns implements storage.RowStream.
+func (s *sourceFilterStream) Columns() []string { return s.cols }
+
+// Next implements storage.RowStream. Source failures mid-stream are
+// classified ErrSiteFailure so the gather loop can fail over.
+func (s *sourceFilterStream) Next() (storage.Row, error) {
+	if s.closed {
+		return nil, storage.ErrStreamClosed
+	}
+	for {
+		r, err := s.inner.Next()
+		if err == io.EOF || errors.Is(err, storage.ErrStreamClosed) {
+			return nil, err
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: source %s: %w", ErrSiteFailure, s.src, err)
+		}
+		if s.where != nil {
+			s.env.Values = r
+			v, err := s.ev.Eval(s.where, s.env)
+			if err != nil {
+				return nil, fmt.Errorf("federation: source %s filter: %w", s.src, err)
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		if s.colIdx != nil {
+			pr := make(storage.Row, len(s.colIdx))
+			for i, ci := range s.colIdx {
+				pr[i] = r[ci]
+			}
+			return pr, nil
+		}
+		return r, nil
+	}
+}
+
+// Close implements storage.RowStream.
+func (s *sourceFilterStream) Close() error {
+	s.closed = true
+	return s.inner.Close()
+}
+
+// siteStream settles the site's in-flight count, latency observation
+// and span when the subquery stream closes.
+type siteStream struct {
+	inner   storage.RowStream
+	site    *Site
+	sp      *obs.Span
+	start   time.Time
+	settled bool
+}
+
+// Columns implements storage.RowStream.
+func (s *siteStream) Columns() []string { return s.inner.Columns() }
+
+// Next implements storage.RowStream.
+func (s *siteStream) Next() (storage.Row, error) { return s.inner.Next() }
+
+// Close implements storage.RowStream. Idempotent.
+func (s *siteStream) Close() error {
+	err := s.inner.Close()
+	if !s.settled {
+		s.settled = true
+		s.site.inFlight.Add(-1)
+		s.site.ObserveLatency(time.Since(s.start))
+		s.sp.End()
+	}
+	return err
+}

@@ -1,0 +1,622 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cohera/internal/exec"
+	"cohera/internal/obs"
+	"cohera/internal/plan"
+	"cohera/internal/schema"
+	"cohera/internal/sqlparse"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// The streaming scatter-gather. One producer goroutine per live
+// fragment pulls its site's subquery stream and ships pooled row
+// batches over a bounded channel; a single consumer (the caller's
+// goroutine, inside RowStream.Next) merges them. The channel holds at
+// most one batch per fragment, so coordinator memory is
+// O(batchRows × fragments) regardless of result size, and a consumer
+// that stops reading (LIMIT reached, Close) back-pressures every
+// producer through the blocked send.
+
+// fragMsg is one message from a fragment producer: either a batch of
+// rows or the fragment's completion record (done=true), which is
+// always the producer's last message.
+type fragMsg struct {
+	frag  *Fragment
+	batch *storage.Batch
+	done  bool
+	site  *Site // serving site (done messages of successful fragments)
+	rows  int   // total rows shipped (done messages)
+	fail  int   // replicas tried and found down (done messages)
+	err   error // fragment failure (done messages)
+}
+
+// streamCounters tracks rows resident in the fan-in channel, and the
+// high-water mark the bench harness reports.
+type streamCounters struct {
+	inflight atomic.Int64
+	peak     atomic.Int64
+}
+
+func (c *streamCounters) add(n int64) {
+	v := c.inflight.Add(n)
+	for {
+		p := c.peak.Load()
+		if v <= p || c.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// scatter fans one global table's fragment subqueries out to producer
+// goroutines and returns the fan-in channel. The channel is closed
+// after every producer has sent its done message. canReplay permits
+// mid-stream failover to the next replica — sound only when the
+// consumer dedupes by primary key, since the replacement replica
+// replays rows the failed stream already shipped.
+func (f *Federation) scatter(ctx context.Context, gt *GlobalTable, push sqlparse.Expr, cols []string,
+	batchRows int, canReplay bool, counters *streamCounters) (ch <-chan fragMsg, active, pruned int) {
+	var frags []*Fragment
+	for _, frag := range f.FragmentsOf(gt) {
+		if frag.Predicate != nil && push != nil && disjoint(frag.Predicate, push) {
+			pruned++
+			continue
+		}
+		frags = append(frags, frag)
+	}
+	out := make(chan fragMsg, len(frags))
+	var wg sync.WaitGroup
+	for _, frag := range frags {
+		wg.Add(1)
+		go func(frag *Fragment) {
+			defer wg.Done()
+			f.pumpFragment(ctx, gt, frag, push, cols, batchRows, canReplay, counters, out)
+		}(frag)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out, len(frags), pruned
+}
+
+// pumpFragment streams one fragment from its best available replica
+// into the fan-in channel, failing over across replicas, and finishes
+// with exactly one done message.
+func (f *Federation) pumpFragment(ctx context.Context, gt *GlobalTable, frag *Fragment,
+	push sqlparse.Expr, cols []string, batchRows int, canReplay bool,
+	counters *streamCounters, out chan<- fragMsg) {
+	gctx, gsp := obs.StartSpan(ctx, "federation.gatherstream")
+	gsp.Set("table", gt.Def.Name)
+	gsp.Set("fragment", frag.ID)
+	defer gsp.End()
+
+	send := func(m fragMsg) bool {
+		m.frag = frag
+		// Count the batch as resident before offering it: a batch parked
+		// in a blocked send is coordinator memory just like one sitting
+		// in the channel.
+		if m.batch != nil {
+			counters.add(int64(len(m.batch.Rows)))
+		}
+		select {
+		case out <- m:
+			return true
+		case <-gctx.Done():
+			if m.batch != nil {
+				counters.add(-int64(len(m.batch.Rows)))
+				storage.PutBatch(m.batch)
+			}
+			return false
+		}
+	}
+	finish := func(m fragMsg) {
+		m.done = true
+		if m.err != nil {
+			gsp.SetErr(m.err)
+		} else if m.site != nil {
+			gsp.Set("site", m.site.Name())
+			gsp.Set("rows", strconv.Itoa(m.rows))
+			gsp.Set("failovers", strconv.Itoa(m.fail))
+		}
+		send(m)
+	}
+
+	ranked := f.optimizer().Rank(gctx, frag, estimateRows(frag, gt.Def.Name))
+	if len(ranked) == 0 {
+		// An auction can close empty (bid timeout shorter than the
+		// slowest bidder, or a stale snapshot). The query must still
+		// run: fall back to trying every replica in order.
+		ranked = frag.Replicas()
+	}
+	fails := 0
+	var lastErr error
+	for _, site := range ranked {
+		st, err := site.SubQueryStream(gctx, gt.Def.Name, push, cols)
+		if err != nil {
+			// Availability failures — declared outages, an open breaker,
+			// transient faults — fail over to the next replica; anything
+			// else (semantic) aborts the fragment.
+			if isAvailabilityErr(err) && gctx.Err() == nil {
+				fails++
+				lastErr = err
+				continue
+			}
+			finish(fragMsg{err: err})
+			return
+		}
+		shipped, pumpErr := pumpStream(gctx, st, batchRows, send)
+		if pumpErr == nil {
+			finish(fragMsg{site: site, rows: shipped, fail: fails})
+			return
+		}
+		if gctx.Err() != nil {
+			// The consumer went away (LIMIT, Close); not a failure.
+			return
+		}
+		// A stream that broke mid-flight may have shipped a prefix. With
+		// primary-key dedupe downstream the next replica's full replay is
+		// absorbed, so availability failures keep failing over; without a
+		// key a replay would duplicate rows, so the fragment fails.
+		if canReplay && isAvailabilityErr(pumpErr) {
+			fails++
+			lastErr = pumpErr
+			continue
+		}
+		finish(fragMsg{err: pumpErr})
+		return
+	}
+	if lastErr != nil {
+		finish(fragMsg{err: fmt.Errorf("%w: fragment %s of %s: %w", ErrNoReplica, frag.ID, gt.Def.Name, lastErr)})
+	} else {
+		finish(fragMsg{err: fmt.Errorf("%w: fragment %s of %s", ErrNoReplica, frag.ID, gt.Def.Name)})
+	}
+}
+
+// pumpStream drains one site stream into the fan-in channel in pooled
+// batches, returning the rows shipped and the stream's terminal error
+// (nil on clean EOF).
+func pumpStream(ctx context.Context, st storage.RowStream, batchRows int,
+	send func(fragMsg) bool) (int, error) {
+	defer st.Close()
+	shipped := 0
+	batch := storage.GetBatch()
+	flush := func() bool {
+		if len(batch.Rows) == 0 {
+			return true
+		}
+		shipped += len(batch.Rows)
+		if !send(fragMsg{batch: batch}) {
+			batch = nil
+			return false
+		}
+		batch = storage.GetBatch()
+		return true
+	}
+	for {
+		row, err := st.Next()
+		if err == io.EOF {
+			if !flush() {
+				return shipped, ctx.Err()
+			}
+			storage.PutBatch(batch)
+			return shipped, nil
+		}
+		if err != nil {
+			storage.PutBatch(batch)
+			return shipped, err
+		}
+		batch.Rows = append(batch.Rows, row)
+		if len(batch.Rows) >= batchRows && !flush() {
+			return shipped, ctx.Err()
+		}
+	}
+}
+
+// clampFedBatch resolves the federation's rows-per-batch setting.
+func clampFedBatch(n int) int {
+	if n <= 0 {
+		return storage.DefaultBatchRows
+	}
+	return n
+}
+
+// StreamableSelect reports whether a federated SELECT can run on the
+// incremental merge path: single table, no joins/grouping/aggregation/
+// ordering/DISTINCT (exec.Streamable) and no text predicates, which
+// need the coordinator's inverted index over gathered rows.
+func StreamableSelect(sel sqlparse.SelectStmt) bool {
+	if !exec.Streamable(sel) {
+		return false
+	}
+	hasText := false
+	check := func(e sqlparse.Expr) {
+		plan.Walk(e, func(x sqlparse.Expr) bool {
+			if _, ok := x.(sqlparse.TextMatch); ok {
+				hasText = true
+				return false
+			}
+			return true
+		})
+	}
+	check(sel.Where)
+	for _, it := range sel.Items {
+		check(it.Expr)
+	}
+	return !hasText
+}
+
+// QueryStream parses and executes one federated SELECT as a row
+// stream. See SelectStream for the contract.
+func (f *Federation) QueryStream(ctx context.Context, sql string) (storage.RowStream, *QueryTrace, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := stmt.(sqlparse.SelectStmt)
+	if !ok {
+		return nil, nil, fmt.Errorf("federation: only SELECT streams, got %T", stmt)
+	}
+	return f.SelectStream(ctx, sel)
+}
+
+// SelectStream executes a federated SELECT as a pull-based row stream.
+// Streamable statements merge the fragment streams incrementally:
+// rows flow from sites through pooled batches and a bounded channel,
+// so coordinator memory is O(batch × fragments) instead of O(total
+// rows), and LIMIT cancels the remaining producers as soon as it is
+// satisfied. Non-streamable statements (joins, aggregates, ORDER BY,
+// text search) run the materialized path and stream the finished
+// result. The caller must Close the stream; the returned trace's
+// fields settle once the stream ends (EOF, error, or Close).
+func (f *Federation) SelectStream(ctx context.Context, sel sqlparse.SelectStmt) (storage.RowStream, *QueryTrace, error) {
+	if !StreamableSelect(sel) {
+		res, trace, err := f.Select(ctx, sel)
+		if err != nil {
+			return nil, nil, err
+		}
+		return storage.NewSliceStream(res.Columns, res.Rows), trace, nil
+	}
+	ctx, sp := obs.StartSpan(ctx, "federation.selectstream")
+	sp.Set("table", sel.From.Name)
+	metQueries.Inc()
+
+	st, trace, err := f.openSelectStream(ctx, sel, sp)
+	if err != nil {
+		metQueryErrs.Inc()
+		sp.SetErr(err)
+		sp.End()
+		return nil, nil, err
+	}
+	trace.TraceID = sp.TraceID
+	return st, trace, nil
+}
+
+// openSelectStream builds the merge stream for a streamable SELECT.
+func (f *Federation) openSelectStream(ctx context.Context, sel sqlparse.SelectStmt, sp *obs.Span) (storage.RowStream, *QueryTrace, error) {
+	gt, err := f.Table(sel.From.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	alias := lower(sel.From.EffectiveName())
+	trace := &QueryTrace{FragmentSites: make(map[string]string)}
+
+	// Predicate pushdown, as in the materialized path: all conjuncts are
+	// local to the single table; text predicates were excluded by
+	// StreamableSelect.
+	conjuncts := plan.Conjuncts(sel.Where)
+	local, _ := plan.SplitByTable(conjuncts, alias, true)
+	push := unqualify(plan.AndExprs(dropTextPredicates(local)))
+
+	// Projection pushdown: ship only the referenced columns plus the
+	// primary key the merge dedupes on.
+	def := gt.Def
+	var cols []string
+	if !f.DisableProjectionPushdown {
+		aliases := map[string]aliasInfo{alias: {table: lower(gt.Def.Name), def: gt.Def}}
+		if want, ok := neededColumns(sel, aliases)[lower(gt.Def.Name)]; ok {
+			if projected, pc := projectDef(gt.Def, want); projected != nil {
+				def, cols = projected, pc
+			}
+		}
+	}
+
+	// The merge evaluates the original statement over shipped rows:
+	// qualified env names resolve both "alias.col" and bare "col" refs.
+	names := make([]string, len(def.Columns))
+	for i, c := range def.Columns {
+		names[i] = alias + "." + lower(c.Name)
+	}
+	items, err := expandFedStars(sel.Items, alias, def)
+	if err != nil {
+		return nil, nil, err
+	}
+	var keyIdx []int
+	for _, k := range def.Key {
+		ci := def.ColumnIndex(k)
+		if ci < 0 {
+			keyIdx = nil
+			break
+		}
+		keyIdx = append(keyIdx, ci)
+	}
+
+	sctx, cancel := context.WithCancel(ctx)
+	counters := &streamCounters{}
+	batchRows := clampFedBatch(f.StreamBatchRows)
+	ch, active, pruned := f.scatter(sctx, gt, push, cols, batchRows, len(keyIdx) > 0, counters)
+	trace.PrunedFragments += pruned
+	metPruned.Add(int64(pruned))
+
+	remain := -1
+	if sel.Limit >= 0 {
+		remain = sel.Limit
+	}
+	width := len(def.Columns)
+	return &fedStream{
+		f: f, ctx: ctx, cancel: cancel, sp: sp, start: time.Now(),
+		trace: trace, ch: ch, counters: counters,
+		table: gt.Def.Name, width: width, fullWidth: len(gt.Def.Columns),
+		env: plan.NewRowEnvRaw(names, nil), where: sel.Where, items: items,
+		cols: fedItemNames(items), keyIdx: keyIdx,
+		seen: make(map[string]bool), waiting: active,
+		skip: sel.Offset, remain: remain,
+	}, trace, nil
+}
+
+// expandFedStars expands * / alias.* select items against the shipped
+// schema, mirroring the executor's expansion so streamed and
+// materialized results name columns identically.
+func expandFedStars(items []sqlparse.SelectItem, alias string, def *schema.Table) ([]sqlparse.SelectItem, error) {
+	var out []sqlparse.SelectItem
+	for _, it := range items {
+		star, ok := it.Expr.(sqlparse.Star)
+		if !ok {
+			out = append(out, it)
+			continue
+		}
+		want := lower(star.Table)
+		if want != "" && want != alias {
+			return nil, fmt.Errorf("federation: %s matches no columns", star)
+		}
+		for _, c := range def.Columns {
+			col := lower(c.Name)
+			out = append(out, sqlparse.SelectItem{
+				Expr:  sqlparse.ColumnRef{Table: alias, Column: col},
+				Alias: col,
+			})
+		}
+	}
+	return out, nil
+}
+
+// fedItemNames mirrors the executor's output-column naming.
+func fedItemNames(items []sqlparse.SelectItem) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		switch {
+		case it.Alias != "":
+			out[i] = it.Alias
+		default:
+			if c, ok := it.Expr.(sqlparse.ColumnRef); ok {
+				out[i] = c.Column
+			} else {
+				out[i] = it.Expr.String()
+			}
+		}
+	}
+	return out
+}
+
+// fedStream is the coordinator side of the streaming scatter-gather:
+// the single consumer of the fan-in channel. It dedupes by primary
+// key (first write wins — fragments are disjoint or replicated, so
+// any copy is the row), re-checks the statement's WHERE, projects the
+// select items, applies OFFSET/LIMIT, and folds producers' completion
+// records into the query trace.
+type fedStream struct {
+	f        *Federation
+	ctx      context.Context
+	cancel   context.CancelFunc
+	sp       *obs.Span
+	start    time.Time
+	trace    *QueryTrace
+	ch       <-chan fragMsg
+	counters *streamCounters
+
+	table     string
+	width     int // shipped columns per row
+	fullWidth int // unprojected width, for pushdown accounting
+	ev        plan.Evaluator
+	env       *plan.RowEnv
+	where     sqlparse.Expr
+	items     []sqlparse.SelectItem
+	cols      []string
+	keyIdx    []int
+	seen      map[string]bool
+	keyBuf    []byte
+
+	pending []storage.Row
+	pos     int
+	waiting int // producers still owing a done message
+	skip    int
+	remain  int // -1 = unlimited
+	err     error
+	closed  bool
+	settled bool
+}
+
+// Columns implements storage.RowStream.
+func (s *fedStream) Columns() []string { return s.cols }
+
+// Next implements storage.RowStream.
+func (s *fedStream) Next() (storage.Row, error) {
+	if s.closed {
+		return nil, storage.ErrStreamClosed
+	}
+	for {
+		if s.remain == 0 {
+			return nil, s.finish(io.EOF)
+		}
+		for s.pos < len(s.pending) {
+			row := s.pending[s.pos]
+			s.pos++
+			if s.skip > 0 {
+				s.skip--
+				continue
+			}
+			if s.remain > 0 {
+				s.remain--
+				if s.remain == 0 {
+					// LIMIT satisfied: stop every producer now rather than
+					// letting them finish their scans.
+					s.cancel()
+				}
+			}
+			return row, nil
+		}
+		if s.err != nil {
+			return nil, s.err
+		}
+		if s.waiting == 0 {
+			return nil, s.finish(io.EOF)
+		}
+		msg, ok := <-s.ch
+		if !ok {
+			s.waiting = 0
+			return nil, s.finish(io.EOF)
+		}
+		if msg.done {
+			s.waiting--
+			s.noteDone(msg)
+			continue
+		}
+		s.consumeBatch(msg.batch)
+	}
+}
+
+// consumeBatch turns one shipped batch into pending output rows.
+func (s *fedStream) consumeBatch(b *storage.Batch) {
+	s.counters.add(-int64(len(b.Rows)))
+	defer storage.PutBatch(b)
+	s.pending = s.pending[:0]
+	s.pos = 0
+	for _, r := range b.Rows {
+		if len(s.keyIdx) > 0 {
+			s.keyBuf = s.keyBuf[:0]
+			for _, ki := range s.keyIdx {
+				s.keyBuf = value.AppendRowKey(s.keyBuf, storage.Row{r[ki]})
+			}
+			k := string(s.keyBuf)
+			if s.seen[k] {
+				continue
+			}
+			s.seen[k] = true
+		}
+		s.env.Values = r
+		if s.where != nil {
+			v, err := s.ev.Eval(s.where, s.env)
+			if err != nil {
+				s.fail(err)
+				return
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		out := make(storage.Row, len(s.items))
+		for i, it := range s.items {
+			v, err := s.ev.Eval(it.Expr, s.env)
+			if err != nil {
+				s.fail(err)
+				return
+			}
+			out[i] = v
+		}
+		s.pending = append(s.pending, out)
+	}
+}
+
+// noteDone folds one fragment's completion record into the trace —
+// the single-consumer discipline that keeps QueryTrace race-free.
+func (s *fedStream) noteDone(m fragMsg) {
+	s.trace.Failovers += m.fail
+	metFailovers.Add(int64(m.fail))
+	if m.err != nil {
+		// Under PartialResults a fragment lost to unavailability is
+		// degraded around: its typed error lands on the trace and the
+		// live fragments still answer. Semantic errors always fail.
+		if s.f.PartialResults && isAvailabilityErr(m.err) && s.ctx.Err() == nil {
+			s.trace.noteFragmentError(s.table+"/"+m.frag.ID, m.err)
+			return
+		}
+		s.fail(m.err)
+		return
+	}
+	s.trace.FragmentSites[s.table+"/"+m.frag.ID] = m.site.Name()
+	metSiteRows(m.site.Name()).Add(int64(m.rows))
+	s.trace.CellsShipped += m.rows * s.width
+	s.trace.CellsWithoutPushdown += m.rows * s.fullWidth
+	metCellsShipped.Add(int64(m.rows * s.width))
+	metCellsSaved.Add(int64(m.rows * (s.fullWidth - s.width)))
+}
+
+// fail records the stream's terminal error and stops the producers.
+func (s *fedStream) fail(err error) {
+	if s.err == nil {
+		s.err = s.finish(err)
+	}
+}
+
+// finish settles the trace, metrics and span exactly once; it returns
+// the terminal value Next should report (err, or io.EOF for a clean
+// end).
+func (s *fedStream) finish(err error) error {
+	if s.settled {
+		return err
+	}
+	s.settled = true
+	s.cancel()
+	s.trace.PeakBufferedRows = int(s.counters.peak.Load())
+	metQuerySeconds.Observe(time.Since(s.start))
+	if err != nil && err != io.EOF {
+		metQueryErrs.Inc()
+		s.sp.SetErr(err)
+	} else {
+		if s.trace.Degraded {
+			s.sp.Set("degraded", strconv.Itoa(len(s.trace.FragmentErrors)))
+			metDegraded.Inc()
+			metDegradedFragments.Add(int64(len(s.trace.FragmentErrors)))
+		}
+		s.sp.Set("peak_buffered_rows", strconv.Itoa(s.trace.PeakBufferedRows))
+	}
+	s.sp.End()
+	return err
+}
+
+// Close implements storage.RowStream: cancels the producers and drains
+// the fan-in channel so every pooled batch is returned. Idempotent.
+func (s *fedStream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	//lint:ignore errdrop Close reports success; the stream's terminal error belongs to Next
+	s.finish(nil)
+	for msg := range s.ch {
+		if msg.batch != nil {
+			s.counters.add(-int64(len(msg.batch.Rows)))
+			storage.PutBatch(msg.batch)
+		}
+	}
+	return nil
+}

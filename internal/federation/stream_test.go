@@ -1,0 +1,273 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"testing"
+
+	"cohera/internal/storage"
+)
+
+// sortedFirstCol collects a result's first column as sorted strings,
+// for order-insensitive comparison.
+func sortedFirstCol(rows []storage.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r[0].String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestSelectStreamMatchesSelect asserts the streaming merge returns
+// the same multiset as the materialized path, across shapes.
+func TestSelectStreamMatchesSelect(t *testing.T) {
+	fed, _, _ := twoFragFed(t)
+	for _, sql := range []string{
+		"SELECT sku FROM parts",
+		"SELECT * FROM parts",
+		"SELECT sku, name FROM parts WHERE region = 'west'",
+		"SELECT sku FROM parts WHERE price > 50",
+		"SELECT sku FROM parts WHERE region = 'nowhere'", // empty
+	} {
+		want, _, err := fed.QueryTraced(context.Background(), sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		st, _, err := fed.QueryStream(context.Background(), sql)
+		if err != nil {
+			t.Fatalf("%s: stream open: %v", sql, err)
+		}
+		if len(st.Columns()) != len(want.Columns) {
+			t.Fatalf("%s: stream cols %v, select cols %v", sql, st.Columns(), want.Columns)
+		}
+		got, err := storage.CollectRows(st)
+		if err != nil {
+			t.Fatalf("%s: drain: %v", sql, err)
+		}
+		gs, ws := sortedFirstCol(got), sortedFirstCol(want.Rows)
+		if fmt.Sprint(gs) != fmt.Sprint(ws) {
+			t.Fatalf("%s: stream %v, select %v", sql, gs, ws)
+		}
+	}
+}
+
+// TestSelectStreamFallbackShapes asserts non-streamable statements
+// still answer through the stream interface.
+func TestSelectStreamFallbackShapes(t *testing.T) {
+	fed, _, _ := twoFragFed(t)
+	st, trace, err := fed.QueryStream(context.Background(), "SELECT sku FROM parts ORDER BY sku")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace == nil || trace.TraceID == "" {
+		t.Fatal("fallback must still produce a trace")
+	}
+	rows, err := storage.CollectRows(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][0].String() > rows[i][0].String() {
+			t.Fatal("fallback lost ORDER BY")
+		}
+	}
+}
+
+// TestSelectStreamLimitCancelsProducers asserts LIMIT terminates
+// early: the stream EOFs after exactly N rows and further Next calls
+// stay EOF.
+func TestSelectStreamLimitCancelsProducers(t *testing.T) {
+	fed, _, _ := twoFragFed(t)
+	st, _, err := fed.QueryStream(context.Background(), "SELECT sku FROM parts LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	n := 0
+	for {
+		_, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("limit 2 yielded %d rows", n)
+	}
+	if _, err := st.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next = %v", err)
+	}
+}
+
+// TestSelectStreamReplicaDedupe asserts a row served by two replicas
+// of the same fragment appears once (primary-key dedupe).
+func TestSelectStreamReplicaDedupe(t *testing.T) {
+	fed, _, _ := twoFragFed(t)
+	st, _, err := fed.QueryStream(context.Background(), "SELECT sku FROM parts WHERE region = 'west'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := storage.CollectRows(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("west rows = %d, want 2 (replicas must not duplicate)", len(rows))
+	}
+}
+
+// TestSelectStreamFailover asserts a dead preferred replica fails over
+// mid-gather and the trace says so.
+func TestSelectStreamFailover(t *testing.T) {
+	fed, _, _ := twoFragFed(t)
+	site, err := fed.Site("west-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	site.SetDown(true)
+	st, trace, err := fed.QueryStream(context.Background(), "SELECT sku FROM parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := storage.CollectRows(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 after failover", len(rows))
+	}
+	if got := trace.FragmentSites["parts/west"]; got != "west-2" {
+		t.Fatalf("west fragment served by %q, want west-2", got)
+	}
+}
+
+// TestSelectStreamDegradation asserts PartialResults degrades a lost
+// fragment with a typed error on the trace, and that without
+// PartialResults the stream fails typed instead of short.
+func TestSelectStreamDegradation(t *testing.T) {
+	fed, _, _ := twoFragFed(t)
+	for _, name := range []string{"west-1", "west-2"} {
+		s, err := fed.Site(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetDown(true)
+	}
+
+	// Without PartialResults: typed error, not a short result.
+	st, _, err := fed.QueryStream(context.Background(), "SELECT sku FROM parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = storage.CollectRows(st)
+	if !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("lost fragment drained as %v, want ErrNoReplica", err)
+	}
+
+	// With PartialResults: live fragment answers, trace is degraded.
+	fed.PartialResults = true
+	st, trace, err := fed.QueryStream(context.Background(), "SELECT sku FROM parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := storage.CollectRows(st)
+	if err != nil {
+		t.Fatalf("degraded drain: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("degraded rows = %d, want 2 (east only)", len(rows))
+	}
+	if !trace.Degraded {
+		t.Fatal("trace must be marked degraded")
+	}
+	if fe := trace.FragmentErrors["parts/west"]; fe == nil || !errors.Is(fe, ErrNoReplica) {
+		t.Fatalf("fragment error = %v, want ErrNoReplica", fe)
+	}
+}
+
+// TestSelectStreamCloseEarly asserts closing a stream mid-drain
+// releases the producers and later Next calls fail typed.
+func TestSelectStreamCloseEarly(t *testing.T) {
+	fed, _, _ := twoFragFed(t)
+	st, _, err := fed.QueryStream(context.Background(), "SELECT sku FROM parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := st.Next(); !errors.Is(err, storage.ErrStreamClosed) {
+		t.Fatalf("Next after Close = %v, want ErrStreamClosed", err)
+	}
+}
+
+// TestSelectStreamPeakBounded asserts the coordinator's buffered-row
+// high-water mark stays O(batch × fragments) rather than O(rows).
+func TestSelectStreamPeakBounded(t *testing.T) {
+	fed := New(NewAgoric())
+	site := NewSite("solo")
+	if err := fed.AddSite(site); err != nil {
+		t.Fatal(err)
+	}
+	frag := NewFragment("all", nil, site)
+	if _, err := fed.DefineTable(partsDef(), frag); err != nil {
+		t.Fatal(err)
+	}
+	var rows []storage.Row
+	for i := 0; i < 5000; i++ {
+		rows = append(rows, row(fmt.Sprintf("P%04d", i), "widget", float64(i), "east"))
+	}
+	if err := fed.LoadFragment("parts", frag, rows); err != nil {
+		t.Fatal(err)
+	}
+	fed.StreamBatchRows = 64
+	st, trace, err := fed.QueryStream(context.Background(), "SELECT sku FROM parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := storage.CollectRows(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5000 {
+		t.Fatalf("rows = %d, want 5000", len(got))
+	}
+	// One fragment, one batch in the channel plus one parked in a
+	// blocked send: the bound is 2 × batch, far below the 5000-row
+	// result. Allow slack for the final short batch.
+	if trace.PeakBufferedRows == 0 || trace.PeakBufferedRows > 3*64 {
+		t.Fatalf("peak buffered rows = %d, want (0, %d]", trace.PeakBufferedRows, 3*64)
+	}
+}
+
+// TestSelectStreamOffset asserts OFFSET composes with the merge.
+func TestSelectStreamOffset(t *testing.T) {
+	fed, _, _ := twoFragFed(t)
+	st, _, err := fed.QueryStream(context.Background(), "SELECT sku FROM parts LIMIT 10 OFFSET 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := storage.CollectRows(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("offset 3 of 4 rows left %d, want 1", len(rows))
+	}
+}

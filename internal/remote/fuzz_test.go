@@ -1,0 +1,77 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"testing"
+
+	"cohera/internal/obs"
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+	"cohera/internal/wrapper"
+)
+
+// FuzzDecodeStream feeds arbitrary bytes to the NDJSON chunk decoder
+// as if they were a /fetchstream response body. Invariants: the
+// decoder never panics, every yielded row has exactly the schema's
+// width, the stream always terminates in io.EOF or a typed error
+// (never runs forever), the terminal error is sticky, and Close always
+// succeeds.
+func FuzzDecodeStream(f *testing.F) {
+	f.Add([]byte(`{"rows":[[{"k":"INT","i":1},{"k":"TEXT","s":"a"}]]}` + "\n" + `{"eof":true}` + "\n"))
+	f.Add([]byte(`{"rows":[[{"k":"INT","i":1},{"k":"TEXT","s":"a"}]]}` + "\n")) // missing terminator
+	f.Add([]byte(`{"error":"disk on fire"}` + "\n"))
+	f.Add([]byte(`{"eof":true}` + "\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"rows":[[{"k":"INT","i":1}]]}` + "\n" + `{"eof":true}` + "\n")) // short row
+	f.Add([]byte(`{"rows":[[{"k":"MONEY","i":100,"s":"USD"},{"k":"TEXT","s":"x"},{"k":"BOOL","b":true}]]}` + "\n"))
+	f.Add([]byte(`{"rows":`)) // cut mid-chunk
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"rows":[[{"k":"NOSUCHKIND"} ,{"k":"TEXT","s":"a"}]]}` + "\n" + `{"eof":true}` + "\n"))
+
+	def := schema.MustTable("fuzzed", []schema.Column{
+		{Name: "id", Kind: value.KindInt, NotNull: true},
+		{Name: "name", Kind: value.KindString},
+	}, "id")
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 64<<10), maxStreamLine)
+		_, sp := obs.StartSpan(context.Background(), "remote.fetchstream")
+		metStreamInflight("client").Add(1)
+		cs := &clientStream{
+			def:  def,
+			cols: wrapper.ColumnNames(def),
+			body: io.NopCloser(bytes.NewReader(nil)),
+			sc:   sc,
+			sp:   sp,
+		}
+		var terminal error
+		for i := 0; i < 1<<17; i++ {
+			row, err := cs.Next()
+			if err != nil {
+				terminal = err
+				break
+			}
+			if len(row) != len(cs.cols) {
+				t.Fatalf("row width %d, want %d", len(row), len(cs.cols))
+			}
+		}
+		if terminal == nil {
+			t.Fatal("stream did not terminate")
+		}
+		if _, err := cs.Next(); err != terminal && err.Error() != terminal.Error() {
+			t.Fatalf("terminal error not sticky: %v then %v", terminal, err)
+		}
+		if err := cs.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		if _, err := cs.Next(); err != storage.ErrStreamClosed {
+			t.Fatalf("Next after Close = %v", err)
+		}
+	})
+}

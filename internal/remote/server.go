@@ -20,7 +20,7 @@ import (
 // cannot grow the label space without bound.
 func metServerReqs(path, class string) *obs.Counter {
 	switch path {
-	case "/healthz", "/tables", "/fetch":
+	case "/healthz", "/tables", "/fetch", "/fetchstream":
 	default:
 		path = "other"
 	}
@@ -37,6 +37,7 @@ var metServerSeconds = obs.Default().Histogram("cohera_remote_server_seconds",
 //
 //	GET  /tables        → JSON list of wireSchema
 //	POST /fetch         → {table, filters[]} → {rows}
+//	POST /fetchstream   → {table, filters[], batch_rows} → NDJSON chunks
 //	GET  /healthz       → 200 ok
 //
 // An optional bearer token gates every endpoint; cross-enterprise feeds
@@ -46,6 +47,10 @@ type Server struct {
 	// It must be set before the server starts serving; handlers read it
 	// without synchronization.
 	Token string
+	// StreamBatchRows is the rows-per-chunk /fetchstream uses when the
+	// client does not ask for a size; 0 means storage.DefaultBatchRows.
+	// Like Token it must be set before serving.
+	StreamBatchRows int
 
 	mu      sync.RWMutex
 	sources map[string]wrapper.Source
@@ -102,6 +107,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleTables(sw)
 	case r.Method == http.MethodPost && r.URL.Path == "/fetch":
 		s.handleFetch(sw, r)
+	case r.Method == http.MethodPost && r.URL.Path == "/fetchstream":
+		s.handleFetchStream(sw, r)
 	default:
 		http.Error(sw, `{"error":"not found"}`, http.StatusNotFound)
 	}

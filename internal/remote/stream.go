@@ -1,0 +1,424 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cohera/internal/obs"
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/wrapper"
+)
+
+// The chunked-transfer wire format: POST /fetchstream answers with
+// newline-delimited JSON (NDJSON). Each line is one streamChunk — a
+// batch of rows, a mid-stream error, or the {"eof":true} terminator.
+// The terminator is load-bearing: a connection that dies mid-transfer
+// ends the body without it, and the client reports ErrTruncated instead
+// of passing off a prefix as the full result.
+
+// ErrTruncated reports a stream body that ended before the EOF
+// terminator — the transport died mid-transfer. Consumers must treat
+// the rows received so far as incomplete.
+var ErrTruncated = errors.New("remote: stream truncated before eof terminator")
+
+// maxStreamLine bounds one NDJSON line on the client. A line carries at
+// most maxStreamBatchRows encoded rows.
+const maxStreamLine = 64 << 20
+
+// maxStreamBatchRows caps the negotiated batch size so a hostile client
+// cannot make the server buffer unbounded rows per chunk.
+const maxStreamBatchRows = 8192
+
+// streamRequest is the body of POST /fetchstream.
+type streamRequest struct {
+	Table   string       `json:"table"`
+	Filters []wireFilter `json:"filters,omitempty"`
+	// BatchRows asks the server for a specific rows-per-chunk; 0 lets
+	// the server choose.
+	BatchRows int `json:"batch_rows,omitempty"`
+}
+
+// streamChunk is one NDJSON line of a /fetchstream response.
+type streamChunk struct {
+	Rows  [][]wireValue `json:"rows,omitempty"`
+	Error string        `json:"error,omitempty"`
+	EOF   bool          `json:"eof,omitempty"`
+}
+
+// metStreamBatches counts NDJSON chunks by side ("server" encodes,
+// "client" decodes).
+func metStreamBatches(side string) *obs.Counter {
+	return obs.Default().Counter("cohera_stream_batches_total",
+		"Row-batch chunks moved through the streaming wire protocol.",
+		obs.Labels{"side": side})
+}
+
+// metStreamBytes counts NDJSON payload bytes by side.
+func metStreamBytes(side string) *obs.Counter {
+	return obs.Default().Counter("cohera_stream_bytes_total",
+		"Payload bytes moved through the streaming wire protocol.",
+		obs.Labels{"side": side})
+}
+
+// metStreamInflight gauges streams currently open, by side.
+func metStreamInflight(side string) *obs.Gauge {
+	return obs.Default().Gauge("cohera_stream_inflight",
+		"Row streams currently open.", obs.Labels{"side": side})
+}
+
+// batchRowBuckets are row counts disguised as durations: the obs
+// histogram observes time.Duration, so the peak-batch histogram encodes
+// N rows as time.Duration(N). Quantiles read back as row counts.
+var batchRowBuckets = []time.Duration{1, 4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+var metStreamPeakBatch = obs.Default().HistogramBuckets("cohera_stream_peak_batch_rows",
+	"Peak rows observed in a single chunk per stream (unit: rows, not seconds).",
+	batchRowBuckets, nil)
+
+// clampBatchRows resolves the effective rows-per-chunk from the
+// client's ask and the server's default.
+func clampBatchRows(asked, serverDefault int) int {
+	n := asked
+	if n <= 0 {
+		n = serverDefault
+	}
+	if n <= 0 {
+		n = storage.DefaultBatchRows
+	}
+	if n > maxStreamBatchRows {
+		n = maxStreamBatchRows
+	}
+	return n
+}
+
+// countingWriter tallies bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// handleFetchStream streams a source's rows as NDJSON chunks. Each
+// chunk is flushed as soon as it is full, so a slow consumer exerts
+// backpressure on the producing scan through the socket's window
+// instead of forcing the server to buffer the whole result.
+func (s *Server) handleFetchStream(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, `{"error":"bad body"}`, http.StatusBadRequest)
+		return
+	}
+	var req streamRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, `{"error":"bad json"}`, http.StatusBadRequest)
+		return
+	}
+	s.mu.RLock()
+	src, ok := s.sources[strings.ToLower(req.Table)]
+	s.mu.RUnlock()
+	if !ok {
+		w.WriteHeader(http.StatusNotFound)
+		//lint:ignore errdrop the status line is already committed; nothing useful can be done with an encode failure
+		_ = writeJSON(w, errorResponse{Error: fmt.Sprintf("no table %q", req.Table)})
+		return
+	}
+	var filters []wrapper.Filter
+	for _, wf := range req.Filters {
+		v, err := decodeValue(wf.Value)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			//lint:ignore errdrop the status line is already committed; nothing useful can be done with an encode failure
+			_ = writeJSON(w, errorResponse{Error: err.Error()})
+			return
+		}
+		filters = append(filters, wrapper.Filter{Column: wf.Column, Value: v})
+	}
+	st, err := wrapper.OpenStream(r.Context(), src, filters)
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		//lint:ignore errdrop the status line is already committed; nothing useful can be done with an encode failure
+		_ = writeJSON(w, errorResponse{Error: err.Error()})
+		return
+	}
+	defer st.Close()
+
+	batchRows := clampBatchRows(req.BatchRows, s.StreamBatchRows)
+	metStreamInflight("server").Add(1)
+	defer metStreamInflight("server").Add(-1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	cw := &countingWriter{w: w}
+	defer func() { metStreamBytes("server").Add(cw.n) }()
+	enc := json.NewEncoder(cw)
+	flusher, _ := w.(http.Flusher)
+	peak := 0
+
+	batch := storage.GetBatch()
+	defer storage.PutBatch(batch)
+	emit := func() bool {
+		if len(batch.Rows) == 0 {
+			return true
+		}
+		if len(batch.Rows) > peak {
+			peak = len(batch.Rows)
+		}
+		// Encode writes the chunk plus the NDJSON newline.
+		if err := enc.Encode(streamChunk{Rows: encodeRows(batch.Rows)}); err != nil {
+			return false // consumer went away; stop producing
+		}
+		metStreamBatches("server").Inc()
+		batch.Rows = batch.Rows[:0]
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for {
+		row, err := st.Next()
+		if err == io.EOF {
+			if !emit() {
+				return
+			}
+			//lint:ignore errdrop the stream is already committed as 200; a failed terminator reads as truncation on the client
+			_ = enc.Encode(streamChunk{EOF: true})
+			metStreamPeakBatch.Observe(time.Duration(peak))
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		if err != nil {
+			// Buffered rows are dropped: an error chunk tells the client
+			// the result is broken, so a partial flush would only move
+			// rows it must discard.
+			//lint:ignore errdrop the stream is already committed as 200; the error chunk is best-effort
+			_ = enc.Encode(streamChunk{Error: err.Error()})
+			return
+		}
+		batch.Rows = append(batch.Rows, row)
+		if len(batch.Rows) >= batchRows && !emit() {
+			return
+		}
+	}
+}
+
+// FetchStream implements wrapper.StreamingSource over POST
+// /fetchstream. The returned stream holds the response body open and
+// decodes chunks on demand, so client-side memory is one chunk
+// regardless of result size. Streaming calls are never retried — a
+// replayed stream could double rows already consumed; failover belongs
+// to the federation layer, which can dedupe by primary key.
+func (s *Source) FetchStream(ctx context.Context, filters []wrapper.Filter) (storage.RowStream, error) {
+	ctx, sp := obs.StartSpan(ctx, "remote.fetchstream")
+	sp.Set("table", s.def.Name)
+	req := streamRequest{Table: s.def.Name, BatchRows: s.client.streamBatch}
+	var local []wrapper.Filter
+	for _, f := range filters {
+		if s.caps.CanPush(f.Column) {
+			req.Filters = append(req.Filters, wireFilter{Column: f.Column, Value: encodeValue(f.Value)})
+		}
+		local = append(local, f)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		sp.SetErr(err)
+		sp.End()
+		return nil, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.client.base+"/fetchstream", bytes.NewReader(body))
+	if err != nil {
+		sp.SetErr(err)
+		sp.End()
+		metClientReqs("error").Inc()
+		return nil, fmt.Errorf("remote: request: %w", err)
+	}
+	if s.client.token != "" {
+		httpReq.Header.Set("Authorization", "Bearer "+s.client.token)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	obs.InjectHeaders(ctx, httpReq.Header)
+	// The client's whole-call timeout would kill a long-lived stream
+	// body mid-read, so streams go through a timeout-free client that
+	// shares the transport (and any injected faults). Cancellation
+	// stays with ctx.
+	streamHTTP := &http.Client{Transport: s.client.http.Transport}
+	resp, err := streamHTTP.Do(httpReq)
+	if err != nil {
+		sp.SetErr(err)
+		sp.End()
+		metClientReqs("error").Inc()
+		return nil, fmt.Errorf("remote: POST /fetchstream: %w", err)
+	}
+	metClientReqs(statusClass(resp.StatusCode)).Inc()
+	if resp.StatusCode != http.StatusOK {
+		//lint:ignore errdrop the body is best-effort context for the status error
+		out, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		//lint:ignore errdrop the response is already a failure; close is best-effort cleanup
+		_ = resp.Body.Close()
+		se := &statusError{method: http.MethodPost, path: "/fetchstream", code: resp.StatusCode}
+		var er errorResponse
+		if json.Unmarshal(out, &er) == nil && er.Error != "" {
+			se.msg = er.Error
+		}
+		sp.SetErr(se)
+		sp.End()
+		return nil, se
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxStreamLine)
+	metStreamInflight("client").Add(1)
+	return &clientStream{
+		def:     s.def,
+		cols:    wrapper.ColumnNames(s.def),
+		filters: local,
+		body:    resp.Body,
+		sc:      sc,
+		sp:      sp,
+	}, nil
+}
+
+// clientStream decodes NDJSON chunks from an open /fetchstream response
+// into rows, one chunk in memory at a time.
+type clientStream struct {
+	def     *schema.Table
+	cols    []string
+	filters []wrapper.Filter
+	body    io.ReadCloser
+	sc      *bufio.Scanner
+	sp      *obs.Span
+
+	pending []storage.Row
+	pos     int
+	peak    int
+	err     error // sticky terminal error (io.EOF for clean end)
+	closed  bool
+}
+
+// Columns implements storage.RowStream.
+func (c *clientStream) Columns() []string { return c.cols }
+
+// Next implements storage.RowStream.
+func (c *clientStream) Next() (storage.Row, error) {
+	if c.closed {
+		return nil, storage.ErrStreamClosed
+	}
+	for {
+		if c.pos < len(c.pending) {
+			r := c.pending[c.pos]
+			c.pos++
+			return r, nil
+		}
+		if c.err != nil {
+			return nil, c.err
+		}
+		if !c.sc.Scan() {
+			// The body ended (or broke) before the eof terminator:
+			// report truncation, never a silent short result.
+			if scanErr := c.sc.Err(); scanErr != nil {
+				c.err = fmt.Errorf("%w: %v", ErrTruncated, scanErr)
+			} else {
+				c.err = ErrTruncated
+			}
+			return nil, c.err
+		}
+		line := bytes.TrimSpace(c.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var chunk streamChunk
+		if err := json.Unmarshal(line, &chunk); err != nil {
+			if !c.sc.Scan() {
+				// An undecodable final line is a connection cut
+				// mid-chunk, not corruption: classify it as truncation
+				// so callers see one typed error for "body ended early".
+				c.err = fmt.Errorf("%w: partial final chunk: %v", ErrTruncated, err)
+				return nil, c.err
+			}
+			c.err = fmt.Errorf("remote: decoding stream chunk: %w", err)
+			return nil, c.err
+		}
+		metStreamBytes("client").Add(int64(len(line)))
+		if chunk.Error != "" {
+			c.err = fmt.Errorf("remote: stream failed at server: %s", chunk.Error)
+			return nil, c.err
+		}
+		if chunk.EOF {
+			c.err = io.EOF
+			return nil, c.err
+		}
+		rows, err := decodeRows(chunk.Rows)
+		if err != nil {
+			c.err = err
+			return nil, c.err
+		}
+		// A row of the wrong width is wire corruption; letting it
+		// through would index-panic in the filter re-check or feed the
+		// evaluator garbage.
+		for _, r := range rows {
+			if len(r) != len(c.cols) {
+				c.err = fmt.Errorf("remote: stream row has %d cells, want %d", len(r), len(c.cols))
+				return nil, c.err
+			}
+		}
+		metStreamBatches("client").Inc()
+		if len(rows) > c.peak {
+			c.peak = len(rows)
+		}
+		// Re-check every filter locally: the server only applied the
+		// pushable subset.
+		c.pending = c.pending[:0]
+		c.pos = 0
+		for _, r := range rows {
+			if rowPassesFilters(c.def, r, c.filters) {
+				c.pending = append(c.pending, r)
+			}
+		}
+	}
+}
+
+// rowPassesFilters re-applies equality filters to one decoded row.
+func rowPassesFilters(def *schema.Table, r storage.Row, filters []wrapper.Filter) bool {
+	for _, f := range filters {
+		ci := def.ColumnIndex(f.Column)
+		if ci < 0 {
+			continue
+		}
+		cmp, err := r[ci].Compare(f.Value)
+		if err != nil || cmp != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Close implements storage.RowStream. Idempotent; settles the stream's
+// span and peak-batch observation.
+func (c *clientStream) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	metStreamInflight("client").Add(-1)
+	metStreamPeakBatch.Observe(time.Duration(c.peak))
+	c.sp.Set("peak_batch_rows", strconv.Itoa(c.peak))
+	if c.err != nil && c.err != io.EOF {
+		c.sp.SetErr(c.err)
+	}
+	c.sp.End()
+	return c.body.Close()
+}

@@ -145,11 +145,37 @@ func (l Literal) String() string {
 	return l.Value.String()
 }
 
+// quoteIdent renders an identifier, double-quoting it whenever the
+// bare form would not lex back to the same single TokIdent: names that
+// collide with keywords, start with a digit, or contain characters
+// outside the plain-identifier alphabet (all reachable through quoted
+// identifiers in the input).
+func quoteIdent(s string) string {
+	if s == "" || keywords[strings.ToUpper(s)] || !isIdentStart(rune(s[0])) {
+		return `"` + s + `"`
+	}
+	for _, r := range s {
+		if !isIdentRune(r) {
+			return `"` + s + `"`
+		}
+	}
+	return s
+}
+
+// joinIdents renders a comma-separated identifier list.
+func joinIdents(names []string) string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = quoteIdent(n)
+	}
+	return strings.Join(out, ", ")
+}
+
 func (c ColumnRef) String() string {
 	if c.Table != "" {
-		return c.Table + "." + c.Column
+		return quoteIdent(c.Table) + "." + quoteIdent(c.Column)
 	}
-	return c.Column
+	return quoteIdent(c.Column)
 }
 
 func (b Binary) String() string {
@@ -199,7 +225,7 @@ func (c Call) String() string {
 	for i, a := range c.Args {
 		args[i] = a.String()
 	}
-	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(args, ", "))
+	return fmt.Sprintf("%s(%s)", quoteIdent(c.Name), strings.Join(args, ", "))
 }
 
 func (t TextMatch) String() string {
@@ -208,7 +234,7 @@ func (t TextMatch) String() string {
 
 func (s Star) String() string {
 	if s.Table != "" {
-		return s.Table + ".*"
+		return quoteIdent(s.Table) + ".*"
 	}
 	return "*"
 }
@@ -349,21 +375,21 @@ func (s SelectStmt) String() string {
 		}
 		b.WriteString(it.Expr.String())
 		if it.Alias != "" {
-			b.WriteString(" AS " + it.Alias)
+			b.WriteString(" AS " + quoteIdent(it.Alias))
 		}
 	}
-	b.WriteString(" FROM " + s.From.Name)
+	b.WriteString(" FROM " + quoteIdent(s.From.Name))
 	if s.From.Alias != "" {
-		b.WriteString(" " + s.From.Alias)
+		b.WriteString(" " + quoteIdent(s.From.Alias))
 	}
 	for _, j := range s.Joins {
 		kw := "JOIN"
 		if j.Kind == JoinLeft {
 			kw = "LEFT JOIN"
 		}
-		fmt.Fprintf(&b, " %s %s", kw, j.Table.Name)
+		fmt.Fprintf(&b, " %s %s", kw, quoteIdent(j.Table.Name))
 		if j.Table.Alias != "" {
-			b.WriteString(" " + j.Table.Alias)
+			b.WriteString(" " + quoteIdent(j.Table.Alias))
 		}
 		fmt.Fprintf(&b, " ON %s", j.On)
 	}
@@ -405,9 +431,9 @@ func (s SelectStmt) String() string {
 
 func (s InsertStmt) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "INSERT INTO %s", s.Table)
+	fmt.Fprintf(&b, "INSERT INTO %s", quoteIdent(s.Table))
 	if len(s.Columns) > 0 {
-		fmt.Fprintf(&b, " (%s)", strings.Join(s.Columns, ", "))
+		fmt.Fprintf(&b, " (%s)", joinIdents(s.Columns))
 	}
 	b.WriteString(" VALUES ")
 	for i, r := range s.Rows {
@@ -428,12 +454,12 @@ func (s InsertStmt) String() string {
 
 func (s UpdateStmt) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "UPDATE %s SET ", s.Table)
+	fmt.Fprintf(&b, "UPDATE %s SET ", quoteIdent(s.Table))
 	for i, a := range s.Set {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%s = %s", a.Column, a.Expr)
+		fmt.Fprintf(&b, "%s = %s", quoteIdent(a.Column), a.Expr)
 	}
 	if s.Where != nil {
 		b.WriteString(" WHERE " + s.Where.String())
@@ -442,7 +468,7 @@ func (s UpdateStmt) String() string {
 }
 
 func (s DeleteStmt) String() string {
-	out := "DELETE FROM " + s.Table
+	out := "DELETE FROM " + quoteIdent(s.Table)
 	if s.Where != nil {
 		out += " WHERE " + s.Where.String()
 	}
@@ -451,18 +477,18 @@ func (s DeleteStmt) String() string {
 
 func (s CreateTableStmt) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "CREATE TABLE %s (", s.Table)
+	fmt.Fprintf(&b, "CREATE TABLE %s (", quoteIdent(s.Table))
 	for i, c := range s.Columns {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+		fmt.Fprintf(&b, "%s %s", quoteIdent(c.Name), quoteIdent(c.Type))
 		if c.NotNull {
 			b.WriteString(" NOT NULL")
 		}
 	}
 	if len(s.Key) > 0 {
-		fmt.Fprintf(&b, ", PRIMARY KEY (%s)", strings.Join(s.Key, ", "))
+		fmt.Fprintf(&b, ", PRIMARY KEY (%s)", joinIdents(s.Key))
 	}
 	b.WriteString(")")
 	return b.String()

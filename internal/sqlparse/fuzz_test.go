@@ -1,0 +1,78 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary input at the parser. Invariants: the
+// parser never panics, and any statement it accepts renders back to
+// SQL the parser accepts again (print/parse closure) with the same
+// statement shape.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT * FROM hotels",
+		"SELECT h.hotel AS hname, h.corporate_rate FROM hotels h WHERE h.city = 'Atlanta' AND h.miles_to_airport < 10 ORDER BY h.corporate_rate LIMIT 5",
+		"SELECT sku FROM parts WHERE price BETWEEN 1 AND 10 OR name LIKE 'Acme%'",
+		"SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1",
+		"SELECT x FROM t WHERE x IN (1, 2, 3) AND y IS NOT NULL",
+		"SELECT x FROM t WHERE CONTAINS(name, 'drill') UNION ALL SELECT y FROM u",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
+		"UPDATE t SET a = a + 1 WHERE b = TRUE",
+		"DELETE FROM t WHERE a <> 3",
+		"CREATE TABLE t (a INTEGER NOT NULL, b TEXT, PRIMARY KEY (a))",
+		"SELECT DISTINCT chain FROM hotels WHERE NOT (city = 'Boston')",
+		"SELECT * FROM a JOIN b ON a.id = b.id WHERE a.x = -1.5e3",
+		"select '\\'' from t",
+		"SELECT \x00 FROM",
+		"((((((((((",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		rendered := stmt.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", input, rendered, err)
+		}
+		// The rendering must be a fixed point: printing the re-parse
+		// yields the same text, so the printer and parser agree.
+		if again.String() != rendered {
+			t.Fatalf("render not stable:\n first: %s\nsecond: %s", rendered, again.String())
+		}
+	})
+}
+
+// FuzzParseExpr covers the expression sub-grammar on its own, where
+// operator precedence and NOT/IN/BETWEEN lookahead live.
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		"a = 1",
+		"NOT a OR b AND c",
+		"price * (1 + tax) >= 100",
+		"x NOT BETWEEN 1 AND 2",
+		"name NOT LIKE '%x%' AND id NOT IN (1,2)",
+		"FUZZY(name, 'drll')",
+		"a IS NULL",
+		"- - -1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := ParseExpr(input)
+		if err != nil {
+			return
+		}
+		rendered := e.String()
+		if _, err := ParseExpr(rendered); err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", input, rendered, err)
+		}
+		if strings.TrimSpace(rendered) == "" {
+			t.Fatalf("accepted %q but rendered empty", input)
+		}
+	})
+}

@@ -63,7 +63,7 @@ func Lex(input string) ([]Token, error) {
 			for i < n && input[i] != '\n' {
 				i++
 			}
-		case unicode.IsLetter(c) || c == '_':
+		case isIdentStart(c):
 			start := i
 			for i < n && (isIdentRune(rune(input[i]))) {
 				i++
@@ -83,6 +83,21 @@ func Lex(input string) ([]Token, error) {
 					seenDot = true
 				}
 				i++
+			}
+			// Exponent suffix (1e-07, 2.5E3): consumed only when a
+			// well-formed "[eE][+-]?digits" follows, so "1e" stays a
+			// number then an identifier.
+			if i < n && (input[i] == 'e' || input[i] == 'E') {
+				j := i + 1
+				if j < n && (input[j] == '+' || input[j] == '-') {
+					j++
+				}
+				if j < n && unicode.IsDigit(rune(input[j])) {
+					for j < n && unicode.IsDigit(rune(input[j])) {
+						j++
+					}
+					i = j
+				}
 			}
 			toks = append(toks, Token{TokNumber, input[start:i], start})
 		case c == '\'':
@@ -115,6 +130,9 @@ func Lex(input string) ([]Token, error) {
 			j := strings.IndexByte(input[i:], '"')
 			if j < 0 {
 				return nil, fmt.Errorf("sqlparse: unterminated quoted identifier at offset %d", start)
+			}
+			if j == 0 {
+				return nil, fmt.Errorf("sqlparse: empty quoted identifier at offset %d", start)
 			}
 			toks = append(toks, Token{TokIdent, input[i : i+j], start})
 			i += j + 1
@@ -152,6 +170,14 @@ func Lex(input string) ([]Token, error) {
 	return toks, nil
 }
 
+// Identifiers are ASCII-only. The lexer walks bytes, so a byte ≥ 0x80
+// would be misread as its Latin-1 rune (0xD4 ⇒ 'Ô', a letter) and then
+// mangled to U+FFFD by the parser's case folding — accepting input the
+// printer cannot round-trip.
+func isIdentStart(r rune) bool {
+	return r == '_' || (r < 0x80 && unicode.IsLetter(r))
+}
+
 func isIdentRune(r rune) bool {
-	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+	return r == '_' || (r < 0x80 && (unicode.IsLetter(r) || unicode.IsDigit(r)))
 }

@@ -504,7 +504,7 @@ func (p *parser) primary() (Expr, error) {
 	switch t.Kind {
 	case TokNumber:
 		p.next()
-		if strings.Contains(t.Text, ".") {
+		if strings.ContainsAny(t.Text, ".eE") {
 			f, err := strconv.ParseFloat(t.Text, 64)
 			if err != nil {
 				return nil, p.errf("bad number %q", t.Text)

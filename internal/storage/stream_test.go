@@ -1,0 +1,71 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"cohera/internal/value"
+)
+
+func TestSliceStream(t *testing.T) {
+	rows := []Row{
+		{value.NewInt(1)},
+		{value.NewInt(2)},
+	}
+	s := NewSliceStream([]string{"n"}, rows)
+	if got := s.Columns(); len(got) != 1 || got[0] != "n" {
+		t.Fatalf("Columns = %v", got)
+	}
+	for i := 0; i < 2; i++ {
+		r, err := s.Next()
+		if err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		if r[0].Int() != int64(i+1) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("exhausted Next = %v, want io.EOF", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("Next after Close = %v, want ErrStreamClosed", err)
+	}
+}
+
+func TestCollectRows(t *testing.T) {
+	rows := []Row{{value.NewString("a")}, {value.NewString("b")}}
+	got, err := CollectRows(NewSliceStream([]string{"s"}, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("collected %d rows", len(got))
+	}
+}
+
+func TestCollectRowsPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := CollectRows(NewErrStream([]string{"c"}, boom)); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestBatchPoolReuse(t *testing.T) {
+	b := GetBatch()
+	if len(b.Rows) != 0 {
+		t.Fatalf("fresh batch has %d rows", len(b.Rows))
+	}
+	b.Rows = append(b.Rows, Row{value.NewInt(7)})
+	PutBatch(b)
+	b2 := GetBatch()
+	if len(b2.Rows) != 0 {
+		t.Fatalf("pooled batch not reset: %d rows", len(b2.Rows))
+	}
+	PutBatch(b2)
+	PutBatch(nil) // must not panic
+}

@@ -360,6 +360,21 @@ func (t *Table) Scan(visit func(id int64, row Row) bool) {
 	}
 }
 
+// IDs returns a snapshot of every row id, sorted ascending. Streaming
+// scans iterate the snapshot and fetch rows lazily, so a stream holds
+// O(ids) int64s instead of O(rows) materialized tuples; rows deleted
+// after the snapshot are skipped at fetch time.
+func (t *Table) IDs() []int64 {
+	t.mu.RLock()
+	ids := make([]int64, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	t.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // LookupEqual returns ids of rows whose column equals v, using the hash or
 // B+tree index on that column.
 func (t *Table) LookupEqual(column string, v value.Value) ([]int64, error) {

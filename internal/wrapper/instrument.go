@@ -42,6 +42,57 @@ func Instrument(src Source) Source {
 	return &instrumented{Source: src}
 }
 
+// FetchStream implements StreamingSource: it opens the underlying
+// source's stream (native or adapted) and counts rows as they flow, so
+// streaming fetches show up in the same metrics as materialized ones.
+func (s *instrumented) FetchStream(ctx context.Context, filters []Filter) (storage.RowStream, error) {
+	ctx, sp := obs.StartSpan(ctx, "wrapper.fetchstream")
+	sp.Set("source", s.Source.Name())
+	table := s.Source.Schema().Name
+	start := time.Now()
+	st, err := OpenStream(ctx, s.Source, filters)
+	if err != nil {
+		metFetchSeconds.Observe(time.Since(start))
+		metFetches(table, "error").Inc()
+		sp.SetErr(err)
+		sp.End()
+		return nil, err
+	}
+	metFetches(table, "ok").Inc()
+	return &countedStream{RowStream: st, sp: sp, start: start}, nil
+}
+
+// countedStream forwards a stream while feeding the wrapper fetch
+// metrics; the span and latency histogram settle at Close, when the
+// stream's true extent is known.
+type countedStream struct {
+	storage.RowStream
+	sp    *obs.Span
+	start time.Time
+	rows  int64
+	done  bool
+}
+
+func (c *countedStream) Next() (storage.Row, error) {
+	r, err := c.RowStream.Next()
+	if err == nil {
+		c.rows++
+		metFetchRows.Inc()
+	}
+	return r, err
+}
+
+func (c *countedStream) Close() error {
+	err := c.RowStream.Close()
+	if !c.done {
+		c.done = true
+		metFetchSeconds.Observe(time.Since(c.start))
+		c.sp.Set("rows", strconv.FormatInt(c.rows, 10))
+		c.sp.End()
+	}
+	return err
+}
+
 // Fetch implements Source.
 func (s *instrumented) Fetch(ctx context.Context, filters []Filter) ([]storage.Row, error) {
 	ctx, sp := obs.StartSpan(ctx, "wrapper.fetch")

@@ -12,6 +12,8 @@
 #   5. go run ./cmd/coherachaos  seeded fault-injection harness: the
 #      -smoke                    resilience invariants hold end to end
 #   6. go test -race ./...       full tests under the race detector
+#   7. go test -fuzz ... 10s     fuzz smoke: parser and NDJSON stream
+#                                decoder each survive a short run
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,5 +35,10 @@ go run ./cmd/coherachaos -smoke
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> fuzz smoke (10s per target)"
+go test -fuzz 'FuzzParse$' -fuzztime 10s ./internal/sqlparse/
+go test -fuzz FuzzParseExpr -fuzztime 10s ./internal/sqlparse/
+go test -fuzz FuzzDecodeStream -fuzztime 10s ./internal/remote/
 
 echo "check: all gates passed"
