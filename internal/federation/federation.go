@@ -751,7 +751,10 @@ func projectDef(def *schema.Table, want map[string]bool) (*schema.Table, []strin
 // incrementally: rows arrive in pooled batches over the scatter
 // fan-in, so the coordinator never holds a fragment's whole result
 // slice — in-flight memory is O(batch × fragments) even on the
-// materialized path. cols, when non-nil, is the projected column list
+// materialized path. The exception is PartialResults mode, which
+// stages each fragment's rows until its completion record arrives
+// (O(fragment) extra memory) so a degraded result only ever contains
+// whole fragments. cols, when non-nil, is the projected column list
 // shipped from sites; fullWidth is the table's unprojected column
 // count, for the pushdown-savings accounting.
 func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.Expr, cols []string, fullWidth int, dst *storage.Table, trace *QueryTrace) error {
@@ -765,13 +768,32 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 	counters := &streamCounters{}
 	ch, _, pruned := f.scatter(ctx, gt, push, cols, clampFedBatch(f.StreamBatchRows), canReplay, counters)
 	var firstErr error
+	upsert := func(rows []storage.Row) {
+		for _, row := range rows {
+			if _, err := dst.Upsert(row); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	// Under PartialResults a fragment's rows must not reach dst before
+	// the fragment's outcome is known: a stream that ships a prefix and
+	// then loses every replica is degraded around, and committing the
+	// prefix would leave nondeterministic partial fragment data in the
+	// result. Rows are staged per fragment and committed by the success
+	// record. Without PartialResults any fragment failure discards the
+	// whole scratch table, so batches flow straight into dst and the
+	// staging cost is not paid.
+	var staged map[string][]storage.Row
+	if f.PartialResults {
+		staged = make(map[string][]storage.Row)
+	}
 	for msg := range ch {
 		if !msg.done {
 			counters.add(-int64(len(msg.batch.Rows)))
-			for _, row := range msg.batch.Rows {
-				if _, err := dst.Upsert(row); err != nil && firstErr == nil {
-					firstErr = err
-				}
+			if staged != nil {
+				staged[msg.frag.ID] = append(staged[msg.frag.ID], msg.batch.Rows...)
+			} else {
+				upsert(msg.batch.Rows)
 			}
 			storage.PutBatch(msg.batch)
 			continue
@@ -780,9 +802,11 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 		metFailovers.Add(int64(msg.fail))
 		if msg.err != nil {
 			// Under PartialResults a fragment lost to unavailability is
-			// degraded around: its typed error lands on the trace and the
-			// live fragments still answer. Semantic errors always fail.
+			// degraded around: its staged prefix is dropped, its typed
+			// error lands on the trace, and the live fragments still
+			// answer. Semantic errors always fail.
 			if f.PartialResults && isAvailabilityErr(msg.err) && ctx.Err() == nil {
+				delete(staged, msg.frag.ID)
 				trace.noteFragmentError(gt.Def.Name+"/"+msg.frag.ID, msg.err)
 				continue
 			}
@@ -790,6 +814,10 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 				firstErr = msg.err
 			}
 			continue
+		}
+		if staged != nil {
+			upsert(staged[msg.frag.ID])
+			delete(staged, msg.frag.ID)
 		}
 		trace.FragmentSites[gt.Def.Name+"/"+msg.frag.ID] = msg.site.Name()
 		metSiteRows(msg.site.Name()).Add(int64(msg.rows))
@@ -802,6 +830,13 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 	metPruned.Add(int64(pruned))
 	if peak := int(counters.peak.Load()); peak > trace.PeakBufferedRows {
 		trace.PeakBufferedRows = peak
+	}
+	// Producers that lose their context exit without a completion
+	// record (their sends would never be received), so a drained channel
+	// with no recorded error can still be a silent prefix. Surface the
+	// cancellation rather than return partial rows as success.
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = fmt.Errorf("federation: gather interrupted: %w", ctx.Err())
 	}
 	return firstErr
 }

@@ -59,8 +59,10 @@ func (s *Site) SubQueryStream(ctx context.Context, table string, where sqlparse.
 		sp.End()
 		return nil, err
 	}
-	s.breaker.RecordSuccess()
-	return &siteStream{inner: st, site: s, sp: sp, start: start}, nil
+	// Breaker accounting waits for Close: a stream that opens fine can
+	// still die mid-transfer, and that failure must move the breaker
+	// just like the materialized path's.
+	return &siteStream{inner: st, site: s, ctx: ctx, sp: sp, start: start}, nil
 }
 
 // streamStored answers a subquery from the site's local engine.
@@ -178,29 +180,48 @@ func (s *sourceFilterStream) Close() error {
 	return s.inner.Close()
 }
 
-// siteStream settles the site's in-flight count, latency observation
-// and span when the subquery stream closes.
+// siteStream settles the site's in-flight count, latency observation,
+// breaker accounting and span when the subquery stream closes.
 type siteStream struct {
 	inner   storage.RowStream
 	site    *Site
+	ctx     context.Context
 	sp      *obs.Span
 	start   time.Time
+	err     error // terminal stream error, for breaker accounting
 	settled bool
 }
 
 // Columns implements storage.RowStream.
 func (s *siteStream) Columns() []string { return s.inner.Columns() }
 
-// Next implements storage.RowStream.
-func (s *siteStream) Next() (storage.Row, error) { return s.inner.Next() }
+// Next implements storage.RowStream. The terminal error (anything but
+// a clean EOF or use-after-Close) is remembered so Close can charge it
+// to the site's circuit breaker.
+func (s *siteStream) Next() (storage.Row, error) {
+	r, err := s.inner.Next()
+	if err != nil && err != io.EOF && !errors.Is(err, storage.ErrStreamClosed) {
+		s.err = err
+	}
+	return r, err
+}
 
-// Close implements storage.RowStream. Idempotent.
+// Close implements storage.RowStream. Idempotent. A stream that died
+// mid-transfer on a transient site failure records a breaker failure —
+// unless the caller's context ended, since caller aborts must not trip
+// breakers — and everything else records the success the open earned.
 func (s *siteStream) Close() error {
 	err := s.inner.Close()
 	if !s.settled {
 		s.settled = true
 		s.site.inFlight.Add(-1)
 		s.site.ObserveLatency(time.Since(s.start))
+		if s.err != nil && errors.Is(s.err, ErrSiteFailure) && s.ctx.Err() == nil {
+			s.site.breaker.RecordFailure()
+			s.sp.SetErr(s.err)
+		} else {
+			s.site.breaker.RecordSuccess()
+		}
 		s.sp.End()
 	}
 	return err

@@ -423,6 +423,16 @@ func fedItemNames(items []sqlparse.SelectItem) []string {
 // any copy is the row), re-checks the statement's WHERE, projects the
 // select items, applies OFFSET/LIMIT, and folds producers' completion
 // records into the query trace.
+//
+// The dedupe set is the one deliberate exception to the O(batch ×
+// fragments) memory bound: keyed streams record one encoded key per
+// distinct shipped row, because nothing guarantees fragment
+// predicates are disjoint (nil means "may hold anything") and a
+// mid-stream replica failover replays the failed stream's prefix.
+// Keys are a few bytes where rows are whole tuples, and keyless
+// tables carry no set at all — but coordinator memory on keyed
+// streams is O(distinct keys), not constant. See DESIGN.md
+// "Streaming execution".
 type fedStream struct {
 	f        *Federation
 	ctx      context.Context
@@ -488,12 +498,12 @@ func (s *fedStream) Next() (storage.Row, error) {
 			return nil, s.err
 		}
 		if s.waiting == 0 {
-			return nil, s.finish(io.EOF)
+			return nil, s.finishEOF()
 		}
 		msg, ok := <-s.ch
 		if !ok {
 			s.waiting = 0
-			return nil, s.finish(io.EOF)
+			return nil, s.finishEOF()
 		}
 		if msg.done {
 			s.waiting--
@@ -568,6 +578,21 @@ func (s *fedStream) noteDone(m fragMsg) {
 	s.trace.CellsWithoutPushdown += m.rows * s.fullWidth
 	metCellsShipped.Add(int64(m.rows * s.width))
 	metCellsSaved.Add(int64(m.rows * (s.fullWidth - s.width)))
+}
+
+// finishEOF ends the stream after the last producer message — unless
+// the caller's context was cancelled, in which case producers may have
+// stopped mid-fragment without a done record and a clean EOF would
+// silently truncate the result. The RowStream contract forbids a
+// silent early EOF, so cancellation surfaces as the stream's terminal
+// error instead. (The internal cancel — LIMIT satisfied, Close — never
+// touches s.ctx, so those paths still end clean.)
+func (s *fedStream) finishEOF() error {
+	if err := s.ctx.Err(); err != nil {
+		s.fail(fmt.Errorf("federation: streaming select interrupted: %w", err))
+		return s.err
+	}
+	return s.finish(io.EOF)
 }
 
 // fail records the stream's terminal error and stops the producers.
