@@ -14,7 +14,14 @@
 //     apply the write;
 //   - under a seeded mixed soak, every operation either succeeds,
 //     degrades with reported fragments, or fails with a typed error —
-//     and every breaker re-closes after the fault schedules end.
+//     and every breaker re-closes after the fault schedules end;
+//   - the anti-entropy convergence invariant: after a DML-heavy workload
+//     over replicas flapping on seeded MTBF/MTTR schedules, the
+//     reconciler converges every replica within a bounded recovery
+//     window — identical content digests, zero pending write intents
+//     (gauge included), with at least one repair done by journal replay
+//     — and a replica whose journal is torn is rebuilt by copy-repair
+//     from its healthy peer.
 //
 // All randomness flows from -seed and all schedule time from manual
 // clocks, so a fixed seed reproduces the fault sequence exactly. -smoke
@@ -72,6 +79,7 @@ func run(seed int64, soakOps int) error {
 		{"retry-metrics", scenarioRetryMetrics},
 		{"breaker-lifecycle", scenarioBreakerLifecycle},
 		{"dml-invariants", scenarioDMLInvariants},
+		{"convergence", scenarioConvergence},
 	}
 	for _, s := range steps {
 		if err := s.fn(seed); err != nil {
@@ -399,6 +407,199 @@ func scenarioDMLInvariants(seed int64) error {
 	if !strings.Contains(err.Error(), "west") {
 		return fmt.Errorf("dead fragment write error should name the fragment: %v", err)
 	}
+
+	// The skipped west-2 increment left a journaled intent. Recover the
+	// sites and let the reconciler replay it, so this scenario hands the
+	// convergence stage a clean (zero-pending) journal gauge — and
+	// proves in passing that the skipped write was deferred, not lost.
+	tb.west1.SetDown(false)
+	tb.west2.SetDown(false)
+	tb.west2.SetFaultHook(nil)
+	rep, err := federation.NewReconciler(tb.fed).RunOnce(ctx)
+	if err != nil {
+		return err
+	}
+	if rep.Pending != 0 || rep.Replayed < 1 {
+		return fmt.Errorf("recovery drain: %+v, want the skipped increment replayed", rep)
+	}
+	if got, _ := priceAt(tb.west2, "W1"); got != before2+1 {
+		return fmt.Errorf("west-2 W1 price = %v after replay, want %v", got, before2+1)
+	}
+	d1, err := tb.west1.DB().TableDigest("parts")
+	if err != nil {
+		return err
+	}
+	d2, err := tb.west2.DB().TableDigest("parts")
+	if err != nil {
+		return err
+	}
+	if !d1.Equal(d2) {
+		return fmt.Errorf("west digests diverge after replay: %+v vs %+v", d1, d2)
+	}
+	return nil
+}
+
+// scenarioConvergence: the anti-entropy convergence invariant. The west
+// replicas flap on seeded MTBF/MTTR schedules under a DML-heavy
+// workload, so each misses a different slice of the writes; once the
+// flapping stops, a bounded number of repair passes must leave every
+// replica with an identical content digest and an empty write-intent
+// journal, with at least one repair done by journal replay. A replica
+// whose journal is then torn mid-record must be rebuilt by copy-repair
+// from its healthy peer — never by replaying the untrustworthy log.
+func scenarioConvergence(seed int64) error {
+	tb, err := newTestbed()
+	if err != nil {
+		return err
+	}
+	// Replica choice must not depend on wall-clock latency (see the soak
+	// scenario) and breaker gating has its own scenario: here the flap
+	// schedules alone decide availability.
+	tb.fed.SetOptimizer(federation.NewCentralized(tb.fed))
+	ctx := context.Background()
+	for _, s := range []*federation.Site{tb.east, tb.west1, tb.west2} {
+		s.Breaker().FailureThreshold = 1 << 30
+	}
+	ts := httptest.NewServer(obs.NewHandler(http.NotFoundHandler()))
+	defer ts.Close()
+	replaysBefore, err := scrapeCounter(ts.URL, "cohera_antientropy_replays_total")
+	if err != nil {
+		return err
+	}
+
+	const step = 10 * time.Millisecond
+	const ops = 60
+	clock := &fault.ManualClock{}
+	flap1, err := fault.Flap(12*step, 5*step, ops*step, seed)
+	if err != nil {
+		return err
+	}
+	flap2, err := fault.Flap(16*step, 4*step, ops*step, seed+1)
+	if err != nil {
+		return err
+	}
+
+	var failed int
+	for i := 0; i < ops; i++ {
+		clock.Advance(step)
+		e := clock.Elapsed()
+		tb.west1.SetDown(flap1.DownAt(e))
+		tb.west2.SetDown(flap2.DownAt(e))
+		var sql string
+		switch i % 3 {
+		case 0:
+			sql = fmt.Sprintf("INSERT INTO parts (sku, price, region) VALUES ('C%03d', %d, 'west')", i, i)
+		case 1:
+			sql = fmt.Sprintf("UPDATE parts SET price = %d WHERE sku = 'W1'", i)
+		default:
+			sql = "UPDATE parts SET price = price + 1 WHERE sku = 'W2'"
+		}
+		if _, _, err := tb.fed.Exec(ctx, sql); err != nil {
+			// Both west replicas down: the statement must fail typed and
+			// abandon its intents (verified below by the digest check —
+			// an abandoned write replayed anywhere would diverge).
+			if !errors.Is(err, federation.ErrNoReplica) {
+				return fmt.Errorf("op %d failed untyped: %w", i, err)
+			}
+			failed++
+		}
+	}
+
+	// The outage is over; the recovery window is a bounded number of
+	// repair passes.
+	tb.west1.SetDown(false)
+	tb.west2.SetDown(false)
+	r := federation.NewReconciler(tb.fed)
+	var replayed, copied int
+	for pass := 0; pass < 10; pass++ {
+		rep, err := r.RunOnce(ctx)
+		if err != nil {
+			return fmt.Errorf("repair pass %d: %w", pass, err)
+		}
+		replayed += rep.Replayed
+		copied += rep.CopyRepaired
+		if rep.Pending == 0 {
+			break
+		}
+	}
+	if n := tb.fed.Journal().PendingTotal(); n != 0 {
+		return fmt.Errorf("journal not empty within the recovery window: %d pending", n)
+	}
+	d1, err := tb.west1.DB().TableDigest("parts")
+	if err != nil {
+		return err
+	}
+	d2, err := tb.west2.DB().TableDigest("parts")
+	if err != nil {
+		return err
+	}
+	if !d1.Equal(d2) {
+		return fmt.Errorf("replicas did not converge: %+v vs %+v", d1, d2)
+	}
+	if replayed < 1 {
+		return fmt.Errorf("convergence used no journal replay (replayed=%d copied=%d); the flap should force at least one", replayed, copied)
+	}
+	replaysAfter, err := scrapeCounter(ts.URL, "cohera_antientropy_replays_total")
+	if err != nil {
+		return err
+	}
+	if replaysAfter-replaysBefore < int64(replayed) {
+		return fmt.Errorf("replays counter advanced %d, want >= %d", replaysAfter-replaysBefore, replayed)
+	}
+	// The pending-intents gauge is global: zero here also proves every
+	// earlier scenario settled its journals.
+	if gauge, err := scrapeCounter(ts.URL, "cohera_antientropy_pending_intents"); err != nil || gauge != 0 {
+		return fmt.Errorf("pending-intents gauge = %d after convergence (err=%v), want 0", gauge, err)
+	}
+
+	// Copy-repair fallback: a write lands while west-1 is down, then its
+	// journal is torn mid-record. The reconciler must refuse to replay
+	// the torn log and instead rebuild west-1 from west-2.
+	copyBefore, err := scrapeCounter(ts.URL, "cohera_antientropy_copy_repairs_total")
+	if err != nil {
+		return err
+	}
+	tb.west1.SetDown(true)
+	if _, _, err := tb.fed.Exec(ctx, "UPDATE parts SET price = 123456 WHERE sku = 'W2'"); err != nil {
+		return fmt.Errorf("write during final outage: %w", err)
+	}
+	grp := tb.fed.Journal().Group(tb.west1.Name(), "parts")
+	grp.TruncateTail("west", 3)
+	if !grp.Lost() {
+		return fmt.Errorf("torn journal tail not detected as lost")
+	}
+	tb.west1.SetDown(false)
+	rep, err := r.RunOnce(ctx)
+	if err != nil {
+		return err
+	}
+	if rep.Replayed != 0 || rep.CopyRepaired < 1 {
+		return fmt.Errorf("torn journal: want copy-repair and no replay, got %+v", rep)
+	}
+	res, err := tb.west1.DB().Exec("SELECT price FROM parts WHERE sku = 'W2'")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Float() != 123456 {
+		return fmt.Errorf("copy-repair did not carry the missed write: %v, %v", res, err)
+	}
+	d1, err = tb.west1.DB().TableDigest("parts")
+	if err != nil {
+		return err
+	}
+	d2, err = tb.west2.DB().TableDigest("parts")
+	if err != nil {
+		return err
+	}
+	if !d1.Equal(d2) {
+		return fmt.Errorf("replicas diverge after copy-repair: %+v vs %+v", d1, d2)
+	}
+	copyAfter, err := scrapeCounter(ts.URL, "cohera_antientropy_copy_repairs_total")
+	if err != nil {
+		return err
+	}
+	if copyAfter-copyBefore < 1 {
+		return fmt.Errorf("copy-repairs counter did not advance")
+	}
+	fmt.Printf("coherachaos: convergence stats: %d replayed, %d copy-repaired, %d typed write failures\n",
+		replayed, copied+rep.CopyRepaired, failed)
 	return nil
 }
 
@@ -533,6 +734,32 @@ func scenarioSoak(seed int64, ops int) error {
 	}
 	if len(res.Rows) < 4 {
 		return fmt.Errorf("post-recovery rows = %d, want at least the seed rows", len(res.Rows))
+	}
+	// Anti-entropy epilogue: replay the writes skipped during the flaps
+	// and converge the west replicas.
+	r := federation.NewReconciler(tb.fed)
+	for pass := 0; pass < 5; pass++ {
+		rep, err := r.RunOnce(ctx)
+		if err != nil {
+			return fmt.Errorf("soak repair pass %d: %w", pass, err)
+		}
+		if rep.Pending == 0 {
+			break
+		}
+	}
+	if n := tb.fed.Journal().PendingTotal(); n != 0 {
+		return fmt.Errorf("soak journal not drained: %d pending", n)
+	}
+	d1, err := tb.west1.DB().TableDigest("parts")
+	if err != nil {
+		return err
+	}
+	d2, err := tb.west2.DB().TableDigest("parts")
+	if err != nil {
+		return err
+	}
+	if !d1.Equal(d2) {
+		return fmt.Errorf("west replicas diverge after soak repair: %+v vs %+v", d1, d2)
 	}
 	fmt.Printf("coherachaos: soak stats: %d writes applied, %d degraded reads, %d typed write failures\n",
 		wrote, degraded, failed)

@@ -60,3 +60,41 @@ func wrongName() {
 }
 
 func use(int) {}
+
+// Journal-like append/replay patterns (write-intent logs): durability
+// mutations whose dropped errors silently lose or double-apply writes.
+
+type wal struct{ records [][]byte }
+
+func (w *wal) append(rec []byte) error { w.records = append(w.records, rec); return nil }
+
+func (w *wal) replay(apply func([]byte) error) (int, error) { return len(w.records), nil }
+
+func (w *wal) settle(id string) error { use(len(id)); return nil }
+
+func journalAppendDropped(w *wal) {
+	w.append([]byte("intent")) // want `error result of w.append dropped by bare call`
+}
+
+func journalReplayDropped(w *wal) {
+	n, _ := w.replay(func([]byte) error { return nil }) // want `error result of w.replay discarded with _`
+	use(n)
+}
+
+func journalSettleDroppedInLoop(w *wal) {
+	for _, id := range []string{"s1", "s2"} {
+		_ = w.settle(id) // want `error result of w.settle discarded with _`
+	}
+}
+
+func journalKept(w *wal) error {
+	if err := w.append(nil); err != nil { // negative: checked append
+		return err
+	}
+	n, err := w.replay(func(b []byte) error { return w.settle("s") }) // negative: checked replay
+	if err != nil {
+		return err
+	}
+	use(n)
+	return nil
+}

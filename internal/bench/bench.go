@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one function per
-// experiment in DESIGN.md's index (E1–E10), each returning a printable
+// experiment in DESIGN.md's index (E1–E14), each returning a printable
 // table. The paper (an industrial overview) publishes no numbered tables
 // or figures, so each experiment operationalizes one of its testable
 // claims; EXPERIMENTS.md records claim vs. measurement.
@@ -110,5 +110,6 @@ func All() []Experiment {
 		{"E11", E11Pushdown, "ablation: projection pushdown on wide catalog rows"},
 		{"E12", E12Remote, "in-process vs HTTP federation overhead"},
 		{"E13", E13Streaming, "streaming vs materialized scatter-gather memory and latency"},
+		{"E14", E14AntiEntropy, "anti-entropy repair time vs outage size, replay vs copy-repair"},
 	}
 }

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cohera/internal/federation"
+	"cohera/internal/schema"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// E14AntiEntropy measures replica repair time against outage size: a
+// two-replica fragment takes one replica down, runs W writes (half
+// fresh INSERTs, half searched UPDATEs) that all journal intents for
+// the dead copy, then times one reconciler pass bringing it back —
+// once replaying the intact journal, and once forced onto the
+// copy-repair fallback by tearing the journal tail. The claim under
+// test is the crossover: journal replay scales with the number of
+// missed writes (each searched statement re-executes against the
+// table), while copy-repair scales with table size alone — so replay
+// wins short outages and copying wins once the backlog rivals the
+// table.
+func E14AntiEntropy(cfg Config) (Table, error) {
+	base := 4096
+	outages := []int{4, 16, 64, 256, 1024}
+	reps := 3
+	if cfg.Quick {
+		base = 512
+		outages = []int{4, 16}
+		reps = 1
+	}
+	t := Table{
+		ID:      "E14",
+		Title:   "anti-entropy repair time vs outage size: journal replay vs copy-repair",
+		Headers: []string{"base rows", "missed writes", "mode", "median repair wall", "per-write"},
+		Notes:   "expected shape: replay wall grows with the missed-write count, copy-repair stays near the (base + missed) table copy cost; the crossover is where the backlog rivals the table size",
+	}
+
+	ctx := context.Background()
+	for _, missed := range outages {
+		for _, mode := range []string{"replay", "copy-repair"} {
+			walls := make([]time.Duration, 0, reps)
+			for r := 0; r < reps; r++ {
+				wall, err := repairOnce(ctx, base, missed, mode, cfg.Seed+int64(r))
+				if err != nil {
+					return t, fmt.Errorf("E14 %s missed=%d: %w", mode, missed, err)
+				}
+				walls = append(walls, wall)
+			}
+			med := medianDuration(walls)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", base),
+				fmt.Sprintf("%d", missed),
+				mode,
+				fmt.Sprintf("%.2fms", float64(med.Microseconds())/1000),
+				fmt.Sprintf("%.1fµs", float64(med.Microseconds())/float64(missed)),
+			})
+		}
+	}
+	return t, nil
+}
+
+// repairOnce builds a fresh two-replica federation with `base` rows,
+// journals `missed` writes against a downed replica, and times the
+// reconciler pass that repairs it — by replay (intact journal) or by
+// copy (torn journal), verifying the digests converge either way.
+func repairOnce(ctx context.Context, base, missed int, mode string, seed int64) (time.Duration, error) {
+	def := schema.MustTable("stock", []schema.Column{
+		{Name: "sku", Kind: value.KindString, NotNull: true},
+		{Name: "qty", Kind: value.KindInt},
+	}, "sku")
+	fed := federation.New(federation.NewAgoric())
+	a := federation.NewSite("rep-a")
+	b := federation.NewSite("rep-b")
+	for _, s := range []*federation.Site{a, b} {
+		if err := fed.AddSite(s); err != nil {
+			return 0, err
+		}
+	}
+	frag := federation.NewFragment("all", nil, a, b)
+	if _, err := fed.DefineTable(def, frag); err != nil {
+		return 0, err
+	}
+	rows := make([]storage.Row, base)
+	for i := range rows {
+		rows[i] = storage.Row{
+			value.NewString(fmt.Sprintf("P%07d", i)),
+			value.NewInt((int64(i)*7 + seed) % 500),
+		}
+	}
+	if err := fed.LoadFragment("stock", frag, rows); err != nil {
+		return 0, err
+	}
+
+	a.SetDown(true)
+	for i := 0; i < missed; i++ {
+		var sql string
+		if i%2 == 0 {
+			sql = fmt.Sprintf("INSERT INTO stock (sku, qty) VALUES ('N%07d', %d)", i, i%500)
+		} else {
+			sql = fmt.Sprintf("UPDATE stock SET qty = qty + 1 WHERE sku = 'P%07d'", (i*37)%base)
+		}
+		if _, _, err := fed.Exec(ctx, sql); err != nil {
+			return 0, err
+		}
+	}
+	if got := fed.Journal().PendingAt(a.Name(), "stock"); got != missed {
+		return 0, fmt.Errorf("pending = %d, want %d", got, missed)
+	}
+	if mode == "copy-repair" {
+		grp := fed.Journal().Group(a.Name(), "stock")
+		grp.TruncateTail("all", 3)
+		if !grp.Lost() {
+			return 0, fmt.Errorf("torn tail not detected")
+		}
+	}
+	a.SetDown(false)
+
+	r := federation.NewReconciler(fed)
+	start := time.Now()
+	rep, err := r.RunOnce(ctx)
+	if err != nil {
+		return 0, err
+	}
+	wall := time.Since(start)
+	switch mode {
+	case "replay":
+		if rep.Replayed != missed || rep.CopyRepaired != 0 {
+			return 0, fmt.Errorf("replay mode report: %+v", rep)
+		}
+	case "copy-repair":
+		if rep.CopyRepaired != 1 || rep.Replayed != 0 {
+			return 0, fmt.Errorf("copy mode report: %+v", rep)
+		}
+	}
+	da, err := a.DB().TableDigest("stock")
+	if err != nil {
+		return 0, err
+	}
+	db, err := b.DB().TableDigest("stock")
+	if err != nil {
+		return 0, err
+	}
+	if !da.Equal(db) {
+		return 0, fmt.Errorf("repair did not converge: %+v vs %+v", da, db)
+	}
+	return wall, nil
+}

@@ -95,6 +95,16 @@ func (db *Database) Table(name string) (*storage.Table, error) {
 	return t, nil
 }
 
+// TableDigest returns the named table's order-independent content
+// digest — the anti-entropy comparison key (see storage.TableDigest).
+func (db *Database) TableDigest(name string) (storage.TableDigest, error) {
+	t, err := db.Table(name)
+	if err != nil {
+		return storage.TableDigest{}, err
+	}
+	return t.Digest(), nil
+}
+
 // Catalog exposes the schema catalog.
 func (db *Database) Catalog() *schema.Catalog { return db.catalog }
 

@@ -121,6 +121,13 @@ func (a *Agoric) Rank(ctx context.Context, frag *Fragment, estRows int) []*Site 
 			if h := s.HealthScore(); h > 0 && h < 1 {
 				price /= h
 			}
+			// A replica with journaled intents pending is stale — its
+			// content predates unreplayed writes — so it bids itself up
+			// and only wins when fresher copies are unavailable or far
+			// more expensive.
+			if p := frag.PendingAt(s); p > 0 {
+				price *= 1 + stalePenalty*float64(p)
+			}
 			sheet.Lock()
 			sheet.bids = append(sheet.bids, Bid{Site: s, Price: price})
 			sheet.Unlock()

@@ -133,6 +133,13 @@ func (c *Centralized) Rank(ctx context.Context, frag *Fragment, estRows int) []*
 			// optimizer has no statistics for it, so it ranks last.
 			price = 1 << 40
 		}
+		// Deprioritize stale replicas (pending journaled intents) the
+		// same way the agoric bidders do, so both optimizers prefer
+		// converged copies. Pending counts are live, not snapshotted:
+		// freshness is a correctness signal, not a cost statistic.
+		if p := frag.PendingAt(s); p > 0 {
+			price *= 1 + stalePenalty*float64(p)
+		}
 		cands = append(cands, scored{site: s, price: price})
 	}
 	sort.Slice(cands, func(i, j int) bool {

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"cohera/internal/exec"
+	"cohera/internal/journal"
 	"cohera/internal/obs"
 	"cohera/internal/plan"
 	"cohera/internal/schema"
@@ -35,21 +36,67 @@ var metDMLRows = obs.Default().Counter("cohera_federation_dml_rows_total",
 //     disjoint with the statement's predicate; every replica executes the
 //     statement so copies converge.
 //
-// Writes are best-effort across replicas: a down replica is skipped and
-// reported in the DMLResult so an operator (or anti-entropy job) can
-// reconcile — the paper's availability stance favours serving content
-// over blocking on a failed copy.
+// Writes are best-effort across replicas, but no longer fire-and-forget:
+// a replica the statement cannot reach (down, breaker-open, transient
+// fault) gets a write intent journaled under its (site, table) group,
+// and the Reconciler replays the backlog once the replica recovers. A
+// statement only fails when a targeted fragment has no replica that
+// either applied the write or accepted it into a journal behind a
+// reachable backlog — and then the statement's intents are abandoned so
+// a later replay cannot resurrect a write the caller saw fail.
+
+// ErrReplicaDiverged marks a replica whose affected-row count for a
+// statement disagreed with its peers — the copies no longer hold the
+// same content. Inspect with errors.Is; the Reconciler's digest
+// comparison is the authoritative detector and repairs the divergence.
+var ErrReplicaDiverged = errors.New("federation: replica diverged")
+
+// ReplicaDivergence describes one replica's disagreement: it reported
+// Rows affected where the fragment's first-reporting replica said
+// WantRows.
+type ReplicaDivergence struct {
+	Table    string
+	Fragment string
+	Site     string
+	Rows     int
+	WantRows int
+}
+
+// String renders the legacy display marker, e.g. "f1@west-2(diverged:0!=3)".
+func (d ReplicaDivergence) String() string {
+	return fmt.Sprintf("%s@%s(diverged:%d!=%d)", d.Fragment, d.Site, d.Rows, d.WantRows)
+}
+
+// Err returns the divergence as an error wrapping ErrReplicaDiverged.
+func (d ReplicaDivergence) Err() error {
+	return fmt.Errorf("%w: fragment %s of %s at %s: %d rows affected, want %d",
+		ErrReplicaDiverged, d.Fragment, d.Table, d.Site, d.Rows, d.WantRows)
+}
 
 // DMLResult reports a federated write.
 type DMLResult struct {
 	// Rows is the affected-row count (per fragment, not multiplied by
-	// replication factor). When one site hosts several fragments of the
-	// same table, its local count cannot be split per fragment and the
-	// total may over-report; dedicated-site layouts report exactly.
+	// replication factor). Counts are attributed per fragment: a site
+	// hosting exactly one fragment of the table reports exactly; at a
+	// site hosting several, predicated fragments are counted by
+	// pre-statement predicate census and a predicate-less fragment gets
+	// the clamped residual (see execWhereDML for the residual
+	// ambiguity that leaves).
 	Rows int
-	// SkippedReplicas lists "fragment@site" copies that were down and
-	// missed the write.
+	// SkippedReplicas lists "fragment@site" copies that were
+	// unavailable and missed the write; each has a journaled intent
+	// awaiting replay. Divergence display markers
+	// ("frag@site(diverged:n!=m)") are also kept here for backward
+	// compatibility — Diverged carries them typed.
 	SkippedReplicas []string
+	// QueuedReplicas lists "fragment@site" copies that were reachable
+	// but had a journaled backlog, so the write was queued behind it
+	// (ordering) rather than applied inline. Queued writes count as
+	// accepted.
+	QueuedReplicas []string
+	// Diverged lists replicas whose attributed affected-row count
+	// disagreed with the fragment's first reporter.
+	Diverged []ReplicaDivergence
 }
 
 // Exec runs a DML or SELECT statement against the federation. SELECTs
@@ -61,8 +108,8 @@ func (f *Federation) Exec(ctx context.Context, sql string) (*exec.Result, *DMLRe
 
 // ExecTraced is Exec returning the routing trace. For DML the trace
 // records, per fragment, the comma-joined replicas actually written
-// (FragmentSites), down replicas encountered (Failovers) and fragments
-// skipped as provably disjoint from the statement predicate
+// (FragmentSites), unavailable replicas encountered (Failovers) and
+// fragments skipped as provably disjoint from the statement predicate
 // (PrunedFragments) — the same visibility QueryTraced gives selects.
 func (f *Federation) ExecTraced(ctx context.Context, sql string) (*exec.Result, *DMLResult, *QueryTrace, error) {
 	stmt, err := sqlparse.Parse(sql)
@@ -127,6 +174,15 @@ func noteDMLSite(trace *QueryTrace, key, site string) {
 	}
 }
 
+// deferOn reports whether a replica-write error is worth journaling an
+// intent for: availability-class faults with a live statement context.
+// Semantic failures and caller cancellation must fail, not defer.
+func deferOn(ctx context.Context) func(error) bool {
+	return func(err error) bool {
+		return isAvailabilityErr(err) && ctx.Err() == nil
+	}
+}
+
 // execInsert routes INSERT rows to fragments by predicate.
 func (f *Federation) execInsert(ctx context.Context, s sqlparse.InsertStmt, trace *QueryTrace) (*DMLResult, error) {
 	gt, err := f.Table(s.Table)
@@ -175,32 +231,61 @@ func (f *Federation) execInsert(ctx context.Context, s sqlparse.InsertStmt, trac
 		if err != nil {
 			return dr, err
 		}
-		wrote := false
+		// One statement ID per routed row: a multi-row INSERT's rows
+		// journal and replay independently.
+		stmtID := f.nextStmtID()
+		accepted := 0
+		var journaled []*journal.Group
 		var lastUnavail error
 		for _, site := range frag.Replicas() {
-			if aerr := site.CheckAvailable(ctx); aerr != nil {
-				if ctx.Err() != nil {
-					return dr, ctx.Err()
-				}
-				lastUnavail = aerr
+			grp := f.journal.Group(site.Name(), def.Name)
+			it := journal.Intent{
+				StmtID: stmtID, Table: def.Name, Fragment: frag.ID,
+				Op: journal.OpUpsert, Row: append([]value.Value(nil), row...),
+			}
+			out, werr := grp.Execute(it,
+				func() error { return site.CheckAvailable(ctx) },
+				func() error {
+					tbl, err := siteTable(site, def)
+					if err != nil {
+						return err
+					}
+					if _, err := tbl.Upsert(row); err != nil {
+						return fmt.Errorf("federation: insert at %s: %w", site.Name(), err)
+					}
+					site.Breaker().RecordSuccess()
+					return nil
+				},
+				deferOn(ctx))
+			switch out {
+			case journal.Applied:
+				noteDMLSite(trace, def.Name+"/"+frag.ID, site.Name())
+				accepted++
+			case journal.Queued:
+				dr.QueuedReplicas = append(dr.QueuedReplicas, frag.ID+"@"+site.Name())
+				journaled = append(journaled, grp)
+				accepted++
+			case journal.Skipped:
+				lastUnavail = werr
 				dr.SkippedReplicas = append(dr.SkippedReplicas, frag.ID+"@"+site.Name())
+				journaled = append(journaled, grp)
 				if trace != nil {
 					trace.Failovers++
 				}
-				continue
+			default: // journal.Failed
+				if cerr := ctx.Err(); cerr != nil {
+					return dr, cerr
+				}
+				return dr, werr
 			}
-			tbl, err := siteTable(site, def)
-			if err != nil {
-				return dr, err
-			}
-			if _, err := tbl.Upsert(row); err != nil {
-				return dr, fmt.Errorf("federation: insert at %s: %w", site.Name(), err)
-			}
-			site.Breaker().RecordSuccess()
-			noteDMLSite(trace, def.Name+"/"+frag.ID, site.Name())
-			wrote = true
 		}
-		if !wrote {
+		if accepted == 0 {
+			// No replica applied or durably accepted the row: the
+			// statement fails, so its intents must not linger and be
+			// replayed into a write the caller saw rejected.
+			if aerr := abandonAll(journaled, frag.ID, stmtID); aerr != nil {
+				return dr, aerr
+			}
 			if lastUnavail != nil {
 				return dr, fmt.Errorf("%w: fragment %s of %s: %w", ErrNoReplica, frag.ID, def.Name, lastUnavail)
 			}
@@ -209,6 +294,16 @@ func (f *Federation) execInsert(ctx context.Context, s sqlparse.InsertStmt, trac
 		dr.Rows++
 	}
 	return dr, nil
+}
+
+// abandonAll settles stmtID as abandoned in every journaled group.
+func abandonAll(groups []*journal.Group, frag, stmtID string) error {
+	for _, g := range groups {
+		if err := g.Abandon(frag, stmtID); err != nil {
+			return fmt.Errorf("federation: abandoning intent %s: %w", stmtID, err)
+		}
+	}
+	return nil
 }
 
 // routeRow picks the fragment whose predicate accepts the row; the first
@@ -230,8 +325,33 @@ func routeRow(fragments []*Fragment, def *schema.Table, row storage.Row, ev *pla
 	return fragments[0], nil
 }
 
+// siteWhereOutcome caches one site's single execution of a searched
+// UPDATE/DELETE — a site stores one local table per global name even
+// when it hosts several fragments of it, so the statement runs there
+// at most once (re-running a non-idempotent SET would corrupt the
+// shared table).
+type siteWhereOutcome struct {
+	out     journal.Outcome
+	err     error
+	rows    int            // local affected rows (out == Applied, !noTable)
+	pre     map[string]int // per-fragment pre-statement census (multi-fragment sites)
+	noTable bool           // replica never materialized the table: live no-op
+	grp     *journal.Group // set when an intent was journaled (Queued/Skipped)
+}
+
 // execWhereDML broadcasts an UPDATE/DELETE to every non-disjoint
 // fragment's replicas.
+//
+// Affected-row attribution: a site's local count covers its whole
+// local table. When the site hosts exactly one fragment of the table
+// that count is the fragment's count, exactly. When it hosts several,
+// the statement's reach into each predicated fragment is measured by a
+// pre-statement census (rows matching WHERE ∧ fragment predicate) and
+// a predicate-less fragment gets the residual, clamped at zero.
+// Residual ambiguity that attribution cannot remove: several
+// predicate-less fragments co-hosted at one site split an arbitrary
+// residual (the first gets it), and an UPDATE that rewrites a routing
+// column is censused under the pre-image predicate.
 func (f *Federation) execWhereDML(ctx context.Context, table string, where sqlparse.Expr, sql string, trace *QueryTrace) (*DMLResult, error) {
 	gt, err := f.Table(table)
 	if err != nil {
@@ -239,78 +359,271 @@ func (f *Federation) execWhereDML(ctx context.Context, table string, where sqlpa
 	}
 	push := unqualify(where)
 	dr := &DMLResult{}
-	// A site stores one local table per global name even when it hosts
-	// several fragments of it, so each site executes the statement at
-	// most once — re-running a non-idempotent SET (qty = qty - 1) would
-	// corrupt the shared table.
-	visited := make(map[*Site]int) // site → rows it reported
-	for _, frag := range f.FragmentsOf(gt) {
-		if err := ctx.Err(); err != nil {
-			return dr, err
-		}
+	all := f.FragmentsOf(gt)
+	var targeted []*Fragment
+	for _, frag := range all {
 		if frag.Predicate != nil && push != nil && disjoint(frag.Predicate, push) {
 			if trace != nil {
 				trace.PrunedFragments++
 			}
 			continue
 		}
-		fragRows := -1
-		applied := 0
-		var lastUnavail error
+		targeted = append(targeted, frag)
+	}
+	// hostCount: how many fragments of this table each site hosts at
+	// all — the dedicated-site test; hostTargeted: the targeted ones,
+	// for the census.
+	hostCount := make(map[*Site]int)
+	hostTargeted := make(map[*Site][]*Fragment)
+	for _, frag := range all {
 		for _, site := range frag.Replicas() {
-			if aerr := site.CheckAvailable(ctx); aerr != nil {
-				if ctx.Err() != nil {
-					return dr, ctx.Err()
+			hostCount[site]++
+		}
+	}
+	for _, frag := range targeted {
+		for _, site := range frag.Replicas() {
+			hostTargeted[site] = append(hostTargeted[site], frag)
+		}
+	}
+
+	stmtID := f.nextStmtID()
+	done := make(map[*Site]*siteWhereOutcome)
+	type fragState struct {
+		accepted int
+		rows     int // first applied replica's attributed count, -1 until known
+		unavail  error
+	}
+	states := make([]*fragState, len(targeted))
+
+	for fi, frag := range targeted {
+		st := &fragState{rows: -1}
+		states[fi] = st
+		if err := ctx.Err(); err != nil {
+			return dr, err
+		}
+		for _, site := range frag.Replicas() {
+			o, seen := done[site]
+			if !seen {
+				o = f.execWhereAtSite(ctx, site, gt.Def, frag, stmtID, sql, push, hostCount[site], hostTargeted[site])
+				done[site] = o
+			}
+			switch o.out {
+			case journal.Applied:
+				st.accepted++
+				if o.noTable {
+					// The replica never materialized this table: a live
+					// no-op (the fragment's rows cannot exist there), not
+					// a divergence.
+					continue
 				}
-				lastUnavail = aerr
+				noteDMLSite(trace, gt.Def.Name+"/"+frag.ID, site.Name())
+				n := attributeRows(o, frag, hostCount[site], hostTargeted[site])
+				if st.rows == -1 {
+					st.rows = n
+				} else if st.rows != n {
+					// Replicas disagree — report the divergence loudly,
+					// typed and (for display compatibility) as a marker.
+					d := ReplicaDivergence{
+						Table: gt.Def.Name, Fragment: frag.ID, Site: site.Name(),
+						Rows: n, WantRows: st.rows,
+					}
+					dr.Diverged = append(dr.Diverged, d)
+					dr.SkippedReplicas = append(dr.SkippedReplicas, d.String())
+				}
+			case journal.Queued:
+				st.accepted++
+				dr.QueuedReplicas = append(dr.QueuedReplicas, frag.ID+"@"+site.Name())
+			case journal.Skipped:
+				st.unavail = o.err
 				dr.SkippedReplicas = append(dr.SkippedReplicas, frag.ID+"@"+site.Name())
 				if trace != nil {
 					trace.Failovers++
 				}
-				continue
-			}
-			n, seen := visited[site]
-			if !seen {
-				res, err := site.DB().Exec(sql)
-				if err != nil {
-					if errors.Is(err, schema.ErrNoTable) {
-						// The replica never materialized this table: a live
-						// no-op, which still counts as an applied write (the
-						// fragment's rows cannot exist there).
-						applied++
-						continue
-					}
-					return dr, fmt.Errorf("federation: dml at %s: %w", site.Name(), err)
+			default: // journal.Failed
+				if cerr := ctx.Err(); cerr != nil {
+					return dr, cerr
 				}
-				n = int(res.Rows[0][0].Int())
-				visited[site] = n
-				site.Breaker().RecordSuccess()
-			}
-			applied++
-			noteDMLSite(trace, gt.Def.Name+"/"+frag.ID, site.Name())
-			if fragRows == -1 {
-				fragRows = n
-			} else if fragRows != n {
-				// Replicas disagree — report the divergence loudly.
-				dr.SkippedReplicas = append(dr.SkippedReplicas,
-					fmt.Sprintf("%s@%s(diverged:%d!=%d)", frag.ID, site.Name(), n, fragRows))
+				return dr, o.err
 			}
 		}
-		// A targeted fragment whose every replica was unavailable means
-		// the write was lost, not merely degraded: say so with a typed
-		// error instead of silently succeeding (the old behaviour).
-		if applied == 0 && len(frag.Replicas()) > 0 {
-			if lastUnavail != nil {
-				return dr, fmt.Errorf("%w: fragment %s of %s: write not applied: %w",
-					ErrNoReplica, frag.ID, gt.Def.Name, lastUnavail)
-			}
-			return dr, fmt.Errorf("%w: fragment %s of %s: write not applied", ErrNoReplica, frag.ID, gt.Def.Name)
-		}
-		if fragRows > 0 {
-			dr.Rows += fragRows
+		if st.rows > 0 {
+			dr.Rows += st.rows
 		}
 	}
+
+	// A targeted fragment whose every replica was unavailable means the
+	// write was lost, not merely degraded: abandon the statement's
+	// intents at sites no accepted fragment shares (replaying a write
+	// the caller saw fail would diverge the copies the other way) and
+	// say so with a typed error.
+	for fi, frag := range targeted {
+		st := states[fi]
+		if st.accepted > 0 || len(frag.Replicas()) == 0 {
+			continue
+		}
+		for site, o := range done {
+			if o.grp == nil {
+				continue
+			}
+			keep := false
+			for _, hf := range hostTargeted[site] {
+				if hfState := states[indexOfFragment(targeted, hf)]; hfState != nil && hfState.accepted > 0 {
+					keep = true
+					break
+				}
+			}
+			if !keep {
+				if aerr := o.grp.Abandon(o.intentFragment(hostTargeted[site]), stmtID); aerr != nil {
+					return dr, fmt.Errorf("federation: abandoning intent %s: %w", stmtID, aerr)
+				}
+			}
+		}
+		if st.unavail != nil {
+			return dr, fmt.Errorf("%w: fragment %s of %s: write not applied: %w",
+				ErrNoReplica, frag.ID, gt.Def.Name, st.unavail)
+		}
+		return dr, fmt.Errorf("%w: fragment %s of %s: write not applied", ErrNoReplica, frag.ID, gt.Def.Name)
+	}
 	return dr, nil
+}
+
+// intentFragment returns the fragment log the site's intent was
+// journaled under: the first targeted fragment hosted there (the same
+// choice execWhereAtSite made).
+func (o *siteWhereOutcome) intentFragment(hosted []*Fragment) string {
+	if len(hosted) == 0 {
+		return ""
+	}
+	return hosted[0].ID
+}
+
+func indexOfFragment(frags []*Fragment, want *Fragment) int {
+	for i, f := range frags {
+		if f == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// execWhereAtSite runs one site's share of a searched UPDATE/DELETE
+// through the journal gate. The intent (one per site per statement) is
+// journaled under the site's first targeted fragment's log; replay
+// re-executes the SQL against the whole local table, which is exactly
+// the direct path's effect.
+func (f *Federation) execWhereAtSite(ctx context.Context, site *Site, def *schema.Table, frag *Fragment,
+	stmtID, sql string, push sqlparse.Expr, hostCount int, hosted []*Fragment) *siteWhereOutcome {
+	o := &siteWhereOutcome{}
+	grp := f.journal.Group(site.Name(), def.Name)
+	it := journal.Intent{
+		StmtID: stmtID, Table: def.Name, Fragment: frag.ID,
+		Op: journal.OpSQL, SQL: sql,
+	}
+	if len(hosted) > 0 {
+		it.Fragment = hosted[0].ID
+	}
+	out, err := grp.Execute(it,
+		func() error { return site.CheckAvailable(ctx) },
+		func() error {
+			// Census before the statement mutates the table: how far
+			// does the WHERE reach into each predicated fragment this
+			// site co-hosts? (Skipped for dedicated sites — their local
+			// count is already exact.)
+			if hostCount > 1 {
+				o.pre = make(map[string]int)
+				for _, hf := range hosted {
+					if hf.Predicate == nil {
+						continue
+					}
+					n, cerr := countMatching(site.DB(), def, push, unqualify(hf.Predicate))
+					if cerr != nil {
+						if errors.Is(cerr, schema.ErrNoTable) {
+							break // the exec below reports noTable
+						}
+						return fmt.Errorf("federation: census at %s: %w", site.Name(), cerr)
+					}
+					o.pre[hf.ID] = n
+				}
+			}
+			res, xerr := site.DB().Exec(sql)
+			if xerr != nil {
+				if errors.Is(xerr, schema.ErrNoTable) {
+					o.noTable = true
+					return nil
+				}
+				return fmt.Errorf("federation: dml at %s: %w", site.Name(), xerr)
+			}
+			o.rows = int(res.Rows[0][0].Int())
+			site.Breaker().RecordSuccess()
+			return nil
+		},
+		deferOn(ctx))
+	o.out, o.err = out, err
+	if out == journal.Queued || out == journal.Skipped {
+		o.grp = grp
+	}
+	return o
+}
+
+// attributeRows maps a site's local affected-row count onto one
+// fragment (see execWhereDML's attribution contract).
+func attributeRows(o *siteWhereOutcome, frag *Fragment, hostCount int, hosted []*Fragment) int {
+	if hostCount <= 1 {
+		return o.rows // dedicated site: local count is the fragment count
+	}
+	if frag.Predicate != nil {
+		return o.pre[frag.ID]
+	}
+	// Predicate-less fragment at a shared site: the residual after the
+	// censused fragments, clamped (a census can overcount when rows
+	// satisfy several fragments' predicates).
+	rest := o.rows
+	for _, hf := range hosted {
+		if hf.Predicate != nil {
+			rest -= o.pre[hf.ID]
+		}
+	}
+	if rest < 0 {
+		rest = 0
+	}
+	return rest
+}
+
+// countMatching counts the site's local rows satisfying both the
+// statement predicate and the fragment predicate (either may be nil =
+// always true). This is the pre-statement census behind per-fragment
+// row attribution.
+func countMatching(db *exec.Database, def *schema.Table, push, fragPred sqlparse.Expr) (int, error) {
+	tbl, err := db.Table(def.Name)
+	if err != nil {
+		return 0, err
+	}
+	ev := &plan.Evaluator{}
+	cols := def.ColumnNames()
+	n := 0
+	var evalErr error
+	tbl.Scan(func(_ int64, row storage.Row) bool {
+		env := plan.NewRowEnv(cols, row)
+		for _, e := range []sqlparse.Expr{push, fragPred} {
+			if e == nil {
+				continue
+			}
+			v, err := ev.Eval(e, env)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !v.Truthy() {
+				return true
+			}
+		}
+		n++
+		return true
+	})
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	return n, nil
 }
 
 // siteTable fetches (or lazily creates) the site's local table for a

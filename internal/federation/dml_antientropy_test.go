@@ -1,0 +1,249 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"cohera/internal/sqlparse"
+	"cohera/internal/storage"
+)
+
+// TestDivergenceTypedAndRepaired: a replica whose affected-row count
+// disagrees with its peer is reported as a typed ReplicaDivergence (and
+// as the legacy display marker), and the reconciler's digest comparison
+// then repairs it from the healthy copy.
+func TestDivergenceTypedAndRepaired(t *testing.T) {
+	fed, _, fragWest := twoFragFed(t)
+	ctx := context.Background()
+	west1 := fragWest.Replicas()[0]
+	west2 := fragWest.Replicas()[1]
+
+	// Corrupt one replica behind the federation's back.
+	if _, err := west2.DB().Exec("DELETE FROM parts WHERE sku = 'W2'"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, dr, err := fed.Exec(ctx, "UPDATE parts SET price = 42 WHERE region = 'west'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Rows != 2 {
+		t.Fatalf("rows = %d, want 2 (first reporter)", dr.Rows)
+	}
+	if len(dr.Diverged) != 1 {
+		t.Fatalf("diverged = %+v", dr.Diverged)
+	}
+	d := dr.Diverged[0]
+	if d.Site != west2.Name() || d.Fragment != "west" || d.Rows != 1 || d.WantRows != 2 {
+		t.Fatalf("divergence = %+v", d)
+	}
+	if !errors.Is(d.Err(), ErrReplicaDiverged) {
+		t.Fatalf("Err() must wrap ErrReplicaDiverged: %v", d.Err())
+	}
+	// Legacy display marker preserved in SkippedReplicas.
+	want := "west@west-2(diverged:1!=2)"
+	var found bool
+	for _, s := range dr.SkippedReplicas {
+		if s == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("legacy marker %q missing from %v", want, dr.SkippedReplicas)
+	}
+
+	// The reconciler sees the digest mismatch and copy-repairs.
+	rep, err := NewReconciler(fed).RunOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Divergent == 0 || rep.CopyRepaired == 0 {
+		t.Fatalf("divergence not repaired: %+v", rep)
+	}
+	d1, _ := west1.DB().TableDigest("parts")
+	d2, _ := west2.DB().TableDigest("parts")
+	if !d1.Equal(d2) {
+		t.Fatalf("digests still diverge: %+v vs %+v", d1, d2)
+	}
+	if n := west2.TableRows("parts"); n != 2 {
+		t.Fatalf("repaired replica rows = %d, want 2", n)
+	}
+}
+
+// TestRowsAttributionSharedSite: a site hosting several fragments of a
+// table executes a searched statement once; the affected-row count is
+// attributed per fragment by predicate census so DMLResult.Rows is
+// exact, not the site-local total double-counted.
+func TestRowsAttributionSharedSite(t *testing.T) {
+	fed := New(NewAgoric())
+	hub := NewSite("hub")
+	westx := NewSite("west-x")
+	for _, s := range []*Site{hub, westx} {
+		if err := fed.AddSite(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eastPred, _ := sqlparse.ParseExpr("region = 'east'")
+	westPred, _ := sqlparse.ParseExpr("region = 'west'")
+	fragEast := NewFragment("east", eastPred, hub)
+	fragWest := NewFragment("west", westPred, hub, westx)
+	if _, err := fed.DefineTable(partsDef(), fragEast, fragWest); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.LoadFragment("parts", fragEast, []storage.Row{
+		row("E1", "India ink", 3.5, "east"),
+		row("E2", "ballpoint pen", 1.2, "east"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.LoadFragment("parts", fragWest, []storage.Row{
+		row("W1", "cordless drill", 99.5, "west"),
+		row("W2", "forklift", 12000, "west"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Matches E1 (3.5), E2 (1.2) and W1 (99.5): 2 east rows + 1 west
+	// row. The hub's local statement touches all 3 in one table; the
+	// census must split them 2/1 across fragments, and the dedicated
+	// west-x count must agree with the censused west count.
+	ctx := context.Background()
+	_, dr, err := fed.Exec(ctx, "UPDATE parts SET name = 'cheap' WHERE price < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Rows != 3 {
+		t.Fatalf("rows = %d, want 3 (2 east + 1 west, no double count)", dr.Rows)
+	}
+	if len(dr.Diverged) != 0 {
+		t.Fatalf("false divergence between censused and dedicated counts: %+v", dr.Diverged)
+	}
+
+	// DELETE through the same path.
+	_, dr, err = fed.Exec(ctx, "DELETE FROM parts WHERE name = 'cheap'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Rows != 3 || len(dr.Diverged) != 0 {
+		t.Fatalf("delete: %+v", dr)
+	}
+	if n := hub.TableRows("parts"); n != 1 {
+		t.Fatalf("hub rows = %d, want 1 (forklift)", n)
+	}
+}
+
+// TestDMLAbandonOnAllReplicasDown: a statement that no replica of a
+// targeted fragment accepts fails with ErrNoReplica AND leaves no
+// journaled intent behind — recovery replay must never resurrect a
+// write the caller saw fail.
+func TestDMLAbandonOnAllReplicasDown(t *testing.T) {
+	fed, _, fragWest := twoFragFed(t)
+	ctx := context.Background()
+	for _, s := range fragWest.Replicas() {
+		s.SetDown(true)
+	}
+
+	_, _, err := fed.Exec(ctx,
+		"INSERT INTO parts (sku, name, price, region) VALUES ('W9', 'crane', 7.0, 'west')")
+	if !errors.Is(err, ErrNoReplica) || !errors.Is(err, ErrSiteDown) {
+		t.Fatalf("want ErrNoReplica wrapping ErrSiteDown, got %v", err)
+	}
+	_, _, err = fed.Exec(ctx, "UPDATE parts SET price = 1 WHERE region = 'west'")
+	if !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("update: want ErrNoReplica, got %v", err)
+	}
+	if n := fed.Journal().PendingTotal(); n != 0 {
+		t.Fatalf("failed statements left %d pending intents", n)
+	}
+
+	// Recovery + repair must not resurrect either write.
+	for _, s := range fragWest.Replicas() {
+		s.SetDown(false)
+	}
+	if _, err := NewReconciler(fed).RunOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fragWest.Replicas() {
+		if n := s.TableRows("parts"); n != 2 {
+			t.Fatalf("abandoned write resurrected at %s: %d rows", s.Name(), n)
+		}
+		res, err := s.DB().Exec("SELECT COUNT(*) FROM parts WHERE price = 1")
+		if err != nil || res.Rows[0][0].Int() != 0 {
+			t.Fatalf("abandoned update applied at %s: %v, %v", s.Name(), res, err)
+		}
+	}
+}
+
+// TestDMLPartialFragmentFailureKeepsAcceptedIntents: when one targeted
+// fragment fails entirely but another fragment accepted the statement,
+// the statement errors — yet intents at sites shared with the accepted
+// fragment are kept so its copies still converge.
+func TestDMLPartialFragmentFailureKeepsAcceptedIntents(t *testing.T) {
+	fed, fragEast, fragWest := twoFragFed(t)
+	ctx := context.Background()
+	for _, s := range fragWest.Replicas() {
+		s.SetDown(true)
+	}
+
+	// Targets both fragments (no predicate): east applies, west fails.
+	_, _, err := fed.Exec(ctx, "UPDATE parts SET price = price + 1")
+	if !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("want ErrNoReplica, got %v", err)
+	}
+	// East applied the increment despite the statement error (partial
+	// application is the documented best-effort contract).
+	east := fragEast.Replicas()[0]
+	res, err := east.DB().Exec("SELECT COUNT(*) FROM parts WHERE price = 4.5")
+	if err != nil || res.Rows[0][0].Int() != 1 {
+		t.Fatalf("east not applied: %v, %v", res, err)
+	}
+	// West's intents were abandoned — no shared site with an accepted
+	// fragment exists in this layout.
+	if n := fed.Journal().PendingTotal(); n != 0 {
+		t.Fatalf("pending = %d, want 0", n)
+	}
+}
+
+// TestQueryTraceStaleServedStreaming covers the streaming read path's
+// stale-replica bookkeeping (the buffered path is covered by
+// TestStaleReplicaPricing).
+func TestQueryTraceStaleServedStreaming(t *testing.T) {
+	fed, _, fragWest := twoFragFed(t)
+	ctx := context.Background()
+	west1 := fragWest.Replicas()[0]
+	west2 := fragWest.Replicas()[1]
+	west1.SetDown(true)
+	if _, _, err := fed.Exec(ctx, "UPDATE parts SET price = 50 WHERE region = 'west'"); err != nil {
+		t.Fatal(err)
+	}
+	west1.SetDown(false)
+	west2.SetDown(true)
+
+	rows, trace, err := fed.QueryStream(ctx, "SELECT sku FROM parts WHERE region = 'west'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		//lint:ignore errdrop test stream already drained to EOF
+		_ = rows.Close()
+	}()
+	n := 0
+	for {
+		if _, rerr := rows.Next(); rerr != nil {
+			if rerr != io.EOF {
+				t.Fatalf("stream: %v", rerr)
+			}
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("streamed rows = %d, want 2", n)
+	}
+	if len(trace.StaleServed) != 1 || !strings.Contains(trace.StaleServed[0], "west@west-1") {
+		t.Fatalf("StaleServed = %v", trace.StaleServed)
+	}
+}

@@ -8,10 +8,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cohera/internal/exec"
 	"cohera/internal/ir"
+	"cohera/internal/journal"
 	"cohera/internal/obs"
 	"cohera/internal/plan"
 	"cohera/internal/resilience"
@@ -59,8 +61,36 @@ type Fragment struct {
 	// by fragment pruning; nil means "may hold anything").
 	Predicate sqlparse.Expr
 
+	// fed and table are set once by attach (under Federation.mu, before
+	// the fragment is visible to queries) and immutable afterwards; they
+	// let read paths ask the journal about replica staleness.
+	fed   *Federation
+	table string
+
 	mu       sync.RWMutex
 	replicas []*Site
+}
+
+// attach links the fragment to its federation and global table name.
+// Called while holding Federation.mu, before queries can see the
+// fragment.
+func (f *Fragment) attach(fed *Federation, table string) {
+	if f.fed == nil {
+		f.fed = fed
+		f.table = table
+	}
+}
+
+// PendingAt reports how many journaled write intents await replay at
+// replica s for this fragment's table. The count is group-level —
+// a site stores one local table per global name, so any backlog on it
+// makes every fragment the site hosts stale until the reconciler
+// drains it. Zero for fragments not yet attached to a federation.
+func (f *Fragment) PendingAt(s *Site) int {
+	if f.fed == nil {
+		return 0
+	}
+	return f.fed.journal.PendingAt(s.Name(), f.table)
 }
 
 // Replicas returns the current replica sites.
@@ -139,6 +169,15 @@ type Federation struct {
 	// structure synchronizes itself).
 	syn *ir.Synonyms
 
+	// journal is set once in New and immutable afterwards (the Journal
+	// synchronizes itself). It records write intents for replicas DML
+	// could not reach; the Reconciler drains it.
+	journal *journal.Journal
+
+	// stmtSeq hands out process-unique statement IDs for journaled
+	// intents (self-synchronized).
+	stmtSeq atomic.Int64
+
 	mu     sync.RWMutex
 	sites  map[string]*Site
 	tables map[string]*GlobalTable
@@ -149,11 +188,20 @@ type Federation struct {
 // NewCentralized; agoric is the paper's recommendation).
 func New(opt Optimizer) *Federation {
 	return &Federation{
-		sites:  make(map[string]*Site),
-		tables: make(map[string]*GlobalTable),
-		opt:    opt,
-		syn:    ir.NewSynonyms(),
+		sites:   make(map[string]*Site),
+		tables:  make(map[string]*GlobalTable),
+		opt:     opt,
+		syn:     ir.NewSynonyms(),
+		journal: journal.New(),
 	}
+}
+
+// Journal returns the federation's write-intent journal.
+func (f *Federation) Journal() *journal.Journal { return f.journal }
+
+// nextStmtID mints a statement ID for journaled intents.
+func (f *Federation) nextStmtID() string {
+	return "s" + strconv.FormatInt(f.stmtSeq.Add(1), 10)
 }
 
 // Synonyms returns the federation-wide synonym table.
@@ -255,8 +303,24 @@ func (f *Federation) DefineTable(def *schema.Table, fragments ...*Fragment) (*Gl
 		return nil, fmt.Errorf("federation: duplicate global table %q", def.Name)
 	}
 	gt := &GlobalTable{Def: def, Fragments: fragments}
+	for _, frag := range fragments {
+		frag.attach(f, def.Name)
+	}
 	f.tables[key] = gt
 	return gt, nil
+}
+
+// GlobalTables snapshots the defined global tables, sorted by name —
+// the reconciler's iteration order.
+func (f *Federation) GlobalTables() []*GlobalTable {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]*GlobalTable, 0, len(f.tables))
+	for _, gt := range f.tables {
+		out = append(out, gt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Def.Name < out[j].Def.Name })
+	return out
 }
 
 // Table returns a global table by name.
@@ -280,6 +344,7 @@ func (f *Federation) AddFragment(table string, frag *Fragment) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", schema.ErrNoTable, table)
 	}
+	frag.attach(f, gt.Def.Name)
 	gt.Fragments = append(gt.Fragments, frag)
 	return nil
 }
@@ -349,6 +414,12 @@ type QueryTrace struct {
 	// blocked send) — the bound the streaming benchmark records. The
 	// field settles when the gather (or stream) finishes.
 	PeakBufferedRows int
+	// StaleServed lists "table/fragment@site" entries where the replica
+	// that served a fragment had journaled write intents pending — the
+	// read may predate unreplayed writes. The optimizers already
+	// deprioritize stale replicas, so an entry here means a stale copy
+	// was the only (or overwhelmingly cheapest) one available.
+	StaleServed []string
 }
 
 // noteFragmentError records one dropped fragment on a degraded trace.
@@ -820,6 +891,10 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 			delete(staged, msg.frag.ID)
 		}
 		trace.FragmentSites[gt.Def.Name+"/"+msg.frag.ID] = msg.site.Name()
+		if msg.stale {
+			trace.StaleServed = append(trace.StaleServed, gt.Def.Name+"/"+msg.frag.ID+"@"+msg.site.Name())
+			metStaleReads.Inc()
+		}
 		metSiteRows(msg.site.Name()).Add(int64(msg.rows))
 		trace.CellsShipped += msg.rows * width
 		trace.CellsWithoutPushdown += msg.rows * fullWidth

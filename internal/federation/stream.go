@@ -37,6 +37,7 @@ type fragMsg struct {
 	site  *Site // serving site (done messages of successful fragments)
 	rows  int   // total rows shipped (done messages)
 	fail  int   // replicas tried and found down (done messages)
+	stale bool  // serving site had journaled intents pending (done messages)
 	err   error // fragment failure (done messages)
 }
 
@@ -156,7 +157,7 @@ func (f *Federation) pumpFragment(ctx context.Context, gt *GlobalTable, frag *Fr
 		}
 		shipped, pumpErr := pumpStream(gctx, st, batchRows, send)
 		if pumpErr == nil {
-			finish(fragMsg{site: site, rows: shipped, fail: fails})
+			finish(fragMsg{site: site, rows: shipped, fail: fails, stale: frag.PendingAt(site) > 0})
 			return
 		}
 		if gctx.Err() != nil {
@@ -573,6 +574,10 @@ func (s *fedStream) noteDone(m fragMsg) {
 		return
 	}
 	s.trace.FragmentSites[s.table+"/"+m.frag.ID] = m.site.Name()
+	if m.stale {
+		s.trace.StaleServed = append(s.trace.StaleServed, s.table+"/"+m.frag.ID+"@"+m.site.Name())
+		metStaleReads.Inc()
+	}
 	metSiteRows(m.site.Name()).Add(int64(m.rows))
 	s.trace.CellsShipped += m.rows * s.width
 	s.trace.CellsWithoutPushdown += m.rows * s.fullWidth

@@ -1,0 +1,185 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"cohera/internal/value"
+)
+
+// Durable record framing. Each record is
+//
+//	[4-byte big-endian payload length][4-byte IEEE CRC32 of payload][JSON payload]
+//
+// so replay can detect a torn tail (partial header, short payload, or
+// corrupted bytes) and truncate the log at the last intact record
+// instead of trusting garbage. The JSON payload is a wireRecord.
+//
+// The value codec below mirrors internal/remote's kind-tagged wire
+// format but is deliberately duplicated: journal sits below the
+// federation, remote sits beside it, and neither may import the other.
+
+const (
+	frameHeaderLen = 8
+	// maxPayload bounds a single record so a corrupted length field
+	// cannot make replay allocate gigabytes before the CRC catches it.
+	maxPayload = 1 << 20
+)
+
+// record kinds.
+const (
+	kindIntent    = "intent"
+	kindApplied   = "applied"
+	kindAbandoned = "abandoned"
+)
+
+// wireRecord is the JSON payload of one journal record. Intent records
+// carry the full write; applied/abandoned markers carry only the
+// statement ID they settle.
+type wireRecord struct {
+	Kind     string      `json:"kind"`
+	StmtID   string      `json:"stmt"`
+	Seq      uint64      `json:"seq,omitempty"`
+	Table    string      `json:"table,omitempty"`
+	Fragment string      `json:"frag,omitempty"`
+	Op       string      `json:"op,omitempty"`
+	SQL      string      `json:"sql,omitempty"`
+	Row      []wireValue `json:"row,omitempty"`
+}
+
+// wireValue is the JSON encoding of one value.Value (kind-tagged; see
+// the layering note above for why this is not remote's wireValue).
+type wireValue struct {
+	Kind string  `json:"k"`
+	I    int64   `json:"i,omitempty"`
+	F    float64 `json:"f,omitempty"`
+	S    string  `json:"s,omitempty"`
+	B    bool    `json:"b,omitempty"`
+}
+
+func encodeValue(v value.Value) wireValue {
+	switch v.Kind() {
+	case value.KindNull:
+		return wireValue{Kind: "null"}
+	case value.KindBool:
+		return wireValue{Kind: "bool", B: v.Bool()}
+	case value.KindInt:
+		return wireValue{Kind: "int", I: v.Int()}
+	case value.KindFloat:
+		return wireValue{Kind: "float", F: v.Float()}
+	case value.KindString:
+		return wireValue{Kind: "string", S: v.Str()}
+	case value.KindMoney:
+		amt, cur := v.Money()
+		return wireValue{Kind: "money", I: amt, S: cur}
+	case value.KindTime:
+		return wireValue{Kind: "time", I: v.Time().UnixNano()}
+	case value.KindDuration:
+		d, sem := v.Duration()
+		return wireValue{Kind: "duration", I: int64(d), S: string(sem)}
+	default:
+		return wireValue{Kind: "null"}
+	}
+}
+
+func decodeValue(w wireValue) (value.Value, error) {
+	switch w.Kind {
+	case "null":
+		return value.Null, nil
+	case "bool":
+		return value.NewBool(w.B), nil
+	case "int":
+		return value.NewInt(w.I), nil
+	case "float":
+		return value.NewFloat(w.F), nil
+	case "string":
+		return value.NewString(w.S), nil
+	case "money":
+		return value.NewMoney(w.I, w.S), nil
+	case "time":
+		return value.NewTime(time.Unix(0, w.I).UTC()), nil
+	case "duration":
+		return value.NewDuration(time.Duration(w.I), value.DurationSemantics(w.S)), nil
+	default:
+		return value.Null, fmt.Errorf("journal: unknown value kind %q", w.Kind)
+	}
+}
+
+func encodeIntent(it Intent) wireRecord {
+	wr := wireRecord{
+		Kind: kindIntent, StmtID: it.StmtID, Seq: it.Seq,
+		Table: it.Table, Fragment: it.Fragment, Op: string(it.Op), SQL: it.SQL,
+	}
+	for _, v := range it.Row {
+		wr.Row = append(wr.Row, encodeValue(v))
+	}
+	return wr
+}
+
+func decodeIntent(wr wireRecord) (Intent, error) {
+	it := Intent{
+		StmtID: wr.StmtID, Seq: wr.Seq,
+		Table: wr.Table, Fragment: wr.Fragment, Op: Op(wr.Op), SQL: wr.SQL,
+	}
+	switch it.Op {
+	case OpUpsert, OpSQL:
+	default:
+		return Intent{}, fmt.Errorf("journal: unknown intent op %q", wr.Op)
+	}
+	for _, wv := range wr.Row {
+		v, err := decodeValue(wv)
+		if err != nil {
+			return Intent{}, err
+		}
+		it.Row = append(it.Row, v)
+	}
+	return it, nil
+}
+
+// appendFrame marshals wr and appends one framed record to dst.
+func appendFrame(dst []byte, wr wireRecord) ([]byte, error) {
+	payload, err := json.Marshal(wr)
+	if err != nil {
+		return dst, fmt.Errorf("journal: encode record: %w", err)
+	}
+	if len(payload) > maxPayload {
+		return dst, fmt.Errorf("journal: record payload %d bytes exceeds cap %d", len(payload), maxPayload)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// readFrame parses one framed record at buf[off:]. It returns the
+// decoded record and the offset just past it, or ok=false when the
+// bytes at off are not an intact record (short header, short or
+// oversized payload, CRC mismatch, malformed JSON, or an undecodable
+// value) — the torn-tail signal.
+func readFrame(buf []byte, off int) (wr wireRecord, next int, ok bool) {
+	if off+frameHeaderLen > len(buf) {
+		return wireRecord{}, off, false
+	}
+	n := int(binary.BigEndian.Uint32(buf[off : off+4]))
+	sum := binary.BigEndian.Uint32(buf[off+4 : off+8])
+	if n > maxPayload || off+frameHeaderLen+n > len(buf) {
+		return wireRecord{}, off, false
+	}
+	payload := buf[off+frameHeaderLen : off+frameHeaderLen+n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return wireRecord{}, off, false
+	}
+	if err := json.Unmarshal(payload, &wr); err != nil {
+		return wireRecord{}, off, false
+	}
+	if wr.Kind == kindIntent {
+		if _, err := decodeIntent(wr); err != nil {
+			return wireRecord{}, off, false
+		}
+	}
+	return wr, off + frameHeaderLen + n, true
+}

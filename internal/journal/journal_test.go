@@ -1,0 +1,326 @@
+package journal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"cohera/internal/value"
+)
+
+var errDown = errors.New("site down")
+
+func deferAll(error) bool { return true }
+func gateOK() error       { return nil }
+func gateDown() error     { return errDown }
+func directOK() error     { return nil }
+func directBoom() error   { return errors.New("boom") }
+func noDefer(error) bool  { return false }
+
+func intent(id, frag string, row ...value.Value) Intent {
+	return Intent{StmtID: id, Table: "parts", Fragment: frag, Op: OpUpsert, Row: row}
+}
+
+func sqlIntent(id string) Intent {
+	return Intent{StmtID: id, Table: "parts", Fragment: "f1", Op: OpSQL, SQL: "UPDATE parts SET price = 1"}
+}
+
+// A skipped write's intent must survive a byte-for-byte round trip
+// through the durable form, values included.
+func TestFramingRoundTrip(t *testing.T) {
+	j := New()
+	g := j.Group("west-2", "parts")
+	it := intent("s1", "f1",
+		value.NewString("sku-1"), value.NewInt(42), value.NewFloat(1.5),
+		value.NewBool(true), value.Null, value.NewMoney(999, "USD"))
+	out, err := g.Execute(it, gateDown, directOK, deferAll)
+	if out != Skipped || !errors.Is(err, errDown) {
+		t.Fatalf("Execute = %v, %v; want Skipped, errDown", out, err)
+	}
+	raw := g.Bytes("f1")
+	if len(raw) == 0 {
+		t.Fatal("no bytes journaled")
+	}
+
+	// "Restart": load the raw bytes into a fresh journal.
+	j2 := New()
+	g2 := j2.Group("west-2", "parts")
+	g2.SetBytes("f1", raw)
+	if g2.Lost() {
+		t.Fatal("clean log marked lost")
+	}
+	if n := g2.Pending(); n != 1 {
+		t.Fatalf("pending after recovery = %d, want 1", n)
+	}
+	var got Intent
+	if _, err := g2.Drain(context.Background(), func(it Intent) error { got = it; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got.StmtID != "s1" || got.Table != "parts" || got.Fragment != "f1" || got.Op != OpUpsert {
+		t.Fatalf("recovered intent header mismatch: %+v", got)
+	}
+	if len(got.Row) != len(it.Row) {
+		t.Fatalf("recovered %d values, want %d", len(got.Row), len(it.Row))
+	}
+	for i := range it.Row {
+		if !got.Row[i].Equal(it.Row[i]) {
+			t.Fatalf("value %d: got %v want %v", i, got.Row[i], it.Row[i])
+		}
+	}
+}
+
+// Recovery must truncate a torn tail at the last intact record and
+// mark the log lost; earlier records stay replayable.
+func TestTornTailTruncation(t *testing.T) {
+	j := New()
+	g := j.Group("s", "parts")
+	for i := 0; i < 3; i++ {
+		if out, _ := g.Execute(intent(fmt.Sprintf("s%d", i), "f1", value.NewInt(int64(i))), gateDown, directOK, deferAll); out != Skipped {
+			t.Fatalf("intent %d not journaled", i)
+		}
+	}
+	g.TruncateTail("f1", 3) // rip bytes out of the last record
+	if !g.Lost() {
+		t.Fatal("torn tail not marked lost")
+	}
+	if n := g.Pending(); n != 2 {
+		t.Fatalf("pending after torn tail = %d, want 2 (last record dropped)", n)
+	}
+
+	// A flipped byte mid-log truncates everything from that record on.
+	raw := g.Bytes("f1")
+	raw[len(raw)/2] ^= 0xFF
+	g.SetBytes("f1", raw)
+	if n := g.Pending(); n >= 2 {
+		t.Fatalf("corrupted mid-log still reports %d pending", n)
+	}
+	if !g.Lost() {
+		t.Fatal("mid-log corruption not marked lost")
+	}
+}
+
+// A truncation that lands exactly on a record boundary is
+// indistinguishable from a shorter-but-clean log: Lost stays false
+// (digest divergence is the detector for that case).
+func TestCleanBoundaryTruncationNotLost(t *testing.T) {
+	j := New()
+	g := j.Group("s", "parts")
+	if _, err := g.Execute(intent("a", "f1", value.NewInt(1)), gateDown, directOK, deferAll); !errors.Is(err, errDown) {
+		t.Fatal(err)
+	}
+	one := g.Bytes("f1")
+	if _, err := g.Execute(intent("b", "f1", value.NewInt(2)), gateDown, directOK, deferAll); !errors.Is(err, errDown) {
+		t.Fatal(err)
+	}
+	g.SetBytes("f1", one)
+	if g.Lost() {
+		t.Fatal("record-boundary truncation marked lost")
+	}
+	if n := g.Pending(); n != 1 {
+		t.Fatalf("pending = %d, want 1", n)
+	}
+}
+
+// Replay must be exactly-once per statement ID: a drained intent stays
+// settled across a restart because its applied marker is durable, and
+// tearing the marker off revives the intent but flags the log lost.
+func TestIdempotentReplay(t *testing.T) {
+	j := New()
+	g := j.Group("s", "parts")
+	if _, err := g.Execute(intent("s1", "f1", value.NewInt(7)), gateDown, directOK, deferAll); !errors.Is(err, errDown) {
+		t.Fatal(err)
+	}
+	preMarker := len(g.Bytes("f1"))
+	applies := 0
+	if n, err := g.Drain(context.Background(), func(Intent) error { applies++; return nil }); err != nil || n != 1 {
+		t.Fatalf("first drain = %d, %v", n, err)
+	}
+	if n, err := g.Drain(context.Background(), func(Intent) error { applies++; return nil }); err != nil || n != 0 {
+		t.Fatalf("second drain = %d, %v", n, err)
+	}
+	if applies != 1 {
+		t.Fatalf("intent applied %d times", applies)
+	}
+
+	// Restart with the marker intact: still settled.
+	raw := g.Bytes("f1")
+	g2 := New().Group("s", "parts")
+	g2.SetBytes("f1", raw)
+	if n := g2.Pending(); n != 0 {
+		t.Fatalf("applied intent pending again after restart: %d", n)
+	}
+
+	// Restart with the marker torn off: the intent is pending again
+	// AND the log is lost — the reconciler must copy-repair, not
+	// blindly re-apply.
+	g3 := New().Group("s", "parts")
+	g3.SetBytes("f1", raw[:preMarker+4])
+	if !g3.Lost() {
+		t.Fatal("torn applied marker not marked lost")
+	}
+	if n := g3.Pending(); n != 1 {
+		t.Fatalf("pending after torn marker = %d, want 1", n)
+	}
+}
+
+// While a group has a backlog, a reachable replica's new write must
+// queue behind it, and Drain must replay in statement order across
+// fragments of the group.
+func TestQueueBehindBacklogOrdering(t *testing.T) {
+	j := New()
+	g := j.Group("s", "parts")
+	if out, _ := g.Execute(intent("older", "f1", value.NewInt(1)), gateDown, directOK, deferAll); out != Skipped {
+		t.Fatal("seed intent not journaled")
+	}
+	direct := 0
+	out, err := g.Execute(sqlIntent("newer"), gateOK, func() error { direct++; return nil }, deferAll)
+	if err != nil || out != Queued {
+		t.Fatalf("Execute with backlog = %v, %v; want Queued", out, err)
+	}
+	if direct != 0 {
+		t.Fatal("direct write ran ahead of the backlog")
+	}
+	// A third write lands in a different fragment's log to prove the
+	// drain merges across the group's logs by sequence, not per log.
+	if out, _ := g.Execute(intent("third", "f2", value.NewInt(3)), gateOK, directOK, deferAll); out != Queued {
+		t.Fatal("third write not queued")
+	}
+	var order []string
+	if n, err := g.Drain(context.Background(), func(it Intent) error { order = append(order, it.StmtID); return nil }); err != nil || n != 3 {
+		t.Fatalf("drain = %d, %v", n, err)
+	}
+	want := []string{"older", "newer", "third"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("replay order %v, want %v", order, want)
+		}
+	}
+	if g.Pending() != 0 {
+		t.Fatal("pending after full drain")
+	}
+}
+
+// Abandoned intents are settled durably and survive a restart settled.
+func TestAbandon(t *testing.T) {
+	j := New()
+	g := j.Group("s", "parts")
+	if _, err := g.Execute(intent("s1", "f1", value.NewInt(1)), gateDown, directOK, deferAll); !errors.Is(err, errDown) {
+		t.Fatal(err)
+	}
+	if err := g.Abandon("f1", "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Pending() != 0 {
+		t.Fatal("abandoned intent still pending")
+	}
+	g2 := New().Group("s", "parts")
+	g2.SetBytes("f1", g.Bytes("f1"))
+	if g2.Pending() != 0 {
+		t.Fatal("abandoned intent pending after restart")
+	}
+	if err := g.Abandon("f1", "missing"); err != nil {
+		t.Fatalf("abandoning a settled/unknown id must be a no-op: %v", err)
+	}
+}
+
+// Non-deferrable errors must not journal anything.
+func TestFailedWritesNotJournaled(t *testing.T) {
+	j := New()
+	g := j.Group("s", "parts")
+	if out, err := g.Execute(intent("s1", "f1"), gateOK, directBoom, noDefer); out != Failed || err == nil {
+		t.Fatalf("Execute = %v, %v; want Failed", out, err)
+	}
+	if out, err := g.Execute(intent("s2", "f1"), gateDown, directOK, noDefer); out != Failed || !errors.Is(err, errDown) {
+		t.Fatalf("Execute = %v, %v; want Failed, errDown", out, err)
+	}
+	if g.Pending() != 0 || len(g.Bytes("f1")) != 0 {
+		t.Fatal("failed write left journal state behind")
+	}
+}
+
+// Exclusive resets the group only when fn succeeds.
+func TestExclusiveReset(t *testing.T) {
+	j := New()
+	g := j.Group("s", "parts")
+	if _, err := g.Execute(intent("s1", "f1", value.NewInt(1)), gateDown, directOK, deferAll); !errors.Is(err, errDown) {
+		t.Fatal(err)
+	}
+	g.TruncateTail("f1", 1)
+	boom := errors.New("repair failed")
+	if err := g.Exclusive(func(pending int, lost bool) error {
+		if !lost {
+			t.Fatal("fn not told about lost log")
+		}
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if !g.Lost() {
+		t.Fatal("failed Exclusive reset the group anyway")
+	}
+	if err := g.Exclusive(func(pending int, lost bool) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if g.Lost() || g.Pending() != 0 || len(g.Bytes("f1")) != 0 {
+		t.Fatal("successful Exclusive did not reset the group")
+	}
+}
+
+// Journal-level accounting: groups are per (site, table), PendingAt /
+// PendingTotal see through to group state, and Drop forgets a group.
+func TestJournalAccounting(t *testing.T) {
+	j := New()
+	before := metPending.Value()
+	ga := j.Group("a", "parts")
+	gb := j.Group("b", "parts")
+	if ga == gb || j.Group("a", "parts") != ga {
+		t.Fatal("group identity broken")
+	}
+	if j.PeekGroup("c", "parts") != nil {
+		t.Fatal("PeekGroup created a group")
+	}
+	for i, g := range []*Group{ga, gb} {
+		if _, err := g.Execute(intent(fmt.Sprintf("s%d", i), "f1", value.NewInt(int64(i))), gateDown, directOK, deferAll); !errors.Is(err, errDown) {
+			t.Fatal(err)
+		}
+	}
+	if j.PendingAt("a", "parts") != 1 || j.PendingTotal() != 2 {
+		t.Fatalf("accounting: at=%d total=%d", j.PendingAt("a", "parts"), j.PendingTotal())
+	}
+	if d := metPending.Value() - before; d != 2 {
+		t.Fatalf("gauge delta = %d, want 2", d)
+	}
+	j.Drop("a", "parts")
+	if j.PendingTotal() != 1 || j.PendingAt("a", "parts") != 0 {
+		t.Fatal("Drop did not forget the group")
+	}
+	if d := metPending.Value() - before; d != 1 {
+		t.Fatalf("gauge delta after Drop = %d, want 1", d)
+	}
+	if _, err := gb.Drain(context.Background(), func(Intent) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if d := metPending.Value() - before; d != 0 {
+		t.Fatalf("gauge delta after drain = %d, want 0", d)
+	}
+}
+
+// A cancelled context stops a drain between intents.
+func TestDrainCtxCancel(t *testing.T) {
+	j := New()
+	g := j.Group("s", "parts")
+	for i := 0; i < 2; i++ {
+		if _, err := g.Execute(intent(fmt.Sprintf("s%d", i), "f1", value.NewInt(int64(i))), gateDown, directOK, deferAll); !errors.Is(err, errDown) {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n, err := g.Drain(ctx, func(Intent) error { cancel(); return nil })
+	if !errors.Is(err, context.Canceled) || n != 1 {
+		t.Fatalf("drain under cancel = %d, %v", n, err)
+	}
+	if g.Pending() != 1 {
+		t.Fatalf("pending after cancelled drain = %d, want 1", g.Pending())
+	}
+}

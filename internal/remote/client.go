@@ -239,6 +239,29 @@ func (c *Client) Healthy(ctx context.Context) bool {
 	return err == nil
 }
 
+// Digest fetches the content digest of a stored table published on
+// the server — the remote half of anti-entropy divergence detection.
+// Read-only, so it rides the idempotent retry policy.
+func (c *Client) Digest(ctx context.Context, table string) (storage.TableDigest, error) {
+	body, err := json.Marshal(digestRequest{Table: table})
+	if err != nil {
+		return storage.TableDigest{}, err
+	}
+	out, err := c.do(ctx, http.MethodPost, "/digest", body, true)
+	if err != nil {
+		return storage.TableDigest{}, err
+	}
+	var resp digestResponse
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return storage.TableDigest{}, fmt.Errorf("remote: decoding /digest: %w", err)
+	}
+	h, err := strconv.ParseUint(resp.Hash, 16, 64)
+	if err != nil {
+		return storage.TableDigest{}, fmt.Errorf("remote: /digest hash %q: %w", resp.Hash, err)
+	}
+	return storage.TableDigest{Hash: h, Rows: resp.Rows}, nil
+}
+
 // Source is a remote table presented through the standard connector
 // interface: the federation treats an enterprise across the network
 // exactly like a local wrapper (Characteristic 1's arms-length end, with

@@ -169,6 +169,30 @@ type fetchResponse struct {
 	Rows [][]wireValue `json:"rows"`
 }
 
+// digestRequest is the body of POST /digest.
+type digestRequest struct {
+	Table string `json:"table"`
+}
+
+// digestResponse carries a table's content digest. The 64-bit hash is
+// zero-padded hex so it survives JSON readers that truncate large
+// integers to float64.
+type digestResponse struct {
+	Hash string `json:"hash"`
+	Rows int    `json:"rows"`
+}
+
+// replicationStatus is the body of GET /debug/replication.
+type replicationStatus struct {
+	Tables []tableReplication `json:"tables"`
+}
+
+type tableReplication struct {
+	Name   string `json:"name"`
+	Digest string `json:"digest"`
+	Rows   int    `json:"rows"`
+}
+
 // errorResponse carries server-side failures.
 type errorResponse struct {
 	Error string `json:"error"`

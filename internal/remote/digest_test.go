@@ -1,0 +1,116 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cohera/internal/storage"
+	"cohera/internal/value"
+)
+
+// The remote digest must equal the local one byte for byte — hex
+// round-trip included — and track mutations.
+func TestDigestRoundTrip(t *testing.T) {
+	tbl := quotesTable(t)
+	srv := NewServer()
+	srv.PublishTable(tbl, "sku")
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	c := Dial(hs.URL, "")
+	got, err := c.Digest(context.Background(), "quotes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tbl.Digest(); !got.Equal(want) {
+		t.Fatalf("remote digest %+v != local %+v", got, want)
+	}
+	if got.Rows != 2 {
+		t.Fatalf("rows = %d, want 2", got.Rows)
+	}
+
+	// Mutate and re-ask: the digest endpoint sees live content.
+	if _, err := tbl.Upsert(storage.Row{
+		value.NewString("P3"), value.Null, value.Null, value.Null,
+		value.NewBool(false), value.NewFloat(0), value.Null,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := c.Digest(context.Background(), "quotes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Equal(got) {
+		t.Fatal("digest unchanged after upsert")
+	}
+	if want := tbl.Digest(); !got2.Equal(want) {
+		t.Fatalf("remote digest %+v != local %+v after upsert", got2, want)
+	}
+
+	// Unknown table → typed HTTP status error.
+	if _, err := c.Digest(context.Background(), "nope"); err == nil {
+		t.Fatal("digest of unknown table succeeded")
+	} else {
+		var se *statusError
+		if !errors.As(err, &se) || se.code != http.StatusNotFound {
+			t.Fatalf("want 404 statusError, got %v", err)
+		}
+	}
+}
+
+// /debug/replication lists every published stored table with the same
+// hex digest /digest reports.
+func TestDebugReplication(t *testing.T) {
+	tbl := quotesTable(t)
+	srv := NewServer()
+	srv.Token = "sesame"
+	srv.PublishTable(tbl, "sku")
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	req, err := http.NewRequest(http.MethodGet, hs.URL+"/debug/replication", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The token gate covers debug pages too.
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("unauthenticated /debug/replication = %d", resp.StatusCode)
+		}
+	}
+	req.Header.Set("Authorization", "Bearer sesame")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st replicationStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Tables) != 1 || st.Tables[0].Name != "quotes" {
+		t.Fatalf("replication status = %+v", st)
+	}
+	d := tbl.Digest()
+	if st.Tables[0].Rows != d.Rows || !strings.EqualFold(st.Tables[0].Digest, hexDigest(d.Hash)) {
+		t.Fatalf("status %+v != local digest %+v", st.Tables[0], d)
+	}
+}
+
+func hexDigest(h uint64) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 16)
+	for i := 15; i >= 0; i-- {
+		out[i] = digits[h&0xF]
+		h >>= 4
+	}
+	return string(out)
+}

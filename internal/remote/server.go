@@ -20,7 +20,7 @@ import (
 // cannot grow the label space without bound.
 func metServerReqs(path, class string) *obs.Counter {
 	switch path {
-	case "/healthz", "/tables", "/fetch", "/fetchstream":
+	case "/healthz", "/tables", "/fetch", "/fetchstream", "/digest", "/debug/replication":
 	default:
 		path = "other"
 	}
@@ -35,10 +35,12 @@ var metServerSeconds = obs.Default().Histogram("cohera_remote_server_seconds",
 // Server exposes a set of tables (anything implementing wrapper.Source —
 // stored tables, wrapped ERPs, even other federations' views) over HTTP:
 //
-//	GET  /tables        → JSON list of wireSchema
-//	POST /fetch         → {table, filters[]} → {rows}
-//	POST /fetchstream   → {table, filters[], batch_rows} → NDJSON chunks
-//	GET  /healthz       → 200 ok
+//	GET  /tables             → JSON list of wireSchema
+//	POST /fetch              → {table, filters[]} → {rows}
+//	POST /fetchstream        → {table, filters[], batch_rows} → NDJSON chunks
+//	POST /digest             → {table} → {hash, rows} content digest
+//	GET  /debug/replication  → per-table digests for operator comparison
+//	GET  /healthz            → 200 ok
 //
 // An optional bearer token gates every endpoint; cross-enterprise feeds
 // are not anonymous.
@@ -54,11 +56,18 @@ type Server struct {
 
 	mu      sync.RWMutex
 	sources map[string]wrapper.Source
+	// tables keeps the raw stored tables published via PublishTable;
+	// /digest and /debug/replication read content digests from them
+	// (a generic wrapper.Source has no digestable row identity).
+	tables map[string]*storage.Table
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
-	return &Server{sources: make(map[string]wrapper.Source)}
+	return &Server{
+		sources: make(map[string]wrapper.Source),
+		tables:  make(map[string]*storage.Table),
+	}
 }
 
 // Publish exposes a source under its schema name, instrumented so
@@ -73,6 +82,9 @@ func (s *Server) Publish(src wrapper.Source) {
 // its indexed columns.
 func (s *Server) PublishTable(t *storage.Table, pushdownEq ...string) {
 	s.Publish(wrapper.NewERPSource(t.Def().Name, t, pushdownEq...))
+	s.mu.Lock()
+	s.tables[strings.ToLower(t.Def().Name)] = t
+	s.mu.Unlock()
 }
 
 // ServeHTTP implements http.Handler.
@@ -109,6 +121,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleFetch(sw, r)
 	case r.Method == http.MethodPost && r.URL.Path == "/fetchstream":
 		s.handleFetchStream(sw, r)
+	case r.Method == http.MethodPost && r.URL.Path == "/digest":
+		s.handleDigest(sw, r)
+	case r.Method == http.MethodGet && r.URL.Path == "/debug/replication":
+		s.handleReplication(sw)
 	default:
 		http.Error(sw, `{"error":"not found"}`, http.StatusNotFound)
 	}
@@ -185,6 +201,60 @@ func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := writeJSON(w, fetchResponse{Rows: encodeRows(rows)}); err != nil {
+		http.Error(w, `{"error":"encode failure"}`, http.StatusInternalServerError)
+	}
+}
+
+// handleDigest serves POST /digest: the order-independent content
+// digest of one published stored table, so a remote reconciler can
+// compare replicas without shipping rows.
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		http.Error(w, `{"error":"bad body"}`, http.StatusBadRequest)
+		return
+	}
+	var req digestRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, `{"error":"bad json"}`, http.StatusBadRequest)
+		return
+	}
+	s.mu.RLock()
+	t, ok := s.tables[strings.ToLower(req.Table)]
+	s.mu.RUnlock()
+	if !ok {
+		w.WriteHeader(http.StatusNotFound)
+		//lint:ignore errdrop the status line is already committed; nothing useful can be done with an encode failure
+		_ = writeJSON(w, errorResponse{Error: fmt.Sprintf("no stored table %q", req.Table)})
+		return
+	}
+	d := t.Digest()
+	w.Header().Set("Content-Type", "application/json")
+	if err := writeJSON(w, digestResponse{Hash: fmt.Sprintf("%016x", d.Hash), Rows: d.Rows}); err != nil {
+		http.Error(w, `{"error":"encode failure"}`, http.StatusInternalServerError)
+	}
+}
+
+// handleReplication serves GET /debug/replication: every published
+// stored table's digest in one page, the operator view for eyeballing
+// whether two sites agree (compare hashes across daemons).
+func (s *Server) handleReplication(w http.ResponseWriter) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	st := replicationStatus{Tables: make([]tableReplication, 0, len(names))}
+	for _, n := range names {
+		d := s.tables[n].Digest()
+		st.Tables = append(st.Tables, tableReplication{
+			Name: n, Digest: fmt.Sprintf("%016x", d.Hash), Rows: d.Rows,
+		})
+	}
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := writeJSON(w, st); err != nil {
 		http.Error(w, `{"error":"encode failure"}`, http.StatusInternalServerError)
 	}
 }

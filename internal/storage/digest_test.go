@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"cohera/internal/schema"
+	"cohera/internal/value"
+)
+
+func digestDef(t *testing.T, name string) *schema.Table {
+	t.Helper()
+	def, err := schema.NewTable(name, []schema.Column{
+		{Name: "sku", Kind: value.KindString},
+		{Name: "price", Kind: value.KindInt},
+	}, "sku")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return def
+}
+
+func digestRow(sku string, price int64) Row {
+	return Row{value.NewString(sku), value.NewInt(price)}
+}
+
+// Two tables that applied the same logical writes in different orders
+// must report the same digest; a table that missed a write must not.
+func TestDigestOrderIndependent(t *testing.T) {
+	a := NewTable(digestDef(t, "a"))
+	b := NewTable(digestDef(t, "b"))
+	rows := []Row{digestRow("s1", 10), digestRow("s2", 20), digestRow("s3", 30)}
+	for _, r := range rows {
+		if _, err := a.Upsert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := len(rows) - 1; i >= 0; i-- {
+		if _, err := b.Upsert(rows[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if da, db := a.Digest(), b.Digest(); !da.Equal(db) {
+		t.Fatalf("order-dependent digest: %+v vs %+v", da, db)
+	}
+	if _, err := b.Upsert(digestRow("s4", 40)); err != nil {
+		t.Fatal(err)
+	}
+	if da, db := a.Digest(), b.Digest(); da.Equal(db) {
+		t.Fatalf("diverged tables share digest %+v", da)
+	}
+}
+
+// The incremental digest must agree with a from-scratch recomputation
+// after every kind of mutation, and return to the empty digest when
+// the content does.
+func TestDigestIncrementalMatchesScan(t *testing.T) {
+	tbl := NewTable(digestDef(t, "inc"))
+	check := func(step string) {
+		t.Helper()
+		inc := tbl.Digest()
+		scan := tbl.DigestFunc(func(Row) bool { return true })
+		if !inc.Equal(scan) {
+			t.Fatalf("%s: incremental %+v != scan %+v", step, inc, scan)
+		}
+	}
+	check("empty")
+	var ids []int64
+	for i := 0; i < 8; i++ {
+		id, err := tbl.Insert(digestRow(fmt.Sprintf("s%d", i), int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	check("inserts")
+	if _, err := tbl.Upsert(digestRow("s3", 333)); err != nil {
+		t.Fatal(err)
+	}
+	check("upsert replace")
+	if err := tbl.Update(ids[0], digestRow("s0", 999)); err != nil {
+		t.Fatal(err)
+	}
+	check("update")
+	if err := tbl.Delete(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	check("delete")
+	empty := tbl.Digest()
+	tbl.Truncate()
+	check("truncate")
+	if d := tbl.Digest(); d.Hash != 0 || d.Rows != 0 {
+		t.Fatalf("truncated table digest %+v, want zero (was %+v)", d, empty)
+	}
+}
+
+// A write applied and then exactly undone must restore the digest —
+// the property journal replay idempotency leans on.
+func TestDigestRoundTrip(t *testing.T) {
+	tbl := NewTable(digestDef(t, "rt"))
+	if _, err := tbl.Upsert(digestRow("s1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	before := tbl.Digest()
+	if _, err := tbl.Upsert(digestRow("s2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := tbl.GetByKey(value.NewString("s2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if after := tbl.Digest(); !after.Equal(before) {
+		t.Fatalf("digest not restored: %+v vs %+v", after, before)
+	}
+}
+
+// DigestFunc must cover exactly the matching subset.
+func TestDigestFuncSubset(t *testing.T) {
+	tbl := NewTable(digestDef(t, "sub"))
+	for i := 0; i < 6; i++ {
+		if _, err := tbl.Insert(digestRow(fmt.Sprintf("s%d", i), int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	even := tbl.DigestFunc(func(r Row) bool { return r[1].Int()%2 == 0 })
+	odd := tbl.DigestFunc(func(r Row) bool { return r[1].Int()%2 == 1 })
+	if even.Rows != 3 || odd.Rows != 3 {
+		t.Fatalf("subset rows: even %d odd %d", even.Rows, odd.Rows)
+	}
+	all := tbl.Digest()
+	if even.Hash^odd.Hash != all.Hash {
+		t.Fatalf("subset hashes do not partition the table hash")
+	}
+}

@@ -43,6 +43,7 @@ type Table struct {
 	hashes  map[int]map[string][]int64 // column ordinal → hash index
 	texts   map[int]*ir.Index          // column ordinal → inverted index
 	version uint64                     // bumped on every mutation (staleness tracking)
+	digest  uint64                     // XOR of RowHash over stored rows (see digest.go)
 }
 
 // NewTable creates an empty table for the given schema. Columns marked
@@ -204,9 +205,12 @@ func (t *Table) Upsert(row Row) (int64, error) {
 	return id, nil
 }
 
-// indexRowLocked maintains the secondary indexes for a stored row; the
-// caller holds t.mu.
+// indexRowLocked maintains the secondary indexes and the content
+// digest for a stored row; the caller holds t.mu. Every row addition
+// flows through here and every removal through unindexRowLocked, and
+// XOR is self-inverse, so the digest tracks the live row set exactly.
 func (t *Table) indexRowLocked(id int64, row Row) {
+	t.digest ^= RowHash(row)
 	for ci, bt := range t.btrees {
 		if !row[ci].IsNull() {
 			bt.Insert(row[ci], id)
@@ -225,9 +229,10 @@ func (t *Table) indexRowLocked(id int64, row Row) {
 	}
 }
 
-// unindexRowLocked removes a row from the secondary indexes; the caller
-// holds t.mu.
+// unindexRowLocked removes a row from the secondary indexes and the
+// content digest; the caller holds t.mu.
 func (t *Table) unindexRowLocked(id int64, row Row) {
+	t.digest ^= RowHash(row)
 	for ci, bt := range t.btrees {
 		if !row[ci].IsNull() {
 			bt.Delete(row[ci], id)
@@ -273,6 +278,7 @@ func (t *Table) Truncate() {
 		_ = ix
 		t.texts[ci] = ir.NewIndex()
 	}
+	t.digest = 0
 	t.version++
 }
 

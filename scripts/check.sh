@@ -10,7 +10,10 @@
 #   4. go run ./cmd/coherasmoke  daemon smoke: in-process coherad
 #                                handler, /healthz 200, /metrics parses
 #   5. go run ./cmd/coherachaos  seeded fault-injection harness: the
-#      -smoke                    resilience invariants hold end to end
+#      -smoke                    resilience invariants hold end to end,
+#                                including the anti-entropy convergence
+#                                stage (replica digests equal + journal
+#                                empty after a seeded flap workload)
 #   6. go test -race ./...       full tests under the race detector
 #   7. go test -fuzz ... 10s     fuzz smoke: parser and NDJSON stream
 #                                decoder each survive a short run
