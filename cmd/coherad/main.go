@@ -41,10 +41,13 @@ func main() {
 	loaded := false
 	if *snapshot != "" {
 		if f, err := os.Open(*snapshot); err == nil {
-			if err := db.LoadSnapshot(f); err != nil {
-				log.Fatalf("loading snapshot: %v", err)
+			loadErr := db.LoadSnapshot(f)
+			if err := f.Close(); err != nil {
+				log.Printf("coherad: closing snapshot after load: %v", err)
 			}
-			_ = f.Close()
+			if loadErr != nil {
+				log.Fatalf("loading snapshot: %v", loadErr)
+			}
 			t, err := db.Table("catalog")
 			if err != nil {
 				log.Fatalf("snapshot has no catalog table: %v", err)
@@ -88,12 +91,10 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-sig
-			f, err := os.Create(*snapshot)
-			if err == nil {
-				if err := db.SaveSnapshot(f); err == nil {
-					fmt.Printf("coherad: snapshot written to %s\n", *snapshot)
-				}
-				_ = f.Close()
+			if err := writeSnapshot(db, *snapshot); err != nil {
+				log.Printf("coherad: snapshot not written: %v", err)
+			} else {
+				fmt.Printf("coherad: snapshot written to %s\n", *snapshot)
 			}
 			os.Exit(0)
 		}()
@@ -109,4 +110,19 @@ func main() {
 	fmt.Printf("  repair:   POST %s/digest  replicas: GET %s/debug/replication\n", *addr, *addr)
 	fmt.Printf("  attach:   coheraql -attach http://localhost%s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, h))
+}
+
+// writeSnapshot persists the database to path, surfacing the close
+// error: Close flushes, so a swallowed failure there would report a
+// snapshot as written when the bytes never reached disk.
+func writeSnapshot(db *exec.Database, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.SaveSnapshot(f); err != nil {
+		f.Close() //lint:ignore errdrop the save error is the one worth reporting; this close is best-effort cleanup
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cohera/internal/exec"
+	"cohera/internal/schema"
+	"cohera/internal/value"
+)
+
+// snapshotDB builds a one-table database for round-trip tests.
+func snapshotDB(t *testing.T) *exec.Database {
+	t.Helper()
+	db := exec.NewDatabase()
+	def := schema.MustTable("catalog", []schema.Column{
+		{Name: "sku", Kind: value.KindString},
+	}, "sku")
+	tbl, err := db.CreateTable(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert([]value.Value{value.NewString("sku-1")}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestWriteSnapshotRoundTrip pins the fixed save path: the snapshot is
+// durable and reloadable, and the close error is part of the contract.
+func TestWriteSnapshotRoundTrip(t *testing.T) {
+	db := snapshotDB(t)
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := writeSnapshot(db, path); err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	restored := exec.NewDatabase()
+	if err := restored.LoadSnapshot(f); err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	tbl, err := restored.Table("catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("restored %d rows, want 1", tbl.Len())
+	}
+}
+
+// TestWriteSnapshotReportsFailure is the regression for the bug the
+// errdrop extension caught: failures on the save path used to be
+// swallowed (`_ = f.Close()`, no else branch), so the daemon could
+// claim a snapshot it never wrote. Any error must now surface.
+func TestWriteSnapshotReportsFailure(t *testing.T) {
+	db := snapshotDB(t)
+	missing := filepath.Join(t.TempDir(), "no-such-dir", "snap.json")
+	if err := writeSnapshot(db, missing); err == nil {
+		t.Fatal("writeSnapshot into a missing directory reported success")
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"testing"
+)
+
+// TestJSONFindingSchema pins the NDJSON record shape CI consumes:
+// exactly these five fields, these names, these types.
+func TestJSONFindingSchema(t *testing.T) {
+	rec := jsonFinding{File: "a/b.go", Line: 7, Col: 3, Analyzer: "errdrop", Message: "dropped"}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"a/b.go","line":7,"col":3,"analyzer":"errdrop","message":"dropped"}`
+	if string(data) != want {
+		t.Errorf("schema drift:\n got %s\nwant %s", data, want)
+	}
+}
+
+// TestJSONOutputEndToEnd runs the linter with -json over a fixture
+// package known to contain findings and asserts every stdout line is a
+// parseable record with the full schema, and that the finding exit
+// code survives the output-mode switch.
+func TestJSONOutputEndToEnd(t *testing.T) {
+	cmd := exec.Command("go", "run", ".", "-json", "-only", "errdrop",
+		"./internal/analysis/testdata/src/errdrop")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	exitErr, ok := err.(*exec.ExitError)
+	if !ok || exitErr.ExitCode() != 1 {
+		t.Fatalf("want exit code 1 (findings present), got err=%v stderr=%s", err, stderr.String())
+	}
+	n := 0
+	sc := bufio.NewScanner(&stdout)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec jsonFinding
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("line %d is not a JSON record: %v\n%s", n+1, err, line)
+		}
+		if rec.File == "" || rec.Line <= 0 || rec.Col <= 0 || rec.Analyzer != "errdrop" || rec.Message == "" {
+			t.Errorf("incomplete record: %+v", rec)
+		}
+		// No extra fields: re-marshal must reproduce the line exactly.
+		round, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(round, line) {
+			t.Errorf("record has fields outside the schema:\n got %s\nwant %s", line, round)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no findings emitted; the errdrop fixture should produce several")
+	}
+}

@@ -11,25 +11,52 @@
 // ("./...", "./internal/federation", "./internal/..."); the default is
 // "./...". Flags:
 //
-//	-list       print the analyzers and exit
-//	-only a,b   run only the named analyzers
-//	-v          print a per-package progress line
+//	-list             print the analyzers and exit
+//	-only a,b         run only the named analyzers
+//	-v                print a per-package progress line
+//	-json             emit findings as NDJSON records instead of text
+//	-timings          print load + per-analyzer wall times to stderr
+//	-write-lockorder  regenerate internal/analysis/lockorder.golden and exit
+//
+// The lockorder analyzer diffs the observed lock graph against the
+// blessed dump only on whole-module runs (no patterns, or "./...");
+// partial loads see a partial graph and would report every unloaded
+// edge as stale.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"cohera/internal/analysis"
 )
+
+// lockOrderGoldenRel locates the blessed lock-order dump inside the
+// module.
+const lockOrderGoldenRel = "internal/analysis/lockorder.golden"
+
+// jsonFinding is the -json record schema CI consumes: one object per
+// line, stable field names.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	list := flag.Bool("list", false, "print the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
 	verbose := flag.Bool("v", false, "print a per-package progress line")
+	asJSON := flag.Bool("json", false, "emit findings as NDJSON records")
+	timings := flag.Bool("timings", false, "print load and per-analyzer wall times to stderr")
+	writeLockOrder := flag.Bool("write-lockorder", false, "regenerate "+lockOrderGoldenRel+" from the observed graph and exit")
 	flag.Parse()
 
 	if *list {
@@ -47,14 +74,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	loadStart := time.Now()
 	pkgs, err := loader.Load(flag.Args()...)
 	if err != nil {
 		fatal(err)
 	}
+	loadElapsed := time.Since(loadStart)
 	if *verbose {
 		for _, p := range pkgs {
 			fmt.Fprintf(os.Stderr, "coheralint: loaded %s (%d files)\n", p.Path, len(p.Files))
 		}
+	}
+
+	if *writeLockOrder {
+		path := filepath.Join(root, lockOrderGoldenRel)
+		content := analysis.FormatLockEdges(analysis.ComputeLockEdges(pkgs))
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "coheralint: wrote %s\n", lockOrderGoldenRel)
+		return
+	}
+	if wholeModule(flag.Args()) {
+		analysis.LockOrderGoldenFile = filepath.Join(root, lockOrderGoldenRel)
 	}
 
 	suite := analysis.DefaultSuite()
@@ -76,12 +118,28 @@ func main() {
 		suite = filtered
 	}
 
-	diags := analysis.Run(pkgs, suite)
+	diags, perAnalyzer := analysis.RunTimed(pkgs, suite)
+	if *timings || *verbose {
+		fmt.Fprintf(os.Stderr, "coheralint: loaded %d packages in %v\n", len(pkgs), loadElapsed.Round(time.Millisecond))
+		for _, tm := range perAnalyzer {
+			fmt.Fprintf(os.Stderr, "coheralint: %-12s %8v\n", tm.Name, tm.Elapsed.Round(time.Microsecond))
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		// Report paths relative to the module root for stable output.
 		pos := d.Pos
-		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			pos.Filename = rel
+		}
+		if *asJSON {
+			if err := enc.Encode(jsonFinding{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			}); err != nil {
+				fatal(err)
+			}
+			continue
 		}
 		fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
 	}
@@ -89,6 +147,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "coheralint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// wholeModule reports whether the patterns cover the entire module, the
+// precondition for diffing the whole-program lock graph against the
+// blessed dump.
+func wholeModule(patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, p := range patterns {
+		if p == "./..." || p == "..." {
+			return true
+		}
+	}
+	return false
 }
 
 // findModuleRoot walks up from the working directory to the nearest

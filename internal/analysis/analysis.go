@@ -8,18 +8,25 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
-// Analyzer is one static check. Run inspects a single type-checked
-// package and reports findings through the pass.
+// Analyzer is one static check. Per-package analyzers set Run, which
+// inspects a single type-checked package; whole-program analyzers set
+// RunProgram instead, which sees every loaded package at once (the
+// shape a cross-package lock-order graph needs). Exactly one of the
+// two must be non-nil.
 type Analyzer struct {
 	// Name identifies the analyzer in reports and //lint:ignore
 	// directives.
 	Name string
 	// Doc is a one-line description shown by coheralint -list.
 	Doc string
-	// Run performs the analysis.
+	// Run performs a per-package analysis.
 	Run func(*Pass)
+	// RunProgram performs a whole-program analysis over every loaded
+	// package in one invocation.
+	RunProgram func(*ProgramPass)
 }
 
 // Pass carries one analyzer's view of one package plus the report sink.
@@ -47,6 +54,51 @@ func (p *Pass) ExprString(e ast.Expr) string {
 		return "<expr>"
 	}
 	return buf.String()
+}
+
+// ProgramPass carries a whole-program analyzer's view of every loaded
+// package plus the report sink.
+type ProgramPass struct {
+	// Pkgs are the packages under analysis, sorted by import path. They
+	// share one token.FileSet.
+	Pkgs []*Package
+
+	scopes   []string
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Fset returns the file set shared by every package in the pass (nil
+// when the pass is empty).
+func (p *ProgramPass) Fset() *token.FileSet {
+	if len(p.Pkgs) == 0 {
+		return nil
+	}
+	return p.Pkgs[0].Fset
+}
+
+// InScope reports whether findings in the given package should be
+// reported, per the Configured scopes the analyzer runs under. The
+// whole program is still visible for graph building; scopes only gate
+// reporting.
+func (p *ProgramPass) InScope(pkgPath string) bool {
+	return Configured{Scopes: p.scopes}.applies(pkgPath)
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportAt(p.Fset().Position(pos), format, args...)
+}
+
+// ReportAt records a finding at an already-resolved position — the
+// hook for diagnostics anchored outside loaded sources (a stale line
+// in a golden file).
+func (p *ProgramPass) ReportAt(pos token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // Diagnostic is one finding, keyed by resolved file:line:col.
@@ -82,24 +134,57 @@ func (c Configured) applies(pkgPath string) bool {
 	return false
 }
 
+// Timing is one analyzer's cumulative wall time across every package
+// it ran on.
+type Timing struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // Run executes every configured analyzer over every package, applies
 // //lint:ignore directives, and returns the surviving diagnostics sorted
 // by position. Malformed directives (no reason) are reported under the
 // reserved analyzer name "lintdir".
 func Run(pkgs []*Package, suite []Configured) []Diagnostic {
+	diags, _ := RunTimed(pkgs, suite)
+	return diags
+}
+
+// RunTimed is Run plus per-analyzer wall times, in suite order — the
+// numbers coheralint prints so the gate's latency budget stays visible
+// as the suite grows.
+func RunTimed(pkgs []*Package, suite []Configured) ([]Diagnostic, []Timing) {
 	var diags []Diagnostic
 	var ignores []ignoreDirective
+	elapsed := make(map[string]time.Duration)
 	for _, pkg := range pkgs {
 		dirs, bad := collectIgnores(pkg)
 		ignores = append(ignores, dirs...)
 		diags = append(diags, bad...)
 		for _, cfg := range suite {
-			if !cfg.applies(pkg.Path) {
+			if cfg.Analyzer.Run == nil || !cfg.applies(pkg.Path) {
 				continue
 			}
 			pass := &Pass{Pkg: pkg, analyzer: cfg.Analyzer, diags: &diags}
+			start := time.Now()
 			cfg.Analyzer.Run(pass)
+			elapsed[cfg.Analyzer.Name] += time.Since(start)
 		}
+	}
+	// Whole-program analyzers run once, after every package's ignore
+	// directives are on the table.
+	for _, cfg := range suite {
+		if cfg.Analyzer.RunProgram == nil {
+			continue
+		}
+		pass := &ProgramPass{Pkgs: pkgs, scopes: cfg.Scopes, analyzer: cfg.Analyzer, diags: &diags}
+		start := time.Now()
+		cfg.Analyzer.RunProgram(pass)
+		elapsed[cfg.Analyzer.Name] += time.Since(start)
+	}
+	var timings []Timing
+	for _, cfg := range suite {
+		timings = append(timings, Timing{Name: cfg.Analyzer.Name, Elapsed: elapsed[cfg.Analyzer.Name]})
 	}
 	kept := diags[:0]
 	for _, d := range diags {
@@ -120,7 +205,7 @@ func Run(pkgs []*Package, suite []Configured) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept
+	return kept, timings
 }
 
 // ignoreDirective is one parsed //lint:ignore comment. It suppresses
@@ -186,7 +271,7 @@ func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
 func DefaultSuite() []Configured {
 	return []Configured{
 		{Analyzer: LockSafe},
-		{Analyzer: ErrDrop, Scopes: []string{"internal/"}},
+		{Analyzer: ErrDrop, Scopes: []string{"internal/", "cmd/coherad"}},
 		{Analyzer: CtxLeak, Scopes: []string{
 			"internal/federation", "internal/remote", "internal/wrapper",
 			"internal/mview", "internal/warehouse", "internal/cache",
@@ -197,10 +282,13 @@ func DefaultSuite() []Configured {
 			"internal/storage", "internal/exec", "internal/wrapper",
 			"internal/remote", "internal/federation", "internal/bench",
 		}},
+		{Analyzer: LockOrder},
+		{Analyzer: GoroLeak, Scopes: []string{"internal/", "cmd/coherad"}},
+		{Analyzer: AtomicMix, Scopes: []string{"internal/", "cmd/coherad"}},
 	}
 }
 
 // Analyzers returns the full suite without scoping, for -list and tests.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockSafe, ErrDrop, CtxLeak, SleepSync, BodyClose, StreamClose}
+	return []*Analyzer{LockSafe, ErrDrop, CtxLeak, SleepSync, BodyClose, StreamClose, LockOrder, GoroLeak, AtomicMix}
 }

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix enforces two disciplines on shared state:
+//
+//  1. A struct field is either atomic or lock-protected, never both:
+//     once any access site uses sync/atomic on `&x.f`, every plain
+//     load or store of f races with it (the race detector only sees
+//     schedules that run; this sees the mix statically). Typed
+//     atomics (atomic.Int64 etc.) make the mix unrepresentable and
+//     are the preferred fix.
+//
+//  2. A blocking channel send in library code must be cancellable:
+//     wrapped in a select with a ctx.Done()/stop-channel case or a
+//     default. An unconditional send blocks forever when the receiver
+//     has gone away — the slow-consumer hang the paper's fan-out
+//     mediator cannot afford. Sends on channels made in the same
+//     function are exempt (the function owns both ends of the
+//     rendezvous).
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed both atomically and plainly; uncancellable channel sends",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		checkAtomicPlainMix(p, f)
+		checkUnguardedSends(p, f)
+	}
+}
+
+// checkAtomicPlainMix flags fields that appear both as sync/atomic
+// operands and in plain selector accesses within the file's package.
+func checkAtomicPlainMix(p *Pass, f *ast.File) {
+	// Pass 1: fields used as &x.f arguments to atomic.* calls.
+	atomicFields := make(map[types.Object]bool)
+	atomicOperand := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicCall(p, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if obj := selectedField(p, sel); obj != nil {
+				atomicFields[obj] = true
+				atomicOperand[sel] = true
+			}
+		}
+		return true
+	})
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Pass 2: plain accesses to those fields.
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || atomicOperand[sel] {
+			return true
+		}
+		if obj := selectedField(p, sel); obj != nil && atomicFields[obj] {
+			p.Reportf(sel.Pos(), "field %q is accessed with sync/atomic elsewhere; this plain access races with the atomic path (use a typed atomic or go all-plain under a lock)", obj.Name())
+		}
+		return true
+	})
+}
+
+// isAtomicCall reports whether call is a sync/atomic package function.
+func isAtomicCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !isPackageIdent(p, sel.X, "sync/atomic") {
+		return false
+	}
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(sel.Sel.Name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// selectedField resolves a selector to the struct field it denotes
+// (nil for methods, package members, and locals).
+func selectedField(p *Pass, sel *ast.SelectorExpr) types.Object {
+	s, ok := p.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}
+
+// checkUnguardedSends flags channel sends that can block forever.
+func checkUnguardedSends(p *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		local := localChannels(p, fd.Body)
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			ast.Inspect(n, func(x ast.Node) bool {
+				switch t := x.(type) {
+				case *ast.SelectStmt:
+					guarded := selectIsGuarded(p, t)
+					for _, c := range t.Body.List {
+						cc := c.(*ast.CommClause)
+						if send, ok := cc.Comm.(*ast.SendStmt); ok && !guarded && !isLocalChan(p, send.Chan, local) {
+							reportSend(p, send)
+						}
+						// Clause bodies restart the analysis: a send
+						// there is not covered by this select's guard.
+						for _, st := range cc.Body {
+							walk(st)
+						}
+					}
+					return false
+				case *ast.SendStmt:
+					if !isLocalChan(p, t.Chan, local) {
+						reportSend(p, t)
+					}
+					return true
+				}
+				return true
+			})
+		}
+		walk(fd.Body)
+	}
+}
+
+func reportSend(p *Pass, send *ast.SendStmt) {
+	p.Reportf(send.Pos(), "unconditional send on %s can block forever if the receiver is gone; select on it with a ctx.Done()/stop case", p.ExprString(send.Chan))
+}
+
+// selectIsGuarded reports whether a select statement can always make
+// progress without the send landing: it has a default case or a
+// cancellation receive.
+func selectIsGuarded(p *Pass, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc := c.(*ast.CommClause)
+		if cc.Comm == nil {
+			return true // default case
+		}
+		var recv ast.Expr
+		switch t := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if un, ok := ast.Unparen(t.X).(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+				recv = un.X
+			}
+		case *ast.AssignStmt:
+			if len(t.Rhs) == 1 {
+				if un, ok := ast.Unparen(t.Rhs[0]).(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+					recv = un.X
+				}
+			}
+		}
+		if recv == nil {
+			continue
+		}
+		if call, ok := ast.Unparen(recv).(*ast.CallExpr); ok && isJoinCall(p, call) {
+			return true // <-ctx.Done()
+		}
+		if isStopChannel(p, recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// localChannels collects channel variables created by make() in this
+// function: the function owns both ends, so its sends pair with its
+// own receives (scatter-gather workers, buffered error slots).
+func localChannels(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	local := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isIdent(call.Fun, "make") || len(call.Args) == 0 {
+				continue
+			}
+			if t := p.Pkg.Info.TypeOf(call.Args[0]); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); !isChan {
+					continue
+				}
+			}
+			if i < len(assign.Lhs) {
+				if id, ok := assign.Lhs[i].(*ast.Ident); ok {
+					if obj := p.Pkg.Info.Defs[id]; obj != nil {
+						local[obj] = true
+					} else if obj := p.Pkg.Info.Uses[id]; obj != nil {
+						local[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return local
+}
+
+// isLocalChan reports whether the send target is one of the
+// function's own make()d channels.
+func isLocalChan(p *Pass, ch ast.Expr, local map[types.Object]bool) bool {
+	id, ok := ast.Unparen(ch).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj := p.Pkg.Info.Uses[id]; obj != nil && local[obj] {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseDirectiveFixture builds a minimal Package (Fset + Files only —
+// all collectIgnores needs) from inline source.
+func parseDirectiveFixture(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "x/dir", Fset: fset, Files: []*ast.File{f}}
+}
+
+// TestIgnoreDirectiveBlockComment pins that the block-comment form is
+// NOT a directive: only `//lint:ignore` line comments count, so a
+// /*lint:ignore*/ neither suppresses anything nor reports as
+// malformed — it is just a comment.
+func TestIgnoreDirectiveBlockComment(t *testing.T) {
+	pkg := parseDirectiveFixture(t, `package p
+
+/*lint:ignore errdrop block comments are not directives*/
+func f() {}
+`)
+	dirs, bad := collectIgnores(pkg)
+	if len(dirs) != 0 {
+		t.Errorf("block comment parsed as %d directive(s), want 0", len(dirs))
+	}
+	if len(bad) != 0 {
+		t.Errorf("block comment reported as %d malformed directive(s), want 0", len(bad))
+	}
+}
+
+// TestIgnoreDirectiveMultiplePerLine pins the one-directive-per-comment
+// contract: a second //lint:ignore inside the same comment is swallowed
+// into the first directive's reason, so only the first analyzer is
+// suppressed.
+func TestIgnoreDirectiveMultiplePerLine(t *testing.T) {
+	pkg := parseDirectiveFixture(t, `package p
+
+func f() {
+	_ = 1 //lint:ignore errdrop reason one //lint:ignore sleepsync reason two
+}
+`)
+	dirs, bad := collectIgnores(pkg)
+	if len(bad) != 0 {
+		t.Fatalf("got %d malformed directives, want 0", len(bad))
+	}
+	if len(dirs) != 1 {
+		t.Fatalf("got %d directives, want 1 (second //lint:ignore is part of the first's reason)", len(dirs))
+	}
+	if dirs[0].analyzer != "errdrop" {
+		t.Errorf("directive analyzer = %q, want %q", dirs[0].analyzer, "errdrop")
+	}
+	diagAt := func(analyzer string, line int) Diagnostic {
+		return Diagnostic{Analyzer: analyzer, Pos: token.Position{Filename: "dir.go", Line: line}}
+	}
+	if !suppressed(diagAt("errdrop", 4), dirs) {
+		t.Error("errdrop on the directive line should be suppressed")
+	}
+	if suppressed(diagAt("sleepsync", 4), dirs) {
+		t.Error("sleepsync must not be suppressed by a directive naming errdrop")
+	}
+}
+
+// TestIgnoreDirectivePlacement pins the two blessed positions — end of
+// the offending line, or the whole line directly above — and that two
+// lines below, other files, and other analyzers stay unsuppressed.
+func TestIgnoreDirectivePlacement(t *testing.T) {
+	pkg := parseDirectiveFixture(t, `package p
+
+func f() {
+	//lint:ignore errdrop the line below is covered
+	_ = 1
+	_ = 2
+}
+`)
+	dirs, bad := collectIgnores(pkg)
+	if len(bad) != 0 || len(dirs) != 1 {
+		t.Fatalf("got %d directives / %d malformed, want 1 / 0", len(dirs), len(bad))
+	}
+	cases := []struct {
+		name     string
+		diag     Diagnostic
+		wantSupp bool
+	}{
+		{"directive line itself", Diagnostic{Analyzer: "errdrop", Pos: token.Position{Filename: "dir.go", Line: 4}}, true},
+		{"line directly below", Diagnostic{Analyzer: "errdrop", Pos: token.Position{Filename: "dir.go", Line: 5}}, true},
+		{"two lines below", Diagnostic{Analyzer: "errdrop", Pos: token.Position{Filename: "dir.go", Line: 6}}, false},
+		{"other file", Diagnostic{Analyzer: "errdrop", Pos: token.Position{Filename: "other.go", Line: 5}}, false},
+		{"other analyzer", Diagnostic{Analyzer: "sleepsync", Pos: token.Position{Filename: "dir.go", Line: 5}}, false},
+		{"lintdir is never suppressed", Diagnostic{Analyzer: "lintdir", Pos: token.Position{Filename: "dir.go", Line: 4}}, false},
+	}
+	for _, tc := range cases {
+		if got := suppressed(tc.diag, dirs); got != tc.wantSupp {
+			t.Errorf("%s: suppressed = %v, want %v", tc.name, got, tc.wantSupp)
+		}
+	}
+}
+
+// TestIgnoreDirectiveWildcard pins the "*" analyzer wildcard.
+func TestIgnoreDirectiveWildcard(t *testing.T) {
+	pkg := parseDirectiveFixture(t, `package p
+
+func f() {
+	_ = 1 //lint:ignore * everything on this line is acknowledged
+}
+`)
+	dirs, bad := collectIgnores(pkg)
+	if len(bad) != 0 || len(dirs) != 1 {
+		t.Fatalf("got %d directives / %d malformed, want 1 / 0", len(dirs), len(bad))
+	}
+	for _, analyzer := range []string{"errdrop", "lockorder", "atomicmix"} {
+		d := Diagnostic{Analyzer: analyzer, Pos: token.Position{Filename: "dir.go", Line: 4}}
+		if !suppressed(d, dirs) {
+			t.Errorf("wildcard directive did not suppress %s", analyzer)
+		}
+	}
+}

@@ -27,6 +27,28 @@
 //     layers (storage, exec, wrapper, remote, federation, bench) that
 //     is never Closed and does not escape — leaked streams pin pooled
 //     batches, producer goroutines and remote response bodies.
+//   - lockorder: whole-program lock-acquisition graph over named
+//     sync.Mutex/RWMutex locks — an edge A -> B is recorded whenever B
+//     is acquired while A is held, interprocedurally and through
+//     callbacks run under a lock (the journal Group.Execute pattern).
+//     Cycles are potential deadlocks and always fail; the full edge
+//     set is diffed against the blessed dump in lockorder.golden so a
+//     new ordering is reviewed (coheralint -write-lockorder), never
+//     silently adopted. errdrop also covers the related write-path
+//     hazard: `defer f.Close()` on a file opened for writing swallows
+//     the flush error — silent data loss on WAL-style paths.
+//   - goroleak: every `go` statement must be joined — its body (or the
+//     same-package function it calls) must reach a WaitGroup
+//     Done/Wait, a stop/done/quit channel receive, a select on
+//     ctx.Done(), a `for range` over a channel, or a process exit.
+//     Unjoined goroutines outlive their owners; targets declared
+//     outside the package are reported for explicit annotation.
+//   - atomicmix: a struct field accessed both through sync/atomic and
+//     by plain loads/stores (the mix is a data race the race detector
+//     only catches on schedules that run), and unconditional channel
+//     sends in library code that can block forever when the receiver
+//     is gone — sends must sit in a select with a ctx.Done()/stop
+//     case or a default, unless the function made the channel itself.
 //
 // Diagnostics are keyed file:line:col and can be suppressed with a
 // directive comment on the same line or the line directly above:

@@ -3,15 +3,20 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // ErrDrop flags discarded error results: an error assigned to the blank
 // identifier, or a bare call statement whose results include an error.
 // Deferred and go-routine calls are exempt (idiomatic defer Close), as
-// is reassigning one error variable to another. Writers documented never
-// to fail (strings.Builder, bytes.Buffer) and the fmt print family are
-// exempt too — flagging them buries real drops in noise. Deliberate
-// drops must be annotated //lint:ignore errdrop <reason>.
+// is reassigning one error variable to another — with one exception:
+// `defer f.Close()` on a file opened for writing. A write-side Close
+// flushes buffered data, and a swallowed failure there is silent data
+// loss (the WAL-fsync discipline journal.go documents); those must
+// close explicitly and check. Writers documented never to fail
+// (strings.Builder, bytes.Buffer) and the fmt print family are exempt
+// too — flagging them buries real drops in noise. Deliberate drops
+// must be annotated //lint:ignore errdrop <reason>.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
 	Doc:  "error results discarded with _ or by a bare call statement",
@@ -28,10 +33,89 @@ func runErrDrop(p *Pass) {
 				if call, ok := st.X.(*ast.CallExpr); ok {
 					checkBareCall(p, call)
 				}
+			case *ast.FuncDecl:
+				if st.Body != nil {
+					checkDeferredWritableClose(p, st.Body)
+				}
 			}
 			return true
 		})
 	}
+}
+
+// checkDeferredWritableClose flags `defer f.Close()` when f was opened
+// writable in the same function: os.Create always, os.OpenFile when
+// its flag argument requests writing (or cannot be read statically).
+func checkDeferredWritableClose(p *Pass, body *ast.BlockStmt) {
+	// Pass 1: variables bound to writable opens.
+	writable := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isWritableOpen(p, call) {
+			return true
+		}
+		if id, ok := assign.Lhs[0].(*ast.Ident); ok {
+			if obj := p.Pkg.Info.Defs[id]; obj != nil {
+				writable[obj] = true
+			} else if obj := p.Pkg.Info.Uses[id]; obj != nil {
+				writable[obj] = true
+			}
+		}
+		return true
+	})
+	if len(writable) == 0 {
+		return
+	}
+	// Pass 2: deferred Closes on those variables.
+	ast.Inspect(body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := def.Call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := p.Pkg.Info.Uses[id]; obj != nil && writable[obj] {
+			p.Reportf(def.Pos(), "defer %s.Close() on a writable file discards the close error; buffered writes can fail at close — close explicitly and check", id.Name)
+		}
+		return true
+	})
+}
+
+// isWritableOpen reports whether a call opens a file for writing.
+func isWritableOpen(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !isPackageIdent(p, sel.X, "os") {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Create", "CreateTemp":
+		return true
+	case "OpenFile":
+		if len(call.Args) < 2 {
+			return false
+		}
+		flags := p.ExprString(call.Args[1])
+		for _, w := range []string{"WRONLY", "RDWR", "APPEND", "CREATE", "TRUNC"} {
+			if strings.Contains(flags, w) {
+				return true
+			}
+		}
+		// A flag that names none of the write bits textually is either
+		// O_RDONLY or a variable we cannot see through; only the
+		// literal read-only form is provably safe.
+		return !strings.Contains(flags, "RDONLY")
+	}
+	return false
 }
 
 // checkAssign reports blank-assigned error results in one assignment.

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// GoroLeak requires every `go` statement to be joined: the spawned
+// body (or the same-package function it calls, followed through
+// same-package helpers) must contain one of the recognized lifecycle
+// signals — a sync.WaitGroup Done/Wait, a receive from a stop/done
+// channel, a select on ctx.Done(), a `for range` over a channel (which
+// ends when the channel closes), or a process-terminating call
+// (os.Exit, log.Fatal*). A goroutine with none of these can outlive
+// its owner: daemons that never stop, gathers that strand producers,
+// tests that pass while leaking. Targets declared outside the package
+// cannot be verified and are reported for explicit annotation.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutines with no join: no WaitGroup, stop channel, or ctx.Done() select",
+	Run:  runGoroLeak,
+}
+
+// stopChanRE matches channel names that conventionally signal
+// termination.
+var stopChanRE = regexp.MustCompile(`(?i)stop|done|quit|exit|clos`)
+
+func runGoroLeak(p *Pass) {
+	decls := packageFuncDecls(p.Pkg)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, name := goroBody(p, g.Call, decls)
+			if body == nil {
+				p.Reportf(g.Pos(), "goroutine runs %s, declared outside this package; cannot verify it is joined (annotate with //lint:ignore goroleak <why it terminates>)", name)
+				return true
+			}
+			visited := map[*ast.BlockStmt]bool{}
+			if !goroJoined(p, body, decls, visited) {
+				p.Reportf(g.Pos(), "goroutine is never joined: tie it to a WaitGroup, a stop/close channel, or a select on ctx.Done()")
+			}
+			return true
+		})
+	}
+}
+
+// packageFuncDecls indexes the package's function declarations by
+// their type object, for resolving `go name(...)` targets.
+func packageFuncDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// goroBody resolves the spawned call to an analyzable body: a literal,
+// or a same-package declaration. name describes the target when the
+// body is out of reach.
+func goroBody(p *Pass, call *ast.CallExpr, decls map[*types.Func]*ast.FuncDecl) (*ast.BlockStmt, string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, ""
+	case *ast.Ident:
+		if f, ok := p.Pkg.Info.Uses[fun].(*types.Func); ok {
+			if fd := decls[f]; fd != nil {
+				return fd.Body, ""
+			}
+			return nil, f.Name()
+		}
+		return nil, fun.Name
+	case *ast.SelectorExpr:
+		var f *types.Func
+		if sel, ok := p.Pkg.Info.Selections[fun]; ok {
+			f, _ = sel.Obj().(*types.Func)
+		} else if obj, ok := p.Pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			f = obj
+		}
+		if f != nil {
+			if fd := decls[f]; fd != nil {
+				return fd.Body, ""
+			}
+			return nil, f.Name()
+		}
+		return nil, p.ExprString(fun)
+	}
+	return nil, p.ExprString(call.Fun)
+}
+
+// goroJoined scans a goroutine body (following same-package calls) for
+// a lifecycle signal.
+func goroJoined(p *Pass, body *ast.BlockStmt, decls map[*types.Func]*ast.FuncDecl, visited map[*ast.BlockStmt]bool) bool {
+	if visited[body] {
+		return false
+	}
+	visited[body] = true
+	joined := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isJoinCall(p, x) {
+				joined = true
+				return false
+			}
+			// Follow same-package helpers: the select-loop often lives
+			// one call down (`go func() { s.loop(ctx) }()`).
+			if fd := calleeDecl(p, x, decls); fd != nil && goroJoined(p, fd.Body, decls, visited) {
+				joined = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" && isStopChannel(p, x.X) {
+				joined = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if x.X != nil {
+				if t := p.Pkg.Info.TypeOf(x.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						joined = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return joined
+}
+
+// isJoinCall recognizes calls that bound a goroutine's lifetime:
+// WaitGroup Done/Wait, ctx.Done(), and process-terminating calls.
+func isJoinCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if isPackageIdent(p, sel.X, "os") && sel.Sel.Name == "Exit" {
+		return true
+	}
+	if isPackageIdent(p, sel.X, "log") && (sel.Sel.Name == "Fatal" || sel.Sel.Name == "Fatalf" || sel.Sel.Name == "Fatalln") {
+		return true
+	}
+	if isPackageIdent(p, sel.X, "runtime") && sel.Sel.Name == "Goexit" {
+		return true
+	}
+	m, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || m.Pkg() == nil {
+		return false
+	}
+	recv := recvTypeOf(m)
+	switch {
+	case m.Pkg().Path() == "sync" && isNamedIn(recv, "sync", "WaitGroup") &&
+		(sel.Sel.Name == "Done" || sel.Sel.Name == "Wait"):
+		return true
+	case m.Pkg().Path() == "context" && sel.Sel.Name == "Done" && isNamedIn(recv, "context", "Context"):
+		return true
+	}
+	return false
+}
+
+// isStopChannel reports whether the receive operand is named like a
+// termination channel (stopCh, done, quit, closing, ...).
+func isStopChannel(p *Pass, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return stopChanRE.MatchString(x.Name)
+	case *ast.SelectorExpr:
+		return stopChanRE.MatchString(x.Sel.Name)
+	case *ast.CallExpr:
+		// ctx.Done() receives are join calls already; any other
+		// channel-returning accessor counts by its method name.
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+			return stopChanRE.MatchString(sel.Sel.Name)
+		}
+	}
+	return false
+}
+
+// calleeDecl resolves a call to a same-package function declaration.
+func calleeDecl(p *Pass, call *ast.CallExpr, decls map[*types.Func]*ast.FuncDecl) *ast.FuncDecl {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.Pkg.Info.Uses[fun].(*types.Func); ok {
+			return decls[f]
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Pkg.Info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return decls[f]
+			}
+		}
+	}
+	return nil
+}
+
+// recvTypeOf returns the receiver type of a method (nil for
+// functions), pointer stripped.
+func recvTypeOf(m *types.Func) types.Type {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return derefType(sig.Recv().Type())
+}

@@ -7,10 +7,14 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked, non-test package of the module.
@@ -33,12 +37,13 @@ type Package struct {
 // loading the imported directory recursively; everything else is
 // delegated to the compiler's export data.
 type Loader struct {
-	root   string // module root (absolute)
-	module string // module path from go.mod
-	fset   *token.FileSet
-	std    types.Importer
-	pkgs   map[string]*Package // memoized by import path
-	busy   map[string]bool     // import-cycle guard
+	root      string // module root (absolute)
+	module    string // module path from go.mod
+	fset      *token.FileSet
+	std       types.Importer
+	pkgs      map[string]*Package    // memoized by import path
+	busy      map[string]bool        // import-cycle guard
+	preparsed map[string][]*ast.File // parse-phase results by directory
 }
 
 // NewLoader creates a loader for the module rooted at root. The module
@@ -52,14 +57,46 @@ func NewLoader(root string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
+	fset := token.NewFileSet()
 	return &Loader{
-		root:   abs,
-		module: mod,
-		fset:   token.NewFileSet(),
-		std:    importer.Default(),
-		pkgs:   make(map[string]*Package),
-		busy:   make(map[string]bool),
+		root:      abs,
+		module:    mod,
+		fset:      fset,
+		std:       newStdImporter(abs, fset),
+		pkgs:      make(map[string]*Package),
+		busy:      make(map[string]bool),
+		preparsed: make(map[string][]*ast.File),
 	}, nil
+}
+
+// newStdImporter returns the importer used for standard-library
+// packages. importer.Default() shells out to the go command once per
+// imported package — dozens of sequential subprocess launches per lint
+// run, which dominated load time. Instead, resolve every std export
+// file in a single `go list` invocation and serve lookups straight
+// from that table. When the go command is unavailable the default
+// importer remains the fallback.
+func newStdImporter(root string, fset *token.FileSet) types.Importer {
+	cmd := exec.Command("go", "list", "-export", "-f", "{{.ImportPath}}={{.Export}}", "std")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		return importer.Default()
+	}
+	exports := make(map[string]string)
+	for _, line := range strings.Split(string(out), "\n") {
+		if path, file, ok := strings.Cut(line, "="); ok && file != "" {
+			exports[path] = file
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
 }
 
 // Module returns the module path the loader resolves internal imports
@@ -130,8 +167,16 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			return nil, fmt.Errorf("analysis: walking %s: %w", base, err)
 		}
 	}
-	var out []*Package
+	sorted := make([]string, 0, len(dirs))
 	for dir := range dirs {
+		sorted = append(sorted, dir)
+	}
+	sort.Strings(sorted)
+	if err := l.preparse(sorted); err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range sorted {
 		pkg, err := l.LoadDir(dir)
 		if err != nil {
 			return nil, err
@@ -140,6 +185,61 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
+}
+
+// preparse parses the sources of every directory concurrently across
+// GOMAXPROCS workers and stashes the results for load to pick up.
+// token.FileSet is safe for concurrent use, so the parse phase — which
+// touches every byte of every file — fans out freely; type-checking
+// stays sequential because the checker, its Info maps, and this
+// loader's memoization are not.
+func (l *Loader) preparse(dirs []string) error {
+	type job struct {
+		dir, path string
+	}
+	var jobs []job
+	for _, dir := range dirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("analysis: %w", err)
+		}
+		for _, e := range ents {
+			if !e.IsDir() && isSourceFile(e.Name()) {
+				jobs = append(jobs, job{dir: dir, path: filepath.Join(dir, e.Name())})
+			}
+		}
+	}
+	parsed := make([]*ast.File, len(jobs))
+	errs := make([]error, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				parsed[i], errs[i] = parser.ParseFile(l.fset, jobs[i].path, nil, parser.ParseComments)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("analysis: %w", err)
+		}
+		// jobs preserve ReadDir's sorted order, so per-directory file
+		// order matches the sequential path exactly.
+		l.preparsed[jobs[i].dir] = append(l.preparsed[jobs[i].dir], parsed[i])
+	}
+	return nil
 }
 
 // hasGoFiles reports whether dir directly contains at least one non-test
@@ -213,20 +313,24 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	l.busy[path] = true
 	defer delete(l.busy, path)
 
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("analysis: %w", err)
-	}
-	var files []*ast.File
-	for _, e := range ents {
-		if e.IsDir() || !isSourceFile(e.Name()) {
-			continue
-		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+	files := l.preparsed[dir]
+	if files == nil {
+		// Not covered by a preparse pass (LoadDir on a fixture, or an
+		// internal import pulled in as a dependency): parse inline.
+		ents, err := os.ReadDir(dir)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
 		}
-		files = append(files, f)
+		for _, e := range ents {
+			if e.IsDir() || !isSourceFile(e.Name()) {
+				continue
+			}
+			f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			files = append(files, f)
+		}
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("analysis: no Go sources in %s", dir)

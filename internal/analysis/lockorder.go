@@ -1,0 +1,741 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a whole-program lock-acquisition graph over named
+// sync.Mutex/sync.RWMutex locks (struct fields and package-level vars)
+// and reports every cycle as a potential deadlock: two call paths that
+// acquire the same pair of locks in opposite order can each hold one
+// half and wait forever on the other. The graph is interprocedural —
+// an edge A -> B is recorded when B is acquired while A is held,
+// whether B's acquisition is textually inline, inside a callee, or
+// inside a function value invoked by a callee that holds A (the
+// journal Group.Execute/Drain/Exclusive pattern). Goroutine bodies
+// start with an empty held set: a `go` statement does not hold the
+// spawner's locks.
+//
+// Beyond cycles, the observed edge set is compared against a blessed,
+// checked-in dump (see LockOrderGoldenFile): a new edge is reported so
+// it gets reviewed — and added to the dump or restructured away — and
+// a blessed edge that disappeared is reported so the dump never rots.
+// Regenerate with `coheralint -write-lockorder`.
+//
+// The analysis is flow-insensitive within a function (an acquisition
+// is considered held until its textual Unlock or function end;
+// deferred unlocks hold to the end) and cannot see through interface
+// method calls or function values stored in fields. Locks without a
+// nameable identity (local mutexes, anonymous structs) are skipped:
+// they cannot participate in a cross-function ordering contract.
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "cross-package lock-acquisition cycles (potential deadlocks) and unreviewed order edges",
+	RunProgram: runLockOrder,
+}
+
+// LockOrderGoldenFile, when non-empty, is the path of the blessed
+// lock-order edge dump the analyzer diffs the observed graph against.
+// cmd/coheralint points it at internal/analysis/lockorder.golden when
+// linting the real tree; fixture runs leave it empty (cycles only).
+var LockOrderGoldenFile string
+
+// LockEdge is one observed ordering: To was acquired while From was
+// held. Pos/Via witness the first observation.
+type LockEdge struct {
+	From, To string
+	// Via is the function the acquisition was observed in.
+	Via string
+	// Pos is the acquisition (or call) site.
+	Pos token.Position
+	// PkgPath is the import path of the package containing Pos, for
+	// scope filtering.
+	PkgPath string
+}
+
+func runLockOrder(p *ProgramPass) {
+	edges := ComputeLockEdges(p.Pkgs)
+	reportLockCycles(p, edges)
+	if LockOrderGoldenFile != "" {
+		diffLockGolden(p, edges, LockOrderGoldenFile)
+	}
+}
+
+// reportLockCycles finds strongly connected components of the edge
+// graph and reports every edge participating in one.
+func reportLockCycles(p *ProgramPass, edges []LockEdge) {
+	scc := lockSCCs(edges)
+	for _, e := range edges {
+		if !p.InScope(e.PkgPath) {
+			continue
+		}
+		if e.From == e.To {
+			p.ReportAt(e.Pos, "lock-order cycle: %s acquired while already held (self-deadlock)", e.From)
+			continue
+		}
+		if scc[e.From] != 0 && scc[e.From] == scc[e.To] {
+			p.ReportAt(e.Pos, "lock-order cycle: acquiring %s while holding %s closes a cycle among %s",
+				e.To, e.From, lockSCCNodes(scc, scc[e.From]))
+		}
+	}
+}
+
+// lockSCCs assigns each lock node a component id; nodes in components
+// of size >1 share an id, all others get 0 (acyclic).
+func lockSCCs(edges []LockEdge) map[string]int {
+	adj := make(map[string][]string)
+	for _, e := range edges {
+		if e.From != e.To {
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+	}
+	// Tarjan's algorithm, iterative enough for our graph sizes via
+	// recursion (lock graphs are tiny).
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	comp := make(map[string]int)
+	next, compID := 1, 0
+	var strong func(v string)
+	strong = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				compID++
+				for _, m := range members {
+					comp[m] = compID
+				}
+			}
+		}
+	}
+	keys := make([]string, 0, len(adj))
+	for k := range adj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if index[k] == 0 {
+			strong(k)
+		}
+	}
+	return comp
+}
+
+// lockSCCNodes renders one component's node set as "{a, b}" sorted.
+func lockSCCNodes(comp map[string]int, id int) string {
+	var names []string
+	for n, c := range comp {
+		if c == id {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// diffLockGolden reports edges missing from the blessed dump and
+// blessed edges no longer observed.
+func diffLockGolden(p *ProgramPass, edges []LockEdge, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		p.ReportAt(token.Position{Filename: path, Line: 1},
+			"lock-order golden dump unreadable: %v (regenerate with coheralint -write-lockorder)", err)
+		return
+	}
+	blessed := make(map[string]int) // "A -> B" → golden line
+	for i, line := range strings.Split(string(data), "\n") {
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		blessed[line] = i + 1
+	}
+	observed := make(map[string]bool)
+	for _, e := range edges {
+		key := e.From + " -> " + e.To
+		if observed[key] {
+			continue
+		}
+		observed[key] = true
+		if _, ok := blessed[key]; !ok && p.InScope(e.PkgPath) {
+			p.ReportAt(e.Pos, "new lock-order edge %s -> %s (in %s) is not in the blessed ordering; review for deadlock and regenerate with coheralint -write-lockorder",
+				e.From, e.To, e.Via)
+		}
+	}
+	var stale []string
+	for key := range blessed {
+		if !observed[key] {
+			stale = append(stale, key)
+		}
+	}
+	sort.Strings(stale)
+	for _, key := range stale {
+		p.ReportAt(token.Position{Filename: path, Line: blessed[key]},
+			"blessed lock-order edge %s is no longer observed; regenerate with coheralint -write-lockorder", key)
+	}
+}
+
+// FormatLockEdges renders edges in the golden-dump format: one
+// "From -> To" line per distinct edge, sorted, each annotated with its
+// first witness. The output is what -write-lockorder checks in.
+func FormatLockEdges(edges []LockEdge) string {
+	type w struct{ via string }
+	seen := make(map[string]w)
+	var keys []string
+	for _, e := range edges {
+		key := e.From + " -> " + e.To
+		if _, ok := seen[key]; !ok {
+			seen[key] = w{via: e.Via}
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# Blessed lock-acquisition ordering (generated by coheralint -write-lockorder).\n")
+	b.WriteString("# Each line is one observed edge: the right lock is acquired while the left\n")
+	b.WriteString("# is held. New edges fail the lint gate until reviewed into this file;\n")
+	b.WriteString("# a cycle among these edges fails the gate unconditionally.\n")
+	for _, key := range keys {
+		fmt.Fprintf(&b, "%-55s # via %s\n", key, seen[key].via)
+	}
+	return b.String()
+}
+
+// ---- graph construction ----
+
+// lockFuncNode is the per-function summary the interprocedural pass
+// builds.
+type lockFuncNode struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	name string
+	// acquires is the set of locks acquired directly in the body
+	// (including function-literal arguments, which run within calls the
+	// body makes — but excluding `go` bodies, which run concurrently).
+	acquires map[string]bool
+	// trans is acquires closed over callees.
+	trans map[string]bool
+	// callees are the module functions the body calls.
+	callees map[*types.Func]bool
+	// paramHeld is the union of lock sets held at call sites of
+	// func-typed parameters: the locks a callback passed to this
+	// function runs under.
+	paramHeld map[string]bool
+}
+
+// lockProg indexes every function declaration of the loaded program.
+type lockProg struct {
+	nodes map[*types.Func]*lockFuncNode
+	edges []LockEdge
+	seen  map[[2]string]bool
+}
+
+// ComputeLockEdges builds the program's lock-order edge list. Exported
+// for -write-lockorder and the golden test.
+func ComputeLockEdges(pkgs []*Package) []LockEdge {
+	prog := &lockProg{nodes: make(map[*types.Func]*lockFuncNode), seen: make(map[[2]string]bool)}
+	var order []*lockFuncNode
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &lockFuncNode{
+					pkg: pkg, decl: fd, name: lockFuncName(pkg, fd),
+					acquires:  make(map[string]bool),
+					callees:   make(map[*types.Func]bool),
+					paramHeld: make(map[string]bool),
+				}
+				prog.nodes[obj] = n
+				order = append(order, n)
+			}
+		}
+	}
+	// Phase A: per-function summaries (direct acquires, callees, locks
+	// held around func-param invocations).
+	for _, n := range order {
+		s := &lockSim{prog: prog, node: n, summarize: true}
+		s.walk(n.decl.Body)
+	}
+	// Transitive closure of acquires over the call graph.
+	for _, n := range order {
+		n.trans = make(map[string]bool, len(n.acquires))
+		for l := range n.acquires {
+			n.trans[l] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range order {
+			for callee := range n.callees {
+				cn := prog.nodes[callee]
+				if cn == nil {
+					continue
+				}
+				for l := range cn.trans {
+					if !n.trans[l] {
+						n.trans[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Phase B: re-simulate each body, emitting edges from the held set
+	// to direct acquisitions, callee closures, and callback arguments.
+	for _, n := range order {
+		s := &lockSim{prog: prog, node: n}
+		s.walk(n.decl.Body)
+	}
+	return prog.edges
+}
+
+func (pr *lockProg) emit(from, to string, pos token.Pos, n *lockFuncNode) {
+	key := [2]string{from, to}
+	if pr.seen[key] {
+		return
+	}
+	pr.seen[key] = true
+	pr.edges = append(pr.edges, LockEdge{
+		From: from, To: to, Via: n.name,
+		Pos: n.pkg.Fset.Position(pos), PkgPath: n.pkg.Path,
+	})
+}
+
+// lockSim walks one function body in source order, tracking the held
+// set. With summarize it fills the node's summary; without, it emits
+// edges using the completed summaries.
+type lockSim struct {
+	prog      *lockProg
+	node      *lockFuncNode
+	summarize bool
+	held      []string
+}
+
+func (s *lockSim) holding(l string) bool {
+	for _, h := range s.held {
+		if h == l {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *lockSim) acquire(l string, pos token.Pos) {
+	if s.summarize {
+		s.node.acquires[l] = true
+	} else {
+		for _, h := range s.held {
+			s.prog.emit(h, l, pos, s.node)
+		}
+		if s.holding(l) {
+			// Re-acquisition while held: a self-edge (self-deadlock for
+			// Mutex, writer-starvation deadlock for RWMutex readers).
+			s.prog.emit(l, l, pos, s.node)
+		}
+	}
+	if !s.holding(l) {
+		s.held = append(s.held, l)
+	}
+}
+
+func (s *lockSim) release(l string) {
+	for i, h := range s.held {
+		if h == l {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// walk descends n in source order, intercepting calls, defers, gos and
+// function literals.
+func (s *lockSim) walk(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch t := x.(type) {
+		case *ast.CallExpr:
+			s.call(t, false)
+			return false
+		case *ast.DeferStmt:
+			s.call(t.Call, true)
+			return false
+		case *ast.GoStmt:
+			// The goroutine runs concurrently: it does not hold the
+			// spawner's locks, and its acquisitions are not the
+			// spawner's. Its internal ordering is still analyzed.
+			if lit, ok := t.Call.Fun.(*ast.FuncLit); ok {
+				sub := &lockSim{prog: s.prog, node: s.node, summarize: s.summarize}
+				if s.summarize {
+					// A goroutine's acquires must not leak into the
+					// spawner's summary; give it a throwaway node that
+					// shares nothing but identity for edge reporting.
+					sub.node = &lockFuncNode{
+						pkg: s.node.pkg, decl: s.node.decl, name: s.node.name + " (goroutine)",
+						acquires:  make(map[string]bool),
+						callees:   make(map[*types.Func]bool),
+						paramHeld: make(map[string]bool),
+					}
+				}
+				sub.walk(lit.Body)
+			}
+			for _, arg := range t.Call.Args {
+				s.walk(arg)
+			}
+			return false
+		case *ast.FuncLit:
+			// A literal not consumed by a call we understand (assigned,
+			// returned, stored): analyze as an independent root.
+			sub := &lockSim{prog: s.prog, node: s.node, summarize: s.summarize}
+			sub.walk(t.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// call processes one call expression: mutex operations mutate the held
+// set; everything else records/emits via the callee's summary and
+// hands function-literal arguments the locks they will run under.
+func (s *lockSim) call(call *ast.CallExpr, deferred bool) {
+	if op, lock, ok := s.mutexOp(call); ok {
+		switch op {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			s.acquire(lock, call.Pos())
+		case "Unlock", "RUnlock":
+			if !deferred {
+				s.release(lock)
+			}
+			// Deferred unlocks run at function end: the lock stays held
+			// for everything that follows textually.
+		}
+		return
+	}
+	// Walk the callee expression first (x.f(y).g() — inner calls).
+	s.walk(call.Fun)
+
+	callee := s.calleeOf(call)
+	if callee != nil {
+		if s.summarize {
+			s.node.callees[callee] = true
+		} else if cn := s.prog.nodes[callee]; cn != nil && len(s.held) > 0 {
+			for _, h := range s.held {
+				for l := range cn.trans {
+					s.prog.emit(h, l, call.Pos(), s.node)
+				}
+			}
+		}
+	} else if s.summarize {
+		// Calling a func-typed parameter: remember the locks held here
+		// so callback arguments at our call sites inherit them.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if v, ok := s.node.pkg.Info.Uses[id].(*types.Var); ok && isFuncParam(s.node.decl, v) {
+				for _, h := range s.held {
+					s.node.paramHeld[h] = true
+				}
+			}
+		}
+	}
+
+	// Arguments: function literals run under the current held set plus
+	// whatever the callee holds when invoking its callbacks; named
+	// functions passed as values contribute their transitive acquires.
+	var calleeHeld []string
+	if !s.summarize && callee != nil {
+		if cn := s.prog.nodes[callee]; cn != nil {
+			for l := range cn.paramHeld {
+				calleeHeld = append(calleeHeld, l)
+			}
+			sort.Strings(calleeHeld)
+		}
+	}
+	for _, arg := range call.Args {
+		switch a := ast.Unparen(arg).(type) {
+		case *ast.FuncLit:
+			sub := &lockSim{prog: s.prog, node: s.node, summarize: s.summarize}
+			sub.held = append(sub.held, s.held...)
+			for _, l := range calleeHeld {
+				if !sub.holding(l) {
+					sub.held = append(sub.held, l)
+				}
+			}
+			sub.walk(a.Body)
+		default:
+			if !s.summarize {
+				if fn := s.funcValueOf(arg); fn != nil {
+					if an := s.prog.nodes[fn]; an != nil {
+						for l := range an.trans {
+							for _, h := range s.held {
+								s.prog.emit(h, l, arg.Pos(), s.node)
+							}
+							for _, h := range calleeHeld {
+								s.prog.emit(h, l, arg.Pos(), s.node)
+							}
+						}
+					}
+				}
+			}
+			s.walk(arg)
+		}
+	}
+}
+
+// calleeOf resolves a call to a concrete module function (nil for
+// interface methods, func values, builtins, and out-of-module calls).
+func (s *lockSim) calleeOf(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := s.node.pkg.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := s.node.pkg.Info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+		} else if f, ok := s.node.pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified call
+		}
+	}
+	return nil
+}
+
+// funcValueOf resolves an argument expression naming a function (a
+// func passed as a value, not called).
+func (s *lockSim) funcValueOf(arg ast.Expr) *types.Func {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		if f, ok := s.node.pkg.Info.Uses[a].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := s.node.pkg.Info.Uses[a.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex operation and
+// resolves the lock's stable identity. ok is false for non-mutex calls
+// and for locks with no nameable identity (locals, anonymous structs).
+func (s *lockSim) mutexOp(call *ast.CallExpr) (op, lock string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	m, isFn := s.node.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := m.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	rt := recv.Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	if !isNamedIn(rt, "sync", "Mutex") && !isNamedIn(rt, "sync", "RWMutex") {
+		return "", "", false
+	}
+	// Embedded mutexes: the selection path's field prefix names the
+	// embedded chain from the receiver expression's type.
+	var embedded []string
+	if selInfo, okSel := s.node.pkg.Info.Selections[sel]; okSel {
+		idx := selInfo.Index()
+		t := s.node.pkg.Info.TypeOf(sel.X)
+		for _, i := range idx[:len(idx)-1] {
+			t = derefType(t)
+			st, okStruct := t.Underlying().(*types.Struct)
+			if !okStruct {
+				embedded = nil
+				break
+			}
+			f := st.Field(i)
+			embedded = append(embedded, f.Name())
+			t = f.Type()
+		}
+	}
+	id, okID := s.lockIdent(sel.X, embedded)
+	if !okID {
+		return "", "", false
+	}
+	return sel.Sel.Name, id, true
+}
+
+// lockIdent names the lock behind expr: "pkg.Type.field" for struct
+// fields, "pkg.var" for package-level vars, "pkg.Type.method()" for
+// accessor methods (unwrapped to the returned field when the accessor
+// is a single `return &x.f`).
+func (s *lockSim) lockIdent(expr ast.Expr, embedded []string) (string, bool) {
+	info := s.node.pkg.Info
+	suffix := ""
+	if len(embedded) > 0 {
+		suffix = "." + strings.Join(embedded, ".")
+	}
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		// recv.path.mu — name by the field's owner type.
+		base := derefType(info.TypeOf(x.X))
+		if named, okN := base.(*types.Named); okN && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + x.Sel.Name + suffix, true
+		}
+		// pkgname.muVar — package-level mutex var.
+		if v, okV := info.Uses[x.Sel].(*types.Var); okV && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name() + suffix, true
+		}
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if v, okV := obj.(*types.Var); okV && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name() + suffix, true
+			}
+			// Local or receiver variable: nameable only when the mutex
+			// is reached through an embedded chain of a named type.
+			if named, okN := derefType(v.Type()).(*types.Named); okN && len(embedded) > 0 && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + suffix, true
+			}
+		}
+	case *ast.UnaryExpr:
+		return s.lockIdent(x.X, embedded)
+	case *ast.CallExpr:
+		// Accessor returning a mutex pointer: unwrap a single-return
+		// `return &x.f` body to the underlying field, else name the
+		// accessor itself.
+		if f := s.calleeOf(x); f != nil {
+			if id, okU := s.prog.unwrapAccessor(f, suffix); okU {
+				return id, true
+			}
+			if recv := f.Type().(*types.Signature).Recv(); recv != nil {
+				if named, okN := derefType(recv.Type()).(*types.Named); okN && named.Obj().Pkg() != nil {
+					return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + f.Name() + "()" + suffix, true
+				}
+			}
+			if f.Pkg() != nil {
+				return f.Pkg().Name() + "." + f.Name() + "()" + suffix, true
+			}
+		}
+	}
+	return "", false
+}
+
+// unwrapAccessor resolves a `func (x T) mu() *sync.Mutex { return &x.a.mu }`
+// accessor to the identity of the field it returns.
+func (pr *lockProg) unwrapAccessor(f *types.Func, suffix string) (string, bool) {
+	n := pr.nodes[f]
+	if n == nil || len(n.decl.Body.List) != 1 {
+		return "", false
+	}
+	ret, ok := n.decl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return "", false
+	}
+	inner, ok := ast.Unparen(ret.Results[0]).(*ast.UnaryExpr)
+	if !ok || inner.Op != token.AND {
+		return "", false
+	}
+	sel, ok := ast.Unparen(inner.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	base := derefType(n.pkg.Info.TypeOf(sel.X))
+	if named, okN := base.(*types.Named); okN && named.Obj().Pkg() != nil {
+		return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + sel.Sel.Name + suffix, true
+	}
+	return "", false
+}
+
+// lockFuncName renders "pkg.Func" / "pkg.Type.Method" for witnesses.
+func lockFuncName(pkg *Package, fd *ast.FuncDecl) string {
+	name := pkg.Types.Name() + "."
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			name += id.Name + "."
+		}
+	}
+	return name + fd.Name.Name
+}
+
+// isFuncParam reports whether v is a parameter of fd with a function
+// type.
+func isFuncParam(fd *ast.FuncDecl, v *types.Var) bool {
+	if _, ok := v.Type().Underlying().(*types.Signature); !ok {
+		return false
+	}
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, f := range fd.Type.Params.List {
+		for _, name := range f.Names {
+			if name.Name == v.Name() && name.Pos() == v.Pos() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// derefType strips one pointer level.
+func derefType(t types.Type) types.Type {
+	if t == nil {
+		return t
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -1,0 +1,118 @@
+// Package atomicmix is the golden fixture for the atomicmix analyzer:
+// fields mixing sync/atomic with plain access, unconditional channel
+// sends, and the blessed idioms (typed atomics, guarded selects,
+// function-owned channels).
+package atomicmix
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+type counter struct {
+	hits  int64
+	plain int64
+	typed atomic.Int64
+}
+
+// inc is the atomic half of the mix; the operand itself is not a
+// plain access.
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// read mixes a plain load into the atomic field.
+func (c *counter) read() int64 {
+	return c.hits // want `field "hits" is accessed with sync/atomic elsewhere; this plain access races with the atomic path (use a typed atomic or go all-plain under a lock)`
+}
+
+// reset mixes a plain store into the atomic field.
+func (c *counter) reset() {
+	c.hits = 0 // want `field "hits" is accessed with sync/atomic elsewhere; this plain access races with the atomic path (use a typed atomic or go all-plain under a lock)`
+}
+
+// plainOnly and typedOnly are fine: no mix in either direction.
+func (c *counter) plainOnly() int64 {
+	c.plain++
+	return c.plain
+}
+
+func (c *counter) typedOnly() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+// pushUnguarded blocks forever if the consumer is gone.
+func pushUnguarded(ch chan int, v int) {
+	ch <- v // want `unconditional send on ch can block forever if the receiver is gone; select on it with a ctx.Done()/stop case`
+}
+
+// pushSelectNoGuard: a select whose only case is the send guards
+// nothing — it blocks exactly like a bare send.
+func pushSelectNoGuard(ch chan int, v int) {
+	select {
+	case ch <- v: // want `unconditional send on ch can block forever if the receiver is gone; select on it with a ctx.Done()/stop case`
+	}
+}
+
+// pushCancellable: the ctx.Done() case makes the send abandonable.
+func pushCancellable(ctx context.Context, ch chan int, v int) bool {
+	select {
+	case ch <- v:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// pushBestEffort: a default case never blocks.
+func pushBestEffort(ch chan int, v int) {
+	select {
+	case ch <- v:
+	default:
+	}
+}
+
+// pushStopGuarded: a stop-channel case is as good as a context.
+func pushStopGuarded(ch chan int, stop chan struct{}, v int) {
+	select {
+	case ch <- v:
+	case <-stop:
+	}
+}
+
+// gatherLocal owns both ends of its channel: the sends pair with the
+// receive below and cannot strand.
+func gatherLocal(vals []int) int {
+	ch := make(chan int, len(vals))
+	for _, v := range vals {
+		ch <- v
+	}
+	close(ch)
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}
+
+// ignoredSend is acknowledged: the receiver is guaranteed by protocol.
+func ignoredSend(ch chan int) {
+	//lint:ignore atomicmix fixture: receiver guaranteed live
+	ch <- 1
+}
+
+var (
+	_ = (*counter).inc
+	_ = (*counter).read
+	_ = (*counter).reset
+	_ = (*counter).plainOnly
+	_ = (*counter).typedOnly
+	_ = pushUnguarded
+	_ = pushSelectNoGuard
+	_ = pushCancellable
+	_ = pushBestEffort
+	_ = pushStopGuarded
+	_ = gatherLocal
+	_ = ignoredSend
+)

@@ -98,3 +98,52 @@ func journalKept(w *wal) error {
 	use(n)
 	return nil
 }
+
+// deferCloseWritable: the deferred close swallows the flush error —
+// the write looks durable but may not be.
+func deferCloseWritable(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f.Close() on a writable file discards the close error; buffered writes can fail at close — close explicitly and check`
+	_, err = f.Write(data)
+	return err
+}
+
+// deferCloseAppend: OpenFile with write bits is a writable open too.
+func deferCloseAppend(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f.Close() on a writable file discards the close error; buffered writes can fail at close — close explicitly and check`
+	return nil
+}
+
+// deferCloseReadOnly: a read-side close cannot lose data; the idiom
+// stays exempt.
+func deferCloseReadOnly(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+// closeChecked is the fix: close explicitly on the success path and
+// return its error; the failure-path close is annotated best-effort.
+func closeChecked(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //lint:ignore errdrop fixture: write already failed, close is best-effort
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,122 @@
+// Package goroleak is the golden fixture for the goroleak analyzer:
+// fire-and-forget goroutines (literal, named, foreign) and the
+// recognized join idioms (WaitGroup, stop channel, ctx.Done(), range
+// over channel, process exit, helper one call down).
+package goroleak
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// leakyLiteral fires and forgets: nothing ever joins it.
+func leakyLiteral() {
+	go func() { // want `goroutine is never joined: tie it to a WaitGroup, a stop/close channel, or a select on ctx.Done()`
+		fmt.Println("hi")
+	}()
+}
+
+// spin never checks any termination signal.
+func spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+// leakyNamed spawns a same-package function with no join signal.
+func leakyNamed() {
+	go spin() // want `goroutine is never joined: tie it to a WaitGroup, a stop/close channel, or a select on ctx.Done()`
+}
+
+// leakyForeign spawns a function this package cannot see into.
+func leakyForeign() {
+	go fmt.Println("bye") // want `goroutine runs Println, declared outside this package; cannot verify it is joined (annotate with //lint:ignore goroleak <why it terminates>)`
+}
+
+type daemon struct {
+	wg     sync.WaitGroup
+	stopCh chan struct{}
+}
+
+// joinedByWaitGroup: Done in the body pairs with the owner's Wait.
+func (d *daemon) joinedByWaitGroup() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		fmt.Println("work")
+	}()
+}
+
+// joinedByStopChannel: the stop-channel receive bounds the loop.
+func (d *daemon) joinedByStopChannel() {
+	go func() {
+		for {
+			select {
+			case <-d.stopCh:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// joinedByContext: a ctx.Done() receive bounds the goroutine.
+func joinedByContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// joinedByRange: the loop ends when the channel closes.
+func joinedByRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func (d *daemon) loop() {
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		}
+	}
+}
+
+// startLoop spawns a named method whose select-loop is one call down.
+func (d *daemon) startLoop() {
+	go d.loop()
+}
+
+// exitHandler terminates the process; no join needed.
+func exitHandler(sig chan os.Signal) {
+	go func() {
+		<-sig
+		os.Exit(1)
+	}()
+}
+
+// ignoredLeak is acknowledged: the goroutine runs for process lifetime.
+func ignoredLeak() {
+	//lint:ignore goroleak fixture: process-lifetime goroutine
+	go func() {
+		fmt.Println("forever")
+	}()
+}
+
+var (
+	_ = leakyLiteral
+	_ = leakyNamed
+	_ = leakyForeign
+	_ = (*daemon).joinedByWaitGroup
+	_ = (*daemon).joinedByStopChannel
+	_ = joinedByContext
+	_ = joinedByRange
+	_ = (*daemon).startLoop
+	_ = exitHandler
+	_ = ignoredLeak
+)

@@ -1,0 +1,188 @@
+// Package lockorder is the golden fixture for the lockorder analyzer:
+// opposite-order acquisition pairs, an interprocedural self-deadlock,
+// a cycle closed through a callback run under a lock, and negatives
+// (consistent ordering, sequential acquisition, goroutines).
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// abFirst acquires A.mu then B.mu.
+func abFirst(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.RLock() // want `lock-order cycle: acquiring lockorder.B.mu while holding lockorder.A.mu closes a cycle among {lockorder.A.mu, lockorder.B.mu}`
+	_ = b.n
+	b.mu.RUnlock()
+}
+
+// baSecond acquires the same pair in the opposite order: deadlock.
+func baSecond(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock-order cycle: acquiring lockorder.A.mu while holding lockorder.B.mu closes a cycle among {lockorder.A.mu, lockorder.B.mu}`
+	a.n++
+	a.mu.Unlock()
+}
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *C) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// bumpLocked calls a method that re-acquires the lock it already
+// holds: self-deadlock, visible only interprocedurally.
+func (c *C) bumpLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump() // want `lock-order cycle: lockorder.C.mu acquired while already held (self-deadlock)`
+}
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+type E struct {
+	mu sync.Mutex
+	n  int
+}
+
+// withD runs fn while holding D.mu — callbacks inherit the lock.
+func (d *D) withD(fn func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fn()
+}
+
+func (d *D) poke() {
+	d.mu.Lock()
+	d.n++
+	d.mu.Unlock()
+}
+
+// deUnderCallback acquires E.mu inside a withD callback: the closure
+// runs under D.mu even though no Lock call is textually in scope.
+func deUnderCallback(d *D, e *E) {
+	d.withD(func() {
+		e.mu.Lock() // want `lock-order cycle: acquiring lockorder.E.mu while holding lockorder.D.mu closes a cycle among {lockorder.D.mu, lockorder.E.mu}`
+		e.n++
+		e.mu.Unlock()
+	})
+}
+
+// edBackwards closes the cycle: D.mu acquired (inside poke) while E.mu
+// is held.
+func edBackwards(d *D, e *E) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d.poke() // want `lock-order cycle: acquiring lockorder.D.mu while holding lockorder.E.mu closes a cycle among {lockorder.D.mu, lockorder.E.mu}`
+}
+
+type H struct {
+	mu sync.Mutex
+	n  int
+}
+
+type I struct {
+	mu sync.Mutex
+	n  int
+}
+
+// hiOne's half of the H/I cycle is annotated away; ihTwo's half still
+// fires — directives suppress per-line, not per-cycle.
+func hiOne(h *H, i *I) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	//lint:ignore lockorder fixture: suppression sanity check
+	i.mu.Lock()
+	i.n++
+	i.mu.Unlock()
+}
+
+func ihTwo(h *H, i *I) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	h.mu.Lock() // want `lock-order cycle: acquiring lockorder.H.mu while holding lockorder.I.mu closes a cycle among {lockorder.H.mu, lockorder.I.mu}`
+	h.n++
+	h.mu.Unlock()
+}
+
+type F struct {
+	mu sync.Mutex
+	n  int
+}
+
+type G struct {
+	mu sync.Mutex
+	n  int
+}
+
+// fgOne and fgTwo agree on F-before-G: edges exist but no cycle, so
+// nothing is reported.
+func fgOne(f *F, g *G) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func fgTwo(f *F, g *G) {
+	f.mu.Lock()
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	f.n++
+	f.mu.Unlock()
+}
+
+// sequential releases each lock before taking the next: no edge.
+func sequential(a *A, b *B) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+// goSpawner's goroutine does not inherit G.mu: no G->F edge, so the
+// F/G pair stays acyclic.
+func goSpawner(f *F, g *G) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		f.mu.Lock()
+		f.n++
+		f.mu.Unlock()
+	}()
+}
+
+var (
+	_ = abFirst
+	_ = baSecond
+	_ = deUnderCallback
+	_ = edBackwards
+	_ = hiOne
+	_ = ihTwo
+	_ = fgOne
+	_ = fgTwo
+	_ = sequential
+	_ = goSpawner
+)

@@ -6,7 +6,13 @@
 #   1. go build ./...            every package compiles
 #   2. go vet ./...              stock vet suite
 #   3. go run ./cmd/coheralint   project-specific analyzers (see
-#      ./...                     internal/analysis/doc.go)
+#      ./...                     internal/analysis/doc.go), with
+#                                per-analyzer wall times on stderr
+#   3b. coheralint self-lint     the analysis framework and the linter
+#                                CLI are explicitly held to their own
+#                                rules (the ./... run covers them too,
+#                                but this stage keeps them covered even
+#                                if the main run is ever narrowed)
 #   4. go run ./cmd/coherasmoke  daemon smoke: in-process coherad
 #                                handler, /healthz 200, /metrics parses
 #   5. go run ./cmd/coherachaos  seeded fault-injection harness: the
@@ -28,7 +34,10 @@ echo "==> go vet ./..."
 go vet ./...
 
 echo "==> coheralint ./..."
-go run ./cmd/coheralint ./...
+go run ./cmd/coheralint -timings ./...
+
+echo "==> coheralint self-lint (internal/analysis, cmd/coheralint)"
+go run ./cmd/coheralint ./internal/analysis ./cmd/coheralint
 
 echo "==> coherasmoke"
 go run ./cmd/coherasmoke
