@@ -108,6 +108,7 @@ func main() {
 	fmt.Printf("  discover: GET %s/tables\n", *addr)
 	fmt.Printf("  metrics:  GET %s/metrics  health: GET %s/healthz\n", *addr, *addr)
 	fmt.Printf("  repair:   POST %s/digest  replicas: GET %s/debug/replication\n", *addr, *addr)
+	fmt.Printf("  queries:  GET %s/debug/queries  cancel: POST %s/debug/queries/{id}/cancel\n", *addr, *addr)
 	fmt.Printf("  attach:   coheraql -attach http://localhost%s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, h))
 }

@@ -56,7 +56,10 @@ func main() {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	ctx := context.Background()
 	// Threshold 0 records every statement, so \stats doubles as history.
+	// The federation records its own SELECTs (with trace ids and the
+	// top-3 slowest operator stages); the shell only records DML.
 	slow := obs.NewSlowLog(64)
+	in.Federation().Slow = slow
 	for {
 		fmt.Print("cohera> ")
 		if !sc.Scan() {
@@ -72,10 +75,12 @@ func main() {
 		case line == `\help`:
 			fmt.Println(`commands: \tables  \sites  \stats  \explain <sql>  \quit
 predicates: CONTAINS(col,'q')  FUZZY(col,'q')  SYNONYM(col,'q')  MATCHES(col,'q')
+plans: EXPLAIN <select> shows the decomposition (fragments, replicas, pushdown);
+       EXPLAIN ANALYZE <select> runs it and shows per-operator stage stats.
 examples:
   SELECT sku, name, price FROM catalog WHERE FUZZY(name, 'drlls crdlss');
   SELECT supplier, COUNT(*) AS n FROM catalog GROUP BY supplier ORDER BY n DESC;
-  SELECT hotel, corporate_rate, available FROM hotels
+  EXPLAIN ANALYZE SELECT hotel, corporate_rate, available FROM hotels
     WHERE city = 'Atlanta' AND miles_to_airport < 10 AND available > 0;`)
 			continue
 		case line == `\tables`:
@@ -122,12 +127,12 @@ examples:
 			fmt.Printf("error: %v\n", err)
 			continue
 		}
-		traceID := ""
-		if qtrace != nil {
-			traceID = qtrace.TraceID
-		}
-		slow.Record(sql, time.Since(start), traceID)
 		if dml != nil {
+			traceID := ""
+			if qtrace != nil {
+				traceID = qtrace.TraceID
+			}
+			slow.Record(sql, time.Since(start), traceID)
 			fmt.Printf("(%d rows affected", dml.Rows)
 			if len(dml.SkippedReplicas) > 0 {
 				fmt.Printf("; skipped replicas: %v", dml.SkippedReplicas)

@@ -111,5 +111,6 @@ func All() []Experiment {
 		{"E12", E12Remote, "in-process vs HTTP federation overhead"},
 		{"E13", E13Streaming, "streaming vs materialized scatter-gather memory and latency"},
 		{"E14", E14AntiEntropy, "anti-entropy repair time vs outage size, replay vs copy-repair"},
+		{"E15", E15Instrumentation, "query observability overhead: instrumented vs bare streamed scan"},
 	}
 }

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"cohera/internal/federation"
+)
+
+// E15Instrumentation is the observability-overhead ablation: the same
+// streamed full scan drained with query observability on (stage
+// counters, registry, sampled timing) and off
+// (Federation.DisableQueryObservability). The per-row cost of the
+// instrumented path is a handful of atomic adds plus a 1-in-64 sampled
+// clock read, so the claim under test is that the instrumented drain
+// stays within 5% of the bare one at the 1M x 8 scale.
+//
+// Machine drift at multi-second drains easily exceeds the effect under
+// measurement, so the two modes are interleaved bare/instrumented in
+// back-to-back pairs and the reported overhead is the median of the
+// per-pair ratios: slow phases of the host hit both sides of a pair.
+// Quick mode records the ratio without asserting — tiny runs are all
+// fixed cost and scheduler noise.
+func E15Instrumentation(cfg Config) (Table, error) {
+	total, frags, pairs := 1_000_000, 8, 7
+	if cfg.Quick {
+		total, frags, pairs = 10_000, 2, 2
+	}
+	t := Table{
+		ID:      "E15",
+		Title:   "query observability overhead: instrumented vs bare streamed scan",
+		Headers: []string{"rows", "fragments", "mode", "median wall", "overhead"},
+		Notes:   "expected shape: instrumented drain within 5% of bare (median of interleaved pairs); counters are atomics, timing is sampled 1-in-64",
+	}
+
+	ctx := context.Background()
+	const sql = "SELECT sku, qty FROM items"
+	fedBare, err := streamBenchFed(total, frags, cfg.Seed)
+	if err != nil {
+		return t, err
+	}
+	fedBare.DisableQueryObservability = true
+	fedInstr, err := streamBenchFed(total, frags, cfg.Seed)
+	if err != nil {
+		return t, err
+	}
+	// Warm both federations so first-touch page faults and pool growth
+	// land outside the timed pairs.
+	if err := drainOnce(ctx, fedBare, sql, total); err != nil {
+		return t, fmt.Errorf("E15 warmup: %w", err)
+	}
+	if err := drainOnce(ctx, fedInstr, sql, total); err != nil {
+		return t, fmt.Errorf("E15 warmup: %w", err)
+	}
+
+	var bareWalls, instrWalls []time.Duration
+	ratios := make([]float64, 0, pairs)
+	for p := 0; p < pairs; p++ {
+		start := time.Now()
+		if err := drainOnce(ctx, fedBare, sql, total); err != nil {
+			return t, fmt.Errorf("E15 bare: %w", err)
+		}
+		bare := time.Since(start)
+		start = time.Now()
+		if err := drainOnce(ctx, fedInstr, sql, total); err != nil {
+			return t, fmt.Errorf("E15 instrumented: %w", err)
+		}
+		instr := time.Since(start)
+		bareWalls = append(bareWalls, bare)
+		instrWalls = append(instrWalls, instr)
+		ratios = append(ratios, float64(instr)/float64(bare)-1)
+	}
+	sort.Float64s(ratios)
+	overhead := ratios[(len(ratios)-1)/2]
+
+	for _, m := range []struct {
+		mode string
+		wall time.Duration
+	}{
+		{"bare", medianDuration(bareWalls)},
+		{"instrumented", medianDuration(instrWalls)},
+	} {
+		row := []string{
+			fmt.Sprintf("%d", total),
+			fmt.Sprintf("%d", frags),
+			m.mode,
+			fmt.Sprintf("%.2fms", float64(m.wall.Microseconds())/1000),
+			"-",
+		}
+		if m.mode == "instrumented" {
+			row[4] = fmt.Sprintf("%+.2f%%", overhead*100)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if !cfg.Quick && overhead > 0.05 {
+		return t, fmt.Errorf("E15: instrumented drain %.2f%% over bare, budget is 5%%", overhead*100)
+	}
+	return t, nil
+}
+
+// drainOnce streams one full scan to EOF and checks the cardinality.
+func drainOnce(ctx context.Context, fed *federation.Federation, sql string, want int) error {
+	st, _, err := fed.QueryStream(ctx, sql)
+	if err != nil {
+		return err
+	}
+	n, err := drainStream(st)
+	if err != nil {
+		return err
+	}
+	if n != want {
+		return fmt.Errorf("drained %d rows, want %d", n, want)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"cohera/internal/obs"
 	"cohera/internal/plan"
 	"cohera/internal/sqlparse"
 	"cohera/internal/storage"
@@ -38,7 +39,8 @@ func (db *Database) SelectStream(ctx context.Context, s sqlparse.SelectStmt) (st
 		if err != nil {
 			return nil, err
 		}
-		return storage.NewSliceStream(res.Columns, res.Rows), nil
+		_, stage := obs.StartStage(ctx, "scan", strings.ToLower(s.From.Name)+" (materialized)")
+		return storage.InstrumentStream(storage.NewSliceStream(res.Columns, res.Rows), stage, storage.TimingSample), nil
 	}
 	alias := strings.ToLower(s.From.EffectiveName())
 	t, err := db.Table(s.From.Name)
@@ -71,7 +73,10 @@ func (db *Database) SelectStream(ctx context.Context, s sqlparse.SelectStmt) (st
 	if s.Limit >= 0 {
 		remain = s.Limit
 	}
-	return &selectRowStream{
+	// The scan stage is a leaf: nothing below it opens stages, so the
+	// updated context stays local.
+	_, stage := obs.StartStage(ctx, "scan", strings.ToLower(s.From.Name))
+	return storage.InstrumentStream(&selectRowStream{
 		ctx:      ctx,
 		t:        t,
 		ev:       ev,
@@ -82,7 +87,7 @@ func (db *Database) SelectStream(ctx context.Context, s sqlparse.SelectStmt) (st
 		ids:      ids,
 		skip:     s.Offset,
 		remain:   remain,
-	}, nil
+	}, stage, storage.TimingSample), nil
 }
 
 // QueryStream parses and executes one SELECT statement as a stream.
@@ -129,8 +134,11 @@ func (s *selectRowStream) Next() (storage.Row, error) {
 		return nil, io.EOF
 	}
 	for s.pos < len(s.ids) {
-		if err := s.ctx.Err(); err != nil {
-			return nil, fmt.Errorf("exec: stream cancelled: %w", err)
+		if s.ctx.Err() != nil {
+			// Cause preserves a typed cancellation (an operator kill via
+			// obs.ActiveQueries reports obs.ErrQueryCanceled) where Err
+			// flattens everything to context.Canceled.
+			return nil, fmt.Errorf("exec: stream cancelled: %w", context.Cause(s.ctx))
 		}
 		id := s.ids[s.pos]
 		s.pos++

@@ -117,21 +117,21 @@ func (f *Federation) ExecTraced(ctx context.Context, sql string) (*exec.Result, 
 		return nil, nil, nil, err
 	}
 	switch s := stmt.(type) {
-	case sqlparse.SelectStmt, sqlparse.UnionStmt:
+	case sqlparse.SelectStmt, sqlparse.UnionStmt, sqlparse.ExplainStmt:
 		res, trace, err := f.QueryTraced(ctx, sql)
 		return res, nil, trace, err
 	case sqlparse.InsertStmt:
-		dr, trace, err := f.tracedDML(ctx, "insert", s.Table, func(ctx context.Context, trace *QueryTrace) (*DMLResult, error) {
+		dr, trace, err := f.tracedDML(ctx, "insert", s.Table, sql, func(ctx context.Context, trace *QueryTrace) (*DMLResult, error) {
 			return f.execInsert(ctx, s, trace)
 		})
 		return nil, dr, trace, err
 	case sqlparse.UpdateStmt:
-		dr, trace, err := f.tracedDML(ctx, "update", s.Table, func(ctx context.Context, trace *QueryTrace) (*DMLResult, error) {
+		dr, trace, err := f.tracedDML(ctx, "update", s.Table, sql, func(ctx context.Context, trace *QueryTrace) (*DMLResult, error) {
 			return f.execWhereDML(ctx, s.Table, s.Where, s.String(), trace)
 		})
 		return nil, dr, trace, err
 	case sqlparse.DeleteStmt:
-		dr, trace, err := f.tracedDML(ctx, "delete", s.Table, func(ctx context.Context, trace *QueryTrace) (*DMLResult, error) {
+		dr, trace, err := f.tracedDML(ctx, "delete", s.Table, sql, func(ctx context.Context, trace *QueryTrace) (*DMLResult, error) {
 			return f.execWhereDML(ctx, s.Table, s.Where, s.String(), trace)
 		})
 		return nil, dr, trace, err
@@ -140,12 +140,17 @@ func (f *Federation) ExecTraced(ctx context.Context, sql string) (*exec.Result, 
 	}
 }
 
-// tracedDML wraps one DML execution in a span and a fresh trace.
-func (f *Federation) tracedDML(ctx context.Context, kind, table string,
+// tracedDML wraps one DML execution in a span, a fresh trace, and an
+// in-flight registry entry so searched writes show up (and are
+// killable) in /debug/queries like selects.
+func (f *Federation) tracedDML(ctx context.Context, kind, table, sql string,
 	run func(context.Context, *QueryTrace) (*DMLResult, error)) (*DMLResult, *QueryTrace, error) {
 	ctx, sp := obs.StartSpan(ctx, "federation."+kind)
 	sp.Set("table", table)
 	defer sp.End()
+	ctx, aq := f.registerQuery(ctx, kind, sql)
+	defer aq.Finish()
+	aq.SetTraceID(sp.TraceID)
 	trace := &QueryTrace{TraceID: sp.TraceID, FragmentSites: make(map[string]string)}
 	dr, err := run(ctx, trace)
 	metDML(kind).Inc()

@@ -165,6 +165,17 @@ type Federation struct {
 	// 0 means storage.DefaultBatchRows. Set before serving queries.
 	StreamBatchRows int
 
+	// DisableQueryObservability turns off in-flight query registration
+	// (obs.ActiveQueries) and with it all per-operator stage accounting
+	// — kept as an ablation switch so the instrumentation overhead can
+	// be measured (bench E15); leave false. Set before serving queries.
+	DisableQueryObservability bool
+
+	// Slow, when set, receives a record for every finished federated
+	// SELECT at or above its threshold, carrying the trace id and the
+	// top-3 slowest operator stages. Set before serving queries.
+	Slow *obs.SlowLog
+
 	// syn is set once in New and immutable afterwards (the Synonyms
 	// structure synchronizes itself).
 	syn *ir.Synonyms
@@ -448,9 +459,28 @@ func (f *Federation) QueryTraced(ctx context.Context, sql string) (*exec.Result,
 		return f.Select(ctx, s)
 	case sqlparse.UnionStmt:
 		return f.Union(ctx, s)
+	case sqlparse.ExplainStmt:
+		rep, err := f.Explain(ctx, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rep.Render(), rep.Trace, nil
 	default:
 		return nil, nil, fmt.Errorf("federation: only SELECT is federated, got %T", stmt)
 	}
+}
+
+// registerQuery enters a query into the process-wide in-flight
+// registry (obs.ActiveQueries), unless observability is disabled. The
+// returned context cancels with a typed cause when an operator kills
+// the query; the returned handle is nil when registration was skipped
+// or the context already carries a registered query (its methods
+// no-op, so callers use it unconditionally).
+func (f *Federation) registerQuery(ctx context.Context, kind, sql string) (context.Context, *obs.ActiveQuery) {
+	if f.DisableQueryObservability {
+		return ctx, nil
+	}
+	return obs.ActiveQueries().Register(ctx, kind, sql)
 }
 
 // Union executes a federated UNION chain: each branch federates
@@ -462,6 +492,10 @@ func (f *Federation) Union(ctx context.Context, u sqlparse.UnionStmt) (*exec.Res
 	ctx, sp := obs.StartSpan(ctx, "federation.union")
 	sp.Set("branches", strconv.Itoa(len(u.Selects)))
 	defer sp.End()
+	ctx, aq := f.registerQuery(ctx, "union", u.String())
+	defer aq.Finish()
+	aq.SetTraceID(sp.TraceID)
+	ctx, ustage := obs.StartStage(ctx, "union", strconv.Itoa(len(u.Selects))+" branches")
 	out := &exec.Result{}
 	total := &QueryTrace{FragmentSites: make(map[string]string)}
 	seen := make(map[string]bool)
@@ -469,6 +503,7 @@ func (f *Federation) Union(ctx context.Context, u sqlparse.UnionStmt) (*exec.Res
 		r, trace, err := f.Select(ctx, sel)
 		if err != nil {
 			sp.SetErr(err)
+			ustage.Fail(err)
 			return nil, nil, err
 		}
 		if i == 0 {
@@ -498,6 +533,8 @@ func (f *Federation) Union(ctx context.Context, u sqlparse.UnionStmt) (*exec.Res
 			out.Rows = append(out.Rows, row)
 		}
 	}
+	ustage.AddRows(int64(len(out.Rows)))
+	ustage.Done()
 	total.TraceID = sp.TraceID
 	return out, total, nil
 }
@@ -515,6 +552,9 @@ func rowKey(r storage.Row) string {
 func (f *Federation) Select(ctx context.Context, sel sqlparse.SelectStmt) (*exec.Result, *QueryTrace, error) {
 	ctx, sp := obs.StartSpan(ctx, "federation.select")
 	sp.Set("table", sel.From.Name)
+	ctx, aq := f.registerQuery(ctx, "select", sel.String())
+	defer aq.Finish()
+	aq.SetTraceID(sp.TraceID)
 	start := time.Now()
 	res, trace, err := f.doSelect(ctx, sel)
 	metQueries.Inc()
@@ -528,10 +568,17 @@ func (f *Federation) Select(ctx context.Context, sel sqlparse.SelectStmt) (*exec
 			sp.Set("degraded", strconv.Itoa(len(trace.FragmentErrors)))
 			metDegraded.Inc()
 			metDegradedFragments.Add(int64(len(trace.FragmentErrors)))
+			obs.MarkDegraded(ctx)
+		}
+		if len(trace.StaleServed) > 0 {
+			obs.MarkStale(ctx)
 		}
 		trace.TraceID = sp.TraceID
 	}
 	sp.End()
+	if f.Slow != nil && aq != nil {
+		f.Slow.RecordStages(sel.String(), time.Since(start), sp.TraceID, aq.Stages().Snapshot())
+	}
 	return res, trace, err
 }
 
@@ -613,14 +660,21 @@ func (f *Federation) doSelect(ctx context.Context, sel sqlparse.SelectStmt) (*ex
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := f.gather(ctx, r.gt, r.push, cols, len(r.gt.Def.Columns), tbl, trace); err != nil {
+		gctx, gstage := obs.StartStage(ctx, "gather", strings.ToLower(r.gt.Def.Name))
+		if err := f.gather(gctx, r.gt, r.push, cols, len(r.gt.Def.Columns), tbl, trace); err != nil {
+			gstage.Fail(err)
 			return nil, nil, err
 		}
+		gstage.Done()
 	}
+	_, lstage := obs.StartStage(ctx, "local-exec", strings.ToLower(sel.From.Name))
 	res, err := scratch.Select(sel)
 	if err != nil {
+		lstage.Fail(err)
 		return nil, nil, err
 	}
+	lstage.AddRows(int64(len(res.Rows)))
+	lstage.Done()
 	return res, trace, nil
 }
 
@@ -837,6 +891,7 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 	// of a mid-stream replica failover; keyless tables must not replay.
 	canReplay := len(dst.Def().Key) > 0
 	counters := &streamCounters{}
+	stage := obs.StageFromContext(ctx)
 	ch, _, pruned := f.scatter(ctx, gt, push, cols, clampFedBatch(f.StreamBatchRows), canReplay, counters)
 	var firstErr error
 	upsert := func(rows []storage.Row) {
@@ -861,6 +916,7 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 	for msg := range ch {
 		if !msg.done {
 			counters.add(-int64(len(msg.batch.Rows)))
+			stage.AddBatch(int64(len(msg.batch.Rows)), 0)
 			if staged != nil {
 				staged[msg.frag.ID] = append(staged[msg.frag.ID], msg.batch.Rows...)
 			} else {
@@ -906,12 +962,15 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 	if peak := int(counters.peak.Load()); peak > trace.PeakBufferedRows {
 		trace.PeakBufferedRows = peak
 	}
+	stage.NotePeak(counters.peak.Load())
 	// Producers that lose their context exit without a completion
 	// record (their sends would never be received), so a drained channel
 	// with no recorded error can still be a silent prefix. Surface the
 	// cancellation rather than return partial rows as success.
 	if firstErr == nil && ctx.Err() != nil {
-		firstErr = fmt.Errorf("federation: gather interrupted: %w", ctx.Err())
+		// Cause keeps an operator kill typed (obs.ErrQueryCanceled)
+		// through the wrap; Err would flatten it to context.Canceled.
+		firstErr = fmt.Errorf("federation: gather interrupted: %w", context.Cause(ctx))
 	}
 	return firstErr
 }

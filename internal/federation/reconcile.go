@@ -41,7 +41,18 @@ var (
 		"Replica divergences detected by digest comparison.", nil)
 	metConvergence = obs.Default().Histogram("cohera_antientropy_convergence_seconds",
 		"Time from detecting a replica divergence to its convergence.", nil)
+	metLastSuccess = obs.Default().Gauge("cohera_reconciler_last_success_unix",
+		"Unix time of the last reconciliation pass that completed without error.", nil)
 )
+
+// metRepairSeconds is the per-kind repair latency histogram: "replay"
+// times one journaled intent's application, "copy" one full
+// copy-repair of a divergent replica.
+func metRepairSeconds(kind string) *obs.Histogram {
+	return obs.Default().Histogram("cohera_antientropy_repair_seconds",
+		"Anti-entropy repair latency, by kind (replay = one journaled intent, copy = one replica rebuild).",
+		obs.Labels{"kind": kind})
+}
 
 // RepairReport summarizes one reconciliation pass.
 type RepairReport struct {
@@ -147,11 +158,19 @@ func (r *Reconciler) Stop() {
 // replica digests per fragment and copy-repair divergent copies whose
 // journal has nothing (trustworthy) left to say.
 func (r *Reconciler) RunOnce(ctx context.Context) (RepairReport, error) {
+	// Repair passes register in the in-flight registry like queries do:
+	// /debug/queries shows a long-running pass, and an operator cancel
+	// stops it between repairs with a typed cause.
+	if !r.f.DisableQueryObservability {
+		var aq *obs.ActiveQuery
+		ctx, aq = obs.ActiveQueries().Register(ctx, "repair", "anti-entropy pass")
+		defer aq.Finish()
+	}
 	var rep RepairReport
 	for _, gt := range r.f.GlobalTables() {
 		if err := ctx.Err(); err != nil {
 			rep.Pending = r.f.Journal().PendingTotal()
-			return rep, err
+			return rep, context.Cause(ctx)
 		}
 		frags := r.f.FragmentsOf(gt)
 		r.drainTable(ctx, gt, frags, &rep)
@@ -161,6 +180,7 @@ func (r *Reconciler) RunOnce(ctx context.Context) (RepairReport, error) {
 		}
 	}
 	rep.Pending = r.f.Journal().PendingTotal()
+	metLastSuccess.Set(r.now().Unix())
 	return rep, nil
 }
 
@@ -200,6 +220,7 @@ func (r *Reconciler) applyIntent(ctx context.Context, site *Site, gt *GlobalTabl
 	if err := site.CheckAvailable(ctx); err != nil {
 		return err
 	}
+	defer func(start time.Time) { metRepairSeconds("replay").Observe(time.Since(start)) }(time.Now())
 	switch it.Op {
 	case journal.OpUpsert:
 		tbl, err := siteTable(site, gt.Def)
@@ -290,6 +311,7 @@ func (r *Reconciler) repairFragment(ctx context.Context, gt *GlobalTable, frags 
 // journal group is reset: the copied content already reflects every
 // write the journal could have replayed.
 func (r *Reconciler) copyRepair(gt *GlobalTable, frags []*Fragment, frag *Fragment, wholeTable bool, src, dst *Site) error {
+	defer func(start time.Time) { metRepairSeconds("copy").Observe(time.Since(start)) }(time.Now())
 	grp := r.f.Journal().Group(dst.Name(), gt.Def.Name)
 	return grp.Exclusive(func(pending int, lost bool) error {
 		if pending > 0 && !lost {

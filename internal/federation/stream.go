@@ -2,6 +2,7 @@ package federation
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -100,6 +101,7 @@ func (f *Federation) pumpFragment(ctx context.Context, gt *GlobalTable, frag *Fr
 	gsp.Set("table", gt.Def.Name)
 	gsp.Set("fragment", frag.ID)
 	defer gsp.End()
+	gctx, fstage := obs.StartStage(gctx, "fragment", gt.Def.Name+"/"+frag.ID)
 
 	send := func(m fragMsg) bool {
 		m.frag = frag
@@ -109,8 +111,17 @@ func (f *Federation) pumpFragment(ctx context.Context, gt *GlobalTable, frag *Fr
 		if m.batch != nil {
 			counters.add(int64(len(m.batch.Rows)))
 		}
+		// A blocked send is this fragment waiting on the consumer; batch
+		// sends are measured exactly (per batch, not per row).
+		var sendStart time.Time
+		if fstage != nil && m.batch != nil {
+			sendStart = time.Now()
+		}
 		select {
 		case out <- m:
+			if !sendStart.IsZero() {
+				fstage.BlockedDownstream(time.Since(sendStart))
+			}
 			return true
 		case <-gctx.Done():
 			if m.batch != nil {
@@ -124,11 +135,15 @@ func (f *Federation) pumpFragment(ctx context.Context, gt *GlobalTable, frag *Fr
 		m.done = true
 		if m.err != nil {
 			gsp.SetErr(m.err)
+			fstage.Fail(m.err)
 		} else if m.site != nil {
 			gsp.Set("site", m.site.Name())
 			gsp.Set("rows", strconv.Itoa(m.rows))
 			gsp.Set("failovers", strconv.Itoa(m.fail))
+			fstage.SetDetail(gt.Def.Name + "/" + frag.ID + "@" + m.site.Name())
 		}
+		fstage.Done()
+		gsp.SetStage(fstage)
 		send(m)
 	}
 
@@ -144,6 +159,10 @@ func (f *Federation) pumpFragment(ctx context.Context, gt *GlobalTable, frag *Fr
 	for _, site := range ranked {
 		st, err := site.SubQueryStream(gctx, gt.Def.Name, push, cols)
 		if err != nil {
+			if cutByConsumer(gctx) {
+				fstage.Cut()
+				return
+			}
 			// Availability failures — declared outages, an open breaker,
 			// transient faults — fail over to the next replica; anything
 			// else (semantic) aborts the fragment.
@@ -155,13 +174,18 @@ func (f *Federation) pumpFragment(ctx context.Context, gt *GlobalTable, frag *Fr
 			finish(fragMsg{err: err})
 			return
 		}
-		shipped, pumpErr := pumpStream(gctx, st, batchRows, send)
+		shipped, pumpErr := pumpStream(gctx, st, fstage, batchRows, send)
 		if pumpErr == nil {
 			finish(fragMsg{site: site, rows: shipped, fail: fails, stale: frag.PendingAt(site) > 0})
 			return
 		}
 		if gctx.Err() != nil {
-			// The consumer went away (LIMIT, Close); not a failure.
+			// The consumer went away (LIMIT, Close); not a failure —
+			// unless an operator killed the query, in which case the
+			// cancellation the wrapper recorded stays on the stage.
+			if cutByConsumer(gctx) {
+				fstage.Cut()
+			}
 			return
 		}
 		// A stream that broke mid-flight may have shipped a prefix. With
@@ -183,12 +207,27 @@ func (f *Federation) pumpFragment(ctx context.Context, gt *GlobalTable, frag *Fr
 	}
 }
 
+// cutByConsumer reports whether ctx ended because the stream's own
+// consumer cut the producers off — LIMIT satisfied, an early Close, or
+// the caller abandoning the query — rather than an operator kill.
+// Operator cancels through the query registry carry
+// obs.ErrQueryCanceled as the cancel cause; internal cuts leave the
+// plain context.Canceled.
+func cutByConsumer(ctx context.Context) bool {
+	return ctx.Err() != nil && !errors.Is(context.Cause(ctx), obs.ErrQueryCanceled)
+}
+
 // pumpStream drains one site stream into the fan-in channel in pooled
 // batches, returning the rows shipped and the stream's terminal error
-// (nil on clean EOF).
-func pumpStream(ctx context.Context, st storage.RowStream, batchRows int,
+// (nil on clean EOF). stage, when non-nil, accounts the rows pulled
+// off the site stream (a failover replay pumps again into the same
+// stage, so its row count is "rows shipped", not distinct rows).
+func pumpStream(ctx context.Context, st storage.RowStream, stage *obs.StageStats, batchRows int,
 	send func(fragMsg) bool) (int, error) {
-	defer st.Close()
+	// Closing the wrapper closes st and settles the stage; with a nil
+	// stage InstrumentStream returns st itself.
+	src := storage.InstrumentStream(st, stage, storage.TimingSample)
+	defer src.Close()
 	shipped := 0
 	batch := storage.GetBatch()
 	flush := func() bool {
@@ -204,7 +243,7 @@ func pumpStream(ctx context.Context, st storage.RowStream, batchRows int,
 		return true
 	}
 	for {
-		row, err := st.Next()
+		row, err := src.Next()
 		if err == io.EOF {
 			if !flush() {
 				return shipped, ctx.Err()
@@ -290,12 +329,15 @@ func (f *Federation) SelectStream(ctx context.Context, sel sqlparse.SelectStmt) 
 	ctx, sp := obs.StartSpan(ctx, "federation.selectstream")
 	sp.Set("table", sel.From.Name)
 	metQueries.Inc()
+	ctx, aq := f.registerQuery(ctx, "select", sel.String())
+	aq.SetTraceID(sp.TraceID)
 
-	st, trace, err := f.openSelectStream(ctx, sel, sp)
+	st, trace, err := f.openSelectStream(ctx, sel, sp, aq)
 	if err != nil {
 		metQueryErrs.Inc()
 		sp.SetErr(err)
 		sp.End()
+		aq.Finish()
 		return nil, nil, err
 	}
 	trace.TraceID = sp.TraceID
@@ -303,7 +345,9 @@ func (f *Federation) SelectStream(ctx context.Context, sel sqlparse.SelectStmt) 
 }
 
 // openSelectStream builds the merge stream for a streamable SELECT.
-func (f *Federation) openSelectStream(ctx context.Context, sel sqlparse.SelectStmt, sp *obs.Span) (storage.RowStream, *QueryTrace, error) {
+// aq is the stream's registry entry (nil when observability is off);
+// the stream owns it and unregisters it when it settles.
+func (f *Federation) openSelectStream(ctx context.Context, sel sqlparse.SelectStmt, sp *obs.Span, aq *obs.ActiveQuery) (storage.RowStream, *QueryTrace, error) {
 	gt, err := f.Table(sel.From.Name)
 	if err != nil {
 		return nil, nil, err
@@ -351,6 +395,20 @@ func (f *Federation) openSelectStream(ctx context.Context, sel sqlparse.SelectSt
 		keyIdx = append(keyIdx, ci)
 	}
 
+	// The consumer side is two stages: "filter/limit" (WHERE re-check,
+	// projection, OFFSET/LIMIT — the rows the caller actually sees) over
+	// "merge" (the fan-in: every row shipped by every fragment). Both
+	// ride the context so the fragment pumps parent under the merge.
+	limitDetail := lower(sel.From.Name)
+	if sel.Limit >= 0 {
+		limitDetail += " limit " + strconv.Itoa(sel.Limit)
+	}
+	if sel.Offset > 0 {
+		limitDetail += " offset " + strconv.Itoa(sel.Offset)
+	}
+	ctx, limitStage := obs.StartStage(ctx, "filter/limit", limitDetail)
+	ctx, mergeStage := obs.StartStage(ctx, "merge", lower(sel.From.Name))
+
 	sctx, cancel := context.WithCancel(ctx)
 	counters := &streamCounters{}
 	batchRows := clampFedBatch(f.StreamBatchRows)
@@ -365,6 +423,7 @@ func (f *Federation) openSelectStream(ctx context.Context, sel sqlparse.SelectSt
 	width := len(def.Columns)
 	return &fedStream{
 		f: f, ctx: ctx, cancel: cancel, sp: sp, start: time.Now(),
+		aq: aq, sql: sel.String(), limitStage: limitStage, mergeStage: mergeStage,
 		trace: trace, ch: ch, counters: counters,
 		table: gt.Def.Name, width: width, fullWidth: len(gt.Def.Columns),
 		env: plan.NewRowEnvRaw(names, nil), where: sel.Where, items: items,
@@ -444,6 +503,12 @@ type fedStream struct {
 	ch       <-chan fragMsg
 	counters *streamCounters
 
+	aq         *obs.ActiveQuery // registry entry; finished when the stream settles
+	sql        string           // statement text, for the slow-query log
+	limitStage *obs.StageStats  // rows surviving WHERE/OFFSET/LIMIT
+	mergeStage *obs.StageStats  // rows arriving over the fan-in
+	limitRows  int64            // emitted rows not yet flushed to limitStage
+
 	table     string
 	width     int // shipped columns per row
 	fullWidth int // unprojected width, for pushdown accounting
@@ -493,6 +558,10 @@ func (s *fedStream) Next() (storage.Row, error) {
 					s.cancel()
 				}
 			}
+			// Counted locally and flushed per batch (and at finish): the
+			// consumer loop pays no atomic per emitted row, and live
+			// snapshots lag by at most one batch.
+			s.limitRows++
 			return row, nil
 		}
 		if s.err != nil {
@@ -501,7 +570,11 @@ func (s *fedStream) Next() (storage.Row, error) {
 		if s.waiting == 0 {
 			return nil, s.finishEOF()
 		}
+		// The fan-in receive is the merge's producer wait; it is measured
+		// exactly (per message, not per row) so the cost stays O(batches).
+		recvStart := time.Now()
 		msg, ok := <-s.ch
+		s.mergeStage.BlockedUpstream(time.Since(recvStart))
 		if !ok {
 			s.waiting = 0
 			return nil, s.finishEOF()
@@ -518,6 +591,8 @@ func (s *fedStream) Next() (storage.Row, error) {
 // consumeBatch turns one shipped batch into pending output rows.
 func (s *fedStream) consumeBatch(b *storage.Batch) {
 	s.counters.add(-int64(len(b.Rows)))
+	s.mergeStage.AddBatch(int64(len(b.Rows)), 0)
+	s.flushLimitRows()
 	defer storage.PutBatch(b)
 	s.pending = s.pending[:0]
 	s.pos = 0
@@ -568,6 +643,7 @@ func (s *fedStream) noteDone(m fragMsg) {
 		// live fragments still answer. Semantic errors always fail.
 		if s.f.PartialResults && isAvailabilityErr(m.err) && s.ctx.Err() == nil {
 			s.trace.noteFragmentError(s.table+"/"+m.frag.ID, m.err)
+			obs.MarkDegraded(s.ctx)
 			return
 		}
 		s.fail(m.err)
@@ -577,6 +653,7 @@ func (s *fedStream) noteDone(m fragMsg) {
 	if m.stale {
 		s.trace.StaleServed = append(s.trace.StaleServed, s.table+"/"+m.frag.ID+"@"+m.site.Name())
 		metStaleReads.Inc()
+		obs.MarkStale(s.ctx)
 	}
 	metSiteRows(m.site.Name()).Add(int64(m.rows))
 	s.trace.CellsShipped += m.rows * s.width
@@ -593,11 +670,22 @@ func (s *fedStream) noteDone(m fragMsg) {
 // error instead. (The internal cancel — LIMIT satisfied, Close — never
 // touches s.ctx, so those paths still end clean.)
 func (s *fedStream) finishEOF() error {
-	if err := s.ctx.Err(); err != nil {
-		s.fail(fmt.Errorf("federation: streaming select interrupted: %w", err))
+	if s.ctx.Err() != nil {
+		// Cause keeps an operator kill typed (obs.ErrQueryCanceled)
+		// through the wrap; Err would flatten it to context.Canceled.
+		s.fail(fmt.Errorf("federation: streaming select interrupted: %w", context.Cause(s.ctx)))
 		return s.err
 	}
 	return s.finish(io.EOF)
+}
+
+// flushLimitRows moves the locally counted emitted rows onto the
+// filter/limit stage's atomic.
+func (s *fedStream) flushLimitRows() {
+	if s.limitRows > 0 {
+		s.limitStage.AddRows(s.limitRows)
+		s.limitRows = 0
+	}
 }
 
 // fail records the stream's terminal error and stops the producers.
@@ -616,11 +704,13 @@ func (s *fedStream) finish(err error) error {
 	}
 	s.settled = true
 	s.cancel()
+	s.flushLimitRows()
 	s.trace.PeakBufferedRows = int(s.counters.peak.Load())
 	metQuerySeconds.Observe(time.Since(s.start))
 	if err != nil && err != io.EOF {
 		metQueryErrs.Inc()
 		s.sp.SetErr(err)
+		s.limitStage.Fail(err)
 	} else {
 		if s.trace.Degraded {
 			s.sp.Set("degraded", strconv.Itoa(len(s.trace.FragmentErrors)))
@@ -629,7 +719,15 @@ func (s *fedStream) finish(err error) error {
 		}
 		s.sp.Set("peak_buffered_rows", strconv.Itoa(s.trace.PeakBufferedRows))
 	}
+	s.mergeStage.NotePeak(s.counters.peak.Load())
+	s.mergeStage.Done()
+	s.limitStage.Done()
+	s.sp.SetStage(s.mergeStage)
 	s.sp.End()
+	if s.f.Slow != nil && s.aq != nil {
+		s.f.Slow.RecordStages(s.sql, time.Since(s.start), s.trace.TraceID, s.aq.Stages().Snapshot())
+	}
+	s.aq.Finish()
 	return err
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
@@ -14,6 +15,8 @@ import (
 //	GET /debug/trace/{id}   one trace as a span tree
 //	GET /debug/traces       retained trace IDs, oldest first
 //	GET /debug/slow         the slow-query log, newest first
+//	GET /debug/queries      in-flight queries with per-stage progress
+//	POST /debug/queries/{id}/cancel  cancel an in-flight query
 //
 // Unmatched paths fall through to Next, so a daemon mounts Handler in
 // front of its existing handler; nil Next turns unmatched paths into
@@ -22,14 +25,16 @@ import (
 type Handler struct {
 	Registry *Registry
 	Tracer   *Tracer
-	Slow     *SlowLog     // optional; nil serves an empty log
-	Health   func() error // optional readiness probe; nil means always healthy
-	Next     http.Handler // fallback for unmatched paths
+	Slow     *SlowLog       // optional; nil serves an empty log
+	Queries  *QueryRegistry // optional; nil serves an empty list
+	Health   func() error   // optional readiness probe; nil means always healthy
+	Next     http.Handler   // fallback for unmatched paths
 }
 
-// NewHandler wires the default registry and tracer in front of next.
+// NewHandler wires the default registry, tracer and in-flight query
+// registry in front of next.
 func NewHandler(next http.Handler) *Handler {
-	return &Handler{Registry: Default(), Tracer: DefaultTracer(), Next: next}
+	return &Handler{Registry: Default(), Tracer: DefaultTracer(), Queries: ActiveQueries(), Next: next}
 }
 
 // ServeHTTP implements http.Handler.
@@ -45,6 +50,10 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSONBody(w, http.StatusOK, h.Tracer.TraceIDs())
 	case r.URL.Path == "/debug/slow":
 		h.serveSlow(w)
+	case r.URL.Path == "/debug/queries":
+		h.serveQueries(w)
+	case strings.HasPrefix(r.URL.Path, "/debug/queries/"):
+		h.serveQueryCancel(w, r)
 	default:
 		if h.Next != nil {
 			h.Next.ServeHTTP(w, r)
@@ -102,6 +111,39 @@ func (h *Handler) serveSlow(w http.ResponseWriter) {
 		recs = []SlowQuery{}
 	}
 	writeJSONBody(w, http.StatusOK, recs)
+}
+
+func (h *Handler) serveQueries(w http.ResponseWriter) {
+	var snaps []ActiveQuerySnapshot
+	if h.Queries != nil {
+		snaps = h.Queries.Snapshot()
+	}
+	if snaps == nil {
+		snaps = []ActiveQuerySnapshot{}
+	}
+	writeJSONBody(w, http.StatusOK, snaps)
+}
+
+// serveQueryCancel handles POST /debug/queries/{id}/cancel: the named
+// query's context is canceled with ErrQueryCanceled as the cause, so
+// its streams terminate with a typed error the caller can inspect.
+func (h *Handler) serveQueryCancel(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/debug/queries/")
+	idStr, ok := strings.CutSuffix(rest, "/cancel")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeJSONBody(w, http.StatusMethodNotAllowed, map[string]string{"error": "cancel requires POST"})
+		return
+	}
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil || h.Queries == nil || !h.Queries.Cancel(id) {
+		writeJSONBody(w, http.StatusNotFound, map[string]string{"error": "no in-flight query " + idStr})
+		return
+	}
+	writeJSONBody(w, http.StatusOK, map[string]string{"canceled": idStr})
 }
 
 func writeJSONBody(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The in-flight query registry. Every federated query (and reconciler
+// repair pass) registers here for its lifetime, so an operator can
+// list what the process is doing right now — query text, trace id,
+// elapsed time, per-stage progress — and cancel a runaway query
+// through its context. Served over HTTP as GET /debug/queries and
+// POST /debug/queries/{id}/cancel by Handler.
+
+// ErrQueryCanceled is the cancellation cause installed when a query
+// is killed through the registry (the /debug/queries/{id}/cancel
+// endpoint or QueryRegistry.Cancel). Streams terminated this way
+// surface an error satisfying errors.Is(err, ErrQueryCanceled).
+var ErrQueryCanceled = errors.New("query canceled by operator")
+
+// ActiveQuery is one registered in-flight query. The zero of use is
+// the nil pointer: every method no-ops, so nested registrations (a
+// UNION branch inside an already-registered query) can hold nil.
+type ActiveQuery struct {
+	id    int64
+	kind  string
+	sql   string
+	start time.Time
+
+	reg      *QueryRegistry
+	cancel   context.CancelCauseFunc
+	stages   *QueryStages
+	traceID  atomic.Value // string
+	degraded atomic.Bool
+	stale    atomic.Bool
+	finished atomic.Bool
+}
+
+// ID reports the registry-assigned query id (0 for nil).
+func (q *ActiveQuery) ID() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.id
+}
+
+// Stages returns the query's stage collector (nil for nil).
+func (q *ActiveQuery) Stages() *QueryStages {
+	if q == nil {
+		return nil
+	}
+	return q.stages
+}
+
+// SetTraceID attaches the query's trace identity, shown by
+// /debug/queries so operators can jump to /debug/trace/{id}.
+func (q *ActiveQuery) SetTraceID(id string) {
+	if q != nil && id != "" {
+		q.traceID.Store(id)
+	}
+}
+
+// TraceID reports the attached trace id ("" when none).
+func (q *ActiveQuery) TraceID() string {
+	if q == nil {
+		return ""
+	}
+	id, _ := q.traceID.Load().(string)
+	return id
+}
+
+// Finish unregisters the query and releases its cancel cause.
+// Idempotent and nil-safe; call it when the query's last stream
+// closes.
+func (q *ActiveQuery) Finish() {
+	if q == nil || !q.finished.CompareAndSwap(false, true) {
+		return
+	}
+	if q.reg != nil {
+		q.reg.remove(q.id)
+	}
+	if q.cancel != nil {
+		// Release the context node; the query is over, so the cause is
+		// plain context.Canceled, never ErrQueryCanceled.
+		q.cancel(nil)
+	}
+}
+
+// Cancel kills the query: its context is canceled with
+// ErrQueryCanceled as the cause. The query stays registered until its
+// owner observes the cancellation and calls Finish.
+func (q *ActiveQuery) Cancel() {
+	if q != nil && q.cancel != nil {
+		q.cancel(ErrQueryCanceled)
+	}
+}
+
+type queryCtxKey struct{}
+
+// QueryFromContext extracts the registered query (nil when absent).
+func QueryFromContext(ctx context.Context) *ActiveQuery {
+	q, _ := ctx.Value(queryCtxKey{}).(*ActiveQuery)
+	return q
+}
+
+// MarkDegraded flags the query in ctx as running degraded (a fragment
+// failed under PartialResults). No-op outside a registered query.
+func MarkDegraded(ctx context.Context) {
+	if q := QueryFromContext(ctx); q != nil {
+		q.degraded.Store(true)
+	}
+}
+
+// MarkStale flags the query in ctx as having read a replica with
+// pending write-intents. No-op outside a registered query.
+func MarkStale(ctx context.Context) {
+	if q := QueryFromContext(ctx); q != nil {
+		q.stale.Store(true)
+	}
+}
+
+// StartStage opens an operator stage under the query registered in
+// ctx, parented beneath the current stage. Outside a registered query
+// it returns ctx unchanged and a nil stage, so instrumentation is
+// free on unobserved paths.
+func StartStage(ctx context.Context, name, detail string) (context.Context, *StageStats) {
+	if q := QueryFromContext(ctx); q != nil {
+		return q.stages.Stage(ctx, name, detail)
+	}
+	return ctx, nil
+}
+
+// ActiveQuerySnapshot is the /debug/queries wire form of one query.
+type ActiveQuerySnapshot struct {
+	ID        int64           `json:"id"`
+	Kind      string          `json:"kind"`
+	SQL       string          `json:"sql"`
+	TraceID   string          `json:"trace_id,omitempty"`
+	StartedAt time.Time       `json:"started_at"`
+	ElapsedNs int64           `json:"elapsed_ns"`
+	Degraded  bool            `json:"degraded,omitempty"`
+	Stale     bool            `json:"stale_served,omitempty"`
+	Stages    []StageSnapshot `json:"stages,omitempty"`
+}
+
+// QueryRegistry tracks in-flight queries. Safe for concurrent use.
+type QueryRegistry struct {
+	seq atomic.Int64
+
+	mu      sync.Mutex
+	queries map[int64]*ActiveQuery
+}
+
+// NewQueryRegistry returns an empty registry.
+func NewQueryRegistry() *QueryRegistry {
+	return &QueryRegistry{queries: make(map[int64]*ActiveQuery)}
+}
+
+var defaultQueries = NewQueryRegistry()
+
+// ActiveQueries returns the process-wide registry.
+func ActiveQueries() *QueryRegistry { return defaultQueries }
+
+// Register enters a query into the registry and returns a context
+// wired for cancellation (context.Cause reports ErrQueryCanceled when
+// the registry killed it) and carrying the query's stage collector.
+// If ctx already carries a registered query — a UNION branch, a
+// nested select — Register returns ctx unchanged and a nil handle:
+// stages keep collecting under the enclosing query, and the nil
+// handle's Finish is a no-op so the outer registration survives.
+func (r *QueryRegistry) Register(ctx context.Context, kind, sql string) (context.Context, *ActiveQuery) {
+	if QueryFromContext(ctx) != nil {
+		return ctx, nil
+	}
+	ctx, cancel := context.WithCancelCause(ctx)
+	q := &ActiveQuery{
+		id:     r.seq.Add(1),
+		kind:   kind,
+		sql:    sql,
+		start:  time.Now(),
+		reg:    r,
+		cancel: cancel,
+		stages: NewQueryStages(),
+	}
+	if sc, ok := FromContext(ctx); ok {
+		q.traceID.Store(sc.TraceID)
+	}
+	r.mu.Lock()
+	r.queries[q.id] = q
+	r.mu.Unlock()
+	return context.WithValue(ctx, queryCtxKey{}, q), q
+}
+
+func (r *QueryRegistry) remove(id int64) {
+	r.mu.Lock()
+	delete(r.queries, id)
+	r.mu.Unlock()
+}
+
+// Cancel kills the query with the given id, reporting whether it was
+// found. The cancellation cause is ErrQueryCanceled.
+func (r *QueryRegistry) Cancel(id int64) bool {
+	r.mu.Lock()
+	q := r.queries[id]
+	r.mu.Unlock()
+	if q == nil {
+		return false
+	}
+	q.Cancel()
+	return true
+}
+
+// Len reports how many queries are currently in flight.
+func (r *QueryRegistry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.queries)
+}
+
+// Snapshot lists in-flight queries ordered by id (registration
+// order). Stage snapshots are taken outside the registry lock.
+func (r *QueryRegistry) Snapshot() []ActiveQuerySnapshot {
+	r.mu.Lock()
+	live := make([]*ActiveQuery, 0, len(r.queries))
+	for _, q := range r.queries {
+		live = append(live, q)
+	}
+	r.mu.Unlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	out := make([]ActiveQuerySnapshot, len(live))
+	for i, q := range live {
+		out[i] = ActiveQuerySnapshot{
+			ID:        q.id,
+			Kind:      q.kind,
+			SQL:       q.sql,
+			TraceID:   q.TraceID(),
+			StartedAt: q.start,
+			ElapsedNs: time.Since(q.start).Nanoseconds(),
+			Degraded:  q.degraded.Load(),
+			Stale:     q.stale.Load(),
+			Stages:    q.stages.Snapshot(),
+		}
+	}
+	return out
+}

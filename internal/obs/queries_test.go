@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegisterCancelFinishLifecycle(t *testing.T) {
+	reg := NewQueryRegistry()
+	ctx, aq := reg.Register(context.Background(), "select", "SELECT 1")
+	if aq == nil || aq.ID() == 0 {
+		t.Fatal("registration returned no handle")
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", reg.Len())
+	}
+	snaps := reg.Snapshot()
+	if len(snaps) != 1 || snaps[0].SQL != "SELECT 1" || snaps[0].Kind != "select" {
+		t.Fatalf("snapshot = %+v", snaps)
+	}
+	if !reg.Cancel(aq.ID()) {
+		t.Fatal("Cancel reported unknown id for a live query")
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("context not canceled after registry Cancel")
+	}
+	if cause := context.Cause(ctx); !errors.Is(cause, ErrQueryCanceled) {
+		t.Fatalf("cause = %v, want ErrQueryCanceled", cause)
+	}
+	// A canceled query stays listed until its owner observes the
+	// cancellation and finishes; Finish then unregisters, idempotently.
+	if reg.Len() != 1 {
+		t.Fatalf("canceled query dropped early: Len = %d", reg.Len())
+	}
+	aq.Finish()
+	aq.Finish()
+	if reg.Len() != 0 {
+		t.Fatalf("Len after Finish = %d, want 0", reg.Len())
+	}
+	if reg.Cancel(aq.ID()) {
+		t.Fatal("Cancel found a finished query")
+	}
+}
+
+func TestFinishWithoutCancelReleasesCleanly(t *testing.T) {
+	reg := NewQueryRegistry()
+	ctx, aq := reg.Register(context.Background(), "select", "SELECT 2")
+	aq.Finish()
+	// Finish releases the context node with a plain cause: consumers
+	// must never see an operator cancel they didn't ask for.
+	if cause := context.Cause(ctx); errors.Is(cause, ErrQueryCanceled) {
+		t.Fatalf("Finish installed ErrQueryCanceled: %v", cause)
+	}
+}
+
+func TestNestedRegisterIsGuarded(t *testing.T) {
+	reg := NewQueryRegistry()
+	ctx, outer := reg.Register(context.Background(), "explain", "EXPLAIN ANALYZE SELECT 1")
+	inner, nested := reg.Register(ctx, "select", "SELECT 1")
+	if nested != nil {
+		t.Fatalf("nested registration returned a handle: %+v", nested)
+	}
+	if inner != ctx {
+		t.Fatal("nested registration replaced the context")
+	}
+	// The nil handle must be fully inert.
+	nested.SetTraceID("tr-x")
+	nested.Cancel()
+	nested.Finish()
+	if reg.Len() != 1 {
+		t.Fatalf("nil handle disturbed the outer registration: Len = %d", reg.Len())
+	}
+	// Stages opened in the nested scope land in the OUTER query's tree.
+	_, st := StartStage(inner, "merge", "")
+	st.AddRows(3)
+	snaps := outer.Stages().Snapshot()
+	if len(snaps) != 1 || snaps[0].Stage != "merge" || snaps[0].Rows != 3 {
+		t.Fatalf("outer stages = %+v", snaps)
+	}
+	outer.Finish()
+}
+
+func TestMarkDegradedAndStaleReachOuterQuery(t *testing.T) {
+	// No-ops outside a registered query.
+	MarkDegraded(context.Background())
+	MarkStale(context.Background())
+
+	reg := NewQueryRegistry()
+	ctx, aq := reg.Register(context.Background(), "select", "SELECT 3")
+	defer aq.Finish()
+	// Marks travel from nested stage contexts back to the query.
+	sctx, _ := StartStage(ctx, "fragment", "f0")
+	MarkDegraded(sctx)
+	MarkStale(sctx)
+	snaps := reg.Snapshot()
+	if len(snaps) != 1 || !snaps[0].Degraded || !snaps[0].Stale {
+		t.Fatalf("snapshot = %+v", snaps)
+	}
+}
+
+func TestStageTreeParenting(t *testing.T) {
+	reg := NewQueryRegistry()
+	ctx, aq := reg.Register(context.Background(), "select", "SELECT 4")
+	defer aq.Finish()
+	mctx, merge := StartStage(ctx, "merge", "")
+	_, fragA := StartStage(mctx, "fragment", "hotels/f0")
+	_, fragB := StartStage(mctx, "fragment", "hotels/f1")
+	fragA.AddRows(1)
+	fragB.AddRows(2)
+	merge.AddRows(3)
+	snaps := aq.Stages().Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("stages = %d, want 3", len(snaps))
+	}
+	if snaps[0].Stage != "merge" || snaps[0].Parent != -1 {
+		t.Fatalf("root stage = %+v", snaps[0])
+	}
+	for _, s := range snaps[1:] {
+		if s.Stage != "fragment" || s.Parent != snaps[0].ID {
+			t.Fatalf("child stage not parented under merge: %+v", s)
+		}
+	}
+}
+
+func TestStageStatsNilSafe(t *testing.T) {
+	var s *StageStats
+	s.AddRows(5)
+	s.AddBatch(2, 100)
+	s.BlockedUpstream(time.Second)
+	s.BlockedDownstream(time.Second)
+	s.NotePeak(9)
+	s.SetDetail("x")
+	s.Fail(errors.New("boom"))
+	s.Done()
+	if got := s.Snapshot(); got.Rows != 0 || got.Parent != -1 {
+		t.Fatalf("nil snapshot = %+v", got)
+	}
+	if s.Name() != "" {
+		t.Fatal("nil Name")
+	}
+}
+
+func TestStageStatsCounters(t *testing.T) {
+	s := NewStage("scan", "hotels")
+	s.AddRows(10)
+	s.AddBatch(5, 512)
+	s.BlockedUpstream(2 * time.Millisecond)
+	s.BlockedDownstream(3 * time.Millisecond)
+	s.NotePeak(7)
+	s.NotePeak(4) // watermark never regresses
+	s.Done()
+	snap := s.Snapshot()
+	if snap.Rows != 15 || snap.Batches != 1 || snap.Bytes != 512 {
+		t.Fatalf("counters = %+v", snap)
+	}
+	if snap.FirstRowNs == 0 {
+		t.Fatal("time-to-first-row not stamped")
+	}
+	if snap.BlockedUpstreamNs < (2 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("blocked upstream = %d", snap.BlockedUpstreamNs)
+	}
+	if snap.BlockedDownstreamNs < (3 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("blocked downstream = %d", snap.BlockedDownstreamNs)
+	}
+	if snap.PeakBuffered != 7 {
+		t.Fatalf("peak = %d, want 7", snap.PeakBuffered)
+	}
+	if !snap.Done {
+		t.Fatal("stage not done")
+	}
+	wall := snap.WallNs
+	time.Sleep(time.Millisecond)
+	s.Done() // idempotent: the wall clock stays frozen
+	if again := s.Snapshot().WallNs; again != wall {
+		t.Fatalf("Done moved the wall clock: %d -> %d", wall, again)
+	}
+}
+
+func TestStageStatsFail(t *testing.T) {
+	s := NewStage("wrapper.fetch", "")
+	s.Fail(errors.New("site down"))
+	snap := s.Snapshot()
+	if snap.Err != "site down" || !snap.Done {
+		t.Fatalf("failed stage = %+v", snap)
+	}
+}
+
+func TestTopStagesOrdersByBlockedUpstream(t *testing.T) {
+	mk := func(name string, blocked int64) StageSnapshot {
+		return StageSnapshot{Stage: name, BlockedUpstreamNs: blocked}
+	}
+	in := []StageSnapshot{mk("a", 10), mk("b", 40), mk("c", 20), mk("d", 30)}
+	top := TopStages(in, 3)
+	if len(top) != 3 || top[0].Stage != "b" || top[1].Stage != "d" || top[2].Stage != "c" {
+		t.Fatalf("top = %+v", top)
+	}
+	if got := TopStages(nil, 3); got != nil {
+		t.Fatalf("TopStages(nil) = %+v", got)
+	}
+	if got := TopStages(in, 0); got != nil {
+		t.Fatalf("TopStages(n=0) = %+v", got)
+	}
+	if in[0].Stage != "a" {
+		t.Fatal("TopStages mutated its input")
+	}
+}
+
+// TestRegistryRaceHammer drives register/stage/cancel/snapshot/finish
+// from many goroutines at once; its value is the -race run in CI.
+func TestRegistryRaceHammer(t *testing.T) {
+	reg := NewQueryRegistry()
+	const workers = 8
+	const rounds = 50
+	stop := make(chan struct{})
+
+	// Observer goroutines: snapshot and cancel whatever is in flight
+	// while the workers churn.
+	var observers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		observers.Add(1)
+		go func() {
+			defer observers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, q := range reg.Snapshot() {
+					if q.ID%3 == 0 {
+						reg.Cancel(q.ID)
+					}
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				ctx, aq := reg.Register(context.Background(), "select",
+					fmt.Sprintf("SELECT %d FROM w%d", i, w))
+				sctx, st := StartStage(ctx, "merge", "")
+				_, child := StartStage(sctx, "fragment", "f0")
+				child.AddBatch(4, 64)
+				st.AddRows(4)
+				MarkDegraded(sctx)
+				aq.SetTraceID(fmt.Sprintf("tr-%d-%d", w, i))
+				child.Done()
+				st.Done()
+				aq.Finish()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	observers.Wait()
+	if reg.Len() != 0 {
+		t.Fatalf("registry not drained: %d in flight", reg.Len())
+	}
+}

@@ -5,12 +5,18 @@ import (
 	"time"
 )
 
-// SlowQuery is one retained slow-query record.
+// SlowQuery is one retained slow-query record. TraceURL points at the
+// span tree for the same execution (/debug/trace/{id}) and TopStages
+// carries the three operator stages that spent the longest blocked on
+// their producers — enough to answer "where did this query's time go"
+// from the slow log alone.
 type SlowQuery struct {
-	SQL      string        `json:"sql"`
-	Duration time.Duration `json:"duration_ns"`
-	TraceID  string        `json:"trace_id,omitempty"`
-	At       time.Time     `json:"at"`
+	SQL       string          `json:"sql"`
+	Duration  time.Duration   `json:"duration_ns"`
+	TraceID   string          `json:"trace_id,omitempty"`
+	TraceURL  string          `json:"trace_url,omitempty"`
+	TopStages []StageSnapshot `json:"top_stages,omitempty"`
+	At        time.Time       `json:"at"`
 }
 
 // SlowLog is a bounded ring of the most recent queries at or above a
@@ -41,10 +47,20 @@ func NewSlowLog(capacity int) *SlowLog {
 // Record notes a finished query; it reports whether the query cleared
 // the threshold and was retained.
 func (l *SlowLog) Record(sql string, d time.Duration, traceID string) bool {
+	return l.RecordStages(sql, d, traceID, nil)
+}
+
+// RecordStages is Record carrying the query's operator stages; the
+// three slowest (by blocked-upstream time) are retained with the
+// entry, and the trace id becomes a /debug/trace link.
+func (l *SlowLog) RecordStages(sql string, d time.Duration, traceID string, stages []StageSnapshot) bool {
 	if d < l.Threshold {
 		return false
 	}
-	rec := SlowQuery{SQL: sql, Duration: d, TraceID: traceID, At: time.Now()}
+	rec := SlowQuery{SQL: sql, Duration: d, TraceID: traceID, At: time.Now(), TopStages: TopStages(stages, 3)}
+	if traceID != "" {
+		rec.TraceURL = "/debug/trace/" + traceID
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if len(l.ring) < l.capacity {

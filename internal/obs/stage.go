@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Operator-level stage accounting. A StageStats is one pipeline
+// operator's counters — rows, batches, bytes, time-to-first-row, and
+// how long the operator spent blocked on its producer vs its consumer.
+// Stages are created through a QueryStages collector (one per query)
+// and parent each other through the context, exactly as spans do, so a
+// scatter-gather pipeline self-assembles into a tree: merge → fragment
+// pumps → wrapper fetches → remote decodes → storage scans.
+//
+// Every method is safe on a nil receiver and does nothing there: code
+// paths shared with unobserved queries (a plain local SELECT, a bench
+// run with observability disabled) carry nil stages and pay only a
+// nil check.
+
+// StageStats holds one operator's live counters. All counter fields
+// are atomics: producers and the registry's snapshot endpoint read and
+// write them concurrently while the query runs.
+type StageStats struct {
+	id     int
+	parent int // index into the collector; -1 for a root stage
+	name   string
+	start  time.Time
+
+	detail        atomic.Value // string; settable after creation (site chosen late)
+	rows          atomic.Int64
+	batches       atomic.Int64
+	bytes         atomic.Int64
+	firstRowNs    atomic.Int64 // ns from stage start to first row; 0 = none yet
+	blockedUpNs   atomic.Int64 // waiting on the producer (inside upstream Next/recv)
+	blockedDownNs atomic.Int64 // waiting on the consumer (channel send / call gap)
+	peakBuffered  atomic.Int64
+	endNs         atomic.Int64 // ns from start to Done; 0 = still running
+	errMsg        atomic.Value // string
+}
+
+// Name reports the operator name the stage was created with.
+func (s *StageStats) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetDetail replaces the stage's detail string (fragment/site names
+// are often known only after replica selection).
+func (s *StageStats) SetDetail(d string) {
+	if s != nil {
+		s.detail.Store(d)
+	}
+}
+
+func (s *StageStats) markFirst() {
+	if s.firstRowNs.Load() == 0 {
+		s.firstRowNs.CompareAndSwap(0, time.Since(s.start).Nanoseconds()|1)
+	}
+}
+
+// AddRows counts n rows through the stage, stamping time-to-first-row
+// on the first call.
+func (s *StageStats) AddRows(n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.markFirst()
+	s.rows.Add(n)
+}
+
+// AddBatch counts one batch of rows and bytes through the stage.
+// Either count may be zero (a pure byte stage or a row-only stage).
+func (s *StageStats) AddBatch(rows, bytes int64) {
+	if s == nil {
+		return
+	}
+	if rows > 0 {
+		s.markFirst()
+		s.rows.Add(rows)
+	}
+	if bytes > 0 {
+		s.bytes.Add(bytes)
+	}
+	s.batches.Add(1)
+}
+
+// BlockedUpstream adds producer-wait time: the stage sat inside its
+// upstream's Next (or a channel receive) for d.
+func (s *StageStats) BlockedUpstream(d time.Duration) {
+	if s != nil && d > 0 {
+		s.blockedUpNs.Add(d.Nanoseconds())
+	}
+}
+
+// BlockedDownstream adds consumer-wait time: the stage sat in a
+// channel send (or between Next calls) waiting to hand off rows.
+func (s *StageStats) BlockedDownstream(d time.Duration) {
+	if s != nil && d > 0 {
+		s.blockedDownNs.Add(d.Nanoseconds())
+	}
+}
+
+// NotePeak raises the stage's peak-buffered-rows watermark to n.
+func (s *StageStats) NotePeak(n int64) {
+	if s == nil {
+		return
+	}
+	for {
+		cur := s.peakBuffered.Load()
+		if n <= cur || s.peakBuffered.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Fail records the stage's terminal error and marks it done.
+func (s *StageStats) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.errMsg.Store(err.Error())
+	s.Done()
+}
+
+// Cut settles a stage that its consumer deliberately stopped (LIMIT
+// satisfied, stream closed early). The cancellation that tore the
+// producer down may already have been recorded as the stage error;
+// a consumer cut is not a failure, so the error is cleared.
+func (s *StageStats) Cut() {
+	if s == nil {
+		return
+	}
+	s.errMsg.Store("")
+	s.Done()
+}
+
+// Done freezes the stage's wall clock. Idempotent; later calls keep
+// the first end time.
+func (s *StageStats) Done() {
+	if s == nil {
+		return
+	}
+	s.endNs.CompareAndSwap(0, time.Since(s.start).Nanoseconds()|1)
+}
+
+// NewStage returns a standalone stage attached to no collector — for
+// processes on the far side of a trace boundary (a serving coherad's
+// /fetchstream encoder) that only attach their stats to a local span
+// via Span.SetStage.
+func NewStage(name, detail string) *StageStats {
+	st := &StageStats{parent: -1, name: name, start: time.Now()}
+	if detail != "" {
+		st.detail.Store(detail)
+	}
+	return st
+}
+
+// StageSnapshot is the wire/report form of a stage's counters at one
+// instant; served by /debug/queries and rendered by EXPLAIN ANALYZE.
+type StageSnapshot struct {
+	ID                  int    `json:"id"`
+	Parent              int    `json:"parent"` // -1 for roots
+	Stage               string `json:"stage"`
+	Detail              string `json:"detail,omitempty"`
+	Rows                int64  `json:"rows"`
+	Batches             int64  `json:"batches,omitempty"`
+	Bytes               int64  `json:"bytes,omitempty"`
+	FirstRowNs          int64  `json:"first_row_ns,omitempty"`
+	BlockedUpstreamNs   int64  `json:"blocked_upstream_ns,omitempty"`
+	BlockedDownstreamNs int64  `json:"blocked_downstream_ns,omitempty"`
+	PeakBuffered        int64  `json:"peak_buffered,omitempty"`
+	WallNs              int64  `json:"wall_ns"`
+	Done                bool   `json:"done"`
+	Err                 string `json:"error,omitempty"`
+}
+
+// Snapshot captures the stage's counters. Safe while the stage is
+// live; a nil stage yields a zero snapshot.
+func (s *StageStats) Snapshot() StageSnapshot {
+	if s == nil {
+		return StageSnapshot{Parent: -1}
+	}
+	snap := StageSnapshot{
+		ID:                  s.id,
+		Parent:              s.parent,
+		Stage:               s.name,
+		Rows:                s.rows.Load(),
+		Batches:             s.batches.Load(),
+		Bytes:               s.bytes.Load(),
+		FirstRowNs:          s.firstRowNs.Load(),
+		BlockedUpstreamNs:   s.blockedUpNs.Load(),
+		BlockedDownstreamNs: s.blockedDownNs.Load(),
+		PeakBuffered:        s.peakBuffered.Load(),
+	}
+	if d, ok := s.detail.Load().(string); ok {
+		snap.Detail = d
+	}
+	if e, ok := s.errMsg.Load().(string); ok {
+		snap.Err = e
+	}
+	if end := s.endNs.Load(); end != 0 {
+		snap.WallNs, snap.Done = end, true
+	} else {
+		snap.WallNs = time.Since(s.start).Nanoseconds()
+	}
+	return snap
+}
+
+// SetStage copies a stage's counters onto the span as attributes, so
+// cross-process traces double as per-operator profiles. Call it just
+// before End, once the stage has settled.
+func (s *Span) SetStage(st *StageStats) {
+	if st == nil {
+		return
+	}
+	snap := st.Snapshot()
+	s.Set("stage.rows", strconv.FormatInt(snap.Rows, 10))
+	if snap.Batches > 0 {
+		s.Set("stage.batches", strconv.FormatInt(snap.Batches, 10))
+	}
+	if snap.Bytes > 0 {
+		s.Set("stage.bytes", strconv.FormatInt(snap.Bytes, 10))
+	}
+	if snap.FirstRowNs > 0 {
+		s.Set("stage.first_row", time.Duration(snap.FirstRowNs).String())
+	}
+	s.Set("stage.blocked_upstream", time.Duration(snap.BlockedUpstreamNs).String())
+	s.Set("stage.blocked_downstream", time.Duration(snap.BlockedDownstreamNs).String())
+	if snap.PeakBuffered > 0 {
+		s.Set("stage.peak_buffered", strconv.FormatInt(snap.PeakBuffered, 10))
+	}
+}
+
+// QueryStages collects the stages of one query. It is created by the
+// query registry at Register time and travels in the context; any
+// layer of the pipeline can open a stage under the current parent
+// without plumbing.
+type QueryStages struct {
+	mu     sync.Mutex
+	stages []*StageStats
+}
+
+// NewQueryStages returns an empty collector.
+func NewQueryStages() *QueryStages { return &QueryStages{} }
+
+type stageCtxKey struct{}
+
+// ContextWithStage returns ctx carrying st as the current stage, the
+// parent of stages opened below it.
+func ContextWithStage(ctx context.Context, st *StageStats) context.Context {
+	if st == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, stageCtxKey{}, st)
+}
+
+// StageFromContext extracts the current stage (nil when absent).
+func StageFromContext(ctx context.Context) *StageStats {
+	st, _ := ctx.Value(stageCtxKey{}).(*StageStats)
+	return st
+}
+
+// Stage opens a new stage parented under the current stage in ctx and
+// returns ctx updated so nested operators parent under it. A nil
+// collector returns ctx unchanged and a nil (no-op) stage.
+func (q *QueryStages) Stage(ctx context.Context, name, detail string) (context.Context, *StageStats) {
+	if q == nil {
+		return ctx, nil
+	}
+	parent := -1
+	if p := StageFromContext(ctx); p != nil {
+		parent = p.id
+	}
+	st := &StageStats{parent: parent, name: name, start: time.Now()}
+	if detail != "" {
+		st.detail.Store(detail)
+	}
+	q.mu.Lock()
+	st.id = len(q.stages)
+	q.stages = append(q.stages, st)
+	q.mu.Unlock()
+	return ContextWithStage(ctx, st), st
+}
+
+// Snapshot captures every stage registered so far, in creation order
+// (parents always precede children, since a child is created under a
+// context that already carries its parent).
+func (q *QueryStages) Snapshot() []StageSnapshot {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	stages := append([]*StageStats(nil), q.stages...)
+	q.mu.Unlock()
+	out := make([]StageSnapshot, len(stages))
+	for i, st := range stages {
+		out[i] = st.Snapshot()
+	}
+	return out
+}
+
+// TopStages returns the n stages that spent the most time blocked
+// upstream (their own wait, the usual "where did the time go" answer),
+// slowest first. Used by the slow-query log.
+func TopStages(snaps []StageSnapshot, n int) []StageSnapshot {
+	if len(snaps) == 0 || n <= 0 {
+		return nil
+	}
+	out := append([]StageSnapshot(nil), snaps...)
+	// Insertion sort by blocked-upstream time: the slices here are a
+	// handful of stages, and avoiding sort.Slice keeps this allocation-
+	// predictable on the hot slow-log path.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].BlockedUpstreamNs > out[j-1].BlockedUpstreamNs; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

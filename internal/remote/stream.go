@@ -155,11 +155,20 @@ func (s *Server) handleFetchStream(w http.ResponseWriter, r *http.Request) {
 		_ = writeJSON(w, errorResponse{Error: err.Error()})
 		return
 	}
-	defer st.Close()
-
 	batchRows := clampBatchRows(req.BatchRows, s.StreamBatchRows)
 	metStreamInflight("server").Add(1)
 	defer metStreamInflight("server").Add(-1)
+
+	// The encode stage lives on this process's span tree only — the
+	// coordinator is across a process boundary, so the serving side's
+	// operator profile travels through the propagated trace, not the
+	// coordinator's stage collector.
+	_, sp := obs.StartSpan(r.Context(), "remote.streamencode")
+	sp.Set("table", req.Table)
+	encStage := obs.NewStage("remote.encode", req.Table)
+	// Closing the wrapper closes st; the defer covers every exit below.
+	scan := storage.InstrumentStream(st, encStage, storage.TimingSample)
+	defer scan.Close()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	cw := &countingWriter{w: w}
@@ -167,9 +176,16 @@ func (s *Server) handleFetchStream(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(cw)
 	flusher, _ := w.(http.Flusher)
 	peak := 0
+	defer func() {
+		encStage.NotePeak(int64(peak))
+		encStage.Done()
+		sp.SetStage(encStage)
+		sp.End()
+	}()
 
 	batch := storage.GetBatch()
 	defer storage.PutBatch(batch)
+	var sentBytes int64
 	emit := func() bool {
 		if len(batch.Rows) == 0 {
 			return true
@@ -182,6 +198,8 @@ func (s *Server) handleFetchStream(w http.ResponseWriter, r *http.Request) {
 			return false // consumer went away; stop producing
 		}
 		metStreamBatches("server").Inc()
+		encStage.AddBatch(0, cw.n-sentBytes)
+		sentBytes = cw.n
 		batch.Rows = batch.Rows[:0]
 		if flusher != nil {
 			flusher.Flush()
@@ -189,7 +207,7 @@ func (s *Server) handleFetchStream(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 	for {
-		row, err := st.Next()
+		row, err := scan.Next()
 		if err == io.EOF {
 			if !emit() {
 				return
@@ -282,6 +300,10 @@ func (s *Source) FetchStream(ctx context.Context, filters []wrapper.Filter) (sto
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), maxStreamLine)
 	metStreamInflight("client").Add(1)
+	// The decode stage is a leaf under the wrapper.fetch stage: rows and
+	// bytes are counted per chunk as they come off the wire, before the
+	// local filter re-check drops anything.
+	_, stage := obs.StartStage(ctx, "remote.decode", s.def.Name)
 	return &clientStream{
 		def:     s.def,
 		cols:    wrapper.ColumnNames(s.def),
@@ -289,6 +311,7 @@ func (s *Source) FetchStream(ctx context.Context, filters []wrapper.Filter) (sto
 		body:    resp.Body,
 		sc:      sc,
 		sp:      sp,
+		stage:   stage,
 	}, nil
 }
 
@@ -301,6 +324,7 @@ type clientStream struct {
 	body    io.ReadCloser
 	sc      *bufio.Scanner
 	sp      *obs.Span
+	stage   *obs.StageStats
 
 	pending []storage.Row
 	pos     int
@@ -326,6 +350,11 @@ func (c *clientStream) Next() (storage.Row, error) {
 		if c.err != nil {
 			return nil, c.err
 		}
+		// Time the chunk fetch+decode exactly: chunks are coarse enough
+		// (hundreds of rows) that two clock reads per chunk are free, and
+		// the wait on sc.Scan is precisely this stage's blocked-upstream
+		// (network/server) time.
+		chunkStart := time.Now()
 		if !c.sc.Scan() {
 			// The body ended (or broke) before the eof terminator:
 			// report truncation, never a silent short result.
@@ -376,6 +405,9 @@ func (c *clientStream) Next() (storage.Row, error) {
 			}
 		}
 		metStreamBatches("client").Inc()
+		c.stage.BlockedUpstream(time.Since(chunkStart))
+		c.stage.AddBatch(int64(len(rows)), int64(len(line)))
+		c.stage.NotePeak(int64(len(rows)))
 		if len(rows) > c.peak {
 			c.peak = len(rows)
 		}
@@ -418,7 +450,10 @@ func (c *clientStream) Close() error {
 	c.sp.Set("peak_batch_rows", strconv.Itoa(c.peak))
 	if c.err != nil && c.err != io.EOF {
 		c.sp.SetErr(c.err)
+		c.stage.Fail(c.err)
 	}
+	c.stage.Done()
+	c.sp.SetStage(c.stage)
 	c.sp.End()
 	return c.body.Close()
 }

@@ -343,6 +343,25 @@ type UnionStmt struct {
 	All     bool
 }
 
+// ExplainStmt wraps a SELECT (or UNION) for plan inspection. Plain
+// EXPLAIN renders the decomposition without executing; EXPLAIN ANALYZE
+// executes the statement and annotates the plan tree with the live
+// operator stats collected during the run.
+type ExplainStmt struct {
+	Analyze bool
+	Stmt    Statement // SelectStmt or UnionStmt
+}
+
+func (ExplainStmt) stmt() {}
+
+func (e ExplainStmt) String() string {
+	kw := "EXPLAIN "
+	if e.Analyze {
+		kw = "EXPLAIN ANALYZE "
+	}
+	return kw + e.Stmt.String()
+}
+
 func (UnionStmt) stmt() {}
 
 func (u UnionStmt) String() string {

@@ -1,0 +1,68 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainParse(t *testing.T) {
+	cases := []struct {
+		sql     string
+		analyze bool
+		union   bool
+	}{
+		{"EXPLAIN SELECT a FROM t", false, false},
+		{"explain analyze select a from t where a > 1 limit 3", true, false},
+		{"EXPLAIN ANALYZE SELECT a FROM t UNION SELECT a FROM u", true, true},
+	}
+	for _, c := range cases {
+		stmt, err := Parse(c.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		x, ok := stmt.(ExplainStmt)
+		if !ok {
+			t.Fatalf("%s: parsed %T, want ExplainStmt", c.sql, stmt)
+		}
+		if x.Analyze != c.analyze {
+			t.Errorf("%s: Analyze = %v, want %v", c.sql, x.Analyze, c.analyze)
+		}
+		if _, isUnion := x.Stmt.(UnionStmt); isUnion != c.union {
+			t.Errorf("%s: inner = %T", c.sql, x.Stmt)
+		}
+	}
+}
+
+func TestExplainRoundTrip(t *testing.T) {
+	for _, sql := range []string{
+		"EXPLAIN SELECT a, b FROM t WHERE a > 1 ORDER BY b LIMIT 5",
+		"EXPLAIN ANALYZE SELECT a FROM t UNION ALL SELECT a FROM u",
+	} {
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		again, err := Parse(stmt.String())
+		if err != nil {
+			t.Fatalf("%s: reparsing %q: %v", sql, stmt.String(), err)
+		}
+		if stmt.String() != again.String() {
+			t.Errorf("round trip diverged: %q -> %q", stmt.String(), again.String())
+		}
+	}
+}
+
+func TestExplainRejectsNonSelect(t *testing.T) {
+	for _, sql := range []string{
+		"EXPLAIN INSERT INTO t (a) VALUES (1)",
+		"EXPLAIN ANALYZE UPDATE t SET a = 1",
+		"EXPLAIN DELETE FROM t",
+		"EXPLAIN",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("%s: parsed, want error", sql)
+		} else if !strings.Contains(err.Error(), "EXPLAIN") {
+			t.Errorf("%s: error %q does not mention EXPLAIN", sql, err)
+		}
+	}
+}

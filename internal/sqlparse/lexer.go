@@ -45,6 +45,7 @@ var keywords = map[string]bool{
 	"CREATE": true, "TABLE": true, "PRIMARY": true, "KEY": true,
 	"CONTAINS": true, "FUZZY": true, "SYNONYM": true, "OF": true,
 	"MATCHES": true, "UNION": true, "ALL": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 // Lex tokenizes a SQL statement. It returns a descriptive error carrying

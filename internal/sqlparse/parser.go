@@ -91,9 +91,29 @@ func (p *parser) statement() (Statement, error) {
 		return p.deleteStmt()
 	case p.at(TokKeyword, "CREATE"):
 		return p.createStmt()
+	case p.at(TokKeyword, "EXPLAIN"):
+		return p.explainStmt()
 	default:
 		return nil, p.errf("expected a statement, found %q", p.cur().Text)
 	}
+}
+
+// explainStmt parses EXPLAIN [ANALYZE] <select>. Only SELECT/UNION can
+// be explained: the interesting plan is the federated decomposition,
+// and DML routing is already reported through DMLResult.
+func (p *parser) explainStmt() (Statement, error) {
+	if _, err := p.expect(TokKeyword, "EXPLAIN"); err != nil {
+		return nil, err
+	}
+	analyze := p.accept(TokKeyword, "ANALYZE")
+	if !p.at(TokKeyword, "SELECT") {
+		return nil, p.errf("EXPLAIN expects a SELECT, found %q", p.cur().Text)
+	}
+	inner, err := p.selectOrUnion()
+	if err != nil {
+		return nil, err
+	}
+	return ExplainStmt{Analyze: analyze, Stmt: inner}, nil
 }
 
 // selectOrUnion parses a SELECT, continuing into a UNION chain when the

@@ -1,0 +1,115 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"io"
+	"time"
+
+	"cohera/internal/obs"
+)
+
+// TimingSample is the default blocked-time sampling interval for
+// row-granular stages: one timed Next in every 64 keeps the clock
+// overhead near zero while row counts stay exact.
+const TimingSample = 64
+
+// InstrumentStream wraps a stream so rows flowing through it feed an
+// operator stage: exact row counts, time-to-first-row, and sampled
+// blocked-time accounting. A nil stage returns s unchanged, so call
+// sites instrument unconditionally and unobserved queries pay nothing.
+//
+// sampleEvery controls the timing overhead: every sampleEvery-th Next
+// is timed and the measured duration scaled up to estimate the total.
+// Row/batch/byte counts are always exact — only the clock reads are
+// sampled. With sampleEvery == 1 timing is exact and the gap between
+// successive Next calls is additionally recorded as blocked-downstream
+// (consumer) time; at coarser intervals the gap spans unsampled calls
+// and would misattribute, so only blocked-upstream is estimated.
+func InstrumentStream(s RowStream, st *obs.StageStats, sampleEvery int) RowStream {
+	if st == nil {
+		return s
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &instrumentedStream{RowStream: s, st: st, every: sampleEvery}
+}
+
+// instrumentedStream forwards a stream while feeding a stage; the
+// stage settles (Done/Fail) at terminal Next or at Close, whichever
+// comes first.
+//
+// Row counts accumulate in a plain local counter and flush to the
+// stage's atomic once per sampling interval and at settle: the stream
+// is single-consumer, so the local add is free, and the hot loop pays
+// no atomic per row. Live snapshots (the /debug/queries poll) may
+// therefore lag the true count by up to one interval; settled stages
+// are exact.
+type instrumentedStream struct {
+	RowStream
+	st     *obs.StageStats
+	every  int
+	calls  int
+	unrows int64     // rows counted locally, not yet flushed to st
+	last   time.Time // previous sampled Next return; only kept when every == 1
+}
+
+func (s *instrumentedStream) Next() (Row, error) {
+	s.calls++
+	sampled := s.calls%s.every == 0
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+		if s.every == 1 && !s.last.IsZero() {
+			s.st.BlockedDownstream(t0.Sub(s.last))
+		}
+	}
+	r, err := s.RowStream.Next()
+	if sampled {
+		t1 := time.Now()
+		s.st.BlockedUpstream(t1.Sub(t0) * time.Duration(s.every))
+		if s.every == 1 {
+			s.last = t1
+		}
+	}
+	switch err {
+	case nil:
+		s.unrows++
+		if sampled {
+			s.flushRows()
+		}
+	case io.EOF:
+		s.flushRows()
+		s.st.Done()
+	case ErrStreamClosed:
+		// A use-after-Close is the caller's bug; the stage already
+		// settled at Close and keeps its real outcome.
+	default:
+		s.flushRows()
+		// A plain context.Canceled means the consumer deliberately cut
+		// this producer off (LIMIT satisfied, early Close) — a clean
+		// stop, not a failure. Typed cancellations (an operator kill's
+		// obs.ErrQueryCanceled cause, a deadline) stay stage errors.
+		if errors.Is(err, context.Canceled) {
+			s.st.Cut()
+		} else {
+			s.st.Fail(err)
+		}
+	}
+	return r, err
+}
+
+func (s *instrumentedStream) flushRows() {
+	if s.unrows > 0 {
+		s.st.AddRows(s.unrows)
+		s.unrows = 0
+	}
+}
+
+func (s *instrumentedStream) Close() error {
+	err := s.RowStream.Close()
+	s.flushRows()
+	s.st.Done()
+	return err
+}

@@ -49,17 +49,20 @@ func (s *instrumented) FetchStream(ctx context.Context, filters []Filter) (stora
 	ctx, sp := obs.StartSpan(ctx, "wrapper.fetchstream")
 	sp.Set("source", s.Source.Name())
 	table := s.Source.Schema().Name
+	ctx, stage := obs.StartStage(ctx, "wrapper.fetch", table)
 	start := time.Now()
 	st, err := OpenStream(ctx, s.Source, filters)
 	if err != nil {
 		metFetchSeconds.Observe(time.Since(start))
 		metFetches(table, "error").Inc()
+		stage.Fail(err)
 		sp.SetErr(err)
 		sp.End()
 		return nil, err
 	}
 	metFetches(table, "ok").Inc()
-	return &countedStream{RowStream: st, sp: sp, start: start}, nil
+	return &countedStream{RowStream: storage.InstrumentStream(st, stage, storage.TimingSample),
+		sp: sp, stage: stage, start: start}, nil
 }
 
 // countedStream forwards a stream while feeding the wrapper fetch
@@ -68,6 +71,7 @@ func (s *instrumented) FetchStream(ctx context.Context, filters []Filter) (stora
 type countedStream struct {
 	storage.RowStream
 	sp    *obs.Span
+	stage *obs.StageStats
 	start time.Time
 	rows  int64
 	done  bool
@@ -88,6 +92,7 @@ func (c *countedStream) Close() error {
 		c.done = true
 		metFetchSeconds.Observe(time.Since(c.start))
 		c.sp.Set("rows", strconv.FormatInt(c.rows, 10))
+		c.sp.SetStage(c.stage)
 		c.sp.End()
 	}
 	return err
