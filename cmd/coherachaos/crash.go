@@ -1,0 +1,363 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	osexec "os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"cohera/internal/federation"
+	"cohera/internal/wal"
+)
+
+// The kill -9 crash-recovery scenario. The parent process spawns a
+// child (this same binary in -crash-child workload mode) that runs a
+// durable two-replica federation under a deterministic DML workload,
+// appending one fsynced line to an acknowledgement log after every
+// acknowledged statement. Once the log shows enough acknowledged
+// operations the parent SIGKILLs the child mid-flight — there is no
+// shutdown hook, no final checkpoint — and restarts it in verify mode.
+// The restarted child recovers the sites and the write-intent journal
+// from their WALs, drains the journal through the reconciler, and
+// asserts the durability contract:
+//
+//   - both replicas converge to identical content digests;
+//   - the journal backlog drains to zero;
+//   - every acknowledged insert is present (nothing acknowledged was
+//     lost);
+//   - the increment counter lies in [acked, issued] on both replicas
+//     (no acknowledged increment lost, none applied twice — the
+//     exactly-once check journal replay must satisfy).
+//
+// The workload flaps one replica down on a deterministic schedule so a
+// slice of the writes is journaled rather than applied, forcing the
+// recovery to exercise journal rehydration and replay, not just WAL
+// redo. Site WALs and the journal WAL run fsync=always: an
+// acknowledgement implies durable.
+
+const (
+	crashCounterSKU = "CTR"
+	// crashCkptEvery checkpoints one site (deliberately only one — the
+	// other must recover by pure replay) and the journal every N ops,
+	// so the kill can land mid-interval, right after a truncation, or
+	// between checkpoint and the next append.
+	crashCkptEvery = 25
+)
+
+// crashBed is the durable federation both child modes rebuild from dir.
+type crashBed struct {
+	fed      *federation.Federation
+	w1, w2   *federation.Site
+	siteLogs []*wal.Log
+	jlog     *wal.Log
+}
+
+func newCrashBed(dir string) (*crashBed, error) {
+	cb := &crashBed{
+		fed: federation.New(federation.NewAgoric()),
+		w1:  federation.NewSite("west-1"),
+		w2:  federation.NewSite("west-2"),
+	}
+	// Deterministic replica ranking: the workload must be reproducible
+	// from -seed alone (see scenarioSoak for the rationale).
+	cb.fed.SetOptimizer(federation.NewCentralized(cb.fed))
+	for _, s := range []*federation.Site{cb.w1, cb.w2} {
+		if err := cb.fed.AddSite(s); err != nil {
+			return nil, err
+		}
+		l, rec, err := wal.Open(filepath.Join(dir, s.Name()), wal.Options{Policy: wal.SyncAlways, Name: s.Name()})
+		if err != nil {
+			return nil, err
+		}
+		cb.siteLogs = append(cb.siteLogs, l)
+		if _, err := federation.RestoreSite(s, l, rec); err != nil {
+			return nil, err
+		}
+	}
+	jl, jrec, err := wal.Open(filepath.Join(dir, "journal"), wal.Options{Policy: wal.SyncAlways, Name: "journal"})
+	if err != nil {
+		return nil, err
+	}
+	cb.jlog = jl
+	if err := federation.RestoreJournal(cb.fed, jl, jrec); err != nil {
+		return nil, err
+	}
+	frag := federation.NewFragment("west", nil, cb.w1, cb.w2)
+	if _, err := cb.fed.DefineTable(partsDef(), frag); err != nil {
+		return nil, err
+	}
+	return cb, nil
+}
+
+// ackLog is the parent↔child coordination file: "issue"/"ack" lines,
+// each fsynced before the workload proceeds, so the log never claims
+// an acknowledgement the process did not give.
+type ackLog struct{ f *os.File }
+
+func openAckLog(dir string) (*ackLog, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "acks.log"), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &ackLog{f: f}, nil
+}
+
+func (a *ackLog) line(kind, op string, n int) error {
+	if _, err := fmt.Fprintf(a.f, "%s %s %d\n", kind, op, n); err != nil {
+		return err
+	}
+	return a.f.Sync()
+}
+
+// runCrashWorkload is the child's workload mode: loop a deterministic
+// DML mix until killed. i is the op number; the replica flap, the op
+// kind, and every value derive from it, so a restarted run (the
+// crash-point matrix in internal/exec covers torn bytes; this covers
+// whole-process death) is reproducible up to where the kill landed.
+func runCrashWorkload(dir string, seed int64) error {
+	cb, err := newCrashBed(dir)
+	if err != nil {
+		return err
+	}
+	acks, err := openAckLog(dir)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	// Seed rows, idempotent under Upsert semantics: the counter starts
+	// at zero only when its row does not exist yet.
+	if res, err := cb.w1.DB().Exec("SELECT sku FROM parts WHERE sku = '" + crashCounterSKU + "'"); err != nil || len(res.Rows) == 0 {
+		if _, _, err := cb.fed.Exec(ctx, fmt.Sprintf(
+			"INSERT INTO parts (sku, price, region) VALUES ('%s', 0, 'west')", crashCounterSKU)); err != nil {
+			return fmt.Errorf("seeding counter: %w", err)
+		}
+	}
+	for i := 0; i < 1_000_000; i++ {
+		// Deterministic flap: west-2 is down for 3 of every 10 ops, so
+		// those writes journal intents instead of applying.
+		cb.w2.SetDown((int64(i)+seed)%10 >= 7)
+		var sql, op string
+		switch i % 3 {
+		case 0:
+			op = "ins"
+			sql = fmt.Sprintf("INSERT INTO parts (sku, price, region) VALUES ('S%06d', %d, 'west')", i, i)
+		case 1:
+			op = "ctr"
+			sql = fmt.Sprintf("UPDATE parts SET price = price + 1 WHERE sku = '%s'", crashCounterSKU)
+		default:
+			op = "abs"
+			sql = fmt.Sprintf("UPDATE parts SET price = %d WHERE sku = '%s'", i, crashCounterSKU+"-base")
+		}
+		if op == "abs" && i == 2 {
+			// First abs op targets a row that must exist; create it once.
+			sql = fmt.Sprintf("INSERT INTO parts (sku, price, region) VALUES ('%s', 2, 'west')", crashCounterSKU+"-base")
+		}
+		if err := acks.line("issue", op, i); err != nil {
+			return err
+		}
+		if _, _, err := cb.fed.Exec(ctx, sql); err != nil {
+			return fmt.Errorf("op %d (%s): %w", i, sql, err)
+		}
+		if err := acks.line("ack", op, i); err != nil {
+			return err
+		}
+		if i%crashCkptEvery == crashCkptEvery-1 {
+			if err := federation.CheckpointSite(cb.w1); err != nil {
+				return err
+			}
+			if err := federation.CheckpointJournal(cb.jlog); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// crashAcks is the parsed acknowledgement log.
+type crashAcks struct {
+	ackedIns          []int
+	issuedCtr, ackCtr int
+	issuedAbs, ackAbs int
+	total             int
+}
+
+func parseAcks(dir string) (*crashAcks, error) {
+	f, err := os.Open(filepath.Join(dir, "acks.log"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ca := &crashAcks{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		parts := strings.Fields(sc.Text())
+		if len(parts) != 3 {
+			continue // torn final line: the kill landed mid-write
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			continue
+		}
+		acked := parts[0] == "ack"
+		if acked {
+			ca.total++
+		}
+		switch parts[1] {
+		case "ins":
+			if acked {
+				ca.ackedIns = append(ca.ackedIns, n)
+			}
+		case "ctr":
+			if acked {
+				ca.ackCtr++
+			} else {
+				ca.issuedCtr++
+			}
+		case "abs":
+			if acked {
+				ca.ackAbs = n
+			} else {
+				ca.issuedAbs = n
+			}
+		}
+	}
+	return ca, sc.Err()
+}
+
+// runCrashVerify is the child's second life: recover everything from
+// the WALs, reconcile, and assert the durability contract against the
+// acknowledgement log.
+func runCrashVerify(dir string, seed int64) error {
+	cb, err := newCrashBed(dir)
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	acks, err := parseAcks(dir)
+	if err != nil {
+		return err
+	}
+	if acks.total == 0 {
+		return fmt.Errorf("acknowledgement log is empty; the kill landed before any op completed")
+	}
+	ctx := context.Background()
+	recovered := cb.fed.Journal().PendingTotal()
+	r := federation.NewReconciler(cb.fed)
+	var replayed, copied int
+	for pass := 0; pass < 10; pass++ {
+		rep, err := r.RunOnce(ctx)
+		if err != nil {
+			return fmt.Errorf("repair pass %d: %w", pass, err)
+		}
+		replayed += rep.Replayed
+		copied += rep.CopyRepaired
+		if rep.Pending == 0 {
+			break
+		}
+	}
+	if n := cb.fed.Journal().PendingTotal(); n != 0 {
+		return fmt.Errorf("journal backlog did not drain: %d pending", n)
+	}
+	d1, err := cb.w1.DB().TableDigest("parts")
+	if err != nil {
+		return err
+	}
+	d2, err := cb.w2.DB().TableDigest("parts")
+	if err != nil {
+		return err
+	}
+	if !d1.Equal(d2) {
+		return fmt.Errorf("replica digests diverge after recovery: %+v vs %+v", d1, d2)
+	}
+	// Every acknowledged insert must be present on both replicas.
+	for _, n := range acks.ackedIns {
+		sku := fmt.Sprintf("S%06d", n)
+		for _, s := range []*federation.Site{cb.w1, cb.w2} {
+			res, err := s.DB().Exec("SELECT sku FROM parts WHERE sku = '" + sku + "'")
+			if err != nil || len(res.Rows) != 1 {
+				return fmt.Errorf("acknowledged insert %s lost at %s (rows=%d, err=%v)", sku, s.Name(), len(res.Rows), err)
+			}
+		}
+	}
+	// The counter must hold every acknowledged increment and no more
+	// than the issued ones: below ackCtr an acknowledged write was
+	// lost, above issuedCtr a replayed intent was applied twice.
+	for _, s := range []*federation.Site{cb.w1, cb.w2} {
+		res, err := s.DB().Exec("SELECT price FROM parts WHERE sku = '" + crashCounterSKU + "'")
+		if err != nil || len(res.Rows) != 1 {
+			return fmt.Errorf("counter row missing at %s: %v", s.Name(), err)
+		}
+		c := int(res.Rows[0][0].Float())
+		if c < acks.ackCtr {
+			return fmt.Errorf("%s counter = %d < %d acknowledged increments: acknowledged write lost", s.Name(), c, acks.ackCtr)
+		}
+		if c > acks.issuedCtr {
+			return fmt.Errorf("%s counter = %d > %d issued increments: intent double-applied", s.Name(), c, acks.issuedCtr)
+		}
+	}
+	fmt.Printf("crash-verify: %d acked ops, %d pending recovered, %d replayed, %d copy-repaired, counter within [%d,%d]\n",
+		acks.total, recovered, replayed, copied, acks.ackCtr, acks.issuedCtr)
+	return nil
+}
+
+// scenarioCrash is the parent: run the workload child, SIGKILL it once
+// enough operations acknowledged, restart in verify mode.
+func scenarioCrash(seed int64) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "coherachaos-crash-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	child := osexec.Command(exe, "-crash-child", "workload",
+		"-crash-dir", dir, "-seed", strconv.FormatInt(seed, 10))
+	child.Stderr = os.Stderr
+	if err := child.Start(); err != nil {
+		return err
+	}
+	// The kill lands after a seeded number of acknowledged ops — far
+	// enough in to span checkpoints and flap windows.
+	target := 60 + int(seed%25)
+	ackPath := filepath.Join(dir, "acks.log")
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	deadline := time.After(60 * time.Second)
+	for acked := 0; acked < target; {
+		select {
+		case <-deadline:
+			killErr := child.Process.Kill()
+			_ = killErr // already failing; the timeout is the error to report
+			waitErr := child.Wait()
+			_ = waitErr
+			return fmt.Errorf("workload child acknowledged %d/%d ops within 60s", acked, target)
+		case <-tick.C:
+			b, err := os.ReadFile(ackPath)
+			if err != nil {
+				continue // not created yet
+			}
+			acked = strings.Count(string(b), "ack ")
+		}
+	}
+	if err := child.Process.Kill(); err != nil { // SIGKILL: no handler runs
+		return fmt.Errorf("kill -9: %w", err)
+	}
+	waitErr := child.Wait()
+	_ = waitErr // the child was killed; a non-nil exit is the point
+
+	verify := osexec.Command(exe, "-crash-child", "verify",
+		"-crash-dir", dir, "-seed", strconv.FormatInt(seed, 10))
+	verify.Stdout = os.Stdout
+	verify.Stderr = os.Stderr
+	if err := verify.Run(); err != nil {
+		return fmt.Errorf("post-crash verification failed: %w", err)
+	}
+	return nil
+}

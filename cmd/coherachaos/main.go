@@ -57,7 +57,35 @@ func main() {
 	seed := flag.Int64("seed", 42, "seed for fault schedules and jitter")
 	smoke := flag.Bool("smoke", false, "short deterministic run for CI (<10s)")
 	iters := flag.Int("iters", 400, "soak workload operations (ignored with -smoke)")
+	crash := flag.Bool("crash", false, "run only the kill -9 crash-recovery scenario (spawns child processes)")
+	crashChild := flag.String("crash-child", "", "internal: crash-scenario child mode (workload|verify)")
+	crashDir := flag.String("crash-dir", "", "internal: crash-scenario state directory")
 	flag.Parse()
+
+	if *crashChild != "" {
+		var err error
+		switch *crashChild {
+		case "workload":
+			err = runCrashWorkload(*crashDir, *seed)
+		case "verify":
+			err = runCrashVerify(*crashDir, *seed)
+		default:
+			err = fmt.Errorf("unknown -crash-child mode %q", *crashChild)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coherachaos: crash-child: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *crash {
+		if err := scenarioCrash(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "coherachaos: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("coherachaos: crash-recovery invariants held")
+		return
+	}
 
 	n := *iters
 	if *smoke {

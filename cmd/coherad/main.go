@@ -3,8 +3,13 @@
 // remote federation (see internal/remote). Point coheraql at it with
 // -attach, or federate several coherad processes together.
 //
+// With -wal-dir the catalog is durable: every mutation is written
+// ahead to a per-site log, periodic checkpoints bound replay, and a
+// kill -9 restart recovers the exact acknowledged state.
+//
 //	coherad -addr :8401 -supplier 3 -items 25
 //	coherad -addr :8402 -supplier 7 -token sesame
+//	coherad -addr :8403 -wal-dir /var/lib/cohera/site-a -fsync always
 package main
 
 import (
@@ -14,13 +19,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
+	"time"
 
 	"cohera/internal/exec"
 	"cohera/internal/obs"
 	"cohera/internal/remote"
 	"cohera/internal/storage"
 	"cohera/internal/value"
+	"cohera/internal/wal"
 	"cohera/internal/workload"
 )
 
@@ -33,13 +41,38 @@ func main() {
 		token       = flag.String("token", "", "optional bearer token")
 		snapshot    = flag.String("snapshot", "", "snapshot file: loaded on start when present, written on SIGINT/SIGTERM")
 		streamBatch = flag.Int("stream-batch", 0, "rows per /fetchstream chunk (0 = server default)")
+		walDir      = flag.String("wal-dir", "", "write-ahead log directory: mutations are durable and the catalog survives kill -9 (empty = no WAL)")
+		ckptEvery   = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint interval with -wal-dir (0 = checkpoint only at boot and shutdown)")
+		fsyncMode   = flag.String("fsync", "batch", "WAL durability: always (fsync before every acknowledgement), batch (group commit), none (crash-consistent, OS decides)")
 	)
 	flag.Parse()
 
 	db := exec.NewDatabase()
+	var wlog *wal.Log
 	var tbl *storage.Table
 	loaded := false
-	if *snapshot != "" {
+	if *walDir != "" {
+		pol, err := wal.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatalf("coherad: %v", err)
+		}
+		l, rec, err := wal.Open(*walDir, wal.Options{Policy: pol, Name: filepath.Base(*walDir)})
+		if err != nil {
+			log.Fatalf("coherad: opening wal: %v", err)
+		}
+		st, err := db.Recover(rec)
+		if err != nil {
+			log.Fatalf("coherad: wal recovery: %v", err)
+		}
+		wlog = l
+		if t, err := db.Table("catalog"); err == nil {
+			tbl = t
+			loaded = true
+			fmt.Printf("coherad: recovered %d rows from %s (checkpoint=%v, %d wal records replayed)\n",
+				tbl.Len(), *walDir, st.Checkpoint, st.Replayed)
+		}
+	}
+	if !loaded && *snapshot != "" {
 		if f, err := os.Open(*snapshot); err == nil {
 			loadErr := db.LoadSnapshot(f)
 			if err := f.Close(); err != nil {
@@ -57,6 +90,11 @@ func main() {
 			fmt.Printf("coherad: restored %d rows from %s\n", tbl.Len(), *snapshot)
 		}
 	}
+	// Attach after recovery/snapshot load (restored state must not be
+	// re-logged) and before generation (generated state must be).
+	if wlog != nil {
+		db.AttachWAL(wlog)
+	}
 	if !loaded {
 		sups := workload.Suppliers(*supplier+1, *items, 0.05, *seed)
 		sup := sups[*supplier]
@@ -64,37 +102,80 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		for _, r := range rows {
+			r[0] = value.NewString(sup.Name + "/" + r[0].Str())
+		}
 		def := workload.CatalogDef()
-		t, err := db.CreateTable(def.Clone("catalog"))
+		if err := db.LoadRows(def.Clone("catalog"), rows); err != nil {
+			log.Fatal(err)
+		}
+		if err := db.CreateTableIndex("catalog", "sku", false); err != nil {
+			log.Fatal(err)
+		}
+		t, err := db.Table("catalog")
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := t.CreateIndex("sku"); err != nil {
-			log.Fatal(err)
-		}
-		for _, r := range rows {
-			r[0] = value.NewString(sup.Name + "/" + r[0].Str())
-			if _, err := t.Insert(r); err != nil {
-				log.Fatal(err)
-			}
-		}
 		tbl = t
 		fmt.Printf("coherad: generated %s (%d rows)\n", sup.Name, tbl.Len())
+	}
+	// A boot checkpoint bounds replay of the next restart and makes a
+	// legacy-snapshot or generated catalog durable immediately. No-op
+	// without a WAL.
+	if err := db.Checkpoint(); err != nil {
+		log.Fatalf("coherad: boot checkpoint: %v", err)
 	}
 
 	srv := remote.NewServer()
 	srv.Token = *token
 	srv.StreamBatchRows = *streamBatch
 	srv.PublishTable(tbl, "sku", "supplier")
-	if *snapshot != "" {
+
+	stopCkpt := make(chan struct{})
+	ckptDone := make(chan struct{})
+	ticking := wlog != nil && *ckptEvery > 0
+	if ticking {
+		go func() {
+			defer close(ckptDone)
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-tick.C:
+					if err := db.Checkpoint(); err != nil {
+						log.Printf("coherad: periodic checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	if *snapshot != "" || wlog != nil {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-sig
-			if err := writeSnapshot(db, *snapshot); err != nil {
-				log.Printf("coherad: snapshot not written: %v", err)
-			} else {
-				fmt.Printf("coherad: snapshot written to %s\n", *snapshot)
+			if ticking {
+				close(stopCkpt)
+				<-ckptDone
+			}
+			if wlog != nil {
+				if err := db.Checkpoint(); err != nil {
+					log.Printf("coherad: final checkpoint: %v", err)
+				} else {
+					fmt.Printf("coherad: final checkpoint in %s\n", *walDir)
+				}
+				if err := wlog.Close(); err != nil {
+					log.Printf("coherad: closing wal: %v", err)
+				}
+			}
+			if *snapshot != "" {
+				if err := writeSnapshot(db, *snapshot); err != nil {
+					log.Printf("coherad: snapshot not written: %v", err)
+				} else {
+					fmt.Printf("coherad: snapshot written to %s\n", *snapshot)
+				}
 			}
 			os.Exit(0)
 		}()
@@ -113,17 +194,34 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, h))
 }
 
-// writeSnapshot persists the database to path, surfacing the close
-// error: Close flushes, so a swallowed failure there would report a
-// snapshot as written when the bytes never reached disk.
+// writeSnapshot persists the database to path atomically: the bytes
+// land in a temp file that is fsynced and closed before it renames
+// over the target, so a crash mid-write can never leave a truncated
+// snapshot where a good one used to be.
 func writeSnapshot(db *exec.Database, path string) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := db.SaveSnapshot(f); err != nil {
-		f.Close() //lint:ignore errdrop the save error is the one worth reporting; this close is best-effort cleanup
+		closeErr := f.Close()
+		_ = closeErr // the save error is the one worth reporting
+		removeErr := os.Remove(tmp)
+		_ = removeErr // best-effort cleanup; a stale temp is harmless
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		closeErr := f.Close()
+		_ = closeErr
+		removeErr := os.Remove(tmp)
+		_ = removeErr
+		return err
+	}
+	if err := f.Close(); err != nil {
+		removeErr := os.Remove(tmp)
+		_ = removeErr
+		return err
+	}
+	return os.Rename(tmp, path)
 }

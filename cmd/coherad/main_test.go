@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -50,6 +51,47 @@ func TestWriteSnapshotRoundTrip(t *testing.T) {
 	}
 	if tbl.Len() != 1 {
 		t.Fatalf("restored %d rows, want 1", tbl.Len())
+	}
+}
+
+// TestWriteSnapshotAtomic: a failed snapshot write must leave the
+// previous snapshot byte-identical (the regression: writeSnapshot used
+// to open the target in place, so an error mid-save destroyed the only
+// good copy), and a successful overwrite must leave no temp behind.
+func TestWriteSnapshotAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := writeSnapshot(snapshotDB(t), path); err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Make the temp path unusable so the next write fails before the
+	// rename — the previous snapshot must survive untouched.
+	if err := os.Mkdir(path+".tmp", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(snapshotDB(t), path); err == nil {
+		t.Fatal("writeSnapshot with blocked temp reported success")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(good, after) {
+		t.Fatal("failed snapshot write clobbered the previous snapshot")
+	}
+	if err := os.RemoveAll(path + ".tmp"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := writeSnapshot(snapshotDB(t), path); err != nil {
+		t.Fatalf("writeSnapshot overwrite: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
 	}
 }
 

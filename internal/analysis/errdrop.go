@@ -10,10 +10,11 @@ import (
 // identifier, or a bare call statement whose results include an error.
 // Deferred and go-routine calls are exempt (idiomatic defer Close), as
 // is reassigning one error variable to another — with one exception:
-// `defer f.Close()` on a file opened for writing. A write-side Close
-// flushes buffered data, and a swallowed failure there is silent data
-// loss (the WAL-fsync discipline journal.go documents); those must
-// close explicitly and check. Writers documented never to fail
+// `defer f.Close()` or `defer f.Sync()` on a file opened for writing.
+// A write-side Close flushes buffered data and Sync is the durability
+// point itself, so a swallowed failure at either is silent data loss
+// (the WAL-fsync discipline journal.go and wal.go document); those
+// must run explicitly and be checked. Writers documented never to fail
 // (strings.Builder, bytes.Buffer) and the fmt print family are exempt
 // too — flagging them buries real drops in noise. Deliberate drops
 // must be annotated //lint:ignore errdrop <reason>.
@@ -43,9 +44,10 @@ func runErrDrop(p *Pass) {
 	}
 }
 
-// checkDeferredWritableClose flags `defer f.Close()` when f was opened
-// writable in the same function: os.Create always, os.OpenFile when
-// its flag argument requests writing (or cannot be read statically).
+// checkDeferredWritableClose flags `defer f.Close()` and
+// `defer f.Sync()` when f was opened writable in the same function:
+// os.Create always, os.OpenFile when its flag argument requests
+// writing (or cannot be read statically).
 func checkDeferredWritableClose(p *Pass, body *ast.BlockStmt) {
 	// Pass 1: variables bound to writable opens.
 	writable := make(map[types.Object]bool)
@@ -70,14 +72,14 @@ func checkDeferredWritableClose(p *Pass, body *ast.BlockStmt) {
 	if len(writable) == 0 {
 		return
 	}
-	// Pass 2: deferred Closes on those variables.
+	// Pass 2: deferred Closes and Syncs on those variables.
 	ast.Inspect(body, func(n ast.Node) bool {
 		def, ok := n.(*ast.DeferStmt)
 		if !ok {
 			return true
 		}
 		sel, ok := def.Call.Fun.(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "Close" {
+		if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") {
 			return true
 		}
 		id, ok := ast.Unparen(sel.X).(*ast.Ident)
@@ -85,7 +87,11 @@ func checkDeferredWritableClose(p *Pass, body *ast.BlockStmt) {
 			return true
 		}
 		if obj := p.Pkg.Info.Uses[id]; obj != nil && writable[obj] {
-			p.Reportf(def.Pos(), "defer %s.Close() on a writable file discards the close error; buffered writes can fail at close — close explicitly and check", id.Name)
+			if sel.Sel.Name == "Sync" {
+				p.Reportf(def.Pos(), "defer %s.Sync() on a writable file discards the sync error; fsync is the durability point — sync explicitly and check", id.Name)
+			} else {
+				p.Reportf(def.Pos(), "defer %s.Close() on a writable file discards the close error; buffered writes can fail at close — close explicitly and check", id.Name)
+			}
 		}
 		return true
 	})

@@ -147,3 +147,46 @@ func closeChecked(path string, data []byte) error {
 	}
 	return f.Close()
 }
+
+// deferSyncWritable: fsync is the durability point; deferring it
+// swallows the one error that means the data never reached disk.
+func deferSyncWritable(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Sync()  // want `defer f.Sync() on a writable file discards the sync error; fsync is the durability point — sync explicitly and check`
+	defer f.Close() // want `defer f.Close() on a writable file discards the close error; buffered writes can fail at close — close explicitly and check`
+	_, err = f.Write(data)
+	return err
+}
+
+// deferSyncReadOnly: syncing a read-only handle is pointless but
+// cannot lose data; the deferred form stays exempt.
+func deferSyncReadOnly(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Sync()
+	defer f.Close()
+	return nil
+}
+
+// syncChecked is the fix: sync explicitly before close and surface
+// its error.
+func syncChecked(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //lint:ignore errdrop fixture: write already failed, close is best-effort
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //lint:ignore errdrop fixture: sync already failed, close is best-effort
+		return err
+	}
+	return f.Close()
+}

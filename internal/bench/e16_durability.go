@@ -1,0 +1,377 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cohera/internal/exec"
+	"cohera/internal/federation"
+	"cohera/internal/schema"
+	"cohera/internal/sqlparse"
+	"cohera/internal/storage"
+	"cohera/internal/value"
+	"cohera/internal/wal"
+)
+
+// E16Durability prices durability. Three measurements on the 1M-row ×
+// 8-fragment catalog:
+//
+//  1. bulk load wall per fsync policy — the batched commit-latch path
+//     (one log write, at most one fsync per fragment load);
+//  2. per-statement DML acknowledge cost, fsync=batch vs no WAL,
+//     interleaved statement by statement so GC cycles and machine
+//     drift land evenly on both sides — the claim under test is that
+//     the batch policy acknowledges within 20% of the no-WAL baseline
+//     (the statement pipeline, not the append, is the cost center);
+//     fsync=always is reported per-op, unasserted — it buys a real
+//     fsync per statement and is priced by the disk, not the engine;
+//  3. recovery wall vs table size: pure log replay (crash before any
+//     checkpoint, every row re-enters through the insert path) against
+//     checkpoint restore (snapshot load, zero records replayed).
+//
+// Quick mode shrinks every knob and skips the assertion — tiny runs
+// are all fixed cost.
+func E16Durability(cfg Config) (Table, error) {
+	total, frags := 1_000_000, 8
+	stmts, warm := 20_000, 1_000
+	alwaysStmts := 200
+	recSizes := []int{100_000, 1_000_000}
+	if cfg.Quick {
+		total, frags = 20_000, 2
+		stmts, warm = 100, 20
+		alwaysStmts = 20
+		recSizes = []int{2_000, 10_000}
+	}
+	t := Table{
+		ID:      "E16",
+		Title:   "durability cost and recovery: fsync policy vs DML acknowledge, WAL replay vs checkpoint restore",
+		Headers: []string{"phase", "rows", "mode", "wall", "per-op", "overhead"},
+		Notes:   "expected shape: fsync=batch DML within 20% of no-WAL (statement-interleaved totals); fsync=always is disk-priced; checkpoint restore beats full replay and the gap widens with log length",
+	}
+	root, err := os.MkdirTemp("", "cohera-e16-*")
+	if err != nil {
+		return t, err
+	}
+	defer os.RemoveAll(root)
+	ctx := context.Background()
+
+	// Phase 1+2: one federation per mode, WALs attached before the load
+	// so the load itself runs the durable path. Only the two beds under
+	// comparison (no-wal and fsync=batch) are alive during the paired
+	// DML measurement — a 1M-row federation is real heap, and holding
+	// four of them puts GC pressure on whichever side of a pair the
+	// collector happens to land. fsync=none and fsync=always run
+	// afterwards, each torn down before the next is built.
+	loadRow := func(mode string, wall, base time.Duration) {
+		t.Rows = append(t.Rows, []string{
+			"bulk-load", fmt.Sprintf("%d", total), mode,
+			fmt.Sprintf("%.2fms", float64(wall.Microseconds())/1000),
+			fmt.Sprintf("%.2fµs", float64(wall.Nanoseconds())/1000/float64(total)),
+			overheadCell(wall, base),
+		})
+	}
+	dmlRow := func(n int, mode string, wall time.Duration, over string) {
+		t.Rows = append(t.Rows, []string{
+			"dml", fmt.Sprintf("%d", n), mode,
+			fmt.Sprintf("%.2fms", float64(wall.Microseconds())/1000),
+			fmt.Sprintf("%.2fµs", float64(wall.Nanoseconds())/1000/float64(n)),
+			over,
+		})
+	}
+
+	bare, loadBase, err := newDurableBed(filepath.Join(root, "no-wal"), total, frags, cfg.Seed, false, wal.SyncNone)
+	if err != nil {
+		return t, fmt.Errorf("E16 no-wal: %w", err)
+	}
+	batch, batchLoad, err := newDurableBed(filepath.Join(root, "fsync=batch"), total, frags, cfg.Seed, true, wal.SyncBatch)
+	if err != nil {
+		bare.Close()
+		return t, fmt.Errorf("E16 fsync=batch: %w", err)
+	}
+	loadRow("no-wal", loadBase, loadBase)
+	loadRow("fsync=batch", batchLoad, loadBase)
+
+	// Interleaved per statement: both beds execute statement i
+	// back-to-back, and each side accumulates only its own execution
+	// time. At ~15µs per statement, windowed interleaving cannot
+	// absorb a single concurrent-GC cycle over a couple of 1M-row
+	// federations (~100ms — thousands of statements wide), but
+	// per-statement alternation distributes every pause evenly across
+	// the two sides.
+	if _, err := bare.insertN(ctx, warm); err != nil {
+		return t, fmt.Errorf("E16 warmup: %w", err)
+	}
+	if _, err := batch.insertN(ctx, warm); err != nil {
+		return t, fmt.Errorf("E16 warmup: %w", err)
+	}
+	var bareTot, batchTot time.Duration
+	for i := 0; i < stmts; i++ {
+		bw, err := bare.insertOne(ctx)
+		if err != nil {
+			return t, fmt.Errorf("E16 dml no-wal: %w", err)
+		}
+		tw, err := batch.insertOne(ctx)
+		if err != nil {
+			return t, fmt.Errorf("E16 dml batch: %w", err)
+		}
+		bareTot += bw
+		batchTot += tw
+	}
+	overhead := float64(batchTot)/float64(bareTot) - 1
+	dmlRow(stmts, "no-wal", bareTot, "-")
+	dmlRow(stmts, "fsync=batch", batchTot, fmt.Sprintf("%+.2f%%", overhead*100))
+	bare.Close()
+	batch.Close()
+	bare, batch = nil, nil
+
+	none, noneLoad, err := newDurableBed(filepath.Join(root, "fsync=none"), total, frags, cfg.Seed, true, wal.SyncNone)
+	if err != nil {
+		return t, fmt.Errorf("E16 fsync=none: %w", err)
+	}
+	loadRow("fsync=none", noneLoad, loadBase)
+	noneWall, err := none.insertN(ctx, stmts)
+	if err != nil {
+		return t, fmt.Errorf("E16 dml none: %w", err)
+	}
+	dmlRow(stmts, "fsync=none", noneWall, "-")
+	none.Close()
+	none = nil
+
+	always, alwaysLoad, err := newDurableBed(filepath.Join(root, "fsync=always"), total, frags, cfg.Seed, true, wal.SyncAlways)
+	if err != nil {
+		return t, fmt.Errorf("E16 fsync=always: %w", err)
+	}
+	loadRow("fsync=always", alwaysLoad, loadBase)
+	alwaysWall, err := always.insertN(ctx, alwaysStmts)
+	if err != nil {
+		return t, fmt.Errorf("E16 dml always: %w", err)
+	}
+	dmlRow(alwaysStmts, "fsync=always", alwaysWall, "-")
+	always.Close()
+	always = nil
+
+	// Phase 3: recovery wall, replay vs checkpoint restore.
+	for _, n := range recSizes {
+		replayWall, ckptWall, err := recoverOnce(filepath.Join(root, fmt.Sprintf("rec%d", n)), n, cfg.Seed)
+		if err != nil {
+			return t, fmt.Errorf("E16 recover %d: %w", n, err)
+		}
+		for _, r := range []struct {
+			mode string
+			wall time.Duration
+		}{{"replay", replayWall}, {"checkpoint", ckptWall}} {
+			t.Rows = append(t.Rows, []string{
+				"recover", fmt.Sprintf("%d", n), r.mode,
+				fmt.Sprintf("%.2fms", float64(r.wall.Microseconds())/1000),
+				fmt.Sprintf("%.2fµs", float64(r.wall.Nanoseconds())/1000/float64(n)),
+				"-",
+			})
+		}
+	}
+
+	if !cfg.Quick && overhead > 0.20 {
+		return t, fmt.Errorf("E16: fsync=batch DML %.2f%% over no-WAL, budget is 20%%", overhead*100)
+	}
+	return t, nil
+}
+
+// durableBed is one federation fixture: shard-fragmented catalog with
+// (optionally) a WAL per site, plus the running count of fresh skus so
+// successive insertN calls never collide.
+type durableBed struct {
+	fed   *federation.Federation
+	sites []*federation.Site
+	logs  []*wal.Log
+	frags int
+	next  int
+}
+
+func (b *durableBed) Close() {
+	for _, l := range b.logs {
+		closeErr := l.Close()
+		_ = closeErr // bench fixture teardown; nothing to report to
+	}
+}
+
+// insertOne executes the bed's next single-row INSERT and returns its
+// execution time alone — statement construction stays outside the
+// clock.
+func (b *durableBed) insertOne(ctx context.Context) (time.Duration, error) {
+	id := b.next
+	b.next++
+	sql := fmt.Sprintf("INSERT INTO items (sku, shard, qty) VALUES ('N%08d', %d, %d)", id, id%b.frags, id%500)
+	start := time.Now()
+	_, _, err := b.fed.Exec(ctx, sql)
+	return time.Since(start), err
+}
+
+// insertN executes n single-row INSERT statements round-robin across
+// the shards and returns the wall time.
+func (b *durableBed) insertN(ctx context.Context, n int) (time.Duration, error) {
+	var tot time.Duration
+	for i := 0; i < n; i++ {
+		d, err := b.insertOne(ctx)
+		if err != nil {
+			return 0, err
+		}
+		tot += d
+	}
+	return tot, nil
+}
+
+// newDurableBed builds the E13-shaped fragmented catalog, attaches a
+// WAL per site when asked, and times the durable bulk load.
+func newDurableBed(dir string, total, frags int, seed int64, withWAL bool, policy wal.SyncPolicy) (*durableBed, time.Duration, error) {
+	def := schema.MustTable("items", []schema.Column{
+		{Name: "sku", Kind: value.KindString, NotNull: true},
+		{Name: "shard", Kind: value.KindInt, NotNull: true},
+		{Name: "qty", Kind: value.KindInt},
+	}, "sku")
+	bed := &durableBed{fed: federation.New(federation.NewAgoric()), frags: frags, next: 0}
+	fragments := make([]*federation.Fragment, frags)
+	for f := 0; f < frags; f++ {
+		site := federation.NewSite(fmt.Sprintf("s%d", f))
+		if err := bed.fed.AddSite(site); err != nil {
+			return nil, 0, err
+		}
+		pred, err := sqlparse.ParseExpr(fmt.Sprintf("shard = %d", f))
+		if err != nil {
+			return nil, 0, err
+		}
+		fragments[f] = federation.NewFragment(fmt.Sprintf("f%d", f), pred, site)
+		bed.sites = append(bed.sites, site)
+		if withWAL {
+			l, rec, err := wal.Open(filepath.Join(dir, site.Name()), wal.Options{Policy: policy, Name: site.Name()})
+			if err != nil {
+				return nil, 0, err
+			}
+			if rec.HasData() {
+				bed.Close()
+				return nil, 0, fmt.Errorf("fresh bench dir %s has recovery data", dir)
+			}
+			bed.logs = append(bed.logs, l)
+			federation.AttachSiteWAL(site, l)
+		}
+	}
+	if _, err := bed.fed.DefineTable(def, fragments...); err != nil {
+		return nil, 0, err
+	}
+	byFrag := make([][]storage.Row, frags)
+	for i := 0; i < total; i++ {
+		f := i % frags
+		byFrag[f] = append(byFrag[f], storage.Row{
+			value.NewString(fmt.Sprintf("P%07d", i)),
+			value.NewInt(int64(f)),
+			value.NewInt(int64((i*7 + int(seed)) % 500)),
+		})
+	}
+	start := time.Now()
+	for f := 0; f < frags; f++ {
+		if err := bed.fed.LoadFragment("items", fragments[f], byFrag[f]); err != nil {
+			return nil, 0, err
+		}
+	}
+	wall := time.Since(start)
+	got := 0
+	for _, s := range bed.sites {
+		tbl, err := s.DB().Table("items")
+		if err != nil {
+			return nil, 0, err
+		}
+		got += tbl.Len()
+	}
+	if got != total {
+		return nil, 0, fmt.Errorf("loaded %d rows, want %d", got, total)
+	}
+	return bed, wall, nil
+}
+
+// recoverOnce loads n rows through a WAL, crashes (no checkpoint) and
+// times the pure-replay recovery, then checkpoints and times the
+// snapshot-restore recovery of the same state.
+func recoverOnce(dir string, n int, seed int64) (replayWall, ckptWall time.Duration, err error) {
+	def := schema.MustTable("items", []schema.Column{
+		{Name: "sku", Kind: value.KindString, NotNull: true},
+		{Name: "shard", Kind: value.KindInt, NotNull: true},
+		{Name: "qty", Kind: value.KindInt},
+	}, "sku")
+	l, rec, err := wal.Open(dir, wal.Options{Policy: wal.SyncNone})
+	if err != nil {
+		return 0, 0, err
+	}
+	db := exec.NewDatabase()
+	if _, err := db.Recover(rec); err != nil {
+		return 0, 0, err
+	}
+	db.AttachWAL(l)
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		rows[i] = storage.Row{
+			value.NewString(fmt.Sprintf("P%07d", i)),
+			value.NewInt(int64(i % 8)),
+			value.NewInt(int64((i*7 + int(seed)) % 500)),
+		}
+	}
+	if err := db.LoadRows(def, rows); err != nil {
+		return 0, 0, err
+	}
+	if err := l.Close(); err != nil { // crash before any checkpoint
+		return 0, 0, err
+	}
+
+	start := time.Now()
+	l2, rec2, err := wal.Open(dir, wal.Options{Policy: wal.SyncNone})
+	if err != nil {
+		return 0, 0, err
+	}
+	db2 := exec.NewDatabase()
+	st, err := db2.Recover(rec2)
+	replayWall = time.Since(start)
+	if err != nil {
+		return 0, 0, err
+	}
+	if st.Replayed != n+1 || st.Checkpoint { // n puts plus the create record
+		return 0, 0, fmt.Errorf("replay recovery stats %+v, want %d replayed, no checkpoint", st, n+1)
+	}
+	db2.AttachWAL(l2)
+	if err := db2.Checkpoint(); err != nil {
+		return 0, 0, err
+	}
+	if err := l2.Close(); err != nil {
+		return 0, 0, err
+	}
+
+	start = time.Now()
+	l3, rec3, err := wal.Open(dir, wal.Options{Policy: wal.SyncNone})
+	if err != nil {
+		return 0, 0, err
+	}
+	db3 := exec.NewDatabase()
+	st3, err := db3.Recover(rec3)
+	ckptWall = time.Since(start)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !st3.Checkpoint || st3.Replayed != 0 {
+		return 0, 0, fmt.Errorf("checkpoint recovery stats %+v, want snapshot-only", st3)
+	}
+	tbl, err := db3.Table("items")
+	if err != nil {
+		return 0, 0, err
+	}
+	if tbl.Len() != n {
+		return 0, 0, fmt.Errorf("recovered %d rows, want %d", tbl.Len(), n)
+	}
+	return replayWall, ckptWall, l3.Close()
+}
+
+// overheadCell formats wall relative to base as a percentage.
+func overheadCell(wall, base time.Duration) string {
+	if base <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.2f%%", (float64(wall)/float64(base)-1)*100)
+}

@@ -1,0 +1,174 @@
+package exec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cohera/internal/wal"
+)
+
+// TestCrashPointMatrix drives a workload with a crash hook installed at
+// every named point of the append and checkpoint protocols, captures a
+// byte-for-byte copy of the WAL directory at each firing (exactly what
+// kill -9 would leave), and recovers every image into a fresh engine.
+// Each recovered state must be a legal boundary: the state just before
+// or just after the operation the crash interrupted — never a partial
+// or doubled application.
+//
+// The table is keyless with deliberately duplicated rows, so a
+// double-applied put changes the row count: the "checkpoint.renamed"
+// images (checkpoint durable, log not yet truncated) are the regression
+// test that records at or below the checkpoint LSN are skipped on
+// replay instead of applied a second time.
+func TestCrashPointMatrix(t *testing.T) {
+	ops := []string{
+		"CREATE TABLE ledger (body TEXT, n INTEGER)",
+		"INSERT INTO ledger (body, n) VALUES ('a', 1)",
+		"INSERT INTO ledger (body, n) VALUES ('a', 1)", // duplicate row: double-apply detector
+		"CHECKPOINT",
+		"INSERT INTO ledger (body, n) VALUES ('b', 2)",
+		"UPDATE ledger SET n = 9 WHERE body = 'b'",
+		"CHECKPOINT",
+		"DELETE FROM ledger WHERE n = 1",
+		"INSERT INTO ledger (body, n) VALUES ('c', 3)",
+	}
+
+	// Reference run, no WAL: refDig[k]/refLen[k] is the state after the
+	// first k operations (k=0 is the empty engine, digest sentinel 0).
+	refDig := make([]uint64, len(ops)+1)
+	refLen := make([]int, len(ops)+1)
+	ref := NewDatabase()
+	for k, sql := range ops {
+		if sql != "CHECKPOINT" {
+			execSQL(t, ref, sql)
+		}
+		refDig[k+1] = digestOrZero(t, ref)
+		refLen[k+1] = lenOrZero(ref)
+	}
+
+	// Instrumented run: copy the WAL dir at every crash point.
+	type image struct {
+		dir   string
+		op    int
+		point string
+	}
+	var images []image
+	opIdx := -1 // set before each op; hooks fire synchronously in Exec
+	dir := t.TempDir()
+	db, l := newWALDB(t, dir)
+	l.SetCrashHook(func(point string) {
+		if opIdx < 0 {
+			return // setup traffic, not part of the matrix
+		}
+		img := filepath.Join(t.TempDir(), fmt.Sprintf("op%d-%s", opIdx, point))
+		copyDir(t, dir, img)
+		images = append(images, image{dir: img, op: opIdx, point: point})
+	})
+	for k, sql := range ops {
+		opIdx = k
+		if sql == "CHECKPOINT" {
+			if err := db.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint at op %d: %v", k, err)
+			}
+			continue
+		}
+		execSQL(t, db, sql)
+	}
+	opIdx = -1
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(images) < 2*len(ops) {
+		t.Fatalf("only %d crash images captured for %d ops", len(images), len(ops))
+	}
+
+	for _, img := range images {
+		l2, rec, err := wal.Open(img.dir, wal.Options{})
+		if err != nil {
+			t.Fatalf("%s op %d: Open: %v", img.point, img.op, err)
+		}
+		db2 := NewDatabase()
+		if _, err := db2.Recover(rec); err != nil {
+			t.Fatalf("%s op %d: Recover: %v", img.point, img.op, err)
+		}
+		got, gotLen := digestOrZero(t, db2), lenOrZero(db2)
+		before, after := img.op, img.op+1
+		switch img.point {
+		case "append.before":
+			// The interrupted record never reached disk.
+			if got != refDig[before] || gotLen != refLen[before] {
+				t.Errorf("%s op %d: digest %x len %d, want pre-op %x/%d",
+					img.point, img.op, got, gotLen, refDig[before], refLen[before])
+			}
+		case "append.after":
+			// The record is on disk (page cache survives kill -9).
+			if got != refDig[after] || gotLen != refLen[after] {
+				t.Errorf("%s op %d: digest %x len %d, want post-op %x/%d",
+					img.point, img.op, got, gotLen, refDig[after], refLen[after])
+			}
+		case "checkpoint.staged", "checkpoint.renamed":
+			// A checkpoint never changes engine state; renamed-but-not-
+			// truncated is where a broken LSN skip would double-apply.
+			if got != refDig[before] || gotLen != refLen[before] {
+				t.Errorf("%s op %d: digest %x len %d, want %x/%d (double-apply?)",
+					img.point, img.op, got, gotLen, refDig[before], refLen[before])
+			}
+		default:
+			t.Errorf("unknown crash point %q", img.point)
+		}
+		// Every recovered image must accept new writes.
+		db2.AttachWAL(l2)
+		if gotLen > 0 {
+			execSQL(t, db2, "INSERT INTO ledger (body, n) VALUES ('post', 0)")
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatalf("%s op %d: Close: %v", img.point, img.op, err)
+		}
+	}
+}
+
+// digestOrZero returns the ledger digest, or 0 when the table does not
+// exist yet (images captured before the CREATE landed).
+func digestOrZero(t *testing.T, db *Database) uint64 {
+	t.Helper()
+	d, err := db.TableDigest("ledger")
+	if err != nil {
+		return 0
+	}
+	return d.Hash
+}
+
+func lenOrZero(db *Database) int {
+	tbl, err := db.Table("ledger")
+	if err != nil {
+		return 0
+	}
+	return tbl.Len()
+}
+
+// copyDir copies every regular file of src into dst — the moral
+// equivalent of the page-cache image kill -9 leaves behind.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"cohera/internal/sqlparse"
 	"cohera/internal/storage"
 	"cohera/internal/value"
+	"cohera/internal/wal"
 )
 
 // Database is one site's collection of tables plus the site-local synonym
@@ -32,6 +33,10 @@ type Database struct {
 
 	mu     sync.RWMutex
 	tables map[string]*storage.Table
+	// wlog, when attached, makes every mutation write-ahead logged
+	// (see wal.go). Guarded by mu only for the attach handshake; the
+	// log itself is internally synchronized.
+	wlog *wal.Log
 }
 
 // NewDatabase returns an empty database.
@@ -56,11 +61,24 @@ func (db *Database) SetSynonyms(s *ir.Synonyms) {
 	}
 }
 
-// CreateTable defines a table from a schema.
+// CreateTable defines a table from a schema, logging the definition
+// when a WAL is attached.
 func (db *Database) CreateTable(def *schema.Table) (*storage.Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.createTableLocked(def)
+	var t *storage.Table
+	err := db.mutate(func(a *wal.Appender) error {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		tt, err := db.createTableLocked(def)
+		if err != nil {
+			return err
+		}
+		t = tt
+		return logCreate(a, def)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 func (db *Database) createTableLocked(def *schema.Table) (*storage.Table, error) {
@@ -76,12 +94,25 @@ func (db *Database) createTableLocked(def *schema.Table) (*storage.Table, error)
 // Unlike a Table-then-CreateTable sequence it is atomic, so concurrent
 // fragment loads against a new table cannot race on the definition.
 func (db *Database) EnsureTable(def *schema.Table) (*storage.Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if t, ok := db.tables[strings.ToLower(def.Name)]; ok {
-		return t, nil
+	var t *storage.Table
+	err := db.mutate(func(a *wal.Appender) error {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if existing, ok := db.tables[strings.ToLower(def.Name)]; ok {
+			t = existing
+			return nil
+		}
+		tt, err := db.createTableLocked(def)
+		if err != nil {
+			return err
+		}
+		t = tt
+		return logCreate(a, def)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return db.createTableLocked(def)
+	return t, nil
 }
 
 // Table returns the named table.
@@ -136,13 +167,28 @@ func (db *Database) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
 	case sqlparse.UnionStmt:
 		return db.Union(s)
 	case sqlparse.InsertStmt:
-		n, err := db.execInsert(s)
+		var n int
+		err := db.mutate(func(a *wal.Appender) error {
+			var e error
+			n, e = db.execInsert(s, a)
+			return e
+		})
 		return countResult(n), err
 	case sqlparse.UpdateStmt:
-		n, err := db.execUpdate(s)
+		var n int
+		err := db.mutate(func(a *wal.Appender) error {
+			var e error
+			n, e = db.execUpdate(s, a)
+			return e
+		})
 		return countResult(n), err
 	case sqlparse.DeleteStmt:
-		n, err := db.execDelete(s)
+		var n int
+		err := db.mutate(func(a *wal.Appender) error {
+			var e error
+			n, e = db.execDelete(s, a)
+			return e
+		})
 		return countResult(n), err
 	case sqlparse.CreateTableStmt:
 		return &Result{}, db.execCreate(s)
@@ -175,7 +221,7 @@ func (db *Database) execCreate(s sqlparse.CreateTableStmt) error {
 	return err
 }
 
-func (db *Database) execInsert(s sqlparse.InsertStmt) (int, error) {
+func (db *Database) execInsert(s sqlparse.InsertStmt, a *wal.Appender) (int, error) {
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return 0, err
@@ -214,6 +260,9 @@ func (db *Database) execInsert(s sqlparse.InsertStmt) (int, error) {
 		if _, err := t.Insert(row); err != nil {
 			return inserted, err
 		}
+		if err := logPut(a, def.Name, row); err != nil {
+			return inserted, err
+		}
 		inserted++
 	}
 	return inserted, nil
@@ -228,7 +277,7 @@ func coerceForColumn(v value.Value, kind value.Kind) (value.Value, error) {
 	return value.Coerce(v, kind)
 }
 
-func (db *Database) execUpdate(s sqlparse.UpdateStmt) (int, error) {
+func (db *Database) execUpdate(s sqlparse.UpdateStmt, a *wal.Appender) (int, error) {
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return 0, err
@@ -265,12 +314,15 @@ func (db *Database) execUpdate(s sqlparse.UpdateStmt) (int, error) {
 		if err := t.Update(id, newRow); err != nil {
 			return updated, err
 		}
+		if err := logUpd(a, def.Name, row, newRow); err != nil {
+			return updated, err
+		}
 		updated++
 	}
 	return updated, nil
 }
 
-func (db *Database) execDelete(s sqlparse.DeleteStmt) (int, error) {
+func (db *Database) execDelete(s sqlparse.DeleteStmt, a *wal.Appender) (int, error) {
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return 0, err
@@ -280,11 +332,20 @@ func (db *Database) execDelete(s sqlparse.DeleteStmt) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	name := t.Def().Name
 	deleted := 0
 	for _, id := range ids {
-		if err := t.Delete(id); err == nil {
-			deleted++
+		old, err := t.Get(id)
+		if err != nil {
+			continue // concurrently deleted
 		}
+		if err := t.Delete(id); err != nil {
+			continue
+		}
+		if err := logDel(a, name, old); err != nil {
+			return deleted, err
+		}
+		deleted++
 	}
 	return deleted, nil
 }

@@ -251,11 +251,9 @@ func (f *Federation) execInsert(ctx context.Context, s sqlparse.InsertStmt, trac
 			out, werr := grp.Execute(it,
 				func() error { return site.CheckAvailable(ctx) },
 				func() error {
-					tbl, err := siteTable(site, def)
-					if err != nil {
-						return err
-					}
-					if _, err := tbl.Upsert(row); err != nil {
+					// UpsertRow is the WAL-aware path: with a log attached
+					// the row is durable before the statement acknowledges.
+					if err := site.DB().UpsertRow(def.Clone(def.Name), row); err != nil {
 						return fmt.Errorf("federation: insert at %s: %w", site.Name(), err)
 					}
 					site.Breaker().RecordSuccess()
@@ -629,13 +627,4 @@ func countMatching(db *exec.Database, def *schema.Table, push, fragPred sqlparse
 		return 0, evalErr
 	}
 	return n, nil
-}
-
-// siteTable fetches (or lazily creates) the site's local table for a
-// global schema.
-func siteTable(site *Site, def *schema.Table) (*storage.Table, error) {
-	if t, err := site.DB().Table(def.Name); err == nil {
-		return t, nil
-	}
-	return site.DB().CreateTable(def.Clone(def.Name))
 }

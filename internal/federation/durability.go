@@ -1,0 +1,93 @@
+package federation
+
+import (
+	"fmt"
+
+	"cohera/internal/exec"
+	"cohera/internal/wal"
+)
+
+// Durability wiring. A federation survives kill -9 with two kinds of
+// write-ahead log:
+//
+//   - one wal.Log per site, attached to the site's exec.Database, so
+//     every local mutation (routed inserts, broadcast UPDATE/DELETE,
+//     reconciler replays and copy-repairs) is on disk before it
+//     acknowledges;
+//   - one coordinator-level wal.Log fed by the write-intent journal
+//     through a journal.Sink, so intents queued for an unreachable
+//     replica survive a coordinator crash and the Reconciler resumes
+//     replay exactly where it stopped — no intent lost, and the
+//     journal's applied/abandoned markers keep replay exactly-once.
+//
+// Boot order matters and is enforced by the callees: restore first
+// (RestoreSite / RestoreJournal), then attach (AttachSiteWAL /
+// AttachJournalWAL) — attaching first would re-log recovered state.
+
+// walJournalSink adapts a wal.Log to the journal.Sink interface. The
+// adapter lives here because journal and wal deliberately do not
+// import each other: journal sits below the federation, wal below the
+// engine, and only the federation knows both.
+type walJournalSink struct{ l *wal.Log }
+
+func (s walJournalSink) JournalAppend(site, table, frag string, frame []byte) error {
+	return s.l.AppendJournalFrame(site, table, frag, frame)
+}
+
+func (s walJournalSink) JournalReset(site, table string) error {
+	return s.l.JournalReset(site, table)
+}
+
+// RestoreSite rebuilds a site's database from what wal.Open recovered
+// (snapshot, then replay) and then attaches the log so subsequent
+// mutations are written ahead. Call before the site serves traffic.
+func RestoreSite(site *Site, l *wal.Log, rec *wal.Recovered) (exec.RecoveryStats, error) {
+	st, err := site.DB().Recover(rec)
+	if err != nil {
+		return st, fmt.Errorf("federation: restore site %s: %w", site.Name(), err)
+	}
+	site.DB().AttachWAL(l)
+	return st, nil
+}
+
+// AttachSiteWAL attaches a log to a site that has nothing to recover
+// (fresh boot). Mutations from here on are durable per l's policy.
+func AttachSiteWAL(site *Site, l *wal.Log) {
+	site.DB().AttachWAL(l)
+}
+
+// RestoreJournal rehydrates the federation's write-intent journal from
+// the frames a coordinator WAL recovered (its own records plus the
+// checkpoint's journal mirror), then attaches the log as the journal's
+// sink so new intents and settle markers persist before they
+// acknowledge. A torn per-group tail surfaces as that group's Lost
+// flag, which routes the replica to copy-repair instead of replay —
+// the same contract as in-memory operation.
+func RestoreJournal(f *Federation, l *wal.Log, rec *wal.Recovered) error {
+	if rec != nil {
+		for _, jf := range rec.Journal {
+			f.Journal().Restore(jf.Site, jf.Table, jf.Frag, jf.Bytes)
+		}
+	}
+	f.Journal().SetSink(walJournalSink{l: l})
+	return nil
+}
+
+// CheckpointSite snapshots a site's database through its attached WAL
+// and truncates the log. No-op for a site without a WAL.
+func CheckpointSite(site *Site) error {
+	if err := site.DB().Checkpoint(); err != nil {
+		return fmt.Errorf("federation: checkpoint site %s: %w", site.Name(), err)
+	}
+	return nil
+}
+
+// CheckpointJournal checkpoints a coordinator journal WAL: the
+// checkpoint document carries only the log's journal mirror (there is
+// no engine state at the coordinator), and the WAL truncates to it.
+func CheckpointJournal(l *wal.Log) error {
+	if l == nil {
+		return nil
+	}
+	return l.Checkpoint(nil)
+}

@@ -381,14 +381,10 @@ func (f *Federation) LoadFragment(table string, frag *Fragment, rows []storage.R
 		return err
 	}
 	for _, site := range frag.Replicas() {
-		t, err := site.DB().EnsureTable(gt.Def.Clone(gt.Def.Name))
-		if err != nil {
-			return err
-		}
-		for _, r := range rows {
-			if _, err := t.Upsert(r); err != nil {
-				return fmt.Errorf("federation: loading %s at %s: %w", frag.ID, site.Name(), err)
-			}
+		// LoadRows batches the whole fragment under one WAL commit-latch
+		// scope: one log write, at most one fsync per replica.
+		if err := site.DB().LoadRows(gt.Def.Clone(gt.Def.Name), rows); err != nil {
+			return fmt.Errorf("federation: loading %s at %s: %w", frag.ID, site.Name(), err)
 		}
 	}
 	return nil

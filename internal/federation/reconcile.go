@@ -223,11 +223,9 @@ func (r *Reconciler) applyIntent(ctx context.Context, site *Site, gt *GlobalTabl
 	defer func(start time.Time) { metRepairSeconds("replay").Observe(time.Since(start)) }(time.Now())
 	switch it.Op {
 	case journal.OpUpsert:
-		tbl, err := siteTable(site, gt.Def)
-		if err != nil {
-			return err
-		}
-		if _, err := tbl.Upsert(storage.Row(it.Row)); err != nil {
+		// The WAL-aware path: a replayed intent is durable at the
+		// replica before the journal marks it applied.
+		if err := site.DB().UpsertRow(gt.Def.Clone(gt.Def.Name), storage.Row(it.Row)); err != nil {
 			return err
 		}
 	case journal.OpSQL:
@@ -323,43 +321,37 @@ func (r *Reconciler) copyRepair(gt *GlobalTable, frags []*Fragment, frag *Fragme
 		if err != nil {
 			return err
 		}
-		dstTbl, err := siteTable(dst, gt.Def)
-		if err != nil {
-			return err
-		}
 		// Remove the target's in-scope rows, then install the source's.
-		if wholeTable {
-			dstTbl.Truncate()
-		} else {
-			var doomed []int64
-			ev := &plan.Evaluator{}
-			var scanErr error
-			dstTbl.Scan(func(id int64, row storage.Row) bool {
-				routed, rerr := routeRow(frags, gt.Def, row, ev)
-				if rerr != nil {
-					scanErr = rerr
-					return false
+		// Fragment scope means only the rows routeRow assigns here are
+		// doomed; whole-table scope truncates. Either way the swap runs
+		// through RestoreRows so it lands in the target's WAL as one
+		// commit-latch batch — a crash mid-repair replays to a state the
+		// next pass repairs again, never a half-written one it trusts.
+		var doomed []int64
+		if !wholeTable {
+			dstTbl, err := dst.DB().Table(gt.Def.Name)
+			if err == nil {
+				ev := &plan.Evaluator{}
+				var scanErr error
+				dstTbl.Scan(func(id int64, row storage.Row) bool {
+					routed, rerr := routeRow(frags, gt.Def, row, ev)
+					if rerr != nil {
+						scanErr = rerr
+						return false
+					}
+					if routed == frag {
+						doomed = append(doomed, id)
+					}
+					return true
+				})
+				if scanErr != nil {
+					return scanErr
 				}
-				if routed == frag {
-					doomed = append(doomed, id)
-				}
-				return true
-			})
-			if scanErr != nil {
-				return scanErr
-			}
-			for _, id := range doomed {
-				if err := dstTbl.Delete(id); err != nil {
-					return err
-				}
-			}
-		}
-		for _, row := range rows {
-			if _, err := dstTbl.Upsert(row); err != nil {
+			} else if !errors.Is(err, schema.ErrNoTable) {
 				return err
 			}
 		}
-		return nil
+		return dst.DB().RestoreRows(gt.Def.Clone(gt.Def.Name), wholeTable, doomed, rows)
 	})
 }
 

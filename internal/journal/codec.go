@@ -139,20 +139,30 @@ func decodeIntent(wr wireRecord) (Intent, error) {
 	return it, nil
 }
 
-// appendFrame marshals wr and appends one framed record to dst.
-func appendFrame(dst []byte, wr wireRecord) ([]byte, error) {
+// encodeFrame marshals wr as one framed record.
+func encodeFrame(wr wireRecord) ([]byte, error) {
 	payload, err := json.Marshal(wr)
 	if err != nil {
-		return dst, fmt.Errorf("journal: encode record: %w", err)
+		return nil, fmt.Errorf("journal: encode record: %w", err)
 	}
 	if len(payload) > maxPayload {
-		return dst, fmt.Errorf("journal: record payload %d bytes exceeds cap %d", len(payload), maxPayload)
+		return nil, fmt.Errorf("journal: record payload %d bytes exceeds cap %d", len(payload), maxPayload)
 	}
+	frame := make([]byte, 0, frameHeaderLen+len(payload))
 	var hdr [frameHeaderLen]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	dst = append(dst, hdr[:]...)
-	return append(dst, payload...), nil
+	frame = append(frame, hdr[:]...)
+	return append(frame, payload...), nil
+}
+
+// appendFrame marshals wr and appends one framed record to dst.
+func appendFrame(dst []byte, wr wireRecord) ([]byte, error) {
+	frame, err := encodeFrame(wr)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, frame...), nil
 }
 
 // readFrame parses one framed record at buf[off:]. It returns the

@@ -106,6 +106,20 @@ func newLog() *log {
 	return &log{pending: make(map[string]Intent), done: make(map[string]bool)}
 }
 
+// Sink receives every durable journal event, in append order, while
+// the owning group's lock is held. A WAL-backed deployment points the
+// sink at the write-ahead log: the frame is persisted *before* the
+// in-memory buffer mutates, so an acknowledged intent is never only
+// in memory. A sink error fails the append.
+type Sink interface {
+	// JournalAppend persists one framed record for the (site, table,
+	// frag) log — the same bytes Group.Bytes would return, appended.
+	JournalAppend(site, table, frag string, frame []byte) error
+	// JournalReset persists that every fragment log of (site, table)
+	// was cleared (copy-repair re-established the replica).
+	JournalReset(site, table string) error
+}
+
 // Group serializes journal state for one (site, table) pair.
 type Group struct {
 	site, table string
@@ -114,6 +128,8 @@ type Group struct {
 	// seq is the next append's group-wide order stamp.
 	seq  uint64
 	logs map[string]*log // by fragment ID
+	// sink, when set, is notified of every append/reset under mu.
+	sink Sink
 }
 
 // Site and Table identify the group.
@@ -146,14 +162,21 @@ func (g *Group) lostLocked() bool {
 	return false
 }
 
-// appendIntentLocked frames and retains one intent.
+// appendIntentLocked frames and retains one intent, persisting the
+// frame through the sink (when set) before the in-memory state
+// changes — durability first, acknowledgement second.
 func (g *Group) appendIntentLocked(it Intent) error {
 	l := g.logLocked(it.Fragment)
-	buf, err := appendFrame(l.buf, encodeIntent(it))
+	frame, err := encodeFrame(encodeIntent(it))
 	if err != nil {
 		return err
 	}
-	l.buf = buf
+	if g.sink != nil {
+		if err := g.sink.JournalAppend(g.site, g.table, it.Fragment, frame); err != nil {
+			return err
+		}
+	}
+	l.buf = append(l.buf, frame...)
 	l.pending[it.StmtID] = it
 	metPending.Add(1)
 	return nil
@@ -165,11 +188,16 @@ func (g *Group) settleLocked(frag, stmtID, kind string) error {
 	if _, ok := l.pending[stmtID]; !ok {
 		return nil
 	}
-	buf, err := appendFrame(l.buf, wireRecord{Kind: kind, StmtID: stmtID})
+	frame, err := encodeFrame(wireRecord{Kind: kind, StmtID: stmtID})
 	if err != nil {
 		return err
 	}
-	l.buf = buf
+	if g.sink != nil {
+		if err := g.sink.JournalAppend(g.site, g.table, frag, frame); err != nil {
+			return err
+		}
+	}
+	l.buf = append(l.buf, frame...)
 	delete(l.pending, stmtID)
 	l.done[stmtID] = true
 	metPending.Add(-1)
@@ -298,6 +326,11 @@ func (g *Group) Exclusive(fn func(pending int, lost bool) error) error {
 	if err := fn(g.pendingLocked(), g.lostLocked()); err != nil {
 		return err
 	}
+	if g.sink != nil {
+		if err := g.sink.JournalReset(g.site, g.table); err != nil {
+			return err
+		}
+	}
 	metPending.Add(int64(-g.pendingLocked()))
 	g.logs = make(map[string]*log)
 	return nil
@@ -388,6 +421,7 @@ func (g *Group) recoverLocked(l *log) {
 type Journal struct {
 	mu     sync.Mutex
 	groups map[groupKey]*Group
+	sink   Sink
 }
 
 type groupKey struct{ site, table string }
@@ -397,6 +431,31 @@ func New() *Journal {
 	return &Journal{groups: make(map[groupKey]*Group)}
 }
 
+// SetSink attaches a durability sink to every current and future
+// group. Attach before traffic (and after Restore): events already in
+// memory are not replayed into the sink.
+func (j *Journal) SetSink(s Sink) {
+	j.mu.Lock()
+	groups := make([]*Group, 0, len(j.groups))
+	for _, g := range j.groups {
+		groups = append(groups, g)
+	}
+	j.sink = s
+	j.mu.Unlock()
+	for _, g := range groups {
+		g.mu.Lock()
+		g.sink = s
+		g.mu.Unlock()
+	}
+}
+
+// Restore replaces one (site, table, frag) log's durable bytes and
+// re-runs recovery on them, exactly like SetBytes but creating the
+// group on demand — the startup path for WAL-rehydrated journals.
+func (j *Journal) Restore(site, table, frag string, b []byte) {
+	j.Group(site, table).SetBytes(frag, b)
+}
+
 // Group returns the (site, table) group, creating it on first use.
 func (j *Journal) Group(site, table string) *Group {
 	j.mu.Lock()
@@ -404,7 +463,7 @@ func (j *Journal) Group(site, table string) *Group {
 	k := groupKey{site, table}
 	g := j.groups[k]
 	if g == nil {
-		g = &Group{site: site, table: table, logs: make(map[string]*log)}
+		g = &Group{site: site, table: table, logs: make(map[string]*log), sink: j.sink}
 		j.groups[k] = g
 	}
 	return g

@@ -813,5 +813,8 @@ func (p *parser) createStmt() (Statement, error) {
 	if _, err := p.expect(TokSymbol, ")"); err != nil {
 		return nil, err
 	}
+	if len(s.Columns) == 0 {
+		return nil, p.errf("CREATE TABLE %s has no columns", s.Table)
+	}
 	return s, nil
 }

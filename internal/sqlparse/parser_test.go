@@ -296,6 +296,7 @@ func TestParseErrors(t *testing.T) {
 		"", "SELECT", "SELECT FROM t", "SELECT * FROM", "SELECT * FROM t WHERE",
 		"FROB x", "SELECT * FROM t trailing garbage (",
 		"INSERT INTO t", "UPDATE t SET", "CREATE TABLE t",
+		"CREATE TABLE t ()", "CREATE TABLE t (PRIMARY KEY (a))",
 		"SELECT a FROM t JOIN", "SELECT a FROM t LIMIT x",
 		"SELECT * FROM t; SELECT * FROM u",
 	}

@@ -1,0 +1,142 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cohera/internal/obs"
+)
+
+// checkpointDoc is the checkpoint file shape: the engine snapshot as
+// of LSN plus the journal mirror at the same instant.
+type checkpointDoc struct {
+	Version int             `json:"version"`
+	LSN     uint64          `json:"lsn"`
+	State   json.RawMessage `json:"state,omitempty"`
+	Journal []JournalFrag   `json:"journal,omitempty"`
+}
+
+// loadCheckpoint reads and validates a checkpoint file; nil when none
+// exists. A checkpoint that exists but cannot be parsed is an error,
+// not a silent cold start — refusing to run beats resurrecting an
+// empty table set under a live federation.
+func loadCheckpoint(path string) (*checkpointDoc, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var doc checkpointDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("wal: decoding checkpoint %s: %w", path, err)
+	}
+	if doc.Version != 1 {
+		return nil, fmt.Errorf("wal: unsupported checkpoint version %d", doc.Version)
+	}
+	return &doc, nil
+}
+
+// Checkpoint atomically persists the engine state (written by the
+// state callback — typically exec.Database.SaveSnapshot) together
+// with the journal mirror, then truncates the log. The commit latch
+// is held throughout, so the snapshot observes exactly the mutations
+// of records 1..LSN and nothing in flight; a crash at any point
+// leaves either the old checkpoint + full log or the new checkpoint
+// (+ a log whose ≤LSN prefix recovery skips). state may be nil for a
+// journal-only log.
+func (l *Log) Checkpoint(state func(w io.Writer) error) error {
+	start := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ioErr != nil {
+		return l.ioErr
+	}
+	doc := checkpointDoc{Version: 1, LSN: l.nextLSN - 1, Journal: l.mirrorDumpLocked()}
+	if state != nil {
+		var buf bytes.Buffer
+		if err := state(&buf); err != nil {
+			return fmt.Errorf("wal: checkpoint state: %w", err)
+		}
+		doc.State = json.RawMessage(buf.Bytes())
+	}
+	payload, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("wal: encode checkpoint: %w", err)
+	}
+	path := filepath.Join(l.dir, checkpointFileName)
+	if err := writeFileAtomic(path, payload, func() { l.crashLocked("checkpoint.staged") }); err != nil {
+		return err
+	}
+	l.crashLocked("checkpoint.renamed")
+	// The checkpoint is durable; every logged record ≤ LSN is now
+	// redundant. Truncate the file — cumulative written/synced offsets
+	// deliberately do not reset, so concurrent durability waiters keep
+	// their math.
+	if err := l.file.Truncate(0); err != nil {
+		l.ioErr = fmt.Errorf("wal: truncate after checkpoint: %w", err)
+		return l.ioErr
+	}
+	l.size = 0
+	l.metSize.Set(0)
+	labels := obs.Labels{"wal": filepath.Base(l.dir)}
+	obs.Default().Counter("cohera_wal_checkpoints_total",
+		"Checkpoints written.", labels).Inc()
+	obs.Default().Gauge("cohera_wal_last_checkpoint_unix",
+		"Unix time of the last successful checkpoint.", labels).Set(time.Now().Unix())
+	obs.Default().Gauge("cohera_wal_checkpoint_bytes",
+		"Size of the last checkpoint file.", labels).Set(int64(len(payload)))
+	obs.Default().Histogram("cohera_wal_checkpoint_latency",
+		"Wall time of checkpoint capture+write+truncate.", labels).Observe(time.Since(start))
+	return nil
+}
+
+// writeFileAtomic writes data to path via temp file + fsync + rename,
+// fsyncing the directory afterwards so the rename itself is durable.
+// staged (if non-nil) runs after the temp file is complete but before
+// the rename — the mid-checkpoint crash point.
+func writeFileAtomic(path string, data []byte, staged func()) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		closeErr := f.Close()
+		_ = closeErr // the write error is the one worth reporting
+		return fmt.Errorf("wal: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		closeErr := f.Close()
+		_ = closeErr
+		return fmt.Errorf("wal: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: closing %s: %w", tmp, err)
+	}
+	if staged != nil {
+		staged()
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a completed rename survives power
+// loss. Best-effort on platforms where directories reject fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	syncErr := d.Sync()
+	_ = syncErr // some filesystems reject directory fsync; rename already happened
+	return d.Close()
+}

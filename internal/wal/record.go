@@ -1,0 +1,261 @@
+// Package wal is the per-site write-ahead log behind durable storage:
+// every mutation an exec.Database applies is recorded here before the
+// statement acknowledges, periodic checkpoints bound replay time, and
+// startup recovery rebuilds the engine (and the pending write-intent
+// journal) from the last checkpoint plus the surviving log tail.
+//
+// Records use the journal's proven framing —
+//
+//	[4-byte big-endian payload length][4-byte IEEE CRC32 of payload][JSON payload]
+//
+// — so recovery detects a torn tail (partial header, short payload,
+// corrupted bytes) and truncates the file at the last intact record.
+// The codec is deliberately duplicated from internal/journal and
+// internal/remote: wal sits below all of them and may import none.
+//
+// Records are logical, not physical: storage row ids are assigned per
+// process and do not survive a restart, so put/upd/del records carry
+// row contents and are resolved by primary key (or whole-row equality
+// for keyless tables) during replay. Replayed content hashes to the
+// same order-independent table digest as the pre-crash table, which is
+// what lets anti-entropy verify a recovery was exact.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"cohera/internal/value"
+)
+
+const (
+	frameHeaderLen = 8
+	// maxPayload bounds a single record so a corrupted length field
+	// cannot make replay allocate gigabytes before the CRC catches it.
+	maxPayload = 1 << 20
+)
+
+// Record kinds. Table-op kinds replay against the engine; journal
+// kinds rehydrate write-intent groups.
+const (
+	// KindCreate defines a table (schema + key).
+	KindCreate = "create"
+	// KindIndex declares a secondary index on an existing table.
+	KindIndex = "index"
+	// KindPut upserts Row (insert, or replace-by-primary-key).
+	KindPut = "put"
+	// KindUpd replaces the row equal to Old with Row.
+	KindUpd = "upd"
+	// KindDel deletes the row equal to Row (the pre-image).
+	KindDel = "del"
+	// KindTrunc removes every row of Table.
+	KindTrunc = "trunc"
+	// KindJFrame carries one opaque journal record (already framed by
+	// internal/journal) for the (Site, Table, Frag) intent log.
+	KindJFrame = "jframe"
+	// KindJReset clears every fragment log of the (Site, Table) journal
+	// group — written when copy-repair re-established the replica.
+	KindJReset = "jreset"
+)
+
+// Record is the JSON payload of one WAL frame.
+type Record struct {
+	LSN    uint64       `json:"lsn"`
+	Kind   string       `json:"kind"`
+	Table  string       `json:"table,omitempty"`
+	Schema *TableSchema `json:"schema,omitempty"`
+	Column string       `json:"col,omitempty"`
+	Hash   bool         `json:"hash,omitempty"`
+	Row    []Val        `json:"row,omitempty"`
+	Old    []Val        `json:"old,omitempty"`
+	Site   string       `json:"site,omitempty"`
+	Frag   string       `json:"frag,omitempty"`
+	Frame  []byte       `json:"frame,omitempty"`
+}
+
+// TableSchema is the serialized form of a schema.Table, mirroring the
+// exec snapshot encoding so create records and checkpoints agree.
+type TableSchema struct {
+	Name    string         `json:"name"`
+	Columns []ColumnSchema `json:"columns"`
+	Key     []string       `json:"key,omitempty"`
+}
+
+// ColumnSchema is one column declaration.
+type ColumnSchema struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	NotNull  bool   `json:"not_null,omitempty"`
+	FullText bool   `json:"full_text,omitempty"`
+	Taxonomy string `json:"taxonomy,omitempty"`
+}
+
+// Val is the kind-tagged JSON encoding of one value.Value.
+type Val struct {
+	K string  `json:"k"`
+	I int64   `json:"i,omitempty"`
+	F float64 `json:"f,omitempty"`
+	S string  `json:"s,omitempty"`
+	B bool    `json:"b,omitempty"`
+}
+
+// EncodeVal converts a value.Value to its wire form.
+func EncodeVal(v value.Value) Val {
+	switch v.Kind() {
+	case value.KindNull:
+		return Val{K: "null"}
+	case value.KindBool:
+		return Val{K: "bool", B: v.Bool()}
+	case value.KindInt:
+		return Val{K: "int", I: v.Int()}
+	case value.KindFloat:
+		return Val{K: "float", F: v.Float()}
+	case value.KindString:
+		return Val{K: "string", S: v.Str()}
+	case value.KindMoney:
+		amt, cur := v.Money()
+		return Val{K: "money", I: amt, S: cur}
+	case value.KindTime:
+		return Val{K: "time", I: v.Time().UnixNano()}
+	case value.KindDuration:
+		d, sem := v.Duration()
+		return Val{K: "duration", I: int64(d), S: string(sem)}
+	default:
+		return Val{K: "null"}
+	}
+}
+
+// DecodeVal converts a wire value back. Unknown kinds are a framing
+// error: recovery must not guess at data it cannot read.
+func DecodeVal(w Val) (value.Value, error) {
+	switch w.K {
+	case "null":
+		return value.Null, nil
+	case "bool":
+		return value.NewBool(w.B), nil
+	case "int":
+		return value.NewInt(w.I), nil
+	case "float":
+		return value.NewFloat(w.F), nil
+	case "string":
+		return value.NewString(w.S), nil
+	case "money":
+		return value.NewMoney(w.I, w.S), nil
+	case "time":
+		return value.NewTime(time.Unix(0, w.I).UTC()), nil
+	case "duration":
+		return value.NewDuration(time.Duration(w.I), value.DurationSemantics(w.S)), nil
+	default:
+		return value.Null, fmt.Errorf("wal: unknown value kind %q", w.K)
+	}
+}
+
+// EncodeRow converts a row of values.
+func EncodeRow(row []value.Value) []Val {
+	out := make([]Val, len(row))
+	for i, v := range row {
+		out[i] = EncodeVal(v)
+	}
+	return out
+}
+
+// DecodeRow converts a wire row back.
+func DecodeRow(ws []Val) ([]value.Value, error) {
+	out := make([]value.Value, len(ws))
+	for i, w := range ws {
+		v, err := DecodeVal(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// validKind reports whether k is a record kind recovery understands.
+func validKind(k string) bool {
+	switch k {
+	case KindCreate, KindIndex, KindPut, KindUpd, KindDel, KindTrunc, KindJFrame, KindJReset:
+		return true
+	}
+	return false
+}
+
+// validate rejects records that parsed as JSON but cannot replay —
+// treated exactly like a CRC mismatch so a damaged record truncates
+// the tail instead of half-applying.
+func (r Record) validate() error {
+	if !validKind(r.Kind) {
+		return fmt.Errorf("wal: unknown record kind %q", r.Kind)
+	}
+	for _, w := range append(append([]Val(nil), r.Row...), r.Old...) {
+		if _, err := DecodeVal(w); err != nil {
+			return err
+		}
+	}
+	if r.Kind == KindCreate && r.Schema == nil {
+		return fmt.Errorf("wal: create record without schema")
+	}
+	return nil
+}
+
+// appendFrame marshals r and appends one framed record to dst.
+func appendFrame(dst []byte, r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return dst, fmt.Errorf("wal: encode record: %w", err)
+	}
+	if len(payload) > maxPayload {
+		return dst, fmt.Errorf("wal: record payload %d bytes exceeds cap %d", len(payload), maxPayload)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// readFrame parses one framed record at buf[off:]. ok=false means the
+// bytes at off are not an intact, replayable record — the torn-tail
+// signal that truncates everything from off on.
+func readFrame(buf []byte, off int) (r Record, next int, ok bool) {
+	if off+frameHeaderLen > len(buf) {
+		return Record{}, off, false
+	}
+	n := int(binary.BigEndian.Uint32(buf[off : off+4]))
+	sum := binary.BigEndian.Uint32(buf[off+4 : off+8])
+	if n > maxPayload || off+frameHeaderLen+n > len(buf) {
+		return Record{}, off, false
+	}
+	payload := buf[off+frameHeaderLen : off+frameHeaderLen+n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Record{}, off, false
+	}
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return Record{}, off, false
+	}
+	if err := r.validate(); err != nil {
+		return Record{}, off, false
+	}
+	return r, off + frameHeaderLen + n, true
+}
+
+// ScanRecords parses every intact record from the start of buf,
+// returning the records, the byte offset just past the last intact
+// one, and the number of torn trailing bytes. Exposed for replay,
+// tests and the fuzz target.
+func ScanRecords(buf []byte) (recs []Record, good int, torn int) {
+	off := 0
+	for off < len(buf) {
+		r, next, ok := readFrame(buf, off)
+		if !ok {
+			break
+		}
+		recs = append(recs, r)
+		off = next
+	}
+	return recs, off, len(buf) - off
+}

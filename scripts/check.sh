@@ -20,9 +20,15 @@
 #                                including the anti-entropy convergence
 #                                stage (replica digests equal + journal
 #                                empty after a seeded flap workload)
+#   5b. go run ./cmd/coherachaos kill-and-restart: a durable federation
+#      -crash                    child is SIGKILLed mid-workload and
+#                                recovered from its WALs — digests
+#                                identical, journal drained, no
+#                                acknowledged write lost or doubled
 #   6. go test -race ./...       full tests under the race detector
-#   7. go test -fuzz ... 10s     fuzz smoke: parser and NDJSON stream
-#                                decoder each survive a short run
+#   7. go test -fuzz ... 10s     fuzz smoke: parser, NDJSON stream
+#                                decoder, and WAL replay each survive a
+#                                short run
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -45,6 +51,9 @@ go run ./cmd/coherasmoke
 echo "==> coherachaos -smoke"
 go run ./cmd/coherachaos -smoke
 
+echo "==> coherachaos -crash (kill -9 + restart recovery)"
+go run ./cmd/coherachaos -crash -seed 42
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -52,5 +61,6 @@ echo "==> fuzz smoke (10s per target)"
 go test -fuzz 'FuzzParse$' -fuzztime 10s ./internal/sqlparse/
 go test -fuzz FuzzParseExpr -fuzztime 10s ./internal/sqlparse/
 go test -fuzz FuzzDecodeStream -fuzztime 10s ./internal/remote/
+go test -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal/
 
 echo "check: all gates passed"
