@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStreamCloseFixtureCoversDecorators pins a maintenance contract:
+// every exported concrete RowStream implementation in the engine's
+// stream packages must appear in the streamclose fixture, both as a
+// leak positive and as a closed/escaping negative. A new stream
+// decorator (like the fused σ/π/limit stream) that never gets fixture
+// cases could regress out of the analyzer's reach without any test
+// noticing; this test makes the omission loud.
+func TestStreamCloseFixtureCoversDecorators(t *testing.T) {
+	l, err := NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtureSrc, err := os.ReadFile(filepath.Join("testdata", "src", "streamclose", "streamclose.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []string{"internal/storage", "internal/plan"} {
+		pkg, err := l.LoadDir(filepath.Join(moduleRoot, dir))
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		iface := rowStreamIface(pkg.Types)
+		if iface == nil {
+			t.Fatalf("%s: storage.RowStream not reachable", dir)
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			obj, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || !obj.Exported() || obj.IsAlias() {
+				continue
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			if !types.Implements(types.NewPointer(named), iface) {
+				continue
+			}
+			if !strings.Contains(string(fixtureSrc), name) {
+				t.Errorf("%s.%s implements storage.RowStream but has no case in the streamclose fixture", dir, name)
+			}
+		}
+	}
+}

@@ -2,7 +2,10 @@
 // analyzer: row streams that leak versus closed or escaping streams.
 package streamclose
 
-import "cohera/internal/storage"
+import (
+	"cohera/internal/plan"
+	"cohera/internal/storage"
+)
 
 func open() storage.RowStream {
 	return storage.NewSliceStream([]string{"k"}, nil)
@@ -53,6 +56,44 @@ func escapesReturn() storage.RowStream {
 func escapesCollect() ([]storage.Row, error) {
 	st := open() // negative: CollectRows takes ownership and closes it
 	return storage.CollectRows(st)
+}
+
+// The fused σ/π/limit decorator is a RowStream by interface
+// satisfaction, not by declared type: the analyzer must catch the
+// concrete *plan.FusedStream too.
+
+func leakFused() {
+	st := plan.FuseStream(open(), plan.FuseSpec{Limit: -1}) // want `row stream st is never closed`
+	lastCols = st.Columns()
+	for {
+		if _, err := st.Next(); err != nil {
+			return
+		}
+	}
+}
+
+func leakFusedEarlyBreak(limit int) int {
+	st := plan.FuseStream(open(), plan.FuseSpec{Limit: limit}) // want `row stream st is never closed`
+	n := 0
+	for {
+		if _, err := st.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func closedFusedDefer() error {
+	st := plan.FuseStream(open(), plan.FuseSpec{Limit: -1}) // negative: closed on the deferred path
+	defer st.Close()
+	_, err := st.Next()
+	return err
+}
+
+func escapesFusedReturn() storage.RowStream {
+	st := plan.FuseStream(open(), plan.FuseSpec{Limit: -1}) // negative: returned, caller owns it
+	return st
 }
 
 type holder struct{ st storage.RowStream }

@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one function per
-// experiment in DESIGN.md's index (E1–E16), each returning a printable
+// experiment in DESIGN.md's index (E1–E17), each returning a printable
 // table. The paper (an industrial overview) publishes no numbered tables
 // or figures, so each experiment operationalizes one of its testable
 // claims; EXPERIMENTS.md records claim vs. measurement.
@@ -113,5 +113,6 @@ func All() []Experiment {
 		{"E14", E14AntiEntropy, "anti-entropy repair time vs outage size, replay vs copy-repair"},
 		{"E15", E15Instrumentation, "query observability overhead: instrumented vs bare streamed scan"},
 		{"E16", E16Durability, "durability cost and recovery: fsync policy vs DML, replay vs checkpoint restore"},
+		{"E17", E17PushdownWire, "σ/π pushdown on the wire: rows decoded, payload bytes, p50 vs selectivity"},
 	}
 }

@@ -88,18 +88,70 @@ func runE11(seed int64, rows, width, queries int, pushdown bool) (cellsPerQuery 
 	if err := fed.LoadFragment("rich", frag, batch); err != nil {
 		return 0, 0, err
 	}
+	// Reference plan for the differential oracle: the same data with
+	// every pushdown disabled, so all evaluation happens at the
+	// coordinator. Each measured configuration must agree with it.
+	ref := federation.New(federation.NewAgoric())
+	ref.DisableProjectionPushdown = true
+	ref.DisablePredicatePushdown = true
+	rs := federation.NewSite("ref")
+	if err := ref.AddSite(rs); err != nil {
+		return 0, 0, err
+	}
+	rfrag := federation.NewFragment("f", nil, rs)
+	if _, err := ref.DefineTable(def, rfrag); err != nil {
+		return 0, 0, err
+	}
+	if err := ref.LoadFragment("rich", rfrag, batch); err != nil {
+		return 0, 0, err
+	}
 	ctx := context.Background()
 	var total time.Duration
 	var cells int
 	for q := 0; q < queries; q++ {
+		sql := fmt.Sprintf("SELECT attr01 FROM rich WHERE id >= %d", q%10)
 		start := time.Now()
-		_, trace, err := fed.QueryTraced(ctx,
-			fmt.Sprintf("SELECT attr01 FROM rich WHERE id >= %d", q%10))
+		res, trace, err := fed.QueryTraced(ctx, sql)
 		if err != nil {
 			return 0, 0, err
 		}
 		total += time.Since(start)
 		cells = trace.CellsShipped
+		if q < 5 {
+			want, err := ref.Query(ctx, sql)
+			if err != nil {
+				return 0, 0, err
+			}
+			if !sameRowMultiset(res.Rows, want.Rows) {
+				return 0, 0, fmt.Errorf("E11 differential: pushdown=%v disagrees with unpushed plan on %q", pushdown, sql)
+			}
+		}
 	}
 	return cells, total / time.Duration(queries), nil
+}
+
+// sameRowMultiset reports whether two result sets hold the same rows,
+// ignoring order — the pushed-vs-unpushed differential oracle.
+func sameRowMultiset(a, b []storage.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[string]int, len(a))
+	key := func(r storage.Row) string {
+		s := ""
+		for _, v := range r {
+			s += v.String() + "\x1f"
+		}
+		return s
+	}
+	for _, r := range a {
+		seen[key(r)]++
+	}
+	for _, r := range b {
+		seen[key(r)]--
+		if seen[key(r)] < 0 {
+			return false
+		}
+	}
+	return true
 }

@@ -151,6 +151,16 @@ type Federation struct {
 	// subquery results — kept as an ablation switch; leave false.
 	DisableProjectionPushdown bool
 
+	// DisablePredicatePushdown keeps every WHERE predicate (and with it
+	// any LIMIT, which is only sound below a complete filter) at the
+	// coordinator: sites ship unfiltered fragments and the residual
+	// stage re-evaluates the full predicate. The differential harness
+	// and bench E17 compare runs with this on and off; leave false. Set
+	// before serving queries. Fragment pruning still uses the predicate
+	// — skipping a provably disjoint fragment is a planning decision,
+	// not an evaluation site.
+	DisablePredicatePushdown bool
+
 	// PartialResults opts federated SELECTs into graceful degradation:
 	// when every replica of a fragment is unavailable, the query returns
 	// the live fragments' rows instead of failing, marking the trace
@@ -427,6 +437,28 @@ type QueryTrace struct {
 	// deprioritize stale replicas, so an entry here means a stale copy
 	// was the only (or overwhelmingly cheapest) one available.
 	StaleServed []string
+	// PushedRows maps "table/fragment" to the rows the serving site
+	// shipped after applying whatever σ/π/limit its capabilities let the
+	// planner push; ResidualDropped is how many of those the
+	// coordinator's residual filter then discarded. pushed − dropped is
+	// the fragment's contribution to the merge, so on failover-free runs
+	// the differences sum to the pre-offset/limit result cardinality.
+	PushedRows      map[string]int
+	ResidualDropped map[string]int
+}
+
+// notePushed records one fragment's pushed-vs-residual row accounting.
+func (t *QueryTrace) notePushed(key string, pushed, dropped int) {
+	if t.PushedRows == nil {
+		t.PushedRows = make(map[string]int)
+	}
+	t.PushedRows[key] += pushed
+	if dropped > 0 {
+		if t.ResidualDropped == nil {
+			t.ResidualDropped = make(map[string]int)
+		}
+		t.ResidualDropped[key] += dropped
+	}
 }
 
 // noteFragmentError records one dropped fragment on a degraded trace.
@@ -879,16 +911,12 @@ func projectDef(def *schema.Table, want map[string]bool) (*schema.Table, []strin
 // shipped from sites; fullWidth is the table's unprojected column
 // count, for the pushdown-savings accounting.
 func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.Expr, cols []string, fullWidth int, dst *storage.Table, trace *QueryTrace) error {
-	width := fullWidth
-	if cols != nil {
-		width = len(cols)
-	}
 	// Upsert dedupes by primary key, which absorbs the replayed prefix
 	// of a mid-stream replica failover; keyless tables must not replay.
 	canReplay := len(dst.Def().Key) > 0
 	counters := &streamCounters{}
 	stage := obs.StageFromContext(ctx)
-	ch, _, pruned := f.scatter(ctx, gt, push, cols, clampFedBatch(f.StreamBatchRows), canReplay, counters)
+	ch, _, pruned := f.scatter(ctx, gt, push, cols, -1, clampFedBatch(f.StreamBatchRows), canReplay, counters)
 	var firstErr error
 	upsert := func(rows []storage.Row) {
 		for _, row := range rows {
@@ -947,11 +975,14 @@ func (f *Federation) gather(ctx context.Context, gt *GlobalTable, push sqlparse.
 			trace.StaleServed = append(trace.StaleServed, gt.Def.Name+"/"+msg.frag.ID+"@"+msg.site.Name())
 			metStaleReads.Inc()
 		}
-		metSiteRows(msg.site.Name()).Add(int64(msg.rows))
-		trace.CellsShipped += msg.rows * width
-		trace.CellsWithoutPushdown += msg.rows * fullWidth
-		metCellsShipped.Add(int64(msg.rows * width))
-		metCellsSaved.Add(int64(msg.rows * (fullWidth - width)))
+		// Shipping cost is what crossed the site boundary: the rows the
+		// site actually served (pre-residual) at the width it served them.
+		metSiteRows(msg.site.Name()).Add(int64(msg.pushed))
+		trace.CellsShipped += msg.pushed * msg.width
+		trace.CellsWithoutPushdown += msg.pushed * fullWidth
+		metCellsShipped.Add(int64(msg.pushed * msg.width))
+		metCellsSaved.Add(int64(msg.pushed * (fullWidth - msg.width)))
+		trace.notePushed(gt.Def.Name+"/"+msg.frag.ID, msg.pushed, msg.pushed-msg.rows)
 	}
 	trace.PrunedFragments += pruned
 	metPruned.Add(int64(pruned))
@@ -1054,38 +1085,10 @@ func dropTextPredicates(conjuncts []sqlparse.Expr) []sqlparse.Expr {
 // unqualify strips table qualifiers from column references so the
 // predicate evaluates in a site's single-table scope.
 func unqualify(e sqlparse.Expr) sqlparse.Expr {
-	switch x := e.(type) {
-	case nil:
-		return nil
-	case sqlparse.ColumnRef:
-		return sqlparse.ColumnRef{Column: x.Column}
-	case sqlparse.Binary:
-		return sqlparse.Binary{Op: x.Op, Left: unqualify(x.Left), Right: unqualify(x.Right)}
-	case sqlparse.Not:
-		return sqlparse.Not{Inner: unqualify(x.Inner)}
-	case sqlparse.Neg:
-		return sqlparse.Neg{Inner: unqualify(x.Inner)}
-	case sqlparse.IsNull:
-		return sqlparse.IsNull{Inner: unqualify(x.Inner), Negate: x.Negate}
-	case sqlparse.In:
-		list := make([]sqlparse.Expr, len(x.List))
-		for i, item := range x.List {
-			list[i] = unqualify(item)
+	return sqlparse.Rewrite(e, func(x sqlparse.Expr) sqlparse.Expr {
+		if c, ok := x.(sqlparse.ColumnRef); ok && c.Table != "" {
+			return sqlparse.ColumnRef{Column: c.Column}
 		}
-		return sqlparse.In{Inner: unqualify(x.Inner), List: list, Negate: x.Negate}
-	case sqlparse.Between:
-		return sqlparse.Between{Inner: unqualify(x.Inner), Lo: unqualify(x.Lo), Hi: unqualify(x.Hi), Negate: x.Negate}
-	case sqlparse.Like:
-		return sqlparse.Like{Inner: unqualify(x.Inner), Pattern: unqualify(x.Pattern), Negate: x.Negate}
-	case sqlparse.Call:
-		args := make([]sqlparse.Expr, len(x.Args))
-		for i, a := range x.Args {
-			args[i] = unqualify(a)
-		}
-		return sqlparse.Call{Name: x.Name, Args: args}
-	case sqlparse.TextMatch:
-		return sqlparse.TextMatch{Col: sqlparse.ColumnRef{Column: x.Col.Column}, Query: unqualify(x.Query), Mode: x.Mode}
-	default:
-		return e
-	}
+		return x
+	})
 }

@@ -19,10 +19,14 @@ import (
 // materialized result. Stored tables run the local engine's streaming
 // executor; wrapper-fronted tables stream from the source (over the
 // wire, when the source is remote) with site-side filtering and
-// projection applied row by row. The admission gate, breaker
-// accounting and cost model's round-trip latency are charged at open;
-// the site's latency histogram observes open→Close wall clock.
-func (s *Site) SubQueryStream(ctx context.Context, table string, where sqlparse.Expr, cols []string) (storage.RowStream, error) {
+// projection applied row by row. limit caps delivered rows (< 0 means
+// unlimited) and is pushed into the scan when the source can stop
+// early. The site applies everything it is given — the federation
+// planner sends only what the site's PushCaps advertise and keeps the
+// residual. The admission gate, breaker accounting and cost model's
+// round-trip latency are charged at open; the site's latency histogram
+// observes open→Close wall clock.
+func (s *Site) SubQueryStream(ctx context.Context, table string, where sqlparse.Expr, cols []string, limit int) (storage.RowStream, error) {
 	if err := s.CheckAvailable(ctx); err != nil {
 		return nil, err
 	}
@@ -36,9 +40,9 @@ func (s *Site) SubQueryStream(ctx context.Context, table string, where sqlparse.
 	var st storage.RowStream
 	var err error
 	if src := s.source(table); src != nil {
-		st, err = s.streamSource(ctx, src, where, cols)
+		st, err = s.streamSource(ctx, src, where, cols, limit)
 	} else {
-		st, err = s.streamStored(ctx, table, where, cols)
+		st, err = s.streamStored(ctx, table, where, cols, limit)
 	}
 	if err == nil {
 		// Charge the round-trip latency up front; per-row simulated cost
@@ -66,7 +70,7 @@ func (s *Site) SubQueryStream(ctx context.Context, table string, where sqlparse.
 }
 
 // streamStored answers a subquery from the site's local engine.
-func (s *Site) streamStored(ctx context.Context, table string, where sqlparse.Expr, cols []string) (storage.RowStream, error) {
+func (s *Site) streamStored(ctx context.Context, table string, where sqlparse.Expr, cols []string, limit int) (storage.RowStream, error) {
 	items := []sqlparse.SelectItem{{Expr: sqlparse.Star{}}}
 	if cols != nil {
 		items = items[:0]
@@ -74,19 +78,25 @@ func (s *Site) streamStored(ctx context.Context, table string, where sqlparse.Ex
 			items = append(items, sqlparse.SelectItem{Expr: sqlparse.ColumnRef{Column: c}, Alias: c})
 		}
 	}
+	if limit < 0 {
+		limit = -1
+	}
 	stmt := sqlparse.SelectStmt{
 		Items: items,
 		From:  sqlparse.TableRef{Name: table},
 		Where: where,
-		Limit: -1,
+		Limit: limit,
 	}
 	return s.db.SelectStream(ctx, stmt)
 }
 
-// streamSource answers a subquery from a wrapper source: pushable
-// equality conjuncts travel with the fetch, everything else filters
-// here, one row at a time.
-func (s *Site) streamSource(ctx context.Context, src wrapper.Source, where sqlparse.Expr, cols []string) (storage.RowStream, error) {
+// streamSource answers a subquery from a wrapper source. The site-level
+// predicate is split again against the source's own capabilities:
+// whatever the connector can evaluate travels with the fetch (over the
+// wire, for remote sources), and the rest — plus projection and limit
+// when the connector declined them — is fused right here, one row at a
+// time, before the stream leaves the site.
+func (s *Site) streamSource(ctx context.Context, src wrapper.Source, where sqlparse.Expr, cols []string, limit int) (storage.RowStream, error) {
 	def := src.Schema()
 	caps := src.Capabilities()
 	var filters []wrapper.Filter
@@ -99,15 +109,37 @@ func (s *Site) streamSource(ctx context.Context, src wrapper.Source, where sqlpa
 			filters = append(filters, wrapper.Filter{Column: r.Column, Value: r.Lo})
 		}
 	}
-	st, err := wrapper.OpenStream(ctx, src, filters)
+	srcPush, srcResid := plan.SplitPushable(where, caps.Push)
+	push := wrapper.Pushdown{Where: srcPush}
+	if cols != nil && caps.Push.Project {
+		push.Cols = cols
+	}
+	// A limit is only safe at the source when the source also applies
+	// the entire filter: the first N rows of a partially-filtered
+	// stream are not the first N of the filtered one.
+	if limit >= 0 && caps.Push.Limit && srcResid == nil {
+		push.Limit = limit
+	}
+	st, applied, err := wrapper.OpenPushStream(ctx, src, filters, push)
 	if err != nil {
 		return nil, fmt.Errorf("%w: source %s: %w", ErrSiteFailure, src.Name(), err)
 	}
-	names := def.ColumnNames()
-	outCols := names
-	var colIdx []int
-	if cols != nil {
-		outCols = cols
+	// Classification sits below the fuse so connector failures map to
+	// ErrSiteFailure (the gather loop's failover signal) while residual
+	// evaluation errors stay plain query errors.
+	st = &classifyStream{inner: st, src: src.Name()}
+	spec := plan.FuseSpec{Limit: -1}
+	fuse := false
+	if applied.Where {
+		spec.Where = srcResid
+	} else {
+		spec.Where = where
+	}
+	if spec.Where != nil {
+		fuse = true
+	}
+	if cols != nil && !applied.Cols {
+		var colIdx []int
 		for _, c := range cols {
 			ci := def.ColumnIndex(c)
 			if ci < 0 {
@@ -117,65 +149,44 @@ func (s *Site) streamSource(ctx context.Context, src wrapper.Source, where sqlpa
 			}
 			colIdx = append(colIdx, ci)
 		}
+		spec.Project = colIdx
+		fuse = true
 	}
-	return &sourceFilterStream{
-		inner: st, src: src.Name(), where: where,
-		env: plan.NewRowEnvRaw(names, nil), cols: outCols, colIdx: colIdx,
-	}, nil
+	if limit >= 0 && !applied.Limit {
+		spec.Limit = limit
+		fuse = true
+	}
+	if fuse {
+		return plan.FuseStream(st, spec), nil
+	}
+	return st, nil
 }
 
-// sourceFilterStream post-filters and projects a source's stream.
-type sourceFilterStream struct {
+// classifyStream maps a source stream's mid-transfer failures to
+// ErrSiteFailure so the gather loop can fail over to a replica.
+type classifyStream struct {
 	inner  storage.RowStream
 	src    string
-	where  sqlparse.Expr
-	ev     plan.Evaluator
-	env    *plan.RowEnv
-	cols   []string
-	colIdx []int
 	closed bool
 }
 
 // Columns implements storage.RowStream.
-func (s *sourceFilterStream) Columns() []string { return s.cols }
+func (s *classifyStream) Columns() []string { return s.inner.Columns() }
 
-// Next implements storage.RowStream. Source failures mid-stream are
-// classified ErrSiteFailure so the gather loop can fail over.
-func (s *sourceFilterStream) Next() (storage.Row, error) {
+// Next implements storage.RowStream.
+func (s *classifyStream) Next() (storage.Row, error) {
 	if s.closed {
 		return nil, storage.ErrStreamClosed
 	}
-	for {
-		r, err := s.inner.Next()
-		if err == io.EOF || errors.Is(err, storage.ErrStreamClosed) {
-			return nil, err
-		}
-		if err != nil {
-			return nil, fmt.Errorf("%w: source %s: %w", ErrSiteFailure, s.src, err)
-		}
-		if s.where != nil {
-			s.env.Values = r
-			v, err := s.ev.Eval(s.where, s.env)
-			if err != nil {
-				return nil, fmt.Errorf("federation: source %s filter: %w", s.src, err)
-			}
-			if !v.Truthy() {
-				continue
-			}
-		}
-		if s.colIdx != nil {
-			pr := make(storage.Row, len(s.colIdx))
-			for i, ci := range s.colIdx {
-				pr[i] = r[ci]
-			}
-			return pr, nil
-		}
-		return r, nil
+	r, err := s.inner.Next()
+	if err == nil || err == io.EOF || errors.Is(err, storage.ErrStreamClosed) {
+		return r, err
 	}
+	return nil, fmt.Errorf("%w: source %s: %w", ErrSiteFailure, s.src, err)
 }
 
 // Close implements storage.RowStream.
-func (s *sourceFilterStream) Close() error {
+func (s *classifyStream) Close() error {
 	s.closed = true
 	return s.inner.Close()
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,14 +33,16 @@ import (
 // rows or the fragment's completion record (done=true), which is
 // always the producer's last message.
 type fragMsg struct {
-	frag  *Fragment
-	batch *storage.Batch
-	done  bool
-	site  *Site // serving site (done messages of successful fragments)
-	rows  int   // total rows shipped (done messages)
-	fail  int   // replicas tried and found down (done messages)
-	stale bool  // serving site had journaled intents pending (done messages)
-	err   error // fragment failure (done messages)
+	frag   *Fragment
+	batch  *storage.Batch
+	done   bool
+	site   *Site // serving site (done messages of successful fragments)
+	rows   int   // rows delivered to the fan-in, post-residual (done messages)
+	pushed int   // rows the site shipped, pre-residual (done messages)
+	width  int   // columns per shipped row (done messages)
+	fail   int   // replicas tried and found down (done messages)
+	stale  bool  // serving site had journaled intents pending (done messages)
+	err    error // fragment failure (done messages)
 }
 
 // streamCounters tracks rows resident in the fan-in channel, and the
@@ -66,7 +69,7 @@ func (c *streamCounters) add(n int64) {
 // consumer dedupes by primary key, since the replacement replica
 // replays rows the failed stream already shipped.
 func (f *Federation) scatter(ctx context.Context, gt *GlobalTable, push sqlparse.Expr, cols []string,
-	batchRows int, canReplay bool, counters *streamCounters) (ch <-chan fragMsg, active, pruned int) {
+	limit int, batchRows int, canReplay bool, counters *streamCounters) (ch <-chan fragMsg, active, pruned int) {
 	var frags []*Fragment
 	for _, frag := range f.FragmentsOf(gt) {
 		if frag.Predicate != nil && push != nil && disjoint(frag.Predicate, push) {
@@ -81,7 +84,7 @@ func (f *Federation) scatter(ctx context.Context, gt *GlobalTable, push sqlparse
 		wg.Add(1)
 		go func(frag *Fragment) {
 			defer wg.Done()
-			f.pumpFragment(ctx, gt, frag, push, cols, batchRows, canReplay, counters, out)
+			f.pumpFragment(ctx, gt, frag, push, cols, limit, batchRows, canReplay, counters, out)
 		}(frag)
 	}
 	go func() {
@@ -93,9 +96,18 @@ func (f *Federation) scatter(ctx context.Context, gt *GlobalTable, push sqlparse
 
 // pumpFragment streams one fragment from its best available replica
 // into the fan-in channel, failing over across replicas, and finishes
-// with exactly one done message.
+// with exactly one done message. Per replica, the fragment predicate is
+// split against that site's advertised capabilities: the pushable part
+// travels with the subquery, the residual (plus projection and limit
+// when the site declined them) is fused here, before the rows enter
+// the fan-in — so every fragment contributes uniformly filtered,
+// uniformly projected rows no matter how capable its serving site was.
+// limit, when ≥ 0, caps each site's scan at OFFSET+LIMIT rows; it is
+// only pushed to a site that applies the entire predicate, since the
+// first K rows of a partially filtered stream are not the first K of
+// the filtered one.
 func (f *Federation) pumpFragment(ctx context.Context, gt *GlobalTable, frag *Fragment,
-	push sqlparse.Expr, cols []string, batchRows int, canReplay bool,
+	push sqlparse.Expr, cols []string, limit int, batchRows int, canReplay bool,
 	counters *streamCounters, out chan<- fragMsg) {
 	gctx, gsp := obs.StartSpan(ctx, "federation.gatherstream")
 	gsp.Set("table", gt.Def.Name)
@@ -157,7 +169,23 @@ func (f *Federation) pumpFragment(ctx context.Context, gt *GlobalTable, frag *Fr
 	fails := 0
 	var lastErr error
 	for _, site := range ranked {
-		st, err := site.SubQueryStream(gctx, gt.Def.Name, push, cols)
+		// Capability split, re-done per replica: a failover can land on a
+		// site with different capabilities than the one that just died.
+		sitePush, siteResid := push, sqlparse.Expr(nil)
+		siteCols, siteLimit := cols, -1
+		if f.DisablePredicatePushdown {
+			sitePush, siteResid = nil, push
+		} else {
+			caps := site.PushCaps()
+			sitePush, siteResid = plan.SplitPushable(push, caps)
+			if !caps.Project {
+				siteCols = nil
+			}
+			if limit >= 0 && caps.Limit && siteResid == nil {
+				siteLimit = limit
+			}
+		}
+		st, err := site.SubQueryStream(gctx, gt.Def.Name, sitePush, siteCols, siteLimit)
 		if err != nil {
 			if cutByConsumer(gctx) {
 				fstage.Cut()
@@ -174,9 +202,37 @@ func (f *Federation) pumpFragment(ctx context.Context, gt *GlobalTable, frag *Fr
 			finish(fragMsg{err: err})
 			return
 		}
+		// The residual stage sits between the site stream and the fan-in,
+		// so fstage (and with it EXPLAIN ANALYZE's per-fragment rows)
+		// counts what the fragment contributes to the merge, while the
+		// fuse's RowsIn keeps what the site shipped for the trace's
+		// pushed-vs-residual accounting.
+		siteWidth := len(st.Columns())
+		var fuse *plan.FusedStream
+		if siteResid != nil || (cols != nil && siteCols == nil) {
+			spec := plan.FuseSpec{Where: siteResid, Limit: -1}
+			if cols != nil && siteCols == nil {
+				idx, perr := projectIdx(st.Columns(), cols)
+				if perr != nil {
+					//lint:ignore errdrop the open already failed; close is best-effort cleanup
+					_ = st.Close()
+					finish(fragMsg{err: perr})
+					return
+				}
+				spec.Project = idx
+			}
+			//lint:ignore streamclose fuse aliases st, which pumpStream and the failover cleanup close
+			fuse = plan.FuseStream(st, spec)
+			st = fuse
+		}
 		shipped, pumpErr := pumpStream(gctx, st, fstage, batchRows, send)
+		pushedRows := shipped
+		if fuse != nil {
+			pushedRows = int(fuse.RowsIn())
+		}
 		if pumpErr == nil {
-			finish(fragMsg{site: site, rows: shipped, fail: fails, stale: frag.PendingAt(site) > 0})
+			finish(fragMsg{site: site, rows: shipped, pushed: pushedRows, width: siteWidth,
+				fail: fails, stale: frag.PendingAt(site) > 0})
 			return
 		}
 		if gctx.Err() != nil {
@@ -205,6 +261,25 @@ func (f *Federation) pumpFragment(ctx context.Context, gt *GlobalTable, frag *Fr
 	} else {
 		finish(fragMsg{err: fmt.Errorf("%w: fragment %s of %s", ErrNoReplica, frag.ID, gt.Def.Name)})
 	}
+}
+
+// projectIdx resolves the projected column names against a shipped
+// stream's column list, case-insensitively.
+func projectIdx(have, want []string) ([]int, error) {
+	idx := make([]int, len(want))
+	for i, w := range want {
+		idx[i] = -1
+		for j, h := range have {
+			if strings.EqualFold(h, w) {
+				idx[i] = j
+				break
+			}
+		}
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("federation: shipped stream has no column %q", w)
+		}
+	}
+	return idx, nil
 }
 
 // cutByConsumer reports whether ctx ended because the stream's own
@@ -412,7 +487,14 @@ func (f *Federation) openSelectStream(ctx context.Context, sel sqlparse.SelectSt
 	sctx, cancel := context.WithCancel(ctx)
 	counters := &streamCounters{}
 	batchRows := clampFedBatch(f.StreamBatchRows)
-	ch, active, pruned := f.scatter(sctx, gt, push, cols, batchRows, len(keyIdx) > 0, counters)
+	// Each fragment may hold the whole answer, so a per-site limit must
+	// cover OFFSET+LIMIT rows; the PK dedupe and this stream's own
+	// offset/limit do the rest.
+	fragLimit := -1
+	if sel.Limit >= 0 {
+		fragLimit = sel.Limit + sel.Offset
+	}
+	ch, active, pruned := f.scatter(sctx, gt, push, cols, fragLimit, batchRows, len(keyIdx) > 0, counters)
 	trace.PrunedFragments += pruned
 	metPruned.Add(int64(pruned))
 
@@ -420,12 +502,11 @@ func (f *Federation) openSelectStream(ctx context.Context, sel sqlparse.SelectSt
 	if sel.Limit >= 0 {
 		remain = sel.Limit
 	}
-	width := len(def.Columns)
 	return &fedStream{
 		f: f, ctx: ctx, cancel: cancel, sp: sp, start: time.Now(),
 		aq: aq, sql: sel.String(), limitStage: limitStage, mergeStage: mergeStage,
 		trace: trace, ch: ch, counters: counters,
-		table: gt.Def.Name, width: width, fullWidth: len(gt.Def.Columns),
+		table: gt.Def.Name, fullWidth: len(gt.Def.Columns),
 		env: plan.NewRowEnvRaw(names, nil), where: sel.Where, items: items,
 		cols: fedItemNames(items), keyIdx: keyIdx,
 		seen: make(map[string]bool), waiting: active,
@@ -510,7 +591,6 @@ type fedStream struct {
 	limitRows  int64            // emitted rows not yet flushed to limitStage
 
 	table     string
-	width     int // shipped columns per row
 	fullWidth int // unprojected width, for pushdown accounting
 	ev        plan.Evaluator
 	env       *plan.RowEnv
@@ -655,11 +735,14 @@ func (s *fedStream) noteDone(m fragMsg) {
 		metStaleReads.Inc()
 		obs.MarkStale(s.ctx)
 	}
-	metSiteRows(m.site.Name()).Add(int64(m.rows))
-	s.trace.CellsShipped += m.rows * s.width
-	s.trace.CellsWithoutPushdown += m.rows * s.fullWidth
-	metCellsShipped.Add(int64(m.rows * s.width))
-	metCellsSaved.Add(int64(m.rows * (s.fullWidth - s.width)))
+	// Shipping cost is what crossed the site boundary: the rows the
+	// site actually served (pre-residual) at the width it served them.
+	metSiteRows(m.site.Name()).Add(int64(m.pushed))
+	s.trace.CellsShipped += m.pushed * m.width
+	s.trace.CellsWithoutPushdown += m.pushed * s.fullWidth
+	metCellsShipped.Add(int64(m.pushed * m.width))
+	metCellsSaved.Add(int64(m.pushed * (s.fullWidth - m.width)))
+	s.trace.notePushed(s.table+"/"+m.frag.ID, m.pushed, m.pushed-m.rows)
 }
 
 // finishEOF ends the stream after the last producer message — unless

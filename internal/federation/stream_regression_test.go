@@ -204,7 +204,7 @@ func TestBreakerRecordsMidStreamFailure(t *testing.T) {
 	site.Breaker().FailureThreshold = 2
 
 	for i := 0; i < 2; i++ {
-		st, err := site.SubQueryStream(context.Background(), "parts", nil, nil)
+		st, err := site.SubQueryStream(context.Background(), "parts", nil, nil, -1)
 		if err != nil {
 			t.Fatalf("open %d: %v", i, err)
 		}

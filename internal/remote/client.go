@@ -227,7 +227,11 @@ func (c *Client) Tables(ctx context.Context) ([]wrapper.Source, error) {
 		}
 		out = append(out, &Source{
 			client: c, def: def,
-			caps: wrapper.Capabilities{PushdownEq: ws.PushdownEq, Volatile: ws.Volatile},
+			caps: wrapper.Capabilities{
+				PushdownEq: ws.PushdownEq,
+				Push:       decodePushCaps(ws.Push),
+				Volatile:   ws.Volatile,
+			},
 		})
 	}
 	return out, nil

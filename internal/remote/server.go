@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cohera/internal/obs"
+	"cohera/internal/plan"
 	"cohera/internal/storage"
 	"cohera/internal/wrapper"
 )
@@ -53,6 +54,12 @@ type Server struct {
 	// client does not ask for a size; 0 means storage.DefaultBatchRows.
 	// Like Token it must be set before serving.
 	StreamBatchRows int
+	// DisablePushdown makes the server behave like one that predates
+	// capability-aware pushdown: /tables advertises no push capabilities
+	// and /fetchstream ignores the where/cols/limit request fields and
+	// sends no ack. Compatibility-fallback tests flip it; like Token it
+	// must be set before serving.
+	DisablePushdown bool
 
 	mu      sync.RWMutex
 	sources map[string]wrapper.Source
@@ -152,7 +159,14 @@ func (s *Server) handleTables(w http.ResponseWriter) {
 	for _, n := range names {
 		src := s.sources[n]
 		caps := src.Capabilities()
-		out = append(out, encodeSchema(src.Schema(), caps.PushdownEq, caps.Volatile))
+		ws := encodeSchema(src.Schema(), caps.PushdownEq, caps.Volatile)
+		// The server fuses anything its source cannot apply, so every
+		// published table supports full σ/π/limit pushdown regardless of
+		// the underlying connector's own capabilities.
+		if !s.DisablePushdown {
+			ws.Push = encodePushCaps(plan.FullPushCaps())
+		}
+		out = append(out, ws)
 	}
 	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")

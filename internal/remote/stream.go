@@ -14,10 +14,31 @@ import (
 	"time"
 
 	"cohera/internal/obs"
+	"cohera/internal/plan"
 	"cohera/internal/schema"
+	"cohera/internal/sqlparse"
 	"cohera/internal/storage"
 	"cohera/internal/wrapper"
 )
+
+// streamProjection maps requested column names onto a stream's column
+// order, case-insensitively.
+func streamProjection(have, want []string) ([]int, error) {
+	idx := make([]int, len(want))
+	for i, w := range want {
+		idx[i] = -1
+		for j, h := range have {
+			if strings.EqualFold(h, w) {
+				idx[i] = j
+				break
+			}
+		}
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("remote: pushed projection column %q not in stream", w)
+		}
+	}
+	return idx, nil
+}
 
 // The chunked-transfer wire format: POST /fetchstream answers with
 // newline-delimited JSON (NDJSON). Each line is one streamChunk — a
@@ -39,20 +60,33 @@ const maxStreamLine = 64 << 20
 // cannot make the server buffer unbounded rows per chunk.
 const maxStreamBatchRows = 8192
 
-// streamRequest is the body of POST /fetchstream.
+// streamRequest is the body of POST /fetchstream. The pushdown fields
+// (where/cols/limit) are ignored by servers that predate them — JSON
+// decoding drops unknown fields — and the missing first-chunk ack tells
+// the client nothing was applied.
 type streamRequest struct {
 	Table   string       `json:"table"`
 	Filters []wireFilter `json:"filters,omitempty"`
 	// BatchRows asks the server for a specific rows-per-chunk; 0 lets
 	// the server choose.
 	BatchRows int `json:"batch_rows,omitempty"`
+	// Where is a pushed predicate in SQL text form (bare column refs);
+	// the server parses and applies it before encoding rows.
+	Where string `json:"where,omitempty"`
+	// Cols asks for a column subset, in order.
+	Cols []string `json:"cols,omitempty"`
+	// Limit caps delivered rows; <= 0 means no limit.
+	Limit int `json:"limit,omitempty"`
 }
 
-// streamChunk is one NDJSON line of a /fetchstream response.
+// streamChunk is one NDJSON line of a /fetchstream response. A chunk
+// carries rows, a pushdown ack, a mid-stream error, or the terminator;
+// old clients see an ack chunk as zero rows and skip it.
 type streamChunk struct {
-	Rows  [][]wireValue `json:"rows,omitempty"`
-	Error string        `json:"error,omitempty"`
-	EOF   bool          `json:"eof,omitempty"`
+	Rows   [][]wireValue  `json:"rows,omitempty"`
+	Pushed *wirePushedAck `json:"pushed,omitempty"`
+	Error  string         `json:"error,omitempty"`
+	EOF    bool           `json:"eof,omitempty"`
 }
 
 // metStreamBatches counts NDJSON chunks by side ("server" encodes,
@@ -148,12 +182,66 @@ func (s *Server) handleFetchStream(w http.ResponseWriter, r *http.Request) {
 		}
 		filters = append(filters, wrapper.Filter{Column: wf.Column, Value: v})
 	}
-	st, err := wrapper.OpenStream(r.Context(), src, filters)
+	// Capability-aware pushdown: parse the request's σ/π/limit, hand it
+	// to the source, and fuse whatever the source could not apply right
+	// here — rows failing the pushed WHERE are never encoded. With
+	// DisablePushdown set the fields are ignored and no ack is sent,
+	// reproducing an old server for fallback tests.
+	var push wrapper.Pushdown
+	if !s.DisablePushdown {
+		if req.Where != "" {
+			expr, perr := sqlparse.ParseExpr(req.Where)
+			if perr != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				//lint:ignore errdrop the status line is already committed; nothing useful can be done with an encode failure
+				_ = writeJSON(w, errorResponse{Error: fmt.Sprintf("bad pushdown where: %v", perr)})
+				return
+			}
+			push.Where = expr
+		}
+		if len(req.Cols) > 0 {
+			push.Cols = req.Cols
+		}
+		if req.Limit > 0 {
+			push.Limit = req.Limit
+		}
+	}
+	st, applied, err := wrapper.OpenPushStream(r.Context(), src, filters, push)
 	if err != nil {
 		w.WriteHeader(http.StatusInternalServerError)
 		//lint:ignore errdrop the status line is already committed; nothing useful can be done with an encode failure
 		_ = writeJSON(w, errorResponse{Error: err.Error()})
 		return
+	}
+	var ack *wirePushedAck
+	if !push.Empty() {
+		spec := plan.FuseSpec{Limit: -1}
+		fuse := false
+		if push.Where != nil && !applied.Where {
+			spec.Where = push.Where
+			fuse = true
+		}
+		if push.Cols != nil && !applied.Cols {
+			idx, ierr := streamProjection(st.Columns(), push.Cols)
+			if ierr != nil {
+				//lint:ignore errdrop the request is being rejected; close is best-effort cleanup
+				_ = st.Close()
+				w.WriteHeader(http.StatusBadRequest)
+				//lint:ignore errdrop the status line is already committed; nothing useful can be done with an encode failure
+				_ = writeJSON(w, errorResponse{Error: ierr.Error()})
+				return
+			}
+			spec.Project = idx
+			fuse = true
+		}
+		if push.Limit > 0 && !applied.Limit {
+			spec.Limit = push.Limit
+			fuse = true
+		}
+		if fuse {
+			st = plan.FuseStream(st, spec)
+		}
+		ack = &wirePushedAck{Where: push.Where != nil, Cols: push.Cols, Limit: push.Limit > 0}
 	}
 	batchRows := clampBatchRows(req.BatchRows, s.StreamBatchRows)
 	metStreamInflight("server").Add(1)
@@ -175,6 +263,16 @@ func (s *Server) handleFetchStream(w http.ResponseWriter, r *http.Request) {
 	defer func() { metStreamBytes("server").Add(cw.n) }()
 	enc := json.NewEncoder(cw)
 	flusher, _ := w.(http.Flusher)
+	// The ack must be the first line: the client reads it synchronously
+	// to learn what was applied before it sees any rows.
+	if ack != nil {
+		if err := enc.Encode(streamChunk{Pushed: ack}); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 	peak := 0
 	defer func() {
 		encStage.NotePeak(int64(peak))
@@ -242,9 +340,30 @@ func (s *Server) handleFetchStream(w http.ResponseWriter, r *http.Request) {
 // replayed stream could double rows already consumed; failover belongs
 // to the federation layer, which can dedupe by primary key.
 func (s *Source) FetchStream(ctx context.Context, filters []wrapper.Filter) (storage.RowStream, error) {
+	st, _, err := s.fetchPushStream(ctx, filters, wrapper.Pushdown{})
+	return st, err
+}
+
+// FetchPushStream implements wrapper.PushStreamingSource: the pushed
+// σ/π/limit travel as /fetchstream request fields. The first response
+// chunk is the server's ack; a server too old to know the fields sends
+// none, the receipt comes back all-false, and the caller re-evaluates
+// locally — full-width unfiltered rows, exactly the pre-push behavior.
+func (s *Source) FetchPushStream(ctx context.Context, filters []wrapper.Filter, push wrapper.Pushdown) (storage.RowStream, wrapper.Applied, error) {
+	return s.fetchPushStream(ctx, filters, push)
+}
+
+func (s *Source) fetchPushStream(ctx context.Context, filters []wrapper.Filter, push wrapper.Pushdown) (storage.RowStream, wrapper.Applied, error) {
 	ctx, sp := obs.StartSpan(ctx, "remote.fetchstream")
 	sp.Set("table", s.def.Name)
 	req := streamRequest{Table: s.def.Name, BatchRows: s.client.streamBatch}
+	if push.Where != nil {
+		req.Where = push.Where.String()
+	}
+	req.Cols = push.Cols
+	if push.Limit > 0 {
+		req.Limit = push.Limit
+	}
 	var local []wrapper.Filter
 	for _, f := range filters {
 		if s.caps.CanPush(f.Column) {
@@ -256,14 +375,14 @@ func (s *Source) FetchStream(ctx context.Context, filters []wrapper.Filter) (sto
 	if err != nil {
 		sp.SetErr(err)
 		sp.End()
-		return nil, err
+		return nil, wrapper.Applied{}, err
 	}
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.client.base+"/fetchstream", bytes.NewReader(body))
 	if err != nil {
 		sp.SetErr(err)
 		sp.End()
 		metClientReqs("error").Inc()
-		return nil, fmt.Errorf("remote: request: %w", err)
+		return nil, wrapper.Applied{}, fmt.Errorf("remote: request: %w", err)
 	}
 	if s.client.token != "" {
 		httpReq.Header.Set("Authorization", "Bearer "+s.client.token)
@@ -280,7 +399,7 @@ func (s *Source) FetchStream(ctx context.Context, filters []wrapper.Filter) (sto
 		sp.SetErr(err)
 		sp.End()
 		metClientReqs("error").Inc()
-		return nil, fmt.Errorf("remote: POST /fetchstream: %w", err)
+		return nil, wrapper.Applied{}, fmt.Errorf("remote: POST /fetchstream: %w", err)
 	}
 	metClientReqs(statusClass(resp.StatusCode)).Inc()
 	if resp.StatusCode != http.StatusOK {
@@ -295,7 +414,7 @@ func (s *Source) FetchStream(ctx context.Context, filters []wrapper.Filter) (sto
 		}
 		sp.SetErr(se)
 		sp.End()
-		return nil, se
+		return nil, wrapper.Applied{}, se
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), maxStreamLine)
@@ -304,7 +423,7 @@ func (s *Source) FetchStream(ctx context.Context, filters []wrapper.Filter) (sto
 	// bytes are counted per chunk as they come off the wire, before the
 	// local filter re-check drops anything.
 	_, stage := obs.StartStage(ctx, "remote.decode", s.def.Name)
-	return &clientStream{
+	cs := &clientStream{
 		def:     s.def,
 		cols:    wrapper.ColumnNames(s.def),
 		filters: local,
@@ -312,7 +431,28 @@ func (s *Source) FetchStream(ctx context.Context, filters []wrapper.Filter) (sto
 		sc:      sc,
 		sp:      sp,
 		stage:   stage,
-	}, nil
+	}
+	cs.rebindFilters()
+	var applied wrapper.Applied
+	if !push.Empty() {
+		// Read the first line now: a push-aware server leads with its
+		// ack, an old server leads with rows (stashed for Next). Either
+		// way the receipt is known before the caller sees the stream.
+		if ack := cs.awaitAck(); ack != nil {
+			applied = wrapper.Applied{
+				Where: ack.Where && push.Where != nil,
+				Cols:  len(ack.Cols) > 0 && push.Cols != nil,
+				Limit: ack.Limit && push.Limit > 0,
+			}
+			if applied.Cols {
+				// Rows arrive projected: narrow the stream's column set
+				// and re-resolve the filter re-check against it.
+				cs.cols = append([]string(nil), ack.Cols...)
+				cs.rebindFilters()
+			}
+		}
+	}
+	return cs, applied, nil
 }
 
 // clientStream decodes NDJSON chunks from an open /fetchstream response
@@ -321,10 +461,19 @@ type clientStream struct {
 	def     *schema.Table
 	cols    []string
 	filters []wrapper.Filter
-	body    io.ReadCloser
-	sc      *bufio.Scanner
-	sp      *obs.Span
-	stage   *obs.StageStats
+	// filterIdx maps filters onto the (possibly projected) row layout;
+	// -1 skips a filter whose column the rows no longer carry.
+	filterIdx []int
+	body      io.ReadCloser
+	sc        *bufio.Scanner
+	sp        *obs.Span
+	stage     *obs.StageStats
+
+	// stash holds a chunk read ahead of its turn (the ack probe hit
+	// rows on an old server); stashLen is its line length for byte
+	// accounting.
+	stash    *streamChunk
+	stashLen int
 
 	pending []storage.Row
 	pos     int
@@ -335,6 +484,77 @@ type clientStream struct {
 
 // Columns implements storage.RowStream.
 func (c *clientStream) Columns() []string { return c.cols }
+
+// rebindFilters resolves the equality-filter columns against the
+// current row layout. Called again when an ack narrows the columns.
+func (c *clientStream) rebindFilters() {
+	c.filterIdx = make([]int, len(c.filters))
+	for i, f := range c.filters {
+		c.filterIdx[i] = -1
+		for j, col := range c.cols {
+			if strings.EqualFold(col, f.Column) {
+				c.filterIdx[i] = j
+				break
+			}
+		}
+	}
+}
+
+// readChunk scans and decodes the next NDJSON line. ok=false means a
+// terminal condition was recorded in c.err (truncation or corruption);
+// empty lines are skipped.
+func (c *clientStream) readChunk() (chunk streamChunk, lineLen int, ok bool) {
+	for {
+		// Time the chunk fetch+decode exactly: chunks are coarse enough
+		// (hundreds of rows) that two clock reads per chunk are free, and
+		// the wait on sc.Scan is precisely this stage's blocked-upstream
+		// (network/server) time.
+		chunkStart := time.Now()
+		if !c.sc.Scan() {
+			// The body ended (or broke) before the eof terminator:
+			// report truncation, never a silent short result.
+			if scanErr := c.sc.Err(); scanErr != nil {
+				c.err = fmt.Errorf("%w: %v", ErrTruncated, scanErr)
+			} else {
+				c.err = ErrTruncated
+			}
+			return chunk, 0, false
+		}
+		line := bytes.TrimSpace(c.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if err := json.Unmarshal(line, &chunk); err != nil {
+			if !c.sc.Scan() {
+				// An undecodable final line is a connection cut
+				// mid-chunk, not corruption: classify it as truncation
+				// so callers see one typed error for "body ended early".
+				c.err = fmt.Errorf("%w: partial final chunk: %v", ErrTruncated, err)
+				return chunk, 0, false
+			}
+			c.err = fmt.Errorf("remote: decoding stream chunk: %w", err)
+			return chunk, 0, false
+		}
+		metStreamBytes("client").Add(int64(len(line)))
+		c.stage.BlockedUpstream(time.Since(chunkStart))
+		return chunk, len(line), true
+	}
+}
+
+// awaitAck reads the first chunk looking for a pushdown ack. A non-ack
+// chunk (old server) is stashed for Next; a read failure stays sticky
+// in c.err and surfaces on the first Next.
+func (c *clientStream) awaitAck() *wirePushedAck {
+	chunk, n, ok := c.readChunk()
+	if !ok {
+		return nil
+	}
+	if chunk.Pushed != nil {
+		return chunk.Pushed
+	}
+	c.stash, c.stashLen = &chunk, n
+	return nil
+}
 
 // Next implements storage.RowStream.
 func (c *clientStream) Next() (storage.Row, error) {
@@ -350,38 +570,18 @@ func (c *clientStream) Next() (storage.Row, error) {
 		if c.err != nil {
 			return nil, c.err
 		}
-		// Time the chunk fetch+decode exactly: chunks are coarse enough
-		// (hundreds of rows) that two clock reads per chunk are free, and
-		// the wait on sc.Scan is precisely this stage's blocked-upstream
-		// (network/server) time.
-		chunkStart := time.Now()
-		if !c.sc.Scan() {
-			// The body ended (or broke) before the eof terminator:
-			// report truncation, never a silent short result.
-			if scanErr := c.sc.Err(); scanErr != nil {
-				c.err = fmt.Errorf("%w: %v", ErrTruncated, scanErr)
-			} else {
-				c.err = ErrTruncated
-			}
-			return nil, c.err
-		}
-		line := bytes.TrimSpace(c.sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
 		var chunk streamChunk
-		if err := json.Unmarshal(line, &chunk); err != nil {
-			if !c.sc.Scan() {
-				// An undecodable final line is a connection cut
-				// mid-chunk, not corruption: classify it as truncation
-				// so callers see one typed error for "body ended early".
-				c.err = fmt.Errorf("%w: partial final chunk: %v", ErrTruncated, err)
+		var lineLen int
+		if c.stash != nil {
+			chunk, lineLen = *c.stash, c.stashLen
+			c.stash = nil
+		} else {
+			var ok bool
+			chunk, lineLen, ok = c.readChunk()
+			if !ok {
 				return nil, c.err
 			}
-			c.err = fmt.Errorf("remote: decoding stream chunk: %w", err)
-			return nil, c.err
 		}
-		metStreamBytes("client").Add(int64(len(line)))
 		if chunk.Error != "" {
 			c.err = fmt.Errorf("remote: stream failed at server: %s", chunk.Error)
 			return nil, c.err
@@ -389,6 +589,10 @@ func (c *clientStream) Next() (storage.Row, error) {
 		if chunk.EOF {
 			c.err = io.EOF
 			return nil, c.err
+		}
+		if chunk.Pushed != nil && len(chunk.Rows) == 0 {
+			// A stray ack chunk mid-stream carries no rows; skip it.
+			continue
 		}
 		rows, err := decodeRows(chunk.Rows)
 		if err != nil {
@@ -405,28 +609,30 @@ func (c *clientStream) Next() (storage.Row, error) {
 			}
 		}
 		metStreamBatches("client").Inc()
-		c.stage.BlockedUpstream(time.Since(chunkStart))
-		c.stage.AddBatch(int64(len(rows)), int64(len(line)))
+		c.stage.AddBatch(int64(len(rows)), int64(lineLen))
 		c.stage.NotePeak(int64(len(rows)))
 		if len(rows) > c.peak {
 			c.peak = len(rows)
 		}
 		// Re-check every filter locally: the server only applied the
-		// pushable subset.
+		// pushable subset. Filters on columns a pushed projection
+		// dropped are skipped — the caller holds the receipt and keeps
+		// responsibility for anything it did not push.
 		c.pending = c.pending[:0]
 		c.pos = 0
 		for _, r := range rows {
-			if rowPassesFilters(c.def, r, c.filters) {
+			if c.rowPassesFilters(r) {
 				c.pending = append(c.pending, r)
 			}
 		}
 	}
 }
 
-// rowPassesFilters re-applies equality filters to one decoded row.
-func rowPassesFilters(def *schema.Table, r storage.Row, filters []wrapper.Filter) bool {
-	for _, f := range filters {
-		ci := def.ColumnIndex(f.Column)
+// rowPassesFilters re-applies equality filters to one decoded row using
+// the prebound layout indexes.
+func (c *clientStream) rowPassesFilters(r storage.Row) bool {
+	for i, f := range c.filters {
+		ci := c.filterIdx[i]
 		if ci < 0 {
 			continue
 		}

@@ -1,0 +1,116 @@
+package sqlparse
+
+// Predicate decomposition helpers. The federation planner splits a
+// fragment's WHERE clause into a part a capability-limited site can
+// evaluate and a coordinator residual; both halves are built from the
+// top-level AND structure exposed here. Rewrite gives planners a single
+// structural traversal so per-node rewrites (unqualifying column refs,
+// substituting literals) don't need to re-enumerate every Expr kind.
+
+// AndTerms flattens nested AND nodes into the list of top-level
+// conjuncts. A nil expression yields nil; any non-AND expression is its
+// own single conjunct. The returned terms, re-joined with AND in order,
+// are semantically identical to e (AND is associative and commutative
+// under SQL three-valued logic).
+func AndTerms(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(Binary); ok && b.Op == OpAnd {
+		return append(AndTerms(b.Left), AndTerms(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// OrTerms flattens nested OR nodes into the list of top-level disjuncts.
+func OrTerms(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(Binary); ok && b.Op == OpOr {
+		return append(OrTerms(b.Left), OrTerms(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// AndJoin rebuilds a conjunction from terms: nil for an empty list, the
+// sole term for a singleton, else a left-deep AND chain. It is the
+// inverse of AndTerms up to associativity.
+func AndJoin(terms []Expr) Expr {
+	var out Expr
+	for _, t := range terms {
+		if t == nil {
+			continue
+		}
+		if out == nil {
+			out = t
+		} else {
+			out = Binary{Op: OpAnd, Left: out, Right: t}
+		}
+	}
+	return out
+}
+
+// Rewrite applies post to every node of e bottom-up and returns the
+// rebuilt expression. Children are rewritten before their parent, so
+// post sees fully-rewritten subtrees. A nil e returns nil; post must
+// return a non-nil Expr for non-nil input. TextMatch is special: its
+// column is a typed ColumnRef field, so post's result for it must stay
+// a ColumnRef (anything else panics — rewrites that change node kinds
+// must not target text-match columns).
+func Rewrite(e Expr, post func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case Binary:
+		n.Left = Rewrite(n.Left, post)
+		n.Right = Rewrite(n.Right, post)
+		return post(n)
+	case Not:
+		n.Inner = Rewrite(n.Inner, post)
+		return post(n)
+	case Neg:
+		n.Inner = Rewrite(n.Inner, post)
+		return post(n)
+	case IsNull:
+		n.Inner = Rewrite(n.Inner, post)
+		return post(n)
+	case In:
+		n.Inner = Rewrite(n.Inner, post)
+		list := make([]Expr, len(n.List))
+		for i, item := range n.List {
+			list[i] = Rewrite(item, post)
+		}
+		n.List = list
+		return post(n)
+	case Between:
+		n.Inner = Rewrite(n.Inner, post)
+		n.Lo = Rewrite(n.Lo, post)
+		n.Hi = Rewrite(n.Hi, post)
+		return post(n)
+	case Like:
+		n.Inner = Rewrite(n.Inner, post)
+		n.Pattern = Rewrite(n.Pattern, post)
+		return post(n)
+	case Call:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = Rewrite(a, post)
+		}
+		n.Args = args
+		return post(n)
+	case TextMatch:
+		col := Rewrite(n.Col, post)
+		cr, ok := col.(ColumnRef)
+		if !ok {
+			panic("sqlparse: Rewrite changed a TextMatch column to a non-ColumnRef")
+		}
+		n.Col = cr
+		n.Query = Rewrite(n.Query, post)
+		return post(n)
+	default:
+		// Literal, ColumnRef, Star: leaves.
+		return post(e)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"cohera/internal/plan"
 	"cohera/internal/schema"
 	"cohera/internal/storage"
 )
@@ -60,9 +61,10 @@ func (s *ERPSource) Name() string { return s.name }
 // Schema implements Source.
 func (s *ERPSource) Schema() *schema.Table { return s.table.Def() }
 
-// Capabilities implements Source.
+// Capabilities implements Source. The gateway models direct access to a
+// full engine, so it advertises complete σ/π/limit pushdown.
 func (s *ERPSource) Capabilities() Capabilities {
-	return Capabilities{PushdownEq: s.pushEq, Volatile: true}
+	return Capabilities{PushdownEq: s.pushEq, Push: plan.FullPushCaps(), Volatile: true}
 }
 
 // Fetch implements Source: pushed equality filters use the table's

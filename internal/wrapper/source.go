@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 
+	"cohera/internal/plan"
 	"cohera/internal/schema"
 	"cohera/internal/storage"
 	"cohera/internal/value"
@@ -34,8 +35,12 @@ type Filter struct {
 // Capabilities describes what a source can do, letting the optimizer
 // decide what to push down versus post-filter.
 type Capabilities struct {
-	// PushdownEq lists columns the source can filter by equality.
+	// PushdownEq lists columns the source can filter by equality — the
+	// legacy single-column protocol, still honored by every source.
 	PushdownEq []string
+	// Push describes the capability-aware σ/π/limit support consumed by
+	// OpenPushStream. The zero value pushes nothing.
+	Push plan.PushCaps
 	// Volatile marks sources whose data changes between fetches, which
 	// rules out long-lived caching (availability, prices).
 	Volatile bool

@@ -27,8 +27,8 @@
 #                                acknowledged write lost or doubled
 #   6. go test -race ./...       full tests under the race detector
 #   7. go test -fuzz ... 10s     fuzz smoke: parser, NDJSON stream
-#                                decoder, and WAL replay each survive a
-#                                short run
+#                                decoder, WAL replay, and the pushdown
+#                                split oracle each survive a short run
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -62,5 +62,6 @@ go test -fuzz 'FuzzParse$' -fuzztime 10s ./internal/sqlparse/
 go test -fuzz FuzzParseExpr -fuzztime 10s ./internal/sqlparse/
 go test -fuzz FuzzDecodeStream -fuzztime 10s ./internal/remote/
 go test -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal/
+go test -fuzz FuzzPushdownSplit -fuzztime 10s ./internal/plan/
 
 echo "check: all gates passed"
