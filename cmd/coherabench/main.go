@@ -1,4 +1,4 @@
-// Command coherabench runs the experiment suite (E1–E14 in DESIGN.md)
+// Command coherabench runs the experiment suite (E1–E18 in DESIGN.md)
 // and prints each result table. By default it runs the full sweeps used
 // to produce EXPERIMENTS.md; -quick shrinks them for a fast smoke run.
 //

@@ -21,7 +21,12 @@
 //     window — identical content digests, zero pending write intents
 //     (gauge included), with at least one repair done by journal replay
 //     — and a replica whose journal is torn is rebuilt by copy-repair
-//     from its healthy peer.
+//     from its healthy peer;
+//   - the overload invariant (-overload): at four times measured
+//     capacity an admission-gated federation sheds excess load with
+//     typed Retry-After errors only, keeps admitted p99 inside the
+//     SLO, starves no tenant, and returns to shed-free serving once
+//     the offered load drops back under the per-tenant rates.
 //
 // All randomness flows from -seed and all schedule time from manual
 // clocks, so a fixed seed reproduces the fault sequence exactly. -smoke
@@ -58,6 +63,7 @@ func main() {
 	smoke := flag.Bool("smoke", false, "short deterministic run for CI (<10s)")
 	iters := flag.Int("iters", 400, "soak workload operations (ignored with -smoke)")
 	crash := flag.Bool("crash", false, "run only the kill -9 crash-recovery scenario (spawns child processes)")
+	overload := flag.Bool("overload", false, "run only the admission-overload scenario (open-loop 4x load, three tenants)")
 	crashChild := flag.String("crash-child", "", "internal: crash-scenario child mode (workload|verify)")
 	crashDir := flag.String("crash-dir", "", "internal: crash-scenario state directory")
 	flag.Parse()
@@ -84,6 +90,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("coherachaos: crash-recovery invariants held")
+		return
+	}
+	if *overload {
+		if err := scenarioOverload(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "coherachaos: FAIL: overload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("coherachaos: overload invariants held")
 		return
 	}
 

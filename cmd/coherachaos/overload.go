@@ -1,0 +1,260 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cohera/internal/admission"
+	"cohera/internal/federation"
+	"cohera/internal/storage"
+)
+
+// The overload scenario's capacity model: the single serving site is a
+// pool of overloadWorkers, each request holding one worker for
+// overloadService. Offered load beyond workers/service has to queue,
+// shed, or blow up the tail — the whole point of the admission gate.
+const (
+	overloadWorkers = 4
+	overloadService = 2 * time.Millisecond
+)
+
+// overloadSLO bounds admitted-request p99 measured from the scheduled
+// arrival (open loop, coordinated-omission safe). It is deliberately
+// generous — queue timeout + service time + CI scheduling noise — so
+// the assertion only fires when the gate genuinely failed to bound
+// queueing, not when the runner is slow.
+const overloadSLO = 60 * time.Millisecond
+
+// overloadFed is a one-site federation whose throughput ceiling is the
+// worker pool above; the fault hook is the capacity model, not a fault.
+func overloadFed() (*federation.Federation, error) {
+	fed := federation.New(federation.NewAgoric())
+	site := federation.NewSite("svc-1")
+	if err := fed.AddSite(site); err != nil {
+		return nil, err
+	}
+	frag := federation.NewFragment("all", nil, site)
+	if _, err := fed.DefineTable(partsDef(), frag); err != nil {
+		return nil, err
+	}
+	if err := fed.LoadFragment("parts", frag, []storage.Row{
+		partsRow("E1", 3.5, "east"), partsRow("E2", 1.2, "east"),
+		partsRow("W1", 99.5, "west"), partsRow("W2", 12000, "west"),
+	}); err != nil {
+		return nil, err
+	}
+	pool := make(chan struct{}, overloadWorkers)
+	site.SetFaultHook(func(ctx context.Context) error {
+		select {
+		case pool <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		defer func() { <-pool }()
+		t := time.NewTimer(overloadService)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	return fed, nil
+}
+
+// overloadCapacity measures sustainable throughput with a closed loop
+// at concurrency = workers, so coordinator overhead is included and
+// "4x" below means four times what this machine can actually serve.
+func overloadCapacity() (float64, error) {
+	fed, err := overloadFed()
+	if err != nil {
+		return 0, err
+	}
+	const perWorker = 40
+	ctx := context.Background()
+	errCh := make(chan error, overloadWorkers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < overloadWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := 0; q < perWorker; q++ {
+				if _, err := fed.Query(ctx, "SELECT sku FROM parts"); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return 0, err
+	}
+	return float64(overloadWorkers*perWorker) / time.Since(start).Seconds(), nil
+}
+
+// overloadStats is one open-loop phase's outcome.
+type overloadStats struct {
+	admitted map[string]int // per tenant
+	shed     map[string]int // per tenant
+	lats     []time.Duration
+	bad      error // first untyped or malformed refusal
+}
+
+func (st *overloadStats) totalShed() int {
+	n := 0
+	for _, v := range st.shed {
+		n += v
+	}
+	return n
+}
+
+func (st *overloadStats) p99() time.Duration {
+	if len(st.lats) == 0 {
+		return 0
+	}
+	sort.Slice(st.lats, func(i, j int) bool { return st.lats[i] < st.lats[j] })
+	return st.lats[int(0.99*float64(len(st.lats)-1))]
+}
+
+// overloadPhase fires perTenant open-loop requests per tenant at the
+// given aggregate rate, latencies counted from the scheduled arrival.
+// Every refusal must be the typed overload error carrying a positive
+// Retry-After hint; anything else lands in stats.bad.
+func overloadPhase(fed *federation.Federation, tenants []string, offered float64, perTenant int) *overloadStats {
+	st := &overloadStats{admitted: map[string]int{}, shed: map[string]int{}}
+	interval := time.Duration(float64(len(tenants)) * float64(time.Second) / offered)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ti, tenant := range tenants {
+		// Stagger tenants by a fraction of the interval so arrivals
+		// interleave instead of stampeding in lockstep.
+		phase := time.Duration(ti) * interval / time.Duration(len(tenants))
+		ctx := admission.WithTenant(context.Background(), tenant)
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			sched := start.Add(phase + time.Duration(i)*interval)
+			go func(tenant string, sched time.Time) {
+				defer wg.Done()
+				if d := time.Until(sched); d > 0 {
+					//lint:ignore sleepsync open-loop pacing: the request fires at its scheduled arrival, synchronized with nothing
+					time.Sleep(d)
+				}
+				_, err := fed.Query(ctx, "SELECT sku FROM parts")
+				lat := time.Since(sched)
+				mu.Lock()
+				defer mu.Unlock()
+				if err == nil {
+					st.admitted[tenant]++
+					st.lats = append(st.lats, lat)
+					return
+				}
+				oe, ok := admission.AsOverload(err)
+				switch {
+				case !ok:
+					if st.bad == nil {
+						st.bad = fmt.Errorf("tenant %s: untyped refusal under overload: %w", tenant, err)
+					}
+				case oe.RetryAfter <= 0:
+					if st.bad == nil {
+						st.bad = fmt.Errorf("tenant %s: shed without a Retry-After hint: %v", tenant, oe)
+					}
+				default:
+					st.shed[tenant]++
+				}
+			}(tenant, sched)
+		}
+	}
+	wg.Wait()
+	return st
+}
+
+// scenarioOverload: the serving-side robustness invariant. Three
+// tenants drive an admission-gated federation open-loop at ~4x its
+// measured capacity; the system must stay graceful — every refusal
+// typed with a backoff hint, admitted p99 inside the SLO, no tenant
+// starved — and when the offered load drops back below the per-tenant
+// rates, serving must recover to shed-free with a drained gate.
+func scenarioOverload(seed int64) error {
+	_ = seed // arrivals are paced, not sampled: nothing random to seed
+	capacity, err := overloadCapacity()
+	if err != nil {
+		return fmt.Errorf("calibration: %w", err)
+	}
+
+	fed, err := overloadFed()
+	if err != nil {
+		return err
+	}
+	tenants := []string{"alpha", "beta", "gamma"}
+	rate := capacity / 6 // per tenant; the three sum to half capacity
+	gate := admission.New(admission.Config{
+		MaxInFlight:  overloadWorkers,
+		QueueDepth:   4 * overloadWorkers,
+		QueueTimeout: 20 * time.Millisecond,
+		TenantRate:   rate,
+		TenantBurst:  20,
+	})
+	defer gate.Close()
+	fed.SetAdmission(gate)
+
+	// Phase 1: 4x measured capacity, split evenly across the tenants.
+	burst := overloadPhase(fed, tenants, 4*capacity, 600)
+	if burst.bad != nil {
+		return burst.bad
+	}
+	if burst.totalShed() == 0 {
+		return fmt.Errorf("4x offered load shed nothing — the gate is not engaging")
+	}
+	if p99 := burst.p99(); p99 > overloadSLO {
+		return fmt.Errorf("admitted p99 = %v under overload, want <= %v", p99, overloadSLO)
+	}
+	minAdm, maxAdm := -1, 0
+	for _, tenant := range tenants {
+		n := burst.admitted[tenant]
+		if n == 0 {
+			return fmt.Errorf("tenant %s fully starved under overload", tenant)
+		}
+		if minAdm < 0 || n < minAdm {
+			minAdm = n
+		}
+		if n > maxAdm {
+			maxAdm = n
+		}
+	}
+	if float64(minAdm) < 0.5*float64(maxAdm) {
+		return fmt.Errorf("unfair admission under overload: per-tenant admitted %v", burst.admitted)
+	}
+
+	// Let the token buckets refill to burst before declaring recovery.
+	//lint:ignore sleepsync waiting out wall-clock token refill; there is no event to select on
+	time.Sleep(150 * time.Millisecond)
+
+	// Phase 2: offered load well under every tenant's sustained rate.
+	calm := overloadPhase(fed, tenants, 3*0.4*rate, 40)
+	if calm.bad != nil {
+		return calm.bad
+	}
+	if n := calm.totalShed(); n != 0 {
+		return fmt.Errorf("recovery phase still shedding (%d sheds): %v", n, calm.shed)
+	}
+	if p99 := calm.p99(); p99 > overloadSLO {
+		return fmt.Errorf("recovery p99 = %v, want <= %v", p99, overloadSLO)
+	}
+	if q, f := gate.Queued(), gate.InFlight(); q != 0 || f != 0 {
+		return fmt.Errorf("gate not drained after recovery: queued=%d inflight=%d", q, f)
+	}
+	if _, err := fed.Query(context.Background(), "SELECT sku FROM parts ORDER BY sku"); err != nil {
+		return fmt.Errorf("post-recovery query: %w", err)
+	}
+	fmt.Printf("coherachaos: overload stats: capacity %.0f/s, burst admitted %v, shed %v, p99 %v; recovery p99 %v\n",
+		capacity, burst.admitted, burst.shed, burst.p99(), calm.p99())
+	return nil
+}

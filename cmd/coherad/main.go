@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"cohera/internal/admission"
 	"cohera/internal/exec"
 	"cohera/internal/obs"
 	"cohera/internal/remote"
@@ -44,6 +45,9 @@ func main() {
 		walDir      = flag.String("wal-dir", "", "write-ahead log directory: mutations are durable and the catalog survives kill -9 (empty = no WAL)")
 		ckptEvery   = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint interval with -wal-dir (0 = checkpoint only at boot and shutdown)")
 		fsyncMode   = flag.String("fsync", "batch", "WAL durability: always (fsync before every acknowledgement), batch (group commit), none (crash-consistent, OS decides)")
+		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrent /fetch + /fetchstream requests (0 = unlimited, gate off unless another admission flag is set)")
+		tenantRate  = flag.Float64("tenant-rate", 0, "admission control: per-tenant sustained requests/sec, shed 429 beyond the burst (0 = per-tenant limit off)")
+		queueDepth  = flag.Int("queue-depth", 0, "admission control: bounded wait queue in front of the in-flight window (0 = 2×max-inflight)")
 	)
 	flag.Parse()
 
@@ -130,6 +134,17 @@ func main() {
 	srv.Token = *token
 	srv.StreamBatchRows = *streamBatch
 	srv.PublishTable(tbl, "sku", "supplier")
+	if *maxInflight > 0 || *tenantRate > 0 || *queueDepth > 0 {
+		gate := admission.New(admission.Config{
+			MaxInFlight: *maxInflight,
+			QueueDepth:  *queueDepth,
+			TenantRate:  *tenantRate,
+		})
+		defer gate.Close()
+		srv.Admission = gate
+		fmt.Printf("coherad: admission gate on (max-inflight %d, queue-depth %d, tenant-rate %.1f/s)\n",
+			*maxInflight, *queueDepth, *tenantRate)
+	}
 
 	stopCkpt := make(chan struct{})
 	ckptDone := make(chan struct{})

@@ -1,0 +1,528 @@
+// Package admission bounds the federation's concurrent work so heavy
+// traffic degrades gracefully instead of melting the coordinator.
+//
+// Three mechanisms compose, checked in order on every Admit:
+//
+//  1. Per-tenant token buckets — a hot tenant is rate-limited before it
+//     can touch shared capacity, so it cannot starve the rest.
+//  2. Tenant budgets — each tenant accrues coordinator-seconds per
+//     wall-clock second; when the system is congested, tenants that
+//     have overspent are shed first (the agoric view: they are out of
+//     currency at exactly the moment prices spike). When the system is
+//     idle the budget is not enforced, keeping admission
+//     work-conserving.
+//  3. A bounded global queue in front of a fixed in-flight window —
+//     the only place work waits. The queue is FIFO, depth-bounded, and
+//     wait-bounded; anything beyond it is shed immediately with a
+//     typed ErrOverloaded carrying a Retry-After hint.
+//
+// Shedding is always loud and typed: callers (and remote peers, via
+// HTTP 429) can distinguish "the system chose not to run this" from
+// "the system tried and failed", and retry policies must never blindly
+// retry it — retrying into an overload is how collapses happen.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cohera/internal/obs"
+)
+
+// ErrOverloaded is the sentinel all admission sheds unwrap to. Check
+// with errors.Is; use AsOverload / RetryAfter for the structured hint.
+var ErrOverloaded = errors.New("admission: overloaded")
+
+// OverloadError is a typed shed: which tenant was refused, why, and
+// how long the caller should back off before trying again.
+type OverloadError struct {
+	// Tenant is the tenant whose request was shed.
+	Tenant string
+	// Reason is the shed cause: "tenant-rate", "budget", "queue-full",
+	// or "queue-timeout".
+	Reason string
+	// RetryAfter is the suggested backoff before retrying. Always > 0.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("admission: overloaded (tenant %s, %s, retry after %v)", e.Tenant, e.Reason, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) hold for every shed.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// AsOverload extracts the typed shed from an error chain.
+func AsOverload(err error) (*OverloadError, bool) {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return oe, true
+	}
+	return nil, false
+}
+
+// RetryAfter reports the backoff hint carried by a shed error, if any.
+func RetryAfter(err error) (time.Duration, bool) {
+	if oe, ok := AsOverload(err); ok && oe.RetryAfter > 0 {
+		return oe.RetryAfter, true
+	}
+	return 0, false
+}
+
+// DefaultTenant is the tenant ascribed to requests whose context
+// carries no explicit tenant.
+const DefaultTenant = "default"
+
+type tenantKey struct{}
+
+// WithTenant tags a context with the tenant on whose behalf the
+// request runs. Empty tenant leaves the context unchanged.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantOf reports the context's tenant, DefaultTenant if untagged.
+func TenantOf(ctx context.Context) string {
+	if t, ok := ctx.Value(tenantKey{}).(string); ok && t != "" {
+		return t
+	}
+	return DefaultTenant
+}
+
+// Config sizes a Controller. The zero value of each field falls back
+// to the default documented on it.
+type Config struct {
+	// MaxInFlight is the number of requests executing concurrently
+	// (default 64). This is the serving window; everything else queues.
+	MaxInFlight int
+	// QueueDepth bounds how many admitted-rate requests may wait for a
+	// slot (default 2×MaxInFlight). Beyond it, requests shed instantly.
+	QueueDepth int
+	// QueueTimeout bounds how long a queued request waits before it is
+	// shed (default 1s). A bounded wait keeps queue time out of the
+	// tail instead of converting overload into unbounded latency.
+	QueueTimeout time.Duration
+	// TenantRate is each tenant's sustained admission rate in requests
+	// per second. 0 disables per-tenant rate limiting.
+	TenantRate float64
+	// TenantBurst is each tenant's bucket capacity (default
+	// max(TenantRate, 1)).
+	TenantBurst float64
+	// TenantBudget is each tenant's accrual of coordinator service
+	// seconds per wall-clock second. 0 disables budget shedding.
+	// Budgets only bite under congestion — an over-budget tenant on an
+	// idle system still runs (work conservation).
+	TenantBudget float64
+	// Clock supplies the current time; nil means time.Now. Injected by
+	// tests and the chaos harness for deterministic refill timing.
+	Clock func() time.Time
+}
+
+// tenantState is one tenant's token bucket and budget account.
+type tenantState struct {
+	tokens     float64   // admission tokens, ≤ burst
+	tokensAt   time.Time // last refill
+	budget     float64   // coordinator-seconds remaining, ≤ budget cap
+	budgetAt   time.Time // last accrual
+	shedStreak int       // consecutive sheds, drives Retry-After growth
+}
+
+// waiter is one queued request. state moves 0 (waiting) → 1 (granted,
+// by the dispatcher) or 0 → 2 (abandoned, by the requester on timeout
+// or cancel); the CAS loser follows the winner's decision, so a slot
+// is never granted to nobody and never leaks.
+type waiter struct {
+	tenant string
+	ready  chan struct{} // closed by the dispatcher on grant
+	state  atomic.Int32
+}
+
+const (
+	waiting   = 0
+	granted   = 1
+	abandoned = 2
+)
+
+// Controller is the admission gate. Create with New; Close releases
+// its dispatcher. A nil *Controller admits everything (gate disabled).
+type Controller struct {
+	cfg Config
+	now func() time.Time
+
+	reqs  chan *waiter  // arrival handoff to the dispatcher's FIFO
+	freed chan struct{} // slot returns, buffered MaxInFlight deep
+	stop  chan struct{}
+	done  chan struct{} // dispatcher exit, joined by Close
+
+	stopOnce sync.Once
+
+	queuedN   atomic.Int64
+	inflightN atomic.Int64
+	ewmaNanos atomic.Int64 // EWMA of admitted service time
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+// New builds a Controller and starts its dispatcher goroutine
+// (stopped by Close).
+func New(cfg Config) *Controller {
+	c := &Controller{
+		cfg:     cfg,
+		now:     cfg.Clock,
+		tenants: make(map[string]*tenantState),
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	c.reqs = make(chan *waiter, c.queueDepth())
+	c.freed = make(chan struct{}, c.maxInFlight())
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.dispatch()
+	return c
+}
+
+func (c *Controller) maxInFlight() int {
+	if c.cfg.MaxInFlight > 0 {
+		return c.cfg.MaxInFlight
+	}
+	return 64
+}
+
+func (c *Controller) queueDepth() int {
+	if c.cfg.QueueDepth > 0 {
+		return c.cfg.QueueDepth
+	}
+	return 2 * c.maxInFlight()
+}
+
+func (c *Controller) queueTimeout() time.Duration {
+	if c.cfg.QueueTimeout > 0 {
+		return c.cfg.QueueTimeout
+	}
+	return time.Second
+}
+
+func (c *Controller) burst() float64 {
+	if c.cfg.TenantBurst > 0 {
+		return c.cfg.TenantBurst
+	}
+	return math.Max(c.cfg.TenantRate, 1)
+}
+
+// Close stops the dispatcher and waits for it to exit. Outstanding
+// slots may still be released afterwards (freed is buffered); new
+// Admit calls on a closed controller shed rather than hang.
+func (c *Controller) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// dispatch is the queue worker: it drains arrivals into a local FIFO
+// and grants slots strictly in arrival order while the in-flight
+// window has room. It is the only goroutine that closes ready
+// channels, so a grant is a single happens-before edge to exactly one
+// waiter. Abandoned waiters (timeout/cancel) lose the state CAS and
+// are dropped at the head without consuming a slot; the FIFO's length
+// is bounded by the queue-depth gate in Admit plus those stragglers.
+func (c *Controller) dispatch() {
+	defer close(c.done)
+	var fifo []*waiter
+	inflight := 0
+	for {
+		for inflight < c.maxInFlight() && len(fifo) > 0 {
+			w := fifo[0]
+			fifo[0] = nil
+			fifo = fifo[1:]
+			if w.state.CompareAndSwap(waiting, granted) {
+				inflight++
+				c.inflightN.Add(1)
+				close(w.ready)
+			}
+		}
+		if len(fifo) == 0 {
+			fifo = nil // let the drained backing array go
+		}
+		select {
+		case w := <-c.reqs:
+			fifo = append(fifo, w)
+		case <-c.freed:
+			// The shared gauge was already decremented by releaseSlot;
+			// only the dispatcher's local window count catches up here.
+			inflight--
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// Admit asks to run one request for the context's tenant. On success
+// it returns an idempotent release that must be called when the
+// request's coordinator work ends (for streams: when the stream
+// settles, see TrackedStream). On overload it returns a typed
+// *OverloadError unwrapping to ErrOverloaded; on caller cancellation
+// it returns the context's error.
+//
+// A nil Controller admits everything with a no-op release.
+func (c *Controller) Admit(ctx context.Context) (release func(), err error) {
+	if c == nil {
+		return func() {}, nil
+	}
+	tenant := TenantOf(ctx)
+	if wait, ok := c.takeToken(tenant); !ok {
+		return nil, c.shed(tenant, "tenant-rate", wait)
+	}
+	if c.cfg.TenantBudget > 0 && c.saturated() && !c.budgetOK(tenant) {
+		return nil, c.shed(tenant, "budget", 0)
+	}
+	if c.queuedN.Add(1) > int64(c.queueDepth()) {
+		c.queuedN.Add(-1)
+		return nil, c.shed(tenant, "queue-full", 0)
+	}
+	metQueueDepth().Set(c.queuedN.Load())
+	w := &waiter{tenant: tenant, ready: make(chan struct{})}
+	select {
+	case c.reqs <- w:
+	case <-c.stop:
+		c.queuedN.Add(-1)
+		return nil, c.shed(tenant, "queue-full", 0)
+	}
+	enq := c.now()
+	timer := time.NewTimer(c.queueTimeout())
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+	case <-timer.C:
+		if w.state.CompareAndSwap(waiting, abandoned) {
+			c.queuedN.Add(-1)
+			metQueueDepth().Set(c.queuedN.Load())
+			return nil, c.shed(tenant, "queue-timeout", 0)
+		}
+		// Granted in the same instant the timer fired: the slot is
+		// ours, use it rather than wasting the grant.
+		<-w.ready
+	case <-ctx.Done():
+		if w.state.CompareAndSwap(waiting, abandoned) {
+			c.queuedN.Add(-1)
+			metQueueDepth().Set(c.queuedN.Load())
+			return nil, ctx.Err()
+		}
+		// Granted concurrently but the caller is gone: hand the slot
+		// straight back so it is not leaked.
+		<-w.ready
+		c.releaseSlot(tenant, 0)
+		return nil, ctx.Err()
+	}
+	c.queuedN.Add(-1)
+	metQueueDepth().Set(c.queuedN.Load())
+	metQueueWait().Observe(c.now().Sub(enq))
+	metAdmitted(tenant).Inc()
+	metInflight().Set(c.inflightN.Load())
+	c.noteAdmitted(tenant)
+	start := c.now()
+	var once sync.Once
+	return func() {
+		once.Do(func() { c.releaseSlot(tenant, c.now().Sub(start)) })
+	}, nil
+}
+
+// releaseSlot returns a slot to the dispatcher and settles the
+// tenant's account with the actual service time consumed.
+func (c *Controller) releaseSlot(tenant string, elapsed time.Duration) {
+	if elapsed > 0 {
+		c.chargeBudget(tenant, elapsed)
+		c.observeService(elapsed)
+	}
+	// Decrement the shared count here, not in the dispatcher, so
+	// InFlight and saturated() see the release the moment it returns;
+	// the dispatcher's own window count follows via freed.
+	c.inflightN.Add(-1)
+	// freed is buffered as deep as the in-flight window, so with at
+	// most MaxInFlight slots outstanding this send cannot block even
+	// after Close stops the dispatcher.
+	//lint:ignore atomicmix freed's buffer is as deep as the in-flight window; a release can never outnumber outstanding grants
+	c.freed <- struct{}{}
+	metInflight().Set(c.inflightN.Load())
+}
+
+// takeToken refills and debits the tenant's bucket. On refusal it
+// returns how long until one token accrues.
+func (c *Controller) takeToken(tenant string) (time.Duration, bool) {
+	rate := c.cfg.TenantRate
+	if rate <= 0 {
+		return 0, true
+	}
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := c.tenantLocked(tenant, now)
+	ts.tokens = math.Min(c.burst(), ts.tokens+now.Sub(ts.tokensAt).Seconds()*rate)
+	ts.tokensAt = now
+	if ts.tokens >= 1 {
+		ts.tokens--
+		return 0, true
+	}
+	return time.Duration((1 - ts.tokens) / rate * float64(time.Second)), false
+}
+
+// budgetOK accrues and checks the tenant's budget without spending it;
+// spending happens at release with the measured service time.
+func (c *Controller) budgetOK(tenant string) bool {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := c.tenantLocked(tenant, now)
+	ceiling := math.Max(c.cfg.TenantBudget, 1)
+	ts.budget = math.Min(ceiling, ts.budget+now.Sub(ts.budgetAt).Seconds()*c.cfg.TenantBudget)
+	ts.budgetAt = now
+	return ts.budget > 0
+}
+
+// chargeBudget debits consumed coordinator time from the tenant.
+func (c *Controller) chargeBudget(tenant string, elapsed time.Duration) {
+	if c.cfg.TenantBudget <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := c.tenantLocked(tenant, c.now())
+	ts.budget -= elapsed.Seconds()
+	metBudget(tenant).Set(int64(ts.budget * 1000))
+}
+
+// tenantLocked returns the tenant's account, creating a full bucket
+// and a full budget on first sight. Callers hold c.mu.
+func (c *Controller) tenantLocked(name string, now time.Time) *tenantState {
+	ts := c.tenants[name]
+	if ts == nil {
+		ts = &tenantState{
+			tokens:   c.burst(),
+			tokensAt: now,
+			budget:   math.Max(c.cfg.TenantBudget, 1),
+			budgetAt: now,
+		}
+		c.tenants[name] = ts
+	}
+	return ts
+}
+
+// noteAdmitted resets the tenant's shed streak.
+func (c *Controller) noteAdmitted(tenant string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tenantLocked(tenant, c.now()).shedStreak = 0
+}
+
+// observeService folds one admitted request's service time into the
+// EWMA used for Retry-After hints.
+func (c *Controller) observeService(elapsed time.Duration) {
+	const alpha = 0.2
+	for {
+		old := c.ewmaNanos.Load()
+		next := int64(float64(old)*(1-alpha) + float64(elapsed)*alpha)
+		if old == 0 {
+			next = int64(elapsed)
+		}
+		if c.ewmaNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// saturated reports whether the in-flight window is full — the point
+// past which new work waits, and budget enforcement switches on.
+func (c *Controller) saturated() bool {
+	return int(c.inflightN.Load()) >= c.maxInFlight()
+}
+
+// Congestion reports queue pressure in [0,1]: 0 when no request is
+// waiting, 1 when the admission queue is full. The agoric optimizer
+// multiplies bid prices by (1 + Congestion), making overload an
+// economic signal sites can price.
+func (c *Controller) Congestion() float64 {
+	if c == nil {
+		return 0
+	}
+	q := float64(c.queuedN.Load()) / float64(c.queueDepth())
+	return math.Min(1, math.Max(0, q))
+}
+
+// InFlight reports the number of currently admitted requests.
+func (c *Controller) InFlight() int { return int(c.inflightN.Load()) }
+
+// Queued reports the number of requests waiting for a slot.
+func (c *Controller) Queued() int { return int(c.queuedN.Load()) }
+
+// shed builds the typed refusal, counts it, and computes the
+// Retry-After hint: the rate-limit refill time when known, otherwise
+// the expected drain time of the work ahead of the caller, growing
+// with the tenant's consecutive-shed streak so persistent overload
+// backs clients off harder.
+func (c *Controller) shed(tenant, reason string, hint time.Duration) error {
+	metShed(tenant, reason).Inc()
+	c.mu.Lock()
+	ts := c.tenantLocked(tenant, c.now())
+	ts.shedStreak++
+	streak := ts.shedStreak
+	c.mu.Unlock()
+	if hint <= 0 {
+		svc := time.Duration(c.ewmaNanos.Load())
+		if svc <= 0 {
+			svc = 50 * time.Millisecond
+		}
+		ahead := float64(c.queuedN.Load())/float64(c.maxInFlight()) + 1
+		hint = time.Duration(float64(svc) * ahead)
+	}
+	if streak > 1 {
+		hint *= time.Duration(math.Min(float64(streak), 8))
+	}
+	if hint < 10*time.Millisecond {
+		hint = 10 * time.Millisecond
+	}
+	if hint > 5*time.Second {
+		hint = 5 * time.Second
+	}
+	return &OverloadError{Tenant: tenant, Reason: reason, RetryAfter: hint}
+}
+
+func metAdmitted(tenant string) *obs.Counter {
+	return obs.Default().Counter("cohera_admission_admitted_total",
+		"Requests admitted past the admission gate, by tenant.",
+		obs.Labels{"tenant": tenant})
+}
+
+func metShed(tenant, reason string) *obs.Counter {
+	return obs.Default().Counter("cohera_admission_shed_total",
+		"Requests shed by the admission gate, by tenant and reason.",
+		obs.Labels{"tenant": tenant, "reason": reason})
+}
+
+func metQueueDepth() *obs.Gauge {
+	return obs.Default().Gauge("cohera_admission_queue_depth",
+		"Requests waiting in the admission queue.", nil)
+}
+
+func metInflight() *obs.Gauge {
+	return obs.Default().Gauge("cohera_admission_inflight",
+		"Requests currently admitted and executing.", nil)
+}
+
+func metBudget(tenant string) *obs.Gauge {
+	return obs.Default().Gauge("cohera_admission_tenant_budget_millis",
+		"Remaining tenant budget in coordinator-milliseconds (may go negative).",
+		obs.Labels{"tenant": tenant})
+}
+
+func metQueueWait() *obs.Histogram {
+	return obs.Default().Histogram("cohera_admission_queue_wait_seconds",
+		"Time admitted requests spent waiting in the admission queue.", nil)
+}

@@ -1,0 +1,51 @@
+package admission
+
+import (
+	"cohera/internal/storage"
+)
+
+// TrackedStream couples an admission slot to a RowStream's lifetime.
+// A streaming query's coordinator work is not done when the stream is
+// handed to the caller — it is done when the caller finishes draining
+// it. Holding the slot until the stream settles is the backpressure
+// half of admission control: a slow client keeps its slot occupied, so
+// new work queues (and eventually sheds) at the gate instead of
+// ballooning buffers behind a consumer that is not keeping up.
+//
+// The slot is released exactly once, at the first of: Close, clean end
+// of stream (io.EOF), or a sticky stream error.
+type TrackedStream struct {
+	src     storage.RowStream
+	release func()
+}
+
+// NewTrackedStream wraps src so release fires when the stream
+// settles. release must be idempotent (Controller.Admit's release is);
+// a nil release yields a plain pass-through.
+func NewTrackedStream(src storage.RowStream, release func()) *TrackedStream {
+	if release == nil {
+		release = func() {}
+	}
+	return &TrackedStream{src: src, release: release}
+}
+
+// Columns names the stream's columns, in row order.
+func (t *TrackedStream) Columns() []string { return t.src.Columns() }
+
+// Next forwards to the source; any terminal condition (io.EOF or a
+// sticky error) releases the admission slot — the coordinator work is
+// over even if the caller has not called Close yet.
+func (t *TrackedStream) Next() (storage.Row, error) {
+	row, err := t.src.Next()
+	if err != nil {
+		t.release()
+	}
+	return row, err
+}
+
+// Close closes the source and releases the admission slot. Idempotent.
+func (t *TrackedStream) Close() error {
+	err := t.src.Close()
+	t.release()
+	return err
+}

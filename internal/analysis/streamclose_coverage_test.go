@@ -24,7 +24,7 @@ func TestStreamCloseFixtureCoversDecorators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, dir := range []string{"internal/storage", "internal/plan"} {
+	for _, dir := range []string{"internal/storage", "internal/plan", "internal/admission"} {
 		pkg, err := l.LoadDir(filepath.Join(moduleRoot, dir))
 		if err != nil {
 			t.Fatalf("%s: %v", dir, err)

@@ -92,6 +92,30 @@ func (d *daemon) startLoop() {
 	go d.loop()
 }
 
+type dispatcher struct {
+	reqs chan int
+	stop chan struct{}
+	done chan struct{}
+}
+
+// joinedQueueWorker is the admission-controller idiom: a dispatch loop
+// that drains arrivals into a local FIFO, bounded by the stop channel
+// and joined through the done channel it closes on exit.
+func (d *dispatcher) joinedQueueWorker() {
+	go func() {
+		defer close(d.done)
+		var fifo []int
+		for {
+			select {
+			case v := <-d.reqs:
+				fifo = append(fifo, v)
+			case <-d.stop:
+				return
+			}
+		}
+	}()
+}
+
 // exitHandler terminates the process; no join needed.
 func exitHandler(sig chan os.Signal) {
 	go func() {
@@ -117,6 +141,7 @@ var (
 	_ = joinedByContext
 	_ = joinedByRange
 	_ = (*daemon).startLoop
+	_ = (*dispatcher).joinedQueueWorker
 	_ = exitHandler
 	_ = ignoredLeak
 )

@@ -3,6 +3,7 @@
 package streamclose
 
 import (
+	"cohera/internal/admission"
 	"cohera/internal/plan"
 	"cohera/internal/storage"
 )
@@ -93,6 +94,26 @@ func closedFusedDefer() error {
 
 func escapesFusedReturn() storage.RowStream {
 	st := plan.FuseStream(open(), plan.FuseSpec{Limit: -1}) // negative: returned, caller owns it
+	return st
+}
+
+// The admission decorator wraps a stream to release its slot when the
+// stream settles; leaking it leaks both the stream and the slot.
+
+func leakTracked() {
+	st := admission.NewTrackedStream(open(), func() {}) // want `row stream st is never closed`
+	lastCols = st.Columns()
+}
+
+func closedTrackedDefer() error {
+	st := admission.NewTrackedStream(open(), func() {}) // negative: closed on the deferred path
+	defer st.Close()
+	_, err := st.Next()
+	return err
+}
+
+func escapesTrackedReturn() storage.RowStream {
+	st := admission.NewTrackedStream(open(), func() {}) // negative: returned, caller owns the slot
 	return st
 }
 

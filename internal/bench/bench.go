@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one function per
-// experiment in DESIGN.md's index (E1–E17), each returning a printable
+// experiment in DESIGN.md's index (E1–E18), each returning a printable
 // table. The paper (an industrial overview) publishes no numbered tables
 // or figures, so each experiment operationalizes one of its testable
 // claims; EXPERIMENTS.md records claim vs. measurement.
@@ -114,5 +114,6 @@ func All() []Experiment {
 		{"E15", E15Instrumentation, "query observability overhead: instrumented vs bare streamed scan"},
 		{"E16", E16Durability, "durability cost and recovery: fsync policy vs DML, replay vs checkpoint restore"},
 		{"E17", E17PushdownWire, "σ/π pushdown on the wire: rows decoded, payload bytes, p50 vs selectivity"},
+		{"E18", E18Admission, "open-loop offered load vs p50/p99 with and without admission control"},
 	}
 }

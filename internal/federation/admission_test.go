@@ -1,0 +1,243 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"cohera/internal/admission"
+)
+
+// gatedFed is twoFragFed with an admission controller installed.
+func gatedFed(t *testing.T, cfg admission.Config) (*Federation, *admission.Controller) {
+	t.Helper()
+	fed, _, _ := twoFragFed(t)
+	gate := admission.New(cfg)
+	t.Cleanup(gate.Close)
+	fed.SetAdmission(gate)
+	return fed, gate
+}
+
+func TestAdmissionShedsTypedOverload(t *testing.T) {
+	clk := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	fed, _ := gatedFed(t, admission.Config{
+		MaxInFlight: 4, TenantRate: 1, TenantBurst: 1,
+		Clock: func() time.Time { return clk },
+	})
+	ctx := admission.WithTenant(context.Background(), "acme")
+	if _, err := fed.Query(ctx, "SELECT sku FROM parts"); err != nil {
+		t.Fatalf("first query within burst: %v", err)
+	}
+	_, err := fed.Query(ctx, "SELECT sku FROM parts")
+	if !errors.Is(err, admission.ErrOverloaded) {
+		t.Fatalf("over-rate query = %v, want ErrOverloaded", err)
+	}
+	oe, ok := admission.AsOverload(err)
+	if !ok || oe.Tenant != "acme" || oe.RetryAfter <= 0 {
+		t.Fatalf("shed detail = %+v", oe)
+	}
+	// DML is gated by the same controller.
+	_, _, err = fed.Exec(ctx, "INSERT INTO parts (sku, name, price, region) VALUES ('E9', 'x', 1, 'east')")
+	if !errors.Is(err, admission.ErrOverloaded) {
+		t.Fatalf("over-rate DML = %v, want ErrOverloaded", err)
+	}
+	// The streaming entry point sheds identically.
+	if _, _, err := fed.QueryStream(ctx, "SELECT sku FROM parts"); !errors.Is(err, admission.ErrOverloaded) {
+		t.Fatalf("over-rate stream = %v, want ErrOverloaded", err)
+	}
+}
+
+// TestAdmissionSingleChargePerRequest pins the nested-call guard: a
+// UNION (which runs one Select per branch) and an Exec-routed SELECT
+// must consume exactly one admission slot, not one per inner call.
+func TestAdmissionSingleChargePerRequest(t *testing.T) {
+	clk := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	fed, _ := gatedFed(t, admission.Config{
+		MaxInFlight: 4, TenantRate: 1, TenantBurst: 2,
+		Clock: func() time.Time { return clk },
+	})
+	ctx := admission.WithTenant(context.Background(), "acme")
+	// Two tokens, one three-branch UNION: if branches were charged
+	// individually the third branch would shed.
+	union := "SELECT sku FROM parts WHERE region = 'east' UNION ALL " +
+		"SELECT sku FROM parts WHERE region = 'west' UNION ALL " +
+		"SELECT sku FROM parts WHERE region = 'east'"
+	if _, err := fed.Query(ctx, union); err != nil {
+		t.Fatalf("union under single-charge: %v", err)
+	}
+	// One token left: an Exec-routed SELECT (Exec → QueryTraced) is
+	// also a single charge.
+	if _, _, err := fed.Exec(ctx, "SELECT sku FROM parts"); err != nil {
+		t.Fatalf("exec-routed select: %v", err)
+	}
+	if _, err := fed.Query(ctx, "SELECT sku FROM parts"); !errors.Is(err, admission.ErrOverloaded) {
+		t.Fatalf("third request = %v, want ErrOverloaded (budget of 2 spent)", err)
+	}
+}
+
+// TestStreamHoldsAdmissionSlot is the backpressure contract: a client
+// that opened a stream but has not finished draining it still occupies
+// its admission slot, so concurrent work queues at the gate instead of
+// piling into the pipeline.
+func TestStreamHoldsAdmissionSlot(t *testing.T) {
+	fed, gate := gatedFed(t, admission.Config{
+		MaxInFlight: 1, QueueDepth: 1, QueueTimeout: 50 * time.Millisecond,
+	})
+	ctx := context.Background()
+	st, _, err := fed.QueryStream(ctx, "SELECT sku FROM parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := gate.InFlight(); got != 1 {
+		t.Fatalf("InFlight with open stream = %d, want 1", got)
+	}
+	// The slot is held: a second query times out in the queue.
+	if _, err := fed.Query(ctx, "SELECT sku FROM parts"); !errors.Is(err, admission.ErrOverloaded) {
+		t.Fatalf("query behind open stream = %v, want ErrOverloaded", err)
+	}
+	// Draining the stream frees the slot without an explicit Close.
+	for {
+		if _, err := st.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fed.Query(ctx, "SELECT sku FROM parts"); err != nil {
+		t.Fatalf("query after stream drained: %v", err)
+	}
+}
+
+// TestPartialResultsWithShedReplica is the degraded-plus-shed
+// contract: when a fragment's only replica refuses work with an
+// overload error, PartialResults mode must return the live fragments'
+// rows with a typed per-fragment error chaining ErrNoReplica and
+// ErrOverloaded — never a silently short result.
+func TestPartialResultsWithShedReplica(t *testing.T) {
+	fed, _, _ := twoFragFed(t)
+	ctx := context.Background()
+	east, err := fed.Site("east-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed := &admission.OverloadError{Tenant: "acme", Reason: "queue-full", RetryAfter: 100 * time.Millisecond}
+	east.SetFaultHook(func(context.Context) error { return shed })
+	defer east.SetFaultHook(nil)
+
+	// Strict mode: the query fails, and the chain keeps both the
+	// fragment-loss sentinel and the overload type.
+	_, _, err = fed.QueryTraced(ctx, "SELECT sku FROM parts")
+	if !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("strict mode = %v, want ErrNoReplica in chain", err)
+	}
+	if !errors.Is(err, admission.ErrOverloaded) {
+		t.Fatalf("strict mode = %v, want ErrOverloaded preserved in chain", err)
+	}
+
+	// Degraded mode: west's rows come back, east is reported typed.
+	fed.PartialResults = true
+	res, trace, err := fed.QueryTraced(ctx, "SELECT sku FROM parts")
+	if err != nil {
+		t.Fatalf("degraded query: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("degraded rows = %d, want 2 (west only)", len(res.Rows))
+	}
+	if !trace.Degraded {
+		t.Fatal("trace must be marked Degraded — a short result may never be silent")
+	}
+	fe, ok := trace.FragmentErrors["parts/east"]
+	if !ok {
+		t.Fatalf("missing per-fragment error for the shed fragment; have %v", trace.FragmentErrors)
+	}
+	if !errors.Is(fe, admission.ErrOverloaded) {
+		t.Fatalf("fragment error = %v, want typed ErrOverloaded", fe)
+	}
+	if oe, ok := admission.AsOverload(fe); !ok || oe.RetryAfter != shed.RetryAfter {
+		t.Fatalf("fragment error lost the structured overload detail: %v", fe)
+	}
+
+	// Same contract on the streaming path.
+	st, strace, err := fed.QueryStream(ctx, "SELECT sku FROM parts")
+	if err != nil {
+		t.Fatalf("degraded stream open: %v", err)
+	}
+	n := 0
+	for {
+		_, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("degraded stream next: %v", err)
+		}
+		n++
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("degraded stream rows = %d, want 2", n)
+	}
+	if !strace.Degraded {
+		t.Fatal("stream trace must be marked Degraded")
+	}
+	if fe := strace.FragmentErrors["parts/east"]; !errors.Is(fe, admission.ErrOverloaded) {
+		t.Fatalf("stream fragment error = %v, want typed ErrOverloaded", fe)
+	}
+}
+
+// TestAgoricCongestionPricing pins the market hook: installing an
+// admission gate on an agoric federation raises bid prices by the
+// congestion factor.
+func TestAgoricCongestionPricing(t *testing.T) {
+	fed, _, _ := twoFragFed(t)
+	ag, ok := fed.Optimizer().(*Agoric)
+	if !ok {
+		t.Fatal("twoFragFed must use the agoric optimizer")
+	}
+	gate := admission.New(admission.Config{MaxInFlight: 2})
+	defer gate.Close()
+	fed.SetAdmission(gate)
+	if ag.Congestion == nil {
+		t.Fatal("SetAdmission must wire the congestion signal into the agoric optimizer")
+	}
+	if got := ag.Congestion(); got != 0 {
+		t.Fatalf("idle congestion = %v, want 0", got)
+	}
+	fed.SetAdmission(nil)
+	if ag.Congestion != nil {
+		t.Fatal("SetAdmission(nil) must unwire the congestion signal")
+	}
+}
+
+// TestAdmissionFairnessAcrossTenants: a tenant storming the gate must
+// not consume another tenant's bucket.
+func TestAdmissionFairnessAcrossTenants(t *testing.T) {
+	clk := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	fed, _ := gatedFed(t, admission.Config{
+		MaxInFlight: 8, TenantRate: 1, TenantBurst: 4,
+		Clock: func() time.Time { return clk },
+	})
+	storm := admission.WithTenant(context.Background(), "storm")
+	quiet := admission.WithTenant(context.Background(), "quiet")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = fed.Query(storm, "SELECT sku FROM parts")
+		}()
+	}
+	wg.Wait()
+	// The quiet tenant's full burst is still there.
+	for i := 0; i < 4; i++ {
+		if _, err := fed.Query(quiet, "SELECT sku FROM parts"); err != nil {
+			t.Fatalf("quiet tenant query %d after storm: %v", i, err)
+		}
+	}
+}

@@ -32,6 +32,12 @@ type Agoric struct {
 	// Greed adds price sensitivity to queue depth beyond the cost model's
 	// own load penalty (default 1.0).
 	Greed float64
+	// Congestion, when set, reports coordinator admission-queue pressure
+	// in [0,1]; every bid is marked up by (1 + Congestion()), so overload
+	// raises market prices across the board — queries on a Budget are
+	// priced out (shed economically) exactly when the system is busiest.
+	// Federation.SetAdmission wires this to the admission controller.
+	Congestion func() float64
 	// Budget, when positive, is the broker's per-subquery spending cap in
 	// price units (Mariposa's bid-curve discipline): bids above it are
 	// rejected. If every bid exceeds the budget, the cheapest is taken
@@ -118,6 +124,11 @@ func (a *Agoric) Rank(ctx context.Context, frag *Fragment, estRows int) []*Site 
 				}
 			}
 			price := base * (1 + a.Greed*float64(s.Load()))
+			if a.Congestion != nil {
+				// Coordinator congestion is a market-wide price level:
+				// scarce capacity makes every replica's work dearer.
+				price *= 1 + a.Congestion()
+			}
 			if h := s.HealthScore(); h > 0 && h < 1 {
 				price /= h
 			}

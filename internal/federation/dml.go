@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 
+	"cohera/internal/admission"
 	"cohera/internal/exec"
 	"cohera/internal/journal"
 	"cohera/internal/obs"
@@ -145,8 +146,16 @@ func (f *Federation) ExecTraced(ctx context.Context, sql string) (*exec.Result, 
 // killable) in /debug/queries like selects.
 func (f *Federation) tracedDML(ctx context.Context, kind, table, sql string,
 	run func(context.Context, *QueryTrace) (*DMLResult, error)) (*DMLResult, *QueryTrace, error) {
+	ctx, release, err := f.admit(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
 	ctx, sp := obs.StartSpan(ctx, "federation."+kind)
 	sp.Set("table", table)
+	if f.gate != nil {
+		sp.Set("tenant", admission.TenantOf(ctx))
+	}
 	defer sp.End()
 	ctx, aq := f.registerQuery(ctx, kind, sql)
 	defer aq.Finish()

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cohera/internal/admission"
 	"cohera/internal/exec"
 	"cohera/internal/ir"
 	"cohera/internal/journal"
@@ -130,7 +131,8 @@ var ErrNoReplica = errors.New("federation: no live replica")
 // fail the query.
 func isAvailabilityErr(err error) bool {
 	return errors.Is(err, ErrSiteDown) || errors.Is(err, ErrBreakerOpen) ||
-		errors.Is(err, ErrSiteFailure) || errors.Is(err, ErrNoReplica)
+		errors.Is(err, ErrSiteFailure) || errors.Is(err, ErrNoReplica) ||
+		errors.Is(err, admission.ErrOverloaded)
 }
 
 // Optimizer ranks the replicas of a fragment for a subquery expected to
@@ -199,6 +201,12 @@ type Federation struct {
 	// intents (self-synchronized).
 	stmtSeq atomic.Int64
 
+	// gate, when set via SetAdmission, bounds concurrent work at the
+	// public entry points (Query/QueryStream/Exec). Set before serving
+	// traffic and immutable afterwards (the Controller synchronizes
+	// itself); nil means admission is disabled.
+	gate *admission.Controller
+
 	mu     sync.RWMutex
 	sites  map[string]*Site
 	tables map[string]*GlobalTable
@@ -219,6 +227,44 @@ func New(opt Optimizer) *Federation {
 
 // Journal returns the federation's write-intent journal.
 func (f *Federation) Journal() *journal.Journal { return f.journal }
+
+// SetAdmission installs an admission gate in front of the federation's
+// public entry points (Query, QueryTraced, QueryStream, SelectStream,
+// Exec, ExecTraced) and, when the optimizer is agoric, wires the
+// gate's congestion signal into bid pricing so overload raises market
+// prices. Call before serving traffic; nil disables admission.
+func (f *Federation) SetAdmission(c *admission.Controller) {
+	f.gate = c
+	if a, ok := f.optimizer().(*Agoric); ok {
+		if c != nil {
+			a.Congestion = c.Congestion
+		} else {
+			a.Congestion = nil
+		}
+	}
+}
+
+// Admission returns the installed admission gate, nil when disabled.
+func (f *Federation) Admission() *admission.Controller { return f.gate }
+
+// admittedKey marks a context that already holds an admission slot.
+type admittedKey struct{}
+
+// admit charges the admission gate once per external request. Nested
+// federated calls — UNION branches, DML delegating a SELECT, the
+// materialized path under SelectStream — ride the outer grant, so one
+// client request consumes exactly one slot. The returned release is
+// idempotent; on a shed it returns the gate's typed overload error.
+func (f *Federation) admit(ctx context.Context) (context.Context, func(), error) {
+	if f.gate == nil || ctx.Value(admittedKey{}) != nil {
+		return ctx, func() {}, nil
+	}
+	release, err := f.gate.Admit(ctx)
+	if err != nil {
+		return ctx, nil, err
+	}
+	return context.WithValue(ctx, admittedKey{}, true), release, nil
+}
 
 // nextStmtID mints a statement ID for journaled intents.
 func (f *Federation) nextStmtID() string {
@@ -476,12 +522,19 @@ func (f *Federation) Query(ctx context.Context, sql string) (*exec.Result, error
 	return res, err
 }
 
-// QueryTraced is Query returning the routing trace.
+// QueryTraced is Query returning the routing trace. With an admission
+// gate installed the request is admitted (or shed with a typed
+// overload error) before any planning work runs.
 func (f *Federation) QueryTraced(ctx context.Context, sql string) (*exec.Result, *QueryTrace, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, nil, err
 	}
+	ctx, release, err := f.admit(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
 	switch s := stmt.(type) {
 	case sqlparse.SelectStmt:
 		return f.Select(ctx, s)
@@ -580,6 +633,9 @@ func rowKey(r storage.Row) string {
 func (f *Federation) Select(ctx context.Context, sel sqlparse.SelectStmt) (*exec.Result, *QueryTrace, error) {
 	ctx, sp := obs.StartSpan(ctx, "federation.select")
 	sp.Set("table", sel.From.Name)
+	if f.gate != nil {
+		sp.Set("tenant", admission.TenantOf(ctx))
+	}
 	ctx, aq := f.registerQuery(ctx, "select", sel.String())
 	defer aq.Finish()
 	aq.SetTraceID(sp.TraceID)

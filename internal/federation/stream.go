@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cohera/internal/admission"
 	"cohera/internal/exec"
 	"cohera/internal/obs"
 	"cohera/internal/plan"
@@ -394,7 +395,15 @@ func (f *Federation) QueryStream(ctx context.Context, sql string) (storage.RowSt
 // result. The caller must Close the stream; the returned trace's
 // fields settle once the stream ends (EOF, error, or Close).
 func (f *Federation) SelectStream(ctx context.Context, sel sqlparse.SelectStmt) (storage.RowStream, *QueryTrace, error) {
+	ctx, release, err := f.admit(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
 	if !StreamableSelect(sel) {
+		// Materialized fallback: the coordinator work is done when
+		// Select returns, so the slot is released here; the returned
+		// stream is a pure in-memory replay.
+		defer release()
 		res, trace, err := f.Select(ctx, sel)
 		if err != nil {
 			return nil, nil, err
@@ -403,12 +412,16 @@ func (f *Federation) SelectStream(ctx context.Context, sel sqlparse.SelectStmt) 
 	}
 	ctx, sp := obs.StartSpan(ctx, "federation.selectstream")
 	sp.Set("table", sel.From.Name)
+	if f.gate != nil {
+		sp.Set("tenant", admission.TenantOf(ctx))
+	}
 	metQueries.Inc()
 	ctx, aq := f.registerQuery(ctx, "select", sel.String())
 	aq.SetTraceID(sp.TraceID)
 
 	st, trace, err := f.openSelectStream(ctx, sel, sp, aq)
 	if err != nil {
+		release()
 		metQueryErrs.Inc()
 		sp.SetErr(err)
 		sp.End()
@@ -416,7 +429,10 @@ func (f *Federation) SelectStream(ctx context.Context, sel sqlparse.SelectStmt) 
 		return nil, nil, err
 	}
 	trace.TraceID = sp.TraceID
-	return st, trace, nil
+	// The admission slot rides the stream: it frees when the caller
+	// drains or closes it, so a slow consumer exerts backpressure at
+	// the gate (new work queues or sheds) instead of inflating buffers.
+	return admission.NewTrackedStream(st, release), trace, nil
 }
 
 // openSelectStream builds the merge stream for a streamable SELECT.

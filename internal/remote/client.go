@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"cohera/internal/admission"
 	"cohera/internal/obs"
 	"cohera/internal/resilience"
 	"cohera/internal/schema"
@@ -20,6 +21,14 @@ import (
 
 // DefaultTimeout bounds each client call unless WithTimeout overrides it.
 const DefaultTimeout = 30 * time.Second
+
+// TenantHeader carries the caller's tenant identity to the server's
+// admission gate; DefaultTenant when the context is untagged.
+const TenantHeader = "X-Cohera-Tenant"
+
+// ShedReasonHeader carries the server-side shed reason of a 429 back
+// to the client, so the typed overload error survives the wire.
+const ShedReasonHeader = "X-Cohera-Shed-Reason"
 
 // metClientReqs counts client calls by outcome class ("2xx", "4xx",
 // "5xx", ... or "error" for transport failures that never got a status).
@@ -118,8 +127,14 @@ func (e *statusError) Error() string {
 }
 
 // retryableError classifies one failed attempt: 5xx and transport-level
-// failures are transient, 4xx and context expiry are permanent.
+// failures are transient; 4xx, context expiry, and overload sheds are
+// permanent. A shed is never blind-retried — the server just said it
+// is at capacity, and an immediate retry is the start of a retry storm;
+// honoring the Retry-After hint is the caller's (scheduler's) job.
 func retryableError(err error) bool {
+	if errors.Is(err, admission.ErrOverloaded) {
+		return false
+	}
 	var se *statusError
 	if errors.As(err, &se) {
 		return se.code >= 500
@@ -128,6 +143,31 @@ func retryableError(err error) bool {
 		return false
 	}
 	return true
+}
+
+// shedError converts a 429 response into the same typed overload error
+// a local admission gate produces, so errors.Is(err, ErrOverloaded)
+// holds whether the shed happened in-process or across the wire.
+// Retry-After is parsed as delta-seconds; absent or malformed, a
+// conservative default stands in. The server's shed reason rides
+// ShedReasonHeader, prefixed "remote-" to keep origins distinguishable.
+func shedError(ctx context.Context, method, path string, h http.Header) error {
+	ra := 250 * time.Millisecond
+	if v := h.Get("Retry-After"); v != "" {
+		if secs, err := strconv.ParseFloat(v, 64); err == nil && secs >= 0 && secs <= 3600 {
+			ra = time.Duration(secs * float64(time.Second))
+		}
+	}
+	reason := h.Get(ShedReasonHeader)
+	if reason == "" {
+		reason = "unknown"
+	}
+	oe := &admission.OverloadError{
+		Tenant:     admission.TenantOf(ctx),
+		Reason:     "remote-" + reason,
+		RetryAfter: ra,
+	}
+	return fmt.Errorf("remote: %s %s: %w", method, path, oe)
 }
 
 // do performs one client call. idempotent calls run under the client's
@@ -176,20 +216,26 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte) (
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	// Propagate the caller's trace so the server's spans join our tree.
+	// Propagate the caller's trace so the server's spans join our tree,
+	// and the tenant so the server's admission gate bills the right
+	// account.
 	obs.InjectHeaders(ctx, req.Header)
+	req.Header.Set(TenantHeader, admission.TenantOf(ctx))
 	resp, err := c.http.Do(req)
 	if err != nil {
 		metClientReqs("error").Inc()
 		return nil, fmt.Errorf("remote: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
-	metClientReqs(statusClass(resp.StatusCode)).Inc()
+	metClientReqs(respClass(resp.StatusCode)).Inc()
 	out, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return nil, fmt.Errorf("remote: reading %s: %w", path, err)
 	}
 	metClientBytes.Add(int64(len(out)))
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return nil, shedError(ctx, method, path, resp.Header)
+	}
 	if resp.StatusCode != http.StatusOK {
 		se := &statusError{method: method, path: path, code: resp.StatusCode}
 		var er errorResponse
@@ -207,6 +253,16 @@ func statusClass(code int) string {
 		return "other"
 	}
 	return strconv.Itoa(code/100) + "xx"
+}
+
+// respClass is statusClass with sheds broken out: 429s get their own
+// "shed" class in the request counters so overload is visible at a
+// glance instead of hiding inside 4xx.
+func respClass(code int) string {
+	if code == http.StatusTooManyRequests {
+		return "shed"
+	}
+	return statusClass(code)
 }
 
 // Tables discovers the remote schemas as ready-to-register sources.

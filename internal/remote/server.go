@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"cohera/internal/admission"
 	"cohera/internal/obs"
 	"cohera/internal/plan"
 	"cohera/internal/storage"
@@ -60,6 +63,14 @@ type Server struct {
 	// sends no ack. Compatibility-fallback tests flip it; like Token it
 	// must be set before serving.
 	DisablePushdown bool
+	// Admission, when set, gates the data-plane endpoints (/fetch and
+	// /fetchstream): requests past the site's capacity are refused with
+	// HTTP 429 plus a Retry-After header instead of queueing without
+	// bound. The tenant arrives in the X-Cohera-Tenant header; a
+	// /fetchstream slot is held for the whole transfer, so a slow
+	// reader throttles the site rather than inflating its buffers.
+	// Like Token it must be set before serving; nil disables the gate.
+	Admission *admission.Controller
 
 	mu      sync.RWMutex
 	sources map[string]wrapper.Source
@@ -125,8 +136,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.Method == http.MethodGet && r.URL.Path == "/tables":
 		s.handleTables(sw)
 	case r.Method == http.MethodPost && r.URL.Path == "/fetch":
+		release, ok := s.admit(sw, r)
+		if !ok {
+			return
+		}
+		defer release()
 		s.handleFetch(sw, r)
 	case r.Method == http.MethodPost && r.URL.Path == "/fetchstream":
+		// The stream handler writes the entire transfer before
+		// returning, so deferring the release holds the admission slot
+		// for the stream's whole lifetime — backpressure from a slow
+		// client reaches the gate, not the buffers.
+		release, ok := s.admit(sw, r)
+		if !ok {
+			return
+		}
+		defer release()
 		s.handleFetchStream(sw, r)
 	case r.Method == http.MethodPost && r.URL.Path == "/digest":
 		s.handleDigest(sw, r)
@@ -135,6 +160,40 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(sw, `{"error":"not found"}`, http.StatusNotFound)
 	}
+}
+
+// admit charges the server's admission gate for one data-plane
+// request, tagging it with the client-declared tenant. On a shed it
+// writes the 429 refusal — Retry-After in whole seconds (ceiling, so a
+// sub-second hint never rounds to "retry immediately"), the shed
+// reason in ShedReasonHeader, and the typed detail in the JSON body —
+// and reports ok=false. With no gate installed it is a no-op grant.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.Admission == nil {
+		return func() {}, true
+	}
+	ctx := admission.WithTenant(r.Context(), r.Header.Get(TenantHeader))
+	release, err := s.Admission.Admit(ctx)
+	if err == nil {
+		return release, true
+	}
+	oe, isShed := admission.AsOverload(err)
+	if !isShed {
+		// The client hung up while queued; it is not listening for a
+		// status, but 429 is still the honest close-out.
+		oe = &admission.OverloadError{Tenant: admission.TenantOf(ctx), Reason: "canceled", RetryAfter: time.Second}
+	}
+	secs := int(math.Ceil(oe.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set(ShedReasonHeader, oe.Reason)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	//lint:ignore errdrop the refusal body is best-effort; the status code already carries the decision
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: oe.Error()})
+	return nil, false
 }
 
 // statusWriter remembers the status code for metrics.

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"cohera/internal/admission"
 	"cohera/internal/obs"
 	"cohera/internal/plan"
 	"cohera/internal/schema"
@@ -389,6 +390,7 @@ func (s *Source) fetchPushStream(ctx context.Context, filters []wrapper.Filter, 
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
 	obs.InjectHeaders(ctx, httpReq.Header)
+	httpReq.Header.Set(TenantHeader, admission.TenantOf(ctx))
 	// The client's whole-call timeout would kill a long-lived stream
 	// body mid-read, so streams go through a timeout-free client that
 	// shares the transport (and any injected faults). Cancellation
@@ -401,12 +403,18 @@ func (s *Source) fetchPushStream(ctx context.Context, filters []wrapper.Filter, 
 		metClientReqs("error").Inc()
 		return nil, wrapper.Applied{}, fmt.Errorf("remote: POST /fetchstream: %w", err)
 	}
-	metClientReqs(statusClass(resp.StatusCode)).Inc()
+	metClientReqs(respClass(resp.StatusCode)).Inc()
 	if resp.StatusCode != http.StatusOK {
 		//lint:ignore errdrop the body is best-effort context for the status error
 		out, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		//lint:ignore errdrop the response is already a failure; close is best-effort cleanup
 		_ = resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			err := shedError(ctx, http.MethodPost, "/fetchstream", resp.Header)
+			sp.SetErr(err)
+			sp.End()
+			return nil, wrapper.Applied{}, err
+		}
 		se := &statusError{method: http.MethodPost, path: "/fetchstream", code: resp.StatusCode}
 		var er errorResponse
 		if json.Unmarshal(out, &er) == nil && er.Error != "" {

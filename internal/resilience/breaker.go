@@ -59,6 +59,15 @@ type Breaker struct {
 	failures  int
 	successes int
 	openedAt  time.Time
+	// probesIssued counts Allow grants in the current half-open
+	// window; the half-open contract is a bounded trial, so racing
+	// callers share one quota of HalfOpenSuccesses probes instead of
+	// each being waved through.
+	probesIssued int
+	// probeWindowAt is when the current probe window was armed; after
+	// another OpenTimeout with no recorded outcome the budget re-arms,
+	// so probes whose callers vanished cannot wedge the breaker.
+	probeWindowAt time.Time
 }
 
 func (b *Breaker) threshold() int {
@@ -99,26 +108,46 @@ func (b *Breaker) transitionLocked(to State) (from, end State, fire bool) {
 	b.state = to
 	b.failures = 0
 	b.successes = 0
+	b.probesIssued = 0
 	if to == Open {
 		b.openedAt = b.now()
+	}
+	if to == HalfOpen {
+		b.probeWindowAt = b.now()
 	}
 	return from, to, true
 }
 
 // Allow reports whether a call may proceed. An open breaker whose
 // OpenTimeout has elapsed transitions to half-open and admits the call
-// as a probe.
+// as a probe. Half-open admits at most HalfOpenSuccesses probes per
+// window — concurrent callers racing the transition share that quota
+// rather than dogpiling the recovering target — and re-arms the quota
+// after OpenTimeout of recorded silence so leaked probes (callers that
+// never report an outcome) cannot wedge the breaker shut.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	var from, to State
 	fire := false
 	allowed := true
 	switch b.state {
-	case Closed, HalfOpen:
+	case Closed:
 		// pass
+	case HalfOpen:
+		now := b.now()
+		if b.probesIssued < b.probes() {
+			b.probesIssued++
+		} else if now.Sub(b.probeWindowAt) >= b.openTimeout() {
+			b.probesIssued = 1
+			b.probeWindowAt = now
+		} else {
+			allowed = false
+		}
 	case Open:
 		if b.now().Sub(b.openedAt) >= b.openTimeout() {
 			from, to, fire = b.transitionLocked(HalfOpen)
+			// This caller is the first probe of the new window.
+			b.probesIssued = 1
 		} else {
 			allowed = false
 		}

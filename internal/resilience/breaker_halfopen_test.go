@@ -1,0 +1,133 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tripOpen drives a fresh breaker open and returns a clock whose
+// current value is past the open timeout, so the next Allow probes.
+func tripOpen(b *Breaker) *time.Time {
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.Clock = func() time.Time { return now }
+	for i := 0; i < b.FailureThreshold; i++ {
+		if !b.Allow() {
+			break
+		}
+		b.RecordFailure()
+	}
+	now = now.Add(b.OpenTimeout)
+	return &now
+}
+
+// TestHalfOpenProbeQuotaUnderConcurrentAllow is the admission-control
+// stress case: once an open breaker's timeout expires, a thundering
+// herd of CheckAvailable callers race Allow() at the same instant. The
+// half-open contract is a bounded probe — at most HalfOpenSuccesses
+// trial calls against a site that was just failing — but racing
+// callers must not be able to exceed that quota and dogpile the
+// recovering site with the very traffic spike that tripped it.
+func TestHalfOpenProbeQuotaUnderConcurrentAllow(t *testing.T) {
+	const quota = 2
+	b := &Breaker{FailureThreshold: 1, OpenTimeout: time.Second, HalfOpenSuccesses: quota}
+	tripOpen(b)
+	const callers = 64
+	var admitted atomic.Int64
+	var start sync.WaitGroup
+	var done sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < callers; i++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+	if got := admitted.Load(); got > quota {
+		t.Fatalf("half-open admitted %d concurrent probes, quota is %d", got, quota)
+	}
+	if got := admitted.Load(); got == 0 {
+		t.Fatal("half-open admitted no probe at all")
+	}
+}
+
+// TestHalfOpenSequentialProbesStillClose pins that the quota does not
+// break the normal lifecycle: the allowed probes succeed one by one
+// and the breaker closes after HalfOpenSuccesses of them.
+func TestHalfOpenSequentialProbesStillClose(t *testing.T) {
+	b := &Breaker{FailureThreshold: 1, OpenTimeout: time.Second, HalfOpenSuccesses: 2}
+	tripOpen(b)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("probe %d refused", i)
+		}
+		b.RecordSuccess()
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after successful probes = %v, want Closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must admit traffic")
+	}
+}
+
+// TestHalfOpenProbeFailureReopens pins that a failed probe reopens the
+// breaker and that the next half-open window gets a fresh quota.
+func TestHalfOpenProbeFailureReopens(t *testing.T) {
+	b := &Breaker{FailureThreshold: 1, OpenTimeout: time.Second, HalfOpenSuccesses: 2}
+	now := tripOpen(b)
+	if !b.Allow() {
+		t.Fatal("expired open breaker must admit a probe")
+	}
+	b.RecordFailure()
+	if got := b.State(); got != Open {
+		t.Fatalf("state after failed probe = %v, want Open", got)
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker must reject before the timeout")
+	}
+	*now = now.Add(b.OpenTimeout)
+	if !b.Allow() {
+		t.Fatal("second half-open window must admit a probe again")
+	}
+	b.RecordSuccess()
+	if !b.Allow() {
+		t.Fatal("second probe of the fresh quota must be admitted")
+	}
+	b.RecordSuccess()
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after recovery = %v, want Closed", got)
+	}
+}
+
+// TestHalfOpenQuotaRearmsAfterLeakedProbes guards against a wedge: if
+// admitted probes never report an outcome (their caller crashed or
+// lost its context), the quota must not stay exhausted forever — after
+// another OpenTimeout of silence the breaker re-arms the probe budget
+// instead of rejecting every caller until restart.
+func TestHalfOpenQuotaRearmsAfterLeakedProbes(t *testing.T) {
+	b := &Breaker{FailureThreshold: 1, OpenTimeout: time.Second, HalfOpenSuccesses: 1}
+	now := tripOpen(b)
+	if !b.Allow() {
+		t.Fatal("expired open breaker must admit a probe")
+	}
+	// The probe's outcome is never recorded. Quota is spent.
+	if b.Allow() {
+		t.Fatal("quota of 1 must refuse a second concurrent probe")
+	}
+	*now = now.Add(b.OpenTimeout)
+	if !b.Allow() {
+		t.Fatal("probe budget must re-arm after OpenTimeout of silence")
+	}
+	b.RecordSuccess()
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after recorded probe success = %v, want Closed", got)
+	}
+}

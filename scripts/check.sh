@@ -25,6 +25,11 @@
 #                                recovered from its WALs — digests
 #                                identical, journal drained, no
 #                                acknowledged write lost or doubled
+#   5c. go run ./cmd/coherachaos overload SLO gate: open-loop load at
+#      -overload                 4x measured capacity against the
+#                                admission gate — typed sheds only,
+#                                admitted p99 in SLO, no tenant
+#                                starved, shed-free recovery
 #   6. go test -race ./...       full tests under the race detector
 #   7. go test -fuzz ... 10s     fuzz smoke: parser, NDJSON stream
 #                                decoder, WAL replay, and the pushdown
@@ -53,6 +58,9 @@ go run ./cmd/coherachaos -smoke
 
 echo "==> coherachaos -crash (kill -9 + restart recovery)"
 go run ./cmd/coherachaos -crash -seed 42
+
+echo "==> coherachaos -overload (open-loop admission SLO gate)"
+go run ./cmd/coherachaos -overload -seed 42
 
 echo "==> go test -race ./..."
 go test -race ./...
