@@ -44,7 +44,7 @@ type OverloadError struct {
 	// Tenant is the tenant whose request was shed.
 	Tenant string
 	// Reason is the shed cause: "tenant-rate", "budget", "queue-full",
-	// or "queue-timeout".
+	// "queue-timeout", or "closed".
 	Reason string
 	// RetryAfter is the suggested backoff before retrying. Always > 0.
 	RetryAfter time.Duration
@@ -278,14 +278,23 @@ func (c *Controller) Admit(ctx context.Context) (release func(), err error) {
 		return func() {}, nil
 	}
 	tenant := TenantOf(ctx)
+	select {
+	case <-c.stop:
+		// Closed controller: shed immediately instead of enqueueing into
+		// a buffer no dispatcher will ever drain.
+		return nil, c.shed(tenant, "closed", 0)
+	default:
+	}
 	if wait, ok := c.takeToken(tenant); !ok {
 		return nil, c.shed(tenant, "tenant-rate", wait)
 	}
 	if c.cfg.TenantBudget > 0 && c.saturated() && !c.budgetOK(tenant) {
+		c.refundToken(tenant)
 		return nil, c.shed(tenant, "budget", 0)
 	}
 	if c.queuedN.Add(1) > int64(c.queueDepth()) {
 		c.queuedN.Add(-1)
+		c.refundToken(tenant)
 		return nil, c.shed(tenant, "queue-full", 0)
 	}
 	metQueueDepth().Set(c.queuedN.Load())
@@ -294,17 +303,31 @@ func (c *Controller) Admit(ctx context.Context) (release func(), err error) {
 	case c.reqs <- w:
 	case <-c.stop:
 		c.queuedN.Add(-1)
-		return nil, c.shed(tenant, "queue-full", 0)
+		metQueueDepth().Set(c.queuedN.Load())
+		c.refundToken(tenant)
+		return nil, c.shed(tenant, "closed", 0)
 	}
 	enq := c.now()
 	timer := time.NewTimer(c.queueTimeout())
 	defer timer.Stop()
 	select {
 	case <-w.ready:
+	case <-c.stop:
+		// Close raced the enqueue: the waiter may sit in a dead buffer
+		// nobody will drain. Abandon it — unless a last-instant grant
+		// already landed, in which case fall through and use the slot.
+		if w.state.CompareAndSwap(waiting, abandoned) {
+			c.queuedN.Add(-1)
+			metQueueDepth().Set(c.queuedN.Load())
+			c.refundToken(tenant)
+			return nil, c.shed(tenant, "closed", 0)
+		}
+		<-w.ready
 	case <-timer.C:
 		if w.state.CompareAndSwap(waiting, abandoned) {
 			c.queuedN.Add(-1)
 			metQueueDepth().Set(c.queuedN.Load())
+			c.refundToken(tenant)
 			return nil, c.shed(tenant, "queue-timeout", 0)
 		}
 		// Granted in the same instant the timer fired: the slot is
@@ -314,11 +337,16 @@ func (c *Controller) Admit(ctx context.Context) (release func(), err error) {
 		if w.state.CompareAndSwap(waiting, abandoned) {
 			c.queuedN.Add(-1)
 			metQueueDepth().Set(c.queuedN.Load())
+			c.refundToken(tenant)
 			return nil, ctx.Err()
 		}
-		// Granted concurrently but the caller is gone: hand the slot
-		// straight back so it is not leaked.
+		// Granted concurrently but the caller is gone: settle the queue
+		// count the grant moved us out of, then hand the slot straight
+		// back so neither it nor the tenant's token is leaked.
 		<-w.ready
+		c.queuedN.Add(-1)
+		metQueueDepth().Set(c.queuedN.Load())
+		c.refundToken(tenant)
 		c.releaseSlot(tenant, 0)
 		return nil, ctx.Err()
 	}
@@ -372,6 +400,19 @@ func (c *Controller) takeToken(tenant string) (time.Duration, bool) {
 		return 0, true
 	}
 	return time.Duration((1 - ts.tokens) / rate * float64(time.Second)), false
+}
+
+// refundToken returns one admission token to the tenant's bucket when
+// a request that debited it was shed or canceled without running, so
+// tokens pay for admitted work rather than for being refused.
+func (c *Controller) refundToken(tenant string) {
+	if c.cfg.TenantRate <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := c.tenantLocked(tenant, c.now())
+	ts.tokens = math.Min(c.burst(), ts.tokens+1)
 }
 
 // budgetOK accrues and checks the tenant's budget without spending it;

@@ -426,6 +426,84 @@ func TestTrackedStreamReleasesOnClose(t *testing.T) {
 	}
 }
 
+// TestCancelVsGrantRaceDoesNotLeakQueueCount is the queuedN-leak
+// regression: when a waiter's deadline fires in the same instant the
+// dispatcher grants it, the CAS loser must still settle the queue
+// counter. Before the fix, each lost race left queuedN permanently
+// inflated until the gate shed everything as queue-full forever.
+func TestCancelVsGrantRaceDoesNotLeakQueueCount(t *testing.T) {
+	c := New(Config{MaxInFlight: 16, QueueDepth: 256, QueueTimeout: 2 * time.Second})
+	defer c.Close()
+	// A pre-canceled context makes ctx.Done ready the moment Admit
+	// reaches its wait select, while the near-empty window means the
+	// dispatcher's grant lands at the same instant — the select picks
+	// either branch, exercising the CAS-loss path constantly.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				release, err := c.Admit(canceled)
+				if err == nil {
+					release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Every Admit has returned, so nothing is waiting: a nonzero count
+	// here is a leaked waiter in the accounting.
+	if q := c.Queued(); q != 0 {
+		t.Fatalf("queuedN leaked: %d phantom waiters after all admits returned", q)
+	}
+}
+
+func TestAdmitAfterCloseShedsFast(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, QueueTimeout: 5 * time.Second})
+	c.Close()
+	start := time.Now()
+	_, err := c.Admit(context.Background())
+	oe, ok := AsOverload(err)
+	if !ok || oe.Reason != "closed" {
+		t.Fatalf("admit on closed controller = %v, want closed shed", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("closed controller took %v to shed; must not wait out the queue timeout", elapsed)
+	}
+}
+
+// TestShedWhileQueuedRefundsTenantToken pins that a request shed after
+// its rate token was debited gets the token back: tokens pay for
+// admitted work, so being refused must not also drain the bucket.
+func TestShedWhileQueuedRefundsTenantToken(t *testing.T) {
+	clk := newFakeClock()
+	// Rate is negligible and the clock never advances, so refills are
+	// zero and the burst of 2 is the whole supply.
+	c := New(Config{MaxInFlight: 1, QueueDepth: 4, QueueTimeout: 30 * time.Millisecond,
+		TenantRate: 0.001, TenantBurst: 2, Clock: clk.Now})
+	defer c.Close()
+	ctx := WithTenant(context.Background(), "acme")
+	release, err := c.Admit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second admit debits the last token, queues behind the full
+	// window, and times out — the token must come back.
+	_, err = c.Admit(ctx)
+	if oe, ok := AsOverload(err); !ok || oe.Reason != "queue-timeout" {
+		t.Fatalf("queued admit = %v, want queue-timeout shed", err)
+	}
+	release()
+	release, err = c.Admit(ctx)
+	if err != nil {
+		t.Fatalf("admit after refund = %v; the shed request kept the tenant's token", err)
+	}
+	release()
+}
+
 func TestCloseJoinsDispatcher(t *testing.T) {
 	c := New(Config{MaxInFlight: 2})
 	release, err := c.Admit(context.Background())

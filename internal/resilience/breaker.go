@@ -64,9 +64,11 @@ type Breaker struct {
 	// callers share one quota of HalfOpenSuccesses probes instead of
 	// each being waved through.
 	probesIssued int
-	// probeWindowAt is when the current probe window was armed; after
-	// another OpenTimeout with no recorded outcome the budget re-arms,
-	// so probes whose callers vanished cannot wedge the breaker.
+	// probeWindowAt is when the current probe window was armed or the
+	// last half-open outcome was recorded, whichever is later; after
+	// OpenTimeout with no recorded outcome the budget re-arms, so
+	// probes whose callers vanished cannot wedge the breaker, while
+	// slow-but-live probes keep the window from re-arming under them.
 	probeWindowAt time.Time
 }
 
@@ -169,6 +171,10 @@ func (b *Breaker) RecordSuccess() {
 		b.failures = 0
 	case HalfOpen:
 		b.successes++
+		// A recorded outcome is proof the probes are alive: push the
+		// re-arm out so the quota really measures recorded silence and
+		// slow probes cannot be joined by extras past the budget.
+		b.probeWindowAt = b.now()
 		if b.successes >= b.probes() {
 			from, to, fire = b.transitionLocked(Closed)
 		}

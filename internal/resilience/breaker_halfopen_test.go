@@ -107,6 +107,38 @@ func TestHalfOpenProbeFailureReopens(t *testing.T) {
 	}
 }
 
+// TestHalfOpenSlowProbesDoNotOverAdmit pins that the re-arm measures
+// silence since the last *recorded outcome*, not since the window was
+// armed: probes that are slow but alive (service time near
+// OpenTimeout) must not let extra probes past the quota while they
+// are still outstanding.
+func TestHalfOpenSlowProbesDoNotOverAdmit(t *testing.T) {
+	b := &Breaker{FailureThreshold: 1, OpenTimeout: time.Second, HalfOpenSuccesses: 2}
+	now := tripOpen(b)
+	if !b.Allow() {
+		t.Fatal("first probe refused")
+	}
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	// Both probes are in flight; the first reports back just shy of
+	// OpenTimeout, refreshing the window.
+	*now = now.Add(b.OpenTimeout - time.Millisecond)
+	b.RecordSuccess()
+	// Almost another OpenTimeout passes while the second probe grinds
+	// on. Measured from the armed instant that is far past OpenTimeout,
+	// but only OpenTimeout-1ms since the last recorded outcome — the
+	// quota must not re-arm under the live probe.
+	*now = now.Add(b.OpenTimeout - time.Millisecond)
+	if b.Allow() {
+		t.Fatal("quota re-armed while a live probe was still outstanding")
+	}
+	b.RecordSuccess()
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after both slow probes succeeded = %v, want Closed", got)
+	}
+}
+
 // TestHalfOpenQuotaRearmsAfterLeakedProbes guards against a wedge: if
 // admitted probes never report an outcome (their caller crashed or
 // lost its context), the quota must not stay exhausted forever — after
